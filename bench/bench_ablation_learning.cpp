@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablation of this reproduction's own learning-machinery choices (the
+ * design decisions DESIGN.md section 7 documents):
+ *
+ *  - visit-decayed learning rate vs the paper's fixed 0.9 (within-bin
+ *    reward variance makes the fixed rate flip near-optimal rankings);
+ *  - Q-table initialization range (optimistic-near-zero vs wide);
+ *  - exploration probability epsilon around the paper's 0.1.
+ *
+ * Each variant trains on all workloads across a variance-heavy scenario
+ * mix and reports converged quality against Opt.
+ */
+
+#include <iostream>
+
+#include "baselines/fixed.h"
+#include "common.h"
+#include "dnn/model_zoo.h"
+
+using namespace autoscale;
+
+namespace {
+
+harness::RunStats
+evaluateVariant(const sim::InferenceSimulator &sim,
+                const core::SchedulerConfig &config,
+                const std::vector<env::ScenarioId> &scenarios)
+{
+    auto policy = harness::makeAutoScalePolicy(sim, 1801, config);
+    Rng rng(1802);
+    harness::trainPolicy(*policy, sim, harness::allZooNetworks(),
+                         scenarios, bench::kTrainRunsPerCombo, rng);
+    policy->setExploration(false);
+    harness::EvalOptions options;
+    options.runsPerCombo = bench::kEvalRunsPerCombo;
+    options.seed = 1803;
+    return harness::evaluatePolicy(*policy, sim,
+                                   harness::allZooNetworks(), scenarios,
+                                   options);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation: learning-machinery design choices",
+        "Visit-decayed learning rate, Q-init range, and epsilon, "
+        "evaluated against Opt under mixed variance");
+
+    const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    // Include the in-bin-variance scenario (D3) that motivated the
+    // visit decay, plus interference and weak-signal states.
+    const std::vector<env::ScenarioId> scenarios{
+        env::ScenarioId::S1, env::ScenarioId::S2, env::ScenarioId::S3,
+        env::ScenarioId::S4, env::ScenarioId::D3};
+
+    Table table({"Variant", "PPW/Opt", "QoS violations",
+                 "Prediction accuracy"});
+    auto add = [&](const char *label,
+                   const core::SchedulerConfig &config) {
+        const harness::RunStats stats =
+            evaluateVariant(sim, config, scenarios);
+        table.addRow({label,
+                      Table::pct(stats.ppw() / stats.optPpw()),
+                      Table::pct(stats.qosViolationRatio()),
+                      Table::pct(stats.predictionAccuracy())});
+    };
+
+    core::SchedulerConfig defaults;
+    add("default (decay 0.15, init [-15,0), eps 0.1)", defaults);
+
+    core::SchedulerConfig fixed_lr;
+    fixed_lr.rl.visitDecay = 0.0;
+    add("paper-literal fixed lr 0.9 (no decay)", fixed_lr);
+
+    core::SchedulerConfig strong_decay;
+    strong_decay.rl.visitDecay = 0.5;
+    add("aggressive decay 0.5", strong_decay);
+
+    core::SchedulerConfig wide_init;
+    wide_init.rl.initLow = -100.0;
+    wide_init.rl.initHigh = 0.0;
+    add("wide init [-100,0)", wide_init);
+
+    core::SchedulerConfig positive_init;
+    positive_init.rl.initLow = 0.0;
+    positive_init.rl.initHigh = 1.0;
+    add("optimistic init [0,1)", positive_init);
+
+    core::SchedulerConfig low_eps;
+    low_eps.rl.epsilon = 0.02;
+    add("epsilon 0.02", low_eps);
+
+    core::SchedulerConfig high_eps;
+    high_eps.rl.epsilon = 0.3;
+    add("epsilon 0.3", high_eps);
+
+    table.print(std::cout);
+
+    std::cout << "\nReading: PPW/Opt is the converged energy efficiency"
+                 " relative to the\nexhaustive oracle on the same request"
+                 " sequences. With interleaved training\nthe fixed-0.9"
+                 " learning rate's within-bin recency fragility shows up"
+                 " as a\nmodest but consistent deficit (it was"
+                 " catastrophic under block-sequential\ntraining, which"
+                 " motivated the decay); the wide init range hurts"
+                 " QoS and\naccuracy because poor actions start above"
+                 " good learned values.\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Extension study (Section V-C: "additional actions, such as mobile NPU
+ * or cloud TPU, could be further considered"): attach an NPU to the
+ * Mi8Pro and a TPU to the cloud server, and measure how the enlarged
+ * action space changes the optimal targets and AutoScale's results.
+ */
+
+#include <iostream>
+
+#include "baselines/fixed.h"
+#include "baselines/oracle.h"
+#include "common.h"
+#include "core/action_space.h"
+#include "dnn/model_zoo.h"
+#include "net/link.h"
+
+using namespace autoscale;
+
+int
+main()
+{
+    bench::printHeader(
+        "Extension: mobile NPU + cloud TPU actions",
+        "The augmented action space shifts conv-heavy optima onto the "
+        "NPU and heavy remote work onto the TPU");
+
+    const sim::InferenceSimulator base =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    const sim::InferenceSimulator extended(
+        platform::makeMi8ProWithNpu(), platform::makeGalaxyTabS6(),
+        platform::makeCloudServerWithTpu(), net::WirelessLink::defaultWlan(),
+        net::WirelessLink::defaultP2p());
+
+    std::cout << "Action space: " << core::buildActionSpace(base).size()
+              << " (base) -> " << core::buildActionSpace(extended).size()
+              << " (with NPU + TPU)\n";
+
+    // Per-network optimal target and energy, before and after.
+    printBanner(std::cout, "Opt per workload (clean environment)");
+    baselines::OptOracle base_oracle(base);
+    baselines::OptOracle ext_oracle(extended);
+    const env::EnvState clean;
+    Table table({"Network", "Opt (base)", "mJ", "Opt (extended)", "mJ",
+                 "Gain"});
+    for (const auto &net : dnn::modelZoo()) {
+        const sim::InferenceRequest request = sim::makeRequest(net);
+        const sim::ExecutionTarget before =
+            base_oracle.optimalTarget(request, clean);
+        const sim::ExecutionTarget after =
+            ext_oracle.optimalTarget(request, clean);
+        const double e_before =
+            base.expected(net, before, clean).energyJ;
+        const double e_after =
+            extended.expected(net, after, clean).energyJ;
+        table.addRow({net.name(), before.category(),
+                      Table::num(e_before * 1e3, 1), after.category(),
+                      Table::num(e_after * 1e3, 1),
+                      Table::times(e_before / e_after, 2)});
+    }
+    table.print(std::cout);
+
+    // AutoScale learns the new actions without any code change.
+    printBanner(std::cout,
+                "AutoScale on the extended system (static envs)");
+    const std::vector<env::ScenarioId> scenarios = env::staticScenarios();
+    harness::EvalOptions options;
+    options.runsPerCombo = bench::kEvalRunsPerCombo;
+    options.seed = 1601;
+
+    auto report = [&](const sim::InferenceSimulator &sim,
+                      const char *label) {
+        auto policy = bench::trainOnAll(sim, scenarios, 1602);
+        const harness::RunStats stats = harness::evaluatePolicy(
+            *policy, sim, harness::allZooNetworks(), scenarios, options);
+        auto cpu = baselines::makeEdgeCpuFp32Policy(sim);
+        const harness::RunStats cpu_stats = harness::evaluatePolicy(
+            *cpu, sim, harness::allZooNetworks(), scenarios, options);
+        std::cout << label << ": AutoScale PPW "
+                  << Table::times(stats.ppw() / cpu_stats.ppw(), 1)
+                  << " vs Edge(CPU), QoS violations "
+                  << Table::pct(stats.qosViolationRatio())
+                  << ", NPU share "
+                  << Table::pct(stats.decisionShare("Edge (NPU)"))
+                  << '\n';
+        return stats.ppw();
+    };
+    const double base_ppw = report(base, "Base (66 actions)");
+    const double ext_ppw = report(extended, "Extended (68 actions)");
+    std::cout << "Extended/base AutoScale energy-efficiency ratio: "
+              << Table::times(ext_ppw / base_ppw, 2) << '\n';
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fig. 2: energy efficiency (PPW, normalized to Edge (CPU)) and latency
+ * (normalized to the QoS target) of three representative networks on
+ * the three phones across the edge-cloud execution targets.
+ *
+ * Paper shape to reproduce: on the high-end phones, light NNs
+ * (Inception v1, MobileNet v3) are most efficient at the edge while the
+ * heavy MobileBERT needs the cloud; on the mid-end Moto X Force,
+ * scaling out is always beneficial.
+ */
+
+#include <iostream>
+
+#include "common.h"
+#include "dnn/model_zoo.h"
+#include "sim/qos.h"
+
+using namespace autoscale;
+
+namespace {
+
+struct TargetSpec {
+    const char *label;
+    sim::TargetPlace place;
+    platform::ProcKind proc;
+    dnn::Precision precision;
+};
+
+const TargetSpec kTargets[] = {
+    {"Edge (CPU)", sim::TargetPlace::Local, platform::ProcKind::MobileCpu,
+     dnn::Precision::FP32},
+    {"Edge (GPU)", sim::TargetPlace::Local, platform::ProcKind::MobileGpu,
+     dnn::Precision::FP32},
+    {"Edge (DSP)", sim::TargetPlace::Local, platform::ProcKind::MobileDsp,
+     dnn::Precision::INT8},
+    {"Connected", sim::TargetPlace::ConnectedEdge,
+     platform::ProcKind::MobileDsp, dnn::Precision::INT8},
+    {"Cloud", sim::TargetPlace::Cloud, platform::ProcKind::ServerGpu,
+     dnn::Precision::FP32},
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 2: varying optimal DNN execution target",
+        "Shape: light NNs -> edge on high-end phones; MobileBERT -> "
+        "cloud; mid-end phone always scales out");
+
+    const env::EnvState clean;
+    for (const std::string &phone : platform::phoneNames()) {
+        const sim::InferenceSimulator sim =
+            sim::InferenceSimulator::makeDefault(platform::makePhone(phone));
+        printBanner(std::cout, phone);
+        Table table({"Network", "Target", "PPW vs Edge(CPU)",
+                     "Latency/QoS", "Feasible"});
+        for (const char *name :
+             {"Inception v1", "MobileNet v3", "MobileBERT"}) {
+            const dnn::Network &net = dnn::findModel(name);
+            const sim::InferenceRequest request = sim::makeRequest(net);
+            const sim::Outcome cpu_outcome =
+                sim.expected(net, bench::edgeCpuFp32(sim), clean);
+            for (const TargetSpec &spec : kTargets) {
+                const platform::Processor *proc =
+                    sim.deviceAt(spec.place).processor(spec.proc);
+                if (proc == nullptr) {
+                    table.addRow({name, spec.label, "-", "-", "absent"});
+                    continue;
+                }
+                const sim::ExecutionTarget target = bench::topTarget(
+                    sim, spec.place, spec.proc, spec.precision);
+                const sim::Outcome o = sim.expected(net, target, clean);
+                if (!o.feasible) {
+                    table.addRow({name, spec.label, "-", "-",
+                                  "unsupported"});
+                    continue;
+                }
+                table.addRow({
+                    name,
+                    spec.label,
+                    Table::times(cpu_outcome.energyJ / o.energyJ, 2),
+                    Table::num(o.latencyMs / request.qosMs, 2),
+                    "yes",
+                });
+            }
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nReading: PPW > 1 means more energy efficient than the"
+                 " mobile CPU;\nLatency/QoS < 1 meets the QoS target.\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fig. 3: cumulative per-layer-type latency of Inception v1 and
+ * MobileNet v3 on the Mi8Pro's CPU, GPU, and DSP, normalized to the
+ * CPU.
+ *
+ * Paper shape to reproduce: FC layers exhibit much longer latency on
+ * the co-processors, whereas CONV (and other) layers exhibit longer
+ * latency on the CPU — so FC-heavy networks (MobileNet v3) favor CPUs
+ * and CONV-heavy ones (Inception v1) favor co-processors.
+ */
+
+#include <iostream>
+
+#include "common.h"
+#include "dnn/model_zoo.h"
+
+using namespace autoscale;
+
+namespace {
+
+double
+cumulativeLatency(const platform::Processor &proc, const dnn::Network &net,
+                  dnn::Precision precision, bool major_kind,
+                  dnn::LayerKind kind)
+{
+    double total = 0.0;
+    for (const auto &layer : net.layers()) {
+        const bool is_kind = major_kind
+            ? layer.kind == kind
+            : !layer.isMajorKind();
+        if (is_kind) {
+            total += proc.layerLatencyMs(layer, precision,
+                                         proc.maxVfIndex());
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 3: per-layer-type latency across mobile processors",
+        "Shape: CONV cheaper on GPU/DSP than CPU; FC cheaper on CPU");
+
+    const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    const platform::Device &device = sim.localDevice();
+
+    for (const char *name : {"Inception v1", "MobileNet v3"}) {
+        const dnn::Network &net = dnn::findModel(name);
+        printBanner(std::cout, std::string(name) + " on Mi8Pro");
+        Table table({"Layer type", "CPU (ms)", "GPU (norm to CPU)",
+                     "DSP (norm to CPU)"});
+
+        struct Row {
+            const char *label;
+            bool major;
+            dnn::LayerKind kind;
+        };
+        const Row rows[] = {
+            {"CONV", true, dnn::LayerKind::Conv},
+            {"FC", true, dnn::LayerKind::FullyConnected},
+            {"Other", false, dnn::LayerKind::Pool},
+        };
+        for (const Row &row : rows) {
+            const double cpu = cumulativeLatency(
+                device.cpu(), net, dnn::Precision::FP32, row.major,
+                row.kind);
+            if (cpu <= 0.0) {
+                continue;
+            }
+            const double gpu = cumulativeLatency(
+                device.gpu(), net, dnn::Precision::FP32, row.major,
+                row.kind);
+            const double dsp = cumulativeLatency(
+                device.dsp(), net, dnn::Precision::INT8, row.major,
+                row.kind);
+            table.addRow({row.label, Table::num(cpu, 2),
+                          Table::num(gpu / cpu, 2),
+                          Table::num(dsp / cpu, 2)});
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nReading: normalized values < 1 mean the co-processor"
+                 " is faster than\nthe CPU for that layer type; FC rows"
+                 " must exceed 1 (host-sync overhead).\n";
+    return 0;
+}

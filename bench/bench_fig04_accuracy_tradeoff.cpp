@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fig. 4: energy efficiency (PPW normalized to Edge (CPU FP32)) versus
+ * inference accuracy across precision-augmented execution targets, plus
+ * the induced Opt shift when the accuracy requirement rises from 50% to
+ * 65%.
+ *
+ * Paper shape to reproduce: at a 50% requirement the low-precision
+ * local targets win (DSP/CPU INT8); at 65% the INT8 options fail the
+ * requirement and the optimum shifts toward full-precision / cloud
+ * execution.
+ */
+
+#include <iostream>
+
+#include "baselines/oracle.h"
+#include "common.h"
+#include "dnn/model_zoo.h"
+
+using namespace autoscale;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 4: inference accuracy vs energy efficiency",
+        "Shape: 50% target -> low-precision edge optimal; 65% target -> "
+        "optimum shifts to full precision / cloud");
+
+    const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    baselines::OptOracle oracle(sim);
+    const env::EnvState clean;
+
+    struct Spec {
+        const char *label;
+        sim::TargetPlace place;
+        platform::ProcKind proc;
+        dnn::Precision precision;
+    };
+    const Spec specs[] = {
+        {"CPU FP32", sim::TargetPlace::Local,
+         platform::ProcKind::MobileCpu, dnn::Precision::FP32},
+        {"CPU INT8", sim::TargetPlace::Local,
+         platform::ProcKind::MobileCpu, dnn::Precision::INT8},
+        {"GPU FP32", sim::TargetPlace::Local,
+         platform::ProcKind::MobileGpu, dnn::Precision::FP32},
+        {"GPU FP16", sim::TargetPlace::Local,
+         platform::ProcKind::MobileGpu, dnn::Precision::FP16},
+        {"DSP INT8", sim::TargetPlace::Local,
+         platform::ProcKind::MobileDsp, dnn::Precision::INT8},
+        {"Cloud FP32", sim::TargetPlace::Cloud,
+         platform::ProcKind::ServerGpu, dnn::Precision::FP32},
+    };
+
+    for (const char *name : {"Inception v1", "MobileNet v3"}) {
+        const dnn::Network &net = dnn::findModel(name);
+        printBanner(std::cout, std::string(name) + " on Mi8Pro");
+        const sim::Outcome cpu_outcome =
+            sim.expected(net, bench::edgeCpuFp32(sim), clean);
+        Table table({"Target", "Accuracy", "PPW vs CPU FP32",
+                     "Meets 50%", "Meets 65%"});
+        for (const Spec &spec : specs) {
+            const sim::ExecutionTarget target = bench::topTarget(
+                sim, spec.place, spec.proc, spec.precision);
+            const sim::Outcome o = sim.expected(net, target, clean);
+            if (!o.feasible) {
+                continue;
+            }
+            table.addRow({
+                spec.label,
+                Table::num(o.accuracyPct, 1) + "%",
+                Table::times(cpu_outcome.energyJ / o.energyJ, 2),
+                o.accuracyPct >= 50.0 ? "yes" : "no",
+                o.accuracyPct >= 65.0 ? "yes" : "no",
+            });
+        }
+        table.print(std::cout);
+
+        // The induced Opt shift.
+        Table shift({"Accuracy target", "Opt target", "Accuracy",
+                     "Energy (mJ)"});
+        for (double target_pct : {50.0, 65.0, 70.0}) {
+            const sim::InferenceRequest request =
+                sim::makeRequest(net, target_pct);
+            const sim::ExecutionTarget opt =
+                oracle.optimalTarget(request, clean);
+            const sim::Outcome o = sim.expected(net, opt, clean);
+            shift.addRow({Table::num(target_pct, 0) + "%", opt.label(),
+                          Table::num(o.accuracyPct, 1) + "%",
+                          Table::num(o.energyJ * 1e3, 1)});
+        }
+        shift.print(std::cout);
+    }
+
+    std::cout << "\nPaper anchors: \"If the accuracy requirement is 50%,"
+                 " the optimal target\nmay be DSP INT8 and CPU INT8 for"
+                 " Inception v1 and MobileNet v3 ... If the\naccuracy"
+                 " requirement is 65%, the optimal target should be"
+                 " shifted to the cloud.\"\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fig. 5: impact of on-device interference on MobileNet v3 inference
+ * (Mi8Pro). PPW is normalized to Edge (CPU) with no co-running app and
+ * latency to the QoS target.
+ *
+ * Paper shape to reproduce: a CPU-intensive co-runner degrades the CPU
+ * hardest and shifts the optimum from the CPU to a co-processor; a
+ * memory-intensive co-runner degrades every on-device processor and
+ * pushes the optimum off-device (to the cloud).
+ */
+
+#include <iostream>
+
+#include "baselines/oracle.h"
+#include "common.h"
+#include "dnn/model_zoo.h"
+
+using namespace autoscale;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 5: on-device interference shifts the optimal target",
+        "Shape: CPU hog -> CPU-to-co-processor shift; memory hog -> "
+        "edge-to-cloud shift");
+
+    const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    baselines::OptOracle oracle(sim);
+    const dnn::Network &net = dnn::findModel("MobileNet v3");
+    const sim::InferenceRequest request = sim::makeRequest(net);
+
+    struct EnvSpec {
+        const char *label;
+        env::EnvState env;
+    };
+    env::EnvState cpu_hog;
+    cpu_hog.coCpuUtil = 0.85;
+    cpu_hog.coMemUtil = 0.10;
+    cpu_hog.thermalFactor = 0.85;
+    env::EnvState mem_hog;
+    mem_hog.coCpuUtil = 0.20;
+    mem_hog.coMemUtil = 0.80;
+    mem_hog.thermalFactor = 0.96;
+    const EnvSpec envs[] = {
+        {"No co-running app", env::EnvState{}},
+        {"CPU-intensive app", cpu_hog},
+        {"Memory-intensive app", mem_hog},
+    };
+
+    const sim::Outcome cpu_clean =
+        sim.expected(net, bench::edgeCpuFp32(sim), env::EnvState{});
+
+    struct TargetSpec {
+        const char *label;
+        sim::TargetPlace place;
+        platform::ProcKind proc;
+        dnn::Precision precision;
+    };
+    const TargetSpec targets[] = {
+        {"CPU INT8", sim::TargetPlace::Local,
+         platform::ProcKind::MobileCpu, dnn::Precision::INT8},
+        {"GPU FP16", sim::TargetPlace::Local,
+         platform::ProcKind::MobileGpu, dnn::Precision::FP16},
+        {"DSP INT8", sim::TargetPlace::Local,
+         platform::ProcKind::MobileDsp, dnn::Precision::INT8},
+        {"Cloud", sim::TargetPlace::Cloud, platform::ProcKind::ServerGpu,
+         dnn::Precision::FP32},
+    };
+
+    for (const EnvSpec &spec : envs) {
+        printBanner(std::cout, spec.label);
+        Table table({"Target", "PPW vs clean Edge(CPU)", "Latency/QoS"});
+        for (const TargetSpec &target_spec : targets) {
+            const sim::ExecutionTarget target = bench::topTarget(
+                sim, target_spec.place, target_spec.proc,
+                target_spec.precision);
+            const sim::Outcome o = sim.expected(net, target, spec.env);
+            table.addRow({
+                target_spec.label,
+                Table::times(cpu_clean.energyJ / o.energyJ, 2),
+                Table::num(o.latencyMs / request.qosMs, 2),
+            });
+        }
+        table.print(std::cout);
+        const sim::ExecutionTarget opt =
+            oracle.optimalTarget(request, spec.env);
+        std::cout << "Opt picks: " << opt.label() << '\n';
+    }
+
+    std::cout << "\nPaper anchors: under the CPU-intensive app \"the"
+                 " optimal execution target\nshifts from the CPU\" to a"
+                 " co-processor; under the memory-intensive app\n\"the"
+                 " optimal target therefore moves from the edge to the"
+                 " cloud\".\n";
+    return 0;
+}

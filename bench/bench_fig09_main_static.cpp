@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fig. 9 — the headline result. Average energy efficiency (PPW,
+ * normalized to Edge (CPU FP32)) and QoS violation ratio of AutoScale
+ * versus the fixed baselines, the layer-partitioning prior work
+ * (MOSAIC, NeuroSurgeon), and the Opt oracle, over the three phones and
+ * the static environments (S1-S5), non-streaming use cases, with
+ * leave-one-out cross-validation across the ten workloads.
+ *
+ * Paper anchors: AutoScale improves average energy efficiency by 9.8x
+ * over Edge (CPU FP32), 2.3x over Edge (Best), 1.6x over Cloud, 2.7x
+ * over Connected Edge, 1.9x over MOSAIC, and 1.2x over NeuroSurgeon,
+ * landing within 3.2% of Opt with a QoS-violation gap of only 1.9%.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "baselines/fixed.h"
+#include "baselines/oracle.h"
+#include "baselines/partitioners.h"
+#include "common.h"
+#include "dnn/model_zoo.h"
+#include "util/stats.h"
+
+using namespace autoscale;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 9: energy efficiency and QoS violations, static "
+        "environments",
+        "Shape: AutoScale ~= Opt >> fixed baselines; largest win over "
+        "Edge (CPU FP32)");
+
+    const std::vector<env::ScenarioId> scenarios = env::staticScenarios();
+    harness::EvalOptions options;
+    options.runsPerCombo = bench::kEvalRunsPerCombo;
+    options.seed = 909;
+
+    // Aggregated PPW ratios (vs Edge CPU) per policy across devices.
+    std::map<std::string, std::vector<double>> ppw_ratios;
+    std::map<std::string, std::vector<double>> qos_ratios;
+    std::vector<double> autoscale_vs_opt;
+
+    for (const std::string &phone : platform::phoneNames()) {
+        const sim::InferenceSimulator sim =
+            sim::InferenceSimulator::makeDefault(platform::makePhone(phone));
+        printBanner(std::cout, phone);
+
+        // AutoScale under the paper's leave-one-out protocol.
+        const harness::RunStats as_stats = harness::evaluateAutoScaleLoo(
+            sim, harness::allZooNetworks(), scenarios,
+            bench::kTrainRunsPerCombo, options);
+
+        // Everyone else under identical evaluation sequences.
+        std::vector<std::unique_ptr<baselines::SchedulingPolicy>> others;
+        others.push_back(baselines::makeEdgeCpuFp32Policy(sim));
+        others.push_back(baselines::makeEdgeBestPolicy(sim));
+        others.push_back(baselines::makeCloudPolicy(sim));
+        others.push_back(baselines::makeConnectedEdgePolicy(sim));
+        others.push_back(baselines::makeNeuroSurgeonPolicy(sim));
+        others.push_back(baselines::makeMosaicPolicy(sim));
+        others.push_back(baselines::makeOptOracle(sim));
+
+        std::map<std::string, harness::RunStats> stats;
+        for (const auto &policy : others) {
+            stats.emplace(policy->name(),
+                          harness::evaluatePolicy(
+                              *policy, sim, harness::allZooNetworks(),
+                              scenarios, options));
+        }
+        const double cpu_ppw = stats.at("Edge (CPU FP32)").ppw();
+
+        Table table({"Policy", "PPW vs Edge(CPU FP32)", "QoS violations"});
+        auto add_row = [&](const std::string &name,
+                           const harness::RunStats &s) {
+            table.addRow({name, Table::times(s.ppw() / cpu_ppw, 2),
+                          Table::pct(s.qosViolationRatio())});
+            ppw_ratios[name].push_back(s.ppw() / cpu_ppw);
+            qos_ratios[name].push_back(s.qosViolationRatio());
+        };
+        add_row("Edge (CPU FP32)", stats.at("Edge (CPU FP32)"));
+        add_row("Edge (Best)", stats.at("Edge (Best)"));
+        add_row("Cloud", stats.at("Cloud"));
+        add_row("Connected Edge", stats.at("Connected Edge"));
+        add_row("NeuroSurgeon", stats.at("NeuroSurgeon"));
+        add_row("MOSAIC", stats.at("MOSAIC"));
+        add_row("AutoScale", as_stats);
+        add_row("Opt", stats.at("Opt"));
+        table.print(std::cout);
+
+        autoscale_vs_opt.push_back(as_stats.ppw()
+                                   / stats.at("Opt").ppw());
+    }
+
+    printBanner(std::cout, "Average improvement of AutoScale (3 devices)");
+    auto ratio_to = [&](const std::string &name) {
+        std::vector<double> ratios;
+        for (std::size_t i = 0; i < ppw_ratios["AutoScale"].size(); ++i) {
+            ratios.push_back(ppw_ratios["AutoScale"][i]
+                             / ppw_ratios[name][i]);
+        }
+        return mean(ratios);
+    };
+    Table summary({"Versus", "Measured", "Paper"});
+    summary.addRow({"Edge (CPU FP32)", Table::times(ratio_to(
+                        "Edge (CPU FP32)"), 1), "9.8x"});
+    summary.addRow({"Edge (Best)",
+                    Table::times(ratio_to("Edge (Best)"), 1), "2.3x"});
+    summary.addRow({"Cloud", Table::times(ratio_to("Cloud"), 1), "1.6x"});
+    summary.addRow({"Connected Edge",
+                    Table::times(ratio_to("Connected Edge"), 1), "2.7x"});
+    summary.addRow({"MOSAIC", Table::times(ratio_to("MOSAIC"), 1),
+                    "1.9x"});
+    summary.addRow({"NeuroSurgeon",
+                    Table::times(ratio_to("NeuroSurgeon"), 1), "1.2x"});
+    summary.addRow({"Opt (gap)",
+                    Table::pct(1.0 - mean(autoscale_vs_opt)), "3.2%"});
+    summary.print(std::cout);
+
+    const double as_qos = mean(qos_ratios["AutoScale"]);
+    const double opt_qos = mean(qos_ratios["Opt"]);
+    std::cout << "QoS-violation gap to Opt: "
+              << bench::withPaper(Table::pct(as_qos - opt_qos), "1.9%")
+              << '\n';
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fig. 10: the streaming scenario — inference intensity rises from
+ * single-shot to 30 FPS video, tightening the QoS to 33.3 ms and
+ * heating the SoC between frames.
+ *
+ * Paper shape to reproduce: energy efficiency and QoS-violation ratio
+ * degrade versus the non-streaming scenario, but AutoScale still tracks
+ * Opt and substantially beats the baselines.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "baselines/fixed.h"
+#include "baselines/oracle.h"
+#include "common.h"
+#include "dnn/model_zoo.h"
+
+using namespace autoscale;
+
+namespace {
+
+void
+runScenario(const sim::InferenceSimulator &sim, bool streaming)
+{
+    const std::vector<env::ScenarioId> scenarios = env::staticScenarios();
+    harness::EvalOptions options;
+    options.runsPerCombo = bench::kEvalRunsPerCombo;
+    options.streaming = streaming;
+    options.seed = streaming ? 1010 : 1011;
+
+    const harness::RunStats as_stats = harness::evaluateAutoScaleLoo(
+        sim, harness::allZooNetworks(), scenarios,
+        bench::kTrainRunsPerCombo, options);
+
+    std::vector<std::unique_ptr<baselines::SchedulingPolicy>> others;
+    others.push_back(baselines::makeEdgeCpuFp32Policy(sim));
+    others.push_back(baselines::makeEdgeBestPolicy(sim));
+    others.push_back(baselines::makeCloudPolicy(sim));
+    others.push_back(baselines::makeOptOracle(sim));
+
+    std::map<std::string, harness::RunStats> stats;
+    for (const auto &policy : others) {
+        stats.emplace(policy->name(),
+                      harness::evaluatePolicy(*policy, sim,
+                                              harness::allZooNetworks(),
+                                              scenarios, options));
+    }
+    const double cpu_ppw = stats.at("Edge (CPU FP32)").ppw();
+
+    Table table({"Policy", "PPW vs Edge(CPU FP32)", "QoS violations"});
+    auto add_row = [&](const std::string &name,
+                       const harness::RunStats &s) {
+        table.addRow({name, Table::times(s.ppw() / cpu_ppw, 2),
+                      Table::pct(s.qosViolationRatio())});
+    };
+    add_row("Edge (CPU FP32)", stats.at("Edge (CPU FP32)"));
+    add_row("Edge (Best)", stats.at("Edge (Best)"));
+    add_row("Cloud", stats.at("Cloud"));
+    add_row("AutoScale", as_stats);
+    add_row("Opt", stats.at("Opt"));
+    table.print(std::cout);
+    std::cout << "AutoScale PPW relative to Opt: "
+              << Table::pct(as_stats.ppw() / stats.at("Opt").ppw())
+              << "; QoS-violation gap: "
+              << Table::pct(as_stats.qosViolationRatio()
+                            - stats.at("Opt").qosViolationRatio())
+              << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 10: rising inference intensity (non-streaming -> "
+        "streaming)",
+        "Shape: efficiency and QoS degrade under 30 FPS, but AutoScale "
+        "still tracks Opt");
+
+    for (const std::string &phone : platform::phoneNames()) {
+        const sim::InferenceSimulator sim =
+            sim::InferenceSimulator::makeDefault(
+                platform::makePhone(phone));
+        printBanner(std::cout,
+                    phone + ": non-streaming (50 ms interactive QoS)");
+        runScenario(sim, /*streaming=*/false);
+        printBanner(std::cout,
+                    phone + ": streaming (30 FPS QoS, vision only)");
+        runScenario(sim, /*streaming=*/true);
+    }
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fig. 11: adaptability to stochastic variance — per-environment energy
+ * efficiency (normalized to Edge (CPU FP32)) and QoS violations across
+ * all Table IV environments, including the dynamic ones (D1-D4).
+ *
+ * Paper anchors: averaged over the environments, AutoScale improves
+ * energy efficiency by 10.7x over Edge (CPU FP32), 2.2x over
+ * Edge (Best), 1.4x over Cloud, and 3.2x over Connected Edge, with a
+ * QoS-violation ratio similar to Opt.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "baselines/fixed.h"
+#include "baselines/oracle.h"
+#include "common.h"
+#include "dnn/model_zoo.h"
+#include "util/stats.h"
+
+using namespace autoscale;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 11: per-environment adaptability (S1-S5, D1-D4)",
+        "Shape: AutoScale tracks Opt in every environment, static and "
+        "dynamic");
+
+    const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    const std::vector<env::ScenarioId> all = env::allScenarios();
+
+    // One AutoScale scheduler trained across every environment (the
+    // deployment setting: it has seen the variance space).
+    auto autoscale_policy = bench::trainOnAll(sim, all, 1101);
+
+    std::vector<std::unique_ptr<baselines::SchedulingPolicy>> policies;
+    policies.push_back(baselines::makeEdgeCpuFp32Policy(sim));
+    policies.push_back(baselines::makeEdgeBestPolicy(sim));
+    policies.push_back(baselines::makeCloudPolicy(sim));
+    policies.push_back(baselines::makeConnectedEdgePolicy(sim));
+    policies.push_back(baselines::makeOptOracle(sim));
+
+    harness::EvalOptions options;
+    options.runsPerCombo = bench::kEvalRunsPerCombo;
+    options.seed = 1102;
+
+    // Per-environment rows plus per-policy aggregates.
+    std::map<std::string, std::vector<double>> ppw;
+    std::map<std::string, std::vector<double>> qos;
+
+    Table table({"Env", "Edge(Best)", "Cloud", "Connected", "AutoScale",
+                 "Opt", "AutoScale QoS", "Opt QoS"});
+    for (const env::ScenarioId id : all) {
+        std::map<std::string, harness::RunStats> stats;
+        for (const auto &policy : policies) {
+            stats.emplace(policy->name(),
+                          harness::evaluatePolicy(
+                              *policy, sim, harness::allZooNetworks(),
+                              {id}, options));
+        }
+        const harness::RunStats as_stats = harness::evaluatePolicy(
+            *autoscale_policy, sim, harness::allZooNetworks(), {id},
+            options);
+        const double cpu = stats.at("Edge (CPU FP32)").ppw();
+
+        auto norm = [&](const std::string &name) {
+            const double value = stats.at(name).ppw() / cpu;
+            ppw[name].push_back(value);
+            qos[name].push_back(stats.at(name).qosViolationRatio());
+            return value;
+        };
+        ppw["Edge (CPU FP32)"].push_back(1.0);
+        qos["Edge (CPU FP32)"].push_back(
+            stats.at("Edge (CPU FP32)").qosViolationRatio());
+        const double best = norm("Edge (Best)");
+        const double cloud = norm("Cloud");
+        const double connected = norm("Connected Edge");
+        const double opt = norm("Opt");
+        ppw["AutoScale"].push_back(as_stats.ppw() / cpu);
+        qos["AutoScale"].push_back(as_stats.qosViolationRatio());
+
+        table.addRow({env::scenarioName(id), Table::times(best, 1),
+                      Table::times(cloud, 1), Table::times(connected, 1),
+                      Table::times(as_stats.ppw() / cpu, 1),
+                      Table::times(opt, 1),
+                      Table::pct(as_stats.qosViolationRatio()),
+                      Table::pct(stats.at("Opt").qosViolationRatio())});
+    }
+    table.print(std::cout);
+
+    printBanner(std::cout, "Average improvement of AutoScale");
+    auto ratio_to = [&](const std::string &name) {
+        std::vector<double> ratios;
+        for (std::size_t i = 0; i < ppw["AutoScale"].size(); ++i) {
+            ratios.push_back(ppw["AutoScale"][i] / ppw[name][i]);
+        }
+        return mean(ratios);
+    };
+    Table summary({"Versus", "Measured", "Paper"});
+    summary.addRow({"Edge (CPU FP32)",
+                    Table::times(ratio_to("Edge (CPU FP32)"), 1),
+                    "10.7x"});
+    summary.addRow({"Edge (Best)",
+                    Table::times(ratio_to("Edge (Best)"), 1), "2.2x"});
+    summary.addRow({"Cloud", Table::times(ratio_to("Cloud"), 1), "1.4x"});
+    summary.addRow({"Connected Edge",
+                    Table::times(ratio_to("Connected Edge"), 1), "3.2x"});
+    summary.print(std::cout);
+    std::cout << "AutoScale avg QoS violations: "
+              << Table::pct(mean(qos["AutoScale"]))
+              << " vs Opt " << Table::pct(mean(qos["Opt"])) << '\n';
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fig. 13: the execution-scaling decision distribution of AutoScale
+ * versus Opt on each phone, plus the prediction-accuracy analysis and
+ * the per-environment decision anchors of Section VI-B (weak signal S4:
+ * on-device 69.1% / connected 30.7% / cloud 0.2%; web browser D2:
+ * cloud 46.1% / connected 35.3% / on-device 18.6%).
+ */
+
+#include <iostream>
+#include <set>
+
+#include "common.h"
+#include "dnn/model_zoo.h"
+
+using namespace autoscale;
+
+namespace {
+
+void
+printDistribution(const std::string &title,
+                  const harness::RunStats &stats)
+{
+    printBanner(std::cout, title);
+    std::set<std::string> categories;
+    for (const auto &[category, count] : stats.decisionCounts()) {
+        categories.insert(category);
+    }
+    for (const auto &[category, count] : stats.optDecisionCounts()) {
+        categories.insert(category);
+    }
+    Table table({"Category", "AutoScale share", "Opt share"});
+    for (const std::string &category : categories) {
+        const auto as_it = stats.decisionCounts().find(category);
+        const auto opt_it = stats.optDecisionCounts().find(category);
+        const double as_share = as_it == stats.decisionCounts().end()
+            ? 0.0
+            : static_cast<double>(as_it->second) / stats.count();
+        const double opt_share = opt_it == stats.optDecisionCounts().end()
+            ? 0.0
+            : static_cast<double>(opt_it->second) / stats.count();
+        table.addRow({category, Table::pct(as_share),
+                      Table::pct(opt_share)});
+    }
+    table.print(std::cout);
+    std::cout << "Prediction accuracy (category-level match with Opt): "
+              << Table::pct(stats.predictionAccuracy())
+              << "; within 1% of Opt energy: "
+              << Table::pct(stats.nearOptimalRatio()) << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 13: decision distributions and prediction accuracy",
+        "Paper: 97.9% average prediction accuracy; mis-predictions only "
+        "where the energy gap is < 1%");
+
+    const std::vector<env::ScenarioId> scenarios = env::staticScenarios();
+    harness::EvalOptions options;
+    options.runsPerCombo = bench::kEvalRunsPerCombo;
+    options.seed = 1301;
+
+    std::vector<double> accuracies;
+    for (const std::string &phone : platform::phoneNames()) {
+        const sim::InferenceSimulator sim =
+            sim::InferenceSimulator::makeDefault(platform::makePhone(phone));
+        auto policy = bench::trainOnAll(sim, scenarios, 1302);
+        const harness::RunStats stats = harness::evaluatePolicy(
+            *policy, sim, harness::allZooNetworks(), scenarios, options);
+        printDistribution(phone + " (static environments)", stats);
+        accuracies.push_back(stats.predictionAccuracy());
+    }
+
+    // The Section VI-B per-environment anchors, on the Mi8Pro.
+    const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    auto policy = bench::trainOnAll(sim, env::allScenarios(), 1303);
+
+    options.seed = 1304;
+    const harness::RunStats s4 = harness::evaluatePolicy(
+        *policy, sim, harness::allZooNetworks(), {env::ScenarioId::S4},
+        options);
+    printDistribution(
+        "Mi8Pro, S4 weak Wi-Fi (paper: on-device 69.1%, connected 30.7%,"
+        " cloud 0.2%)",
+        s4);
+
+    const harness::RunStats d2 = harness::evaluatePolicy(
+        *policy, sim, harness::allZooNetworks(), {env::ScenarioId::D2},
+        options);
+    printDistribution(
+        "Mi8Pro, D2 web browser (paper: cloud 46.1%, connected 35.3%,"
+        " on-device 18.6%)",
+        d2);
+
+    double sum = 0.0;
+    for (double a : accuracies) {
+        sum += a;
+    }
+    std::cout << "\nAverage prediction accuracy across devices: "
+              << bench::withPaper(
+                     Table::pct(sum / accuracies.size()), "97.9%")
+              << '\n';
+    return 0;
+}

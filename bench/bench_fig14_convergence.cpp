@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Fig. 14: training convergence and learning transfer, plus the
+ * Section V-C hyperparameter sensitivity sweep.
+ *
+ * Paper anchors: the reward converges in about 40-50 runs from scratch;
+ * transferring a Q-table trained on the Mi8Pro to the other phones cuts
+ * training time by ~21.2%; dynamic environments converge ~9.1% slower
+ * from scratch, shrinking to ~0.5% with transfer; and the sensitivity
+ * sweep prefers a high learning rate (0.9) with a low discount (0.1).
+ */
+
+#include <iostream>
+
+#include "common.h"
+#include "core/scheduler.h"
+#include "dnn/model_zoo.h"
+#include "util/stats.h"
+
+using namespace autoscale;
+
+namespace {
+
+/**
+ * Train @p scheduler on one (network, scenario) stream and return the
+ * run index at which the reward converged (or @p maxRuns).
+ */
+int
+convergenceRuns(core::AutoScaleScheduler &scheduler,
+                const sim::InferenceSimulator &sim,
+                const dnn::Network &net, env::ScenarioId scenario_id,
+                int maxRuns, Rng &rng, std::vector<double> *rewards)
+{
+    core::ConvergenceTracker tracker(10, 0.08);
+    env::Scenario scenario(scenario_id);
+    const sim::InferenceRequest request = sim::makeRequest(net);
+    int converged_at = maxRuns;
+    for (int run = 0; run < maxRuns; ++run) {
+        const env::EnvState env = scenario.next(rng);
+        const sim::ExecutionTarget &target =
+            scheduler.choose(request, env);
+        const sim::Outcome outcome = sim.run(net, target, env, rng);
+        scheduler.feedback(outcome);
+        tracker.add(scheduler.lastReward());
+        if (rewards != nullptr) {
+            rewards->push_back(scheduler.lastReward());
+        }
+        if (converged_at == maxRuns && tracker.converged()) {
+            converged_at = run + 1;
+        }
+    }
+    scheduler.finishEpisode();
+    return converged_at;
+}
+
+/** Mean convergence run count across the zoo. */
+double
+meanConvergence(const sim::InferenceSimulator &sim,
+                env::ScenarioId scenario_id, std::uint64_t seed,
+                const core::AutoScaleScheduler *transfer_source)
+{
+    std::vector<double> runs;
+    Rng rng(seed);
+    for (const auto &net : dnn::modelZoo()) {
+        core::AutoScaleScheduler scheduler(sim, core::SchedulerConfig{},
+                                           seed ^ 0xabcULL);
+        if (transfer_source != nullptr) {
+            scheduler.transferFrom(*transfer_source);
+        }
+        runs.push_back(static_cast<double>(convergenceRuns(
+            scheduler, sim, net, scenario_id, 200, rng, nullptr)));
+    }
+    return mean(runs);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 14: training convergence and learning transfer",
+        "Shape: ~tens of runs from scratch; transfer accelerates "
+        "convergence, especially in dynamic environments");
+
+    const sim::InferenceSimulator mi8 =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+
+    // Reward trace for one representative workload (plot series).
+    printBanner(std::cout,
+                "Reward trace: Inception v1 on Mi8Pro, from scratch");
+    {
+        core::AutoScaleScheduler scheduler(mi8, core::SchedulerConfig{},
+                                           77);
+        Rng rng(78);
+        std::vector<double> rewards;
+        const int converged = convergenceRuns(
+            scheduler, mi8, dnn::findModel("Inception v1"),
+            env::ScenarioId::S1, 120, rng, &rewards);
+        Table trace({"Run", "Reward (window mean of 10)"});
+        for (std::size_t i = 9; i < rewards.size(); i += 10) {
+            double window = 0.0;
+            for (std::size_t j = i + 1 - 10; j <= i; ++j) {
+                window += rewards[j];
+            }
+            trace.addRow({std::to_string(i + 1),
+                          Table::num(window / 10.0, 2)});
+        }
+        trace.print(std::cout);
+        std::cout << "Converged after "
+                  << bench::withPaper(std::to_string(converged) + " runs",
+                                      "40-50 runs")
+                  << '\n';
+    }
+
+    // A fully trained Mi8Pro scheduler as the transfer source.
+    printBanner(std::cout, "Learning transfer across devices");
+    auto source = bench::trainOnAll(mi8, env::staticScenarios(), 1401);
+
+    Table transfer({"Device", "Env", "From scratch (runs)",
+                    "With transfer (runs)", "Reduction"});
+    std::vector<double> reductions;
+    for (const std::string &phone : {std::string("Galaxy S10e"),
+                                     std::string("Moto X Force")}) {
+        const sim::InferenceSimulator sim =
+            sim::InferenceSimulator::makeDefault(platform::makePhone(phone));
+        // Re-key the source table onto this device's action space once.
+        core::AutoScaleScheduler seeded(sim, core::SchedulerConfig{},
+                                        1402);
+        seeded.transferFrom(source->scheduler());
+
+        for (const env::ScenarioId id :
+             {env::ScenarioId::S1, env::ScenarioId::D3}) {
+            const double scratch =
+                meanConvergence(sim, id, 1403, nullptr);
+            const double transferred =
+                meanConvergence(sim, id, 1403, &seeded);
+            const double reduction = 1.0 - transferred / scratch;
+            reductions.push_back(reduction);
+            transfer.addRow({phone, env::scenarioName(id),
+                             Table::num(scratch, 1),
+                             Table::num(transferred, 1),
+                             Table::pct(reduction)});
+        }
+    }
+    transfer.print(std::cout);
+    std::cout << "Average training-time reduction from transfer: "
+              << bench::withPaper(Table::pct(mean(reductions)), "21.2%")
+              << '\n';
+
+    // Static vs dynamic convergence gap.
+    printBanner(std::cout, "Dynamic vs static convergence (from scratch)");
+    const double static_runs =
+        meanConvergence(mi8, env::ScenarioId::S1, 1404, nullptr);
+    const double dynamic_runs =
+        meanConvergence(mi8, env::ScenarioId::D2, 1404, nullptr);
+    std::cout << "Static S1: " << Table::num(static_runs, 1)
+              << " runs; dynamic D2: " << Table::num(dynamic_runs, 1)
+              << " runs; slowdown "
+              << bench::withPaper(
+                     Table::pct(dynamic_runs / static_runs - 1.0), "9.1%")
+              << '\n';
+
+    // Section V-C hyperparameter sensitivity.
+    printBanner(std::cout,
+                "Hyperparameter sensitivity (final greedy reward)");
+    Table hyper({"Learning rate", "Discount", "Mean converge runs",
+                 "Final window reward"});
+    for (double lr : {0.1, 0.5, 0.9}) {
+        for (double mu : {0.1, 0.5, 0.9}) {
+            core::SchedulerConfig config;
+            config.rl.learningRate = lr;
+            config.rl.discount = mu;
+            core::AutoScaleScheduler scheduler(mi8, config, 1405);
+            Rng rng(1406);
+            std::vector<double> rewards;
+            const int converged = convergenceRuns(
+                scheduler, mi8, dnn::findModel("MobileNet v2"),
+                env::ScenarioId::S1, 200, rng, &rewards);
+            double tail = 0.0;
+            for (std::size_t i = rewards.size() - 10; i < rewards.size();
+                 ++i) {
+                tail += rewards[i];
+            }
+            hyper.addRow({Table::num(lr, 1), Table::num(mu, 1),
+                          std::to_string(converged),
+                          Table::num(tail / 10.0, 2)});
+        }
+    }
+    hyper.print(std::cout);
+    std::cout << "Paper choice: learning rate 0.9, discount 0.1.\n";
+    return 0;
+}

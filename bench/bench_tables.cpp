@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tables I-IV of the paper, regenerated from the implementation: the
+ * state features and their bins, the device fleet, the workload zoo,
+ * and the execution environments. Serves as the configuration audit for
+ * every other experiment.
+ */
+
+#include <iostream>
+
+#include "common.h"
+#include "core/action_space.h"
+#include "core/state.h"
+#include "dnn/accuracy.h"
+#include "dnn/model_zoo.h"
+
+using namespace autoscale;
+
+namespace {
+
+void
+tableI()
+{
+    printBanner(std::cout, "Table I: state-related features");
+    Table table({"State", "Bins", "Bin boundaries"});
+    table.addRow({"S_CONV", "4", "<30 / <50 / <90 / >=90 layers"});
+    table.addRow({"S_FC", "2", "<10 / >=10 layers"});
+    table.addRow({"S_RC", "2", "<10 / >=10 layers"});
+    table.addRow({"S_MAC", "3", "<1000M / <2000M / >=2000M MACs"});
+    table.addRow({"S_Co_CPU", "4", "0 / <25% / <75% / <=100%"});
+    table.addRow({"S_Co_MEM", "4", "0 / <25% / <75% / <=100%"});
+    table.addRow({"S_RSSI_W", "2", "> -80 dBm / <= -80 dBm"});
+    table.addRow({"S_RSSI_P", "2", "> -80 dBm / <= -80 dBm"});
+    table.print(std::cout);
+    core::StateEncoder encoder;
+    std::cout << "Total states: " << encoder.numStates()
+              << " (paper: 3,072)\n";
+}
+
+void
+tableII()
+{
+    printBanner(std::cout, "Table II: mobile device specification");
+    Table table({"Device", "CPU", "CPU V/F", "CPU W", "GPU", "GPU V/F",
+                 "GPU W", "DSP", "Actions"});
+    for (const std::string &name : platform::phoneNames()) {
+        const sim::InferenceSimulator sim =
+            sim::InferenceSimulator::makeDefault(platform::makePhone(name));
+        const platform::Device &device = sim.localDevice();
+        const auto actions = core::buildActionSpace(sim);
+        table.addRow({
+            device.name(),
+            device.cpu().name() + " @"
+                + Table::num(device.cpu().freqGhz(device.cpu().maxVfIndex()),
+                             2)
+                + "GHz",
+            std::to_string(device.cpu().numVfSteps()),
+            Table::num(device.cpu().busyPowerW(device.cpu().maxVfIndex()),
+                       1),
+            device.gpu().name(),
+            std::to_string(device.gpu().numVfSteps()),
+            Table::num(device.gpu().busyPowerW(device.gpu().maxVfIndex()),
+                       1),
+            device.hasDsp()
+                ? device.dsp().name() + " ("
+                    + Table::num(device.dsp().busyPowerW(0), 1) + " W)"
+                : "-",
+            std::to_string(actions.size()),
+        });
+    }
+    table.print(std::cout);
+    std::cout << "Mi8Pro action count 66 matches the paper's \"~66"
+              << " actions\" (footnote 8).\n";
+}
+
+void
+tableIII()
+{
+    printBanner(std::cout, "Table III: DNN inference workloads");
+    Table table({"Workload", "DNN", "S_CONV", "S_FC", "S_RC", "MACs (M)",
+                 "FP32 acc", "INT8 acc"});
+    for (const auto &net : dnn::modelZoo()) {
+        table.addRow({
+            dnn::taskName(net.task()),
+            net.name(),
+            std::to_string(net.numConv()),
+            std::to_string(net.numFc()),
+            std::to_string(net.numRc()),
+            Table::num(net.totalMacsMillions(), 0),
+            Table::num(dnn::inferenceAccuracy(net.name(),
+                                              dnn::Precision::FP32),
+                       1),
+            Table::num(dnn::inferenceAccuracy(net.name(),
+                                              dnn::Precision::INT8),
+                       1),
+        });
+    }
+    table.print(std::cout);
+}
+
+void
+tableIV()
+{
+    printBanner(std::cout, "Table IV: DNN inference execution environments");
+    Table table({"Environment", "Type", "Description"});
+    for (const env::ScenarioId id : env::allScenarios()) {
+        table.addRow({env::scenarioName(id),
+                      env::isDynamicScenario(id) ? "Dynamic" : "Static",
+                      env::scenarioDescription(id)});
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Tables I-IV",
+                       "Configuration audit: states, devices, workloads, "
+                       "environments");
+    tableI();
+    tableII();
+    tableIII();
+    tableIV();
+    return 0;
+}

@@ -1,0 +1,54 @@
+#include "common.h"
+
+#include <iostream>
+
+#include "util/logging.h"
+
+namespace autoscale::bench {
+
+sim::ExecutionTarget
+topTarget(const sim::InferenceSimulator &sim, sim::TargetPlace place,
+          platform::ProcKind proc, dnn::Precision precision)
+{
+    const platform::Processor *p = sim.deviceAt(place).processor(proc);
+    AS_CHECK(p != nullptr);
+    return sim::ExecutionTarget{place, proc, p->maxVfIndex(), precision};
+}
+
+sim::ExecutionTarget
+edgeCpuFp32(const sim::InferenceSimulator &sim)
+{
+    return topTarget(sim, sim::TargetPlace::Local,
+                     platform::ProcKind::MobileCpu, dnn::Precision::FP32);
+}
+
+std::unique_ptr<harness::AutoScalePolicy>
+trainOnAll(const sim::InferenceSimulator &sim,
+           const std::vector<env::ScenarioId> &scenarios,
+           std::uint64_t seed, bool streaming, double accuracyTargetPct)
+{
+    auto policy = harness::makeAutoScalePolicy(sim, seed);
+    Rng rng(seed ^ 0x7ea1ULL);
+    harness::trainAutoScale(*policy, sim, harness::allZooNetworks(),
+                            scenarios, kTrainRunsPerCombo, rng, streaming,
+                            accuracyTargetPct);
+    policy->scheduler().setExploration(false);
+    return policy;
+}
+
+std::string
+withPaper(const std::string &measured, const std::string &paper)
+{
+    return measured + " (paper: " + paper + ")";
+}
+
+void
+printHeader(const std::string &figure, const std::string &claim)
+{
+    std::cout << "==================================================\n"
+              << "AutoScale reproduction | " << figure << '\n'
+              << claim << '\n'
+              << "==================================================\n";
+}
+
+} // namespace autoscale::bench

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries: canonical
+ * execution targets, AutoScale training at the paper's budget, and
+ * paper-vs-measured reporting.
+ */
+
+#ifndef AUTOSCALE_BENCH_COMMON_H_
+#define AUTOSCALE_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/scenario.h"
+#include "harness/autoscale_policy.h"
+#include "harness/experiment.h"
+#include "platform/device_zoo.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+namespace autoscale::bench {
+
+/**
+ * Training budget per (network, scenario). Section V-C uses 100 runs
+ * per NN per runtime-variance *state*; a dynamic scenario spreads its
+ * runs over several Table I variance bins, and the optimistic Q-init
+ * sweeps the ~66 actions per state, so the per-scenario budget carries
+ * headroom for both.
+ */
+constexpr int kTrainRunsPerCombo = 800;
+
+/** Evaluation inferences per (network, scenario). */
+constexpr int kEvalRunsPerCombo = 30;
+
+/** Canonical whole-model target at a processor's top frequency. */
+sim::ExecutionTarget topTarget(const sim::InferenceSimulator &sim,
+                               sim::TargetPlace place,
+                               platform::ProcKind proc,
+                               dnn::Precision precision);
+
+/** The Edge (CPU FP32) baseline target for @p sim's local device. */
+sim::ExecutionTarget edgeCpuFp32(const sim::InferenceSimulator &sim);
+
+/**
+ * Build and train an AutoScale policy on every zoo network (used when a
+ * figure evaluates aggregate behaviour rather than the LOO protocol).
+ */
+std::unique_ptr<harness::AutoScalePolicy> trainOnAll(
+    const sim::InferenceSimulator &sim,
+    const std::vector<env::ScenarioId> &scenarios, std::uint64_t seed,
+    bool streaming = false, double accuracyTargetPct = 50.0);
+
+/** "measured (paper: X)" annotation cell. */
+std::string withPaper(const std::string &measured,
+                      const std::string &paper);
+
+/** Print the standard header naming the experiment and its paper ref. */
+void printHeader(const std::string &figure, const std::string &claim);
+
+} // namespace autoscale::bench
+
+#endif // AUTOSCALE_BENCH_COMMON_H_

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Camera app scenario (the paper's non-streaming use case): a user
+ * takes photos on a Galaxy S10e while other applications come and go
+ * (Table IV's D4 environment). Each shot runs image classification
+ * under a 50 ms interactive QoS; AutoScale picks the execution target
+ * per shot and keeps learning from the results.
+ *
+ * The session log shows the decisions shifting with the co-running
+ * apps, and the summary compares the session's energy against the
+ * always-on-CPU baseline.
+ */
+
+#include <iostream>
+
+#include "core/scheduler.h"
+#include "dnn/model_zoo.h"
+#include "env/scenario.h"
+#include "platform/device_zoo.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace autoscale;
+
+    const sim::InferenceSimulator system =
+        sim::InferenceSimulator::makeDefault(platform::makeGalaxyS10e());
+    core::AutoScaleScheduler scheduler(system, core::SchedulerConfig{},
+                                       2001);
+    Rng rng(2002);
+
+    const dnn::Network &classifier = dnn::findModel("Inception v1");
+    const sim::InferenceRequest request = sim::makeRequest(classifier);
+
+    // Warm up: the phone has been in use for a while, so AutoScale has
+    // already learned this workload under varying co-runners.
+    env::Scenario warmup(env::ScenarioId::D4);
+    for (int i = 0; i < 400; ++i) {
+        const env::EnvState env = warmup.next(rng);
+        const sim::ExecutionTarget &target = scheduler.choose(request, env);
+        scheduler.feedback(system.run(classifier, target, env, rng));
+    }
+    scheduler.finishEpisode();
+    scheduler.setExploration(false);
+
+    // The photo session: 24 shots under the D4 varying-apps trace.
+    std::cout << "Photo session: Inception v1 on Galaxy S10e, apps "
+                 "varying (music player <-> web browser)\n\n";
+    env::Scenario session(env::ScenarioId::D4);
+    Table log({"Shot", "Co-runner CPU", "Decision", "Latency",
+               "Energy", "QoS met"});
+    double autoscale_j = 0.0;
+    double baseline_j = 0.0;
+    sim::ExecutionTarget cpu_baseline{
+        sim::TargetPlace::Local, platform::ProcKind::MobileCpu,
+        system.localDevice().cpu().maxVfIndex(), dnn::Precision::FP32};
+
+    for (int shot = 1; shot <= 24; ++shot) {
+        const env::EnvState env = session.next(rng);
+        const sim::ExecutionTarget &target = scheduler.choose(request, env);
+        const sim::Outcome outcome =
+            system.run(classifier, target, env, rng);
+        scheduler.feedback(outcome);
+
+        autoscale_j += outcome.energyJ;
+        baseline_j += system.expected(classifier, cpu_baseline, env).energyJ;
+
+        log.addRow({std::to_string(shot),
+                    Table::pct(env.coCpuUtil, 0),
+                    target.category(),
+                    Table::num(outcome.latencyMs, 1) + " ms",
+                    Table::num(outcome.energyJ * 1e3, 1) + " mJ",
+                    outcome.latencyMs < request.qosMs ? "yes" : "NO"});
+    }
+    scheduler.finishEpisode();
+    log.print(std::cout);
+
+    std::cout << "\nSession energy: "
+              << Table::num(autoscale_j * 1e3, 1) << " mJ with AutoScale"
+              << " vs " << Table::num(baseline_j * 1e3, 1)
+              << " mJ always-CPU (" << Table::times(baseline_j
+                                                    / autoscale_j, 1)
+              << " saving)\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Quickstart: build the Mi8Pro edge-cloud system, train AutoScale, and
+ * schedule a handful of inferences, comparing against the Edge (CPU)
+ * baseline and the Opt oracle.
+ *
+ * This is the minimal end-to-end tour of the public API:
+ *   1. pick a device and build an InferenceSimulator around it;
+ *   2. construct an AutoScaleScheduler;
+ *   3. for each inference: choose() -> run() -> feedback().
+ */
+
+#include <iostream>
+
+#include "baselines/oracle.h"
+#include "core/scheduler.h"
+#include "dnn/model_zoo.h"
+#include "env/scenario.h"
+#include "platform/device_zoo.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace autoscale;
+
+    // 1. The edge-cloud system: a Mi8Pro phone, a Galaxy Tab S6 as the
+    // locally connected edge device, and a Xeon+P100 cloud server.
+    const sim::InferenceSimulator system =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+
+    // 2. AutoScale with the paper's hyperparameters (epsilon = 0.1,
+    // learning rate 0.9, discount 0.1).
+    core::AutoScaleScheduler scheduler(system, core::SchedulerConfig{},
+                                       /*seed=*/42);
+    std::cout << "Action space: " << scheduler.actions().size()
+              << " execution targets\n";
+
+    // 3. Train online: repeated inferences of each workload in a
+    // varying environment. The scheduler learns from every result.
+    Rng rng(7);
+    env::Scenario scenario(env::ScenarioId::D2); // web browser co-running
+    for (int round = 0; round < 300; ++round) {
+        for (const auto &network : dnn::modelZoo()) {
+            const sim::InferenceRequest request = sim::makeRequest(network);
+            const env::EnvState env = scenario.next(rng);
+            const sim::ExecutionTarget &target =
+                scheduler.choose(request, env);
+            const sim::Outcome outcome =
+                system.run(network, target, env, rng);
+            scheduler.feedback(outcome);
+        }
+    }
+    scheduler.finishEpisode();
+    scheduler.setExploration(false);
+
+    // 4. Schedule fresh inferences and compare with the baseline CPU
+    // execution and the Opt oracle.
+    baselines::OptOracle oracle(system);
+    sim::ExecutionTarget cpu_baseline{
+        sim::TargetPlace::Local, platform::ProcKind::MobileCpu,
+        system.localDevice().cpu().maxVfIndex(), dnn::Precision::FP32};
+
+    Table table({"Workload", "AutoScale decision", "Latency", "Energy",
+                 "CPU-FP32 energy", "Opt energy"});
+    for (const auto &network : dnn::modelZoo()) {
+        const sim::InferenceRequest request = sim::makeRequest(network);
+        const env::EnvState env = scenario.next(rng);
+
+        const sim::ExecutionTarget &target = scheduler.choose(request, env);
+        const sim::Outcome outcome = system.run(network, target, env, rng);
+        scheduler.feedback(outcome);
+
+        const sim::Outcome cpu =
+            system.expected(network, cpu_baseline, env);
+        const sim::Outcome opt = oracle.optimalOutcome(request, env);
+
+        table.addRow({network.name(), target.label(),
+                      Table::num(outcome.latencyMs, 1) + " ms",
+                      Table::num(outcome.energyJ * 1e3, 1) + " mJ",
+                      Table::num(cpu.energyJ * 1e3, 1) + " mJ",
+                      Table::num(opt.energyJ * 1e3, 1) + " mJ"});
+    }
+    scheduler.finishEpisode();
+    table.print(std::cout);
+    return 0;
+}

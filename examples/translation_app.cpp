@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Keyboard translation (the paper's MobileBERT use case) on the mid-end
+ * Moto X Force while the user walks around a building: the Wi-Fi RSSI
+ * follows the D3 Gaussian process, so cloud offloading oscillates
+ * between cheap and punishingly slow. The mid-end CPU cannot meet the
+ * 100 ms target, making this the hardest scheduling corner of the
+ * paper: AutoScale has to ride the signal.
+ */
+
+#include <iostream>
+
+#include "core/scheduler.h"
+#include "dnn/model_zoo.h"
+#include "env/scenario.h"
+#include "platform/device_zoo.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace autoscale;
+
+    const sim::InferenceSimulator system =
+        sim::InferenceSimulator::makeDefault(platform::makeMotoXForce());
+    core::AutoScaleScheduler scheduler(system, core::SchedulerConfig{},
+                                       2201);
+    Rng rng(2202);
+
+    const dnn::Network &translator = dnn::findModel("MobileBERT");
+    const sim::InferenceRequest request = sim::makeRequest(translator);
+    std::cout << "Translation: MobileBERT on Moto X Force, walking "
+                 "(random Wi-Fi signal), QoS "
+              << Table::num(request.qosMs, 0) << " ms\n\n";
+
+    // The co-processors cannot run MobileBERT at all on this phone.
+    std::cout << "Feasible targets: CPU (local), cloud CPU/GPU, "
+                 "connected CPU\n\n";
+
+    env::Scenario walk(env::ScenarioId::D3);
+    for (int i = 0; i < 500; ++i) {
+        const env::EnvState env = walk.next(rng);
+        const sim::ExecutionTarget &target =
+            scheduler.choose(request, env);
+        scheduler.feedback(system.run(translator, target, env, rng));
+    }
+    scheduler.finishEpisode();
+    scheduler.setExploration(false);
+
+    Table log({"Sentence", "Wi-Fi RSSI", "Decision", "Latency",
+               "Energy", "QoS met"});
+    int violations = 0;
+    double total_j = 0.0;
+    env::Scenario session(env::ScenarioId::D3);
+    const int sentences = 20;
+    for (int i = 1; i <= sentences; ++i) {
+        const env::EnvState env = session.next(rng);
+        const sim::ExecutionTarget &target =
+            scheduler.choose(request, env);
+        const sim::Outcome outcome =
+            system.run(translator, target, env, rng);
+        scheduler.feedback(outcome);
+        total_j += outcome.energyJ;
+        const bool met = outcome.latencyMs < request.qosMs;
+        if (!met) {
+            ++violations;
+        }
+        log.addRow({std::to_string(i),
+                    Table::num(env.rssiWlanDbm, 0) + " dBm",
+                    target.category(),
+                    Table::num(outcome.latencyMs, 1) + " ms",
+                    Table::num(outcome.energyJ * 1e3, 1) + " mJ",
+                    met ? "yes" : "NO"});
+    }
+    scheduler.finishEpisode();
+    log.print(std::cout);
+
+    const sim::ExecutionTarget cpu{
+        sim::TargetPlace::Local, platform::ProcKind::MobileCpu,
+        system.localDevice().cpu().maxVfIndex(), dnn::Precision::FP32};
+    const sim::Outcome on_cpu =
+        system.expected(translator, cpu, env::EnvState{});
+    std::cout << "\nAverage sentence energy "
+              << Table::num(total_j / sentences * 1e3, 1) << " mJ ("
+              << violations << "/" << sentences
+              << " QoS misses); running locally on the CPU would cost "
+              << Table::num(on_cpu.energyJ * 1e3, 0) << " mJ and "
+              << Table::num(on_cpu.latencyMs, 0)
+              << " ms per sentence.\n";
+    return 0;
+}

@@ -1,0 +1,241 @@
+#include "baselines/bayesopt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "baselines/features.h"
+#include "core/action_space.h"
+#include "dnn/accuracy.h"
+#include "util/logging.h"
+
+namespace autoscale::baselines {
+
+GaussianProcess::GaussianProcess(double gamma, double noise)
+    : gamma_(gamma), noise_(noise)
+{
+    AS_CHECK(gamma_ > 0.0);
+    AS_CHECK(noise_ > 0.0);
+}
+
+void
+GaussianProcess::fit(const std::vector<Vector> &x, const Vector &y)
+{
+    AS_CHECK(!x.empty());
+    AS_CHECK(x.size() == y.size());
+    points_ = x;
+    const std::size_t n = points_.size();
+    Matrix gram(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            const double k = std::exp(
+                -gamma_ * squaredDistance(points_[i], points_[j]));
+            gram(i, j) = k;
+            gram(j, i) = k;
+        }
+    }
+    gram.addDiagonal(noise_);
+    chol_ = std::make_unique<Cholesky>(gram);
+    AS_CHECK(chol_->ok());
+    alpha_ = chol_->solve(y);
+}
+
+Vector
+GaussianProcess::kernelColumn(const Vector &query) const
+{
+    Vector k(points_.size());
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        k[i] = std::exp(-gamma_ * squaredDistance(points_[i], query));
+    }
+    return k;
+}
+
+double
+GaussianProcess::mean(const Vector &query) const
+{
+    AS_CHECK(!points_.empty());
+    return dot(kernelColumn(query), alpha_);
+}
+
+double
+GaussianProcess::variance(const Vector &query) const
+{
+    AS_CHECK(!points_.empty());
+    const Vector k = kernelColumn(query);
+    const Vector v = chol_->solveLower(k);
+    const double reduction = dot(v, v);
+    return std::max(1.0 - reduction, 0.0);
+}
+
+double
+expectedImprovement(double mu, double sigma, double best)
+{
+    if (sigma <= 1e-12) {
+        return std::max(best - mu, 0.0);
+    }
+    const double z = (best - mu) / sigma;
+    // Standard normal pdf and cdf.
+    const double pdf =
+        std::exp(-0.5 * z * z) / std::sqrt(2.0 * 3.14159265358979323846);
+    const double cdf = 0.5 * std::erfc(-z / std::sqrt(2.0));
+    return (best - mu) * cdf + sigma * pdf;
+}
+
+BayesOptPolicy::BayesOptPolicy(const sim::InferenceSimulator &sim,
+                               int evaluationBudget)
+    : name_("BO"), sim_(sim), evaluationBudget_(evaluationBudget),
+      actions_(core::buildActionSpace(sim))
+{
+    AS_CHECK(evaluationBudget_ >= 6);
+}
+
+void
+BayesOptPolicy::train(const std::vector<const dnn::Network *> &networks,
+                      Rng &rng)
+{
+    const env::EnvState clean;
+    for (const dnn::Network *network : networks) {
+        // Feasible action pool for this network.
+        std::vector<std::size_t> pool;
+        for (std::size_t a = 0; a < actions_.size(); ++a) {
+            if (sim_.isFeasible(*network, actions_[a])) {
+                pool.push_back(a);
+            }
+        }
+        AS_CHECK(!pool.empty());
+
+        std::vector<Vector> x;
+        Vector log_energy;
+        Vector log_latency;
+        std::vector<bool> evaluated(actions_.size(), false);
+
+        auto evaluate = [&](std::size_t action_index) {
+            const sim::Outcome outcome = sim_.run(
+                *network, actions_[action_index], clean, rng);
+            AS_CHECK(outcome.feasible);
+            x.push_back(actionFeatureVector(actions_[action_index], sim_));
+            log_energy.push_back(
+                std::log(std::max(outcome.energyJ, 1e-9)));
+            log_latency.push_back(
+                std::log(std::max(outcome.latencyMs, 1e-3)));
+            evaluated[action_index] = true;
+        };
+
+        // Seed with a handful of random actions.
+        const int seeds =
+            std::min<int>(5, static_cast<int>(pool.size()));
+        for (int i = 0; i < seeds; ++i) {
+            std::size_t pick;
+            do {
+                pick = pool[rng.uniformInt(pool.size())];
+            } while (evaluated[pick]);
+            evaluate(pick);
+        }
+
+        Surrogates surrogates;
+        const int budget =
+            std::min<int>(evaluationBudget_,
+                          static_cast<int>(pool.size()));
+        for (int step = seeds; step < budget; ++step) {
+            surrogates.energy.fit(x, log_energy);
+            surrogates.latency.fit(x, log_latency);
+            const double incumbent =
+                *std::min_element(log_energy.begin(), log_energy.end());
+
+            // Expected improvement over the unevaluated pool.
+            double best_ei = -1.0;
+            std::size_t best_action = pool.front();
+            for (std::size_t a : pool) {
+                if (evaluated[a]) {
+                    continue;
+                }
+                const Vector features =
+                    actionFeatureVector(actions_[a], sim_);
+                const double ei = expectedImprovement(
+                    surrogates.energy.mean(features),
+                    std::sqrt(surrogates.energy.variance(features)),
+                    incumbent);
+                if (ei > best_ei) {
+                    best_ei = ei;
+                    best_action = a;
+                }
+            }
+            if (best_ei < 0.0) {
+                break; // pool exhausted
+            }
+            evaluate(best_action);
+        }
+        surrogates.energy.fit(x, log_energy);
+        surrogates.latency.fit(x, log_latency);
+        models_.insert_or_assign(network->name(), std::move(surrogates));
+    }
+}
+
+const BayesOptPolicy::Surrogates &
+BayesOptPolicy::surrogatesFor(const std::string &network) const
+{
+    const auto it = models_.find(network);
+    if (it == models_.end()) {
+        fatal("BayesOptPolicy: no surrogate for network '" + network + "'");
+    }
+    return it->second;
+}
+
+double
+BayesOptPolicy::predictEnergyJ(const dnn::Network &network,
+                               const sim::ExecutionTarget &action) const
+{
+    const Surrogates &models = surrogatesFor(network.name());
+    return std::exp(models.energy.mean(actionFeatureVector(action, sim_)));
+}
+
+double
+BayesOptPolicy::predictLatencyMs(const dnn::Network &network,
+                                 const sim::ExecutionTarget &action) const
+{
+    const Surrogates &models = surrogatesFor(network.name());
+    return std::exp(models.latency.mean(actionFeatureVector(action, sim_)));
+}
+
+Decision
+BayesOptPolicy::decide(const sim::InferenceRequest &request,
+                       const env::EnvState &, Rng &)
+{
+    const sim::ExecutionTarget *best_ok = nullptr;
+    double best_ok_energy = std::numeric_limits<double>::infinity();
+    const sim::ExecutionTarget *best_any = nullptr;
+    double best_any_energy = std::numeric_limits<double>::infinity();
+
+    for (const auto &action : actions_) {
+        if (!sim_.isFeasible(*request.network, action)) {
+            continue;
+        }
+        const double accuracy = dnn::inferenceAccuracy(
+            request.network->name(), action.precision);
+        if (accuracy < request.accuracyTargetPct) {
+            continue;
+        }
+        const double energy = predictEnergyJ(*request.network, action);
+        const double latency = predictLatencyMs(*request.network, action);
+        if (energy < best_any_energy) {
+            best_any_energy = energy;
+            best_any = &action;
+        }
+        if (latency < request.qosMs && energy < best_ok_energy) {
+            best_ok_energy = energy;
+            best_ok = &action;
+        }
+    }
+    const sim::ExecutionTarget *chosen =
+        best_ok != nullptr ? best_ok : best_any;
+    AS_CHECK(chosen != nullptr);
+    return makeTargetDecision(*chosen);
+}
+
+std::unique_ptr<BayesOptPolicy>
+makeBayesOptPolicy(const sim::InferenceSimulator &sim, int evaluationBudget)
+{
+    return std::make_unique<BayesOptPolicy>(sim, evaluationBudget);
+}
+
+} // namespace autoscale::baselines

@@ -1,0 +1,219 @@
+#include "baselines/classify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "core/action_space.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace autoscale::baselines {
+
+LinearSvmClassifier::LinearSvmClassifier(double lambda, int epochs,
+                                         std::uint64_t seed)
+    : lambda_(lambda), epochs_(epochs), seed_(seed)
+{
+    AS_CHECK(lambda_ > 0.0);
+    AS_CHECK(epochs_ >= 1);
+}
+
+void
+LinearSvmClassifier::fit(const std::vector<Vector> &x,
+                         const std::vector<int> &labels)
+{
+    AS_CHECK(!x.empty());
+    AS_CHECK(x.size() == labels.size());
+
+    classes_.clear();
+    for (int label : labels) {
+        if (std::find(classes_.begin(), classes_.end(), label)
+            == classes_.end()) {
+            classes_.push_back(label);
+        }
+    }
+    std::sort(classes_.begin(), classes_.end());
+
+    const std::size_t dim = x.front().size() + 1; // +1 bias
+    weights_.assign(classes_.size(), Vector(dim, 0.0));
+
+    Rng rng(seed_);
+    std::vector<std::size_t> order(x.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+        Vector &w = weights_[c];
+        std::size_t t = 1;
+        for (int epoch = 0; epoch < epochs_; ++epoch) {
+            // Shuffle for SGD.
+            for (std::size_t i = order.size(); i > 1; --i) {
+                std::swap(order[i - 1], order[rng.uniformInt(i)]);
+            }
+            for (std::size_t idx : order) {
+                const double eta =
+                    1.0 / (lambda_ * static_cast<double>(t));
+                ++t;
+                const double y =
+                    labels[idx] == classes_[c] ? 1.0 : -1.0;
+                // Margin with bias folded in as a constant-1 feature.
+                double margin = w[dim - 1];
+                for (std::size_t d = 0; d + 1 < dim; ++d) {
+                    margin += w[d] * x[idx][d];
+                }
+                margin *= y;
+                // Pegasos subgradient step.
+                for (std::size_t d = 0; d < dim; ++d) {
+                    w[d] *= 1.0 - eta * lambda_;
+                }
+                if (margin < 1.0) {
+                    for (std::size_t d = 0; d + 1 < dim; ++d) {
+                        w[d] += eta * y * x[idx][d];
+                    }
+                    w[dim - 1] += eta * y;
+                }
+            }
+        }
+    }
+}
+
+int
+LinearSvmClassifier::predict(const Vector &features) const
+{
+    AS_CHECK(!classes_.empty());
+    int best_class = classes_.front();
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+        const Vector &w = weights_[c];
+        AS_CHECK(w.size() == features.size() + 1);
+        double score = w.back();
+        for (std::size_t d = 0; d < features.size(); ++d) {
+            score += w[d] * features[d];
+        }
+        if (score > best_score) {
+            best_score = score;
+            best_class = classes_[c];
+        }
+    }
+    return best_class;
+}
+
+KnnClassifier::KnnClassifier(int k)
+    : k_(k)
+{
+    AS_CHECK(k_ >= 1);
+}
+
+void
+KnnClassifier::fit(const std::vector<Vector> &x,
+                   const std::vector<int> &labels)
+{
+    AS_CHECK(!x.empty());
+    AS_CHECK(x.size() == labels.size());
+    points_ = x;
+    labels_ = labels;
+}
+
+int
+KnnClassifier::predict(const Vector &features) const
+{
+    AS_CHECK(!points_.empty());
+    // Partial selection of the k nearest stored points.
+    std::vector<std::pair<double, int>> dist;
+    dist.reserve(points_.size());
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        dist.emplace_back(squaredDistance(points_[i], features),
+                          labels_[i]);
+    }
+    const std::size_t k =
+        std::min(static_cast<std::size_t>(k_), dist.size());
+    std::partial_sort(dist.begin(),
+                      dist.begin() + static_cast<std::ptrdiff_t>(k),
+                      dist.end());
+    std::map<int, int> votes;
+    for (std::size_t i = 0; i < k; ++i) {
+        ++votes[dist[i].second];
+    }
+    // Majority vote; ties break toward the nearest neighbor's label.
+    int best_label = dist.front().second;
+    int best_votes = votes[best_label];
+    for (const auto &[label, count] : votes) {
+        if (count > best_votes) {
+            best_votes = count;
+            best_label = label;
+        }
+    }
+    return best_label;
+}
+
+ClassificationPolicy::ClassificationPolicy(std::string name,
+                                           const sim::InferenceSimulator &sim,
+                                           Backend backend)
+    : name_(std::move(name)), sim_(sim),
+      actions_(core::buildActionSpace(sim)), backend_(backend)
+{
+}
+
+void
+ClassificationPolicy::train(const TrainingSet &data)
+{
+    AS_CHECK(!data.samples.empty());
+    std::vector<Vector> x;
+    std::vector<int> labels;
+    x.reserve(data.samples.size());
+    labels.reserve(data.samples.size());
+    for (const auto &sample : data.samples) {
+        x.push_back(sample.stateFeatures);
+        labels.push_back(sample.optimalAction);
+    }
+    if (backend_ == Backend::Svm) {
+        svm_.fit(x, labels);
+    } else {
+        knn_.fit(x, labels);
+    }
+    trained_ = true;
+}
+
+int
+ClassificationPolicy::predictAction(const sim::InferenceRequest &request,
+                                    const env::EnvState &env) const
+{
+    AS_CHECK(trained_);
+    const Vector features = stateFeatureVector(*request.network, env);
+    const int predicted = backend_ == Backend::Svm
+        ? svm_.predict(features) : knn_.predict(features);
+    AS_CHECK(predicted >= 0
+             && predicted < static_cast<int>(actions_.size()));
+    return predicted;
+}
+
+Decision
+ClassificationPolicy::decide(const sim::InferenceRequest &request,
+                             const env::EnvState &env, Rng &)
+{
+    int action = predictAction(request, env);
+    // If the classifier names a target the middleware cannot run for
+    // this network (e.g. DSP for MobileBERT), fall back to the CPU.
+    if (!sim_.isFeasible(*request.network,
+                         actions_[static_cast<std::size_t>(action)])) {
+        action = core::findEdgeCpuFp32Action(actions_, sim_);
+    }
+    return makeTargetDecision(actions_[static_cast<std::size_t>(action)]);
+}
+
+std::unique_ptr<ClassificationPolicy>
+makeSvmPolicy(const sim::InferenceSimulator &sim)
+{
+    return std::make_unique<ClassificationPolicy>(
+        "SVM", sim, ClassificationPolicy::Backend::Svm);
+}
+
+std::unique_ptr<ClassificationPolicy>
+makeKnnPolicy(const sim::InferenceSimulator &sim)
+{
+    return std::make_unique<ClassificationPolicy>(
+        "KNN", sim, ClassificationPolicy::Backend::Knn);
+}
+
+} // namespace autoscale::baselines

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Classification-based prediction approaches of Section III-C: a
+ * multiclass support vector machine [102] (one-vs-rest linear SVMs
+ * trained with Pegasos-style stochastic subgradient descent) and a
+ * k-nearest-neighbor classifier [114]. Both predict the optimal
+ * execution target directly from the state features — which is exactly
+ * why the paper finds them fragile: they decide "regardless of the
+ * absolute energy and latency magnitudes".
+ */
+
+#ifndef AUTOSCALE_BASELINES_CLASSIFY_H_
+#define AUTOSCALE_BASELINES_CLASSIFY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/features.h"
+#include "baselines/policy.h"
+#include "util/linalg.h"
+
+namespace autoscale::baselines {
+
+/** One-vs-rest linear SVM multiclass classifier. */
+class LinearSvmClassifier {
+  public:
+    /**
+     * @param lambda Pegasos regularization.
+     * @param epochs Passes over the training set per class.
+     * @param seed Shuffling seed.
+     */
+    LinearSvmClassifier(double lambda = 1e-3, int epochs = 30,
+                        std::uint64_t seed = 11);
+
+    /** Fit on feature rows @p x with integer labels @p labels. */
+    void fit(const std::vector<Vector> &x, const std::vector<int> &labels);
+
+    /** Predicted label for @p features. */
+    int predict(const Vector &features) const;
+
+  private:
+    double lambda_;
+    int epochs_;
+    std::uint64_t seed_;
+    std::vector<int> classes_;
+    std::vector<Vector> weights_; // one weight vector (with bias) per class
+};
+
+/** k-nearest-neighbor classifier over stored samples. */
+class KnnClassifier {
+  public:
+    explicit KnnClassifier(int k = 5);
+
+    void fit(const std::vector<Vector> &x, const std::vector<int> &labels);
+
+    int predict(const Vector &features) const;
+
+  private:
+    int k_;
+    std::vector<Vector> points_;
+    std::vector<int> labels_;
+};
+
+/**
+ * Scheduling policy wrapping a classifier that maps state features to
+ * the oracle-optimal action id. SVM and KNN of Fig. 7 are instances.
+ */
+class ClassificationPolicy : public SchedulingPolicy {
+  public:
+    /** Classifier backend selector. */
+    enum class Backend { Svm, Knn };
+
+    ClassificationPolicy(std::string name,
+                         const sim::InferenceSimulator &sim,
+                         Backend backend);
+
+    /** Fit the classifier on (state features -> optimal action). */
+    void train(const TrainingSet &data);
+
+    const std::string &name() const override { return name_; }
+
+    Decision decide(const sim::InferenceRequest &request,
+                    const env::EnvState &env, Rng &rng) override;
+
+    /** Predicted optimal action id for (request, env). */
+    int predictAction(const sim::InferenceRequest &request,
+                      const env::EnvState &env) const;
+
+  private:
+    std::string name_;
+    const sim::InferenceSimulator &sim_;
+    std::vector<sim::ExecutionTarget> actions_;
+    Backend backend_;
+    LinearSvmClassifier svm_;
+    KnnClassifier knn_;
+    bool trained_ = false;
+};
+
+/** Fig. 7 "SVM". */
+std::unique_ptr<ClassificationPolicy> makeSvmPolicy(
+    const sim::InferenceSimulator &sim);
+
+/** Fig. 7 "KNN". */
+std::unique_ptr<ClassificationPolicy> makeKnnPolicy(
+    const sim::InferenceSimulator &sim);
+
+} // namespace autoscale::baselines
+
+#endif // AUTOSCALE_BASELINES_CLASSIFY_H_

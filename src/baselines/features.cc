@@ -1,0 +1,179 @@
+#include "baselines/features.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/action_space.h"
+#include "sim/qos.h"
+#include "util/logging.h"
+
+namespace autoscale::baselines {
+
+namespace {
+
+/**
+ * The "optimal action" label a profiling campaign would produce: one
+ * noisy measurement per action, then the argmin-energy action meeting
+ * the QoS and accuracy constraints. Near-ties flip between profiling
+ * runs, which is the label noise real classification-based schedulers
+ * (Section III-C) inherit.
+ */
+int
+empiricalOptimalAction(const sim::InferenceSimulator &sim,
+                       const std::vector<sim::ExecutionTarget> &actions,
+                       const sim::InferenceRequest &request,
+                       const env::EnvState &env, Rng &rng)
+{
+    int best_ok = -1;
+    double best_ok_energy = std::numeric_limits<double>::infinity();
+    int best_any = 0;
+    double best_any_energy = std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < actions.size(); ++a) {
+        const sim::Outcome outcome =
+            sim.run(*request.network, actions[a], env, rng);
+        if (!outcome.feasible
+            || outcome.accuracyPct < request.accuracyTargetPct) {
+            continue;
+        }
+        if (outcome.energyJ < best_any_energy) {
+            best_any_energy = outcome.energyJ;
+            best_any = static_cast<int>(a);
+        }
+        if (outcome.latencyMs < request.qosMs
+            && outcome.energyJ < best_ok_energy) {
+            best_ok_energy = outcome.energyJ;
+            best_ok = static_cast<int>(a);
+        }
+    }
+    return best_ok >= 0 ? best_ok : best_any;
+}
+
+} // namespace
+
+Vector
+stateFeatureVector(const dnn::Network &network, const env::EnvState &env)
+{
+    // Normalized to roughly [0, 1] over the workload/variance ranges.
+    return Vector{
+        static_cast<double>(network.numConv()) / 100.0,
+        static_cast<double>(network.numFc()) / 20.0,
+        static_cast<double>(network.numRc()) / 24.0,
+        std::log10(std::max(network.totalMacsMillions(), 1.0)) / 4.0,
+        env.coCpuUtil,
+        env.coMemUtil,
+        (env.rssiWlanDbm + 95.0) / 55.0,
+        (env.rssiP2pDbm + 95.0) / 55.0,
+    };
+}
+
+Vector
+actionFeatureVector(const sim::ExecutionTarget &action,
+                    const sim::InferenceSimulator &sim)
+{
+    const platform::Device &device = sim.deviceAt(action.place);
+    const platform::Processor *proc = device.processor(action.proc);
+    AS_CHECK(proc != nullptr);
+    const double vf_frac = proc->numVfSteps() <= 1
+        ? 1.0
+        : static_cast<double>(action.vfIndex)
+            / static_cast<double>(proc->maxVfIndex());
+
+    Vector features(9, 0.0);
+    // Place one-hot.
+    features[static_cast<int>(action.place)] = 1.0;
+    // Processor-class one-hot (CPU / GPU / NN-accelerator).
+    switch (action.proc) {
+      case platform::ProcKind::MobileCpu:
+      case platform::ProcKind::ServerCpu:
+        features[3] = 1.0;
+        break;
+      case platform::ProcKind::MobileGpu:
+      case platform::ProcKind::ServerGpu:
+        features[4] = 1.0;
+        break;
+      case platform::ProcKind::MobileDsp:
+      case platform::ProcKind::MobileNpu:
+      case platform::ProcKind::ServerTpu:
+        features[5] = 1.0;
+        break;
+    }
+    features[6] = vf_frac;
+    features[7] = dnn::bytesPerElement(action.precision) / 4.0;
+    // Interaction proxy: absolute top frequency of the chosen processor.
+    features[8] = proc->freqGhz(proc->maxVfIndex()) / 3.0;
+    return features;
+}
+
+Vector
+combinedFeatureVector(const dnn::Network &network, const env::EnvState &env,
+                      const sim::ExecutionTarget &action,
+                      const sim::InferenceSimulator &sim)
+{
+    Vector combined{1.0}; // bias
+    const Vector state = stateFeatureVector(network, env);
+    const Vector act = actionFeatureVector(action, sim);
+    combined.insert(combined.end(), state.begin(), state.end());
+    combined.insert(combined.end(), act.begin(), act.end());
+    // First-order interactions between NN size and target class help the
+    // linear models: size x {cpu, gpu, dsp, cloud}.
+    const double size = state[3];
+    combined.push_back(size * act[3]);
+    combined.push_back(size * act[4]);
+    combined.push_back(size * act[5]);
+    combined.push_back(size * act[2]); // size x cloud place
+    return combined;
+}
+
+TrainingSet
+generateTrainingSet(const sim::InferenceSimulator &sim,
+                    const std::vector<const dnn::Network *> &networks,
+                    const std::vector<env::ScenarioId> &scenarios,
+                    int samplesPerNetwork, Rng &rng)
+{
+    AS_CHECK(!networks.empty());
+    AS_CHECK(!scenarios.empty());
+    AS_CHECK(samplesPerNetwork > 0);
+
+    const auto actions = core::buildActionSpace(sim);
+    TrainingSet set;
+
+    for (const dnn::Network *network : networks) {
+        const sim::InferenceRequest request = sim::makeRequest(*network);
+        for (const env::ScenarioId scenario_id : scenarios) {
+            env::Scenario scenario(scenario_id);
+            for (int i = 0; i < samplesPerNetwork; ++i) {
+                const env::EnvState env = scenario.next(rng);
+
+                // Random feasible action.
+                int action_id;
+                sim::Outcome outcome;
+                do {
+                    action_id = static_cast<int>(
+                        rng.uniformInt(actions.size()));
+                    outcome = sim.run(
+                        *network,
+                        actions[static_cast<std::size_t>(action_id)], env,
+                        rng);
+                } while (!outcome.feasible);
+
+                TrainingSample sample;
+                sample.stateFeatures = stateFeatureVector(*network, env);
+                sample.actionFeatures = actionFeatureVector(
+                    actions[static_cast<std::size_t>(action_id)], sim);
+                sample.combinedFeatures = combinedFeatureVector(
+                    *network, env,
+                    actions[static_cast<std::size_t>(action_id)], sim);
+                sample.actionId = action_id;
+                sample.latencyMs = outcome.latencyMs;
+                sample.energyJ = outcome.energyJ;
+
+                sample.optimalAction = empiricalOptimalAction(
+                    sim, actions, request, env, rng);
+                set.samples.push_back(std::move(sample));
+            }
+        }
+    }
+    return set;
+}
+
+} // namespace autoscale::baselines

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared feature extraction and training-data generation for the
+ * prediction-based approaches of Section III-C (Fig. 7). Regressors
+ * consume (state, action) feature vectors with measured latency/energy
+ * labels; classifiers consume state features with the oracle's optimal
+ * action as the class label.
+ */
+
+#ifndef AUTOSCALE_BASELINES_FEATURES_H_
+#define AUTOSCALE_BASELINES_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/oracle.h"
+#include "dnn/network.h"
+#include "env/env_state.h"
+#include "env/scenario.h"
+#include "sim/simulator.h"
+#include "sim/target.h"
+#include "util/linalg.h"
+#include "util/rng.h"
+
+namespace autoscale::baselines {
+
+/** Continuous, normalized Table-I features (8 dims). */
+Vector stateFeatureVector(const dnn::Network &network,
+                          const env::EnvState &env);
+
+/** Action descriptor features: place, processor, V/F fraction, precision. */
+Vector actionFeatureVector(const sim::ExecutionTarget &action,
+                           const sim::InferenceSimulator &sim);
+
+/** Concatenated [1, state, action] regression input. */
+Vector combinedFeatureVector(const dnn::Network &network,
+                             const env::EnvState &env,
+                             const sim::ExecutionTarget &action,
+                             const sim::InferenceSimulator &sim);
+
+/** One profiled execution plus its oracle label. */
+struct TrainingSample {
+    Vector stateFeatures;
+    Vector actionFeatures;
+    Vector combinedFeatures;
+    int actionId = 0;
+    double latencyMs = 0.0;
+    double energyJ = 0.0;
+    int optimalAction = 0;
+};
+
+/** A profiling corpus for predictor training. */
+struct TrainingSet {
+    std::vector<TrainingSample> samples;
+};
+
+/**
+ * Profile @p samplesPerNetwork random feasible actions per network
+ * across the given scenarios, recording noisy measurements and the
+ * oracle's optimal action for each observed environment.
+ *
+ * @param sim The edge-cloud system.
+ * @param networks Workloads to profile.
+ * @param scenarios Environments to sample runtime variance from.
+ * @param samplesPerNetwork Samples per (network, scenario).
+ * @param rng Sampling generator.
+ */
+TrainingSet generateTrainingSet(
+    const sim::InferenceSimulator &sim,
+    const std::vector<const dnn::Network *> &networks,
+    const std::vector<env::ScenarioId> &scenarios, int samplesPerNetwork,
+    Rng &rng);
+
+} // namespace autoscale::baselines
+
+#endif // AUTOSCALE_BASELINES_FEATURES_H_

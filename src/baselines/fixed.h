@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The fixed baselines of Section V-A:
+ *
+ *  - Edge (CPU FP32): always the local CPU at top frequency, FP32.
+ *  - Edge (Best): the most energy-efficient local processor for each
+ *    NN, profiled offline under no runtime variance.
+ *  - Cloud: always offload to the cloud (server GPU).
+ *  - Connected Edge: always offload to the locally connected device
+ *    (its best processor for the NN, profiled offline).
+ */
+
+#ifndef AUTOSCALE_BASELINES_FIXED_H_
+#define AUTOSCALE_BASELINES_FIXED_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/policy.h"
+
+namespace autoscale::baselines {
+
+/** Always the local CPU at top frequency, FP32. */
+std::unique_ptr<SchedulingPolicy> makeEdgeCpuFp32Policy(
+    const sim::InferenceSimulator &sim);
+
+/**
+ * Per-NN best local processor at top frequency, profiled offline with no
+ * variance (CPU FP32, GPU FP32, or DSP INT8, whichever is most energy
+ * efficient while meeting the request's constraints).
+ */
+std::unique_ptr<SchedulingPolicy> makeEdgeBestPolicy(
+    const sim::InferenceSimulator &sim);
+
+/** Always the cloud server's GPU. */
+std::unique_ptr<SchedulingPolicy> makeCloudPolicy(
+    const sim::InferenceSimulator &sim);
+
+/** Always the connected edge device (its best processor per NN). */
+std::unique_ptr<SchedulingPolicy> makeConnectedEdgePolicy(
+    const sim::InferenceSimulator &sim);
+
+} // namespace autoscale::baselines
+
+#endif // AUTOSCALE_BASELINES_FIXED_H_

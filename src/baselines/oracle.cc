@@ -1,0 +1,87 @@
+#include "baselines/oracle.h"
+
+#include <limits>
+
+#include "core/action_space.h"
+#include "util/logging.h"
+
+namespace autoscale::baselines {
+
+OptOracle::OptOracle(const sim::InferenceSimulator &sim)
+    : sim_(sim), name_("Opt"), actions_(core::buildActionSpace(sim))
+{
+}
+
+sim::ExecutionTarget
+OptOracle::optimalTarget(const sim::InferenceRequest &request,
+                         const env::EnvState &env) const
+{
+    AS_CHECK(request.network != nullptr);
+    const sim::ExecutionTarget *best_ok = nullptr;
+    double best_ok_energy = std::numeric_limits<double>::infinity();
+    const sim::ExecutionTarget *best_acc = nullptr;
+    double best_acc_energy = std::numeric_limits<double>::infinity();
+    const sim::ExecutionTarget *best_any = nullptr;
+    double best_any_accuracy = -1.0;
+    double best_any_energy = std::numeric_limits<double>::infinity();
+
+    for (const auto &action : actions_) {
+        const sim::Outcome outcome =
+            sim_.expected(*request.network, action, env);
+        if (!outcome.feasible) {
+            continue;
+        }
+        // Fallback ranking when nothing satisfies the accuracy target:
+        // maximize accuracy, then minimize energy.
+        if (outcome.accuracyPct > best_any_accuracy + 1e-9
+            || (outcome.accuracyPct > best_any_accuracy - 1e-9
+                && outcome.estimatedEnergyJ < best_any_energy)) {
+            best_any_accuracy = std::max(best_any_accuracy,
+                                         outcome.accuracyPct);
+            best_any_energy = outcome.estimatedEnergyJ;
+            best_any = &action;
+        }
+        if (outcome.accuracyPct < request.accuracyTargetPct) {
+            continue;
+        }
+        if (outcome.estimatedEnergyJ < best_acc_energy) {
+            best_acc_energy = outcome.estimatedEnergyJ;
+            best_acc = &action;
+        }
+        if (outcome.latencyMs < request.qosMs
+            && outcome.estimatedEnergyJ < best_ok_energy) {
+            best_ok_energy = outcome.estimatedEnergyJ;
+            best_ok = &action;
+        }
+    }
+    if (best_ok != nullptr) {
+        return *best_ok;
+    }
+    if (best_acc != nullptr) {
+        return *best_acc;
+    }
+    AS_CHECK(best_any != nullptr);
+    return *best_any;
+}
+
+sim::Outcome
+OptOracle::optimalOutcome(const sim::InferenceRequest &request,
+                          const env::EnvState &env) const
+{
+    return sim_.expected(*request.network, optimalTarget(request, env), env);
+}
+
+Decision
+OptOracle::decide(const sim::InferenceRequest &request,
+                  const env::EnvState &env, Rng &)
+{
+    return makeTargetDecision(optimalTarget(request, env));
+}
+
+std::unique_ptr<OptOracle>
+makeOptOracle(const sim::InferenceSimulator &sim)
+{
+    return std::make_unique<OptOracle>(sim);
+}
+
+} // namespace autoscale::baselines

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The Opt oracle of Section V-A: for every inference it exhaustively
+ * evaluates the whole augmented action space (the same ~66 actions per
+ * device AutoScale learns over) with the noiseless system model and
+ * picks the setup with the highest energy efficiency that meets the QoS
+ * and accuracy requirements.
+ */
+
+#ifndef AUTOSCALE_BASELINES_ORACLE_H_
+#define AUTOSCALE_BASELINES_ORACLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/policy.h"
+
+namespace autoscale::baselines {
+
+/**
+ * Exhaustive-search oracle over @p sim's action space. Also usable
+ * directly (without the policy interface) to label training data for
+ * the prediction-based approaches.
+ */
+class OptOracle : public SchedulingPolicy {
+  public:
+    explicit OptOracle(const sim::InferenceSimulator &sim);
+
+    const std::string &name() const override { return name_; }
+
+    Decision decide(const sim::InferenceRequest &request,
+                    const env::EnvState &env, Rng &rng) override;
+
+    /** The optimal target for (request, env), by exhaustive search. */
+    sim::ExecutionTarget optimalTarget(const sim::InferenceRequest &request,
+                                       const env::EnvState &env) const;
+
+    /** Expected outcome of the optimal target. */
+    sim::Outcome optimalOutcome(const sim::InferenceRequest &request,
+                                const env::EnvState &env) const;
+
+    const std::vector<sim::ExecutionTarget> &actions() const
+    { return actions_; }
+
+  private:
+    const sim::InferenceSimulator &sim_;
+    std::string name_;
+    std::vector<sim::ExecutionTarget> actions_;
+};
+
+/** Factory for symmetry with the other baselines. */
+std::unique_ptr<OptOracle> makeOptOracle(const sim::InferenceSimulator &sim);
+
+} // namespace autoscale::baselines
+
+#endif // AUTOSCALE_BASELINES_ORACLE_H_

@@ -1,0 +1,161 @@
+#include "baselines/partitioners.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace autoscale::baselines {
+
+namespace {
+
+/**
+ * The partitioners predict with the current link state (they measure
+ * bandwidth) but with interference features blanked — their regression
+ * models were fitted on interference-free profiles.
+ */
+env::EnvState
+blindToInterference(const env::EnvState &env)
+{
+    env::EnvState predicted = env;
+    predicted.coCpuUtil = 0.0;
+    predicted.coMemUtil = 0.0;
+    predicted.thermalFactor = 1.0;
+    return predicted;
+}
+
+/** Candidate local halves a partitioner may use. */
+struct LocalChoice {
+    platform::ProcKind proc;
+    dnn::Precision precision;
+};
+
+class PartitionerPolicy : public SchedulingPolicy {
+  public:
+    PartitionerPolicy(std::string name, const sim::InferenceSimulator &sim,
+                      std::vector<LocalChoice> localChoices)
+        : name_(std::move(name)), sim_(sim),
+          localChoices_(std::move(localChoices))
+    {
+        AS_CHECK(!localChoices_.empty());
+    }
+
+    const std::string &name() const override { return name_; }
+
+    Decision
+    decide(const sim::InferenceRequest &request, const env::EnvState &env,
+           Rng &) override
+    {
+        const env::EnvState predicted = blindToInterference(env);
+
+        // The split search is deterministic given the network and the
+        // observed link state (the models are interference-blind), so
+        // memoize on (network, quantized RSSI).
+        const CacheKey key{request.network->name(),
+                           static_cast<int>(std::lround(env.rssiWlanDbm)),
+                           static_cast<int>(std::lround(env.rssiP2pDbm))};
+        const auto cached = cache_.find(key);
+        if (cached != cache_.end()) {
+            return makePartitionDecision(cached->second);
+        }
+        const std::size_t num_layers = request.network->layers().size();
+
+        sim::PartitionSpec best;
+        double best_energy = std::numeric_limits<double>::infinity();
+        bool best_meets_qos = false;
+        bool found = false;
+
+        for (const LocalChoice &choice : localChoices_) {
+            const platform::Processor *proc =
+                sim_.localDevice().processor(choice.proc);
+            if (proc == nullptr) {
+                continue;
+            }
+            sim::PartitionSpec spec;
+            spec.localProc = choice.proc;
+            spec.localPrecision = choice.precision;
+            spec.vfIndex = proc->maxVfIndex();
+            spec.remotePlace = sim::TargetPlace::Cloud;
+            for (std::size_t split = 0; split <= num_layers; ++split) {
+                spec.splitLayer = split;
+                const sim::Outcome predicted_outcome =
+                    sim_.expectedPartitioned(*request.network, spec,
+                                             predicted);
+                if (!predicted_outcome.feasible) {
+                    continue;
+                }
+                if (predicted_outcome.accuracyPct
+                    < request.accuracyTargetPct) {
+                    continue;
+                }
+                const bool meets_qos =
+                    predicted_outcome.latencyMs < request.qosMs;
+                // Prefer QoS-meeting splits; among equals, min energy.
+                const bool better = (meets_qos && !best_meets_qos)
+                    || (meets_qos == best_meets_qos
+                        && predicted_outcome.estimatedEnergyJ
+                            < best_energy);
+                if (!found || better) {
+                    best = spec;
+                    best_energy = predicted_outcome.estimatedEnergyJ;
+                    best_meets_qos = meets_qos;
+                    found = true;
+                }
+            }
+        }
+        AS_CHECK(found);
+        cache_.emplace(key, best);
+        return makePartitionDecision(best);
+    }
+
+  private:
+    using CacheKey = std::tuple<std::string, int, int>;
+
+    std::string name_;
+    const sim::InferenceSimulator &sim_;
+    std::vector<LocalChoice> localChoices_;
+    std::map<CacheKey, sim::PartitionSpec> cache_;
+};
+
+} // namespace
+
+std::unique_ptr<SchedulingPolicy>
+makeNeuroSurgeonPolicy(const sim::InferenceSimulator &sim)
+{
+    // NeuroSurgeon partitions between the mobile CPU and the cloud.
+    return std::make_unique<PartitionerPolicy>(
+        "NeuroSurgeon", sim,
+        std::vector<LocalChoice>{
+            {platform::ProcKind::MobileCpu, dnn::Precision::FP32}});
+}
+
+std::unique_ptr<SchedulingPolicy>
+makeMosaicPolicy(const sim::InferenceSimulator &sim)
+{
+    // MOSAIC additionally exploits local heterogeneity (GPU/DSP slices
+    // and processor-friendly quantization).
+    std::vector<LocalChoice> choices{
+        {platform::ProcKind::MobileCpu, dnn::Precision::FP32},
+        {platform::ProcKind::MobileCpu, dnn::Precision::INT8},
+    };
+    if (sim.localDevice().hasGpu()) {
+        choices.push_back(
+            {platform::ProcKind::MobileGpu, dnn::Precision::FP16});
+    }
+    if (sim.localDevice().hasDsp()) {
+        choices.push_back(
+            {platform::ProcKind::MobileDsp, dnn::Precision::INT8});
+    }
+    if (sim.localDevice().hasAccelerator()) {
+        choices.push_back(
+            {platform::ProcKind::MobileNpu, dnn::Precision::INT8});
+    }
+    return std::make_unique<PartitionerPolicy>("MOSAIC", sim,
+                                               std::move(choices));
+}
+
+} // namespace autoscale::baselines

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Layer-granularity offloading prior work compared in Fig. 9:
+ *
+ *  - NeuroSurgeon [53]: per-layer latency/energy prediction models pick
+ *    the split point between the local CPU and the cloud; it observes
+ *    the current wireless bandwidth but its regression models were
+ *    calibrated without on-device interference.
+ *  - MOSAIC [42]: heterogeneity-, communication-, and constraint-aware
+ *    slicing — like NeuroSurgeon but also chooses the best local
+ *    processor (CPU/GPU/DSP) and may keep the whole model local.
+ *
+ * Both are blind to co-runner interference and thermal state, which is
+ * the gap AutoScale exploits (Section VI-A: 1.9x and 1.2x).
+ */
+
+#ifndef AUTOSCALE_BASELINES_PARTITIONERS_H_
+#define AUTOSCALE_BASELINES_PARTITIONERS_H_
+
+#include <memory>
+
+#include "baselines/policy.h"
+
+namespace autoscale::baselines {
+
+/** NeuroSurgeon-style CPU/cloud layer partitioning. */
+std::unique_ptr<SchedulingPolicy> makeNeuroSurgeonPolicy(
+    const sim::InferenceSimulator &sim);
+
+/** MOSAIC-style heterogeneous layer slicing. */
+std::unique_ptr<SchedulingPolicy> makeMosaicPolicy(
+    const sim::InferenceSimulator &sim);
+
+} // namespace autoscale::baselines
+
+#endif // AUTOSCALE_BASELINES_PARTITIONERS_H_

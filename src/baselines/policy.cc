@@ -1,0 +1,61 @@
+#include "baselines/policy.h"
+
+#include "util/logging.h"
+
+namespace autoscale::baselines {
+
+std::string
+Decision::category() const
+{
+    if (!partitioned) {
+        return target.category();
+    }
+    return "Partitioned (" + std::string(
+        sim::targetPlaceName(partition.remotePlace)) + ")";
+}
+
+Decision
+makeTargetDecision(const sim::ExecutionTarget &target)
+{
+    Decision decision;
+    decision.partitioned = false;
+    decision.target = target;
+    return decision;
+}
+
+Decision
+makePartitionDecision(const sim::PartitionSpec &partition)
+{
+    Decision decision;
+    decision.partitioned = true;
+    decision.partition = partition;
+    return decision;
+}
+
+sim::Outcome
+executeDecision(const sim::InferenceSimulator &sim,
+                const sim::InferenceRequest &request,
+                const Decision &decision, const env::EnvState &env, Rng &rng)
+{
+    AS_CHECK(request.network != nullptr);
+    if (decision.partitioned) {
+        return sim.runPartitioned(*request.network, decision.partition, env,
+                                  rng);
+    }
+    return sim.run(*request.network, decision.target, env, rng);
+}
+
+sim::Outcome
+expectedDecision(const sim::InferenceSimulator &sim,
+                 const sim::InferenceRequest &request,
+                 const Decision &decision, const env::EnvState &env)
+{
+    AS_CHECK(request.network != nullptr);
+    if (decision.partitioned) {
+        return sim.expectedPartitioned(*request.network, decision.partition,
+                                       env);
+    }
+    return sim.expected(*request.network, decision.target, env);
+}
+
+} // namespace autoscale::baselines

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Common interface for every scheduling policy evaluated against
+ * AutoScale: the fixed baselines of Section V-A (Edge CPU FP32,
+ * Edge Best, Cloud, Connected Edge), the Opt oracle, the Fig. 7
+ * prediction-based approaches (LR, SVR, SVM, KNN, BO), and the
+ * layer-partitioning prior work (MOSAIC, NeuroSurgeon). AutoScale
+ * itself is adapted to this interface in the harness.
+ */
+
+#ifndef AUTOSCALE_BASELINES_POLICY_H_
+#define AUTOSCALE_BASELINES_POLICY_H_
+
+#include <string>
+
+#include "env/env_state.h"
+#include "sim/qos.h"
+#include "sim/simulator.h"
+#include "sim/target.h"
+#include "util/rng.h"
+
+namespace autoscale::baselines {
+
+/** A scheduling decision: a whole-model target or a layer partition. */
+struct Decision {
+    bool partitioned = false;
+    sim::ExecutionTarget target;
+    sim::PartitionSpec partition;
+
+    /** Coarse category for decision-distribution reports (Fig. 13). */
+    std::string category() const;
+};
+
+/** Whole-model decision helper. */
+Decision makeTargetDecision(const sim::ExecutionTarget &target);
+
+/** Partitioned decision helper. */
+Decision makePartitionDecision(const sim::PartitionSpec &partition);
+
+/** Interface implemented by every scheduler under evaluation. */
+class SchedulingPolicy {
+  public:
+    virtual ~SchedulingPolicy() = default;
+
+    /** Display name for reports. */
+    virtual const std::string &name() const = 0;
+
+    /** Decide where the next inference runs. */
+    virtual Decision decide(const sim::InferenceRequest &request,
+                            const env::EnvState &env, Rng &rng) = 0;
+
+    /** Observe the measured result of the last decision (optional). */
+    virtual void feedback(const sim::Outcome &outcome) { (void)outcome; }
+
+    /** Episode boundary (optional). */
+    virtual void finishEpisode() {}
+
+    /** Exploration on/off for learning policies (no-op otherwise). */
+    virtual void setExploration(bool enabled) { (void)enabled; }
+
+    /** Learning updates on/off for learning policies (no-op otherwise). */
+    virtual void setLearning(bool enabled) { (void)enabled; }
+};
+
+/** Execute @p decision on @p sim with measurement noise. */
+sim::Outcome executeDecision(const sim::InferenceSimulator &sim,
+                             const sim::InferenceRequest &request,
+                             const Decision &decision,
+                             const env::EnvState &env, Rng &rng);
+
+/** Noiseless expected outcome of @p decision. */
+sim::Outcome expectedDecision(const sim::InferenceSimulator &sim,
+                              const sim::InferenceRequest &request,
+                              const Decision &decision,
+                              const env::EnvState &env);
+
+} // namespace autoscale::baselines
+
+#endif // AUTOSCALE_BASELINES_POLICY_H_

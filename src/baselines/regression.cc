@@ -1,0 +1,205 @@
+#include "baselines/regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/action_space.h"
+#include "dnn/accuracy.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace autoscale::baselines {
+
+LinearRegressor::LinearRegressor(double ridge)
+    : ridge_(ridge)
+{
+    AS_CHECK(ridge_ >= 0.0);
+}
+
+void
+LinearRegressor::fit(const std::vector<Vector> &x, const Vector &y)
+{
+    AS_CHECK(!x.empty());
+    AS_CHECK(x.size() == y.size());
+    weights_ = ridgeLeastSquares(Matrix::fromRows(x), y, ridge_);
+}
+
+double
+LinearRegressor::predict(const Vector &features) const
+{
+    AS_CHECK(!weights_.empty());
+    return dot(weights_, features);
+}
+
+KernelRidgeRegressor::KernelRidgeRegressor(double gamma, double ridge,
+                                           std::size_t maxPoints,
+                                           std::uint64_t seed)
+    : gamma_(gamma), ridge_(ridge), maxPoints_(maxPoints), seed_(seed)
+{
+    AS_CHECK(gamma_ > 0.0);
+    AS_CHECK(ridge_ > 0.0);
+    AS_CHECK(maxPoints_ >= 2);
+}
+
+void
+KernelRidgeRegressor::fit(const std::vector<Vector> &x, const Vector &y)
+{
+    AS_CHECK(!x.empty());
+    AS_CHECK(x.size() == y.size());
+
+    // Subsample when the corpus exceeds the kernel budget.
+    std::vector<std::size_t> keep(x.size());
+    std::iota(keep.begin(), keep.end(), 0);
+    if (x.size() > maxPoints_) {
+        Rng rng(seed_);
+        for (std::size_t i = 0; i < maxPoints_; ++i) {
+            const std::size_t j =
+                i + rng.uniformInt(keep.size() - i);
+            std::swap(keep[i], keep[j]);
+        }
+        keep.resize(maxPoints_);
+    }
+
+    points_.clear();
+    Vector targets;
+    points_.reserve(keep.size());
+    targets.reserve(keep.size());
+    for (std::size_t idx : keep) {
+        points_.push_back(x[idx]);
+        targets.push_back(y[idx]);
+    }
+
+    const std::size_t n = points_.size();
+    Matrix gram(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            const double k = std::exp(
+                -gamma_ * squaredDistance(points_[i], points_[j]));
+            gram(i, j) = k;
+            gram(j, i) = k;
+        }
+    }
+    gram.addDiagonal(ridge_);
+    Cholesky chol(gram);
+    AS_CHECK(chol.ok());
+    alpha_ = chol.solve(targets);
+}
+
+double
+KernelRidgeRegressor::predict(const Vector &features) const
+{
+    AS_CHECK(!points_.empty());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        sum += alpha_[i]
+            * std::exp(-gamma_ * squaredDistance(points_[i], features));
+    }
+    return sum;
+}
+
+RegressionPolicy::RegressionPolicy(std::string name,
+                                   const sim::InferenceSimulator &sim,
+                                   std::unique_ptr<Regressor> latencyModel,
+                                   std::unique_ptr<Regressor> energyModel)
+    : name_(std::move(name)), sim_(sim),
+      actions_(core::buildActionSpace(sim)),
+      latencyModel_(std::move(latencyModel)),
+      energyModel_(std::move(energyModel))
+{
+    AS_CHECK(latencyModel_ != nullptr && energyModel_ != nullptr);
+}
+
+void
+RegressionPolicy::train(const TrainingSet &data)
+{
+    AS_CHECK(!data.samples.empty());
+    std::vector<Vector> x;
+    Vector log_latency;
+    Vector log_energy;
+    x.reserve(data.samples.size());
+    for (const auto &sample : data.samples) {
+        x.push_back(sample.combinedFeatures);
+        log_latency.push_back(std::log(std::max(sample.latencyMs, 1e-3)));
+        log_energy.push_back(std::log(std::max(sample.energyJ, 1e-9)));
+    }
+    latencyModel_->fit(x, log_latency);
+    energyModel_->fit(x, log_energy);
+    trained_ = true;
+}
+
+double
+RegressionPolicy::predictLatencyMs(const sim::InferenceRequest &request,
+                                   const env::EnvState &env,
+                                   const sim::ExecutionTarget &action) const
+{
+    AS_CHECK(trained_);
+    return std::exp(latencyModel_->predict(
+        combinedFeatureVector(*request.network, env, action, sim_)));
+}
+
+double
+RegressionPolicy::predictEnergyJ(const sim::InferenceRequest &request,
+                                 const env::EnvState &env,
+                                 const sim::ExecutionTarget &action) const
+{
+    AS_CHECK(trained_);
+    return std::exp(energyModel_->predict(
+        combinedFeatureVector(*request.network, env, action, sim_)));
+}
+
+Decision
+RegressionPolicy::decide(const sim::InferenceRequest &request,
+                         const env::EnvState &env, Rng &)
+{
+    AS_CHECK(trained_);
+    const sim::ExecutionTarget *best_ok = nullptr;
+    double best_ok_energy = std::numeric_limits<double>::infinity();
+    const sim::ExecutionTarget *best_any = nullptr;
+    double best_any_energy = std::numeric_limits<double>::infinity();
+
+    for (const auto &action : actions_) {
+        if (!sim_.isFeasible(*request.network, action)) {
+            continue;
+        }
+        // Accuracy is a known pre-measured table, as in AutoScale.
+        const double accuracy = dnn::inferenceAccuracy(
+            request.network->name(), action.precision);
+        if (accuracy < request.accuracyTargetPct) {
+            continue;
+        }
+        const double energy = predictEnergyJ(request, env, action);
+        const double latency = predictLatencyMs(request, env, action);
+        if (energy < best_any_energy) {
+            best_any_energy = energy;
+            best_any = &action;
+        }
+        if (latency < request.qosMs && energy < best_ok_energy) {
+            best_ok_energy = energy;
+            best_ok = &action;
+        }
+    }
+    const sim::ExecutionTarget *chosen =
+        best_ok != nullptr ? best_ok : best_any;
+    AS_CHECK(chosen != nullptr);
+    return makeTargetDecision(*chosen);
+}
+
+std::unique_ptr<RegressionPolicy>
+makeLinearRegressionPolicy(const sim::InferenceSimulator &sim)
+{
+    return std::make_unique<RegressionPolicy>(
+        "LR", sim, std::make_unique<LinearRegressor>(),
+        std::make_unique<LinearRegressor>());
+}
+
+std::unique_ptr<RegressionPolicy>
+makeSvrPolicy(const sim::InferenceSimulator &sim)
+{
+    return std::make_unique<RegressionPolicy>(
+        "SVR", sim, std::make_unique<KernelRidgeRegressor>(),
+        std::make_unique<KernelRidgeRegressor>());
+}
+
+} // namespace autoscale::baselines

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Regression-based prediction approaches of Section III-C: linear
+ * regression [96] and support vector regression [21]. Both learn
+ * latency and energy predictors over (state, action) features from a
+ * profiling corpus and, at runtime, evaluate every action, choosing the
+ * one with minimum predicted energy that is predicted to meet the QoS
+ * and accuracy constraints.
+ *
+ * The SVR is implemented as RBF kernel ridge regression over a training
+ * subsample — the standard least-squares formulation of support vector
+ * regression [102]-style models, adequate for reproducing the paper's
+ * accuracy-under-variance comparison.
+ */
+
+#ifndef AUTOSCALE_BASELINES_REGRESSION_H_
+#define AUTOSCALE_BASELINES_REGRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/features.h"
+#include "baselines/policy.h"
+#include "util/linalg.h"
+
+namespace autoscale::baselines {
+
+/** Latency/energy regression backend interface. */
+class Regressor {
+  public:
+    virtual ~Regressor() = default;
+
+    /** Fit on rows @p x with targets @p y. */
+    virtual void fit(const std::vector<Vector> &x, const Vector &y) = 0;
+
+    /** Predict the target for @p features. */
+    virtual double predict(const Vector &features) const = 0;
+};
+
+/** Ridge-regularized ordinary least squares. */
+class LinearRegressor : public Regressor {
+  public:
+    explicit LinearRegressor(double ridge = 1e-4);
+
+    void fit(const std::vector<Vector> &x, const Vector &y) override;
+    double predict(const Vector &features) const override;
+
+    const Vector &weights() const { return weights_; }
+
+  private:
+    double ridge_;
+    Vector weights_;
+};
+
+/** RBF kernel ridge regression (SVR surrogate). */
+class KernelRidgeRegressor : public Regressor {
+  public:
+    /**
+     * @param gamma RBF kernel width, k(a,b) = exp(-gamma |a-b|^2).
+     * @param ridge Regularization strength.
+     * @param maxPoints Training subsample cap (kernel matrix is O(n^2)).
+     * @param seed Subsampling seed.
+     */
+    KernelRidgeRegressor(double gamma = 2.0, double ridge = 1e-3,
+                         std::size_t maxPoints = 400,
+                         std::uint64_t seed = 7);
+
+    void fit(const std::vector<Vector> &x, const Vector &y) override;
+    double predict(const Vector &features) const override;
+
+  private:
+    double gamma_;
+    double ridge_;
+    std::size_t maxPoints_;
+    std::uint64_t seed_;
+    std::vector<Vector> points_;
+    Vector alpha_;
+};
+
+/**
+ * Prediction-based scheduling policy built on two regressors (log
+ * latency and log energy). Both LR and SVR policies of Fig. 7 are
+ * instances of this class.
+ */
+class RegressionPolicy : public SchedulingPolicy {
+  public:
+    RegressionPolicy(std::string name, const sim::InferenceSimulator &sim,
+                     std::unique_ptr<Regressor> latencyModel,
+                     std::unique_ptr<Regressor> energyModel);
+
+    /** Fit both models on the profiling corpus. */
+    void train(const TrainingSet &data);
+
+    const std::string &name() const override { return name_; }
+
+    Decision decide(const sim::InferenceRequest &request,
+                    const env::EnvState &env, Rng &rng) override;
+
+    /** Predicted latency for (request, env, action), ms. */
+    double predictLatencyMs(const sim::InferenceRequest &request,
+                            const env::EnvState &env,
+                            const sim::ExecutionTarget &action) const;
+
+    /** Predicted energy for (request, env, action), J. */
+    double predictEnergyJ(const sim::InferenceRequest &request,
+                          const env::EnvState &env,
+                          const sim::ExecutionTarget &action) const;
+
+  private:
+    std::string name_;
+    const sim::InferenceSimulator &sim_;
+    std::vector<sim::ExecutionTarget> actions_;
+    std::unique_ptr<Regressor> latencyModel_;
+    std::unique_ptr<Regressor> energyModel_;
+    bool trained_ = false;
+};
+
+/** Fig. 7 "LR": linear-regression-based scheduler. */
+std::unique_ptr<RegressionPolicy> makeLinearRegressionPolicy(
+    const sim::InferenceSimulator &sim);
+
+/** Fig. 7 "SVR": support-vector-regression-based scheduler. */
+std::unique_ptr<RegressionPolicy> makeSvrPolicy(
+    const sim::InferenceSimulator &sim);
+
+} // namespace autoscale::baselines
+
+#endif // AUTOSCALE_BASELINES_REGRESSION_H_

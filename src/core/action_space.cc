@@ -1,0 +1,108 @@
+#include "core/action_space.h"
+
+#include "util/logging.h"
+
+namespace autoscale::core {
+
+std::vector<sim::ExecutionTarget>
+buildActionSpace(const sim::InferenceSimulator &sim)
+{
+    using platform::ProcKind;
+    using dnn::Precision;
+    using sim::ExecutionTarget;
+    using sim::TargetPlace;
+
+    std::vector<ExecutionTarget> actions;
+    const platform::Device &local = sim.localDevice();
+
+    // Local CPU: FP32 and INT8 across every DVFS step.
+    for (const Precision precision : {Precision::FP32, Precision::INT8}) {
+        for (std::size_t vf = 0; vf < local.cpu().numVfSteps(); ++vf) {
+            actions.push_back(ExecutionTarget{
+                TargetPlace::Local, ProcKind::MobileCpu, vf, precision});
+        }
+    }
+
+    // Local GPU: FP32 and FP16 across every DVFS step.
+    if (local.hasGpu()) {
+        for (const Precision precision :
+             {Precision::FP32, Precision::FP16}) {
+            for (std::size_t vf = 0; vf < local.gpu().numVfSteps(); ++vf) {
+                actions.push_back(ExecutionTarget{
+                    TargetPlace::Local, ProcKind::MobileGpu, vf, precision});
+            }
+        }
+    }
+
+    // Local DSP: INT8 only, no DVFS (Section V-C).
+    if (local.hasDsp()) {
+        actions.push_back(ExecutionTarget{
+            TargetPlace::Local, ProcKind::MobileDsp, 0, Precision::INT8});
+    }
+
+    // Section V-C extension: a mobile NPU, when the vendor SDK exposes
+    // it ("additional actions, such as mobile NPU ... could be further
+    // considered").
+    if (local.hasAccelerator()) {
+        actions.push_back(ExecutionTarget{
+            TargetPlace::Local, ProcKind::MobileNpu, 0, Precision::INT8});
+    }
+
+    // Cloud: CPU FP32 and GPU FP32, at server nominal frequency.
+    const platform::Device &cloud = sim.cloudDevice();
+    actions.push_back(ExecutionTarget{
+        TargetPlace::Cloud, ProcKind::ServerCpu, cloud.cpu().maxVfIndex(),
+        Precision::FP32});
+    if (cloud.hasGpu()) {
+        actions.push_back(ExecutionTarget{
+            TargetPlace::Cloud, ProcKind::ServerGpu,
+            cloud.gpu().maxVfIndex(), Precision::FP32});
+    }
+    // Section V-C extension: a cloud TPU.
+    if (cloud.hasAccelerator()) {
+        actions.push_back(ExecutionTarget{
+            TargetPlace::Cloud, ProcKind::ServerTpu, 0, Precision::FP32});
+    }
+
+    // Connected edge: CPU FP32, GPU FP32, DSP (INT8), at top frequency.
+    const platform::Device &connected = sim.connectedDevice();
+    actions.push_back(ExecutionTarget{
+        TargetPlace::ConnectedEdge, ProcKind::MobileCpu,
+        connected.cpu().maxVfIndex(), Precision::FP32});
+    if (connected.hasGpu()) {
+        actions.push_back(ExecutionTarget{
+            TargetPlace::ConnectedEdge, ProcKind::MobileGpu,
+            connected.gpu().maxVfIndex(), Precision::FP32});
+    }
+    if (connected.hasDsp()) {
+        actions.push_back(ExecutionTarget{
+            TargetPlace::ConnectedEdge, ProcKind::MobileDsp, 0,
+            Precision::INT8});
+    }
+    if (connected.hasAccelerator()) {
+        actions.push_back(ExecutionTarget{
+            TargetPlace::ConnectedEdge, ProcKind::MobileNpu, 0,
+            Precision::INT8});
+    }
+
+    return actions;
+}
+
+ActionId
+findEdgeCpuFp32Action(const std::vector<sim::ExecutionTarget> &actions,
+                      const sim::InferenceSimulator &sim)
+{
+    const std::size_t top = sim.localDevice().cpu().maxVfIndex();
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+        const auto &action = actions[i];
+        if (action.place == sim::TargetPlace::Local
+            && action.proc == platform::ProcKind::MobileCpu
+            && action.precision == dnn::Precision::FP32
+            && action.vfIndex == top) {
+            return static_cast<ActionId>(i);
+        }
+    }
+    panic("findEdgeCpuFp32Action: baseline action missing");
+}
+
+} // namespace autoscale::core

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The AutoScale action space (Sections IV-A and V-C): every execution
+ * target of the edge-cloud system, augmented with the DVFS and
+ * quantization knobs — mobile CPU with FP32/INT8 across all V/F steps,
+ * mobile GPU with FP32/FP16 across all V/F steps, the mobile DSP, cloud
+ * CPU/GPU with FP32, and the connected device's CPU (FP32), GPU (FP32),
+ * and DSP. On the Mi8Pro this enumerates exactly 66 actions, matching
+ * the paper's "3,072 states times ~66 actions" design space.
+ */
+
+#ifndef AUTOSCALE_CORE_ACTION_SPACE_H_
+#define AUTOSCALE_CORE_ACTION_SPACE_H_
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/target.h"
+
+namespace autoscale::core {
+
+/** Action identifier: index into the action list. */
+using ActionId = int;
+
+/** Enumerate all actions for @p sim's edge-cloud system. */
+std::vector<sim::ExecutionTarget> buildActionSpace(
+    const sim::InferenceSimulator &sim);
+
+/** Index of the Edge (CPU FP32, top frequency) baseline action. */
+ActionId findEdgeCpuFp32Action(
+    const std::vector<sim::ExecutionTarget> &actions,
+    const sim::InferenceSimulator &sim);
+
+} // namespace autoscale::core
+
+#endif // AUTOSCALE_CORE_ACTION_SPACE_H_

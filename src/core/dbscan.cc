@@ -1,0 +1,152 @@
+#include "core/dbscan.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace autoscale::core {
+
+std::vector<int>
+dbscan1d(const std::vector<double> &values, double eps, int minPts)
+{
+    AS_CHECK(eps > 0.0);
+    AS_CHECK(minPts >= 1);
+    const std::size_t n = values.size();
+    std::vector<int> labels(n, kNoise);
+    if (n == 0) {
+        return labels;
+    }
+
+    // Sort indices by value; in 1-D, eps-neighborhoods are contiguous
+    // runs, which makes the range queries O(log n).
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return values[a] < values[b];
+    });
+    std::vector<double> sorted(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        sorted[i] = values[order[i]];
+    }
+
+    // neighbors(i) = [lo, hi) range of sorted positions within eps.
+    auto neighbor_range = [&](std::size_t pos) {
+        const double v = sorted[pos];
+        const auto lo = std::lower_bound(sorted.begin(), sorted.end(),
+                                         v - eps) - sorted.begin();
+        const auto hi = std::upper_bound(sorted.begin(), sorted.end(),
+                                         v + eps) - sorted.begin();
+        return std::pair<std::size_t, std::size_t>(
+            static_cast<std::size_t>(lo), static_cast<std::size_t>(hi));
+    };
+
+    std::vector<int> sorted_labels(n, kNoise);
+    std::vector<bool> visited(n, false);
+    int next_cluster = 0;
+
+    for (std::size_t pos = 0; pos < n; ++pos) {
+        if (visited[pos]) {
+            continue;
+        }
+        visited[pos] = true;
+        auto [lo, hi] = neighbor_range(pos);
+        if (hi - lo < static_cast<std::size_t>(minPts)) {
+            continue; // noise (may be claimed by a cluster later)
+        }
+        const int cluster = next_cluster++;
+        sorted_labels[pos] = cluster;
+        // Expand the cluster over the seed set.
+        std::vector<std::size_t> frontier;
+        for (std::size_t q = lo; q < hi; ++q) {
+            frontier.push_back(q);
+        }
+        while (!frontier.empty()) {
+            const std::size_t q = frontier.back();
+            frontier.pop_back();
+            if (sorted_labels[q] == kNoise) {
+                sorted_labels[q] = cluster;
+            }
+            if (visited[q]) {
+                continue;
+            }
+            visited[q] = true;
+            auto [qlo, qhi] = neighbor_range(q);
+            if (qhi - qlo >= static_cast<std::size_t>(minPts)) {
+                for (std::size_t r = qlo; r < qhi; ++r) {
+                    if (!visited[r] || sorted_labels[r] == kNoise) {
+                        frontier.push_back(r);
+                    }
+                }
+            }
+        }
+    }
+
+    // Since expansion walks in sorted order, clusters are already
+    // numbered by ascending smallest member. Map back to input order.
+    for (std::size_t i = 0; i < n; ++i) {
+        labels[order[i]] = sorted_labels[i];
+    }
+    return labels;
+}
+
+int
+clusterCount(const std::vector<int> &labels)
+{
+    int max_label = kNoise;
+    for (int label : labels) {
+        max_label = std::max(max_label, label);
+    }
+    return max_label + 1;
+}
+
+std::vector<double>
+clusterBoundaries(const std::vector<double> &values,
+                  const std::vector<int> &labels)
+{
+    AS_CHECK(values.size() == labels.size());
+    // Gather per-cluster extents.
+    std::map<int, std::pair<double, double>> extents;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (labels[i] == kNoise) {
+            continue;
+        }
+        auto it = extents.find(labels[i]);
+        if (it == extents.end()) {
+            extents.emplace(labels[i],
+                            std::make_pair(values[i], values[i]));
+        } else {
+            it->second.first = std::min(it->second.first, values[i]);
+            it->second.second = std::max(it->second.second, values[i]);
+        }
+    }
+
+    std::vector<std::pair<double, double>> sorted;
+    sorted.reserve(extents.size());
+    for (const auto &[label, extent] : extents) {
+        sorted.push_back(extent);
+    }
+    std::sort(sorted.begin(), sorted.end());
+
+    std::vector<double> boundaries;
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+        boundaries.push_back((sorted[i - 1].second + sorted[i].first) / 2.0);
+    }
+    return boundaries;
+}
+
+int
+binFromBoundaries(double value, const std::vector<double> &boundaries)
+{
+    int bin = 0;
+    for (double boundary : boundaries) {
+        if (value >= boundary) {
+            ++bin;
+        }
+    }
+    return bin;
+}
+
+} // namespace autoscale::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * One-dimensional DBSCAN. The paper derives the discrete bins of each
+ * continuous Table I feature by clustering profiled feature samples with
+ * DBSCAN ("DBSCAN determines the optimal number of clusters for the
+ * given data", Section IV-A). This implementation reproduces that
+ * derivation: cluster the samples, then take the midpoints between
+ * adjacent cluster extents as bin boundaries.
+ */
+
+#ifndef AUTOSCALE_CORE_DBSCAN_H_
+#define AUTOSCALE_CORE_DBSCAN_H_
+
+#include <vector>
+
+namespace autoscale::core {
+
+/** DBSCAN point label: cluster index >= 0, or kNoise. */
+constexpr int kNoise = -1;
+
+/**
+ * Cluster one-dimensional samples with DBSCAN.
+ *
+ * @param values Input samples (any order).
+ * @param eps Neighborhood radius.
+ * @param minPts Minimum neighborhood size (including the point) for a
+ *        core point.
+ * @return A label per input point, in input order. Clusters are
+ *         numbered 0..k-1 in ascending order of their smallest member;
+ *         outliers get kNoise.
+ */
+std::vector<int> dbscan1d(const std::vector<double> &values, double eps,
+                          int minPts);
+
+/** Number of clusters in a dbscan1d labeling. */
+int clusterCount(const std::vector<int> &labels);
+
+/**
+ * Derive discretization boundaries from clustered samples: the midpoint
+ * between the maximum of each cluster and the minimum of the next.
+ * A value v falls into bin b where b is the number of boundaries <= v.
+ *
+ * @return Sorted boundaries (clusterCount - 1 entries).
+ */
+std::vector<double> clusterBoundaries(const std::vector<double> &values,
+                                      const std::vector<int> &labels);
+
+/** Bin index of @p value given sorted @p boundaries. */
+int binFromBoundaries(double value, const std::vector<double> &boundaries);
+
+} // namespace autoscale::core
+
+#endif // AUTOSCALE_CORE_DBSCAN_H_

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Extension: layer-granularity partitioning on top of AutoScale. The
+ * paper's footnote 4 notes that "model partitioning at layer
+ * granularity ... is complementary to and can be applied on top of
+ * AutoScale". The HybridScheduler realizes that: its action space is
+ * the usual whole-model target enumeration *plus* partition-point
+ * actions (run the first 25/50/75% of layers locally, ship the
+ * intermediate activations, finish remotely), all learned with the same
+ * Table I states, Eq. (5) reward, and Algorithm 1 updates.
+ */
+
+#ifndef AUTOSCALE_CORE_HYBRID_H_
+#define AUTOSCALE_CORE_HYBRID_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/reward.h"
+#include "core/scheduler.h"
+#include "core/state.h"
+#include "sim/qos.h"
+#include "sim/simulator.h"
+#include "sim/target.h"
+
+namespace autoscale::core {
+
+/** One hybrid action: a whole-model target or a partition template. */
+struct HybridAction {
+    bool partitioned = false;
+    /** Whole-model target (when !partitioned). */
+    sim::ExecutionTarget target;
+    /** Fraction of layers run locally (when partitioned). */
+    double splitFraction = 0.0;
+    platform::ProcKind localProc = platform::ProcKind::MobileCpu;
+    dnn::Precision localPrecision = dnn::Precision::FP32;
+    sim::TargetPlace remotePlace = sim::TargetPlace::Cloud;
+
+    /** Display label. */
+    std::string label() const;
+
+    /** Fig. 13-style category. */
+    std::string category() const;
+};
+
+/**
+ * Instantiate a partition action for a concrete network: the fraction
+ * becomes a layer index.
+ */
+sim::PartitionSpec materializePartition(const HybridAction &action,
+                                        const dnn::Network &network);
+
+/** Build the hybrid action space: whole-model targets + partitions. */
+std::vector<HybridAction> buildHybridActionSpace(
+    const sim::InferenceSimulator &sim);
+
+/** AutoScale with partition actions in its action space. */
+class HybridScheduler {
+  public:
+    HybridScheduler(const sim::InferenceSimulator &sim,
+                    const SchedulerConfig &config, std::uint64_t seed);
+
+    /** Observe state, finish the pending update, pick an action. */
+    const HybridAction &choose(const sim::InferenceRequest &request,
+                               const env::EnvState &env);
+
+    /**
+     * Execute the chosen action on the simulator (whole-model or
+     * partitioned) — convenience for callers that do not dispatch
+     * themselves.
+     */
+    sim::Outcome execute(const sim::InferenceRequest &request,
+                         const env::EnvState &env, Rng &rng) const;
+
+    /** Fold the measured result of the last chosen action back in. */
+    void feedback(const sim::Outcome &outcome);
+
+    /** Flush the pending update. */
+    void finishEpisode();
+
+    void setExploration(bool enabled);
+    void setLearning(bool enabled);
+
+    const std::vector<HybridAction> &actions() const { return actions_; }
+    const QLearningAgent &agent() const { return agent_; }
+    QLearningAgent &mutableAgent() { return agent_; }
+    double lastReward() const { return lastReward_; }
+
+  private:
+    struct Pending {
+        StateId state;
+        int action;
+        double reward;
+    };
+
+    const sim::InferenceSimulator &sim_;
+    SchedulerConfig config_;
+    std::vector<HybridAction> actions_;
+    QLearningAgent agent_;
+    std::optional<Pending> pending_;
+    StateId currentState_ = 0;
+    int currentAction_ = 0;
+    sim::InferenceRequest currentRequest_;
+    bool awaitingFeedback_ = false;
+    double lastReward_ = 0.0;
+};
+
+} // namespace autoscale::core
+
+#endif // AUTOSCALE_CORE_HYBRID_H_

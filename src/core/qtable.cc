@@ -1,0 +1,242 @@
+#include "core/qtable.h"
+
+#include <cstring>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace autoscale::core {
+
+QTable::QTable(int numStates, int numActions)
+    : numStates_(numStates), numActions_(numActions),
+      values_(static_cast<std::size_t>(numStates)
+                  * static_cast<std::size_t>(numActions),
+              0.0f)
+{
+    AS_CHECK(numStates_ > 0 && numActions_ > 0);
+}
+
+std::size_t
+QTable::index(int state, int action) const
+{
+    AS_CHECK(state >= 0 && state < numStates_);
+    AS_CHECK(action >= 0 && action < numActions_);
+    return static_cast<std::size_t>(state)
+        * static_cast<std::size_t>(numActions_)
+        + static_cast<std::size_t>(action);
+}
+
+void
+QTable::randomize(Rng &rng, double lo, double hi)
+{
+    AS_CHECK(lo <= hi);
+    for (auto &value : values_) {
+        value = static_cast<float>(rng.uniform(lo, hi));
+    }
+}
+
+int
+QTable::bestAction(int state) const
+{
+    int best = 0;
+    float best_value = at(state, 0);
+    for (int a = 1; a < numActions_; ++a) {
+        const float value = at(state, a);
+        if (value > best_value) {
+            best_value = value;
+            best = a;
+        }
+    }
+    return best;
+}
+
+double
+QTable::maxValue(int state) const
+{
+    return at(state, bestAction(state));
+}
+
+std::size_t
+QTable::memoryBytes() const
+{
+    return values_.size() * sizeof(float);
+}
+
+void
+QTable::save(std::ostream &os) const
+{
+    os << numStates_ << ' ' << numActions_ << '\n';
+    os << std::setprecision(9);
+    for (int s = 0; s < numStates_; ++s) {
+        for (int a = 0; a < numActions_; ++a) {
+            if (a > 0) {
+                os << ' ';
+            }
+            os << at(s, a);
+        }
+        os << '\n';
+    }
+}
+
+QTable
+QTable::load(std::istream &is)
+{
+    int states = 0;
+    int actions = 0;
+    if (!(is >> states >> actions) || states <= 0 || actions <= 0) {
+        fatal("QTable::load: malformed header");
+    }
+    QTable table(states, actions);
+    for (int s = 0; s < states; ++s) {
+        for (int a = 0; a < actions; ++a) {
+            float value = 0.0f;
+            if (!(is >> value)) {
+                fatal("QTable::load: truncated values");
+            }
+            table.at(s, a) = value;
+        }
+    }
+    return table;
+}
+
+std::uint16_t
+floatToHalf(float value)
+{
+    std::uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+
+    const std::uint32_t sign = (bits >> 16) & 0x8000u;
+    const std::int32_t exponent =
+        static_cast<std::int32_t>((bits >> 23) & 0xffu) - 127 + 15;
+    std::uint32_t mantissa = bits & 0x007fffffu;
+
+    if (exponent >= 0x1f) {
+        // Overflow or inf/nan: keep nan-ness, else saturate to inf.
+        const bool is_nan =
+            ((bits >> 23) & 0xffu) == 0xffu && mantissa != 0;
+        return static_cast<std::uint16_t>(
+            sign | 0x7c00u | (is_nan ? 0x200u : 0u));
+    }
+    if (exponent <= 0) {
+        // Subnormal half (or zero): shift mantissa with the hidden bit.
+        if (exponent < -10) {
+            return static_cast<std::uint16_t>(sign);
+        }
+        mantissa |= 0x00800000u; // hidden bit: mantissa is 1.m * 2^23
+        // Half subnormal significand = value * 2^24
+        //                            = (mantissa / 2^23) * 2^(E + 9)
+        //                            = mantissa >> (14 - E).
+        const int shift = 14 - exponent;
+        const std::uint32_t rounded =
+            (mantissa + (1u << (shift - 1))) >> shift;
+        return static_cast<std::uint16_t>(sign | rounded);
+    }
+    // Normal case with round-to-nearest-even on the dropped 13 bits.
+    std::uint32_t half = sign
+        | (static_cast<std::uint32_t>(exponent) << 10) | (mantissa >> 13);
+    const std::uint32_t rest = mantissa & 0x1fffu;
+    if (rest > 0x1000u || (rest == 0x1000u && (half & 1u))) {
+        ++half; // may carry into the exponent, which is still correct
+    }
+    return static_cast<std::uint16_t>(half);
+}
+
+float
+halfToFloat(std::uint16_t bits)
+{
+    const std::uint32_t sign = (static_cast<std::uint32_t>(bits) & 0x8000u)
+        << 16;
+    const std::uint32_t exponent = (bits >> 10) & 0x1fu;
+    std::uint32_t mantissa = bits & 0x3ffu;
+
+    std::uint32_t out;
+    if (exponent == 0) {
+        if (mantissa == 0) {
+            out = sign; // signed zero
+        } else {
+            // Subnormal: normalize.
+            int e = -1;
+            do {
+                ++e;
+                mantissa <<= 1;
+            } while ((mantissa & 0x400u) == 0);
+            mantissa &= 0x3ffu;
+            out = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23)
+                | (mantissa << 13);
+        }
+    } else if (exponent == 0x1f) {
+        out = sign | 0x7f800000u | (mantissa << 13); // inf / nan
+    } else {
+        out = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+    }
+    float value;
+    std::memcpy(&value, &out, sizeof(value));
+    return value;
+}
+
+PackedQTable::PackedQTable(const QTable &table)
+    : numStates_(table.numStates()), numActions_(table.numActions()),
+      values_(static_cast<std::size_t>(table.numStates())
+                  * static_cast<std::size_t>(table.numActions()),
+              0)
+{
+    for (int s = 0; s < numStates_; ++s) {
+        for (int a = 0; a < numActions_; ++a) {
+            values_[index(s, a)] = floatToHalf(table.at(s, a));
+        }
+    }
+}
+
+std::size_t
+PackedQTable::index(int state, int action) const
+{
+    AS_CHECK(state >= 0 && state < numStates_);
+    AS_CHECK(action >= 0 && action < numActions_);
+    return static_cast<std::size_t>(state)
+        * static_cast<std::size_t>(numActions_)
+        + static_cast<std::size_t>(action);
+}
+
+float
+PackedQTable::at(int state, int action) const
+{
+    return halfToFloat(values_[index(state, action)]);
+}
+
+int
+PackedQTable::bestAction(int state) const
+{
+    int best = 0;
+    float best_value = at(state, 0);
+    for (int a = 1; a < numActions_; ++a) {
+        const float value = at(state, a);
+        if (value > best_value) {
+            best_value = value;
+            best = a;
+        }
+    }
+    return best;
+}
+
+QTable
+PackedQTable::unpack() const
+{
+    QTable table(numStates_, numActions_);
+    for (int s = 0; s < numStates_; ++s) {
+        for (int a = 0; a < numActions_; ++a) {
+            table.at(s, a) = at(s, a);
+        }
+    }
+    return table;
+}
+
+std::size_t
+PackedQTable::memoryBytes() const
+{
+    return values_.size() * sizeof(std::uint16_t);
+}
+
+} // namespace autoscale::core

@@ -1,0 +1,25 @@
+#include "core/reward.h"
+
+namespace autoscale::core {
+
+double
+computeReward(const sim::Outcome &outcome,
+              const sim::InferenceRequest &request,
+              const RewardConfig &config)
+{
+    if (!outcome.feasible) {
+        // Treated as zero-accuracy output: R = 0 - 100.
+        return -100.0;
+    }
+    if (outcome.accuracyPct < request.accuracyTargetPct) {
+        return outcome.accuracyPct - 100.0;
+    }
+    const double energy_mj = outcome.estimatedEnergyJ * 1e3;
+    if (outcome.latencyMs < request.qosMs) {
+        return -energy_mj + config.alpha * outcome.latencyMs
+            + config.beta * outcome.accuracyPct;
+    }
+    return -energy_mj + config.beta * outcome.accuracyPct;
+}
+
+} // namespace autoscale::core

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The AutoScale reward, Eq. (5) of Section IV-A:
+ *
+ *   if Raccuracy < quality requirement:  R = Raccuracy - 100
+ *   else if Rlatency < QoS constraint:   R = -Renergy + a*Rlatency
+ *                                            + b*Raccuracy
+ *   else:                                R = -Renergy + b*Raccuracy
+ *
+ * with a = b = 0.1 by default. Units follow the paper's measurement
+ * scales: Renergy in millijoules, Rlatency in milliseconds, Raccuracy in
+ * percent — at these scales the energy term dominates and the latency
+ * term acts as a tie-breaker that rewards exhausting the QoS headroom
+ * (slower V/F steps that still meet the deadline). Renergy uses the
+ * model-estimated energy, exactly as the paper's runtime does.
+ */
+
+#ifndef AUTOSCALE_CORE_REWARD_H_
+#define AUTOSCALE_CORE_REWARD_H_
+
+#include "sim/qos.h"
+#include "sim/simulator.h"
+
+namespace autoscale::core {
+
+/** Reward weights (Section IV-A: 0.1 each). */
+struct RewardConfig {
+    double alpha = 0.1; ///< Latency weight.
+    double beta = 0.1;  ///< Accuracy weight.
+};
+
+/**
+ * Eq. (5). Infeasible outcomes (middleware cannot run the network on
+ * the chosen target) are treated as a total quality failure, R = -100.
+ */
+double computeReward(const sim::Outcome &outcome,
+                     const sim::InferenceRequest &request,
+                     const RewardConfig &config = RewardConfig{});
+
+} // namespace autoscale::core
+
+#endif // AUTOSCALE_CORE_REWARD_H_

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Learning transfer (Section VI-C): a Q-table trained on one device
+ * seeds training on another, exploiting the observation that "although
+ * performance of execution targets vary across heterogeneous devices,
+ * they all exhibit a similar energy trend for each NN". Because devices
+ * differ in DVFS step counts and available co-processors, actions are
+ * matched semantically: same place, processor kind, and precision, with
+ * the nearest normalized V/F position.
+ */
+
+#ifndef AUTOSCALE_CORE_TRANSFER_H_
+#define AUTOSCALE_CORE_TRANSFER_H_
+
+#include <vector>
+
+#include "core/qtable.h"
+#include "sim/simulator.h"
+#include "sim/target.h"
+
+namespace autoscale::core {
+
+/**
+ * Map each destination action to the most similar source action.
+ *
+ * @param srcActions Source device's action list.
+ * @param srcSim Source simulator (for V/F table sizes).
+ * @param dstActions Destination device's action list.
+ * @param dstSim Destination simulator.
+ * @return For each destination action, the matching source action index,
+ *         or -1 when no action of the same (place, proc, precision)
+ *         exists on the source.
+ */
+std::vector<int> matchActions(
+    const std::vector<sim::ExecutionTarget> &srcActions,
+    const sim::InferenceSimulator &srcSim,
+    const std::vector<sim::ExecutionTarget> &dstActions,
+    const sim::InferenceSimulator &dstSim);
+
+/**
+ * Seed @p dst with values transferred from @p src using an action
+ * match. Unmatched destination actions keep their current values.
+ * State spaces must agree (the Table I encoding is device-independent).
+ */
+void transferQTable(const QTable &src,
+                    const std::vector<sim::ExecutionTarget> &srcActions,
+                    const sim::InferenceSimulator &srcSim, QTable &dst,
+                    const std::vector<sim::ExecutionTarget> &dstActions,
+                    const sim::InferenceSimulator &dstSim);
+
+} // namespace autoscale::core
+
+#endif // AUTOSCALE_CORE_TRANSFER_H_

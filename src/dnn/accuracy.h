@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Pre-measured inference quality per (model, precision), mirroring the
+ * paper's Raccuracy reward term: "pre-measured inference accuracy of the
+ * given NN on each execution target" (Section IV-A). Quality scores are
+ * percentages — ImageNet top-1 for classification, a normalized detection
+ * quality for SSD models, and a normalized translation quality for
+ * MobileBERT — so that the paper's absolute accuracy targets
+ * (50% / 65% / 70%) apply uniformly.
+ */
+
+#ifndef AUTOSCALE_DNN_ACCURACY_H_
+#define AUTOSCALE_DNN_ACCURACY_H_
+
+#include <string>
+
+#include "dnn/precision.h"
+
+namespace autoscale::dnn {
+
+/**
+ * Inference quality (%) of @p modelName when executed at @p precision.
+ * fatal() for unknown models.
+ *
+ * FP16 costs a negligible ~0.1%; INT8 post-training quantization costs a
+ * couple of percent on most networks, but severely degrades MobileNet v3
+ * models (squeeze-excite blocks quantize poorly), which drives the Fig. 4
+ * accuracy-target crossovers.
+ */
+double inferenceAccuracy(const std::string &modelName, Precision precision);
+
+/** Whether @p modelName is in the accuracy table. */
+bool hasAccuracyEntry(const std::string &modelName);
+
+/**
+ * Register a quality row for a (typically synthesized) model. The
+ * canonical Table III rows cannot be overridden; re-registering an
+ * overlay name replaces its previous row.
+ */
+void registerAccuracy(const std::string &modelName, double fp32,
+                      double fp16, double int8);
+
+} // namespace autoscale::dnn
+
+#endif // AUTOSCALE_DNN_ACCURACY_H_

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DNN layer taxonomy following Section II-A of the paper. Each layer
+ * records its compute footprint (multiply-accumulate operations) and
+ * memory footprint (parameter and activation bytes), which drive the
+ * roofline latency model and the Table I state features.
+ */
+
+#ifndef AUTOSCALE_DNN_LAYER_H_
+#define AUTOSCALE_DNN_LAYER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace autoscale::dnn {
+
+/** Layer categories from Section II-A. */
+enum class LayerKind {
+    Conv,           ///< 2-D convolution (compute intensive).
+    FullyConnected, ///< Weighted sum over all inputs (compute+memory).
+    Recurrent,      ///< LSTM/attention step (most compute+memory intensive).
+    Pool,           ///< Sub-sampling.
+    Norm,           ///< Feature normalization.
+    Softmax,        ///< Probability distribution over classes.
+    Argmax,         ///< Class selection.
+    Dropout,        ///< Pass-through at inference.
+    Activation,     ///< Standalone non-linearity.
+};
+
+/** Human-readable name of a layer kind. */
+const char *layerKindName(LayerKind kind);
+
+/**
+ * One functional layer.
+ *
+ * macs is the number of multiply-accumulate operations; paramBytes the
+ * FP32 weight footprint; activationBytes the FP32 output-activation
+ * footprint (what a layer-partitioning scheme would ship to the next
+ * execution target).
+ */
+struct Layer {
+    LayerKind kind = LayerKind::Conv;
+    std::string name;
+    std::uint64_t macs = 0;
+    std::uint64_t paramBytes = 0;
+    std::uint64_t activationBytes = 0;
+
+    /** Total FP32 bytes the layer moves (weights plus activations). */
+    std::uint64_t
+    memoryBytes() const
+    {
+        return paramBytes + activationBytes;
+    }
+
+    /**
+     * Whether this kind dominates inference cost (CONV/FC/RC). The paper
+     * identifies exactly these as the state-relevant layer types via
+     * squared-correlation analysis.
+     */
+    bool
+    isMajorKind() const
+    {
+        return kind == LayerKind::Conv || kind == LayerKind::FullyConnected
+            || kind == LayerKind::Recurrent;
+    }
+};
+
+} // namespace autoscale::dnn
+
+#endif // AUTOSCALE_DNN_LAYER_H_

@@ -1,0 +1,147 @@
+#include "dnn/model_zoo.h"
+
+#include "dnn/synthetic.h"
+#include "util/logging.h"
+
+namespace autoscale::dnn {
+
+namespace {
+
+/**
+ * Table III layer compositions with published MAC/parameter budgets.
+ * Input bytes model a compressed camera frame (vision) or a tokenized
+ * sentence (translation); output bytes the result payload. The quality
+ * rows for these names come from the canonical accuracy table, not the
+ * spec fields.
+ */
+SyntheticSpec
+zooSpec(const char *name, Task task, int conv, int fc, int rc,
+        double macsM, double paramsM, std::uint64_t inputKiB,
+        std::uint64_t outputKiB)
+{
+    SyntheticSpec spec;
+    spec.name = name;
+    spec.task = task;
+    spec.convLayers = conv;
+    spec.fcLayers = fc;
+    spec.rcLayers = rc;
+    spec.totalMacsM = macsM;
+    spec.totalParamsM = paramsM;
+    spec.inputBytes = inputKiB * 1024;
+    spec.outputBytes = outputKiB * 1024;
+    return spec;
+}
+
+} // namespace
+
+Network
+makeInceptionV1()
+{
+    return synthesizeNetwork(zooSpec(
+        "Inception v1", Task::ImageClassification, 49, 1, 0, 1500.0, 6.6,
+        110, 4));
+}
+
+Network
+makeInceptionV3()
+{
+    return synthesizeNetwork(zooSpec(
+        "Inception v3", Task::ImageClassification, 94, 1, 0, 5700.0, 23.8,
+        160, 4));
+}
+
+Network
+makeMobileNetV1()
+{
+    return synthesizeNetwork(zooSpec(
+        "MobileNet v1", Task::ImageClassification, 14, 1, 0, 569.0, 4.2,
+        110, 4));
+}
+
+Network
+makeMobileNetV2()
+{
+    return synthesizeNetwork(zooSpec(
+        "MobileNet v2", Task::ImageClassification, 35, 1, 0, 300.0, 3.5,
+        110, 4));
+}
+
+Network
+makeMobileNetV3()
+{
+    return synthesizeNetwork(zooSpec(
+        "MobileNet v3", Task::ImageClassification, 23, 20, 0, 219.0, 5.4,
+        110, 4));
+}
+
+Network
+makeResNet50()
+{
+    return synthesizeNetwork(zooSpec(
+        "ResNet 50", Task::ImageClassification, 53, 1, 0, 3900.0, 25.6,
+        110, 4));
+}
+
+Network
+makeSsdMobileNetV1()
+{
+    return synthesizeNetwork(zooSpec(
+        "SSD MobileNet v1", Task::ObjectDetection, 19, 1, 0, 1200.0, 6.8,
+        140, 12));
+}
+
+Network
+makeSsdMobileNetV2()
+{
+    return synthesizeNetwork(zooSpec(
+        "SSD MobileNet v2", Task::ObjectDetection, 52, 1, 0, 800.0, 4.5,
+        140, 12));
+}
+
+Network
+makeSsdMobileNetV3()
+{
+    return synthesizeNetwork(zooSpec(
+        "SSD MobileNet v3", Task::ObjectDetection, 28, 20, 0, 600.0, 5.0,
+        140, 12));
+}
+
+Network
+makeMobileBert()
+{
+    return synthesizeNetwork(zooSpec(
+        "MobileBERT", Task::Translation, 0, 1, 24, 5400.0, 25.3, 2, 2));
+}
+
+const std::vector<Network> &
+modelZoo()
+{
+    static const std::vector<Network> zoo = [] {
+        std::vector<Network> models;
+        models.push_back(makeInceptionV1());
+        models.push_back(makeInceptionV3());
+        models.push_back(makeMobileNetV1());
+        models.push_back(makeMobileNetV2());
+        models.push_back(makeMobileNetV3());
+        models.push_back(makeResNet50());
+        models.push_back(makeSsdMobileNetV1());
+        models.push_back(makeSsdMobileNetV2());
+        models.push_back(makeSsdMobileNetV3());
+        models.push_back(makeMobileBert());
+        return models;
+    }();
+    return zoo;
+}
+
+const Network &
+findModel(const std::string &name)
+{
+    for (const auto &model : modelZoo()) {
+        if (model.name() == name) {
+            return model;
+        }
+    }
+    fatal("findModel: unknown model '" + name + "'");
+}
+
+} // namespace autoscale::dnn

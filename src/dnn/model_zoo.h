@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The ten DNN inference workloads of Table III. Layer counts (CONV/FC/RC)
+ * match the paper's TensorFlow-derived compositions exactly; MAC and
+ * parameter totals use the published numbers for each architecture.
+ */
+
+#ifndef AUTOSCALE_DNN_MODEL_ZOO_H_
+#define AUTOSCALE_DNN_MODEL_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "dnn/network.h"
+
+namespace autoscale::dnn {
+
+Network makeInceptionV1();
+Network makeInceptionV3();
+Network makeMobileNetV1();
+Network makeMobileNetV2();
+Network makeMobileNetV3();
+Network makeResNet50();
+Network makeSsdMobileNetV1();
+Network makeSsdMobileNetV2();
+Network makeSsdMobileNetV3();
+Network makeMobileBert();
+
+/** All ten Table III workloads, in table order. */
+const std::vector<Network> &modelZoo();
+
+/** Find a zoo model by name; fatal() if absent. */
+const Network &findModel(const std::string &name);
+
+} // namespace autoscale::dnn
+
+#endif // AUTOSCALE_DNN_MODEL_ZOO_H_

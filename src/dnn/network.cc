@@ -1,0 +1,72 @@
+#include "dnn/network.h"
+
+#include "util/logging.h"
+
+namespace autoscale::dnn {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv: return "CONV";
+      case LayerKind::FullyConnected: return "FC";
+      case LayerKind::Recurrent: return "RC";
+      case LayerKind::Pool: return "POOL";
+      case LayerKind::Norm: return "NORM";
+      case LayerKind::Softmax: return "SOFTMAX";
+      case LayerKind::Argmax: return "ARGMAX";
+      case LayerKind::Dropout: return "DROPOUT";
+      case LayerKind::Activation: return "ACT";
+    }
+    panic("layerKindName: unknown kind");
+}
+
+const char *
+taskName(Task task)
+{
+    switch (task) {
+      case Task::ImageClassification: return "Image Classification";
+      case Task::ObjectDetection: return "Object Detection";
+      case Task::Translation: return "Translation";
+    }
+    panic("taskName: unknown task");
+}
+
+Network::Network(std::string name, Task task, std::uint64_t inputBytes,
+                 std::uint64_t outputBytes)
+    : name_(std::move(name)), task_(task), inputBytes_(inputBytes),
+      outputBytes_(outputBytes)
+{
+    AS_CHECK(inputBytes_ > 0);
+    AS_CHECK(outputBytes_ > 0);
+}
+
+void
+Network::addLayer(Layer layer)
+{
+    totalMacs_ += layer.macs;
+    totalParamBytes_ += layer.paramBytes;
+    layers_.push_back(std::move(layer));
+}
+
+int
+Network::countLayers(LayerKind kind) const
+{
+    int count = 0;
+    for (const auto &layer : layers_) {
+        if (layer.kind == kind) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+bool
+Network::supportedOnCoProcessors() const
+{
+    // Recurrent/attention-dominated networks (MobileBERT) lack GPU/DSP
+    // middleware support per Section III footnote 3.
+    return numRc() == 0;
+}
+
+} // namespace autoscale::dnn

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A neural network as a sequence of layers plus workload metadata
+ * (task, input/output transfer sizes, default QoS scenario). The layer
+ * counts and MAC totals are exactly the Table I state features.
+ */
+
+#ifndef AUTOSCALE_DNN_NETWORK_H_
+#define AUTOSCALE_DNN_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.h"
+
+namespace autoscale::dnn {
+
+/** Workload task category (Table III). */
+enum class Task {
+    ImageClassification,
+    ObjectDetection,
+    Translation,
+};
+
+/** Human-readable task name. */
+const char *taskName(Task task);
+
+/** A DNN inference workload. */
+class Network {
+  public:
+    /**
+     * @param name Workload name, e.g. "MobileNet v3".
+     * @param task Task category.
+     * @param inputBytes Bytes uploaded when offloading (compressed input).
+     * @param outputBytes Bytes downloaded when offloading (result).
+     */
+    Network(std::string name, Task task, std::uint64_t inputBytes,
+            std::uint64_t outputBytes);
+
+    /** Append a layer. */
+    void addLayer(Layer layer);
+
+    const std::string &name() const { return name_; }
+    Task task() const { return task_; }
+    std::uint64_t inputBytes() const { return inputBytes_; }
+    std::uint64_t outputBytes() const { return outputBytes_; }
+    const std::vector<Layer> &layers() const { return layers_; }
+
+    /** Number of layers of the given kind. */
+    int countLayers(LayerKind kind) const;
+
+    int numConv() const { return countLayers(LayerKind::Conv); }
+    int numFc() const { return countLayers(LayerKind::FullyConnected); }
+    int numRc() const { return countLayers(LayerKind::Recurrent); }
+
+    /** Total multiply-accumulate operations across all layers. */
+    std::uint64_t totalMacs() const { return totalMacs_; }
+
+    /** Total FP32 parameter bytes across all layers. */
+    std::uint64_t totalParamBytes() const { return totalParamBytes_; }
+
+    /** MACs in millions, the unit used by the S_MAC state feature. */
+    double
+    totalMacsMillions() const
+    {
+        return static_cast<double>(totalMacs_) / 1e6;
+    }
+
+    /**
+     * Whether any middleware supports this network on mobile
+     * co-processors. The paper notes MobileBERT (recurrent/attention
+     * layers) is unsupported on GPU/DSP back-ends; we model that as a
+     * property of networks dominated by recurrent layers.
+     */
+    bool supportedOnCoProcessors() const;
+
+  private:
+    std::string name_;
+    Task task_;
+    std::uint64_t inputBytes_;
+    std::uint64_t outputBytes_;
+    std::vector<Layer> layers_;
+    std::uint64_t totalMacs_ = 0;
+    std::uint64_t totalParamBytes_ = 0;
+};
+
+} // namespace autoscale::dnn
+
+#endif // AUTOSCALE_DNN_NETWORK_H_

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Numeric precision of an inference execution. Quantization is the NN
+ * optimization the paper's augmented action space exposes (Section II-B,
+ * Section V-C): INT8 on mobile CPUs/DSPs, FP16 on mobile GPUs, FP32 in
+ * the cloud and on connected edge devices.
+ */
+
+#ifndef AUTOSCALE_DNN_PRECISION_H_
+#define AUTOSCALE_DNN_PRECISION_H_
+
+namespace autoscale::dnn {
+
+/** Numeric precision for inference execution. */
+enum class Precision {
+    FP32,
+    FP16,
+    INT8,
+};
+
+/** Human-readable name. */
+inline const char *
+precisionName(Precision precision)
+{
+    switch (precision) {
+      case Precision::FP32: return "FP32";
+      case Precision::FP16: return "FP16";
+      case Precision::INT8: return "INT8";
+    }
+    return "?";
+}
+
+/** Bytes per element at this precision. */
+inline double
+bytesPerElement(Precision precision)
+{
+    switch (precision) {
+      case Precision::FP32: return 4.0;
+      case Precision::FP16: return 2.0;
+      case Precision::INT8: return 1.0;
+    }
+    return 4.0;
+}
+
+} // namespace autoscale::dnn
+
+#endif // AUTOSCALE_DNN_PRECISION_H_

@@ -1,0 +1,211 @@
+#include "dnn/synthetic.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "dnn/accuracy.h"
+#include "util/logging.h"
+
+namespace autoscale::dnn {
+
+namespace {
+
+/** Fraction of the conv budget assigned to conv layer i of n. */
+double
+convWeight(int i, int n)
+{
+    // Mildly front-loaded profile; deterministic, no RNG.
+    return 1.0 / std::pow(static_cast<double>(i + 1), 0.25)
+        / static_cast<double>(n);
+}
+
+} // namespace
+
+Network
+synthesizeNetwork(const SyntheticSpec &spec)
+{
+    AS_CHECK(!spec.name.empty());
+    AS_CHECK(spec.convLayers >= 0 && spec.fcLayers >= 0
+             && spec.rcLayers >= 0);
+    AS_CHECK(spec.convLayers + spec.fcLayers + spec.rcLayers > 0);
+    AS_CHECK(spec.totalMacsM > 0.0 && spec.totalParamsM > 0.0);
+
+    Network net(spec.name, spec.task, spec.inputBytes, spec.outputBytes);
+
+    const double total_macs = spec.totalMacsM * 1e6;
+    const double total_params = spec.totalParamsM * 1e6 * 4.0; // FP32 bytes
+
+    // Budget split across layer classes. Recurrent layers dominate when
+    // present (MobileBERT-style); otherwise conv layers carry the
+    // compute and FC layers a small classifier/SE-block share.
+    double conv_share = 0.0;
+    double fc_share = 0.0;
+    double rc_share = 0.0;
+    if (spec.rcLayers > 0) {
+        rc_share = spec.convLayers > 0 ? 0.5 : 0.97;
+        conv_share = spec.convLayers > 0 ? 0.47 : 0.0;
+        fc_share = spec.fcLayers > 0 ? 0.03 : 0.0;
+        rc_share = 1.0 - conv_share - fc_share;
+    } else if (spec.fcLayers >= 10) {
+        // Squeeze-excite-style FC blocks: noticeable memory traffic,
+        // modest compute.
+        conv_share = 0.90;
+        fc_share = 0.10;
+    } else if (spec.fcLayers > 0 && spec.convLayers > 0) {
+        conv_share = 0.985;
+        fc_share = 0.015;
+    } else if (spec.convLayers > 0) {
+        conv_share = 1.0;
+    } else {
+        fc_share = 1.0;
+    }
+
+    // Normalizer for the front-loaded conv profile.
+    double conv_norm = 0.0;
+    for (int i = 0; i < spec.convLayers; ++i) {
+        conv_norm += convWeight(i, spec.convLayers);
+    }
+
+    // Activation footprint decays geometrically with depth, from an
+    // early-layer feature map (~24x the compressed input) down to ~16 KB.
+    const double act_first = 24.0 * static_cast<double>(spec.inputBytes);
+    const double act_last = 16.0 * 1024.0;
+
+    const int major_layers =
+        spec.convLayers + spec.fcLayers + spec.rcLayers;
+    int major_index = 0;
+    auto activation_bytes = [&](int index) {
+        if (major_layers <= 1) {
+            return static_cast<std::uint64_t>(act_last);
+        }
+        const double frac = static_cast<double>(index)
+            / static_cast<double>(major_layers - 1);
+        return static_cast<std::uint64_t>(
+            act_first * std::pow(act_last / act_first, frac));
+    };
+
+    for (int i = 0; i < spec.convLayers; ++i) {
+        Layer layer;
+        layer.kind = LayerKind::Conv;
+        layer.name = "conv" + std::to_string(i);
+        const double w = convWeight(i, spec.convLayers) / conv_norm;
+        layer.macs =
+            static_cast<std::uint64_t>(total_macs * conv_share * w);
+        // Conv weights are a small part of parameters in mobile nets;
+        // spread 60% of params over conv layers.
+        layer.paramBytes = static_cast<std::uint64_t>(
+            total_params * 0.6 / spec.convLayers);
+        layer.activationBytes = activation_bytes(major_index++);
+        net.addLayer(layer);
+
+        // Interleave pooling/normalization every few conv layers to
+        // mimic real topologies (cheap layers, Section II-A).
+        if (i % 8 == 7) {
+            Layer pool;
+            pool.kind = LayerKind::Pool;
+            pool.name = "pool" + std::to_string(i / 8);
+            pool.macs = layer.macs / 200;
+            pool.activationBytes = layer.activationBytes / 2;
+            net.addLayer(pool);
+        }
+        if (i % 12 == 11) {
+            Layer norm;
+            norm.kind = LayerKind::Norm;
+            norm.name = "norm" + std::to_string(i / 12);
+            norm.macs = layer.macs / 400;
+            norm.activationBytes = layer.activationBytes / 2;
+            net.addLayer(norm);
+        }
+    }
+
+    for (int i = 0; i < spec.rcLayers; ++i) {
+        Layer layer;
+        layer.kind = LayerKind::Recurrent;
+        layer.name = "rc" + std::to_string(i);
+        layer.macs = static_cast<std::uint64_t>(
+            total_macs * rc_share / spec.rcLayers);
+        layer.paramBytes = static_cast<std::uint64_t>(
+            total_params * 0.9 / spec.rcLayers);
+        layer.activationBytes = activation_bytes(major_index++);
+        net.addLayer(layer);
+    }
+
+    for (int i = 0; i < spec.fcLayers; ++i) {
+        Layer layer;
+        layer.kind = LayerKind::FullyConnected;
+        layer.name = "fc" + std::to_string(i);
+        layer.macs = static_cast<std::uint64_t>(
+            total_macs * fc_share / spec.fcLayers);
+        const double fc_param_share = spec.rcLayers > 0 ? 0.1 : 0.4;
+        layer.paramBytes = static_cast<std::uint64_t>(
+            total_params * fc_param_share / spec.fcLayers);
+        layer.activationBytes = activation_bytes(major_index++);
+        net.addLayer(layer);
+    }
+
+    Layer softmax;
+    softmax.kind = LayerKind::Softmax;
+    softmax.name = "softmax";
+    softmax.macs = 1000;
+    softmax.activationBytes = 4096;
+    net.addLayer(softmax);
+
+    Layer argmax;
+    argmax.kind = LayerKind::Argmax;
+    argmax.name = "argmax";
+    argmax.macs = 100;
+    argmax.activationBytes = 64;
+    net.addLayer(argmax);
+
+    // Register the quality row unless a canonical entry (the Table III
+    // accuracy table) already exists.
+    if (!hasAccuracyEntry(spec.name)) {
+        registerAccuracy(spec.name, spec.accuracyFp32,
+                         spec.accuracyFp32 - 0.1,
+                         spec.accuracyFp32 - spec.int8Penalty);
+    }
+    return net;
+}
+
+SyntheticSpec
+randomSpec(Rng &rng)
+{
+    static std::atomic<int> counter{0};
+    SyntheticSpec spec;
+    spec.name = "synthetic-" + std::to_string(counter++);
+
+    // 15% of draws are recurrent (translation-style) networks.
+    if (rng.bernoulli(0.15)) {
+        spec.task = Task::Translation;
+        spec.convLayers = 0;
+        spec.fcLayers = 1;
+        spec.rcLayers = static_cast<int>(rng.uniformInt(30)) + 2;
+        spec.totalMacsM = rng.uniform(1000.0, 6000.0);
+        spec.inputBytes = 2 * 1024;
+        spec.outputBytes = 2 * 1024;
+        spec.accuracyFp32 = rng.uniform(80.0, 92.0);
+        spec.int8Penalty = rng.uniform(1.0, 4.0);
+    } else {
+        spec.task = rng.bernoulli(0.3) ? Task::ObjectDetection
+                                       : Task::ImageClassification;
+        spec.convLayers = static_cast<int>(rng.uniformInt(116)) + 5;
+        // 25% of vision networks are FC-heavy (squeeze-excite style).
+        spec.fcLayers =
+            rng.bernoulli(0.25) ? static_cast<int>(rng.uniformInt(16)) + 10
+                                : 1;
+        spec.rcLayers = 0;
+        spec.totalMacsM = rng.uniform(100.0, 6000.0);
+        spec.inputBytes =
+            static_cast<std::uint64_t>(rng.uniform(50.0, 200.0)) * 1024;
+        spec.outputBytes =
+            spec.task == Task::ObjectDetection ? 12 * 1024 : 4 * 1024;
+        spec.accuracyFp32 = rng.uniform(62.0, 82.0);
+        // FC-heavy nets quantize poorly, like MobileNet v3.
+        spec.int8Penalty = spec.fcLayers >= 10 ? rng.uniform(8.0, 25.0)
+                                               : rng.uniform(0.5, 4.0);
+    }
+    spec.totalParamsM = rng.uniform(2.0, 30.0);
+    return spec;
+}
+
+} // namespace autoscale::dnn

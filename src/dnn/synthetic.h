@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Synthetic workload generation: build networks with arbitrary layer
+ * compositions and budgets, beyond the ten Table III workloads. Used by
+ * the model zoo internally and by the generalization study (does the
+ * Table I state abstraction transfer to networks AutoScale has never
+ * seen?).
+ */
+
+#ifndef AUTOSCALE_DNN_SYNTHETIC_H_
+#define AUTOSCALE_DNN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dnn/network.h"
+#include "util/rng.h"
+
+namespace autoscale::dnn {
+
+/** Budget specification for a synthesized network. */
+struct SyntheticSpec {
+    std::string name;
+    Task task = Task::ImageClassification;
+    int convLayers = 0;
+    int fcLayers = 1;
+    int rcLayers = 0;
+    double totalMacsM = 500.0;   ///< Millions of MACs.
+    double totalParamsM = 5.0;   ///< Millions of parameters.
+    std::uint64_t inputBytes = 110 * 1024;
+    std::uint64_t outputBytes = 4 * 1024;
+    /** FP32 quality score; FP16/INT8 derived from it. */
+    double accuracyFp32 = 72.0;
+    /** INT8 quality penalty (large for squeeze-excite-style nets). */
+    double int8Penalty = 2.0;
+};
+
+/**
+ * Build a network from @p spec with the zoo's front-loaded compute
+ * profile and interleaved POOL/NORM layers, and register its accuracy
+ * row so the simulator can schedule it.
+ */
+Network synthesizeNetwork(const SyntheticSpec &spec);
+
+/**
+ * Draw a random-but-plausible spec covering the Table I state ranges:
+ * conv 0-120 layers, fc 0-25, occasional recurrent networks, MACs
+ * 100M-6,000M. Names are unique per call ("synthetic-<n>").
+ */
+SyntheticSpec randomSpec(Rng &rng);
+
+} // namespace autoscale::dnn
+
+#endif // AUTOSCALE_DNN_SYNTHETIC_H_

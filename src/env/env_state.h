@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Snapshot of the stochastic runtime variance at the moment an inference
+ * is issued: co-running application pressure and wireless signal
+ * strengths. These are exactly the runtime-variance state features of
+ * Table I (S_Co_CPU, S_Co_MEM, S_RSSI_W, S_RSSI_P), plus the thermal
+ * headroom that sustained execution erodes (Fig. 10's streaming effect).
+ */
+
+#ifndef AUTOSCALE_ENV_ENV_STATE_H_
+#define AUTOSCALE_ENV_ENV_STATE_H_
+
+namespace autoscale::env {
+
+/** Per-inference runtime-variance snapshot. */
+struct EnvState {
+    /** CPU utilization of co-running apps, [0, 1]. */
+    double coCpuUtil = 0.0;
+    /** Memory-bandwidth utilization of co-running apps, [0, 1]. */
+    double coMemUtil = 0.0;
+    /** RSSI of the wireless LAN (to the cloud), dBm. */
+    double rssiWlanDbm = -55.0;
+    /** RSSI of the peer-to-peer link (to the connected edge), dBm. */
+    double rssiP2pDbm = -55.0;
+    /** Thermal headroom factor, 1.0 = cool, < 1.0 = throttled. */
+    double thermalFactor = 1.0;
+};
+
+} // namespace autoscale::env
+
+#endif // AUTOSCALE_ENV_ENV_STATE_H_

@@ -1,0 +1,142 @@
+#include "env/scenario.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace autoscale::env {
+
+namespace {
+
+constexpr double kRegularRssiDbm = -55.0;
+constexpr double kWeakRssiDbm = -85.0;
+
+} // namespace
+
+const char *
+scenarioName(ScenarioId id)
+{
+    switch (id) {
+      case ScenarioId::S1: return "S1";
+      case ScenarioId::S2: return "S2";
+      case ScenarioId::S3: return "S3";
+      case ScenarioId::S4: return "S4";
+      case ScenarioId::S5: return "S5";
+      case ScenarioId::D1: return "D1";
+      case ScenarioId::D2: return "D2";
+      case ScenarioId::D3: return "D3";
+      case ScenarioId::D4: return "D4";
+    }
+    panic("scenarioName: unknown id");
+}
+
+const char *
+scenarioDescription(ScenarioId id)
+{
+    switch (id) {
+      case ScenarioId::S1: return "No runtime variance";
+      case ScenarioId::S2: return "CPU-intensive co-running app";
+      case ScenarioId::S3: return "Memory-intensive co-running app";
+      case ScenarioId::S4: return "Weak Wi-Fi signal";
+      case ScenarioId::S5: return "Weak Wi-Fi Direct signal";
+      case ScenarioId::D1: return "Co-running app: music player";
+      case ScenarioId::D2: return "Co-running app: web browser";
+      case ScenarioId::D3: return "Random Wi-Fi signal";
+      case ScenarioId::D4: return "Varying co-running apps";
+    }
+    panic("scenarioDescription: unknown id");
+}
+
+bool
+isDynamicScenario(ScenarioId id)
+{
+    switch (id) {
+      case ScenarioId::D1:
+      case ScenarioId::D2:
+      case ScenarioId::D3:
+      case ScenarioId::D4:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::vector<ScenarioId>
+staticScenarios()
+{
+    return {ScenarioId::S1, ScenarioId::S2, ScenarioId::S3, ScenarioId::S4,
+            ScenarioId::S5};
+}
+
+std::vector<ScenarioId>
+dynamicScenarios()
+{
+    return {ScenarioId::D1, ScenarioId::D2, ScenarioId::D3, ScenarioId::D4};
+}
+
+std::vector<ScenarioId>
+allScenarios()
+{
+    auto ids = staticScenarios();
+    const auto dynamic = dynamicScenarios();
+    ids.insert(ids.end(), dynamic.begin(), dynamic.end());
+    return ids;
+}
+
+Scenario::Scenario(ScenarioId id)
+    : id_(id)
+{
+    // Defaults: no co-runner, regular signal on both links.
+    app_ = makeIdleApp();
+    wlanRssi_ = std::make_unique<net::ConstantRssi>(kRegularRssiDbm);
+    p2pRssi_ = std::make_unique<net::ConstantRssi>(kRegularRssiDbm);
+
+    switch (id_) {
+      case ScenarioId::S1:
+        break;
+      case ScenarioId::S2:
+        app_ = makeSyntheticApp("cpu hog", 0.85, 0.10);
+        break;
+      case ScenarioId::S3:
+        app_ = makeSyntheticApp("memory hog", 0.20, 0.80);
+        break;
+      case ScenarioId::S4:
+        wlanRssi_ = std::make_unique<net::ConstantRssi>(kWeakRssiDbm);
+        break;
+      case ScenarioId::S5:
+        p2pRssi_ = std::make_unique<net::ConstantRssi>(kWeakRssiDbm);
+        break;
+      case ScenarioId::D1:
+        app_ = makeMusicPlayerApp();
+        break;
+      case ScenarioId::D2:
+        app_ = makeWebBrowserApp();
+        break;
+      case ScenarioId::D3:
+        // Gaussian Wi-Fi RSSI as in Section V-B; mean near the weak
+        // threshold so both regular and weak states occur.
+        wlanRssi_ = std::make_unique<net::GaussianRssi>(-72.0, 9.0);
+        break;
+      case ScenarioId::D4:
+        app_ = makeVaryingApps();
+        break;
+    }
+}
+
+EnvState
+Scenario::next(Rng &rng)
+{
+    const InterferenceLoad load = app_->next(rng);
+    EnvState state;
+    state.coCpuUtil = load.cpuUtil;
+    state.coMemUtil = load.memUtil;
+    state.rssiWlanDbm = wlanRssi_->sample(rng);
+    state.rssiP2pDbm = p2pRssi_->sample(rng);
+    // Sustained co-runner heat erodes the thermal headroom; a steady
+    // CPU hog causes the frequent throttling observed in Fig. 5.
+    state.thermalFactor =
+        std::clamp(1.0 - 0.18 * state.coCpuUtil, 0.6, 1.0);
+    return state;
+}
+
+} // namespace autoscale::env

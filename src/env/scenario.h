@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The nine DNN inference execution environments of Table IV. Static
+ * scenarios fix the runtime variance; dynamic scenarios evolve it
+ * per-inference through co-runner traces and RSSI processes.
+ */
+
+#ifndef AUTOSCALE_ENV_SCENARIO_H_
+#define AUTOSCALE_ENV_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/env_state.h"
+#include "env/interference.h"
+#include "net/rssi_process.h"
+#include "util/rng.h"
+
+namespace autoscale::env {
+
+/** Table IV environment identifiers. */
+enum class ScenarioId {
+    S1, ///< No runtime variance.
+    S2, ///< CPU-intensive co-running app.
+    S3, ///< Memory-intensive co-running app.
+    S4, ///< Weak Wi-Fi signal.
+    S5, ///< Weak Wi-Fi Direct signal.
+    D1, ///< Co-running app: music player.
+    D2, ///< Co-running app: web browser.
+    D3, ///< Random Wi-Fi signal.
+    D4, ///< Varying co-running apps.
+};
+
+/** Short identifier ("S1".."D4"). */
+const char *scenarioName(ScenarioId id);
+
+/** Table IV description. */
+const char *scenarioDescription(ScenarioId id);
+
+/** Whether the scenario is one of the dynamic environments D1-D4. */
+bool isDynamicScenario(ScenarioId id);
+
+/** All static scenarios in table order. */
+std::vector<ScenarioId> staticScenarios();
+
+/** All dynamic scenarios in table order. */
+std::vector<ScenarioId> dynamicScenarios();
+
+/** All Table IV scenarios in table order. */
+std::vector<ScenarioId> allScenarios();
+
+/**
+ * A Table IV environment: produces one EnvState per inference. Owns its
+ * co-runner trace and RSSI processes; stateful for the dynamic
+ * scenarios, so one instance should drive one experiment run.
+ */
+class Scenario {
+  public:
+    explicit Scenario(ScenarioId id);
+
+    ScenarioId id() const { return id_; }
+    const char *name() const { return scenarioName(id_); }
+
+    /** Runtime-variance snapshot for the next inference. */
+    EnvState next(Rng &rng);
+
+  private:
+    ScenarioId id_;
+    std::unique_ptr<CoRunningApp> app_;
+    std::unique_ptr<net::RssiProcess> wlanRssi_;
+    std::unique_ptr<net::RssiProcess> p2pRssi_;
+};
+
+} // namespace autoscale::env
+
+#endif // AUTOSCALE_ENV_SCENARIO_H_

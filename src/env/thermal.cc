@@ -1,0 +1,53 @@
+#include "env/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autoscale::env {
+
+ThermalModel::ThermalModel(double ambientC, double thermalResistance,
+                           double timeConstantMs, double throttleOnsetC,
+                           double throttleFullC, double minFactor)
+    : ambientC_(ambientC), thermalResistance_(thermalResistance),
+      timeConstantMs_(timeConstantMs), throttleOnsetC_(throttleOnsetC),
+      throttleFullC_(throttleFullC), minFactor_(minFactor),
+      temperatureC_(ambientC)
+{
+    AS_CHECK(thermalResistance_ > 0.0);
+    AS_CHECK(timeConstantMs_ > 0.0);
+    AS_CHECK(throttleOnsetC_ < throttleFullC_);
+    AS_CHECK(minFactor_ > 0.0 && minFactor_ <= 1.0);
+}
+
+void
+ThermalModel::advance(double powerW, double dtMs)
+{
+    AS_CHECK(powerW >= 0.0 && dtMs >= 0.0);
+    // Exponential relaxation toward the steady-state temperature for
+    // the applied power: T_ss = T_amb + P * R_th.
+    const double steady = ambientC_ + powerW * thermalResistance_;
+    const double alpha = 1.0 - std::exp(-dtMs / timeConstantMs_);
+    temperatureC_ += (steady - temperatureC_) * alpha;
+}
+
+double
+ThermalModel::throttleFactor() const
+{
+    if (temperatureC_ <= throttleOnsetC_) {
+        return 1.0;
+    }
+    const double span = throttleFullC_ - throttleOnsetC_;
+    const double excess =
+        std::min(temperatureC_ - throttleOnsetC_, span) / span;
+    return 1.0 - (1.0 - minFactor_) * excess;
+}
+
+void
+ThermalModel::reset()
+{
+    temperatureC_ = ambientC_;
+}
+
+} // namespace autoscale::env

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * First-order RC thermal model. Sustained high power (streaming
+ * inference, CPU-intensive co-runners) heats the SoC; above a throttle
+ * onset temperature the governor progressively caps frequency, which is
+ * the mechanism behind the paper's Fig. 5 (co-runner-induced throttling)
+ * and Fig. 10 (streaming-intensity degradation).
+ */
+
+#ifndef AUTOSCALE_ENV_THERMAL_H_
+#define AUTOSCALE_ENV_THERMAL_H_
+
+namespace autoscale::env {
+
+/** Lumped RC thermal model of a mobile SoC. */
+class ThermalModel {
+  public:
+    /**
+     * @param ambientC Ambient (and initial) temperature.
+     * @param thermalResistance Kelvin per watt at steady state.
+     * @param timeConstantMs RC time constant.
+     * @param throttleOnsetC Temperature where throttling begins.
+     * @param throttleFullC Temperature of maximum throttling.
+     * @param minFactor Frequency factor at maximum throttling.
+     */
+    ThermalModel(double ambientC = 25.0, double thermalResistance = 9.0,
+                 double timeConstantMs = 4000.0, double throttleOnsetC = 65.0,
+                 double throttleFullC = 95.0, double minFactor = 0.6);
+
+    /** Advance the model by @p dtMs with @p powerW dissipated. */
+    void advance(double powerW, double dtMs);
+
+    /** Current junction temperature. */
+    double temperatureC() const { return temperatureC_; }
+
+    /** Current frequency factor in [minFactor, 1]. */
+    double throttleFactor() const;
+
+    /** Reset to ambient. */
+    void reset();
+
+  private:
+    double ambientC_;
+    double thermalResistance_;
+    double timeConstantMs_;
+    double throttleOnsetC_;
+    double throttleFullC_;
+    double minFactor_;
+    double temperatureC_;
+};
+
+} // namespace autoscale::env
+
+#endif // AUTOSCALE_ENV_THERMAL_H_

@@ -1,0 +1,38 @@
+#include "harness/autoscale_policy.h"
+
+namespace autoscale::harness {
+
+AutoScalePolicy::AutoScalePolicy(const sim::InferenceSimulator &sim,
+                                 const core::SchedulerConfig &config,
+                                 std::uint64_t seed)
+    : name_("AutoScale"), scheduler_(sim, config, seed)
+{
+}
+
+baselines::Decision
+AutoScalePolicy::decide(const sim::InferenceRequest &request,
+                        const env::EnvState &env, Rng &)
+{
+    return baselines::makeTargetDecision(scheduler_.choose(request, env));
+}
+
+void
+AutoScalePolicy::feedback(const sim::Outcome &outcome)
+{
+    scheduler_.feedback(outcome);
+}
+
+void
+AutoScalePolicy::finishEpisode()
+{
+    scheduler_.finishEpisode();
+}
+
+std::unique_ptr<AutoScalePolicy>
+makeAutoScalePolicy(const sim::InferenceSimulator &sim, std::uint64_t seed,
+                    const core::SchedulerConfig &config)
+{
+    return std::make_unique<AutoScalePolicy>(sim, config, seed);
+}
+
+} // namespace autoscale::harness

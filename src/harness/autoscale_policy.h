@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Adapter exposing the AutoScaleScheduler through the common
+ * SchedulingPolicy interface, so AutoScale runs under the exact same
+ * evaluation loops as the baselines and prior work.
+ */
+
+#ifndef AUTOSCALE_HARNESS_AUTOSCALE_POLICY_H_
+#define AUTOSCALE_HARNESS_AUTOSCALE_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "baselines/policy.h"
+#include "core/scheduler.h"
+
+namespace autoscale::harness {
+
+/** AutoScale as a SchedulingPolicy. */
+class AutoScalePolicy : public baselines::SchedulingPolicy {
+  public:
+    AutoScalePolicy(const sim::InferenceSimulator &sim,
+                    const core::SchedulerConfig &config, std::uint64_t seed);
+
+    const std::string &name() const override { return name_; }
+
+    baselines::Decision decide(const sim::InferenceRequest &request,
+                               const env::EnvState &env, Rng &rng) override;
+
+    void feedback(const sim::Outcome &outcome) override;
+
+    void finishEpisode() override;
+
+    void
+    setExploration(bool enabled) override
+    {
+        scheduler_.setExploration(enabled);
+    }
+
+    void
+    setLearning(bool enabled) override
+    {
+        scheduler_.setLearning(enabled);
+    }
+
+    core::AutoScaleScheduler &scheduler() { return scheduler_; }
+    const core::AutoScaleScheduler &scheduler() const { return scheduler_; }
+
+  private:
+    std::string name_;
+    core::AutoScaleScheduler scheduler_;
+};
+
+/** Factory with the paper's default configuration. */
+std::unique_ptr<AutoScalePolicy> makeAutoScalePolicy(
+    const sim::InferenceSimulator &sim, std::uint64_t seed,
+    const core::SchedulerConfig &config = core::SchedulerConfig{});
+
+} // namespace autoscale::harness
+
+#endif // AUTOSCALE_HARNESS_AUTOSCALE_POLICY_H_

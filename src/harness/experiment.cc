@@ -1,0 +1,290 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "baselines/oracle.h"
+#include "dnn/model_zoo.h"
+#include "env/interference.h"
+#include "env/thermal.h"
+#include "util/logging.h"
+
+namespace autoscale::harness {
+
+namespace {
+
+/** Streaming frame period for the 30 FPS use case. */
+constexpr double kFramePeriodMs = 1000.0 / 30.0;
+
+/**
+ * Metrics fallback when a policy picks a target the middleware cannot
+ * run: the runtime falls back to the CPU, and the user still perceives a
+ * (late, accuracy-constrained) result. The policy itself is given the
+ * infeasible outcome so it can learn from the failure.
+ */
+sim::Outcome
+fallbackOutcome(const sim::InferenceSimulator &sim,
+                const sim::InferenceRequest &request,
+                const env::EnvState &env, Rng &rng)
+{
+    sim::ExecutionTarget cpu;
+    cpu.place = sim::TargetPlace::Local;
+    cpu.proc = platform::ProcKind::MobileCpu;
+    cpu.vfIndex = sim.localDevice().cpu().maxVfIndex();
+    cpu.precision = dnn::Precision::FP32;
+    return sim.run(*request.network, cpu, env, rng);
+}
+
+} // namespace
+
+std::vector<const dnn::Network *>
+allZooNetworks()
+{
+    std::vector<const dnn::Network *> networks;
+    for (const auto &network : dnn::modelZoo()) {
+        networks.push_back(&network);
+    }
+    return networks;
+}
+
+std::vector<const dnn::Network *>
+zooNetworksExcept(const std::string &excluded)
+{
+    std::vector<const dnn::Network *> networks;
+    for (const auto &network : dnn::modelZoo()) {
+        if (network.name() != excluded) {
+            networks.push_back(&network);
+        }
+    }
+    AS_CHECK(networks.size() + 1 == dnn::modelZoo().size());
+    return networks;
+}
+
+void
+trainPolicy(baselines::SchedulingPolicy &policy,
+            const sim::InferenceSimulator &sim,
+            const std::vector<const dnn::Network *> &networks,
+            const std::vector<env::ScenarioId> &scenarios,
+            int runsPerCombo, Rng &rng, bool streaming,
+            double accuracyTargetPct)
+{
+    policy.setExploration(true);
+    policy.setLearning(true);
+
+    // One persistent stream per (scenario, network): its environment
+    // process, its thermal state, and its request. Training interleaves
+    // the streams round-robin, as a deployed device would experience a
+    // mixture of workloads and conditions, rather than long
+    // single-environment blocks whose final samples would dominate the
+    // Q-values of shared states.
+    struct Stream {
+        env::Scenario scenario;
+        env::ThermalModel thermal;
+        const dnn::Network *network;
+        sim::InferenceRequest request;
+    };
+    std::vector<Stream> streams;
+    for (const env::ScenarioId scenario_id : scenarios) {
+        for (const dnn::Network *network : networks) {
+            if (streaming && network->task() == dnn::Task::Translation) {
+                continue;
+            }
+            streams.push_back(Stream{
+                env::Scenario(scenario_id), env::ThermalModel{}, network,
+                streaming
+                    ? sim::makeStreamingRequest(*network,
+                                                accuracyTargetPct)
+                    : sim::makeRequest(*network, accuracyTargetPct)});
+        }
+    }
+    if (streams.empty()) {
+        return;
+    }
+
+    // Note: with interleaving, the Algorithm 1 update of one stream's
+    // transition uses the *next stream's* state as S'. That is exactly
+    // what a deployed device experiences (consecutive inferences come
+    // from different apps), and with the paper's discount of 0.1 the
+    // cross-stream bootstrap term is a small correction.
+    for (int run = 0; run < runsPerCombo; ++run) {
+        for (Stream &stream : streams) {
+            env::EnvState env = stream.scenario.next(rng);
+            if (streaming) {
+                env.thermalFactor =
+                    std::min(env.thermalFactor,
+                             stream.thermal.throttleFactor());
+            }
+            const baselines::Decision decision =
+                policy.decide(stream.request, env, rng);
+            const sim::Outcome outcome = baselines::executeDecision(
+                sim, stream.request, decision, env, rng);
+            policy.feedback(outcome);
+            if (streaming && outcome.feasible) {
+                // Inference power plus the co-runner's draw heats the
+                // SoC; the gap to the next frame cools it.
+                const double co_runner_w =
+                    env::backgroundPowerW(sim.localDevice(), env);
+                const double power_w =
+                    outcome.energyJ / outcome.latencyMs * 1e3;
+                stream.thermal.advance(power_w + co_runner_w,
+                                       outcome.latencyMs);
+                const double idle_ms = std::max(
+                    0.0, kFramePeriodMs - outcome.latencyMs);
+                stream.thermal.advance(1.0 + co_runner_w, idle_ms);
+            }
+        }
+    }
+    policy.finishEpisode();
+}
+
+void
+trainAutoScale(AutoScalePolicy &policy, const sim::InferenceSimulator &sim,
+               const std::vector<const dnn::Network *> &networks,
+               const std::vector<env::ScenarioId> &scenarios,
+               int runsPerCombo, Rng &rng, bool streaming,
+               double accuracyTargetPct)
+{
+    trainPolicy(policy, sim, networks, scenarios, runsPerCombo, rng,
+                streaming, accuracyTargetPct);
+}
+
+RunStats
+evaluatePolicy(baselines::SchedulingPolicy &policy,
+               const sim::InferenceSimulator &sim,
+               const std::vector<const dnn::Network *> &networks,
+               const std::vector<env::ScenarioId> &scenarios,
+               const EvalOptions &options)
+{
+    Rng rng(options.seed);
+    baselines::OptOracle oracle(sim);
+    RunStats stats;
+
+    for (const env::ScenarioId scenario_id : scenarios) {
+        for (const dnn::Network *network : networks) {
+            if (options.streaming
+                && network->task() == dnn::Task::Translation) {
+                continue;
+            }
+            env::Scenario scenario(scenario_id);
+            env::ThermalModel thermal;
+            const sim::InferenceRequest request = options.streaming
+                ? sim::makeStreamingRequest(*network,
+                                            options.accuracyTargetPct)
+                : sim::makeRequest(*network, options.accuracyTargetPct);
+
+            for (int run = 0; run < options.runsPerCombo; ++run) {
+                env::EnvState env = scenario.next(rng);
+                if (options.streaming) {
+                    env.thermalFactor = std::min(env.thermalFactor,
+                                                 thermal.throttleFactor());
+                }
+
+                const baselines::Decision decision =
+                    policy.decide(request, env, rng);
+                const sim::Outcome outcome = baselines::executeDecision(
+                    sim, request, decision, env, rng);
+                policy.feedback(outcome);
+
+                // Infeasible picks fall back to the CPU for metrics.
+                const sim::Outcome measured = outcome.feasible
+                    ? outcome : fallbackOutcome(sim, request, env, rng);
+
+                RunRecord record;
+                record.energyJ = measured.energyJ;
+                record.latencyMs = measured.latencyMs;
+                record.qosMs = request.qosMs;
+                record.qosViolated = measured.latencyMs >= request.qosMs;
+                record.accuracyViolated = !outcome.feasible
+                    || measured.accuracyPct < request.accuracyTargetPct;
+                record.decisionCategory = decision.category();
+
+                if (options.compareOracle) {
+                    const sim::ExecutionTarget opt =
+                        oracle.optimalTarget(request, env);
+                    const sim::Outcome opt_outcome =
+                        sim.expected(*network, opt, env);
+                    record.optCategory = opt.category();
+                    record.optEnergyJ = opt_outcome.energyJ;
+                    record.optQosViolated =
+                        opt_outcome.latencyMs >= request.qosMs;
+                    record.matchedOracle = !decision.partitioned
+                        && record.decisionCategory == record.optCategory;
+                    const sim::Outcome expected_decision =
+                        baselines::expectedDecision(sim, request, decision,
+                                                    env);
+                    record.nearOptimal = expected_decision.feasible
+                        && expected_decision.energyJ
+                            <= opt_outcome.energyJ * 1.01;
+                }
+                stats.add(record);
+
+                if (options.streaming) {
+                    const double co_runner_w =
+                        env::backgroundPowerW(sim.localDevice(), env);
+                    const double power_w =
+                        measured.energyJ / measured.latencyMs * 1e3;
+                    thermal.advance(power_w + co_runner_w,
+                                    measured.latencyMs);
+                    const double idle_ms = std::max(
+                        0.0, kFramePeriodMs - measured.latencyMs);
+                    thermal.advance(1.0 + co_runner_w, idle_ms);
+                }
+            }
+            policy.finishEpisode();
+        }
+    }
+    return stats;
+}
+
+RunStats
+evaluateAutoScaleLoo(const sim::InferenceSimulator &sim,
+                     const std::vector<const dnn::Network *> &networks,
+                     const std::vector<env::ScenarioId> &scenarios,
+                     int trainRunsPerCombo, const EvalOptions &options,
+                     const std::function<core::SchedulerConfig()> &configure)
+{
+    RunStats merged;
+    std::uint64_t fold_seed = options.seed;
+    for (const dnn::Network *test_network : networks) {
+        if (options.streaming
+            && test_network->task() == dnn::Task::Translation) {
+            continue;
+        }
+        // Train on the other networks.
+        std::vector<const dnn::Network *> train_networks;
+        for (const dnn::Network *network : networks) {
+            if (network != test_network) {
+                train_networks.push_back(network);
+            }
+        }
+
+        const core::SchedulerConfig config =
+            configure ? configure() : core::SchedulerConfig{};
+        AutoScalePolicy policy(sim, config, fold_seed);
+        Rng train_rng(fold_seed + 0x5eedULL);
+        trainAutoScale(policy, sim, train_networks, scenarios,
+                       trainRunsPerCombo, train_rng, options.streaming,
+                       options.accuracyTargetPct);
+
+        // Online-learning warm-up on the held-out network: AutoScale
+        // continuously learns in deployment, and the paper reports
+        // post-convergence behaviour (the pre-convergence phase is
+        // quantified separately in Section VI-C).
+        if (options.looWarmupRuns > 0) {
+            trainAutoScale(policy, sim, {test_network}, scenarios,
+                           options.looWarmupRuns, train_rng,
+                           options.streaming, options.accuracyTargetPct);
+        }
+
+        // Measure greedily (online learning stays on).
+        policy.scheduler().setExploration(false);
+        EvalOptions fold_options = options;
+        fold_options.seed = fold_seed + 0x7e57ULL;
+        const RunStats fold = evaluatePolicy(
+            policy, sim, {test_network}, scenarios, fold_options);
+        merged.merge(fold);
+        ++fold_seed;
+    }
+    return merged;
+}
+
+} // namespace autoscale::harness

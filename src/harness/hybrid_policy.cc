@@ -1,0 +1,51 @@
+#include "harness/hybrid_policy.h"
+
+namespace autoscale::harness {
+
+HybridAutoScalePolicy::HybridAutoScalePolicy(
+    const sim::InferenceSimulator &sim, const core::SchedulerConfig &config,
+    std::uint64_t seed)
+    : name_("AutoScale+Partition"), sim_(sim),
+      scheduler_(sim, config, seed)
+{
+}
+
+baselines::Decision
+HybridAutoScalePolicy::decide(const sim::InferenceRequest &request,
+                              const env::EnvState &env, Rng &)
+{
+    const core::HybridAction &action = scheduler_.choose(request, env);
+    if (!action.partitioned) {
+        return baselines::makeTargetDecision(action.target);
+    }
+    sim::PartitionSpec spec =
+        core::materializePartition(action, *request.network);
+    const platform::Processor *proc =
+        sim_.localDevice().processor(spec.localProc);
+    if (proc != nullptr) {
+        spec.vfIndex = proc->maxVfIndex();
+    }
+    return baselines::makePartitionDecision(spec);
+}
+
+void
+HybridAutoScalePolicy::feedback(const sim::Outcome &outcome)
+{
+    scheduler_.feedback(outcome);
+}
+
+void
+HybridAutoScalePolicy::finishEpisode()
+{
+    scheduler_.finishEpisode();
+}
+
+std::unique_ptr<HybridAutoScalePolicy>
+makeHybridAutoScalePolicy(const sim::InferenceSimulator &sim,
+                          std::uint64_t seed,
+                          const core::SchedulerConfig &config)
+{
+    return std::make_unique<HybridAutoScalePolicy>(sim, config, seed);
+}
+
+} // namespace autoscale::harness

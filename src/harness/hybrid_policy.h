@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Adapter exposing the partition-augmented HybridScheduler (the paper's
+ * footnote 4 extension) through the common SchedulingPolicy interface.
+ */
+
+#ifndef AUTOSCALE_HARNESS_HYBRID_POLICY_H_
+#define AUTOSCALE_HARNESS_HYBRID_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "baselines/policy.h"
+#include "core/hybrid.h"
+
+namespace autoscale::harness {
+
+/** Hybrid (whole-model + partition actions) AutoScale as a policy. */
+class HybridAutoScalePolicy : public baselines::SchedulingPolicy {
+  public:
+    HybridAutoScalePolicy(const sim::InferenceSimulator &sim,
+                          const core::SchedulerConfig &config,
+                          std::uint64_t seed);
+
+    const std::string &name() const override { return name_; }
+
+    baselines::Decision decide(const sim::InferenceRequest &request,
+                               const env::EnvState &env, Rng &rng) override;
+
+    void feedback(const sim::Outcome &outcome) override;
+
+    void finishEpisode() override;
+
+    void
+    setExploration(bool enabled) override
+    {
+        scheduler_.setExploration(enabled);
+    }
+
+    void
+    setLearning(bool enabled) override
+    {
+        scheduler_.setLearning(enabled);
+    }
+
+    core::HybridScheduler &scheduler() { return scheduler_; }
+    const core::HybridScheduler &scheduler() const { return scheduler_; }
+
+  private:
+    std::string name_;
+    const sim::InferenceSimulator &sim_;
+    core::HybridScheduler scheduler_;
+};
+
+/** Factory with the default configuration. */
+std::unique_ptr<HybridAutoScalePolicy> makeHybridAutoScalePolicy(
+    const sim::InferenceSimulator &sim, std::uint64_t seed,
+    const core::SchedulerConfig &config = core::SchedulerConfig{});
+
+} // namespace autoscale::harness
+
+#endif // AUTOSCALE_HARNESS_HYBRID_POLICY_H_

@@ -1,0 +1,141 @@
+#include "harness/metrics.h"
+
+#include "util/logging.h"
+
+namespace autoscale::harness {
+
+void
+RunStats::add(const RunRecord &record)
+{
+    ++count_;
+    sumEnergyJ_ += record.energyJ;
+    sumOptEnergyJ_ += record.optEnergyJ;
+    sumLatencyMs_ += record.latencyMs;
+    if (record.qosViolated) {
+        ++qosViolations_;
+    }
+    if (record.optQosViolated) {
+        ++optQosViolations_;
+    }
+    if (record.accuracyViolated) {
+        ++accuracyViolations_;
+    }
+    if (record.matchedOracle) {
+        ++oracleMatches_;
+    }
+    if (record.nearOptimal) {
+        ++nearOptimal_;
+    }
+    ++decisionCounts_[record.decisionCategory];
+    if (!record.optCategory.empty()) {
+        ++optDecisionCounts_[record.optCategory];
+    }
+}
+
+void
+RunStats::merge(const RunStats &other)
+{
+    count_ += other.count_;
+    sumEnergyJ_ += other.sumEnergyJ_;
+    sumOptEnergyJ_ += other.sumOptEnergyJ_;
+    sumLatencyMs_ += other.sumLatencyMs_;
+    qosViolations_ += other.qosViolations_;
+    optQosViolations_ += other.optQosViolations_;
+    accuracyViolations_ += other.accuracyViolations_;
+    oracleMatches_ += other.oracleMatches_;
+    nearOptimal_ += other.nearOptimal_;
+    for (const auto &[category, count] : other.decisionCounts_) {
+        decisionCounts_[category] += count;
+    }
+    for (const auto &[category, count] : other.optDecisionCounts_) {
+        optDecisionCounts_[category] += count;
+    }
+}
+
+double
+RunStats::meanEnergyJ() const
+{
+    AS_CHECK(count_ > 0);
+    return sumEnergyJ_ / static_cast<double>(count_);
+}
+
+double
+RunStats::ppw() const
+{
+    return 1.0 / meanEnergyJ();
+}
+
+double
+RunStats::optMeanEnergyJ() const
+{
+    AS_CHECK(count_ > 0);
+    return sumOptEnergyJ_ / static_cast<double>(count_);
+}
+
+double
+RunStats::optPpw() const
+{
+    const double energy = optMeanEnergyJ();
+    AS_CHECK(energy > 0.0);
+    return 1.0 / energy;
+}
+
+double
+RunStats::qosViolationRatio() const
+{
+    AS_CHECK(count_ > 0);
+    return static_cast<double>(qosViolations_)
+        / static_cast<double>(count_);
+}
+
+double
+RunStats::optQosViolationRatio() const
+{
+    AS_CHECK(count_ > 0);
+    return static_cast<double>(optQosViolations_)
+        / static_cast<double>(count_);
+}
+
+double
+RunStats::accuracyViolationRatio() const
+{
+    AS_CHECK(count_ > 0);
+    return static_cast<double>(accuracyViolations_)
+        / static_cast<double>(count_);
+}
+
+double
+RunStats::predictionAccuracy() const
+{
+    AS_CHECK(count_ > 0);
+    return static_cast<double>(oracleMatches_)
+        / static_cast<double>(count_);
+}
+
+double
+RunStats::nearOptimalRatio() const
+{
+    AS_CHECK(count_ > 0);
+    return static_cast<double>(nearOptimal_)
+        / static_cast<double>(count_);
+}
+
+double
+RunStats::meanLatencyMs() const
+{
+    AS_CHECK(count_ > 0);
+    return sumLatencyMs_ / static_cast<double>(count_);
+}
+
+double
+RunStats::decisionShare(const std::string &category) const
+{
+    AS_CHECK(count_ > 0);
+    const auto it = decisionCounts_.find(category);
+    if (it == decisionCounts_.end()) {
+        return 0.0;
+    }
+    return static_cast<double>(it->second) / static_cast<double>(count_);
+}
+
+} // namespace autoscale::harness

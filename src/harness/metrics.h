@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Evaluation metrics used across the benchmarks: per-run accumulation
+ * of energy (for PPW), latency, QoS violations, accuracy violations,
+ * decision distributions (Fig. 13), and agreement with the Opt oracle.
+ */
+
+#ifndef AUTOSCALE_HARNESS_METRICS_H_
+#define AUTOSCALE_HARNESS_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace autoscale::harness {
+
+/** One evaluated inference. */
+struct RunRecord {
+    double energyJ = 0.0;
+    double latencyMs = 0.0;
+    double qosMs = 0.0;
+    bool qosViolated = false;
+    bool accuracyViolated = false;
+    std::string decisionCategory;
+    /** Whether the decision matched Opt at category level. */
+    bool matchedOracle = false;
+    /** Whether expected energy was within 1% of Opt's. */
+    bool nearOptimal = false;
+    /** Opt's expected energy for the same (request, env). */
+    double optEnergyJ = 0.0;
+    bool optQosViolated = false;
+    std::string optCategory;
+};
+
+/** Aggregated statistics over a set of runs. */
+class RunStats {
+  public:
+    /** Fold one run in. */
+    void add(const RunRecord &record);
+
+    /** Merge another accumulator. */
+    void merge(const RunStats &other);
+
+    int count() const { return count_; }
+
+    /** Mean true energy per inference, J. */
+    double meanEnergyJ() const;
+
+    /** Performance per watt (1 / mean energy); the PPW metric. */
+    double ppw() const;
+
+    /** Mean of Opt's expected energy, J. */
+    double optMeanEnergyJ() const;
+
+    /** Opt's PPW on the same request sequence. */
+    double optPpw() const;
+
+    /** Fraction of runs violating QoS. */
+    double qosViolationRatio() const;
+
+    /** Fraction of Opt runs violating QoS. */
+    double optQosViolationRatio() const;
+
+    /** Fraction of runs violating the accuracy target. */
+    double accuracyViolationRatio() const;
+
+    /** Fraction of decisions matching Opt at category level. */
+    double predictionAccuracy() const;
+
+    /** Fraction of decisions within 1% expected energy of Opt. */
+    double nearOptimalRatio() const;
+
+    double meanLatencyMs() const;
+
+    /** Decision-category histogram (Fig. 13). */
+    const std::map<std::string, int> &decisionCounts() const
+    { return decisionCounts_; }
+
+    /** Opt's decision-category histogram. */
+    const std::map<std::string, int> &optDecisionCounts() const
+    { return optDecisionCounts_; }
+
+    /** Share of decisions in @p category, [0, 1]. */
+    double decisionShare(const std::string &category) const;
+
+  private:
+    int count_ = 0;
+    double sumEnergyJ_ = 0.0;
+    double sumOptEnergyJ_ = 0.0;
+    double sumLatencyMs_ = 0.0;
+    int qosViolations_ = 0;
+    int optQosViolations_ = 0;
+    int accuracyViolations_ = 0;
+    int oracleMatches_ = 0;
+    int nearOptimal_ = 0;
+    std::map<std::string, int> decisionCounts_;
+    std::map<std::string, int> optDecisionCounts_;
+};
+
+} // namespace autoscale::harness
+
+#endif // AUTOSCALE_HARNESS_METRICS_H_

@@ -1,0 +1,100 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autoscale::net {
+
+const char *
+linkKindName(LinkKind kind)
+{
+    switch (kind) {
+      case LinkKind::Wlan: return "Wi-Fi";
+      case LinkKind::PeerToPeer: return "Wi-Fi Direct";
+    }
+    panic("linkKindName: unknown kind");
+}
+
+WirelessLink::WirelessLink(LinkKind kind, double maxRateMbps,
+                           double fixedRttMs)
+    : kind_(kind), maxRateMbps_(maxRateMbps), fixedRttMs_(fixedRttMs)
+{
+    AS_CHECK(maxRateMbps_ > 0.0);
+    AS_CHECK(fixedRttMs_ >= 0.0);
+}
+
+WirelessLink
+WirelessLink::defaultWlan()
+{
+    // 802.11ac-class AP plus backhaul to the cloud.
+    return WirelessLink(LinkKind::Wlan, 150.0, 25.0);
+}
+
+WirelessLink
+WirelessLink::defaultP2p()
+{
+    // Wi-Fi Direct: lower protocol overhead, similar rate class.
+    return WirelessLink(LinkKind::PeerToPeer, 60.0, 7.0);
+}
+
+WirelessLink
+WirelessLink::lte()
+{
+    // Cellular: modest uplink rate, longer core-network round trip.
+    return WirelessLink(LinkKind::Wlan, 40.0, 45.0);
+}
+
+WirelessLink
+WirelessLink::fiveG()
+{
+    // 5G: fat pipe and short RTT at strong signal.
+    return WirelessLink(LinkKind::Wlan, 400.0, 12.0);
+}
+
+double
+WirelessLink::dataRateMbps(double rssiDbm) const
+{
+    // Logistic rate curve: saturated above roughly -70 dBm, collapsing
+    // exponentially below -80 dBm (kWeakRssiDbm).
+    const double rate =
+        maxRateMbps_ / (1.0 + std::exp(-(rssiDbm + 78.0) / 4.0));
+    // Links retain a minimal MCS floor rather than dropping to zero.
+    return std::max(rate, 0.5);
+}
+
+double
+WirelessLink::txPowerW(double rssiDbm) const
+{
+    // Baseline TX power plus a superlinear penalty at weak signal
+    // (power-amplifier backoff and retransmissions).
+    const double weakness = std::max(0.0, -(rssiDbm + 65.0));
+    return 0.7 + 0.013 * std::pow(weakness, 1.3);
+}
+
+double
+WirelessLink::rxPowerW(double rssiDbm) const
+{
+    const double weakness = std::max(0.0, -(rssiDbm + 65.0));
+    return 0.5 + 0.004 * weakness;
+}
+
+TransferResult
+WirelessLink::transfer(std::uint64_t txBytes, std::uint64_t rxBytes,
+                       double rssiDbm) const
+{
+    const double rate_mbps = dataRateMbps(rssiDbm);
+    const double bits_per_ms = rate_mbps * 1e3; // Mbit/s == bit/us == kb/ms
+
+    TransferResult result;
+    result.txMs = static_cast<double>(txBytes) * 8.0 / bits_per_ms;
+    result.rxMs = static_cast<double>(rxBytes) * 8.0 / bits_per_ms;
+    result.fixedMs = fixedRttMs_;
+    // Eq. (4) TX/RX terms: P^S_TX * t_TX + P^S_RX * t_RX.
+    result.energyJ = txPowerW(rssiDbm) * result.txMs * 1e-3
+        + rxPowerW(rssiDbm) * result.rxMs * 1e-3;
+    return result;
+}
+
+} // namespace autoscale::net

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Wireless link model. Reproduces the two effects the paper relies on
+ * (Section III-B, citing Ding et al. SIGMETRICS'13):
+ *
+ *  1. data-transmission latency grows exponentially as signal strength
+ *     weakens (data rate collapses below roughly -80 dBm), and
+ *  2. the radio draws more power to transmit at weak signal.
+ *
+ * Two link kinds exist: the wireless LAN to the cloud (Wi-Fi/LTE) and
+ * the peer-to-peer link to a locally connected device (Wi-Fi Direct).
+ * Device-side transfer energy follows the paper's Eq. (4).
+ */
+
+#ifndef AUTOSCALE_NET_LINK_H_
+#define AUTOSCALE_NET_LINK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace autoscale::net {
+
+/** Link categories (Table I: S_RSSI_W and S_RSSI_P). */
+enum class LinkKind {
+    Wlan,       ///< Wi-Fi / LTE to an access point and the cloud.
+    PeerToPeer, ///< Wi-Fi Direct to a locally connected edge device.
+};
+
+/** Human-readable link name. */
+const char *linkKindName(LinkKind kind);
+
+/** RSSI below which the paper's state encoding calls a link "weak". */
+constexpr double kWeakRssiDbm = -80.0;
+
+/** Result of one request/response transfer. */
+struct TransferResult {
+    double txMs = 0.0;      ///< Uplink (request) time.
+    double rxMs = 0.0;      ///< Downlink (response) time.
+    double fixedMs = 0.0;   ///< Protocol/propagation round trip.
+    double energyJ = 0.0;   ///< Device-side radio energy (Eq. 4 TX+RX).
+
+    double totalMs() const { return txMs + rxMs + fixedMs; }
+};
+
+/** A wireless link with RSSI-dependent rate and power. */
+class WirelessLink {
+  public:
+    /**
+     * @param kind Link category.
+     * @param maxRateMbps Saturated data rate at strong signal.
+     * @param fixedRttMs Protocol round-trip overhead (AP + backhaul for
+     *        WLAN, direct link for P2P).
+     */
+    WirelessLink(LinkKind kind, double maxRateMbps, double fixedRttMs);
+
+    /** Construct the default WLAN link of the evaluation setup. */
+    static WirelessLink defaultWlan();
+
+    /** Construct the default Wi-Fi Direct link of the evaluation setup. */
+    static WirelessLink defaultP2p();
+
+    /**
+     * LTE wide-area link (Table I's S_RSSI_W covers "Wi-Fi, LTE, and
+     * 5G"): lower rate and higher round trip than the Wi-Fi AP path.
+     */
+    static WirelessLink lte();
+
+    /** 5G mmWave-class link: high rate, fast round trip, but the rate
+     * collapses even harder at weak signal. */
+    static WirelessLink fiveG();
+
+    LinkKind kind() const { return kind_; }
+    double maxRateMbps() const { return maxRateMbps_; }
+    double fixedRttMs() const { return fixedRttMs_; }
+
+    /**
+     * Effective data rate at @p rssiDbm. Logistic collapse centered near
+     * -78 dBm: ~full rate above -70, exponentially decaying below -80.
+     */
+    double dataRateMbps(double rssiDbm) const;
+
+    /** Radio transmit power at @p rssiDbm (rises at weak signal). */
+    double txPowerW(double rssiDbm) const;
+
+    /** Radio receive power at @p rssiDbm. */
+    double rxPowerW(double rssiDbm) const;
+
+    /**
+     * One request/response transfer of @p txBytes up and @p rxBytes down
+     * at @p rssiDbm. Energy covers only the radio during TX/RX; the idle
+     * term of Eq. (4) is added by the simulator, which knows the remote
+     * compute time.
+     */
+    TransferResult transfer(std::uint64_t txBytes, std::uint64_t rxBytes,
+                            double rssiDbm) const;
+
+  private:
+    LinkKind kind_;
+    double maxRateMbps_;
+    double fixedRttMs_;
+};
+
+} // namespace autoscale::net
+
+#endif // AUTOSCALE_NET_LINK_H_

@@ -1,0 +1,24 @@
+#include "net/rssi_process.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace autoscale::net {
+
+GaussianRssi::GaussianRssi(double meanDbm, double sigmaDb, double minDbm,
+                           double maxDbm)
+    : meanDbm_(meanDbm), sigmaDb_(sigmaDb), minDbm_(minDbm), maxDbm_(maxDbm)
+{
+    AS_CHECK(sigmaDb_ >= 0.0);
+    AS_CHECK(minDbm_ < maxDbm_);
+}
+
+double
+GaussianRssi::sample(Rng &rng)
+{
+    const double value = rng.normal(meanDbm_, sigmaDb_);
+    return std::clamp(value, minDbm_, maxDbm_);
+}
+
+} // namespace autoscale::net

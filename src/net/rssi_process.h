@@ -1,0 +1,58 @@
+/**
+ * @file
+ * RSSI processes for the evaluation environments: constant (static
+ * scenarios S1-S5) and Gaussian (dynamic scenario D3 — the paper models
+ * signal strength variance with a Gaussian distribution, Section V-B).
+ */
+
+#ifndef AUTOSCALE_NET_RSSI_PROCESS_H_
+#define AUTOSCALE_NET_RSSI_PROCESS_H_
+
+#include "util/rng.h"
+
+namespace autoscale::net {
+
+/** Generates one RSSI sample per inference. */
+class RssiProcess {
+  public:
+    virtual ~RssiProcess() = default;
+
+    /** Next RSSI sample in dBm. */
+    virtual double sample(Rng &rng) = 0;
+};
+
+/** Fixed RSSI (static environments). */
+class ConstantRssi : public RssiProcess {
+  public:
+    explicit ConstantRssi(double rssiDbm) : rssiDbm_(rssiDbm) {}
+
+    double sample(Rng &) override { return rssiDbm_; }
+
+  private:
+    double rssiDbm_;
+};
+
+/** Gaussian RSSI, clamped to a physical range (dynamic environment D3). */
+class GaussianRssi : public RssiProcess {
+  public:
+    /**
+     * @param meanDbm Mean RSSI.
+     * @param sigmaDb Standard deviation.
+     * @param minDbm Lower clamp.
+     * @param maxDbm Upper clamp.
+     */
+    GaussianRssi(double meanDbm, double sigmaDb, double minDbm = -95.0,
+                 double maxDbm = -40.0);
+
+    double sample(Rng &rng) override;
+
+  private:
+    double meanDbm_;
+    double sigmaDb_;
+    double minDbm_;
+    double maxDbm_;
+};
+
+} // namespace autoscale::net
+
+#endif // AUTOSCALE_NET_RSSI_PROCESS_H_

@@ -1,0 +1,103 @@
+#include "platform/device.h"
+
+#include "util/logging.h"
+
+namespace autoscale::platform {
+
+const char *
+deviceTierName(DeviceTier tier)
+{
+    switch (tier) {
+      case DeviceTier::MidEnd: return "mid-end";
+      case DeviceTier::HighEnd: return "high-end";
+      case DeviceTier::Tablet: return "tablet";
+      case DeviceTier::Server: return "server";
+    }
+    panic("deviceTierName: unknown tier");
+}
+
+Device::Device(std::string name, DeviceTier tier, Processor cpu,
+               std::unique_ptr<Processor> gpu, std::unique_ptr<Processor> dsp,
+               double basePowerW, int dramMB)
+    : name_(std::move(name)), tier_(tier), cpu_(std::move(cpu)),
+      gpu_(std::move(gpu)), dsp_(std::move(dsp)), basePowerW_(basePowerW),
+      dramMB_(dramMB)
+{
+    AS_CHECK(basePowerW_ >= 0.0);
+    AS_CHECK(dramMB_ > 0);
+    if (tier_ == DeviceTier::Server) {
+        AS_CHECK(cpu_.kind() == ProcKind::ServerCpu);
+    } else {
+        AS_CHECK(cpu_.kind() == ProcKind::MobileCpu);
+    }
+}
+
+void
+Device::setAccelerator(std::unique_ptr<Processor> accelerator)
+{
+    AS_CHECK(accelerator != nullptr);
+    if (tier_ == DeviceTier::Server) {
+        AS_CHECK(accelerator->kind() == ProcKind::ServerTpu);
+    } else {
+        AS_CHECK(accelerator->kind() == ProcKind::MobileNpu);
+    }
+    accelerator_ = std::move(accelerator);
+}
+
+const Processor &
+Device::gpu() const
+{
+    AS_CHECK(gpu_ != nullptr);
+    return *gpu_;
+}
+
+const Processor &
+Device::dsp() const
+{
+    AS_CHECK(dsp_ != nullptr);
+    return *dsp_;
+}
+
+const Processor &
+Device::accelerator() const
+{
+    AS_CHECK(accelerator_ != nullptr);
+    return *accelerator_;
+}
+
+const Processor *
+Device::processor(ProcKind kind) const
+{
+    if (cpu_.kind() == kind) {
+        return &cpu_;
+    }
+    if (gpu_ && gpu_->kind() == kind) {
+        return gpu_.get();
+    }
+    if (dsp_ && dsp_->kind() == kind) {
+        return dsp_.get();
+    }
+    if (accelerator_ && accelerator_->kind() == kind) {
+        return accelerator_.get();
+    }
+    return nullptr;
+}
+
+std::vector<const Processor *>
+Device::processors() const
+{
+    std::vector<const Processor *> procs;
+    procs.push_back(&cpu_);
+    if (gpu_) {
+        procs.push_back(gpu_.get());
+    }
+    if (dsp_) {
+        procs.push_back(dsp_.get());
+    }
+    if (accelerator_) {
+        procs.push_back(accelerator_.get());
+    }
+    return procs;
+}
+
+} // namespace autoscale::platform

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A device: a set of processors (CPU always present; GPU/DSP optional)
+ * plus system-level power characteristics. Devices are the nodes of the
+ * edge-cloud execution environment: the user's phone, a locally
+ * connected tablet, or the cloud server.
+ */
+
+#ifndef AUTOSCALE_PLATFORM_DEVICE_H_
+#define AUTOSCALE_PLATFORM_DEVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/processor.h"
+
+namespace autoscale::platform {
+
+/** Market tier, used to pick characterization rows (Section III). */
+enum class DeviceTier {
+    MidEnd,
+    HighEnd,
+    Tablet,
+    Server,
+};
+
+/** Human-readable tier name. */
+const char *deviceTierName(DeviceTier tier);
+
+/** A phone, tablet, or server node. */
+class Device {
+  public:
+    /**
+     * @param name Marketing name, e.g. "Mi8Pro".
+     * @param tier Market tier.
+     * @param cpu CPU model (required).
+     * @param gpu GPU model, or nullptr.
+     * @param dsp DSP model, or nullptr.
+     * @param basePowerW Rest-of-system power (screen, rails, sensors)
+     *        charged for the full duration of every inference.
+     * @param dramMB DRAM capacity, for the overhead analysis (Sec. VI-C).
+     */
+    Device(std::string name, DeviceTier tier, Processor cpu,
+           std::unique_ptr<Processor> gpu, std::unique_ptr<Processor> dsp,
+           double basePowerW, int dramMB);
+
+    /**
+     * Attach the Section V-C extension accelerator: a mobile NPU on a
+     * phone/tablet, or a TPU on the cloud server.
+     */
+    void setAccelerator(std::unique_ptr<Processor> accelerator);
+
+    const std::string &name() const { return name_; }
+    DeviceTier tier() const { return tier_; }
+    const Processor &cpu() const { return cpu_; }
+    bool hasGpu() const { return gpu_ != nullptr; }
+    bool hasDsp() const { return dsp_ != nullptr; }
+    bool hasAccelerator() const { return accelerator_ != nullptr; }
+    const Processor &gpu() const;
+    const Processor &dsp() const;
+    const Processor &accelerator() const;
+    double basePowerW() const { return basePowerW_; }
+    int dramMB() const { return dramMB_; }
+
+    /** Find the processor of @p kind, or nullptr if absent. */
+    const Processor *processor(ProcKind kind) const;
+
+    /** All processors present on the device. */
+    std::vector<const Processor *> processors() const;
+
+  private:
+    std::string name_;
+    DeviceTier tier_;
+    Processor cpu_;
+    std::unique_ptr<Processor> gpu_;
+    std::unique_ptr<Processor> dsp_;
+    std::unique_ptr<Processor> accelerator_;
+    double basePowerW_;
+    int dramMB_;
+};
+
+} // namespace autoscale::platform
+
+#endif // AUTOSCALE_PLATFORM_DEVICE_H_

@@ -1,0 +1,142 @@
+#include "platform/device_zoo.h"
+
+#include "util/logging.h"
+
+namespace autoscale::platform {
+
+namespace {
+
+std::unique_ptr<Processor>
+makeDsp(const std::string &name, double powerW, double gopsInt8,
+        double bandwidthGBs)
+{
+    // DSPs do not support DVFS in the paper's setup (Section V-C): a
+    // single nominal step at the pre-measured constant power (Eq. 3).
+    std::vector<VfStep> steps{VfStep{1.0, 1.0, powerW}};
+    return std::make_unique<Processor>(name, ProcKind::MobileDsp,
+                                       std::move(steps), 0.05, gopsInt8,
+                                       bandwidthGBs);
+}
+
+} // namespace
+
+Device
+makeMi8Pro()
+{
+    // Table II row 1: Cortex A75 @ 2.8 GHz, 23 V/F steps, 5.5 W peak;
+    // Adreno 630 @ 0.7 GHz, 7 V/F steps, 2.8 W; Hexagon 685 DSP, 1.8 W.
+    Processor cpu("Cortex A75", ProcKind::MobileCpu,
+                  makeVfSteps(23, 2.8, 5.5), 0.15, 90.0, 14.0, 4);
+    auto gpu = std::make_unique<Processor>(
+        "Adreno 630", ProcKind::MobileGpu, makeVfSteps(7, 0.7, 2.8), 0.10,
+        727.0, 20.0);
+    auto dsp = makeDsp("Hexagon 685", 1.8, 700.0, 18.0);
+    return Device("Mi8Pro", DeviceTier::HighEnd, std::move(cpu),
+                  std::move(gpu), std::move(dsp), 0.8, 8192);
+}
+
+Device
+makeGalaxyS10e()
+{
+    // Table II row 2: Mongoose @ 2.7 GHz, 21 V/F steps, 5.6 W;
+    // Mali-G76 @ 0.7 GHz, 9 V/F steps, 2.4 W; no DSP.
+    Processor cpu("Mongoose", ProcKind::MobileCpu,
+                  makeVfSteps(21, 2.7, 5.6), 0.15, 85.0, 15.0, 4);
+    auto gpu = std::make_unique<Processor>(
+        "Mali-G76", ProcKind::MobileGpu, makeVfSteps(9, 0.7, 2.4), 0.10,
+        600.0, 18.0);
+    return Device("Galaxy S10e", DeviceTier::HighEnd, std::move(cpu),
+                  std::move(gpu), nullptr, 0.8, 6144);
+}
+
+Device
+makeMotoXForce()
+{
+    // Table II row 3: Cortex A57 @ 1.9 GHz, 15 V/F steps, 3.6 W;
+    // Adreno 430 @ 0.6 GHz, 6 V/F steps, 2.0 W; no DSP.
+    Processor cpu("Cortex A57", ProcKind::MobileCpu,
+                  makeVfSteps(15, 1.9, 3.6), 0.12, 30.0, 10.0, 4);
+    auto gpu = std::make_unique<Processor>(
+        "Adreno 430", ProcKind::MobileGpu, makeVfSteps(6, 0.6, 2.0), 0.08,
+        160.0, 11.0);
+    return Device("Moto X Force", DeviceTier::MidEnd, std::move(cpu),
+                  std::move(gpu), nullptr, 0.8, 3072);
+}
+
+Device
+makeGalaxyTabS6()
+{
+    // Section V-A: Cortex A76 @ 2.84 GHz, Adreno 640, Hexagon 690.
+    Processor cpu("Cortex A76", ProcKind::MobileCpu,
+                  makeVfSteps(20, 2.84, 6.0), 0.18, 130.0, 16.0, 4);
+    auto gpu = std::make_unique<Processor>(
+        "Adreno 640", ProcKind::MobileGpu, makeVfSteps(8, 0.75, 3.0), 0.12,
+        950.0, 25.0);
+    auto dsp = makeDsp("Hexagon 690", 2.0, 900.0, 22.0);
+    return Device("Galaxy Tab S6", DeviceTier::Tablet, std::move(cpu),
+                  std::move(gpu), std::move(dsp), 1.0, 8192);
+}
+
+Device
+makeCloudServer()
+{
+    // Section V-A: Intel Xeon E5-2640, 2.4 GHz, 40 cores; NVIDIA P100;
+    // 256 GB RAM. Server power never reaches the phone's battery — only
+    // the server-side compute latency matters to the device.
+    Processor cpu("Xeon E5-2640", ProcKind::ServerCpu,
+                  makeVfSteps(1, 2.4, 90.0), 40.0, 1500.0, 60.0, 40);
+    auto gpu = std::make_unique<Processor>(
+        "Tesla P100", ProcKind::ServerGpu, makeVfSteps(1, 1.3, 250.0), 30.0,
+        9300.0, 732.0);
+    return Device("Cloud Server", DeviceTier::Server, std::move(cpu),
+                  std::move(gpu), nullptr, 100.0, 262144);
+}
+
+Device
+makeMi8ProWithNpu()
+{
+    Device device = makeMi8Pro();
+    // A Kirin/ANE-class NPU: ~3 TOPS INT8 at 2.2 W, no DVFS, with a
+    // dedicated weight SRAM feeding a wider effective bandwidth.
+    std::vector<VfStep> steps{VfStep{1.0, 1.0, 2.2}};
+    device.setAccelerator(std::make_unique<Processor>(
+        "Mobile NPU", ProcKind::MobileNpu, std::move(steps), 0.06, 3000.0,
+        30.0));
+    return device;
+}
+
+Device
+makeCloudServerWithTpu()
+{
+    Device server = makeCloudServer();
+    // A TPU-class dense-matmul accelerator; server power never reaches
+    // the phone, but the shorter remote compute time does.
+    std::vector<VfStep> steps{VfStep{1.0, 1.0, 200.0}};
+    server.setAccelerator(std::make_unique<Processor>(
+        "Cloud TPU", ProcKind::ServerTpu, std::move(steps), 25.0, 45000.0,
+        600.0));
+    return server;
+}
+
+std::vector<std::string>
+phoneNames()
+{
+    return {"Mi8Pro", "Galaxy S10e", "Moto X Force"};
+}
+
+Device
+makePhone(const std::string &name)
+{
+    if (name == "Mi8Pro") {
+        return makeMi8Pro();
+    }
+    if (name == "Galaxy S10e") {
+        return makeGalaxyS10e();
+    }
+    if (name == "Moto X Force") {
+        return makeMotoXForce();
+    }
+    fatal("makePhone: unknown phone '" + name + "'");
+}
+
+} // namespace autoscale::platform

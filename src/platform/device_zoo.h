@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The Table II device fleet plus the connected tablet and cloud server
+ * from Section V-A. V/F step counts, top frequencies, and peak component
+ * powers follow Table II; throughput and bandwidth numbers use the
+ * published ratings of each SoC.
+ */
+
+#ifndef AUTOSCALE_PLATFORM_DEVICE_ZOO_H_
+#define AUTOSCALE_PLATFORM_DEVICE_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/device.h"
+
+namespace autoscale::platform {
+
+/** Xiaomi Mi8Pro: high-end, GPU + DSP (Snapdragon 845 class). */
+Device makeMi8Pro();
+
+/** Samsung Galaxy S10e: high-end, GPU, no DSP (Exynos 9820 class). */
+Device makeGalaxyS10e();
+
+/** Motorola Moto X Force: mid-end, GPU, no DSP (Snapdragon 810 class). */
+Device makeMotoXForce();
+
+/** Samsung Galaxy Tab S6: locally connected edge (Snapdragon 855). */
+Device makeGalaxyTabS6();
+
+/** Cloud server: Xeon E5-2640 (40 cores) + NVIDIA P100. */
+Device makeCloudServer();
+
+/**
+ * Section V-C extension: the Mi8Pro with a vendor-SDK-unlocked mobile
+ * NPU (the paper excluded NPUs only because their SDKs "have yet to
+ * see public release").
+ */
+Device makeMi8ProWithNpu();
+
+/** Section V-C extension: the cloud server with a tensor accelerator. */
+Device makeCloudServerWithTpu();
+
+/** The three phones under test, in Table II order. */
+std::vector<std::string> phoneNames();
+
+/** Build a phone by name; fatal() for unknown names. */
+Device makePhone(const std::string &name);
+
+} // namespace autoscale::platform
+
+#endif // AUTOSCALE_PLATFORM_DEVICE_ZOO_H_

@@ -1,0 +1,103 @@
+#include "platform/power.h"
+
+#include "util/logging.h"
+
+namespace autoscale::platform {
+
+namespace {
+
+/**
+ * Busy + idle energy for one power domain slice. busyShareW/idleShareW
+ * are this slice's share of the component's busy/idle power.
+ */
+double
+sliceEnergyJ(const Processor &proc, const CoreActivity &activity,
+             double windowMs, double powerShare)
+{
+    double busy_ms_total = 0.0;
+    double energy_j = 0.0;
+    for (const auto &interval : activity) {
+        AS_CHECK(interval.vfIndex < proc.numVfSteps());
+        AS_CHECK(interval.busyMs >= 0.0);
+        busy_ms_total += interval.busyMs;
+        energy_j += proc.busyPowerW(interval.vfIndex) * powerShare
+            * interval.busyMs * 1e-3;
+    }
+    AS_CHECK(busy_ms_total <= windowMs + 1e-9);
+    const double idle_ms = windowMs - busy_ms_total;
+    energy_j += proc.idlePowerW() * powerShare * idle_ms * 1e-3;
+    return energy_j;
+}
+
+} // namespace
+
+double
+cpuEnergyJ(const Processor &cpu, const std::vector<CoreActivity> &perCore,
+           double windowMs)
+{
+    AS_CHECK(cpu.kind() == ProcKind::MobileCpu
+             || cpu.kind() == ProcKind::ServerCpu);
+    AS_CHECK(static_cast<int>(perCore.size()) <= cpu.numCores());
+    AS_CHECK(windowMs >= 0.0);
+
+    // busyPowerW/idlePowerW describe the whole cluster with every core
+    // active; each core owns an even share (Eq. 1 sums over cores).
+    const double share = 1.0 / static_cast<double>(cpu.numCores());
+    double energy_j = 0.0;
+    for (const auto &core : perCore) {
+        energy_j += sliceEnergyJ(cpu, core, windowMs, share);
+    }
+    // Cores with no recorded activity idle for the whole window.
+    const int silent = cpu.numCores() - static_cast<int>(perCore.size());
+    energy_j +=
+        cpu.idlePowerW() * share * static_cast<double>(silent) * windowMs
+        * 1e-3;
+    return energy_j;
+}
+
+double
+gpuEnergyJ(const Processor &gpu, const CoreActivity &activity,
+           double windowMs)
+{
+    AS_CHECK(gpu.kind() == ProcKind::MobileGpu
+             || gpu.kind() == ProcKind::ServerGpu
+             || gpu.kind() == ProcKind::ServerTpu);
+    return sliceEnergyJ(gpu, activity, windowMs, 1.0);
+}
+
+double
+dspEnergyJ(double dspPowerW, double latencyMs)
+{
+    AS_CHECK(dspPowerW >= 0.0 && latencyMs >= 0.0);
+    return dspPowerW * latencyMs * 1e-3;
+}
+
+double
+uniformBusyEnergyJ(const Processor &proc, std::size_t vfIndex, double busyMs,
+                   double windowMs, int cores)
+{
+    AS_CHECK(cores >= 1 && cores <= proc.numCores());
+    AS_CHECK(busyMs <= windowMs + 1e-9);
+    switch (proc.kind()) {
+      case ProcKind::MobileCpu:
+      case ProcKind::ServerCpu: {
+        std::vector<CoreActivity> per_core(
+            static_cast<std::size_t>(cores),
+            CoreActivity{BusyInterval{vfIndex, busyMs}});
+        return cpuEnergyJ(proc, per_core, windowMs);
+      }
+      case ProcKind::MobileGpu:
+      case ProcKind::ServerGpu:
+      case ProcKind::ServerTpu:
+        return gpuEnergyJ(proc, CoreActivity{BusyInterval{vfIndex, busyMs}},
+                          windowMs);
+      case ProcKind::MobileDsp:
+      case ProcKind::MobileNpu:
+        // Eq. (3)-style constant-power accelerators.
+        return dspEnergyJ(proc.busyPowerW(vfIndex), busyMs)
+            + proc.idlePowerW() * (windowMs - busyMs) * 1e-3;
+    }
+    panic("uniformBusyEnergyJ: unknown kind");
+}
+
+} // namespace autoscale::platform

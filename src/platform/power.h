@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The paper's component energy models, Section IV-A:
+ *
+ *  - Eq. (1): utilization-based CPU energy, summed over cores, each core
+ *    accumulating busy energy per frequency plus idle energy.
+ *  - Eq. (2): frequency-based GPU energy (same busy/idle form).
+ *  - Eq. (3): constant-power DSP energy, E = P_DSP * R_latency.
+ *
+ * These are used both as the simulator's ground truth (with measurement
+ * noise added on top) and as AutoScale's Renergy estimator — exactly as
+ * in the paper, where the estimator achieves a 7.3% MAPE.
+ */
+
+#ifndef AUTOSCALE_PLATFORM_POWER_H_
+#define AUTOSCALE_PLATFORM_POWER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/processor.h"
+
+namespace autoscale::platform {
+
+/** A busy interval of one core at one DVFS step. */
+struct BusyInterval {
+    std::size_t vfIndex = 0;
+    double busyMs = 0.0;
+};
+
+/** Busy intervals of one core over the measurement window. */
+using CoreActivity = std::vector<BusyInterval>;
+
+/**
+ * Eq. (1): CPU energy over a window of @p windowMs.
+ *
+ * Each core contributes sum_f(P_busy(f) * t_busy(f)) + P_idle * t_idle,
+ * where t_idle is the remainder of the window. Idle power is divided
+ * evenly across cores.
+ *
+ * @param cpu CPU processor model.
+ * @param perCore One activity list per core (size <= numCores).
+ * @param windowMs Total wall-clock window in milliseconds.
+ * @return Energy in joules.
+ */
+double cpuEnergyJ(const Processor &cpu,
+                  const std::vector<CoreActivity> &perCore, double windowMs);
+
+/**
+ * Eq. (2): GPU energy, sum_f(P_busy(f) * t_busy(f)) + P_idle * t_idle.
+ *
+ * @param gpu GPU processor model.
+ * @param activity Busy intervals.
+ * @param windowMs Total wall-clock window in milliseconds.
+ * @return Energy in joules.
+ */
+double gpuEnergyJ(const Processor &gpu, const CoreActivity &activity,
+                  double windowMs);
+
+/**
+ * Eq. (3): DSP energy, E = P_DSP * latency. The paper uses a constant
+ * pre-measured DSP power because it "remains consistent over 100 runs of
+ * 10 NNs".
+ *
+ * @param dspPowerW Pre-measured constant DSP power.
+ * @param latencyMs Measured inference latency.
+ * @return Energy in joules.
+ */
+double dspEnergyJ(double dspPowerW, double latencyMs);
+
+/**
+ * Convenience for the common single-frequency case: all @p cores cores
+ * busy at @p vfIndex for @p busyMs within a @p windowMs window.
+ */
+double uniformBusyEnergyJ(const Processor &proc, std::size_t vfIndex,
+                          double busyMs, double windowMs, int cores);
+
+} // namespace autoscale::platform
+
+#endif // AUTOSCALE_PLATFORM_POWER_H_

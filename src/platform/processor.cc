@@ -1,0 +1,290 @@
+#include "platform/processor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autoscale::platform {
+
+const char *
+procKindName(ProcKind kind)
+{
+    switch (kind) {
+      case ProcKind::MobileCpu: return "CPU";
+      case ProcKind::MobileGpu: return "GPU";
+      case ProcKind::MobileDsp: return "DSP";
+      case ProcKind::MobileNpu: return "NPU";
+      case ProcKind::ServerCpu: return "CPU";
+      case ProcKind::ServerGpu: return "GPU";
+      case ProcKind::ServerTpu: return "TPU";
+    }
+    panic("procKindName: unknown kind");
+}
+
+std::vector<VfStep>
+makeVfSteps(int count, double fmaxGhz, double peakBusyW)
+{
+    AS_CHECK(count >= 1);
+    AS_CHECK(fmaxGhz > 0.0 && peakBusyW > 0.0);
+    std::vector<VfStep> steps;
+    steps.reserve(static_cast<std::size_t>(count));
+    const double fmin = 0.3 * fmaxGhz;
+    for (int i = 0; i < count; ++i) {
+        const double frac = count == 1
+            ? 1.0
+            : static_cast<double>(i) / static_cast<double>(count - 1);
+        VfStep step;
+        step.freqGhz = fmin + (fmaxGhz - fmin) * frac;
+        // Linear voltage ramp from 60% to 100% of nominal; busy power
+        // follows P = C V^2 f, normalized so the top step hits peakBusyW.
+        step.voltage = 0.6 + 0.4 * (step.freqGhz / fmaxGhz);
+        // P = C V^2 f, with a rail/leakage floor: a busy component never
+        // drops below ~35% of its peak power even at the lowest step.
+        const double scaled = step.voltage * step.voltage
+            * (step.freqGhz / fmaxGhz);
+        step.busyPowerW = peakBusyW * std::max(scaled, 0.35);
+        steps.push_back(step);
+    }
+    return steps;
+}
+
+namespace {
+
+/** Per-kind efficiency profile for the roofline model. */
+struct EfficiencyProfile {
+    double convCompute;
+    double fcCompute;
+    double rcCompute;
+    double minorCompute;
+    double convMemory;
+    double fcMemory;
+    double rcMemory;
+    double minorMemory;
+    double overheadMs;
+};
+
+const EfficiencyProfile &
+profileFor(ProcKind kind)
+{
+    // Calibrated so that: CPUs are balanced across layer types; mobile
+    // GPUs/DSPs are strong on CONV but weak on the memory-bound FC/RC
+    // layers (Fig. 3); server parts are efficient across the board.
+    static const EfficiencyProfile mobile_cpu{
+        0.45, 0.50, 0.50, 0.30, 0.60, 0.70, 0.65, 0.50, 0.010};
+    static const EfficiencyProfile mobile_gpu{
+        0.45, 0.20, 0.25, 0.20, 0.50, 0.22, 0.25, 0.35, 0.080};
+    static const EfficiencyProfile mobile_dsp{
+        0.65, 0.30, 0.30, 0.25, 0.55, 0.28, 0.28, 0.40, 0.050};
+    static const EfficiencyProfile server_cpu{
+        0.60, 0.65, 0.65, 0.40, 0.70, 0.75, 0.75, 0.60, 0.004};
+    static const EfficiencyProfile server_gpu{
+        0.75, 0.55, 0.60, 0.30, 0.70, 0.60, 0.60, 0.50, 0.020};
+    // NPUs are DSP-class on CONV but with a dedicated weight SRAM that
+    // softens the FC penalty; TPUs are dense-matmul monsters.
+    static const EfficiencyProfile mobile_npu{
+        0.80, 0.45, 0.45, 0.30, 0.60, 0.40, 0.40, 0.45, 0.040};
+    static const EfficiencyProfile server_tpu{
+        0.85, 0.80, 0.80, 0.30, 0.75, 0.70, 0.70, 0.50, 0.015};
+    switch (kind) {
+      case ProcKind::MobileCpu: return mobile_cpu;
+      case ProcKind::MobileGpu: return mobile_gpu;
+      case ProcKind::MobileDsp: return mobile_dsp;
+      case ProcKind::MobileNpu: return mobile_npu;
+      case ProcKind::ServerCpu: return server_cpu;
+      case ProcKind::ServerGpu: return server_gpu;
+      case ProcKind::ServerTpu: return server_tpu;
+    }
+    panic("profileFor: unknown kind");
+}
+
+double
+pickCompute(const EfficiencyProfile &p, dnn::LayerKind kind)
+{
+    switch (kind) {
+      case dnn::LayerKind::Conv: return p.convCompute;
+      case dnn::LayerKind::FullyConnected: return p.fcCompute;
+      case dnn::LayerKind::Recurrent: return p.rcCompute;
+      default: return p.minorCompute;
+    }
+}
+
+double
+pickMemory(const EfficiencyProfile &p, dnn::LayerKind kind)
+{
+    switch (kind) {
+      case dnn::LayerKind::Conv: return p.convMemory;
+      case dnn::LayerKind::FullyConnected: return p.fcMemory;
+      case dnn::LayerKind::Recurrent: return p.rcMemory;
+      default: return p.minorMemory;
+    }
+}
+
+} // namespace
+
+Processor::Processor(std::string name, ProcKind kind,
+                     std::vector<VfStep> vfSteps, double idlePowerW,
+                     double peakGflopsFp32, double memBandwidthGBs,
+                     int numCores)
+    : name_(std::move(name)), kind_(kind), vfSteps_(std::move(vfSteps)),
+      idlePowerW_(idlePowerW), peakGflopsFp32_(peakGflopsFp32),
+      memBandwidthGBs_(memBandwidthGBs), numCores_(numCores)
+{
+    AS_CHECK(!vfSteps_.empty());
+    AS_CHECK(std::is_sorted(vfSteps_.begin(), vfSteps_.end(),
+                            [](const VfStep &a, const VfStep &b) {
+                                return a.freqGhz < b.freqGhz;
+                            }));
+    AS_CHECK(idlePowerW_ >= 0.0);
+    AS_CHECK(peakGflopsFp32_ > 0.0);
+    AS_CHECK(memBandwidthGBs_ > 0.0);
+    AS_CHECK(numCores_ >= 1);
+}
+
+double
+Processor::busyPowerW(std::size_t vfIndex) const
+{
+    AS_CHECK(vfIndex < vfSteps_.size());
+    return vfSteps_[vfIndex].busyPowerW;
+}
+
+double
+Processor::freqGhz(std::size_t vfIndex) const
+{
+    AS_CHECK(vfIndex < vfSteps_.size());
+    return vfSteps_[vfIndex].freqGhz;
+}
+
+bool
+Processor::supportsPrecision(dnn::Precision precision) const
+{
+    // Section V-C: INT8 on mobile CPUs, FP16 on mobile GPUs, INT8-only
+    // DSPs, FP32 on server processors.
+    switch (kind_) {
+      case ProcKind::MobileCpu:
+        return precision == dnn::Precision::FP32
+            || precision == dnn::Precision::INT8;
+      case ProcKind::MobileGpu:
+        return precision == dnn::Precision::FP32
+            || precision == dnn::Precision::FP16;
+      case ProcKind::MobileDsp:
+      case ProcKind::MobileNpu:
+        return precision == dnn::Precision::INT8;
+      case ProcKind::ServerCpu:
+      case ProcKind::ServerGpu:
+      case ProcKind::ServerTpu:
+        return precision == dnn::Precision::FP32;
+    }
+    panic("supportsPrecision: unknown kind");
+}
+
+double
+Processor::precisionSpeedup(dnn::Precision precision) const
+{
+    AS_CHECK(supportsPrecision(precision));
+    switch (precision) {
+      case dnn::Precision::FP32:
+        return 1.0;
+      case dnn::Precision::FP16:
+        return 1.8;
+      case dnn::Precision::INT8:
+        // DSP/NPU ratings are already their INT8 throughput.
+        return kind_ == ProcKind::MobileDsp || kind_ == ProcKind::MobileNpu
+            ? 1.0 : 2.5;
+    }
+    panic("precisionSpeedup: unknown precision");
+}
+
+double
+Processor::computeEfficiency(dnn::LayerKind kind) const
+{
+    return pickCompute(profileFor(kind_), kind);
+}
+
+double
+Processor::memoryEfficiency(dnn::LayerKind kind) const
+{
+    return pickMemory(profileFor(kind_), kind);
+}
+
+double
+Processor::perLayerOverheadMs() const
+{
+    return profileFor(kind_).overheadMs;
+}
+
+double
+Processor::dispatchOverheadMs(dnn::LayerKind kind) const
+{
+    const bool host_sync_kind = kind == dnn::LayerKind::FullyConnected
+        || kind == dnn::LayerKind::Recurrent;
+    const bool co_processor = kind_ == ProcKind::MobileGpu
+        || kind_ == ProcKind::MobileDsp || kind_ == ProcKind::MobileNpu;
+    const double factor = (host_sync_kind && co_processor) ? 8.0 : 1.0;
+    return perLayerOverheadMs() * factor;
+}
+
+double
+Processor::precisionPowerFactor(dnn::Precision precision) const
+{
+    if (kind_ != ProcKind::MobileCpu && kind_ != ProcKind::MobileGpu) {
+        return 1.0;
+    }
+    switch (precision) {
+      case dnn::Precision::FP32: return 1.0;
+      case dnn::Precision::FP16: return 0.85;
+      case dnn::Precision::INT8: return 0.75;
+    }
+    panic("precisionPowerFactor: unknown precision");
+}
+
+double
+Processor::layerLatencyMs(const dnn::Layer &layer, dnn::Precision precision,
+                          std::size_t vfIndex, const Derate &derate) const
+{
+    AS_CHECK(vfIndex < vfSteps_.size());
+    AS_CHECK(derate.freqFactor > 0.0 && derate.freqFactor <= 1.0);
+    AS_CHECK(derate.bandwidthFactor > 0.0 && derate.bandwidthFactor <= 1.0);
+
+    const double freq_frac = vfSteps_[vfIndex].freqGhz
+        / vfSteps_.back().freqGhz * derate.freqFactor;
+
+    const double gflops = peakGflopsFp32_ * freq_frac
+        * precisionSpeedup(precision) * computeEfficiency(layer.kind);
+    const double ops = 2.0 * static_cast<double>(layer.macs);
+    const double compute_ms = ops / (gflops * 1e9) * 1e3;
+
+    const double bytes = static_cast<double>(layer.memoryBytes())
+        * dnn::bytesPerElement(precision) / 4.0;
+    const double bandwidth = memBandwidthGBs_ * derate.bandwidthFactor
+        * memoryEfficiency(layer.kind);
+    const double memory_ms = bytes / (bandwidth * 1e9) * 1e3;
+
+    return std::max(compute_ms, memory_ms) + dispatchOverheadMs(layer.kind);
+}
+
+double
+Processor::networkLatencyMs(const dnn::Network &network,
+                            dnn::Precision precision, std::size_t vfIndex,
+                            const Derate &derate) const
+{
+    return layerRangeLatencyMs(network, 0, network.layers().size(), precision,
+                               vfIndex, derate);
+}
+
+double
+Processor::layerRangeLatencyMs(const dnn::Network &network, std::size_t first,
+                               std::size_t last, dnn::Precision precision,
+                               std::size_t vfIndex,
+                               const Derate &derate) const
+{
+    AS_CHECK(first <= last && last <= network.layers().size());
+    double total = 0.0;
+    for (std::size_t i = first; i < last; ++i) {
+        total += layerLatencyMs(network.layers()[i], precision, vfIndex,
+                                derate);
+    }
+    return total;
+}
+
+} // namespace autoscale::platform

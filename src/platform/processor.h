@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Processor model: a mobile or server compute unit with a DVFS table and
+ * a roofline latency model. Latency of a layer is the larger of its
+ * compute time (MACs over effective throughput) and its memory time
+ * (bytes over effective bandwidth), plus a fixed per-layer dispatch
+ * overhead. Per-layer-type efficiency factors reproduce the Fig. 3
+ * behaviour: co-processors excel at CONV layers but handle FC/RC layers
+ * poorly relative to CPUs.
+ */
+
+#ifndef AUTOSCALE_PLATFORM_PROCESSOR_H_
+#define AUTOSCALE_PLATFORM_PROCESSOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.h"
+#include "dnn/network.h"
+#include "dnn/precision.h"
+
+namespace autoscale::platform {
+
+/** Processor categories across the edge-cloud system. */
+enum class ProcKind {
+    MobileCpu,
+    MobileGpu,
+    MobileDsp,
+    MobileNpu, ///< Section V-C extension: an NN-specialized accelerator.
+    ServerCpu,
+    ServerGpu,
+    ServerTpu, ///< Section V-C extension: a cloud tensor accelerator.
+};
+
+/** Human-readable kind name ("CPU", "GPU", "DSP"). */
+const char *procKindName(ProcKind kind);
+
+/** One DVFS voltage/frequency step. */
+struct VfStep {
+    double freqGhz = 0.0;
+    double voltage = 1.0;    ///< Normalized to the top step's voltage.
+    double busyPowerW = 0.0; ///< Component power when busy at this step.
+};
+
+/**
+ * Generate @p count V/F steps from 30% of @p fmax up to @p fmax with a
+ * linear voltage ramp from 60% to 100% of nominal and P = C V^2 f busy
+ * power scaled so the top step draws @p peakBusyW.
+ */
+std::vector<VfStep> makeVfSteps(int count, double fmaxGhz, double peakBusyW);
+
+/**
+ * De-rating factors applied by the environment: @p freqFactor scales the
+ * effective clock (thermal throttling, CPU-time contention) and
+ * @p bandwidthFactor scales the effective memory bandwidth (memory
+ * contention from co-running applications).
+ */
+struct Derate {
+    double freqFactor = 1.0;
+    double bandwidthFactor = 1.0;
+};
+
+/** A compute unit with DVFS, roofline model, and power profile. */
+class Processor {
+  public:
+    /**
+     * @param name e.g. "Cortex A75".
+     * @param kind Processor category.
+     * @param vfSteps DVFS table, sorted ascending by frequency.
+     * @param idlePowerW Component power when idle.
+     * @param peakGflopsFp32 FP32 throughput at the top V/F step. For the
+     *        INT8-only DSP this is the INT8 GOPS rating.
+     * @param memBandwidthGBs Effective memory bandwidth available to this
+     *        processor.
+     * @param numCores Core count (CPU clusters); 1 for co-processors.
+     */
+    Processor(std::string name, ProcKind kind, std::vector<VfStep> vfSteps,
+              double idlePowerW, double peakGflopsFp32,
+              double memBandwidthGBs, int numCores = 1);
+
+    const std::string &name() const { return name_; }
+    ProcKind kind() const { return kind_; }
+    const std::vector<VfStep> &vfSteps() const { return vfSteps_; }
+    std::size_t numVfSteps() const { return vfSteps_.size(); }
+    std::size_t maxVfIndex() const { return vfSteps_.size() - 1; }
+    double idlePowerW() const { return idlePowerW_; }
+    double peakGflopsFp32() const { return peakGflopsFp32_; }
+    double memBandwidthGBs() const { return memBandwidthGBs_; }
+    int numCores() const { return numCores_; }
+
+    /** Busy power at a V/F step. */
+    double busyPowerW(std::size_t vfIndex) const;
+
+    /** Frequency at a V/F step, GHz. */
+    double freqGhz(std::size_t vfIndex) const;
+
+    /** Whether this processor supports executing at @p precision. */
+    bool supportsPrecision(dnn::Precision precision) const;
+
+    /** Compute-throughput multiplier of @p precision relative to FP32. */
+    double precisionSpeedup(dnn::Precision precision) const;
+
+    /** Compute-efficiency factor (fraction of peak) for a layer kind. */
+    double computeEfficiency(dnn::LayerKind kind) const;
+
+    /** Memory-efficiency factor (fraction of bandwidth) for a layer kind. */
+    double memoryEfficiency(dnn::LayerKind kind) const;
+
+    /** Per-layer dispatch overhead, ms (kernel launch / DMA setup). */
+    double perLayerOverheadMs() const;
+
+    /**
+     * Dispatch overhead for a specific layer kind. FC/RC layers on
+     * mobile co-processors pay a multiple of the base overhead: they
+     * break the on-accelerator pipeline and synchronize with the host,
+     * which is what makes FC-heavy networks CPU-friendly (Fig. 3).
+     */
+    double dispatchOverheadMs(dnn::LayerKind kind) const;
+
+    /**
+     * Busy-power scale of running at @p precision relative to FP32:
+     * quantized arithmetic stresses mobile datapaths less (INT8 ~0.75,
+     * FP16 ~0.85 on mobile CPU/GPU).
+     */
+    double precisionPowerFactor(dnn::Precision precision) const;
+
+    /**
+     * Roofline latency of a single layer.
+     *
+     * @param layer Layer to execute.
+     * @param precision Numeric precision.
+     * @param vfIndex DVFS step index.
+     * @param derate Environmental de-rating.
+     * @return Latency in milliseconds.
+     */
+    double layerLatencyMs(const dnn::Layer &layer, dnn::Precision precision,
+                          std::size_t vfIndex,
+                          const Derate &derate = Derate{}) const;
+
+    /** Sum of layerLatencyMs over the whole network. */
+    double networkLatencyMs(const dnn::Network &network,
+                            dnn::Precision precision, std::size_t vfIndex,
+                            const Derate &derate = Derate{}) const;
+
+    /**
+     * Latency of a contiguous [first, last) layer range — used by the
+     * layer-partitioning comparators (NeuroSurgeon / MOSAIC).
+     */
+    double layerRangeLatencyMs(const dnn::Network &network, std::size_t first,
+                               std::size_t last, dnn::Precision precision,
+                               std::size_t vfIndex,
+                               const Derate &derate = Derate{}) const;
+
+  private:
+    std::string name_;
+    ProcKind kind_;
+    std::vector<VfStep> vfSteps_;
+    double idlePowerW_;
+    double peakGflopsFp32_;
+    double memBandwidthGBs_;
+    int numCores_;
+};
+
+} // namespace autoscale::platform
+
+#endif // AUTOSCALE_PLATFORM_PROCESSOR_H_

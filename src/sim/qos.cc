@@ -1,0 +1,68 @@
+#include "sim/qos.h"
+
+#include "util/logging.h"
+
+namespace autoscale::sim {
+
+const char *
+useCaseName(UseCase useCase)
+{
+    switch (useCase) {
+      case UseCase::NonStreaming: return "non-streaming";
+      case UseCase::Streaming: return "streaming";
+      case UseCase::Translation: return "translation";
+    }
+    panic("useCaseName: unknown use case");
+}
+
+double
+qosTargetMs(UseCase useCase)
+{
+    switch (useCase) {
+      case UseCase::NonStreaming:
+        return 50.0; // Interactive response limit [23], [74], [122].
+      case UseCase::Streaming:
+        return 1000.0 / 30.0; // 30 FPS [22], [122].
+      case UseCase::Translation:
+        return 100.0; // MLPerf-style translation target [93].
+    }
+    panic("qosTargetMs: unknown use case");
+}
+
+UseCase
+defaultUseCase(dnn::Task task)
+{
+    switch (task) {
+      case dnn::Task::ImageClassification:
+      case dnn::Task::ObjectDetection:
+        return UseCase::NonStreaming;
+      case dnn::Task::Translation:
+        return UseCase::Translation;
+    }
+    panic("defaultUseCase: unknown task");
+}
+
+InferenceRequest
+makeRequest(const dnn::Network &network, double accuracyTargetPct)
+{
+    InferenceRequest request;
+    request.network = &network;
+    request.useCase = defaultUseCase(network.task());
+    request.qosMs = qosTargetMs(request.useCase);
+    request.accuracyTargetPct = accuracyTargetPct;
+    return request;
+}
+
+InferenceRequest
+makeStreamingRequest(const dnn::Network &network, double accuracyTargetPct)
+{
+    AS_CHECK(network.task() != dnn::Task::Translation);
+    InferenceRequest request;
+    request.network = &network;
+    request.useCase = UseCase::Streaming;
+    request.qosMs = qosTargetMs(UseCase::Streaming);
+    request.accuracyTargetPct = accuracyTargetPct;
+    return request;
+}
+
+} // namespace autoscale::sim

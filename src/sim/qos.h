@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Quality-of-service targets for the three use cases of Section V-B:
+ * non-streaming vision (50 ms interactive limit), streaming vision
+ * (30 FPS -> 33.3 ms per frame), and translation (100 ms).
+ */
+
+#ifndef AUTOSCALE_SIM_QOS_H_
+#define AUTOSCALE_SIM_QOS_H_
+
+#include "dnn/network.h"
+
+namespace autoscale::sim {
+
+/** Execution use case (Section V-B). */
+enum class UseCase {
+    NonStreaming, ///< Single camera shot; 50 ms interactive QoS.
+    Streaming,    ///< Live video; 30 FPS QoS (33.3 ms).
+    Translation,  ///< Keyboard sentence translation; 100 ms QoS.
+};
+
+/** Human-readable use-case name. */
+const char *useCaseName(UseCase useCase);
+
+/** QoS latency target in milliseconds. */
+double qosTargetMs(UseCase useCase);
+
+/** Default use case for a workload's task category. */
+UseCase defaultUseCase(dnn::Task task);
+
+/** An inference request: which network under which QoS/quality targets. */
+struct InferenceRequest {
+    const dnn::Network *network = nullptr;
+    UseCase useCase = UseCase::NonStreaming;
+    double qosMs = 50.0;
+    /** Inference quality requirement in percent; 0 disables the check. */
+    double accuracyTargetPct = 50.0;
+};
+
+/** Build the default request for @p network (non-streaming defaults). */
+InferenceRequest makeRequest(const dnn::Network &network,
+                             double accuracyTargetPct = 50.0);
+
+/** Build a streaming-variant request for @p network (vision only). */
+InferenceRequest makeStreamingRequest(const dnn::Network &network,
+                                      double accuracyTargetPct = 50.0);
+
+} // namespace autoscale::sim
+
+#endif // AUTOSCALE_SIM_QOS_H_

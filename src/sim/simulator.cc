@@ -1,0 +1,335 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "dnn/accuracy.h"
+#include "env/interference.h"
+#include "platform/device_zoo.h"
+#include "platform/power.h"
+#include "util/logging.h"
+
+namespace autoscale::sim {
+
+namespace {
+
+/** Multiplicative measurement-noise sigmas (log-normal). */
+constexpr double kComputeNoiseSigma = 0.04;
+constexpr double kNetworkNoiseSigma = 0.06;
+/**
+ * Gap between the Renergy estimator and the power meter. Log-normal with
+ * sigma 0.09 yields a mean absolute percentage error of ~7.3%, matching
+ * Section IV-A.
+ */
+constexpr double kEnergyModelSigma = 0.09;
+
+bool
+isServerKind(platform::ProcKind kind)
+{
+    return kind == platform::ProcKind::ServerCpu
+        || kind == platform::ProcKind::ServerGpu
+        || kind == platform::ProcKind::ServerTpu;
+}
+
+bool
+isCoProcessor(platform::ProcKind kind)
+{
+    return kind == platform::ProcKind::MobileGpu
+        || kind == platform::ProcKind::MobileDsp
+        || kind == platform::ProcKind::MobileNpu;
+}
+
+} // namespace
+
+InferenceSimulator::InferenceSimulator(platform::Device local,
+                                       platform::Device connected,
+                                       platform::Device cloud,
+                                       net::WirelessLink wlan,
+                                       net::WirelessLink p2p)
+    : local_(std::move(local)), connected_(std::move(connected)),
+      cloud_(std::move(cloud)), wlan_(wlan), p2p_(p2p)
+{
+    AS_CHECK(cloud_.tier() == platform::DeviceTier::Server);
+    AS_CHECK(connected_.tier() != platform::DeviceTier::Server);
+    AS_CHECK(wlan_.kind() == net::LinkKind::Wlan);
+    AS_CHECK(p2p_.kind() == net::LinkKind::PeerToPeer);
+}
+
+InferenceSimulator
+InferenceSimulator::makeDefault(platform::Device local)
+{
+    return InferenceSimulator(std::move(local), platform::makeGalaxyTabS6(),
+                              platform::makeCloudServer(),
+                              net::WirelessLink::defaultWlan(),
+                              net::WirelessLink::defaultP2p());
+}
+
+const platform::Device &
+InferenceSimulator::deviceAt(TargetPlace place) const
+{
+    switch (place) {
+      case TargetPlace::Local: return local_;
+      case TargetPlace::ConnectedEdge: return connected_;
+      case TargetPlace::Cloud: return cloud_;
+    }
+    panic("deviceAt: unknown place");
+}
+
+bool
+InferenceSimulator::isFeasible(const dnn::Network &network,
+                               const ExecutionTarget &target) const
+{
+    const platform::Device &device = deviceAt(target.place);
+    const platform::Processor *proc = device.processor(target.proc);
+    if (proc == nullptr) {
+        return false;
+    }
+    if (target.place == TargetPlace::Cloud) {
+        if (!isServerKind(target.proc)) {
+            return false;
+        }
+    } else if (isServerKind(target.proc)) {
+        return false;
+    }
+    if (!proc->supportsPrecision(target.precision)) {
+        return false;
+    }
+    if (target.vfIndex >= proc->numVfSteps()) {
+        return false;
+    }
+    // Middleware limitation: recurrent/attention networks are not
+    // deployable on mobile co-processors (Section III, footnote 3).
+    if (isCoProcessor(target.proc) && !network.supportedOnCoProcessors()) {
+        return false;
+    }
+    return true;
+}
+
+double
+InferenceSimulator::remoteComputeMs(const dnn::Network &network,
+                                    TargetPlace place,
+                                    platform::ProcKind proc,
+                                    dnn::Precision precision) const
+{
+    const platform::Device &device = deviceAt(place);
+    const platform::Processor *p = device.processor(proc);
+    AS_CHECK(p != nullptr);
+    // Remote systems run at their top frequency with no on-device
+    // interference.
+    return p->networkLatencyMs(network, precision, p->maxVfIndex());
+}
+
+Outcome
+InferenceSimulator::measure(const dnn::Network &network,
+                            const ExecutionTarget &target,
+                            const env::EnvState &env, Rng *rng) const
+{
+    Outcome outcome;
+    if (!isFeasible(network, target)) {
+        return outcome;
+    }
+    outcome.feasible = true;
+    outcome.accuracyPct =
+        dnn::inferenceAccuracy(network.name(), target.precision);
+
+    // Rest-of-system power charged to the inference for its duration.
+    // The co-runner's own consumption is NOT attributed to the
+    // inference (it is a separate consumer the paper normalizes away);
+    // it still matters indirectly through slowdown and heat.
+    const double system_power_w = local_.basePowerW();
+
+    if (target.place == TargetPlace::Local) {
+        const platform::Processor *proc = local_.processor(target.proc);
+        const platform::Derate derate = env::derateFor(target.proc, env);
+        double compute_ms = proc->networkLatencyMs(
+            network, target.precision, target.vfIndex, derate);
+        if (rng != nullptr) {
+            compute_ms *= rng->lognormalFactor(kComputeNoiseSigma);
+        }
+        outcome.computeMs = compute_ms;
+        outcome.latencyMs = compute_ms;
+
+        const int cores = proc->kind() == platform::ProcKind::MobileCpu
+            ? proc->numCores() : 1;
+        const double component_j = platform::uniformBusyEnergyJ(
+                                       *proc, target.vfIndex, compute_ms,
+                                       compute_ms, cores)
+            * proc->precisionPowerFactor(target.precision);
+        outcome.estimatedEnergyJ =
+            component_j + system_power_w * compute_ms * 1e-3;
+    } else {
+        const bool to_cloud = target.place == TargetPlace::Cloud;
+        const net::WirelessLink &link = to_cloud ? wlan_ : p2p_;
+        const double rssi =
+            to_cloud ? env.rssiWlanDbm : env.rssiP2pDbm;
+
+        net::TransferResult transfer = link.transfer(
+            network.inputBytes(), network.outputBytes(), rssi);
+        double remote_ms = remoteComputeMs(network, target.place,
+                                           target.proc, target.precision);
+        if (rng != nullptr) {
+            const double net_factor =
+                rng->lognormalFactor(kNetworkNoiseSigma);
+            transfer.txMs *= net_factor;
+            transfer.rxMs *= net_factor;
+            transfer.energyJ *= net_factor;
+            remote_ms *= rng->lognormalFactor(kComputeNoiseSigma);
+        }
+        outcome.computeMs = remote_ms;
+        outcome.txMs = transfer.txMs;
+        outcome.rxMs = transfer.rxMs;
+        outcome.latencyMs = transfer.totalMs() + remote_ms;
+
+        // Eq. (4): radio TX/RX energy plus device idle power for the
+        // remainder of the round trip.
+        outcome.estimatedEnergyJ = transfer.energyJ
+            + system_power_w * outcome.latencyMs * 1e-3;
+    }
+
+    outcome.energyJ = outcome.estimatedEnergyJ;
+    if (rng != nullptr) {
+        outcome.energyJ *= rng->lognormalFactor(kEnergyModelSigma);
+    }
+    return outcome;
+}
+
+Outcome
+InferenceSimulator::run(const dnn::Network &network,
+                        const ExecutionTarget &target,
+                        const env::EnvState &env, Rng &rng) const
+{
+    return measure(network, target, env, &rng);
+}
+
+Outcome
+InferenceSimulator::expected(const dnn::Network &network,
+                             const ExecutionTarget &target,
+                             const env::EnvState &env) const
+{
+    return measure(network, target, env, nullptr);
+}
+
+Outcome
+InferenceSimulator::measurePartitioned(const dnn::Network &network,
+                                       const PartitionSpec &spec,
+                                       const env::EnvState &env,
+                                       Rng *rng) const
+{
+    AS_CHECK(spec.remotePlace != TargetPlace::Local);
+    const std::size_t num_layers = network.layers().size();
+    AS_CHECK(spec.splitLayer <= num_layers);
+
+    // Degenerate splits reduce to whole-model execution.
+    if (spec.splitLayer == num_layers) {
+        ExecutionTarget target{TargetPlace::Local, spec.localProc,
+                               spec.vfIndex, spec.localPrecision};
+        return measure(network, target, env, rng);
+    }
+
+    // Remote side: the best processor at the remote place.
+    const platform::Device &remote = deviceAt(spec.remotePlace);
+    platform::ProcKind remote_proc;
+    dnn::Precision remote_prec = dnn::Precision::FP32;
+    if (spec.remotePlace == TargetPlace::Cloud) {
+        remote_proc = platform::ProcKind::ServerGpu;
+    } else if (remote.hasDsp() && network.supportedOnCoProcessors()) {
+        remote_proc = platform::ProcKind::MobileDsp;
+        remote_prec = dnn::Precision::INT8;
+    } else if (remote.hasGpu() && network.supportedOnCoProcessors()) {
+        remote_proc = platform::ProcKind::MobileGpu;
+    } else {
+        remote_proc = platform::ProcKind::MobileCpu;
+    }
+
+    if (spec.splitLayer == 0) {
+        ExecutionTarget target{spec.remotePlace, remote_proc, 0, remote_prec};
+        const platform::Processor *rp = remote.processor(remote_proc);
+        AS_CHECK(rp != nullptr);
+        target.vfIndex = rp->maxVfIndex();
+        return measure(network, target, env, rng);
+    }
+
+    Outcome outcome;
+    const platform::Processor *proc = local_.processor(spec.localProc);
+    if (proc == nullptr || !proc->supportsPrecision(spec.localPrecision)
+        || spec.vfIndex >= proc->numVfSteps()
+        || (isCoProcessor(spec.localProc)
+            && !network.supportedOnCoProcessors())) {
+        return outcome;
+    }
+    outcome.feasible = true;
+
+    const platform::Derate derate = env::derateFor(spec.localProc, env);
+    double local_ms = proc->layerRangeLatencyMs(
+        network, 0, spec.splitLayer, spec.localPrecision, spec.vfIndex,
+        derate);
+
+    const platform::Processor *rp = remote.processor(remote_proc);
+    AS_CHECK(rp != nullptr);
+    double remote_ms = rp->layerRangeLatencyMs(
+        network, spec.splitLayer, num_layers, remote_prec,
+        rp->maxVfIndex());
+
+    // Intermediate activations of the boundary layer cross the link at
+    // the local precision.
+    const auto &boundary = network.layers()[spec.splitLayer - 1];
+    const auto tx_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(boundary.activationBytes)
+        * dnn::bytesPerElement(spec.localPrecision) / 4.0);
+
+    const bool to_cloud = spec.remotePlace == TargetPlace::Cloud;
+    const net::WirelessLink &link = to_cloud ? wlan_ : p2p_;
+    const double rssi = to_cloud ? env.rssiWlanDbm : env.rssiP2pDbm;
+    net::TransferResult transfer =
+        link.transfer(std::max<std::uint64_t>(tx_bytes, 1),
+                      network.outputBytes(), rssi);
+
+    if (rng != nullptr) {
+        local_ms *= rng->lognormalFactor(kComputeNoiseSigma);
+        remote_ms *= rng->lognormalFactor(kComputeNoiseSigma);
+        const double net_factor = rng->lognormalFactor(kNetworkNoiseSigma);
+        transfer.txMs *= net_factor;
+        transfer.rxMs *= net_factor;
+        transfer.energyJ *= net_factor;
+    }
+
+    outcome.computeMs = local_ms + remote_ms;
+    outcome.txMs = transfer.txMs;
+    outcome.rxMs = transfer.rxMs;
+    outcome.latencyMs = local_ms + transfer.totalMs() + remote_ms;
+    outcome.accuracyPct = std::min(
+        dnn::inferenceAccuracy(network.name(), spec.localPrecision),
+        dnn::inferenceAccuracy(network.name(), remote_prec));
+
+    const int cores = proc->kind() == platform::ProcKind::MobileCpu
+        ? proc->numCores() : 1;
+    const double local_j = platform::uniformBusyEnergyJ(
+                               *proc, spec.vfIndex, local_ms, local_ms,
+                               cores)
+        * proc->precisionPowerFactor(spec.localPrecision);
+    const double system_power_w = local_.basePowerW();
+    outcome.estimatedEnergyJ = local_j + transfer.energyJ
+        + system_power_w * outcome.latencyMs * 1e-3;
+    outcome.energyJ = outcome.estimatedEnergyJ;
+    if (rng != nullptr) {
+        outcome.energyJ *= rng->lognormalFactor(kEnergyModelSigma);
+    }
+    return outcome;
+}
+
+Outcome
+InferenceSimulator::runPartitioned(const dnn::Network &network,
+                                   const PartitionSpec &spec,
+                                   const env::EnvState &env, Rng &rng) const
+{
+    return measurePartitioned(network, spec, env, &rng);
+}
+
+Outcome
+InferenceSimulator::expectedPartitioned(const dnn::Network &network,
+                                        const PartitionSpec &spec,
+                                        const env::EnvState &env) const
+{
+    return measurePartitioned(network, spec, env, nullptr);
+}
+
+} // namespace autoscale::sim

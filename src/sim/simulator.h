@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The edge-cloud inference simulator: the substrate substituting for the
+ * paper's physical testbed (three phones + tablet + Xeon/P100 server +
+ * Monsoon power meter). Given a network, an execution target, and the
+ * current runtime variance, it produces the measured latency, the true
+ * device-side energy, the model-estimated energy (the paper's Renergy,
+ * 7.3% MAPE), and the inference accuracy.
+ *
+ * `run` produces noisy measurements (what a real system would observe);
+ * `expected` produces the noiseless model output (used by the Opt
+ * oracle). Layer-granularity partitioned execution is provided for the
+ * NeuroSurgeon/MOSAIC comparators.
+ */
+
+#ifndef AUTOSCALE_SIM_SIMULATOR_H_
+#define AUTOSCALE_SIM_SIMULATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dnn/network.h"
+#include "env/env_state.h"
+#include "net/link.h"
+#include "platform/device.h"
+#include "sim/target.h"
+#include "util/rng.h"
+
+namespace autoscale::sim {
+
+/** Result of one (possibly simulated) inference execution. */
+struct Outcome {
+    /** False if the target cannot execute this network at all. */
+    bool feasible = false;
+    /** End-to-end latency, ms. */
+    double latencyMs = 0.0;
+    /** True device-side energy, J (what a power meter would integrate). */
+    double energyJ = 0.0;
+    /** Model-estimated energy, J (the paper's Renergy estimator). */
+    double estimatedEnergyJ = 0.0;
+    /** Inference quality, %. */
+    double accuracyPct = 0.0;
+    /** Compute portion of the latency (local or remote), ms. */
+    double computeMs = 0.0;
+    /** Uplink transfer time, ms (0 for local execution). */
+    double txMs = 0.0;
+    /** Downlink transfer time, ms (0 for local execution). */
+    double rxMs = 0.0;
+
+    /**
+     * Performance per watt: work per joule for one inference, the
+     * paper's energy-efficiency metric. For a fixed workload PPW is
+     * proportional to 1/energy.
+     */
+    double
+    ppw() const
+    {
+        return energyJ > 0.0 ? 1.0 / energyJ : 0.0;
+    }
+};
+
+/** Specification of the local half of a partitioned execution. */
+struct PartitionSpec {
+    /** Layers [0, splitLayer) run locally; the rest run remotely. */
+    std::size_t splitLayer = 0;
+    platform::ProcKind localProc = platform::ProcKind::MobileCpu;
+    std::size_t vfIndex = 0;
+    dnn::Precision localPrecision = dnn::Precision::FP32;
+    TargetPlace remotePlace = TargetPlace::Cloud;
+};
+
+/** The full edge-cloud execution environment. */
+class InferenceSimulator {
+  public:
+    /**
+     * @param local The user's device.
+     * @param connected The locally connected edge device.
+     * @param cloud The cloud server.
+     * @param wlan Link to the cloud.
+     * @param p2p Link to the connected edge device.
+     */
+    InferenceSimulator(platform::Device local, platform::Device connected,
+                       platform::Device cloud, net::WirelessLink wlan,
+                       net::WirelessLink p2p);
+
+    /**
+     * Build the default evaluation setup of Section V-A around @p local:
+     * Galaxy Tab S6 as connected edge, Xeon+P100 cloud, default links.
+     */
+    static InferenceSimulator makeDefault(platform::Device local);
+
+    const platform::Device &localDevice() const { return local_; }
+    const platform::Device &connectedDevice() const { return connected_; }
+    const platform::Device &cloudDevice() const { return cloud_; }
+    const net::WirelessLink &wlanLink() const { return wlan_; }
+    const net::WirelessLink &p2pLink() const { return p2p_; }
+
+    /** Whether @p target can execute @p network at all. */
+    bool isFeasible(const dnn::Network &network,
+                    const ExecutionTarget &target) const;
+
+    /** Noisy measured execution (the real-system observation). */
+    Outcome run(const dnn::Network &network, const ExecutionTarget &target,
+                const env::EnvState &env, Rng &rng) const;
+
+    /** Noiseless model output (used by the Opt oracle). */
+    Outcome expected(const dnn::Network &network,
+                     const ExecutionTarget &target,
+                     const env::EnvState &env) const;
+
+    /** Noisy layer-partitioned execution (NeuroSurgeon/MOSAIC). */
+    Outcome runPartitioned(const dnn::Network &network,
+                           const PartitionSpec &spec,
+                           const env::EnvState &env, Rng &rng) const;
+
+    /** Noiseless layer-partitioned execution. */
+    Outcome expectedPartitioned(const dnn::Network &network,
+                                const PartitionSpec &spec,
+                                const env::EnvState &env) const;
+
+    /** The device executing targets at @p place. */
+    const platform::Device &deviceAt(TargetPlace place) const;
+
+  private:
+    Outcome measure(const dnn::Network &network,
+                    const ExecutionTarget &target, const env::EnvState &env,
+                    Rng *rng) const;
+
+    Outcome measurePartitioned(const dnn::Network &network,
+                               const PartitionSpec &spec,
+                               const env::EnvState &env, Rng *rng) const;
+
+    /** Remote-side compute latency on the best processor at @p place. */
+    double remoteComputeMs(const dnn::Network &network, TargetPlace place,
+                           platform::ProcKind proc,
+                           dnn::Precision precision) const;
+
+    platform::Device local_;
+    platform::Device connected_;
+    platform::Device cloud_;
+    net::WirelessLink wlan_;
+    net::WirelessLink p2p_;
+};
+
+} // namespace autoscale::sim
+
+#endif // AUTOSCALE_SIM_SIMULATOR_H_

@@ -1,0 +1,43 @@
+#include "sim/target.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace autoscale::sim {
+
+const char *
+targetPlaceName(TargetPlace place)
+{
+    switch (place) {
+      case TargetPlace::Local: return "Local";
+      case TargetPlace::ConnectedEdge: return "Connected Edge";
+      case TargetPlace::Cloud: return "Cloud";
+    }
+    panic("targetPlaceName: unknown place");
+}
+
+std::string
+ExecutionTarget::label() const
+{
+    std::ostringstream oss;
+    oss << targetPlaceName(place) << ' ' << platform::procKindName(proc)
+        << ' ' << dnn::precisionName(precision) << " @vf" << vfIndex;
+    return oss.str();
+}
+
+std::string
+ExecutionTarget::category() const
+{
+    switch (place) {
+      case TargetPlace::Local:
+        return std::string("Edge (") + platform::procKindName(proc) + ")";
+      case TargetPlace::ConnectedEdge:
+        return "Connected Edge";
+      case TargetPlace::Cloud:
+        return "Cloud";
+    }
+    panic("category: unknown place");
+}
+
+} // namespace autoscale::sim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Execution target: where (local device / connected edge / cloud), on
+ * which processor, at which DVFS step, at which precision an inference
+ * runs. Targets are the RL actions of AutoScale (Section IV-A), with the
+ * DVFS and quantization knobs forming the augmented action space of
+ * Section V-C.
+ */
+
+#ifndef AUTOSCALE_SIM_TARGET_H_
+#define AUTOSCALE_SIM_TARGET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "dnn/precision.h"
+#include "platform/processor.h"
+
+namespace autoscale::sim {
+
+/** Which system executes the inference. */
+enum class TargetPlace {
+    Local,         ///< The user's own device.
+    ConnectedEdge, ///< Locally connected device over Wi-Fi Direct.
+    Cloud,         ///< Cloud server over the wireless LAN.
+};
+
+/** Human-readable place name. */
+const char *targetPlaceName(TargetPlace place);
+
+/** A fully specified execution decision. */
+struct ExecutionTarget {
+    TargetPlace place = TargetPlace::Local;
+    platform::ProcKind proc = platform::ProcKind::MobileCpu;
+    std::size_t vfIndex = 0;
+    dnn::Precision precision = dnn::Precision::FP32;
+
+    /** Full label, e.g. "Local CPU INT8 @2.80GHz". */
+    std::string label() const;
+
+    /**
+     * Coarse category for Fig. 13-style decision distributions:
+     * "Edge (CPU)", "Edge (GPU)", "Edge (DSP)", "Connected Edge",
+     * or "Cloud".
+     */
+    std::string category() const;
+
+    bool
+    operator==(const ExecutionTarget &other) const
+    {
+        return place == other.place && proc == other.proc
+            && vfIndex == other.vfIndex && precision == other.precision;
+    }
+};
+
+} // namespace autoscale::sim
+
+#endif // AUTOSCALE_SIM_TARGET_H_

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal `--flag value` command-line parser used by the CLI tools.
+ * Header-only; no dependencies beyond the standard library.
+ */
+
+#ifndef AUTOSCALE_UTIL_ARGS_H_
+#define AUTOSCALE_UTIL_ARGS_H_
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace autoscale {
+
+/** Flag-value argument accessor over argv. */
+class Args {
+  public:
+    /** Wrap (argc, argv) without copying the program's semantics. */
+    Args(int argc, const char *const *argv)
+    {
+        for (int i = 0; i < argc; ++i) {
+            tokens_.emplace_back(argv[i]);
+        }
+    }
+
+    /** Construct from a token list (testing convenience). */
+    explicit Args(std::vector<std::string> tokens)
+        : tokens_(std::move(tokens))
+    {
+    }
+
+    /** Value following @p flag, or @p fallback when absent/trailing. */
+    std::string
+    get(const std::string &flag, const std::string &fallback = "") const
+    {
+        for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
+            if (tokens_[i] == flag) {
+                return tokens_[i + 1];
+            }
+        }
+        return fallback;
+    }
+
+    /** Numeric value of @p flag, or @p fallback. */
+    double
+    getDouble(const std::string &flag, double fallback) const
+    {
+        const std::string value = get(flag);
+        return value.empty() ? fallback : std::stod(value);
+    }
+
+    /** Integer value of @p flag, or @p fallback. */
+    int
+    getInt(const std::string &flag, int fallback) const
+    {
+        const std::string value = get(flag);
+        return value.empty() ? fallback : std::stoi(value);
+    }
+
+    /** Whether @p flag appears anywhere (boolean switch). */
+    bool
+    has(const std::string &flag) const
+    {
+        for (const auto &token : tokens_) {
+            if (token == flag) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Number of raw tokens. */
+    std::size_t size() const { return tokens_.size(); }
+
+  private:
+    std::vector<std::string> tokens_;
+};
+
+} // namespace autoscale
+
+#endif // AUTOSCALE_UTIL_ARGS_H_

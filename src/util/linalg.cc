@@ -1,0 +1,270 @@
+#include "util/linalg.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/logging.h"
+
+namespace autoscale {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<Vector> &rows)
+{
+    AS_CHECK(!rows.empty());
+    Matrix m(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        AS_CHECK(rows[r].size() == m.cols_);
+        for (std::size_t c = 0; c < m.cols_; ++c) {
+            m(r, c) = rows[r][c];
+        }
+    }
+    return m;
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m(i, i) = 1.0;
+    }
+    return m;
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    AS_CHECK(cols_ == other.rows_);
+    Matrix out(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(r, k);
+            if (a == 0.0) {
+                continue;
+            }
+            for (std::size_t c = 0; c < other.cols_; ++c) {
+                out(r, c) += a * other(k, c);
+            }
+        }
+    }
+    return out;
+}
+
+Vector
+Matrix::multiply(const Vector &v) const
+{
+    AS_CHECK(cols_ == v.size());
+    Vector out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c) {
+            sum += (*this)(r, c) * v[c];
+        }
+        out[r] = sum;
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+            out(c, r) = (*this)(r, c);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::add(const Matrix &other) const
+{
+    AS_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        out.data_[i] = data_[i] + other.data_[i];
+    }
+    return out;
+}
+
+void
+Matrix::addDiagonal(double value)
+{
+    AS_CHECK(rows_ == cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        (*this)(i, i) += value;
+    }
+}
+
+Cholesky::Cholesky(const Matrix &a)
+    : l_(a.rows(), a.cols())
+{
+    AS_CHECK(a.rows() == a.cols());
+    const std::size_t n = a.rows();
+    ok_ = true;
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (std::size_t k = 0; k < j; ++k) {
+            diag -= l_(j, k) * l_(j, k);
+        }
+        if (diag <= 0.0) {
+            ok_ = false;
+            return;
+        }
+        l_(j, j) = std::sqrt(diag);
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double sum = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) {
+                sum -= l_(i, k) * l_(j, k);
+            }
+            l_(i, j) = sum / l_(j, j);
+        }
+    }
+}
+
+Vector
+Cholesky::solveLower(const Vector &b) const
+{
+    AS_CHECK(ok_);
+    const std::size_t n = l_.rows();
+    AS_CHECK(b.size() == n);
+    Vector y(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (std::size_t k = 0; k < i; ++k) {
+            sum -= l_(i, k) * y[k];
+        }
+        y[i] = sum / l_(i, i);
+    }
+    return y;
+}
+
+Vector
+Cholesky::solve(const Vector &b) const
+{
+    AS_CHECK(ok_);
+    const std::size_t n = l_.rows();
+    Vector y = solveLower(b);
+    // Back substitution with L^T.
+    Vector x(n, 0.0);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double sum = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) {
+            sum -= l_(k, ii) * x[k];
+        }
+        x[ii] = sum / l_(ii, ii);
+    }
+    return x;
+}
+
+double
+Cholesky::logDeterminant() const
+{
+    AS_CHECK(ok_);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < l_.rows(); ++i) {
+        sum += std::log(l_(i, i));
+    }
+    return 2.0 * sum;
+}
+
+bool
+solveLinearSystem(Matrix a, Vector b, Vector &x)
+{
+    AS_CHECK(a.rows() == a.cols());
+    const std::size_t n = a.rows();
+    AS_CHECK(b.size() == n);
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting.
+        std::size_t pivot = col;
+        double best = std::fabs(a(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double mag = std::fabs(a(r, col));
+            if (mag > best) {
+                best = mag;
+                pivot = r;
+            }
+        }
+        if (best < 1e-12) {
+            return false;
+        }
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c) {
+                std::swap(a(pivot, c), a(col, c));
+            }
+            std::swap(b[pivot], b[col]);
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = a(r, col) / a(col, col);
+            if (factor == 0.0) {
+                continue;
+            }
+            for (std::size_t c = col; c < n; ++c) {
+                a(r, c) -= factor * a(col, c);
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+
+    x.assign(n, 0.0);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double sum = b[ii];
+        for (std::size_t c = ii + 1; c < n; ++c) {
+            sum -= a(ii, c) * x[c];
+        }
+        x[ii] = sum / a(ii, ii);
+    }
+    return true;
+}
+
+Vector
+ridgeLeastSquares(const Matrix &x, const Vector &y, double ridge)
+{
+    AS_CHECK(x.rows() == y.size());
+    const Matrix xt = x.transposed();
+    Matrix gram = xt.multiply(x);
+    gram.addDiagonal(ridge);
+    const Vector rhs = xt.multiply(y);
+    Cholesky chol(gram);
+    if (chol.ok()) {
+        return chol.solve(rhs);
+    }
+    // Fall back to pivoted elimination for borderline systems.
+    Vector w;
+    if (!solveLinearSystem(gram, rhs, w)) {
+        fatal("ridgeLeastSquares: singular normal equations");
+    }
+    return w;
+}
+
+double
+dot(const Vector &a, const Vector &b)
+{
+    AS_CHECK(a.size() == b.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        sum += a[i] * b[i];
+    }
+    return sum;
+}
+
+double
+squaredDistance(const Vector &a, const Vector &b)
+{
+    AS_CHECK(a.size() == b.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        sum += d * d;
+    }
+    return sum;
+}
+
+} // namespace autoscale

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Small dense linear-algebra kernels used by the baseline predictors
+ * (linear/ridge regression, kernel ridge "SVR", Gaussian-process Bayesian
+ * optimization). The matrices involved are tiny (tens to a few hundred
+ * rows), so a straightforward row-major implementation is appropriate.
+ */
+
+#ifndef AUTOSCALE_UTIL_LINALG_H_
+#define AUTOSCALE_UTIL_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace autoscale {
+
+using Vector = std::vector<double>;
+
+/** Row-major dense matrix of doubles. */
+class Matrix {
+  public:
+    Matrix() = default;
+
+    /** Construct a rows x cols matrix filled with @p fill. */
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    /** Construct from nested initializer-style data (rows of equal size). */
+    static Matrix fromRows(const std::vector<Vector> &rows);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &operator()(std::size_t r, std::size_t c)
+    { return data_[r * cols_ + c]; }
+
+    double operator()(std::size_t r, std::size_t c) const
+    { return data_[r * cols_ + c]; }
+
+    /** Matrix product this * other. */
+    Matrix multiply(const Matrix &other) const;
+
+    /** Matrix-vector product this * v. */
+    Vector multiply(const Vector &v) const;
+
+    /** Transpose. */
+    Matrix transposed() const;
+
+    /** Elementwise addition. */
+    Matrix add(const Matrix &other) const;
+
+    /** Add @p value to every diagonal entry (ridge/jitter). */
+    void addDiagonal(double value);
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Cholesky factorization of a symmetric positive-definite matrix.
+ *
+ * Stores the lower-triangular factor L with A = L L^T. Throws via fatal()
+ * if the matrix is not positive definite (after the caller's jitter).
+ */
+class Cholesky {
+  public:
+    /** Factor @p a; @p a must be square and SPD. */
+    explicit Cholesky(const Matrix &a);
+
+    /** Solve A x = b. */
+    Vector solve(const Vector &b) const;
+
+    /** Solve L y = b (forward substitution). */
+    Vector solveLower(const Vector &b) const;
+
+    /** log det(A) = 2 sum log L_ii. */
+    double logDeterminant() const;
+
+    /** Whether factorization succeeded without hitting a non-PD pivot. */
+    bool ok() const { return ok_; }
+
+  private:
+    Matrix l_;
+    bool ok_ = false;
+};
+
+/**
+ * Solve a general square linear system A x = b with partial pivoting.
+ * Returns true on success; false if A is (numerically) singular.
+ */
+bool solveLinearSystem(Matrix a, Vector b, Vector &x);
+
+/**
+ * Ridge-regularized least squares: argmin_w |X w - y|^2 + ridge |w|^2,
+ * solved through the normal equations with a Cholesky factorization.
+ */
+Vector ridgeLeastSquares(const Matrix &x, const Vector &y, double ridge);
+
+/** Dot product of equally sized vectors. */
+double dot(const Vector &a, const Vector &b);
+
+/** Squared Euclidean distance between equally sized vectors. */
+double squaredDistance(const Vector &a, const Vector &b);
+
+} // namespace autoscale
+
+#endif // AUTOSCALE_UTIL_LINALG_H_

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal logging and invariant-checking helpers.
+ *
+ * Following the gem5 convention: fatal() is for user/configuration errors
+ * the program cannot continue from; panic() (here AS_CHECK failure) is for
+ * internal invariant violations that indicate a library bug.
+ */
+
+#ifndef AUTOSCALE_UTIL_LOGGING_H_
+#define AUTOSCALE_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace autoscale {
+
+/** Report an unrecoverable configuration/user error and exit(1). */
+[[noreturn]] inline void
+fatal(const std::string &message)
+{
+    std::cerr << "fatal: " << message << std::endl;
+    std::exit(1);
+}
+
+/** Report an internal invariant violation and abort(). */
+[[noreturn]] inline void
+panic(const std::string &message)
+{
+    std::cerr << "panic: " << message << std::endl;
+    std::abort();
+}
+
+namespace detail {
+
+inline std::string
+checkMessage(const char *expr, const char *file, int line)
+{
+    std::ostringstream oss;
+    oss << "check failed: " << expr << " at " << file << ":" << line;
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace autoscale
+
+/** Internal invariant check; aborts on failure (library bug). */
+#define AS_CHECK(expr)                                                      \
+    do {                                                                    \
+        if (!(expr)) {                                                      \
+            ::autoscale::panic(                                             \
+                ::autoscale::detail::checkMessage(#expr, __FILE__,          \
+                                                  __LINE__));               \
+        }                                                                   \
+    } while (false)
+
+#endif // AUTOSCALE_UTIL_LOGGING_H_

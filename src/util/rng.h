@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for all stochastic elements
+ * of the simulator (RSSI processes, interference traces, measurement noise,
+ * epsilon-greedy exploration, Q-table initialization).
+ *
+ * Every experiment owns its own Rng seeded explicitly, so results are
+ * reproducible bit-for-bit. The generator is xoshiro256** seeded through
+ * SplitMix64, following the reference implementations by Blackman & Vigna.
+ */
+
+#ifndef AUTOSCALE_UTIL_RNG_H_
+#define AUTOSCALE_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace autoscale {
+
+/** xoshiro256** generator with convenience distributions. */
+class Rng {
+  public:
+    /** Construct from a 64-bit seed; state is expanded with SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            word = splitMix64(x);
+        }
+    }
+
+    /** Next raw 64-bit output. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        // Lemire's nearly-divisionless bounded generation.
+        __uint128_t m = static_cast<__uint128_t>(next()) * n;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < n) {
+            const std::uint64_t threshold = (0 - n) % n;
+            while (lo < threshold) {
+                m = static_cast<__uint128_t>(next()) * n;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Standard normal sample (Box-Muller, no caching for determinism). */
+    double
+    normal()
+    {
+        double u1 = uniform();
+        // Avoid log(0).
+        if (u1 < 1e-300) {
+            u1 = 1e-300;
+        }
+        const double u2 = uniform();
+        const double two_pi = 6.283185307179586476925286766559;
+        return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+    }
+
+    /** Normal sample with given mean and standard deviation. */
+    double
+    normal(double mean, double sigma)
+    {
+        return mean + sigma * normal();
+    }
+
+    /** Log-normal multiplicative noise with multiplicative sigma. */
+    double
+    lognormalFactor(double sigma)
+    {
+        return std::exp(normal(0.0, sigma));
+    }
+
+    /** Derive an independent child generator (for sub-components). */
+    Rng
+    fork()
+    {
+        return Rng(next());
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitMix64(std::uint64_t &x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace autoscale
+
+#endif // AUTOSCALE_UTIL_RNG_H_

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Statistics helpers shared by the experiment harness and benchmarks:
+ * summary statistics, geometric means (used for cross-workload energy
+ * efficiency ratios, as is conventional in architecture evaluations),
+ * MAPE, and an online Welford accumulator.
+ */
+
+#ifndef AUTOSCALE_UTIL_STATS_H_
+#define AUTOSCALE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace autoscale {
+
+/** Arithmetic mean; returns 0 for empty input. */
+double mean(const std::vector<double> &values);
+
+/** Sample standard deviation (n-1); returns 0 for fewer than 2 values. */
+double stddev(const std::vector<double> &values);
+
+/** Geometric mean; all values must be positive. */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Linear-interpolated percentile, @p p in [0, 100].
+ * Input need not be sorted.
+ */
+double percentile(std::vector<double> values, double p);
+
+/** Mean absolute percentage error between predictions and actuals (in %). */
+double mape(const std::vector<double> &predicted,
+            const std::vector<double> &actual);
+
+/** Pearson correlation coefficient; 0 if either side is constant. */
+double correlation(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Min/max/mean/stddev accumulator using Welford's algorithm. */
+class OnlineStats {
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double value);
+
+    std::size_t count() const { return count_; }
+    double mean() const { return mean_; }
+    /** Sample variance (n-1); 0 with fewer than two observations. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+} // namespace autoscale
+
+#endif // AUTOSCALE_UTIL_STATS_H_

@@ -1,0 +1,100 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace autoscale {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    AS_CHECK(!headers_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    AS_CHECK(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+Table::times(double value, int precision)
+{
+    return num(value, precision) + "x";
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    return num(100.0 * fraction, precision) + "%";
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) {
+        total += w + 2;
+    }
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_) {
+        print_row(row);
+    }
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0) {
+                os << ',';
+            }
+            os << row[c];
+        }
+        os << '\n';
+    };
+    print_row(headers_);
+    for (const auto &row : rows_) {
+        print_row(row);
+    }
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << '\n' << "=== " << title << " ===" << '\n';
+}
+
+} // namespace autoscale

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Aligned-column table printing and CSV export for the benchmark harness.
+ * Every bench binary prints its figure/table as rows through this helper so
+ * output formatting stays uniform across experiments.
+ */
+
+#ifndef AUTOSCALE_UTIL_TABLE_H_
+#define AUTOSCALE_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace autoscale {
+
+/** Simple column-aligned text table with optional CSV export. */
+class Table {
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row of pre-formatted cells (must match header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision fractional digits. */
+    static std::string num(double value, int precision = 2);
+
+    /** Format a double as a multiplier, e.g. "9.8x". */
+    static std::string times(double value, int precision = 1);
+
+    /** Format a fraction as a percentage, e.g. "3.2%". */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Print the aligned table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Print as CSV to @p os. */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner used between benchmark sub-experiments. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace autoscale
+
+#endif // AUTOSCALE_UTIL_TABLE_H_

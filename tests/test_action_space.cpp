@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the augmented action space (Section V-C): exactly 66
+ * actions on the Mi8Pro, the right knobs per processor, and uniqueness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/action_space.h"
+#include "dnn/model_zoo.h"
+#include "platform/device_zoo.h"
+
+namespace autoscale::core {
+namespace {
+
+using sim::ExecutionTarget;
+using sim::InferenceSimulator;
+using sim::TargetPlace;
+
+// (phone, expected action count): Mi8Pro = 2*23 + 2*7 + 1 DSP + 2 cloud
+// + 3 connected = 66, matching the paper's "~66 actions".
+class ActionCount
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(ActionCount, MatchesDeviceKnobs)
+{
+    const auto &[phone, expected] = GetParam();
+    const InferenceSimulator sim =
+        InferenceSimulator::makeDefault(platform::makePhone(phone));
+    EXPECT_EQ(static_cast<int>(buildActionSpace(sim).size()), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPhones, ActionCount,
+    ::testing::Values(std::tuple<std::string, int>{"Mi8Pro", 66},
+                      std::tuple<std::string, int>{"Galaxy S10e", 65},
+                      std::tuple<std::string, int>{"Moto X Force", 47}));
+
+TEST(ActionSpace, AllActionsAreUnique)
+{
+    const InferenceSimulator sim =
+        InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    const auto actions = buildActionSpace(sim);
+    std::set<std::string> labels;
+    for (const auto &action : actions) {
+        labels.insert(action.label());
+    }
+    EXPECT_EQ(labels.size(), actions.size());
+}
+
+TEST(ActionSpace, EveryActionFeasibleForVisionNetworks)
+{
+    const InferenceSimulator sim =
+        InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    const dnn::Network net = dnn::makeInceptionV1();
+    for (const auto &action : buildActionSpace(sim)) {
+        EXPECT_TRUE(sim.isFeasible(net, action)) << action.label();
+    }
+}
+
+TEST(ActionSpace, KnobsFollowSectionVC)
+{
+    const InferenceSimulator sim =
+        InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    const auto actions = buildActionSpace(sim);
+
+    int cpu_fp32 = 0;
+    int cpu_int8 = 0;
+    int gpu_fp32 = 0;
+    int gpu_fp16 = 0;
+    int dsp = 0;
+    int cloud = 0;
+    int connected = 0;
+    for (const auto &action : actions) {
+        if (action.place == TargetPlace::Cloud) {
+            ++cloud;
+            EXPECT_EQ(action.precision, dnn::Precision::FP32);
+        } else if (action.place == TargetPlace::ConnectedEdge) {
+            ++connected;
+        } else if (action.proc == platform::ProcKind::MobileCpu) {
+            (action.precision == dnn::Precision::FP32 ? cpu_fp32
+                                                      : cpu_int8)++;
+        } else if (action.proc == platform::ProcKind::MobileGpu) {
+            (action.precision == dnn::Precision::FP32 ? gpu_fp32
+                                                      : gpu_fp16)++;
+        } else {
+            ++dsp;
+            EXPECT_EQ(action.precision, dnn::Precision::INT8);
+        }
+    }
+    EXPECT_EQ(cpu_fp32, 23); // every CPU V/F step
+    EXPECT_EQ(cpu_int8, 23);
+    EXPECT_EQ(gpu_fp32, 7);
+    EXPECT_EQ(gpu_fp16, 7);
+    EXPECT_EQ(dsp, 1);       // no DSP DVFS
+    EXPECT_EQ(cloud, 2);     // cloud CPU + GPU, FP32
+    EXPECT_EQ(connected, 3); // connected CPU + GPU + DSP
+}
+
+TEST(ActionSpace, RemoteActionsUseTopFrequency)
+{
+    const InferenceSimulator sim =
+        InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    for (const auto &action : buildActionSpace(sim)) {
+        if (action.place == TargetPlace::Local) {
+            continue;
+        }
+        const platform::Processor *proc =
+            sim.deviceAt(action.place).processor(action.proc);
+        ASSERT_NE(proc, nullptr);
+        EXPECT_EQ(action.vfIndex, proc->maxVfIndex()) << action.label();
+    }
+}
+
+TEST(ActionSpace, DesignSpaceMatchesPaperFootnote)
+{
+    // Footnote 8: "about 200,000 (3,072 states times ~66 actions)".
+    const InferenceSimulator sim =
+        InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    const std::size_t design_space = 3072 * buildActionSpace(sim).size();
+    EXPECT_NEAR(static_cast<double>(design_space), 200000.0, 10000.0);
+}
+
+TEST(ActionSpace, FindEdgeCpuBaseline)
+{
+    const InferenceSimulator sim =
+        InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    const auto actions = buildActionSpace(sim);
+    const ActionId id = findEdgeCpuFp32Action(actions, sim);
+    const ExecutionTarget &action = actions[static_cast<std::size_t>(id)];
+    EXPECT_EQ(action.place, TargetPlace::Local);
+    EXPECT_EQ(action.proc, platform::ProcKind::MobileCpu);
+    EXPECT_EQ(action.precision, dnn::Precision::FP32);
+    EXPECT_EQ(action.vfIndex, sim.localDevice().cpu().maxVfIndex());
+}
+
+TEST(ExecutionTarget, LabelsAndCategories)
+{
+    ExecutionTarget target{TargetPlace::Local,
+                           platform::ProcKind::MobileDsp, 0,
+                           dnn::Precision::INT8};
+    EXPECT_EQ(target.category(), "Edge (DSP)");
+    EXPECT_NE(target.label().find("DSP"), std::string::npos);
+
+    ExecutionTarget cloud{TargetPlace::Cloud,
+                          platform::ProcKind::ServerGpu, 0,
+                          dnn::Precision::FP32};
+    EXPECT_EQ(cloud.category(), "Cloud");
+
+    ExecutionTarget conn{TargetPlace::ConnectedEdge,
+                         platform::ProcKind::MobileCpu, 3,
+                         dnn::Precision::FP32};
+    EXPECT_EQ(conn.category(), "Connected Edge");
+}
+
+} // namespace
+} // namespace autoscale::core

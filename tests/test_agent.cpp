@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the Q-learning agent: the exact Algorithm 1 update rule,
+ * epsilon-greedy selection statistics, convergence tracking, and a
+ * bandit-style learning sanity check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/agent.h"
+#include "util/rng.h"
+
+namespace autoscale::core {
+namespace {
+
+QLearningConfig
+paperConfig()
+{
+    // Section V-C: epsilon 0.1, learning rate 0.9, discount 0.1.
+    return QLearningConfig{};
+}
+
+TEST(QLearningConfig, DefaultsMatchPaper)
+{
+    const QLearningConfig config;
+    EXPECT_DOUBLE_EQ(config.epsilon, 0.1);
+    EXPECT_DOUBLE_EQ(config.learningRate, 0.9);
+    EXPECT_DOUBLE_EQ(config.discount, 0.1);
+}
+
+TEST(Agent, UpdateFollowsAlgorithm1Exactly)
+{
+    QLearningAgent agent(3, 2, paperConfig(), Rng(1));
+    // Pin the table to known values.
+    QTable &table = agent.mutableTable();
+    table.at(0, 0) = 1.0f;
+    table.at(0, 1) = 0.0f;
+    table.at(1, 0) = 2.0f;
+    table.at(1, 1) = 4.0f;
+
+    // Q(0,0) <- Q + gamma [R + mu max_a Q(1,a) - Q]
+    //        = 1 + 0.9 [10 + 0.1 * 4 - 1] = 1 + 0.9 * 9.4 = 9.46.
+    agent.update(0, 0, 10.0, 1);
+    EXPECT_NEAR(agent.table().at(0, 0), 9.46, 1e-5);
+    EXPECT_NEAR(agent.lastTdError(), 9.4, 1e-5);
+}
+
+TEST(Agent, NegativeRewardLowersValue)
+{
+    QLearningAgent agent(2, 2, paperConfig(), Rng(2));
+    agent.mutableTable().at(0, 1) = 0.5f;
+    agent.mutableTable().at(1, 0) = 0.0f;
+    agent.mutableTable().at(1, 1) = 0.0f;
+    agent.update(0, 1, -100.0, 1);
+    EXPECT_LT(agent.table().at(0, 1), -80.0f);
+}
+
+TEST(Agent, LearningDisabledFreezesTable)
+{
+    QLearningAgent agent(2, 2, paperConfig(), Rng(3));
+    const float before = agent.table().at(0, 0);
+    agent.setLearning(false);
+    agent.update(0, 0, 100.0, 1);
+    EXPECT_FLOAT_EQ(agent.table().at(0, 0), before);
+    // Convergence tracking still observes rewards.
+    EXPECT_EQ(agent.convergence().count(), 1);
+}
+
+TEST(Agent, GreedySelectionWithoutExploration)
+{
+    QLearningAgent agent(1, 3, paperConfig(), Rng(4));
+    agent.setExploration(false);
+    agent.mutableTable().at(0, 0) = 0.0f;
+    agent.mutableTable().at(0, 1) = 9.0f;
+    agent.mutableTable().at(0, 2) = 1.0f;
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(agent.selectAction(0), 1);
+    }
+}
+
+TEST(Agent, EpsilonGreedyExploresAtTheConfiguredRate)
+{
+    QLearningConfig config;
+    config.epsilon = 0.25;
+    QLearningAgent agent(1, 4, config, Rng(5));
+    agent.mutableTable().at(0, 2) = 10.0f; // greedy pick is action 2
+    int non_greedy = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        if (agent.selectAction(0) != 2) {
+            ++non_greedy;
+        }
+    }
+    // Random picks land on the greedy action 1/4 of the time, so the
+    // observable non-greedy rate is epsilon * 3/4.
+    EXPECT_NEAR(static_cast<double>(non_greedy) / trials, 0.25 * 0.75,
+                0.02);
+}
+
+TEST(Agent, LearnsBestArmInStochasticBandit)
+{
+    // Single-state bandit with noisy rewards; the agent must find the
+    // best arm (arm 2, mean 1.0 vs 0.2 and 0.5).
+    QLearningAgent agent(1, 3, paperConfig(), Rng(6));
+    Rng noise(7);
+    const double means[] = {0.2, 0.5, 1.0};
+    for (int step = 0; step < 600; ++step) {
+        const int arm = agent.selectAction(0);
+        const double reward = noise.normal(means[arm], 0.05);
+        agent.update(0, arm, reward, 0);
+    }
+    EXPECT_EQ(agent.bestAction(0), 2);
+    EXPECT_NEAR(agent.table().at(0, 2), 1.0 / (1.0 - 0.1), 0.2);
+}
+
+TEST(Agent, ContextualBanditLearnsPerState)
+{
+    // Two states with opposite best actions.
+    QLearningAgent agent(2, 2, paperConfig(), Rng(8));
+    Rng noise(9);
+    for (int step = 0; step < 800; ++step) {
+        const int state = step % 2;
+        const int action = agent.selectAction(state);
+        const double reward =
+            (state == 0) == (action == 0) ? 1.0 : -1.0;
+        agent.update(state, action, reward + noise.normal(0.0, 0.05),
+                     1 - state);
+    }
+    EXPECT_EQ(agent.bestAction(0), 0);
+    EXPECT_EQ(agent.bestAction(1), 1);
+}
+
+TEST(ConvergenceTracker, DetectsStableRewards)
+{
+    ConvergenceTracker tracker(10, 0.08);
+    for (int i = 0; i < 9; ++i) {
+        tracker.add(100.0);
+    }
+    EXPECT_FALSE(tracker.converged()); // window not yet full
+    tracker.add(100.0);
+    EXPECT_TRUE(tracker.converged());
+    EXPECT_NEAR(tracker.windowMean(), 100.0, 1e-12);
+}
+
+TEST(ConvergenceTracker, RejectsVolatileRewards)
+{
+    ConvergenceTracker tracker(10, 0.08);
+    for (int i = 0; i < 20; ++i) {
+        tracker.add(i % 2 == 0 ? 100.0 : -100.0);
+    }
+    EXPECT_FALSE(tracker.converged());
+}
+
+TEST(ConvergenceTracker, RecoversAfterTransient)
+{
+    ConvergenceTracker tracker(10, 0.08);
+    for (int i = 0; i < 10; ++i) {
+        tracker.add(-500.0 + 40.0 * i); // climbing: not converged
+    }
+    EXPECT_FALSE(tracker.converged());
+    for (int i = 0; i < 10; ++i) {
+        tracker.add(-50.0);
+    }
+    EXPECT_TRUE(tracker.converged());
+    EXPECT_EQ(tracker.count(), 20);
+}
+
+} // namespace
+} // namespace autoscale::core

@@ -1,0 +1,71 @@
+/** @file Unit tests for the CLI argument parser (util/args.h). */
+
+#include <gtest/gtest.h>
+
+#include "util/args.h"
+
+namespace autoscale {
+namespace {
+
+Args
+make(std::initializer_list<const char *> tokens)
+{
+    std::vector<std::string> list;
+    for (const char *token : tokens) {
+        list.emplace_back(token);
+    }
+    return Args(std::move(list));
+}
+
+TEST(Args, GetReturnsFollowingToken)
+{
+    const Args args = make({"prog", "--device", "Mi8Pro", "--runs", "40"});
+    EXPECT_EQ(args.get("--device"), "Mi8Pro");
+    EXPECT_EQ(args.get("--runs"), "40");
+}
+
+TEST(Args, FallbacksWhenAbsent)
+{
+    const Args args = make({"prog"});
+    EXPECT_EQ(args.get("--device", "default"), "default");
+    EXPECT_DOUBLE_EQ(args.getDouble("--co-cpu", 0.25), 0.25);
+    EXPECT_EQ(args.getInt("--runs", 7), 7);
+}
+
+TEST(Args, TrailingFlagHasNoValue)
+{
+    const Args args = make({"prog", "--device"});
+    EXPECT_EQ(args.get("--device", "fallback"), "fallback");
+}
+
+TEST(Args, NumericParsing)
+{
+    const Args args = make({"prog", "--rssi", "-85.5", "--n", "12"});
+    EXPECT_DOUBLE_EQ(args.getDouble("--rssi", 0.0), -85.5);
+    EXPECT_EQ(args.getInt("--n", 0), 12);
+}
+
+TEST(Args, HasDetectsSwitches)
+{
+    const Args args = make({"prog", "--csv", "--device", "X"});
+    EXPECT_TRUE(args.has("--csv"));
+    EXPECT_TRUE(args.has("--device"));
+    EXPECT_FALSE(args.has("--json"));
+}
+
+TEST(Args, FirstOccurrenceWins)
+{
+    const Args args = make({"prog", "--seed", "1", "--seed", "2"});
+    EXPECT_EQ(args.getInt("--seed", 0), 1);
+}
+
+TEST(Args, ArgcArgvConstructor)
+{
+    const char *argv[] = {"prog", "--x", "y"};
+    const Args args(3, argv);
+    EXPECT_EQ(args.size(), 3u);
+    EXPECT_EQ(args.get("--x"), "y");
+}
+
+} // namespace
+} // namespace autoscale

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the classification-based predictors (Fig. 7's SVM and KNN):
+ * the classifier backends and the scheduling policies on top.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/classify.h"
+#include "dnn/model_zoo.h"
+#include "platform/device_zoo.h"
+#include "util/rng.h"
+
+namespace autoscale::baselines {
+namespace {
+
+sim::InferenceSimulator
+mi8Sim()
+{
+    return sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+}
+
+TEST(LinearSvm, SeparatesLinearlySeparableClasses)
+{
+    Rng rng(1);
+    std::vector<Vector> x;
+    std::vector<int> labels;
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.uniform(-1.0, 1.0);
+        const double b = rng.uniform(-1.0, 1.0);
+        x.push_back({a, b});
+        labels.push_back(a + b > 0.0 ? 7 : 3); // arbitrary label ids
+    }
+    LinearSvmClassifier svm(1e-3, 40, 2);
+    svm.fit(x, labels);
+    int correct = 0;
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.uniform(-1.0, 1.0);
+        const double b = rng.uniform(-1.0, 1.0);
+        if (std::abs(a + b) < 0.2) {
+            continue; // skip points near the margin
+        }
+        if (svm.predict({a, b}) == (a + b > 0.0 ? 7 : 3)) {
+            ++correct;
+        } else {
+            --correct;
+        }
+    }
+    EXPECT_GT(correct, 0);
+}
+
+TEST(LinearSvm, HandlesThreeClasses)
+{
+    Rng rng(3);
+    std::vector<Vector> x;
+    std::vector<int> labels;
+    for (int i = 0; i < 300; ++i) {
+        const int cls = static_cast<int>(rng.uniformInt(3));
+        const double center = static_cast<double>(cls) * 2.0;
+        x.push_back({rng.normal(center, 0.2)});
+        labels.push_back(cls);
+    }
+    LinearSvmClassifier svm(1e-3, 40, 4);
+    svm.fit(x, labels);
+    EXPECT_EQ(svm.predict({0.0}), 0);
+    EXPECT_EQ(svm.predict({4.0}), 2);
+}
+
+TEST(Knn, ExactOnTrainingPoints)
+{
+    KnnClassifier knn(1);
+    const std::vector<Vector> x{{0.0}, {1.0}, {2.0}, {3.0}};
+    const std::vector<int> labels{10, 20, 30, 40};
+    knn.fit(x, labels);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_EQ(knn.predict(x[i]), labels[i]);
+    }
+}
+
+TEST(Knn, MajorityVoteAmongNeighbors)
+{
+    KnnClassifier knn(3);
+    const std::vector<Vector> x{{0.0}, {0.1}, {0.2}, {5.0}};
+    const std::vector<int> labels{1, 1, 2, 9};
+    knn.fit(x, labels);
+    // Neighbors of 0.05 are {0.0, 0.1, 0.2} -> labels {1, 1, 2} -> 1.
+    EXPECT_EQ(knn.predict({0.05}), 1);
+    EXPECT_EQ(knn.predict({4.9}), 9);
+}
+
+TEST(Knn, KLargerThanDatasetStillWorks)
+{
+    KnnClassifier knn(50);
+    knn.fit({{0.0}, {1.0}}, {5, 5});
+    EXPECT_EQ(knn.predict({0.5}), 5);
+}
+
+class ClassifierPolicies : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ClassifierPolicies, TrainedPolicyPredictsOracleActionsInCleanEnv)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    std::unique_ptr<ClassificationPolicy> policy;
+    if (std::string(GetParam()) == "SVM") {
+        policy = makeSvmPolicy(sim);
+    } else {
+        policy = makeKnnPolicy(sim);
+    }
+    EXPECT_EQ(policy->name(), GetParam());
+
+    std::vector<const dnn::Network *> nets{
+        &dnn::findModel("MobileNet v1"), &dnn::findModel("Inception v3"),
+        &dnn::findModel("MobileBERT")};
+    Rng rng(5);
+    const TrainingSet data = generateTrainingSet(
+        sim, nets, {env::ScenarioId::S1}, 30, rng);
+    policy->train(data);
+
+    // In the environment it was trained on, the classifier should
+    // recover each network's dominant optimal action.
+    OptOracle oracle(sim);
+    int matches = 0;
+    for (const dnn::Network *net : nets) {
+        const sim::InferenceRequest request = sim::makeRequest(*net);
+        const int predicted =
+            policy->predictAction(request, env::EnvState{});
+        const sim::ExecutionTarget opt =
+            oracle.optimalTarget(request, env::EnvState{});
+        const auto &actions = oracle.actions();
+        if (actions[static_cast<std::size_t>(predicted)].category()
+            == opt.category()) {
+            ++matches;
+        }
+    }
+    EXPECT_GE(matches, 2) << "classifier missed the trained optima";
+}
+
+TEST_P(ClassifierPolicies, DecisionsAreAlwaysExecutable)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    std::unique_ptr<ClassificationPolicy> policy;
+    if (std::string(GetParam()) == "SVM") {
+        policy = makeSvmPolicy(sim);
+    } else {
+        policy = makeKnnPolicy(sim);
+    }
+    std::vector<const dnn::Network *> nets{
+        &dnn::findModel("MobileNet v2"), &dnn::findModel("MobileBERT")};
+    Rng rng(6);
+    policy->train(
+        generateTrainingSet(sim, nets, {env::ScenarioId::S1}, 20, rng));
+
+    // Even for MobileBERT (where a vision-trained class might name a
+    // co-processor), the decision must be executable.
+    for (const dnn::Network *net : nets) {
+        const sim::InferenceRequest request = sim::makeRequest(*net);
+        const Decision decision =
+            policy->decide(request, env::EnvState{}, rng);
+        EXPECT_TRUE(sim.isFeasible(*net, decision.target)) << net->name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, ClassifierPolicies,
+                         ::testing::Values("SVM", "KNN"));
+
+} // namespace
+} // namespace autoscale::baselines

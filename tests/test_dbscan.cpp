@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the 1-D DBSCAN used to derive the Table I discretization
+ * from profiled feature samples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dbscan.h"
+#include "util/rng.h"
+
+namespace autoscale::core {
+namespace {
+
+TEST(Dbscan, EmptyInput)
+{
+    const auto labels = dbscan1d({}, 1.0, 2);
+    EXPECT_TRUE(labels.empty());
+    EXPECT_EQ(clusterCount(labels), 0);
+}
+
+TEST(Dbscan, SingleTightCluster)
+{
+    const std::vector<double> values{1.0, 1.1, 0.9, 1.05, 0.95};
+    const auto labels = dbscan1d(values, 0.5, 3);
+    EXPECT_EQ(clusterCount(labels), 1);
+    for (int label : labels) {
+        EXPECT_EQ(label, 0);
+    }
+}
+
+TEST(Dbscan, TwoSeparatedClusters)
+{
+    const std::vector<double> values{0.0, 0.1, 0.2, 10.0, 10.1, 10.2};
+    const auto labels = dbscan1d(values, 0.5, 2);
+    EXPECT_EQ(clusterCount(labels), 2);
+    // Clusters numbered by ascending smallest member.
+    EXPECT_EQ(labels[0], 0);
+    EXPECT_EQ(labels[3], 1);
+    EXPECT_EQ(labels[1], labels[0]);
+    EXPECT_EQ(labels[4], labels[3]);
+}
+
+TEST(Dbscan, OutlierIsNoise)
+{
+    const std::vector<double> values{0.0, 0.1, 0.2, 50.0};
+    const auto labels = dbscan1d(values, 0.5, 2);
+    EXPECT_EQ(clusterCount(labels), 1);
+    EXPECT_EQ(labels[3], kNoise);
+}
+
+TEST(Dbscan, MinPtsControlsCorePoints)
+{
+    const std::vector<double> values{0.0, 0.1, 5.0, 5.1};
+    // With minPts 3, pairs are not dense enough to form clusters.
+    const auto strict = dbscan1d(values, 0.5, 3);
+    EXPECT_EQ(clusterCount(strict), 0);
+    const auto loose = dbscan1d(values, 0.5, 2);
+    EXPECT_EQ(clusterCount(loose), 2);
+}
+
+TEST(Dbscan, InputOrderDoesNotMatter)
+{
+    const std::vector<double> sorted{0.0, 0.1, 0.2, 10.0, 10.1, 10.2};
+    const std::vector<double> shuffled{10.1, 0.2, 10.0, 0.0, 10.2, 0.1};
+    const auto a = dbscan1d(sorted, 0.5, 2);
+    const auto b = dbscan1d(shuffled, 0.5, 2);
+    EXPECT_EQ(clusterCount(a), clusterCount(b));
+    // Same value -> same label, regardless of position.
+    EXPECT_EQ(b[3], 0);  // value 0.0
+    EXPECT_EQ(b[0], 1);  // value 10.1
+}
+
+TEST(Dbscan, BoundariesFallBetweenClusters)
+{
+    const std::vector<double> values{0.0, 0.1, 0.2, 10.0, 10.1, 10.2};
+    const auto labels = dbscan1d(values, 0.5, 2);
+    const auto boundaries = clusterBoundaries(values, labels);
+    ASSERT_EQ(boundaries.size(), 1u);
+    EXPECT_NEAR(boundaries[0], (0.2 + 10.0) / 2.0, 1e-12);
+}
+
+TEST(Dbscan, BinFromBoundaries)
+{
+    const std::vector<double> boundaries{10.0, 20.0, 30.0};
+    EXPECT_EQ(binFromBoundaries(5.0, boundaries), 0);
+    EXPECT_EQ(binFromBoundaries(10.0, boundaries), 1);
+    EXPECT_EQ(binFromBoundaries(25.0, boundaries), 2);
+    EXPECT_EQ(binFromBoundaries(99.0, boundaries), 3);
+    EXPECT_EQ(binFromBoundaries(1.0, {}), 0);
+}
+
+TEST(Dbscan, DerivesRssiBinsLikeTableI)
+{
+    // Profiled RSSI samples cluster into "regular" and "weak" modes —
+    // the derivation behind the two S_RSSI bins of Table I.
+    Rng rng(13);
+    std::vector<double> samples;
+    for (int i = 0; i < 300; ++i) {
+        samples.push_back(rng.normal(-55.0, 3.0)); // regular mode
+    }
+    for (int i = 0; i < 300; ++i) {
+        samples.push_back(rng.normal(-88.0, 2.5)); // weak mode
+    }
+    const auto labels = dbscan1d(samples, 2.0, 8);
+    EXPECT_EQ(clusterCount(labels), 2);
+    const auto boundaries = clusterBoundaries(samples, labels);
+    ASSERT_EQ(boundaries.size(), 1u);
+    // The derived boundary lands near the paper's -80 dBm threshold.
+    EXPECT_GT(boundaries[0], -82.0);
+    EXPECT_LT(boundaries[0], -62.0);
+}
+
+TEST(Dbscan, DerivesUtilizationBinsFromTrimodalLoad)
+{
+    // Idle / light / heavy co-runner utilization modes yield three
+    // clusters, mirroring DBSCAN "determining the optimal number of
+    // clusters" in Section IV-A.
+    Rng rng(17);
+    std::vector<double> samples;
+    for (int i = 0; i < 200; ++i) {
+        samples.push_back(rng.normal(0.02, 0.01));
+    }
+    for (int i = 0; i < 200; ++i) {
+        samples.push_back(rng.normal(0.35, 0.03));
+    }
+    for (int i = 0; i < 200; ++i) {
+        samples.push_back(rng.normal(0.85, 0.03));
+    }
+    const auto labels = dbscan1d(samples, 0.04, 10);
+    EXPECT_EQ(clusterCount(labels), 3);
+    const auto boundaries = clusterBoundaries(samples, labels);
+    EXPECT_EQ(boundaries.size(), 2u);
+}
+
+} // namespace
+} // namespace autoscale::core

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the device model and the Table II fleet: processor
+ * presence, V/F step counts, top frequencies, and peak powers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "platform/device_zoo.h"
+
+namespace autoscale::platform {
+namespace {
+
+// Table II: name, cpu steps, cpu fmax, cpu peak W, gpu steps, gpu fmax,
+// gpu peak W, has dsp.
+using TableIIRow =
+    std::tuple<std::string, int, double, double, int, double, double, bool>;
+
+class DeviceTableII : public ::testing::TestWithParam<TableIIRow> {};
+
+TEST_P(DeviceTableII, MatchesPaperSpecification)
+{
+    const auto &[name, cpu_steps, cpu_fmax, cpu_w, gpu_steps, gpu_fmax,
+                 gpu_w, has_dsp] = GetParam();
+    const Device device = makePhone(name);
+    EXPECT_EQ(device.name(), name);
+
+    EXPECT_EQ(static_cast<int>(device.cpu().numVfSteps()), cpu_steps);
+    EXPECT_DOUBLE_EQ(device.cpu().freqGhz(device.cpu().maxVfIndex()),
+                     cpu_fmax);
+    EXPECT_DOUBLE_EQ(device.cpu().busyPowerW(device.cpu().maxVfIndex()),
+                     cpu_w);
+
+    ASSERT_TRUE(device.hasGpu());
+    EXPECT_EQ(static_cast<int>(device.gpu().numVfSteps()), gpu_steps);
+    EXPECT_DOUBLE_EQ(device.gpu().freqGhz(device.gpu().maxVfIndex()),
+                     gpu_fmax);
+    EXPECT_DOUBLE_EQ(device.gpu().busyPowerW(device.gpu().maxVfIndex()),
+                     gpu_w);
+
+    EXPECT_EQ(device.hasDsp(), has_dsp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableII, DeviceTableII,
+    ::testing::Values(
+        TableIIRow{"Mi8Pro", 23, 2.8, 5.5, 7, 0.7, 2.8, true},
+        TableIIRow{"Galaxy S10e", 21, 2.7, 5.6, 9, 0.7, 2.4, false},
+        TableIIRow{"Moto X Force", 15, 1.9, 3.6, 6, 0.6, 2.0, false}));
+
+TEST(DeviceZoo, TiersMatchSectionIII)
+{
+    EXPECT_EQ(makeMi8Pro().tier(), DeviceTier::HighEnd);
+    EXPECT_EQ(makeGalaxyS10e().tier(), DeviceTier::HighEnd);
+    EXPECT_EQ(makeMotoXForce().tier(), DeviceTier::MidEnd);
+    EXPECT_EQ(makeGalaxyTabS6().tier(), DeviceTier::Tablet);
+    EXPECT_EQ(makeCloudServer().tier(), DeviceTier::Server);
+}
+
+TEST(DeviceZoo, DspHasNoDvfs)
+{
+    // Section V-C: "We do not consider DVFS for DSP ... since DSP does
+    // not support DVFS yet."
+    const Device mi8 = makeMi8Pro();
+    EXPECT_EQ(mi8.dsp().numVfSteps(), 1u);
+    EXPECT_DOUBLE_EQ(mi8.dsp().busyPowerW(0), 1.8);
+}
+
+TEST(DeviceZoo, MidEndDramMatchesOverheadAnalysis)
+{
+    // Section VI-C cites "the 3 GB DRAM capacity of a typical mid-end
+    // mobile device".
+    EXPECT_EQ(makeMotoXForce().dramMB(), 3072);
+}
+
+TEST(DeviceZoo, CloudHasServerProcessors)
+{
+    const Device cloud = makeCloudServer();
+    EXPECT_EQ(cloud.cpu().kind(), ProcKind::ServerCpu);
+    EXPECT_EQ(cloud.cpu().numCores(), 40);
+    ASSERT_TRUE(cloud.hasGpu());
+    EXPECT_EQ(cloud.gpu().kind(), ProcKind::ServerGpu);
+    EXPECT_FALSE(cloud.hasDsp());
+}
+
+TEST(DeviceZoo, TabletOutclassesPhonesAsConnectedEdge)
+{
+    // Section III: the tablet is "the higher-end device".
+    const Device tab = makeGalaxyTabS6();
+    const Device moto = makeMotoXForce();
+    EXPECT_GT(tab.cpu().peakGflopsFp32(), moto.cpu().peakGflopsFp32());
+    EXPECT_TRUE(tab.hasDsp());
+}
+
+TEST(Device, ProcessorLookup)
+{
+    const Device mi8 = makeMi8Pro();
+    EXPECT_EQ(mi8.processor(ProcKind::MobileCpu), &mi8.cpu());
+    EXPECT_EQ(mi8.processor(ProcKind::MobileGpu), &mi8.gpu());
+    EXPECT_EQ(mi8.processor(ProcKind::MobileDsp), &mi8.dsp());
+    EXPECT_EQ(mi8.processor(ProcKind::ServerGpu), nullptr);
+
+    const Device s10e = makeGalaxyS10e();
+    EXPECT_EQ(s10e.processor(ProcKind::MobileDsp), nullptr);
+}
+
+TEST(Device, ProcessorsListsAllPresent)
+{
+    EXPECT_EQ(makeMi8Pro().processors().size(), 3u);
+    EXPECT_EQ(makeGalaxyS10e().processors().size(), 2u);
+    EXPECT_EQ(makeMotoXForce().processors().size(), 2u);
+}
+
+TEST(DeviceZoo, PhoneNamesRoundTrip)
+{
+    for (const std::string &name : phoneNames()) {
+        EXPECT_EQ(makePhone(name).name(), name);
+    }
+    EXPECT_EQ(phoneNames().size(), 3u);
+}
+
+TEST(Device, TierNames)
+{
+    EXPECT_STREQ(deviceTierName(DeviceTier::MidEnd), "mid-end");
+    EXPECT_STREQ(deviceTierName(DeviceTier::Server), "server");
+}
+
+} // namespace
+} // namespace autoscale::platform

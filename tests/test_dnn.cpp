@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the DNN substrate: layer taxonomy, network accounting, the
+ * Table III model zoo (layer compositions must match the paper exactly),
+ * and the accuracy table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "dnn/accuracy.h"
+#include "dnn/model_zoo.h"
+#include "dnn/network.h"
+#include "dnn/precision.h"
+
+namespace autoscale::dnn {
+namespace {
+
+TEST(Layer, KindNames)
+{
+    EXPECT_STREQ(layerKindName(LayerKind::Conv), "CONV");
+    EXPECT_STREQ(layerKindName(LayerKind::FullyConnected), "FC");
+    EXPECT_STREQ(layerKindName(LayerKind::Recurrent), "RC");
+    EXPECT_STREQ(layerKindName(LayerKind::Pool), "POOL");
+    EXPECT_STREQ(layerKindName(LayerKind::Softmax), "SOFTMAX");
+}
+
+TEST(Layer, MajorKindClassification)
+{
+    Layer layer;
+    layer.kind = LayerKind::Conv;
+    EXPECT_TRUE(layer.isMajorKind());
+    layer.kind = LayerKind::Recurrent;
+    EXPECT_TRUE(layer.isMajorKind());
+    layer.kind = LayerKind::Pool;
+    EXPECT_FALSE(layer.isMajorKind());
+    layer.kind = LayerKind::Softmax;
+    EXPECT_FALSE(layer.isMajorKind());
+}
+
+TEST(Layer, MemoryBytesSumsParamsAndActivations)
+{
+    Layer layer;
+    layer.paramBytes = 1000;
+    layer.activationBytes = 234;
+    EXPECT_EQ(layer.memoryBytes(), 1234u);
+}
+
+TEST(Network, AccountingAccumulates)
+{
+    Network net("test", Task::ImageClassification, 1024, 128);
+    Layer conv;
+    conv.kind = LayerKind::Conv;
+    conv.macs = 1000;
+    conv.paramBytes = 400;
+    net.addLayer(conv);
+    Layer fc;
+    fc.kind = LayerKind::FullyConnected;
+    fc.macs = 500;
+    fc.paramBytes = 100;
+    net.addLayer(fc);
+
+    EXPECT_EQ(net.totalMacs(), 1500u);
+    EXPECT_EQ(net.totalParamBytes(), 500u);
+    EXPECT_EQ(net.numConv(), 1);
+    EXPECT_EQ(net.numFc(), 1);
+    EXPECT_EQ(net.numRc(), 0);
+    EXPECT_DOUBLE_EQ(net.totalMacsMillions(), 1500.0 / 1e6);
+}
+
+TEST(Network, TaskNames)
+{
+    EXPECT_STREQ(taskName(Task::ImageClassification),
+                 "Image Classification");
+    EXPECT_STREQ(taskName(Task::ObjectDetection), "Object Detection");
+    EXPECT_STREQ(taskName(Task::Translation), "Translation");
+}
+
+// ---------------------------------------------------------------------
+// Table III layer compositions: (name, SCONV, SFC, SRC, task).
+// ---------------------------------------------------------------------
+using ZooRow = std::tuple<std::string, int, int, int, Task>;
+
+class ModelZooTableIII : public ::testing::TestWithParam<ZooRow> {};
+
+TEST_P(ModelZooTableIII, LayerCompositionMatchesPaper)
+{
+    const auto &[name, conv, fc, rc, task] = GetParam();
+    const Network &net = findModel(name);
+    EXPECT_EQ(net.numConv(), conv) << name;
+    EXPECT_EQ(net.numFc(), fc) << name;
+    EXPECT_EQ(net.numRc(), rc) << name;
+    EXPECT_EQ(net.task(), task) << name;
+}
+
+TEST_P(ModelZooTableIII, HasPositiveFootprints)
+{
+    const auto &[name, conv, fc, rc, task] = GetParam();
+    (void)conv;
+    (void)fc;
+    (void)rc;
+    (void)task;
+    const Network &net = findModel(name);
+    EXPECT_GT(net.totalMacs(), 0u);
+    EXPECT_GT(net.totalParamBytes(), 0u);
+    EXPECT_GT(net.inputBytes(), 0u);
+    EXPECT_GT(net.outputBytes(), 0u);
+    for (const Layer &layer : net.layers()) {
+        EXPECT_GE(layer.macs, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIII, ModelZooTableIII,
+    ::testing::Values(
+        ZooRow{"Inception v1", 49, 1, 0, Task::ImageClassification},
+        ZooRow{"Inception v3", 94, 1, 0, Task::ImageClassification},
+        ZooRow{"MobileNet v1", 14, 1, 0, Task::ImageClassification},
+        ZooRow{"MobileNet v2", 35, 1, 0, Task::ImageClassification},
+        ZooRow{"MobileNet v3", 23, 20, 0, Task::ImageClassification},
+        ZooRow{"ResNet 50", 53, 1, 0, Task::ImageClassification},
+        ZooRow{"SSD MobileNet v1", 19, 1, 0, Task::ObjectDetection},
+        ZooRow{"SSD MobileNet v2", 52, 1, 0, Task::ObjectDetection},
+        ZooRow{"SSD MobileNet v3", 28, 20, 0, Task::ObjectDetection},
+        ZooRow{"MobileBERT", 0, 1, 24, Task::Translation}));
+
+TEST(ModelZoo, HasTenWorkloads)
+{
+    EXPECT_EQ(modelZoo().size(), 10u);
+}
+
+TEST(ModelZoo, MacBinsSpanAllThreeSmacClasses)
+{
+    // Table I S_MAC needs small (<1000M), medium (<2000M), and
+    // large (>=2000M) representatives among the workloads.
+    int small = 0;
+    int medium = 0;
+    int large = 0;
+    for (const Network &net : modelZoo()) {
+        const double m = net.totalMacsMillions();
+        if (m < 1000.0) {
+            ++small;
+        } else if (m < 2000.0) {
+            ++medium;
+        } else {
+            ++large;
+        }
+    }
+    EXPECT_GT(small, 0);
+    EXPECT_GT(medium, 0);
+    EXPECT_GT(large, 0);
+}
+
+TEST(ModelZoo, MobileBertLacksCoProcessorSupport)
+{
+    EXPECT_FALSE(findModel("MobileBERT").supportedOnCoProcessors());
+    EXPECT_TRUE(findModel("Inception v1").supportedOnCoProcessors());
+    EXPECT_TRUE(findModel("MobileNet v3").supportedOnCoProcessors());
+}
+
+TEST(ModelZoo, MacTotalsUsePublishedScale)
+{
+    // Published multiply-accumulate budgets (millions), loose bounds.
+    EXPECT_NEAR(findModel("MobileNet v1").totalMacsMillions(), 569.0, 60.0);
+    EXPECT_NEAR(findModel("MobileNet v2").totalMacsMillions(), 300.0, 40.0);
+    EXPECT_NEAR(findModel("ResNet 50").totalMacsMillions(), 3900.0, 400.0);
+    EXPECT_NEAR(findModel("Inception v3").totalMacsMillions(), 5700.0,
+                600.0);
+}
+
+TEST(ModelZoo, ActivationsDecayWithDepth)
+{
+    const Network &net = findModel("ResNet 50");
+    const auto &layers = net.layers();
+    // First major layer moves much more activation data than the last.
+    std::uint64_t first_act = 0;
+    std::uint64_t last_act = 0;
+    for (const Layer &layer : layers) {
+        if (layer.isMajorKind()) {
+            if (first_act == 0) {
+                first_act = layer.activationBytes;
+            }
+            last_act = layer.activationBytes;
+        }
+    }
+    EXPECT_GT(first_act, 10 * last_act);
+}
+
+TEST(Precision, BytesPerElement)
+{
+    EXPECT_DOUBLE_EQ(bytesPerElement(Precision::FP32), 4.0);
+    EXPECT_DOUBLE_EQ(bytesPerElement(Precision::FP16), 2.0);
+    EXPECT_DOUBLE_EQ(bytesPerElement(Precision::INT8), 1.0);
+}
+
+class AccuracyTableAllModels
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AccuracyTableAllModels, PrecisionOrderingHolds)
+{
+    const std::string &name = GetParam();
+    ASSERT_TRUE(hasAccuracyEntry(name));
+    const double fp32 = inferenceAccuracy(name, Precision::FP32);
+    const double fp16 = inferenceAccuracy(name, Precision::FP16);
+    const double int8 = inferenceAccuracy(name, Precision::INT8);
+    EXPECT_GT(fp32, 0.0);
+    EXPECT_LE(fp32, 100.0);
+    EXPECT_LE(fp16, fp32);
+    EXPECT_LT(int8, fp16);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, AccuracyTableAllModels,
+    ::testing::Values("Inception v1", "Inception v3", "MobileNet v1",
+                      "MobileNet v2", "MobileNet v3", "ResNet 50",
+                      "SSD MobileNet v1", "SSD MobileNet v2",
+                      "SSD MobileNet v3", "MobileBERT"));
+
+TEST(Accuracy, MobileNetV3QuantizesPoorly)
+{
+    // The Fig. 4 crossover requires MobileNet v3 INT8 to pass a 50%
+    // target but fail a 65% target, while FP32 passes both.
+    const double int8 = inferenceAccuracy("MobileNet v3", Precision::INT8);
+    EXPECT_GE(int8, 50.0);
+    EXPECT_LT(int8, 65.0);
+    EXPECT_GE(inferenceAccuracy("MobileNet v3", Precision::FP32), 65.0);
+}
+
+TEST(Accuracy, InceptionV1Int8BetweenTargets)
+{
+    const double int8 = inferenceAccuracy("Inception v1", Precision::INT8);
+    EXPECT_GE(int8, 50.0);
+    EXPECT_LT(int8, 65.0);
+}
+
+TEST(Accuracy, UnknownModelIsAbsent)
+{
+    EXPECT_FALSE(hasAccuracyEntry("AlexNet"));
+}
+
+} // namespace
+} // namespace autoscale::dnn

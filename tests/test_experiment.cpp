@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the experiment harness: the AutoScale policy adapter,
+ * training/evaluation loops, streaming mode with the thermal loop, and
+ * leave-one-out cross-validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/fixed.h"
+#include "dnn/model_zoo.h"
+#include "harness/experiment.h"
+#include "platform/device_zoo.h"
+
+namespace autoscale::harness {
+namespace {
+
+sim::InferenceSimulator
+mi8Sim()
+{
+    return sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+}
+
+TEST(ZooHelpers, AllAndExcept)
+{
+    EXPECT_EQ(allZooNetworks().size(), 10u);
+    const auto rest = zooNetworksExcept("MobileBERT");
+    EXPECT_EQ(rest.size(), 9u);
+    for (const dnn::Network *net : rest) {
+        EXPECT_NE(net->name(), "MobileBERT");
+    }
+}
+
+TEST(EvaluatePolicy, CountsRunsPerComboAndScenario)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    auto policy = baselines::makeEdgeCpuFp32Policy(sim);
+    EvalOptions options;
+    options.runsPerCombo = 5;
+    options.compareOracle = false;
+    const auto nets = std::vector<const dnn::Network *>{
+        &dnn::findModel("MobileNet v1"), &dnn::findModel("ResNet 50")};
+    const RunStats stats = evaluatePolicy(
+        *policy, sim, nets, {env::ScenarioId::S1, env::ScenarioId::S2},
+        options);
+    EXPECT_EQ(stats.count(), 5 * 2 * 2);
+}
+
+TEST(EvaluatePolicy, OracleComparisonPopulatesMetrics)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    auto policy = baselines::makeCloudPolicy(sim);
+    EvalOptions options;
+    options.runsPerCombo = 4;
+    const auto nets = std::vector<const dnn::Network *>{
+        &dnn::findModel("MobileBERT")};
+    const RunStats stats = evaluatePolicy(*policy, sim, nets,
+                                          {env::ScenarioId::S1}, options);
+    // Cloud IS the optimum for MobileBERT in the clean environment.
+    EXPECT_NEAR(stats.predictionAccuracy(), 1.0, 1e-12);
+    EXPECT_GT(stats.optMeanEnergyJ(), 0.0);
+}
+
+TEST(EvaluatePolicy, SeedsMakeRunsReproducible)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    EvalOptions options;
+    options.runsPerCombo = 6;
+    options.compareOracle = false;
+    options.seed = 77;
+    const auto nets = std::vector<const dnn::Network *>{
+        &dnn::findModel("MobileNet v2")};
+    auto p1 = baselines::makeEdgeBestPolicy(sim);
+    auto p2 = baselines::makeEdgeBestPolicy(sim);
+    const RunStats a = evaluatePolicy(*p1, sim, nets,
+                                      {env::ScenarioId::D2}, options);
+    const RunStats b = evaluatePolicy(*p2, sim, nets,
+                                      {env::ScenarioId::D2}, options);
+    EXPECT_DOUBLE_EQ(a.meanEnergyJ(), b.meanEnergyJ());
+    EXPECT_DOUBLE_EQ(a.qosViolationRatio(), b.qosViolationRatio());
+}
+
+TEST(EvaluatePolicy, StreamingSkipsTranslationAndTightensQos)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    auto policy = baselines::makeEdgeBestPolicy(sim);
+    EvalOptions options;
+    options.runsPerCombo = 5;
+    options.streaming = true;
+    options.compareOracle = false;
+    const auto nets = std::vector<const dnn::Network *>{
+        &dnn::findModel("MobileNet v1"), &dnn::findModel("MobileBERT")};
+    const RunStats stats = evaluatePolicy(*policy, sim, nets,
+                                          {env::ScenarioId::S1}, options);
+    // MobileBERT (translation) is excluded from streaming runs.
+    EXPECT_EQ(stats.count(), 5);
+}
+
+TEST(TrainAutoScale, ProducesACompetentScheduler)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    auto autoscale = makeAutoScalePolicy(sim, 42);
+    Rng rng(43);
+    const auto nets = std::vector<const dnn::Network *>{
+        &dnn::findModel("MobileNet v1"), &dnn::findModel("Inception v1")};
+    trainAutoScale(*autoscale, sim, nets, {env::ScenarioId::S1}, 80, rng);
+    autoscale->scheduler().setExploration(false);
+
+    EvalOptions options;
+    options.runsPerCombo = 20;
+    options.seed = 44;
+    const RunStats as_stats = evaluatePolicy(*autoscale, sim, nets,
+                                             {env::ScenarioId::S1},
+                                             options);
+    auto cpu = baselines::makeEdgeCpuFp32Policy(sim);
+    const RunStats cpu_stats = evaluatePolicy(*cpu, sim, nets,
+                                              {env::ScenarioId::S1},
+                                              options);
+    // Trained AutoScale must beat the CPU baseline by a wide margin on
+    // the networks it trained on.
+    EXPECT_GT(as_stats.ppw(), 3.0 * cpu_stats.ppw());
+    EXPECT_LT(as_stats.qosViolationRatio(), 0.2);
+}
+
+TEST(Loo, HeldOutNetworksStillSchedulable)
+{
+    // A small leave-one-out pass over three networks: the Q-table
+    // trained on the other two must generalize well enough to beat the
+    // CPU baseline on the held-out one (the Table I state features are
+    // what carries over).
+    const sim::InferenceSimulator sim = mi8Sim();
+    const auto nets = std::vector<const dnn::Network *>{
+        &dnn::findModel("MobileNet v1"), &dnn::findModel("MobileNet v2"),
+        &dnn::findModel("Inception v1")};
+    EvalOptions options;
+    options.runsPerCombo = 15;
+    options.seed = 5;
+    const RunStats loo = evaluateAutoScaleLoo(
+        sim, nets, {env::ScenarioId::S1}, 60, options);
+    EXPECT_EQ(loo.count(), 15 * 3);
+
+    auto cpu = baselines::makeEdgeCpuFp32Policy(sim);
+    const RunStats cpu_stats =
+        evaluatePolicy(*cpu, sim, nets, {env::ScenarioId::S1}, options);
+    EXPECT_GT(loo.ppw(), 2.0 * cpu_stats.ppw());
+}
+
+TEST(Loo, ConfigureHookCustomizesTheEncoder)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    const auto nets = std::vector<const dnn::Network *>{
+        &dnn::findModel("MobileNet v1"), &dnn::findModel("MobileNet v2")};
+    EvalOptions options;
+    options.runsPerCombo = 5;
+    options.compareOracle = false;
+    int hook_calls = 0;
+    const RunStats stats = evaluateAutoScaleLoo(
+        sim, nets, {env::ScenarioId::S1}, 10, options, [&] {
+            ++hook_calls;
+            core::SchedulerConfig config;
+            config.encoder.disableFeature(core::Feature::RssiP);
+            return config;
+        });
+    EXPECT_EQ(hook_calls, 2); // one fresh policy per fold
+    EXPECT_EQ(stats.count(), 5 * 2);
+}
+
+} // namespace
+} // namespace autoscale::harness

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the Section V-C extensions: mobile NPU and cloud TPU
+ * actions ("depending on the configurations of edge-cloud systems,
+ * additional actions, such as mobile NPU or cloud TPU, could be
+ * further considered").
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/fixed.h"
+#include "baselines/oracle.h"
+#include "core/action_space.h"
+#include "dnn/model_zoo.h"
+#include "env/interference.h"
+#include "net/link.h"
+#include "platform/device_zoo.h"
+#include "sim/simulator.h"
+
+namespace autoscale {
+namespace {
+
+sim::InferenceSimulator
+npuTpuSim()
+{
+    return sim::InferenceSimulator(
+        platform::makeMi8ProWithNpu(), platform::makeGalaxyTabS6(),
+        platform::makeCloudServerWithTpu(), net::WirelessLink::defaultWlan(),
+        net::WirelessLink::defaultP2p());
+}
+
+TEST(Accelerators, DeviceSlotsAndKinds)
+{
+    const platform::Device phone = platform::makeMi8ProWithNpu();
+    ASSERT_TRUE(phone.hasAccelerator());
+    EXPECT_EQ(phone.accelerator().kind(), platform::ProcKind::MobileNpu);
+    EXPECT_EQ(phone.processors().size(), 4u);
+    EXPECT_EQ(phone.processor(platform::ProcKind::MobileNpu),
+              &phone.accelerator());
+
+    const platform::Device server = platform::makeCloudServerWithTpu();
+    ASSERT_TRUE(server.hasAccelerator());
+    EXPECT_EQ(server.accelerator().kind(), platform::ProcKind::ServerTpu);
+}
+
+TEST(Accelerators, BaseDevicesHaveNone)
+{
+    EXPECT_FALSE(platform::makeMi8Pro().hasAccelerator());
+    EXPECT_FALSE(platform::makeCloudServer().hasAccelerator());
+}
+
+TEST(Accelerators, PrecisionRules)
+{
+    const platform::Device phone = platform::makeMi8ProWithNpu();
+    EXPECT_TRUE(phone.accelerator().supportsPrecision(
+        dnn::Precision::INT8));
+    EXPECT_FALSE(phone.accelerator().supportsPrecision(
+        dnn::Precision::FP32));
+
+    const platform::Device server = platform::makeCloudServerWithTpu();
+    EXPECT_TRUE(server.accelerator().supportsPrecision(
+        dnn::Precision::FP32));
+    EXPECT_FALSE(server.accelerator().supportsPrecision(
+        dnn::Precision::INT8));
+}
+
+TEST(Accelerators, KindNames)
+{
+    EXPECT_STREQ(platform::procKindName(platform::ProcKind::MobileNpu),
+                 "NPU");
+    EXPECT_STREQ(platform::procKindName(platform::ProcKind::ServerTpu),
+                 "TPU");
+}
+
+TEST(Accelerators, ActionSpaceGrowsByTwo)
+{
+    const sim::InferenceSimulator base =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    const sim::InferenceSimulator extended = npuTpuSim();
+    // +1 local NPU, +1 cloud TPU on top of the 66 base actions.
+    EXPECT_EQ(core::buildActionSpace(base).size(), 66u);
+    EXPECT_EQ(core::buildActionSpace(extended).size(), 68u);
+}
+
+TEST(Accelerators, NpuFeasibilityFollowsCoProcessorRules)
+{
+    const sim::InferenceSimulator sim = npuTpuSim();
+    sim::ExecutionTarget npu{sim::TargetPlace::Local,
+                             platform::ProcKind::MobileNpu, 0,
+                             dnn::Precision::INT8};
+    EXPECT_TRUE(sim.isFeasible(dnn::findModel("MobileNet v1"), npu));
+    // Middleware limitation applies to the NPU like any co-processor.
+    EXPECT_FALSE(sim.isFeasible(dnn::findModel("MobileBERT"), npu));
+}
+
+TEST(Accelerators, NpuBeatsDspOnConvNetworks)
+{
+    const sim::InferenceSimulator sim = npuTpuSim();
+    const dnn::Network &net = dnn::findModel("Inception v1");
+    const env::EnvState clean;
+    const sim::Outcome npu = sim.expected(
+        net,
+        sim::ExecutionTarget{sim::TargetPlace::Local,
+                             platform::ProcKind::MobileNpu, 0,
+                             dnn::Precision::INT8},
+        clean);
+    const sim::Outcome dsp = sim.expected(
+        net,
+        sim::ExecutionTarget{sim::TargetPlace::Local,
+                             platform::ProcKind::MobileDsp, 0,
+                             dnn::Precision::INT8},
+        clean);
+    ASSERT_TRUE(npu.feasible);
+    EXPECT_LT(npu.latencyMs, dsp.latencyMs);
+}
+
+TEST(Accelerators, TpuShortensRemoteCompute)
+{
+    const sim::InferenceSimulator sim = npuTpuSim();
+    const dnn::Network &net = dnn::findModel("Inception v3");
+    const env::EnvState clean;
+    const sim::Outcome tpu = sim.expected(
+        net,
+        sim::ExecutionTarget{sim::TargetPlace::Cloud,
+                             platform::ProcKind::ServerTpu, 0,
+                             dnn::Precision::FP32},
+        clean);
+    const sim::Outcome gpu = sim.expected(
+        net,
+        sim::ExecutionTarget{sim::TargetPlace::Cloud,
+                             platform::ProcKind::ServerGpu,
+                             sim.cloudDevice().gpu().maxVfIndex(),
+                             dnn::Precision::FP32},
+        clean);
+    ASSERT_TRUE(tpu.feasible);
+    EXPECT_LT(tpu.computeMs, gpu.computeMs);
+    EXPECT_LE(tpu.latencyMs, gpu.latencyMs);
+}
+
+TEST(Accelerators, OracleExploitsTheNpu)
+{
+    const sim::InferenceSimulator base =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    const sim::InferenceSimulator extended = npuTpuSim();
+    baselines::OptOracle base_oracle(base);
+    baselines::OptOracle ext_oracle(extended);
+    const env::EnvState clean;
+    // With the NPU available, the oracle never does worse and improves
+    // somewhere across the zoo.
+    int improved = 0;
+    for (const auto &net : dnn::modelZoo()) {
+        const sim::InferenceRequest request = sim::makeRequest(net);
+        const double before =
+            base_oracle.optimalOutcome(request, clean).energyJ;
+        const double after =
+            ext_oracle.optimalOutcome(request, clean).energyJ;
+        EXPECT_LE(after, before * 1.0001) << net.name();
+        if (after < before * 0.98) {
+            ++improved;
+        }
+    }
+    EXPECT_GT(improved, 0);
+}
+
+TEST(Accelerators, EdgeBestConsidersTheNpu)
+{
+    const sim::InferenceSimulator sim = npuTpuSim();
+    auto policy = baselines::makeEdgeBestPolicy(sim);
+    Rng rng(1);
+    const dnn::Network &net = dnn::findModel("Inception v1");
+    const baselines::Decision decision =
+        policy->decide(sim::makeRequest(net), env::EnvState{}, rng);
+    EXPECT_EQ(decision.target.proc, platform::ProcKind::MobileNpu);
+}
+
+TEST(Accelerators, CategoriesNameTheAccelerators)
+{
+    sim::ExecutionTarget npu{sim::TargetPlace::Local,
+                             platform::ProcKind::MobileNpu, 0,
+                             dnn::Precision::INT8};
+    EXPECT_EQ(npu.category(), "Edge (NPU)");
+    sim::ExecutionTarget tpu{sim::TargetPlace::Cloud,
+                             platform::ProcKind::ServerTpu, 0,
+                             dnn::Precision::FP32};
+    EXPECT_EQ(tpu.category(), "Cloud");
+}
+
+TEST(Accelerators, InterferenceDeratesNpuLikeDsp)
+{
+    env::EnvState hog;
+    hog.coMemUtil = 0.8;
+    const auto npu = env::derateFor(platform::ProcKind::MobileNpu, hog);
+    const auto dsp = env::derateFor(platform::ProcKind::MobileDsp, hog);
+    EXPECT_DOUBLE_EQ(npu.freqFactor, dsp.freqFactor);
+    EXPECT_DOUBLE_EQ(npu.bandwidthFactor, dsp.bandwidthFactor);
+    const auto tpu = env::derateFor(platform::ProcKind::ServerTpu, hog);
+    EXPECT_DOUBLE_EQ(tpu.freqFactor, 1.0);
+}
+
+} // namespace
+} // namespace autoscale

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Failure-injection tests: how the harness, reward, and library entry
+ * points behave when things go wrong — infeasible decisions, malformed
+ * serialized tables, unknown lookups, and contract violations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/policy.h"
+#include "core/qtable.h"
+#include "core/scheduler.h"
+#include "dnn/accuracy.h"
+#include "dnn/model_zoo.h"
+#include "dnn/synthetic.h"
+#include "harness/experiment.h"
+#include "platform/device_zoo.h"
+
+namespace autoscale {
+namespace {
+
+sim::InferenceSimulator
+mi8Sim()
+{
+    return sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+}
+
+/** A policy that always picks an infeasible target. */
+class AlwaysInfeasiblePolicy : public baselines::SchedulingPolicy {
+  public:
+    const std::string &name() const override { return name_; }
+
+    baselines::Decision
+    decide(const sim::InferenceRequest &, const env::EnvState &,
+           Rng &) override
+    {
+        // DSP FP32 is infeasible everywhere (DSPs are INT8-only).
+        return baselines::makeTargetDecision(sim::ExecutionTarget{
+            sim::TargetPlace::Local, platform::ProcKind::MobileDsp, 0,
+            dnn::Precision::FP32});
+    }
+
+  private:
+    std::string name_ = "always-infeasible";
+};
+
+TEST(FailureHandling, HarnessFallsBackAndChargesTheCpuRun)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    AlwaysInfeasiblePolicy policy;
+    harness::EvalOptions options;
+    options.runsPerCombo = 5;
+    options.compareOracle = false;
+    const auto nets = std::vector<const dnn::Network *>{
+        &dnn::findModel("MobileNet v1")};
+    const harness::RunStats stats = harness::evaluatePolicy(
+        policy, sim, nets, {env::ScenarioId::S1}, options);
+    EXPECT_EQ(stats.count(), 5);
+    // Every run is an accuracy violation (infeasible) and still has
+    // positive fallback energy/latency.
+    EXPECT_DOUBLE_EQ(stats.accuracyViolationRatio(), 1.0);
+    EXPECT_GT(stats.meanEnergyJ(), 0.0);
+    EXPECT_GT(stats.meanLatencyMs(), 0.0);
+}
+
+TEST(FailureHandling, InfeasibleRewardIsTheQualityFailurePenalty)
+{
+    const dnn::Network &net = dnn::findModel("MobileBERT");
+    sim::InferenceRequest request = sim::makeRequest(net);
+    sim::Outcome infeasible; // default: feasible = false
+    EXPECT_DOUBLE_EQ(core::computeReward(infeasible, request), -100.0);
+}
+
+TEST(FailureHandlingDeath, MalformedQTableHeaderIsFatal)
+{
+    std::istringstream bad("not numbers at all");
+    EXPECT_EXIT(
+        { core::QTable::load(bad); }, ::testing::ExitedWithCode(1),
+        "malformed header");
+}
+
+TEST(FailureHandlingDeath, TruncatedQTableValuesAreFatal)
+{
+    std::istringstream truncated("2 3\n1.0 2.0");
+    EXPECT_EXIT(
+        { core::QTable::load(truncated); }, ::testing::ExitedWithCode(1),
+        "truncated values");
+}
+
+TEST(FailureHandlingDeath, UnknownModelLookupsAreFatal)
+{
+    EXPECT_EXIT({ dnn::findModel("AlexNet"); },
+                ::testing::ExitedWithCode(1), "unknown model");
+    EXPECT_EXIT(
+        { dnn::inferenceAccuracy("AlexNet", dnn::Precision::FP32); },
+        ::testing::ExitedWithCode(1), "unknown model");
+    EXPECT_EXIT({ platform::makePhone("iPhone"); },
+                ::testing::ExitedWithCode(1), "unknown phone");
+}
+
+TEST(FailureHandlingDeath, SchedulerProtocolViolationsPanic)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    const dnn::Network &net = dnn::findModel("MobileNet v1");
+    const sim::InferenceRequest request = sim::makeRequest(net);
+
+    // feedback() without choose() aborts (library-contract violation).
+    EXPECT_DEATH(
+        {
+            core::AutoScaleScheduler scheduler(
+                sim, core::SchedulerConfig{}, 1);
+            scheduler.feedback(sim::Outcome{});
+        },
+        "check failed");
+
+    // Two choose() calls without feedback() abort too.
+    EXPECT_DEATH(
+        {
+            core::AutoScaleScheduler scheduler(
+                sim, core::SchedulerConfig{}, 1);
+            scheduler.choose(request, env::EnvState{});
+            scheduler.choose(request, env::EnvState{});
+        },
+        "check failed");
+}
+
+TEST(FailureHandlingDeath, OutOfRangeQTableAccessPanics)
+{
+    EXPECT_DEATH(
+        {
+            core::QTable table(4, 4);
+            table.at(4, 0);
+        },
+        "check failed");
+}
+
+TEST(FailureHandlingDeath, StreamingRequestForTranslationPanics)
+{
+    EXPECT_DEATH(
+        {
+            sim::makeStreamingRequest(dnn::findModel("MobileBERT"));
+        },
+        "check failed");
+}
+
+TEST(FailureHandlingDeath, NetworksRequireTransferPayloads)
+{
+    EXPECT_DEATH(
+        {
+            dnn::Network net("broken", dnn::Task::ImageClassification, 0,
+                             4096);
+        },
+        "check failed");
+}
+
+TEST(FailureHandlingDeath, SyntheticAccuracyCannotShadowTableIII)
+{
+    EXPECT_EXIT(
+        {
+            dnn::registerAccuracy("ResNet 50", 50.0, 49.0, 48.0);
+        },
+        ::testing::ExitedWithCode(1), "canonical");
+}
+
+TEST(FailureHandling, ZeroWarmupLooStillRuns)
+{
+    // looWarmupRuns = 0 must be a valid (if cold-start) configuration.
+    const sim::InferenceSimulator sim = mi8Sim();
+    harness::EvalOptions options;
+    options.runsPerCombo = 4;
+    options.looWarmupRuns = 0;
+    options.compareOracle = false;
+    const auto nets = std::vector<const dnn::Network *>{
+        &dnn::findModel("MobileNet v1"), &dnn::findModel("MobileNet v2")};
+    const harness::RunStats stats = harness::evaluateAutoScaleLoo(
+        sim, nets, {env::ScenarioId::S1}, 20, options);
+    EXPECT_EQ(stats.count(), 4 * 2);
+}
+
+TEST(FailureHandling, EvaluateWithoutOracleLeavesOptFieldsZero)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    AlwaysInfeasiblePolicy policy;
+    harness::EvalOptions options;
+    options.runsPerCombo = 3;
+    options.compareOracle = false;
+    const auto nets = std::vector<const dnn::Network *>{
+        &dnn::findModel("MobileNet v1")};
+    const harness::RunStats stats = harness::evaluatePolicy(
+        policy, sim, nets, {env::ScenarioId::S1}, options);
+    EXPECT_DOUBLE_EQ(stats.predictionAccuracy(), 0.0);
+    EXPECT_TRUE(stats.optDecisionCounts().empty());
+}
+
+} // namespace
+} // namespace autoscale

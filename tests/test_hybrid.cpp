@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the partition-augmented HybridScheduler (the paper's
+ * footnote 4 extension: layer-granularity partitioning applied on top
+ * of AutoScale).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid.h"
+#include "dnn/model_zoo.h"
+#include "harness/experiment.h"
+#include "harness/hybrid_policy.h"
+#include "platform/device_zoo.h"
+
+namespace autoscale {
+namespace {
+
+sim::InferenceSimulator
+mi8Sim()
+{
+    return sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+}
+
+TEST(HybridActionSpace, AddsPartitionTemplates)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    const auto actions = core::buildHybridActionSpace(sim);
+    // 66 whole-model actions + 3 fractions x {CPU, DSP} partitions.
+    EXPECT_EQ(actions.size(), 66u + 6u);
+    int partitions = 0;
+    for (const auto &action : actions) {
+        if (action.partitioned) {
+            ++partitions;
+            EXPECT_GT(action.splitFraction, 0.0);
+            EXPECT_LT(action.splitFraction, 1.0);
+            EXPECT_EQ(action.remotePlace, sim::TargetPlace::Cloud);
+        }
+    }
+    EXPECT_EQ(partitions, 6);
+}
+
+TEST(HybridActionSpace, NoDspNoDspPartitions)
+{
+    const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeGalaxyS10e());
+    const auto actions = core::buildHybridActionSpace(sim);
+    for (const auto &action : actions) {
+        if (action.partitioned) {
+            EXPECT_EQ(action.localProc, platform::ProcKind::MobileCpu);
+        }
+    }
+}
+
+TEST(HybridAction, LabelsAndCategories)
+{
+    core::HybridAction action;
+    action.partitioned = true;
+    action.splitFraction = 0.5;
+    action.localProc = platform::ProcKind::MobileCpu;
+    EXPECT_EQ(action.label(), "Split 50% CPU -> Cloud");
+    EXPECT_EQ(action.category(), "Partitioned (Cloud)");
+}
+
+TEST(HybridAction, MaterializeScalesWithNetworkDepth)
+{
+    core::HybridAction action;
+    action.partitioned = true;
+    action.splitFraction = 0.5;
+    const dnn::Network &small = dnn::findModel("MobileNet v1");
+    const dnn::Network &large = dnn::findModel("Inception v3");
+    const auto spec_small = core::materializePartition(action, small);
+    const auto spec_large = core::materializePartition(action, large);
+    EXPECT_EQ(spec_small.splitLayer, (small.layers().size() + 1) / 2);
+    EXPECT_GT(spec_large.splitLayer, spec_small.splitLayer);
+    EXPECT_LE(spec_large.splitLayer, large.layers().size());
+}
+
+TEST(HybridScheduler, ChooseExecuteFeedbackLoop)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    core::HybridScheduler scheduler(sim, core::SchedulerConfig{}, 1);
+    Rng rng(2);
+    const dnn::Network &net = dnn::findModel("ResNet 50");
+    const sim::InferenceRequest request = sim::makeRequest(net);
+    for (int i = 0; i < 50; ++i) {
+        scheduler.choose(request, env::EnvState{});
+        const sim::Outcome outcome =
+            scheduler.execute(request, env::EnvState{}, rng);
+        scheduler.feedback(outcome);
+    }
+    scheduler.finishEpisode();
+    // Rewards were recorded and the agent saw updates.
+    EXPECT_EQ(scheduler.agent().convergence().count(), 50);
+}
+
+TEST(HybridScheduler, PartitionedActionsAreExecutable)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    const dnn::Network &net = dnn::findModel("Inception v1");
+    Rng rng(3);
+    for (const auto &action : core::buildHybridActionSpace(sim)) {
+        if (!action.partitioned) {
+            continue;
+        }
+        sim::PartitionSpec spec =
+            core::materializePartition(action, net);
+        const platform::Processor *proc =
+            sim.localDevice().processor(spec.localProc);
+        ASSERT_NE(proc, nullptr);
+        spec.vfIndex = proc->maxVfIndex();
+        const sim::Outcome outcome =
+            sim.runPartitioned(net, spec, env::EnvState{}, rng);
+        EXPECT_TRUE(outcome.feasible) << action.label();
+        EXPECT_GT(outcome.latencyMs, 0.0);
+    }
+}
+
+TEST(HybridPolicy, PartitionDecisionsMaterializeCorrectly)
+{
+    // Rig the Q-table so a partition action is the greedy choice and
+    // check the policy adapter emits a fully-specified PartitionSpec.
+    const sim::InferenceSimulator sim = mi8Sim();
+    auto policy = harness::makeHybridAutoScalePolicy(sim, 77);
+    policy->setExploration(false);
+
+    const dnn::Network &net = dnn::findModel("ResNet 50");
+    const sim::InferenceRequest request = sim::makeRequest(net);
+    const env::EnvState env;
+
+    // Find a DSP partition action and make it dominate everywhere.
+    const auto &actions = policy->scheduler().actions();
+    int partition_index = -1;
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+        if (actions[i].partitioned
+            && actions[i].localProc == platform::ProcKind::MobileDsp
+            && actions[i].splitFraction == 0.5) {
+            partition_index = static_cast<int>(i);
+        }
+    }
+    ASSERT_GE(partition_index, 0);
+    core::QTable &table = policy->scheduler().mutableAgent().mutableTable();
+    for (int s = 0; s < table.numStates(); ++s) {
+        table.at(s, partition_index) = 1000.0f;
+    }
+
+    Rng rng(78);
+    const baselines::Decision decision = policy->decide(request, env, rng);
+    ASSERT_TRUE(decision.partitioned);
+    EXPECT_EQ(decision.partition.localProc, platform::ProcKind::MobileDsp);
+    EXPECT_EQ(decision.partition.localPrecision, dnn::Precision::INT8);
+    EXPECT_EQ(decision.partition.splitLayer,
+              (net.layers().size() + 1) / 2);
+    // The adapter fills the V/F index with the processor's top step.
+    EXPECT_EQ(decision.partition.vfIndex,
+              sim.localDevice().dsp().maxVfIndex());
+    // And the decision is executable end to end.
+    const sim::Outcome outcome =
+        baselines::executeDecision(sim, request, decision, env, rng);
+    EXPECT_TRUE(outcome.feasible);
+    policy->feedback(outcome);
+    policy->finishEpisode();
+}
+
+TEST(HybridPolicy, TrainsThroughTheGenericHarness)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    auto policy = harness::makeHybridAutoScalePolicy(sim, 4);
+    Rng rng(5);
+    const auto nets = std::vector<const dnn::Network *>{
+        &dnn::findModel("MobileNet v1"), &dnn::findModel("Inception v1")};
+    harness::trainPolicy(*policy, sim, nets, {env::ScenarioId::S1}, 120,
+                         rng);
+    policy->setExploration(false);
+
+    harness::EvalOptions options;
+    options.runsPerCombo = 15;
+    options.seed = 6;
+    options.compareOracle = false;
+    const harness::RunStats stats = harness::evaluatePolicy(
+        *policy, sim, nets, {env::ScenarioId::S1}, options);
+    EXPECT_LT(stats.qosViolationRatio(), 0.2);
+    // A competent scheduler: well under the CPU baseline's energy.
+    const sim::Outcome cpu = sim.expected(
+        *nets[0],
+        sim::ExecutionTarget{sim::TargetPlace::Local,
+                             platform::ProcKind::MobileCpu,
+                             sim.localDevice().cpu().maxVfIndex(),
+                             dnn::Precision::FP32},
+        env::EnvState{});
+    EXPECT_LT(stats.meanEnergyJ(), cpu.energyJ);
+}
+
+TEST(HybridPolicy, NeverWorseThanPlainAutoScaleWithEnoughTraining)
+{
+    // The hybrid action space strictly contains the plain one, so with
+    // matching training budgets its converged quality should be at
+    // least comparable (allowing a small noise margin).
+    const sim::InferenceSimulator sim = mi8Sim();
+    const auto nets = harness::allZooNetworks();
+    const std::vector<env::ScenarioId> scenarios{env::ScenarioId::S4};
+
+    auto plain = harness::makeAutoScalePolicy(sim, 7);
+    Rng rng1(8);
+    harness::trainPolicy(*plain, sim, nets, scenarios, 250, rng1);
+    plain->setExploration(false);
+
+    auto hybrid = harness::makeHybridAutoScalePolicy(sim, 7);
+    Rng rng2(8);
+    harness::trainPolicy(*hybrid, sim, nets, scenarios, 250, rng2);
+    hybrid->setExploration(false);
+
+    harness::EvalOptions options;
+    options.runsPerCombo = 15;
+    options.seed = 9;
+    options.compareOracle = false;
+    const harness::RunStats plain_stats =
+        harness::evaluatePolicy(*plain, sim, nets, scenarios, options);
+    const harness::RunStats hybrid_stats =
+        harness::evaluatePolicy(*hybrid, sim, nets, scenarios, options);
+    EXPECT_GT(hybrid_stats.ppw(), 0.85 * plain_stats.ppw());
+}
+
+} // namespace
+} // namespace autoscale

@@ -1,0 +1,194 @@
+/** @file Unit tests for the dense linear-algebra kernels (util/linalg.h). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/linalg.h"
+#include "util/rng.h"
+
+namespace autoscale {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing)
+{
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+    m(1, 2) = -4.0;
+    EXPECT_DOUBLE_EQ(m(1, 2), -4.0);
+}
+
+TEST(Matrix, Identity)
+{
+    const Matrix eye = Matrix::identity(3);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            EXPECT_DOUBLE_EQ(eye(r, c), r == c ? 1.0 : 0.0);
+        }
+    }
+}
+
+TEST(Matrix, MultiplyKnownProduct)
+{
+    const Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    const Matrix b = Matrix::fromRows({{5, 6}, {7, 8}});
+    const Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyVector)
+{
+    const Matrix a = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    const Vector v{1.0, 0.0, -1.0};
+    const Vector out = a.multiply(v);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0], -2.0);
+    EXPECT_DOUBLE_EQ(out[1], -2.0);
+}
+
+TEST(Matrix, TransposeRoundTrip)
+{
+    const Matrix a = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    const Matrix att = a.transposed().transposed();
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        for (std::size_t c = 0; c < a.cols(); ++c) {
+            EXPECT_DOUBLE_EQ(att(r, c), a(r, c));
+        }
+    }
+}
+
+TEST(Matrix, AddAndDiagonal)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    const Matrix sum = a.add(a);
+    EXPECT_DOUBLE_EQ(sum(1, 0), 6.0);
+    a.addDiagonal(0.5);
+    EXPECT_DOUBLE_EQ(a(0, 0), 1.5);
+    EXPECT_DOUBLE_EQ(a(1, 1), 4.5);
+    EXPECT_DOUBLE_EQ(a(0, 1), 2.0);
+}
+
+TEST(Cholesky, SolvesKnownSpdSystem)
+{
+    // A = [[4,2],[2,3]], b = [2, 1] -> x = [0.5, 0].
+    const Matrix a = Matrix::fromRows({{4, 2}, {2, 3}});
+    Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+    const Vector x = chol.solve({2.0, 1.0});
+    EXPECT_NEAR(x[0], 0.5, 1e-12);
+    EXPECT_NEAR(x[1], 0.0, 1e-12);
+}
+
+TEST(Cholesky, DetectsNonPositiveDefinite)
+{
+    const Matrix a = Matrix::fromRows({{1, 2}, {2, 1}}); // eigenvalue -1
+    Cholesky chol(a);
+    EXPECT_FALSE(chol.ok());
+}
+
+TEST(Cholesky, LogDeterminant)
+{
+    const Matrix a = Matrix::fromRows({{4, 0}, {0, 9}});
+    Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+    EXPECT_NEAR(chol.logDeterminant(), std::log(36.0), 1e-12);
+}
+
+TEST(Cholesky, RandomSpdSolveResidualIsTiny)
+{
+    // Property: for random SPD A = B B^T + n I, solving A x = b then
+    // multiplying back recovers b.
+    Rng rng(5);
+    const std::size_t n = 12;
+    Matrix b(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            b(r, c) = rng.uniform(-1.0, 1.0);
+        }
+    }
+    Matrix a = b.multiply(b.transposed());
+    a.addDiagonal(static_cast<double>(n));
+    Vector rhs(n);
+    for (auto &value : rhs) {
+        value = rng.uniform(-2.0, 2.0);
+    }
+    Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+    const Vector x = chol.solve(rhs);
+    const Vector back = a.multiply(x);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(back[i], rhs[i], 1e-9);
+    }
+}
+
+TEST(SolveLinearSystem, KnownSolution)
+{
+    const Matrix a = Matrix::fromRows({{2, 1}, {1, 3}});
+    Vector x;
+    ASSERT_TRUE(solveLinearSystem(a, {3.0, 5.0}, x));
+    EXPECT_NEAR(x[0], 0.8, 1e-12);
+    EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(SolveLinearSystem, RejectsSingular)
+{
+    const Matrix a = Matrix::fromRows({{1, 2}, {2, 4}});
+    Vector x;
+    EXPECT_FALSE(solveLinearSystem(a, {1.0, 2.0}, x));
+}
+
+TEST(SolveLinearSystem, PivotingHandlesZeroLeadingEntry)
+{
+    const Matrix a = Matrix::fromRows({{0, 1}, {1, 0}});
+    Vector x;
+    ASSERT_TRUE(solveLinearSystem(a, {2.0, 3.0}, x));
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(RidgeLeastSquares, RecoversExactLinearModel)
+{
+    // y = 2 x0 - 3 x1 + 0.5, noiseless.
+    Rng rng(17);
+    std::vector<Vector> rows;
+    Vector y;
+    for (int i = 0; i < 50; ++i) {
+        const double x0 = rng.uniform(-1.0, 1.0);
+        const double x1 = rng.uniform(-1.0, 1.0);
+        rows.push_back({1.0, x0, x1});
+        y.push_back(0.5 + 2.0 * x0 - 3.0 * x1);
+    }
+    const Vector w =
+        ridgeLeastSquares(Matrix::fromRows(rows), y, 1e-10);
+    EXPECT_NEAR(w[0], 0.5, 1e-5);
+    EXPECT_NEAR(w[1], 2.0, 1e-5);
+    EXPECT_NEAR(w[2], -3.0, 1e-5);
+}
+
+TEST(RidgeLeastSquares, RidgeShrinksWeights)
+{
+    std::vector<Vector> rows{{1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}};
+    const Vector y{2.0, 4.0, 6.0};
+    const Vector tight =
+        ridgeLeastSquares(Matrix::fromRows(rows), y, 1e-8);
+    const Vector shrunk =
+        ridgeLeastSquares(Matrix::fromRows(rows), y, 100.0);
+    EXPECT_LT(std::fabs(shrunk[1]), std::fabs(tight[1]));
+}
+
+TEST(VectorOps, DotAndDistance)
+{
+    const Vector a{1.0, 2.0, 3.0};
+    const Vector b{-1.0, 0.5, 2.0};
+    EXPECT_DOUBLE_EQ(dot(a, b), 6.0);
+    EXPECT_DOUBLE_EQ(squaredDistance(a, b), 4.0 + 2.25 + 1.0);
+    EXPECT_DOUBLE_EQ(squaredDistance(a, a), 0.0);
+}
+
+} // namespace
+} // namespace autoscale

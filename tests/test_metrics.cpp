@@ -1,0 +1,97 @@
+/** @file Unit tests for the evaluation metrics accumulator. */
+
+#include <gtest/gtest.h>
+
+#include "harness/metrics.h"
+
+namespace autoscale::harness {
+namespace {
+
+RunRecord
+record(double energyJ, double latencyMs, bool qos_violated,
+       const std::string &category)
+{
+    RunRecord r;
+    r.energyJ = energyJ;
+    r.latencyMs = latencyMs;
+    r.qosMs = 50.0;
+    r.qosViolated = qos_violated;
+    r.decisionCategory = category;
+    return r;
+}
+
+TEST(RunStats, AccumulatesMeansAndRatios)
+{
+    RunStats stats;
+    stats.add(record(0.02, 10.0, false, "Edge (DSP)"));
+    stats.add(record(0.04, 60.0, true, "Cloud"));
+    EXPECT_EQ(stats.count(), 2);
+    EXPECT_NEAR(stats.meanEnergyJ(), 0.03, 1e-12);
+    EXPECT_NEAR(stats.ppw(), 1.0 / 0.03, 1e-9);
+    EXPECT_NEAR(stats.qosViolationRatio(), 0.5, 1e-12);
+    EXPECT_NEAR(stats.meanLatencyMs(), 35.0, 1e-12);
+}
+
+TEST(RunStats, DecisionHistogram)
+{
+    RunStats stats;
+    stats.add(record(0.01, 5.0, false, "Edge (DSP)"));
+    stats.add(record(0.01, 5.0, false, "Edge (DSP)"));
+    stats.add(record(0.01, 5.0, false, "Cloud"));
+    EXPECT_NEAR(stats.decisionShare("Edge (DSP)"), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(stats.decisionShare("Cloud"), 1.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.decisionShare("Connected Edge"), 0.0);
+    EXPECT_EQ(stats.decisionCounts().at("Edge (DSP)"), 2);
+}
+
+TEST(RunStats, OracleComparisons)
+{
+    RunStats stats;
+    RunRecord a = record(0.02, 10.0, false, "Edge (DSP)");
+    a.matchedOracle = true;
+    a.nearOptimal = true;
+    a.optEnergyJ = 0.018;
+    a.optCategory = "Edge (DSP)";
+    RunRecord b = record(0.05, 20.0, false, "Cloud");
+    b.matchedOracle = false;
+    b.nearOptimal = false;
+    b.optEnergyJ = 0.02;
+    b.optCategory = "Edge (GPU)";
+    b.optQosViolated = true;
+    stats.add(a);
+    stats.add(b);
+
+    EXPECT_NEAR(stats.predictionAccuracy(), 0.5, 1e-12);
+    EXPECT_NEAR(stats.nearOptimalRatio(), 0.5, 1e-12);
+    EXPECT_NEAR(stats.optMeanEnergyJ(), 0.019, 1e-12);
+    EXPECT_NEAR(stats.optPpw(), 1.0 / 0.019, 1e-9);
+    EXPECT_NEAR(stats.optQosViolationRatio(), 0.5, 1e-12);
+    EXPECT_EQ(stats.optDecisionCounts().at("Edge (GPU)"), 1);
+}
+
+TEST(RunStats, AccuracyViolations)
+{
+    RunStats stats;
+    RunRecord bad = record(0.02, 10.0, false, "Edge (CPU)");
+    bad.accuracyViolated = true;
+    stats.add(bad);
+    stats.add(record(0.02, 10.0, false, "Edge (CPU)"));
+    EXPECT_NEAR(stats.accuracyViolationRatio(), 0.5, 1e-12);
+}
+
+TEST(RunStats, MergeCombinesEverything)
+{
+    RunStats a;
+    a.add(record(0.02, 10.0, false, "Edge (DSP)"));
+    RunStats b;
+    b.add(record(0.04, 60.0, true, "Cloud"));
+    b.add(record(0.06, 30.0, false, "Cloud"));
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3);
+    EXPECT_NEAR(a.meanEnergyJ(), 0.04, 1e-12);
+    EXPECT_NEAR(a.qosViolationRatio(), 1.0 / 3.0, 1e-12);
+    EXPECT_EQ(a.decisionCounts().at("Cloud"), 2);
+}
+
+} // namespace
+} // namespace autoscale::harness

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the Opt oracle: exhaustive optimality, constraint handling,
+ * and sensitivity to the runtime environment (the Fig. 4/5/6 target
+ * shifts at the unit level).
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "baselines/oracle.h"
+#include "dnn/model_zoo.h"
+#include "platform/device_zoo.h"
+
+namespace autoscale::baselines {
+namespace {
+
+sim::InferenceSimulator
+mi8Sim()
+{
+    return sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+}
+
+TEST(Oracle, IsExhaustivelyOptimal)
+{
+    // Brute-force cross-check: no feasible QoS+accuracy-meeting action
+    // may have lower expected energy than the oracle's choice.
+    const sim::InferenceSimulator sim = mi8Sim();
+    OptOracle oracle(sim);
+    const env::EnvState env;
+    for (const auto &net : dnn::modelZoo()) {
+        const sim::InferenceRequest request = sim::makeRequest(net);
+        const sim::Outcome best = oracle.optimalOutcome(request, env);
+        ASSERT_TRUE(best.feasible) << net.name();
+        for (const auto &action : oracle.actions()) {
+            const sim::Outcome o = sim.expected(net, action, env);
+            if (!o.feasible || o.accuracyPct < request.accuracyTargetPct
+                || o.latencyMs >= request.qosMs) {
+                continue;
+            }
+            EXPECT_GE(o.estimatedEnergyJ + 1e-12,
+                      best.estimatedEnergyJ)
+                << net.name() << " " << action.label();
+        }
+    }
+}
+
+TEST(Oracle, MeetsConstraintsWhenPossible)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    OptOracle oracle(sim);
+    const env::EnvState env;
+    for (const auto &net : dnn::modelZoo()) {
+        const sim::InferenceRequest request = sim::makeRequest(net);
+        const sim::Outcome best = oracle.optimalOutcome(request, env);
+        EXPECT_LT(best.latencyMs, request.qosMs) << net.name();
+        EXPECT_GE(best.accuracyPct, request.accuracyTargetPct)
+            << net.name();
+    }
+}
+
+TEST(Oracle, HeavyNetworksGoToTheCloud)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    OptOracle oracle(sim);
+    const dnn::Network bert = dnn::makeMobileBert();
+    const sim::ExecutionTarget target =
+        oracle.optimalTarget(sim::makeRequest(bert), env::EnvState{});
+    EXPECT_EQ(target.place, sim::TargetPlace::Cloud);
+}
+
+TEST(Oracle, LightNetworksStayAtTheEdge)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    OptOracle oracle(sim);
+    for (const char *name : {"MobileNet v1", "MobileNet v2",
+                             "MobileNet v3", "Inception v1"}) {
+        const dnn::Network &net = dnn::findModel(name);
+        const sim::ExecutionTarget target =
+            oracle.optimalTarget(sim::makeRequest(net), env::EnvState{});
+        EXPECT_EQ(target.place, sim::TargetPlace::Local) << name;
+    }
+}
+
+TEST(Oracle, Fig4AccuracyTargetShiftsDecision)
+{
+    // At a 50% target, MobileNet v3's optimum is low-precision local
+    // execution; at 65% the low-precision options fail and the optimum
+    // shifts (Section III-A, Fig. 4).
+    const sim::InferenceSimulator sim = mi8Sim();
+    OptOracle oracle(sim);
+    const dnn::Network &net = dnn::findModel("MobileNet v3");
+    const env::EnvState env;
+
+    sim::InferenceRequest loose = sim::makeRequest(net, 50.0);
+    const sim::ExecutionTarget relaxed = oracle.optimalTarget(loose, env);
+    EXPECT_EQ(relaxed.precision, dnn::Precision::INT8);
+    EXPECT_EQ(relaxed.place, sim::TargetPlace::Local);
+
+    sim::InferenceRequest strict = sim::makeRequest(net, 65.0);
+    const sim::ExecutionTarget tight = oracle.optimalTarget(strict, env);
+    EXPECT_NE(tight.precision, dnn::Precision::INT8);
+    const sim::Outcome o = sim.expected(net, tight, env);
+    EXPECT_GE(o.accuracyPct, 65.0);
+}
+
+TEST(Oracle, Fig5MemoryHogPushesOffDevice)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    OptOracle oracle(sim);
+    const dnn::Network &net = dnn::findModel("MobileNet v3");
+    const sim::InferenceRequest request = sim::makeRequest(net);
+
+    const sim::ExecutionTarget clean =
+        oracle.optimalTarget(request, env::EnvState{});
+    EXPECT_EQ(clean.place, sim::TargetPlace::Local);
+
+    env::EnvState hog;
+    hog.coCpuUtil = 0.2;
+    hog.coMemUtil = 0.8;
+    const sim::ExecutionTarget contended =
+        oracle.optimalTarget(request, hog);
+    EXPECT_NE(contended.place, sim::TargetPlace::Local);
+}
+
+TEST(Oracle, Fig5CpuHogShiftsCpuToCoProcessor)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    OptOracle oracle(sim);
+    const dnn::Network &net = dnn::findModel("MobileNet v3");
+    const sim::InferenceRequest request = sim::makeRequest(net);
+
+    const sim::ExecutionTarget clean =
+        oracle.optimalTarget(request, env::EnvState{});
+    EXPECT_EQ(clean.proc, platform::ProcKind::MobileCpu);
+
+    env::EnvState hog;
+    hog.coCpuUtil = 0.85;
+    hog.coMemUtil = 0.1;
+    hog.thermalFactor = 0.85;
+    const sim::ExecutionTarget contended =
+        oracle.optimalTarget(request, hog);
+    EXPECT_NE(contended.proc, platform::ProcKind::MobileCpu);
+}
+
+TEST(Oracle, Fig6WeakWifiMovesCloudWorkCloser)
+{
+    // ResNet 50's clean optimum is the cloud; with weak Wi-Fi it moves
+    // to the connected edge, and with both links weak it stays local.
+    const sim::InferenceSimulator sim = mi8Sim();
+    OptOracle oracle(sim);
+    const dnn::Network &net = dnn::findModel("ResNet 50");
+    const sim::InferenceRequest request = sim::makeRequest(net);
+
+    EXPECT_EQ(oracle.optimalTarget(request, env::EnvState{}).place,
+              sim::TargetPlace::Cloud);
+
+    env::EnvState weak_wlan;
+    weak_wlan.rssiWlanDbm = -85.0;
+    EXPECT_EQ(oracle.optimalTarget(request, weak_wlan).place,
+              sim::TargetPlace::ConnectedEdge);
+
+    env::EnvState both_weak;
+    both_weak.rssiWlanDbm = -85.0;
+    both_weak.rssiP2pDbm = -85.0;
+    EXPECT_EQ(oracle.optimalTarget(request, both_weak).place,
+              sim::TargetPlace::Local);
+}
+
+TEST(Oracle, ImpossibleConstraintsStillReturnBestEffort)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    OptOracle oracle(sim);
+    const dnn::Network &net = dnn::findModel("Inception v3");
+    sim::InferenceRequest request = sim::makeRequest(net);
+    request.qosMs = 0.001; // unachievable
+    const sim::ExecutionTarget target =
+        oracle.optimalTarget(request, env::EnvState{});
+    const sim::Outcome o = sim.expected(net, target, env::EnvState{});
+    EXPECT_TRUE(o.feasible);
+    // Accuracy constraint still honored even when QoS cannot be.
+    EXPECT_GE(o.accuracyPct, request.accuracyTargetPct);
+}
+
+TEST(Oracle, DecideMatchesOptimalTarget)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    OptOracle oracle(sim);
+    Rng rng(1);
+    const dnn::Network &net = dnn::findModel("MobileNet v2");
+    const sim::InferenceRequest request = sim::makeRequest(net);
+    const env::EnvState env;
+    const Decision decision = oracle.decide(request, env, rng);
+    EXPECT_FALSE(decision.partitioned);
+    EXPECT_TRUE(decision.target == oracle.optimalTarget(request, env));
+}
+
+} // namespace
+} // namespace autoscale::baselines

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the layer-partitioning prior work (NeuroSurgeon, MOSAIC):
+ * decision validity, bandwidth awareness, interference blindness, and
+ * MOSAIC's heterogeneity advantage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/partitioners.h"
+#include "dnn/model_zoo.h"
+#include "platform/device_zoo.h"
+#include "util/rng.h"
+
+namespace autoscale::baselines {
+namespace {
+
+sim::InferenceSimulator
+mi8Sim()
+{
+    return sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+}
+
+TEST(NeuroSurgeon, DecisionsAreValidPartitions)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    auto policy = makeNeuroSurgeonPolicy(sim);
+    EXPECT_EQ(policy->name(), "NeuroSurgeon");
+    Rng rng(1);
+    for (const auto &net : dnn::modelZoo()) {
+        const sim::InferenceRequest request = sim::makeRequest(net);
+        const Decision decision =
+            policy->decide(request, env::EnvState{}, rng);
+        ASSERT_TRUE(decision.partitioned) << net.name();
+        EXPECT_LE(decision.partition.splitLayer, net.layers().size());
+        EXPECT_EQ(decision.partition.localProc,
+                  platform::ProcKind::MobileCpu);
+        const sim::Outcome o = sim.expectedPartitioned(
+            net, decision.partition, env::EnvState{});
+        EXPECT_TRUE(o.feasible) << net.name();
+    }
+}
+
+TEST(NeuroSurgeon, OffloadsHeavyNetworksAlmostEntirely)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    auto policy = makeNeuroSurgeonPolicy(sim);
+    Rng rng(2);
+    const dnn::Network &bert = dnn::findModel("MobileBERT");
+    const Decision decision =
+        policy->decide(sim::makeRequest(bert), env::EnvState{}, rng);
+    // The CPU is hopeless for MobileBERT; nearly all layers go remote.
+    EXPECT_LT(decision.partition.splitLayer, bert.layers().size() / 4);
+}
+
+TEST(NeuroSurgeon, ReactsToBandwidthButNotInterference)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    auto policy = makeNeuroSurgeonPolicy(sim);
+    Rng rng(3);
+    const dnn::Network &net = dnn::findModel("ResNet 50");
+    const sim::InferenceRequest request = sim::makeRequest(net);
+
+    const Decision clean =
+        policy->decide(request, env::EnvState{}, rng);
+
+    // Weak Wi-Fi: it observes bandwidth, so the split moves local-ward.
+    env::EnvState weak;
+    weak.rssiWlanDbm = -88.0;
+    const Decision under_weak = policy->decide(request, weak, rng);
+    EXPECT_GE(under_weak.partition.splitLayer,
+              clean.partition.splitLayer);
+
+    // Interference: its regression is blind to it, so the decision is
+    // unchanged — exactly the weakness AutoScale exploits.
+    env::EnvState hog;
+    hog.coCpuUtil = 0.9;
+    hog.coMemUtil = 0.8;
+    hog.thermalFactor = 0.8;
+    const Decision under_hog = policy->decide(request, hog, rng);
+    EXPECT_EQ(under_hog.partition.splitLayer,
+              clean.partition.splitLayer);
+}
+
+TEST(Mosaic, DecisionsAreValidAndHeterogeneous)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    auto policy = makeMosaicPolicy(sim);
+    EXPECT_EQ(policy->name(), "MOSAIC");
+    Rng rng(4);
+    bool used_co_processor = false;
+    for (const auto &net : dnn::modelZoo()) {
+        const sim::InferenceRequest request = sim::makeRequest(net);
+        const Decision decision =
+            policy->decide(request, env::EnvState{}, rng);
+        ASSERT_TRUE(decision.partitioned);
+        const sim::Outcome o = sim.expectedPartitioned(
+            net, decision.partition, env::EnvState{});
+        EXPECT_TRUE(o.feasible) << net.name();
+        if (decision.partition.splitLayer > 0
+            && decision.partition.localProc
+                != platform::ProcKind::MobileCpu) {
+            used_co_processor = true;
+        }
+    }
+    // Heterogeneity-awareness must show up somewhere across the zoo.
+    EXPECT_TRUE(used_co_processor);
+}
+
+TEST(Mosaic, AtLeastAsGoodAsNeuroSurgeonInPredictedTerms)
+{
+    // MOSAIC's candidate set strictly contains NeuroSurgeon's, so its
+    // predicted-best decision can only be better or equal under the
+    // clean environment both predict with.
+    const sim::InferenceSimulator sim = mi8Sim();
+    auto ns = makeNeuroSurgeonPolicy(sim);
+    auto mosaic = makeMosaicPolicy(sim);
+    Rng rng(5);
+    const env::EnvState clean;
+    int mosaic_wins_or_ties = 0;
+    for (const auto &net : dnn::modelZoo()) {
+        const sim::InferenceRequest request = sim::makeRequest(net);
+        const Decision d_ns = ns->decide(request, clean, rng);
+        const Decision d_mo = mosaic->decide(request, clean, rng);
+        const double e_ns =
+            sim.expectedPartitioned(net, d_ns.partition, clean)
+                .estimatedEnergyJ;
+        const double e_mo =
+            sim.expectedPartitioned(net, d_mo.partition, clean)
+                .estimatedEnergyJ;
+        if (e_mo <= e_ns * 1.0001) {
+            ++mosaic_wins_or_ties;
+        }
+    }
+    EXPECT_EQ(mosaic_wins_or_ties,
+              static_cast<int>(dnn::modelZoo().size()));
+}
+
+TEST(Partitioners, MeetQosInCleanEnvironmentWhenPossible)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    auto mosaic = makeMosaicPolicy(sim);
+    Rng rng(6);
+    const env::EnvState clean;
+    for (const auto &net : dnn::modelZoo()) {
+        const sim::InferenceRequest request = sim::makeRequest(net);
+        const Decision decision = mosaic->decide(request, clean, rng);
+        const sim::Outcome o =
+            sim.expectedPartitioned(net, decision.partition, clean);
+        EXPECT_LT(o.latencyMs, request.qosMs) << net.name();
+    }
+}
+
+} // namespace
+} // namespace autoscale::baselines

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the paper's energy models (platform/power.h): Eq. (1)
+ * utilization-based CPU energy, Eq. (2) GPU energy, Eq. (3) constant
+ * DSP power, and the uniform-busy convenience wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/device_zoo.h"
+#include "platform/power.h"
+#include "platform/processor.h"
+
+namespace autoscale::platform {
+namespace {
+
+Processor
+testCpu()
+{
+    // Two steps: 1 GHz @ 2 W busy, 2 GHz @ 4 W busy; idle 0.4 W; 4 cores.
+    std::vector<VfStep> steps{{1.0, 0.8, 2.0}, {2.0, 1.0, 4.0}};
+    return Processor("cpu", ProcKind::MobileCpu, std::move(steps), 0.4,
+                     50.0, 10.0, 4);
+}
+
+Processor
+testGpu()
+{
+    std::vector<VfStep> steps{{0.3, 0.8, 1.0}, {0.6, 1.0, 2.5}};
+    return Processor("gpu", ProcKind::MobileGpu, std::move(steps), 0.1,
+                     300.0, 15.0, 1);
+}
+
+TEST(CpuEnergy, SingleCoreBusyPlusIdle)
+{
+    const Processor cpu = testCpu();
+    // One core busy 100 ms at step 1 (4 W cluster -> 1 W per core),
+    // idle 100 ms (0.4 W cluster -> 0.1 W per core). Three silent cores
+    // idle the whole 200 ms window.
+    std::vector<CoreActivity> activity{
+        CoreActivity{BusyInterval{1, 100.0}}};
+    const double energy = cpuEnergyJ(cpu, activity, 200.0);
+    const double expected = 1.0 * 0.1       // busy core
+        + 0.1 * 0.1                         // its idle tail
+        + 3.0 * 0.1 * 0.2;                  // silent cores
+    EXPECT_NEAR(energy, expected, 1e-12);
+}
+
+TEST(CpuEnergy, MultiFrequencyIntervalsSum)
+{
+    const Processor cpu = testCpu();
+    // Eq. (1) sums busy energy per frequency: 50 ms at each step.
+    std::vector<CoreActivity> activity{
+        CoreActivity{BusyInterval{0, 50.0}, BusyInterval{1, 50.0}}};
+    const double energy = cpuEnergyJ(cpu, activity, 100.0);
+    const double expected = (2.0 / 4.0) * 0.05 + (4.0 / 4.0) * 0.05
+        + 3.0 * (0.4 / 4.0) * 0.1;
+    EXPECT_NEAR(energy, expected, 1e-12);
+}
+
+TEST(CpuEnergy, AllCoresBusyWholeWindow)
+{
+    const Processor cpu = testCpu();
+    std::vector<CoreActivity> activity(
+        4, CoreActivity{BusyInterval{1, 100.0}});
+    // Full cluster at peak for 100 ms: 4 W * 0.1 s.
+    EXPECT_NEAR(cpuEnergyJ(cpu, activity, 100.0), 0.4, 1e-12);
+}
+
+TEST(CpuEnergy, IdleWindowOnlyIdlePower)
+{
+    const Processor cpu = testCpu();
+    EXPECT_NEAR(cpuEnergyJ(cpu, {}, 1000.0), 0.4, 1e-12);
+}
+
+TEST(GpuEnergy, BusyPlusIdle)
+{
+    const Processor gpu = testGpu();
+    const CoreActivity activity{BusyInterval{1, 40.0}};
+    const double energy = gpuEnergyJ(gpu, activity, 100.0);
+    EXPECT_NEAR(energy, 2.5 * 0.04 + 0.1 * 0.06, 1e-12);
+}
+
+TEST(DspEnergy, ConstantPowerTimesLatency)
+{
+    // Eq. (3): E = P_DSP * R_latency.
+    EXPECT_NEAR(dspEnergyJ(1.8, 10.0), 0.018, 1e-12);
+    EXPECT_DOUBLE_EQ(dspEnergyJ(1.8, 0.0), 0.0);
+}
+
+TEST(UniformBusy, MatchesCpuFormula)
+{
+    const Processor cpu = testCpu();
+    const double direct = uniformBusyEnergyJ(cpu, 1, 100.0, 100.0, 4);
+    EXPECT_NEAR(direct, 0.4, 1e-12);
+}
+
+TEST(UniformBusy, GpuAndDspPaths)
+{
+    const Processor gpu = testGpu();
+    EXPECT_NEAR(uniformBusyEnergyJ(gpu, 0, 50.0, 50.0, 1),
+                1.0 * 0.05, 1e-12);
+
+    const Device mi8 = makeMi8Pro();
+    const Processor &dsp = mi8.dsp();
+    // Busy the whole window: exactly Eq. (3).
+    EXPECT_NEAR(uniformBusyEnergyJ(dsp, 0, 20.0, 20.0, 1),
+                dsp.busyPowerW(0) * 0.02, 1e-12);
+}
+
+TEST(UniformBusy, EnergyIncreasesWithFrequencyForFixedTime)
+{
+    const Processor cpu = testCpu();
+    const double low = uniformBusyEnergyJ(cpu, 0, 50.0, 50.0, 4);
+    const double high = uniformBusyEnergyJ(cpu, 1, 50.0, 50.0, 4);
+    EXPECT_LT(low, high);
+}
+
+TEST(UniformBusy, RaceToIdleTradeoffExists)
+{
+    // Running twice as fast at the top step costs more power but less
+    // time; with V^2 scaling the busy energy at high frequency exceeds
+    // the low-frequency busy energy for compute-bound work, which is
+    // exactly the DVFS trade-off AutoScale's augmented actions exploit.
+    const Processor cpu = testCpu();
+    const double fast = uniformBusyEnergyJ(cpu, 1, 50.0, 50.0, 4);
+    const double slow = uniformBusyEnergyJ(cpu, 0, 100.0, 100.0, 4);
+    EXPECT_GT(fast, slow * 0.9);
+}
+
+} // namespace
+} // namespace autoscale::platform

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the processor model: DVFS table generation, roofline layer
+ * latency, precision support/speedups, environmental de-rating, and the
+ * Fig. 3 property (FC layers run relatively better on CPUs, CONV layers
+ * on co-processors).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "platform/device_zoo.h"
+#include "platform/processor.h"
+
+namespace autoscale::platform {
+namespace {
+
+Processor
+testCpu()
+{
+    return Processor("cpu", ProcKind::MobileCpu, makeVfSteps(10, 2.0, 4.0),
+                     0.1, 80.0, 12.0, 4);
+}
+
+dnn::Layer
+convLayer(std::uint64_t macs = 100'000'000)
+{
+    dnn::Layer layer;
+    layer.kind = dnn::LayerKind::Conv;
+    layer.macs = macs;
+    layer.paramBytes = 1'000'000;
+    layer.activationBytes = 500'000;
+    return layer;
+}
+
+dnn::Layer
+fcLayer()
+{
+    dnn::Layer layer;
+    layer.kind = dnn::LayerKind::FullyConnected;
+    layer.macs = 2'000'000;
+    layer.paramBytes = 8'000'000;
+    layer.activationBytes = 16'000;
+    return layer;
+}
+
+TEST(MakeVfSteps, CountAndMonotonicity)
+{
+    const auto steps = makeVfSteps(23, 2.8, 5.5);
+    ASSERT_EQ(steps.size(), 23u);
+    for (std::size_t i = 1; i < steps.size(); ++i) {
+        EXPECT_GT(steps[i].freqGhz, steps[i - 1].freqGhz);
+        EXPECT_GE(steps[i].busyPowerW, steps[i - 1].busyPowerW);
+        EXPECT_GE(steps[i].voltage, steps[i - 1].voltage);
+    }
+    EXPECT_DOUBLE_EQ(steps.back().freqGhz, 2.8);
+    EXPECT_DOUBLE_EQ(steps.back().busyPowerW, 5.5);
+    EXPECT_NEAR(steps.front().freqGhz, 0.3 * 2.8, 1e-12);
+}
+
+TEST(MakeVfSteps, PowerFloorHolds)
+{
+    // Busy power never drops below 35% of peak (rail/leakage floor).
+    const auto steps = makeVfSteps(20, 3.0, 6.0);
+    for (const auto &step : steps) {
+        EXPECT_GE(step.busyPowerW, 0.35 * 6.0 - 1e-12);
+    }
+}
+
+TEST(MakeVfSteps, SingleStepIsPeak)
+{
+    const auto steps = makeVfSteps(1, 1.0, 1.8);
+    ASSERT_EQ(steps.size(), 1u);
+    EXPECT_DOUBLE_EQ(steps[0].freqGhz, 1.0);
+    EXPECT_DOUBLE_EQ(steps[0].busyPowerW, 1.8);
+}
+
+TEST(Processor, PrecisionSupportMatrix)
+{
+    const Device mi8 = makeMi8Pro();
+    EXPECT_TRUE(mi8.cpu().supportsPrecision(dnn::Precision::FP32));
+    EXPECT_TRUE(mi8.cpu().supportsPrecision(dnn::Precision::INT8));
+    EXPECT_FALSE(mi8.cpu().supportsPrecision(dnn::Precision::FP16));
+    EXPECT_TRUE(mi8.gpu().supportsPrecision(dnn::Precision::FP32));
+    EXPECT_TRUE(mi8.gpu().supportsPrecision(dnn::Precision::FP16));
+    EXPECT_FALSE(mi8.gpu().supportsPrecision(dnn::Precision::INT8));
+    EXPECT_TRUE(mi8.dsp().supportsPrecision(dnn::Precision::INT8));
+    EXPECT_FALSE(mi8.dsp().supportsPrecision(dnn::Precision::FP32));
+
+    const Device cloud = makeCloudServer();
+    EXPECT_TRUE(cloud.cpu().supportsPrecision(dnn::Precision::FP32));
+    EXPECT_FALSE(cloud.cpu().supportsPrecision(dnn::Precision::INT8));
+}
+
+TEST(Processor, PrecisionSpeedups)
+{
+    const Processor cpu = testCpu();
+    EXPECT_DOUBLE_EQ(cpu.precisionSpeedup(dnn::Precision::FP32), 1.0);
+    EXPECT_GT(cpu.precisionSpeedup(dnn::Precision::INT8), 1.0);
+
+    const Device mi8 = makeMi8Pro();
+    // The DSP rating is already INT8, so no further speedup.
+    EXPECT_DOUBLE_EQ(mi8.dsp().precisionSpeedup(dnn::Precision::INT8), 1.0);
+}
+
+TEST(Processor, PrecisionPowerFactors)
+{
+    const Processor cpu = testCpu();
+    EXPECT_DOUBLE_EQ(cpu.precisionPowerFactor(dnn::Precision::FP32), 1.0);
+    EXPECT_LT(cpu.precisionPowerFactor(dnn::Precision::INT8), 1.0);
+    const Device cloud = makeCloudServer();
+    EXPECT_DOUBLE_EQ(
+        cloud.gpu().precisionPowerFactor(dnn::Precision::FP32), 1.0);
+}
+
+TEST(Processor, LatencyScalesInverselyWithFrequency)
+{
+    const Processor cpu = testCpu();
+    const dnn::Layer layer = convLayer(400'000'000); // compute bound
+    const double slow =
+        cpu.layerLatencyMs(layer, dnn::Precision::FP32, 0);
+    const double fast =
+        cpu.layerLatencyMs(layer, dnn::Precision::FP32, cpu.maxVfIndex());
+    // fmin = 0.3 fmax, so the bottom step is ~1/0.3 slower (modulo the
+    // constant dispatch overhead).
+    EXPECT_GT(slow, 2.5 * fast);
+    EXPECT_LT(slow, 3.5 * fast);
+}
+
+TEST(Processor, Int8FasterThanFp32)
+{
+    const Processor cpu = testCpu();
+    const dnn::Layer layer = convLayer(400'000'000);
+    const double fp32 =
+        cpu.layerLatencyMs(layer, dnn::Precision::FP32, cpu.maxVfIndex());
+    const double int8 =
+        cpu.layerLatencyMs(layer, dnn::Precision::INT8, cpu.maxVfIndex());
+    EXPECT_LT(int8, fp32);
+}
+
+TEST(Processor, DerateSlowsExecution)
+{
+    const Processor cpu = testCpu();
+    const dnn::Layer layer = convLayer();
+    const double clean =
+        cpu.layerLatencyMs(layer, dnn::Precision::FP32, 5);
+    Derate derate;
+    derate.freqFactor = 0.5;
+    const double throttled =
+        cpu.layerLatencyMs(layer, dnn::Precision::FP32, 5, derate);
+    EXPECT_GT(throttled, clean);
+
+    Derate bw;
+    bw.bandwidthFactor = 0.5;
+    const dnn::Layer memory_bound = fcLayer();
+    const double mem_clean =
+        cpu.layerLatencyMs(memory_bound, dnn::Precision::FP32, 5);
+    const double mem_slow =
+        cpu.layerLatencyMs(memory_bound, dnn::Precision::FP32, 5, bw);
+    EXPECT_GT(mem_slow, mem_clean);
+}
+
+TEST(Processor, NetworkLatencyIsSumOfLayerRanges)
+{
+    const Processor cpu = testCpu();
+    const dnn::Network net = dnn::makeMobileNetV2();
+    const std::size_t n = net.layers().size();
+    const double whole =
+        cpu.networkLatencyMs(net, dnn::Precision::FP32, 3);
+    const double split =
+        cpu.layerRangeLatencyMs(net, 0, n / 2, dnn::Precision::FP32, 3)
+        + cpu.layerRangeLatencyMs(net, n / 2, n, dnn::Precision::FP32, 3);
+    EXPECT_NEAR(whole, split, 1e-9);
+}
+
+TEST(Processor, EmptyLayerRangeIsZero)
+{
+    const Processor cpu = testCpu();
+    const dnn::Network net = dnn::makeMobileNetV1();
+    EXPECT_DOUBLE_EQ(
+        cpu.layerRangeLatencyMs(net, 3, 3, dnn::Precision::FP32, 0), 0.0);
+}
+
+TEST(Processor, Fig3FcLayersFavorCpuConvLayersFavorCoProcessors)
+{
+    // The Fig. 3 characterization: cumulative FC latency is higher on
+    // the GPU/DSP than on the CPU; cumulative CONV latency is lower.
+    const Device mi8 = makeMi8Pro();
+    const dnn::Network net = dnn::makeMobileNetV3();
+
+    auto kind_latency = [&](const Processor &proc, dnn::LayerKind kind,
+                            dnn::Precision precision) {
+        double total = 0.0;
+        for (const auto &layer : net.layers()) {
+            if (layer.kind == kind) {
+                total += proc.layerLatencyMs(layer, precision,
+                                             proc.maxVfIndex());
+            }
+        }
+        return total;
+    };
+
+    const double cpu_fc = kind_latency(mi8.cpu(),
+                                       dnn::LayerKind::FullyConnected,
+                                       dnn::Precision::FP32);
+    const double gpu_fc = kind_latency(mi8.gpu(),
+                                       dnn::LayerKind::FullyConnected,
+                                       dnn::Precision::FP32);
+    const double dsp_fc = kind_latency(mi8.dsp(),
+                                       dnn::LayerKind::FullyConnected,
+                                       dnn::Precision::INT8);
+    EXPECT_GT(gpu_fc, cpu_fc);
+    EXPECT_GT(dsp_fc, cpu_fc);
+
+    const double cpu_conv = kind_latency(mi8.cpu(), dnn::LayerKind::Conv,
+                                         dnn::Precision::FP32);
+    const double gpu_conv = kind_latency(mi8.gpu(), dnn::LayerKind::Conv,
+                                         dnn::Precision::FP32);
+    const double dsp_conv = kind_latency(mi8.dsp(), dnn::LayerKind::Conv,
+                                         dnn::Precision::INT8);
+    EXPECT_LT(gpu_conv, cpu_conv);
+    EXPECT_LT(dsp_conv, cpu_conv);
+}
+
+TEST(Processor, DispatchOverheadHigherForFcOnCoProcessors)
+{
+    const Device mi8 = makeMi8Pro();
+    EXPECT_GT(mi8.gpu().dispatchOverheadMs(dnn::LayerKind::FullyConnected),
+              mi8.gpu().dispatchOverheadMs(dnn::LayerKind::Conv));
+    EXPECT_DOUBLE_EQ(
+        mi8.cpu().dispatchOverheadMs(dnn::LayerKind::FullyConnected),
+        mi8.cpu().dispatchOverheadMs(dnn::LayerKind::Conv));
+}
+
+// Parameterized sweep: latency decreases monotonically as the V/F step
+// rises, for every processor of the fleet.
+class VfSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(VfSweep, LatencyMonotoneInFrequency)
+{
+    const Device device = makePhone(GetParam());
+    const dnn::Network net = dnn::makeInceptionV1();
+    for (const Processor *proc : device.processors()) {
+        const dnn::Precision precision =
+            proc->supportsPrecision(dnn::Precision::FP32)
+            ? dnn::Precision::FP32 : dnn::Precision::INT8;
+        double previous = 1e300;
+        for (std::size_t vf = 0; vf < proc->numVfSteps(); ++vf) {
+            const double latency =
+                proc->networkLatencyMs(net, precision, vf);
+            EXPECT_LE(latency, previous) << proc->name() << " vf " << vf;
+            previous = latency;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPhones, VfSweep,
+                         ::testing::Values("Mi8Pro", "Galaxy S10e",
+                                           "Moto X Force"));
+
+} // namespace
+} // namespace autoscale::platform

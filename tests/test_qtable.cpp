@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the dense Q-table: indexing, argmax, random initialization,
+ * serialization, and the Section VI-C memory footprint.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/qtable.h"
+#include "util/rng.h"
+
+namespace autoscale::core {
+namespace {
+
+TEST(QTable, StartsZeroed)
+{
+    QTable table(4, 3);
+    for (int s = 0; s < 4; ++s) {
+        for (int a = 0; a < 3; ++a) {
+            EXPECT_FLOAT_EQ(table.at(s, a), 0.0f);
+        }
+    }
+}
+
+TEST(QTable, ReadWriteRoundTrip)
+{
+    QTable table(10, 5);
+    table.at(7, 3) = 1.25f;
+    EXPECT_FLOAT_EQ(table.at(7, 3), 1.25f);
+    EXPECT_FLOAT_EQ(table.at(3, 7 % 5), 0.0f);
+}
+
+TEST(QTable, BestActionArgmaxAndTies)
+{
+    QTable table(2, 4);
+    table.at(0, 1) = 5.0f;
+    table.at(0, 2) = 5.0f; // tie breaks to the lowest id
+    table.at(0, 3) = 4.0f;
+    EXPECT_EQ(table.bestAction(0), 1);
+    EXPECT_DOUBLE_EQ(table.maxValue(0), 5.0);
+    // Untouched row: all zeros, argmax is action 0.
+    EXPECT_EQ(table.bestAction(1), 0);
+}
+
+TEST(QTable, RandomizeStaysInRange)
+{
+    QTable table(50, 20);
+    Rng rng(3);
+    table.randomize(rng, 0.0, 1.0);
+    bool any_nonzero = false;
+    for (int s = 0; s < 50; ++s) {
+        for (int a = 0; a < 20; ++a) {
+            const float v = table.at(s, a);
+            EXPECT_GE(v, 0.0f);
+            EXPECT_LT(v, 1.0f);
+            any_nonzero = any_nonzero || v != 0.0f;
+        }
+    }
+    EXPECT_TRUE(any_nonzero);
+}
+
+TEST(QTable, MemoryFootprintMatchesSectionVIC)
+{
+    // The paper reports a 0.4 MB requirement for the full design space;
+    // a float table of 3,072 x 66 lands in the same range.
+    QTable table(3072, 66);
+    EXPECT_EQ(table.memoryBytes(), 3072u * 66u * sizeof(float));
+    const double mb =
+        static_cast<double>(table.memoryBytes()) / (1024.0 * 1024.0);
+    EXPECT_GT(mb, 0.3);
+    EXPECT_LT(mb, 1.0);
+}
+
+TEST(QTable, SaveLoadRoundTrip)
+{
+    QTable table(6, 4);
+    Rng rng(9);
+    table.randomize(rng, -2.0, 2.0);
+    std::stringstream stream;
+    table.save(stream);
+    const QTable loaded = QTable::load(stream);
+    ASSERT_EQ(loaded.numStates(), 6);
+    ASSERT_EQ(loaded.numActions(), 4);
+    for (int s = 0; s < 6; ++s) {
+        for (int a = 0; a < 4; ++a) {
+            EXPECT_FLOAT_EQ(loaded.at(s, a), table.at(s, a));
+        }
+    }
+}
+
+TEST(HalfFloat, ExactValuesRoundTrip)
+{
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, -2.75f, 1024.0f, -15.0f,
+                    0.000061035156f /* smallest normal half */}) {
+        EXPECT_FLOAT_EQ(halfToFloat(floatToHalf(v)), v) << v;
+    }
+}
+
+TEST(HalfFloat, RelativeErrorWithinHalfPrecision)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const float v =
+            static_cast<float>(rng.uniform(-5000.0, 5000.0));
+        const float back = halfToFloat(floatToHalf(v));
+        if (std::fabs(v) > 1e-3f) {
+            EXPECT_NEAR(back, v, std::fabs(v) * 1e-3f + 1e-6f);
+        }
+    }
+}
+
+TEST(HalfFloat, OverflowSaturatesToInfinity)
+{
+    EXPECT_TRUE(std::isinf(halfToFloat(floatToHalf(1e10f))));
+    EXPECT_TRUE(std::isinf(halfToFloat(floatToHalf(-1e10f))));
+    EXPECT_LT(halfToFloat(floatToHalf(-1e10f)), 0.0f);
+}
+
+TEST(HalfFloat, SubnormalsSurvive)
+{
+    const float tiny = 3.0e-6f; // subnormal in half precision
+    const float back = halfToFloat(floatToHalf(tiny));
+    EXPECT_GT(back, 0.0f);
+    EXPECT_NEAR(back, tiny, tiny * 0.05f);
+}
+
+TEST(PackedQTable, FootprintMatchesThePaper)
+{
+    // Section VI-C: "the memory requirement of AutoScale is 0.4 MB".
+    QTable table(3072, 66);
+    PackedQTable packed(table);
+    const double mb = static_cast<double>(packed.memoryBytes())
+        / (1024.0 * 1024.0);
+    EXPECT_NEAR(mb, 0.39, 0.02);
+    EXPECT_EQ(packed.memoryBytes() * 2, table.memoryBytes());
+}
+
+TEST(PackedQTable, PreservesGreedyDecisionsOnRealisticValues)
+{
+    // Q-values at mJ scale: gaps above the ~0.1% half quantization are
+    // never flipped by packing.
+    QTable table(64, 66);
+    Rng rng(11);
+    table.randomize(rng, -500.0, 0.0);
+    PackedQTable packed(table);
+    int agreement = 0;
+    for (int s = 0; s < 64; ++s) {
+        EXPECT_NEAR(packed.at(s, 3), table.at(s, 3),
+                    std::fabs(table.at(s, 3)) * 1e-3 + 1e-3);
+        if (packed.bestAction(s) == table.bestAction(s)) {
+            ++agreement;
+        }
+    }
+    EXPECT_GE(agreement, 62); // near-exact; random ties may flip
+}
+
+TEST(PackedQTable, UnpackRoundTrip)
+{
+    QTable table(8, 5);
+    Rng rng(13);
+    table.randomize(rng, -100.0, 0.0);
+    const QTable unpacked = PackedQTable(table).unpack();
+    for (int s = 0; s < 8; ++s) {
+        for (int a = 0; a < 5; ++a) {
+            EXPECT_NEAR(unpacked.at(s, a), table.at(s, a),
+                        std::fabs(table.at(s, a)) * 1e-3 + 1e-3);
+        }
+    }
+}
+
+TEST(QTable, DimensionsReported)
+{
+    QTable table(3072, 66);
+    EXPECT_EQ(table.numStates(), 3072);
+    EXPECT_EQ(table.numActions(), 66);
+}
+
+} // namespace
+} // namespace autoscale::core

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the regression-based predictors (Fig. 7's LR and SVR): the
+ * raw regressor backends and the scheduling policies built on them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/regression.h"
+#include "dnn/accuracy.h"
+#include "dnn/model_zoo.h"
+#include "platform/device_zoo.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace autoscale::baselines {
+namespace {
+
+sim::InferenceSimulator
+mi8Sim()
+{
+    return sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+}
+
+TEST(LinearRegressor, FitsLinearData)
+{
+    Rng rng(1);
+    std::vector<Vector> x;
+    Vector y;
+    for (int i = 0; i < 100; ++i) {
+        const double a = rng.uniform(-1.0, 1.0);
+        const double b = rng.uniform(-1.0, 1.0);
+        x.push_back({1.0, a, b});
+        y.push_back(3.0 - 2.0 * a + 0.5 * b);
+    }
+    LinearRegressor model;
+    model.fit(x, y);
+    EXPECT_NEAR(model.predict({1.0, 0.2, -0.4}),
+                3.0 - 0.4 - 0.2, 1e-3);
+}
+
+TEST(LinearRegressor, CannotFitNonlinearData)
+{
+    // A sanity check on why the paper finds LR insufficient: quadratic
+    // structure leaves large residuals.
+    Rng rng(2);
+    std::vector<Vector> x;
+    Vector y;
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.uniform(-1.0, 1.0);
+        x.push_back({1.0, a});
+        y.push_back(a * a);
+    }
+    LinearRegressor model;
+    model.fit(x, y);
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double r = model.predict(x[i]) - y[i];
+        sum_sq += r * r;
+    }
+    EXPECT_GT(std::sqrt(sum_sq / static_cast<double>(x.size())), 0.15);
+}
+
+TEST(KernelRidge, FitsNonlinearData)
+{
+    Rng rng(3);
+    std::vector<Vector> x;
+    Vector y;
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.uniform(-1.0, 1.0);
+        x.push_back({a});
+        y.push_back(std::sin(3.0 * a));
+    }
+    KernelRidgeRegressor model(4.0, 1e-4, 200);
+    model.fit(x, y);
+    double worst = 0.0;
+    for (double a = -0.9; a <= 0.9; a += 0.1) {
+        worst = std::max(worst,
+                         std::fabs(model.predict({a}) - std::sin(3.0 * a)));
+    }
+    EXPECT_LT(worst, 0.1);
+}
+
+TEST(KernelRidge, SubsamplesLargeCorpora)
+{
+    Rng rng(4);
+    std::vector<Vector> x;
+    Vector y;
+    for (int i = 0; i < 2000; ++i) {
+        const double a = rng.uniform(-1.0, 1.0);
+        x.push_back({a});
+        y.push_back(a);
+    }
+    KernelRidgeRegressor model(2.0, 1e-3, 100);
+    model.fit(x, y); // must not blow up on the 2000x2000 kernel
+    EXPECT_NEAR(model.predict({0.5}), 0.5, 0.1);
+}
+
+class RegressionPolicies
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(RegressionPolicies, TrainedPolicyMakesFeasibleQosAwareDecisions)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    std::unique_ptr<RegressionPolicy> policy;
+    if (std::string(GetParam()) == "LR") {
+        policy = makeLinearRegressionPolicy(sim);
+    } else {
+        policy = makeSvrPolicy(sim);
+    }
+    EXPECT_EQ(policy->name(), GetParam());
+
+    std::vector<const dnn::Network *> nets{
+        &dnn::findModel("MobileNet v1"), &dnn::findModel("Inception v1"),
+        &dnn::findModel("MobileBERT")};
+    Rng rng(5);
+    const TrainingSet data = generateTrainingSet(
+        sim, nets, {env::ScenarioId::S1}, 40, rng);
+    policy->train(data);
+
+    for (const dnn::Network *net : nets) {
+        const sim::InferenceRequest request = sim::makeRequest(*net);
+        const Decision decision =
+            policy->decide(request, env::EnvState{}, rng);
+        EXPECT_TRUE(sim.isFeasible(*net, decision.target)) << net->name();
+        // The chosen action must satisfy the accuracy table constraint.
+        EXPECT_GE(dnn::inferenceAccuracy(net->name(),
+                                         decision.target.precision),
+                  request.accuracyTargetPct);
+    }
+}
+
+TEST_P(RegressionPolicies, PredictionsArePositiveAndFinite)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    std::unique_ptr<RegressionPolicy> policy;
+    if (std::string(GetParam()) == "LR") {
+        policy = makeLinearRegressionPolicy(sim);
+    } else {
+        policy = makeSvrPolicy(sim);
+    }
+    std::vector<const dnn::Network *> nets{
+        &dnn::findModel("MobileNet v2")};
+    Rng rng(6);
+    policy->train(
+        generateTrainingSet(sim, nets, {env::ScenarioId::S1}, 50, rng));
+
+    const sim::InferenceRequest request = sim::makeRequest(*nets[0]);
+    sim::ExecutionTarget cpu{sim::TargetPlace::Local,
+                             platform::ProcKind::MobileCpu,
+                             sim.localDevice().cpu().maxVfIndex(),
+                             dnn::Precision::FP32};
+    const double latency =
+        policy->predictLatencyMs(request, env::EnvState{}, cpu);
+    const double energy =
+        policy->predictEnergyJ(request, env::EnvState{}, cpu);
+    EXPECT_GT(latency, 0.0);
+    EXPECT_TRUE(std::isfinite(latency));
+    EXPECT_GT(energy, 0.0);
+    EXPECT_TRUE(std::isfinite(energy));
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, RegressionPolicies,
+                         ::testing::Values("LR", "SVR"));
+
+TEST(RegressionPolicy, InterpolatesLatencyWithinTrainedNetwork)
+{
+    // Trained on its own profile, the regressor's latency prediction for
+    // the CPU baseline should be within ~50% of the truth (the paper
+    // reports ~10-14% MAPE without variance over the whole space; a
+    // single-point sanity bound is kept loose).
+    const sim::InferenceSimulator sim = mi8Sim();
+    auto policy = makeSvrPolicy(sim);
+    std::vector<const dnn::Network *> nets{
+        &dnn::findModel("Inception v1")};
+    Rng rng(7);
+    policy->train(
+        generateTrainingSet(sim, nets, {env::ScenarioId::S1}, 80, rng));
+
+    const sim::InferenceRequest request = sim::makeRequest(*nets[0]);
+    sim::ExecutionTarget cpu{sim::TargetPlace::Local,
+                             platform::ProcKind::MobileCpu,
+                             sim.localDevice().cpu().maxVfIndex(),
+                             dnn::Precision::FP32};
+    const double predicted =
+        policy->predictLatencyMs(request, env::EnvState{}, cpu);
+    const double actual =
+        sim.expected(*nets[0], cpu, env::EnvState{}).latencyMs;
+    EXPECT_NEAR(predicted, actual, actual * 0.5);
+}
+
+TEST(TrainingSet, GeneratorProducesLabeledSamples)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    std::vector<const dnn::Network *> nets{
+        &dnn::findModel("MobileNet v1"), &dnn::findModel("ResNet 50")};
+    Rng rng(8);
+    const TrainingSet data = generateTrainingSet(
+        sim, nets, {env::ScenarioId::S1, env::ScenarioId::S4}, 10, rng);
+    EXPECT_EQ(data.samples.size(), 2u * 2u * 10u);
+    for (const auto &sample : data.samples) {
+        EXPECT_EQ(sample.stateFeatures.size(), 8u);
+        EXPECT_FALSE(sample.combinedFeatures.empty());
+        EXPECT_GT(sample.latencyMs, 0.0);
+        EXPECT_GT(sample.energyJ, 0.0);
+        EXPECT_GE(sample.optimalAction, 0);
+        EXPECT_LT(sample.optimalAction, 66);
+    }
+}
+
+TEST(Features, StateVectorReflectsEnvironment)
+{
+    const dnn::Network &net = dnn::findModel("MobileNet v3");
+    env::EnvState env;
+    env.coCpuUtil = 0.5;
+    env.rssiWlanDbm = -85.0;
+    const Vector v = stateFeatureVector(net, env);
+    ASSERT_EQ(v.size(), 8u);
+    EXPECT_DOUBLE_EQ(v[4], 0.5);
+    EXPECT_NEAR(v[6], (-85.0 + 95.0) / 55.0, 1e-12);
+}
+
+TEST(Features, ActionVectorEncodesKnobs)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    sim::ExecutionTarget dsp{sim::TargetPlace::Local,
+                             platform::ProcKind::MobileDsp, 0,
+                             dnn::Precision::INT8};
+    const Vector v = actionFeatureVector(dsp, sim);
+    EXPECT_DOUBLE_EQ(v[0], 1.0); // local place
+    EXPECT_DOUBLE_EQ(v[5], 1.0); // DSP class
+    EXPECT_DOUBLE_EQ(v[7], 0.25); // INT8 bytes ratio
+}
+
+} // namespace
+} // namespace autoscale::baselines

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the Eq. (5) reward: the three branches (accuracy failure,
+ * QoS met, QoS violated), the alpha/beta weights, and the orderings the
+ * learner relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/reward.h"
+#include "dnn/model_zoo.h"
+
+namespace autoscale::core {
+namespace {
+
+sim::InferenceRequest
+request(double qosMs = 50.0, double accuracyTarget = 50.0)
+{
+    static const dnn::Network net = dnn::makeMobileNetV1();
+    sim::InferenceRequest req;
+    req.network = &net;
+    req.qosMs = qosMs;
+    req.accuracyTargetPct = accuracyTarget;
+    return req;
+}
+
+sim::Outcome
+outcome(double latencyMs, double energyJ, double accuracyPct)
+{
+    sim::Outcome o;
+    o.feasible = true;
+    o.latencyMs = latencyMs;
+    o.energyJ = energyJ;
+    o.estimatedEnergyJ = energyJ;
+    o.accuracyPct = accuracyPct;
+    return o;
+}
+
+TEST(Reward, AccuracyFailureBranch)
+{
+    // R = Raccuracy - 100 when the quality requirement is violated.
+    const double r = computeReward(outcome(10.0, 0.02, 45.0), request());
+    EXPECT_DOUBLE_EQ(r, 45.0 - 100.0);
+}
+
+TEST(Reward, InfeasibleIsTotalQualityFailure)
+{
+    sim::Outcome infeasible;
+    infeasible.feasible = false;
+    EXPECT_DOUBLE_EQ(computeReward(infeasible, request()), -100.0);
+}
+
+TEST(Reward, QosMetBranchIncludesLatencyBonus)
+{
+    // R = -E_mJ + alpha * L + beta * A.
+    const double r = computeReward(outcome(20.0, 0.030, 70.0), request());
+    EXPECT_NEAR(r, -30.0 + 0.1 * 20.0 + 0.1 * 70.0, 1e-12);
+}
+
+TEST(Reward, QosViolatedBranchDropsLatencyTerm)
+{
+    const double r = computeReward(outcome(80.0, 0.030, 70.0), request());
+    EXPECT_NEAR(r, -30.0 + 0.1 * 70.0, 1e-12);
+}
+
+TEST(Reward, BoundaryLatencyCountsAsViolation)
+{
+    // Eq. (5) uses a strict "<" for the QoS constraint.
+    const double at_qos = computeReward(outcome(50.0, 0.030, 70.0),
+                                        request(50.0));
+    EXPECT_NEAR(at_qos, -30.0 + 7.0, 1e-12);
+}
+
+TEST(Reward, CustomWeights)
+{
+    RewardConfig config;
+    config.alpha = 0.5;
+    config.beta = 0.2;
+    const double r =
+        computeReward(outcome(20.0, 0.030, 70.0), request(), config);
+    EXPECT_NEAR(r, -30.0 + 0.5 * 20.0 + 0.2 * 70.0, 1e-12);
+}
+
+TEST(Reward, UsesEstimatedEnergyNotMeasured)
+{
+    // The runtime only has the Renergy estimate (Section IV-A).
+    sim::Outcome o = outcome(20.0, 0.030, 70.0);
+    o.energyJ = 0.999; // meter value differs
+    o.estimatedEnergyJ = 0.030;
+    const double r = computeReward(o, request());
+    EXPECT_NEAR(r, -30.0 + 2.0 + 7.0, 1e-12);
+}
+
+TEST(Reward, LowerEnergyWinsWithinQos)
+{
+    const double cheap = computeReward(outcome(20.0, 0.010, 70.0),
+                                       request());
+    const double costly = computeReward(outcome(20.0, 0.050, 70.0),
+                                        request());
+    EXPECT_GT(cheap, costly);
+}
+
+TEST(Reward, SlowerButWithinQosEarnsTheDvfsBonus)
+{
+    // Within QoS, Eq. (5) rewards exhausting the latency headroom when
+    // energy is equal — the incentive to drop the V/F step.
+    const double slow = computeReward(outcome(45.0, 0.030, 70.0),
+                                      request());
+    const double fast = computeReward(outcome(10.0, 0.030, 70.0),
+                                      request());
+    EXPECT_GT(slow, fast);
+}
+
+TEST(Reward, AccuracyFailureLosesToTheBestAccurateAction)
+{
+    // Eq. (5) only has to ensure the argmax never lands on a
+    // quality-failing action: the cheapest accurate option (cloud
+    // offload is always available at tens of mJ) must outscore any
+    // failure reward, which is at most -100 + best accuracy.
+    const double failed = computeReward(outcome(10.0, 0.005, 40.0),
+                                        request());
+    const double best_accurate =
+        computeReward(outcome(30.0, 0.030, 70.0), request());
+    EXPECT_GT(best_accurate, failed);
+}
+
+TEST(Reward, ZeroAccuracyTargetDisablesTheConstraint)
+{
+    const double r = computeReward(outcome(20.0, 0.030, 45.0),
+                                   request(50.0, 0.0));
+    EXPECT_NEAR(r, -30.0 + 2.0 + 4.5, 1e-12);
+}
+
+} // namespace
+} // namespace autoscale::core

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Property-style sweeps over the whole (device x network x target)
+ * space: physical invariants the simulator must satisfy everywhere,
+ * not just on hand-picked examples.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/action_space.h"
+#include "dnn/model_zoo.h"
+#include "platform/device_zoo.h"
+#include "sim/simulator.h"
+
+namespace autoscale::sim {
+namespace {
+
+using Combo = std::tuple<std::string, std::string>; // (phone, network)
+
+class SimProperties : public ::testing::TestWithParam<Combo> {
+  protected:
+    InferenceSimulator
+    makeSim() const
+    {
+        return InferenceSimulator::makeDefault(
+            platform::makePhone(std::get<0>(GetParam())));
+    }
+
+    const dnn::Network &
+    network() const
+    {
+        return dnn::findModel(std::get<1>(GetParam()));
+    }
+};
+
+TEST_P(SimProperties, EveryFeasibleActionYieldsPhysicalOutcomes)
+{
+    const InferenceSimulator sim = makeSim();
+    const dnn::Network &net = network();
+    const env::EnvState env;
+    for (const auto &action : core::buildActionSpace(sim)) {
+        const Outcome o = sim.expected(net, action, env);
+        if (!o.feasible) {
+            continue;
+        }
+        EXPECT_GT(o.latencyMs, 0.0) << action.label();
+        EXPECT_GT(o.energyJ, 0.0) << action.label();
+        EXPECT_GT(o.accuracyPct, 0.0) << action.label();
+        EXPECT_LE(o.accuracyPct, 100.0) << action.label();
+        EXPECT_DOUBLE_EQ(o.energyJ, o.estimatedEnergyJ) << action.label();
+        // Latency decomposes into compute + transfer + protocol time.
+        EXPECT_GE(o.latencyMs + 1e-9, o.computeMs + o.txMs + o.rxMs)
+            << action.label();
+    }
+}
+
+TEST_P(SimProperties, MeasuredRunsStayNearTheModel)
+{
+    const InferenceSimulator sim = makeSim();
+    const dnn::Network &net = network();
+    const env::EnvState env;
+    Rng rng(2718);
+    for (const auto &action : core::buildActionSpace(sim)) {
+        const Outcome expected = sim.expected(net, action, env);
+        if (!expected.feasible) {
+            continue;
+        }
+        const Outcome measured = sim.run(net, action, env, rng);
+        // Log-normal noise with sigma <= 0.09: 6 sigma bounds.
+        EXPECT_GT(measured.latencyMs, expected.latencyMs * 0.6)
+            << action.label();
+        EXPECT_LT(measured.latencyMs, expected.latencyMs * 1.6)
+            << action.label();
+        EXPECT_GT(measured.energyJ, expected.energyJ * 0.4)
+            << action.label();
+        EXPECT_LT(measured.energyJ, expected.energyJ * 2.5)
+            << action.label();
+    }
+}
+
+TEST_P(SimProperties, InterferenceNeverSpeedsUpLocalExecution)
+{
+    const InferenceSimulator sim = makeSim();
+    const dnn::Network &net = network();
+    env::EnvState hog;
+    hog.coCpuUtil = 0.7;
+    hog.coMemUtil = 0.6;
+    hog.thermalFactor = 0.9;
+    for (const auto &action : core::buildActionSpace(sim)) {
+        const Outcome clean = sim.expected(net, action, env::EnvState{});
+        if (!clean.feasible) {
+            continue;
+        }
+        const Outcome contended = sim.expected(net, action, hog);
+        if (action.place == TargetPlace::Local) {
+            EXPECT_GE(contended.latencyMs + 1e-9, clean.latencyMs)
+                << action.label();
+        } else {
+            // Remote compute and transfer are untouched by on-device
+            // interference (energy too, since the co-runner's draw is
+            // not attributed to the inference).
+            EXPECT_NEAR(contended.latencyMs, clean.latencyMs, 1e-9)
+                << action.label();
+        }
+    }
+}
+
+TEST_P(SimProperties, WeakSignalOnlyAffectsTheMatchingLink)
+{
+    const InferenceSimulator sim = makeSim();
+    const dnn::Network &net = network();
+    env::EnvState weak_wlan;
+    weak_wlan.rssiWlanDbm = -88.0;
+    env::EnvState weak_p2p;
+    weak_p2p.rssiP2pDbm = -88.0;
+    for (const auto &action : core::buildActionSpace(sim)) {
+        const Outcome clean = sim.expected(net, action, env::EnvState{});
+        if (!clean.feasible) {
+            continue;
+        }
+        const Outcome w = sim.expected(net, action, weak_wlan);
+        const Outcome p = sim.expected(net, action, weak_p2p);
+        switch (action.place) {
+          case TargetPlace::Local:
+            EXPECT_NEAR(w.latencyMs, clean.latencyMs, 1e-9);
+            EXPECT_NEAR(p.latencyMs, clean.latencyMs, 1e-9);
+            break;
+          case TargetPlace::Cloud:
+            EXPECT_GT(w.latencyMs, clean.latencyMs);
+            EXPECT_NEAR(p.latencyMs, clean.latencyMs, 1e-9);
+            break;
+          case TargetPlace::ConnectedEdge:
+            EXPECT_NEAR(w.latencyMs, clean.latencyMs, 1e-9);
+            EXPECT_GT(p.latencyMs, clean.latencyMs);
+            break;
+        }
+    }
+}
+
+TEST_P(SimProperties, QuantizationNeverSlowsASupportingProcessor)
+{
+    const InferenceSimulator sim = makeSim();
+    const dnn::Network &net = network();
+    if (!net.supportedOnCoProcessors()) {
+        GTEST_SKIP() << "recurrent network";
+    }
+    const env::EnvState env;
+    const platform::Device &device = sim.localDevice();
+    // CPU INT8 vs FP32 at the same step.
+    for (std::size_t vf = 0; vf < device.cpu().numVfSteps(); vf += 4) {
+        const Outcome fp32 = sim.expected(
+            net,
+            ExecutionTarget{TargetPlace::Local,
+                            platform::ProcKind::MobileCpu, vf,
+                            dnn::Precision::FP32},
+            env);
+        const Outcome int8 = sim.expected(
+            net,
+            ExecutionTarget{TargetPlace::Local,
+                            platform::ProcKind::MobileCpu, vf,
+                            dnn::Precision::INT8},
+            env);
+        EXPECT_LT(int8.latencyMs, fp32.latencyMs) << "vf " << vf;
+        EXPECT_LT(int8.energyJ, fp32.energyJ) << "vf " << vf;
+    }
+}
+
+TEST_P(SimProperties, PartitionTransferShrinksWithDepth)
+{
+    const InferenceSimulator sim = makeSim();
+    const dnn::Network &net = network();
+    if (!net.supportedOnCoProcessors() && net.numRc() > 0) {
+        GTEST_SKIP() << "recurrent network";
+    }
+    const env::EnvState env;
+    double previous_tx = 1e300;
+    // Activation footprints decay with depth, so uplink time at the
+    // split shrinks monotonically across quartile split points.
+    for (double fraction : {0.25, 0.5, 0.75}) {
+        PartitionSpec spec;
+        spec.splitLayer = static_cast<std::size_t>(
+            fraction * static_cast<double>(net.layers().size()));
+        if (spec.splitLayer == 0) {
+            continue;
+        }
+        spec.localProc = platform::ProcKind::MobileCpu;
+        spec.vfIndex = sim.localDevice().cpu().maxVfIndex();
+        const Outcome o = sim.expectedPartitioned(net, spec, env);
+        ASSERT_TRUE(o.feasible);
+        EXPECT_LT(o.txMs, previous_tx) << fraction;
+        previous_tx = o.txMs;
+    }
+}
+
+std::vector<Combo>
+allCombos()
+{
+    std::vector<Combo> combos;
+    for (const std::string &phone : platform::phoneNames()) {
+        for (const auto &net : dnn::modelZoo()) {
+            combos.emplace_back(phone, net.name());
+        }
+    }
+    return combos;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDevicesAllNetworks, SimProperties, ::testing::ValuesIn(allCombos()),
+    [](const ::testing::TestParamInfo<Combo> &info) {
+        std::string name = std::get<0>(info.param) + "_"
+            + std::get<1>(info.param);
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c))) {
+                c = '_';
+            }
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace autoscale::sim

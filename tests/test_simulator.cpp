@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Tests for the edge-cloud inference simulator: feasibility rules,
+ * deterministic expected outcomes, measurement noise statistics (the
+ * Renergy estimator's ~7.3% MAPE), environmental effects, and
+ * partitioned execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/model_zoo.h"
+#include "platform/device_zoo.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace autoscale::sim {
+namespace {
+
+InferenceSimulator
+mi8Sim()
+{
+    return InferenceSimulator::makeDefault(platform::makeMi8Pro());
+}
+
+ExecutionTarget
+localTarget(const InferenceSimulator &sim, platform::ProcKind proc,
+            dnn::Precision precision)
+{
+    const platform::Processor *p = sim.localDevice().processor(proc);
+    return ExecutionTarget{TargetPlace::Local, proc,
+                           p != nullptr ? p->maxVfIndex() : 0, precision};
+}
+
+ExecutionTarget
+cloudGpuTarget(const InferenceSimulator &sim)
+{
+    return ExecutionTarget{TargetPlace::Cloud, platform::ProcKind::ServerGpu,
+                           sim.cloudDevice().gpu().maxVfIndex(),
+                           dnn::Precision::FP32};
+}
+
+TEST(Feasibility, LocalProcessorsAndPrecisions)
+{
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network net = dnn::makeInceptionV1();
+    EXPECT_TRUE(sim.isFeasible(
+        net, localTarget(sim, platform::ProcKind::MobileCpu,
+                         dnn::Precision::FP32)));
+    EXPECT_TRUE(sim.isFeasible(
+        net, localTarget(sim, platform::ProcKind::MobileDsp,
+                         dnn::Precision::INT8)));
+    // FP16 on CPU unsupported.
+    EXPECT_FALSE(sim.isFeasible(
+        net, localTarget(sim, platform::ProcKind::MobileCpu,
+                         dnn::Precision::FP16)));
+    // DSP is INT8-only.
+    EXPECT_FALSE(sim.isFeasible(
+        net, localTarget(sim, platform::ProcKind::MobileDsp,
+                         dnn::Precision::FP32)));
+}
+
+TEST(Feasibility, MissingProcessorRejected)
+{
+    const InferenceSimulator sim =
+        InferenceSimulator::makeDefault(platform::makeGalaxyS10e());
+    const dnn::Network net = dnn::makeInceptionV1();
+    EXPECT_FALSE(sim.isFeasible(
+        net, localTarget(sim, platform::ProcKind::MobileDsp,
+                         dnn::Precision::INT8)));
+}
+
+TEST(Feasibility, MobileBertCannotUseCoProcessors)
+{
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network bert = dnn::makeMobileBert();
+    EXPECT_FALSE(sim.isFeasible(
+        bert, localTarget(sim, platform::ProcKind::MobileGpu,
+                          dnn::Precision::FP16)));
+    EXPECT_FALSE(sim.isFeasible(
+        bert, localTarget(sim, platform::ProcKind::MobileDsp,
+                          dnn::Precision::INT8)));
+    EXPECT_TRUE(sim.isFeasible(
+        bert, localTarget(sim, platform::ProcKind::MobileCpu,
+                          dnn::Precision::FP32)));
+    EXPECT_TRUE(sim.isFeasible(bert, cloudGpuTarget(sim)));
+    // Connected-edge co-processors are equally off limits.
+    ExecutionTarget conn_dsp{TargetPlace::ConnectedEdge,
+                             platform::ProcKind::MobileDsp, 0,
+                             dnn::Precision::INT8};
+    EXPECT_FALSE(sim.isFeasible(bert, conn_dsp));
+}
+
+TEST(Feasibility, PlaceAndKindMustAgree)
+{
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network net = dnn::makeMobileNetV1();
+    // Server processor named for a local place.
+    ExecutionTarget bad{TargetPlace::Local, platform::ProcKind::ServerGpu,
+                        0, dnn::Precision::FP32};
+    EXPECT_FALSE(sim.isFeasible(net, bad));
+    // Mobile processor named for the cloud place.
+    ExecutionTarget bad2{TargetPlace::Cloud, platform::ProcKind::MobileCpu,
+                         0, dnn::Precision::FP32};
+    EXPECT_FALSE(sim.isFeasible(net, bad2));
+    // Out-of-range V/F index.
+    ExecutionTarget bad3 = localTarget(sim, platform::ProcKind::MobileCpu,
+                                       dnn::Precision::FP32);
+    bad3.vfIndex = 99;
+    EXPECT_FALSE(sim.isFeasible(net, bad3));
+}
+
+TEST(Expected, IsDeterministic)
+{
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network net = dnn::makeResNet50();
+    const env::EnvState env;
+    const ExecutionTarget target =
+        localTarget(sim, platform::ProcKind::MobileGpu,
+                    dnn::Precision::FP16);
+    const Outcome a = sim.expected(net, target, env);
+    const Outcome b = sim.expected(net, target, env);
+    EXPECT_DOUBLE_EQ(a.latencyMs, b.latencyMs);
+    EXPECT_DOUBLE_EQ(a.energyJ, b.energyJ);
+    EXPECT_DOUBLE_EQ(a.energyJ, a.estimatedEnergyJ);
+}
+
+TEST(Expected, InfeasibleOutcomeIsMarked)
+{
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network bert = dnn::makeMobileBert();
+    const Outcome outcome = sim.expected(
+        bert, localTarget(sim, platform::ProcKind::MobileDsp,
+                          dnn::Precision::INT8),
+        env::EnvState{});
+    EXPECT_FALSE(outcome.feasible);
+    EXPECT_DOUBLE_EQ(outcome.accuracyPct, 0.0);
+}
+
+TEST(Measurement, NoiseCentersOnExpectation)
+{
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network net = dnn::makeMobileNetV2();
+    const env::EnvState env;
+    const ExecutionTarget target =
+        localTarget(sim, platform::ProcKind::MobileCpu,
+                    dnn::Precision::FP32);
+    const Outcome expected = sim.expected(net, target, env);
+
+    Rng rng(99);
+    OnlineStats latency;
+    OnlineStats energy;
+    for (int i = 0; i < 5000; ++i) {
+        const Outcome o = sim.run(net, target, env, rng);
+        latency.add(o.latencyMs);
+        energy.add(o.energyJ);
+    }
+    EXPECT_NEAR(latency.mean(), expected.latencyMs,
+                expected.latencyMs * 0.01);
+    EXPECT_NEAR(energy.mean(), expected.energyJ, expected.energyJ * 0.02);
+    EXPECT_GT(latency.stddev(), 0.0);
+}
+
+TEST(Measurement, EnergyEstimatorMapeNearPaperValue)
+{
+    // Section IV-A: the Renergy estimator has a 7.3% MAPE against the
+    // measured energy.
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network net = dnn::makeInceptionV1();
+    const env::EnvState env;
+    const ExecutionTarget target =
+        localTarget(sim, platform::ProcKind::MobileDsp,
+                    dnn::Precision::INT8);
+    Rng rng(7);
+    std::vector<double> estimated;
+    std::vector<double> measured;
+    for (int i = 0; i < 20000; ++i) {
+        const Outcome o = sim.run(net, target, env, rng);
+        estimated.push_back(o.estimatedEnergyJ);
+        measured.push_back(o.energyJ);
+    }
+    EXPECT_NEAR(mape(estimated, measured), 7.3, 1.0);
+}
+
+TEST(LocalExecution, DvfsTradesLatencyForPower)
+{
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network net = dnn::makeInceptionV1();
+    const env::EnvState env;
+    ExecutionTarget low{TargetPlace::Local, platform::ProcKind::MobileCpu,
+                        0, dnn::Precision::FP32};
+    ExecutionTarget high{TargetPlace::Local, platform::ProcKind::MobileCpu,
+                         sim.localDevice().cpu().maxVfIndex(),
+                         dnn::Precision::FP32};
+    const Outcome slow = sim.expected(net, low, env);
+    const Outcome fast = sim.expected(net, high, env);
+    EXPECT_GT(slow.latencyMs, fast.latencyMs);
+    // Average power must be lower at the bottom step.
+    EXPECT_LT(slow.energyJ / slow.latencyMs, fast.energyJ / fast.latencyMs);
+}
+
+TEST(LocalExecution, InterferenceSlowsLocalButNotCloud)
+{
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network net = dnn::makeMobileNetV3();
+    env::EnvState clean;
+    env::EnvState hog;
+    hog.coCpuUtil = 0.85;
+    hog.coMemUtil = 0.1;
+    hog.thermalFactor = 0.85;
+
+    const ExecutionTarget cpu =
+        localTarget(sim, platform::ProcKind::MobileCpu,
+                    dnn::Precision::FP32);
+    EXPECT_GT(sim.expected(net, cpu, hog).latencyMs,
+              1.5 * sim.expected(net, cpu, clean).latencyMs);
+
+    const ExecutionTarget cloud = cloudGpuTarget(sim);
+    EXPECT_NEAR(sim.expected(net, cloud, hog).latencyMs,
+                sim.expected(net, cloud, clean).latencyMs, 1e-9);
+}
+
+TEST(RemoteExecution, WeakSignalHurtsTheRightLink)
+{
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network net = dnn::makeResNet50();
+    env::EnvState weak_wlan;
+    weak_wlan.rssiWlanDbm = -85.0;
+    env::EnvState clean;
+
+    const ExecutionTarget cloud = cloudGpuTarget(sim);
+    EXPECT_GT(sim.expected(net, cloud, weak_wlan).latencyMs,
+              1.5 * sim.expected(net, cloud, clean).latencyMs);
+    EXPECT_GT(sim.expected(net, cloud, weak_wlan).energyJ,
+              1.5 * sim.expected(net, cloud, clean).energyJ);
+
+    // The P2P link is unaffected by WLAN weakness.
+    ExecutionTarget conn{TargetPlace::ConnectedEdge,
+                         platform::ProcKind::MobileDsp, 0,
+                         dnn::Precision::INT8};
+    EXPECT_NEAR(sim.expected(net, conn, weak_wlan).latencyMs,
+                sim.expected(net, conn, clean).latencyMs, 1e-9);
+}
+
+TEST(RemoteExecution, TransferBreakdownIsConsistent)
+{
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network net = dnn::makeInceptionV3();
+    const Outcome o =
+        sim.expected(net, cloudGpuTarget(sim), env::EnvState{});
+    EXPECT_GT(o.txMs, 0.0);
+    EXPECT_GT(o.rxMs, 0.0);
+    EXPECT_GT(o.computeMs, 0.0);
+    EXPECT_GT(o.latencyMs, o.txMs + o.rxMs + o.computeMs);
+    // Uplink (image) outweighs downlink (labels).
+    EXPECT_GT(o.txMs, o.rxMs);
+}
+
+TEST(RemoteExecution, HeavyNetworksFavorCloud)
+{
+    // The Fig. 2 motivation: MobileBERT runs far more efficiently in
+    // the cloud than on the mobile CPU.
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network bert = dnn::makeMobileBert();
+    const env::EnvState env;
+    const Outcome cpu = sim.expected(
+        bert,
+        localTarget(sim, platform::ProcKind::MobileCpu,
+                    dnn::Precision::FP32),
+        env);
+    const Outcome cloud = sim.expected(bert, cloudGpuTarget(sim), env);
+    EXPECT_LT(cloud.latencyMs, 100.0); // meets the translation QoS
+    EXPECT_GT(cpu.latencyMs, 100.0);   // CPU cannot
+    EXPECT_GT(cpu.energyJ, 10.0 * cloud.energyJ);
+}
+
+TEST(LightNetworks, FavorLocalExecution)
+{
+    // Fig. 2: light NNs are more efficient at the edge on high-end
+    // devices.
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network net = dnn::makeMobileNetV1();
+    const env::EnvState env;
+    const Outcome dsp = sim.expected(
+        net,
+        localTarget(sim, platform::ProcKind::MobileDsp,
+                    dnn::Precision::INT8),
+        env);
+    const Outcome cloud = sim.expected(net, cloudGpuTarget(sim), env);
+    EXPECT_LT(dsp.energyJ, cloud.energyJ);
+    EXPECT_LT(dsp.latencyMs, 50.0);
+}
+
+TEST(Partitioned, DegenerateSplitsMatchWholeModelPaths)
+{
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network net = dnn::makeMobileNetV2();
+    const env::EnvState env;
+
+    PartitionSpec all_local;
+    all_local.splitLayer = net.layers().size();
+    all_local.localProc = platform::ProcKind::MobileCpu;
+    all_local.vfIndex = sim.localDevice().cpu().maxVfIndex();
+    all_local.localPrecision = dnn::Precision::FP32;
+    const Outcome local = sim.expectedPartitioned(net, all_local, env);
+    const Outcome direct = sim.expected(
+        net,
+        localTarget(sim, platform::ProcKind::MobileCpu,
+                    dnn::Precision::FP32),
+        env);
+    EXPECT_NEAR(local.latencyMs, direct.latencyMs, 1e-9);
+    EXPECT_NEAR(local.energyJ, direct.energyJ, 1e-12);
+
+    PartitionSpec all_remote;
+    all_remote.splitLayer = 0;
+    all_remote.remotePlace = TargetPlace::Cloud;
+    const Outcome remote = sim.expectedPartitioned(net, all_remote, env);
+    const Outcome cloud = sim.expected(net, cloudGpuTarget(sim), env);
+    EXPECT_NEAR(remote.latencyMs, cloud.latencyMs, 1e-9);
+}
+
+TEST(Partitioned, MidSplitShipsIntermediateActivations)
+{
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network net = dnn::makeInceptionV1();
+    const env::EnvState env;
+
+    PartitionSpec spec;
+    spec.splitLayer = net.layers().size() / 2;
+    spec.localProc = platform::ProcKind::MobileCpu;
+    spec.vfIndex = sim.localDevice().cpu().maxVfIndex();
+    spec.remotePlace = TargetPlace::Cloud;
+    const Outcome o = sim.expectedPartitioned(net, spec, env);
+    ASSERT_TRUE(o.feasible);
+    EXPECT_GT(o.txMs, 0.0);
+    EXPECT_GT(o.computeMs, 0.0);
+    EXPECT_GT(o.latencyMs, o.computeMs);
+}
+
+TEST(Partitioned, LateSplitsShipLessData)
+{
+    // Activations shrink with depth, so later split points transmit
+    // less (the NeuroSurgeon insight).
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network net = dnn::makeResNet50();
+    const env::EnvState env;
+    PartitionSpec early;
+    early.splitLayer = 2;
+    early.localProc = platform::ProcKind::MobileCpu;
+    early.vfIndex = sim.localDevice().cpu().maxVfIndex();
+    PartitionSpec late = early;
+    late.splitLayer = net.layers().size() - 3;
+    const Outcome o_early = sim.expectedPartitioned(net, early, env);
+    const Outcome o_late = sim.expectedPartitioned(net, late, env);
+    EXPECT_GT(o_early.txMs, o_late.txMs);
+}
+
+TEST(Partitioned, InfeasibleLocalCoProcessorForBert)
+{
+    const InferenceSimulator sim = mi8Sim();
+    const dnn::Network bert = dnn::makeMobileBert();
+    PartitionSpec spec;
+    spec.splitLayer = 5;
+    spec.localProc = platform::ProcKind::MobileDsp;
+    spec.localPrecision = dnn::Precision::INT8;
+    const Outcome o = sim.expectedPartitioned(bert, spec, env::EnvState{});
+    EXPECT_FALSE(o.feasible);
+}
+
+TEST(Outcome, PpwIsInverseEnergy)
+{
+    Outcome o;
+    o.energyJ = 0.05;
+    EXPECT_DOUBLE_EQ(o.ppw(), 20.0);
+    Outcome zero;
+    EXPECT_DOUBLE_EQ(zero.ppw(), 0.0);
+}
+
+TEST(Simulator, DeviceAtMapsPlaces)
+{
+    const InferenceSimulator sim = mi8Sim();
+    EXPECT_EQ(sim.deviceAt(TargetPlace::Local).name(), "Mi8Pro");
+    EXPECT_EQ(sim.deviceAt(TargetPlace::ConnectedEdge).name(),
+              "Galaxy Tab S6");
+    EXPECT_EQ(sim.deviceAt(TargetPlace::Cloud).name(), "Cloud Server");
+}
+
+} // namespace
+} // namespace autoscale::sim

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the Table I state encoding: bin boundaries, the 3,072-state
+ * space, dense encoding, and the ablation (feature-disabling) support.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/state.h"
+#include "dnn/model_zoo.h"
+
+namespace autoscale::core {
+namespace {
+
+StateFeatures
+baseFeatures()
+{
+    StateFeatures f;
+    f.convLayers = 10;
+    f.fcLayers = 1;
+    f.rcLayers = 0;
+    f.macsMillions = 500.0;
+    f.coCpuUtil = 0.0;
+    f.coMemUtil = 0.0;
+    f.rssiWlanDbm = -55.0;
+    f.rssiP2pDbm = -55.0;
+    return f;
+}
+
+TEST(StateSpace, HasExactly3072States)
+{
+    // 4 * 2 * 2 * 3 * 4 * 4 * 2 * 2 = 3,072 (Section V-A footnote 8).
+    StateEncoder encoder;
+    EXPECT_EQ(encoder.numStates(), 3072);
+}
+
+TEST(StateSpace, FeatureCardinalitiesMatchTableI)
+{
+    EXPECT_EQ(featureCardinality(Feature::Conv), 4);
+    EXPECT_EQ(featureCardinality(Feature::Fc), 2);
+    EXPECT_EQ(featureCardinality(Feature::Rc), 2);
+    EXPECT_EQ(featureCardinality(Feature::Mac), 3);
+    EXPECT_EQ(featureCardinality(Feature::CoCpu), 4);
+    EXPECT_EQ(featureCardinality(Feature::CoMem), 4);
+    EXPECT_EQ(featureCardinality(Feature::RssiW), 2);
+    EXPECT_EQ(featureCardinality(Feature::RssiP), 2);
+}
+
+TEST(StateSpace, FeatureNames)
+{
+    EXPECT_STREQ(featureName(Feature::Conv), "S_CONV");
+    EXPECT_STREQ(featureName(Feature::CoMem), "S_Co_MEM");
+    EXPECT_STREQ(featureName(Feature::RssiP), "S_RSSI_P");
+}
+
+// Conv bins: small (<30), medium (<50), large (<90), larger (>=90).
+using BinCase = std::tuple<int, int>;
+
+class ConvBins : public ::testing::TestWithParam<BinCase> {};
+
+TEST_P(ConvBins, TableIBoundaries)
+{
+    const auto &[layers, expected_bin] = GetParam();
+    StateFeatures f = baseFeatures();
+    f.convLayers = layers;
+    EXPECT_EQ(featureBin(Feature::Conv, f), expected_bin);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, ConvBins,
+    ::testing::Values(BinCase{0, 0}, BinCase{29, 0}, BinCase{30, 1},
+                      BinCase{49, 1}, BinCase{50, 2}, BinCase{89, 2},
+                      BinCase{90, 3}, BinCase{200, 3}));
+
+class MacBins : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(MacBins, TableIBoundaries)
+{
+    const auto &[macs, expected_bin] = GetParam();
+    StateFeatures f = baseFeatures();
+    f.macsMillions = macs;
+    EXPECT_EQ(featureBin(Feature::Mac, f), expected_bin);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, MacBins,
+    ::testing::Values(std::tuple<double, int>{100.0, 0},
+                      std::tuple<double, int>{999.0, 0},
+                      std::tuple<double, int>{1000.0, 1},
+                      std::tuple<double, int>{1999.0, 1},
+                      std::tuple<double, int>{2000.0, 2},
+                      std::tuple<double, int>{9000.0, 2}));
+
+class UtilBins : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(UtilBins, TableIBoundaries)
+{
+    const auto &[util, expected_bin] = GetParam();
+    StateFeatures f = baseFeatures();
+    f.coCpuUtil = util;
+    f.coMemUtil = util;
+    EXPECT_EQ(featureBin(Feature::CoCpu, f), expected_bin);
+    EXPECT_EQ(featureBin(Feature::CoMem, f), expected_bin);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, UtilBins,
+    ::testing::Values(std::tuple<double, int>{0.0, 0},
+                      std::tuple<double, int>{0.1, 1},
+                      std::tuple<double, int>{0.24, 1},
+                      std::tuple<double, int>{0.25, 2},
+                      std::tuple<double, int>{0.74, 2},
+                      std::tuple<double, int>{0.75, 3},
+                      std::tuple<double, int>{1.0, 3}));
+
+TEST(StateBins, FcRcAndRssiBoundaries)
+{
+    StateFeatures f = baseFeatures();
+    f.fcLayers = 9;
+    EXPECT_EQ(featureBin(Feature::Fc, f), 0);
+    f.fcLayers = 10;
+    EXPECT_EQ(featureBin(Feature::Fc, f), 1);
+    f.rcLayers = 9;
+    EXPECT_EQ(featureBin(Feature::Rc, f), 0);
+    f.rcLayers = 24;
+    EXPECT_EQ(featureBin(Feature::Rc, f), 1);
+
+    f.rssiWlanDbm = -79.9; // regular (> -80)
+    EXPECT_EQ(featureBin(Feature::RssiW, f), 0);
+    f.rssiWlanDbm = -80.0; // weak (<= -80)
+    EXPECT_EQ(featureBin(Feature::RssiW, f), 1);
+    f.rssiP2pDbm = -85.0;
+    EXPECT_EQ(featureBin(Feature::RssiP, f), 1);
+}
+
+TEST(StateEncoder, EncodeIsWithinRangeAndInjectiveOverBins)
+{
+    StateEncoder encoder;
+    std::set<StateId> ids;
+    // Enumerate one representative per bin combination and confirm all
+    // 3,072 ids are distinct and in range.
+    const int conv_values[] = {0, 35, 60, 120};
+    const int fc_values[] = {1, 15};
+    const int rc_values[] = {0, 20};
+    const double mac_values[] = {500.0, 1500.0, 4000.0};
+    const double util_values[] = {0.0, 0.1, 0.5, 0.9};
+    const double rssi_values[] = {-55.0, -85.0};
+    for (int conv : conv_values) {
+        for (int fc : fc_values) {
+            for (int rc : rc_values) {
+                for (double mac : mac_values) {
+                    for (double cu : util_values) {
+                        for (double mu : util_values) {
+                            for (double rw : rssi_values) {
+                                for (double rp : rssi_values) {
+                                    StateFeatures f;
+                                    f.convLayers = conv;
+                                    f.fcLayers = fc;
+                                    f.rcLayers = rc;
+                                    f.macsMillions = mac;
+                                    f.coCpuUtil = cu;
+                                    f.coMemUtil = mu;
+                                    f.rssiWlanDbm = rw;
+                                    f.rssiP2pDbm = rp;
+                                    const StateId id = encoder.encode(f);
+                                    EXPECT_GE(id, 0);
+                                    EXPECT_LT(id, 3072);
+                                    ids.insert(id);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    EXPECT_EQ(ids.size(), 3072u);
+}
+
+TEST(StateEncoder, DisablingFeaturesShrinksTheSpace)
+{
+    StateEncoder encoder;
+    encoder.disableFeature(Feature::Conv);
+    EXPECT_EQ(encoder.numStates(), 3072 / 4);
+    EXPECT_FALSE(encoder.isEnabled(Feature::Conv));
+    EXPECT_TRUE(encoder.isEnabled(Feature::Fc));
+
+    encoder.disableFeature(Feature::CoMem);
+    EXPECT_EQ(encoder.numStates(), 3072 / 4 / 4);
+}
+
+TEST(StateEncoder, DisabledFeatureDoesNotAffectEncoding)
+{
+    StateEncoder encoder;
+    encoder.disableFeature(Feature::RssiW);
+    StateFeatures a = baseFeatures();
+    StateFeatures b = baseFeatures();
+    b.rssiWlanDbm = -90.0;
+    EXPECT_EQ(encoder.encode(a), encoder.encode(b));
+
+    StateEncoder full;
+    EXPECT_NE(full.encode(a), full.encode(b));
+}
+
+TEST(StateEncoder, BinsReportPerFeature)
+{
+    StateEncoder encoder;
+    StateFeatures f = baseFeatures();
+    f.convLayers = 60;
+    f.coMemUtil = 0.8;
+    const auto bins = encoder.bins(f);
+    EXPECT_EQ(bins[static_cast<int>(Feature::Conv)], 2);
+    EXPECT_EQ(bins[static_cast<int>(Feature::CoMem)], 3);
+    EXPECT_EQ(bins[static_cast<int>(Feature::RssiW)], 0);
+}
+
+TEST(StateFeatures, BuiltFromNetworkAndEnvironment)
+{
+    const dnn::Network net = dnn::makeMobileNetV3();
+    env::EnvState env;
+    env.coCpuUtil = 0.4;
+    env.rssiWlanDbm = -82.0;
+    const StateFeatures f = makeStateFeatures(net, env);
+    EXPECT_EQ(f.convLayers, 23);
+    EXPECT_EQ(f.fcLayers, 20);
+    EXPECT_EQ(f.rcLayers, 0);
+    EXPECT_NEAR(f.macsMillions, net.totalMacsMillions(), 1e-9);
+    EXPECT_DOUBLE_EQ(f.coCpuUtil, 0.4);
+    EXPECT_DOUBLE_EQ(f.rssiWlanDbm, -82.0);
+}
+
+TEST(StateFeatures, ZooNetworksCoverMultipleStateBins)
+{
+    // The ten workloads must spread across CONV/FC/RC/MAC bins so the
+    // leave-one-out protocol generalizes.
+    StateEncoder encoder;
+    std::set<StateId> ids;
+    for (const auto &net : dnn::modelZoo()) {
+        ids.insert(encoder.encode(makeStateFeatures(net, env::EnvState{})));
+    }
+    EXPECT_GE(ids.size(), 5u);
+}
+
+} // namespace
+} // namespace autoscale::core

@@ -1,0 +1,88 @@
+/** @file Unit tests for statistics helpers (util/stats.h). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace autoscale {
+namespace {
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, StddevSample)
+{
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, GeomeanKnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-12);
+}
+
+TEST(Stats, PercentileInterpolation)
+{
+    std::vector<double> values{4.0, 1.0, 3.0, 2.0}; // unsorted on purpose
+    EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(values, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(values, 50.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 75.0), 42.0);
+}
+
+TEST(Stats, MapeKnownError)
+{
+    EXPECT_DOUBLE_EQ(mape({}, {}), 0.0);
+    // 10% and 20% errors -> 15% MAPE.
+    EXPECT_NEAR(mape({110.0, 80.0}, {100.0, 100.0}), 15.0, 1e-12);
+}
+
+TEST(Stats, CorrelationExtremes)
+{
+    const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> up{2.0, 4.0, 6.0, 8.0};
+    const std::vector<double> down{8.0, 6.0, 4.0, 2.0};
+    const std::vector<double> flat{5.0, 5.0, 5.0, 5.0};
+    EXPECT_NEAR(correlation(x, up), 1.0, 1e-12);
+    EXPECT_NEAR(correlation(x, down), -1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(correlation(x, flat), 0.0);
+}
+
+TEST(OnlineStats, MatchesBatchStatistics)
+{
+    const std::vector<double> values{3.0, -1.0, 4.0, 1.0, 5.0, 9.0, 2.0};
+    OnlineStats stats;
+    for (double v : values) {
+        stats.add(v);
+    }
+    EXPECT_EQ(stats.count(), values.size());
+    EXPECT_NEAR(stats.mean(), mean(values), 1e-12);
+    EXPECT_NEAR(stats.stddev(), stddev(values), 1e-12);
+    EXPECT_DOUBLE_EQ(stats.min(), -1.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 23.0);
+}
+
+TEST(OnlineStats, EmptyAndSingle)
+{
+    OnlineStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    stats.add(7.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 7.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 7.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 7.0);
+}
+
+} // namespace
+} // namespace autoscale

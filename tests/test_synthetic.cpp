@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator: spec-to-network fidelity,
+ * accuracy registration, random-spec coverage of the Table I ranges,
+ * and schedulability of networks the zoo never contained.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/oracle.h"
+#include "core/state.h"
+#include "dnn/accuracy.h"
+#include "dnn/synthetic.h"
+#include "platform/device_zoo.h"
+#include "sim/simulator.h"
+
+namespace autoscale::dnn {
+namespace {
+
+TEST(Synthetic, BuildsTheRequestedComposition)
+{
+    SyntheticSpec spec;
+    spec.name = "synthetic-test-comp";
+    spec.convLayers = 40;
+    spec.fcLayers = 3;
+    spec.rcLayers = 0;
+    spec.totalMacsM = 800.0;
+    spec.totalParamsM = 6.0;
+    const Network net = synthesizeNetwork(spec);
+    EXPECT_EQ(net.numConv(), 40);
+    EXPECT_EQ(net.numFc(), 3);
+    EXPECT_EQ(net.numRc(), 0);
+    EXPECT_NEAR(net.totalMacsMillions(), 800.0, 80.0);
+    EXPECT_NEAR(static_cast<double>(net.totalParamBytes()) / 4e6, 6.0,
+                0.9);
+}
+
+TEST(Synthetic, RegistersAnAccuracyRow)
+{
+    SyntheticSpec spec;
+    spec.name = "synthetic-test-acc";
+    spec.convLayers = 10;
+    spec.accuracyFp32 = 71.5;
+    spec.int8Penalty = 10.0;
+    synthesizeNetwork(spec);
+    ASSERT_TRUE(hasAccuracyEntry(spec.name));
+    EXPECT_DOUBLE_EQ(inferenceAccuracy(spec.name, Precision::FP32), 71.5);
+    EXPECT_DOUBLE_EQ(inferenceAccuracy(spec.name, Precision::INT8), 61.5);
+}
+
+TEST(Synthetic, CannotShadowCanonicalEntries)
+{
+    // Building a zoo-named spec must not clobber the Table III row.
+    SyntheticSpec spec;
+    spec.name = "MobileNet v3";
+    spec.convLayers = 23;
+    spec.fcLayers = 20;
+    spec.accuracyFp32 = 10.0; // wrong on purpose
+    synthesizeNetwork(spec);
+    EXPECT_DOUBLE_EQ(inferenceAccuracy("MobileNet v3", Precision::FP32),
+                     75.2);
+}
+
+TEST(Synthetic, RecurrentNetworksBlockCoProcessors)
+{
+    SyntheticSpec spec;
+    spec.name = "synthetic-test-rc";
+    spec.convLayers = 0;
+    spec.fcLayers = 1;
+    spec.rcLayers = 12;
+    const Network net = synthesizeNetwork(spec);
+    EXPECT_FALSE(net.supportedOnCoProcessors());
+}
+
+TEST(Synthetic, RandomSpecsCoverTheStateSpaceBroadly)
+{
+    Rng rng(31);
+    core::StateEncoder encoder;
+    std::set<core::StateId> states;
+    int recurrent = 0;
+    int fc_heavy = 0;
+    for (int i = 0; i < 200; ++i) {
+        const SyntheticSpec spec = randomSpec(rng);
+        EXPECT_GE(spec.totalMacsM, 100.0);
+        EXPECT_LE(spec.totalMacsM, 6000.0);
+        const Network net = synthesizeNetwork(spec);
+        states.insert(
+            encoder.encode(core::makeStateFeatures(net, env::EnvState{})));
+        if (net.numRc() >= 10) {
+            ++recurrent;
+        }
+        if (net.numFc() >= 10) {
+            ++fc_heavy;
+        }
+    }
+    // Many more NN-feature bins than the ten-network zoo reaches.
+    EXPECT_GE(states.size(), 15u);
+    EXPECT_GT(recurrent, 5);
+    EXPECT_GT(fc_heavy, 15);
+}
+
+TEST(Synthetic, NamesAreUnique)
+{
+    Rng rng(33);
+    std::set<std::string> names;
+    for (int i = 0; i < 50; ++i) {
+        names.insert(randomSpec(rng).name);
+    }
+    EXPECT_EQ(names.size(), 50u);
+}
+
+TEST(Synthetic, OracleSchedulesUnseenNetworks)
+{
+    // Every synthesized network must be schedulable end to end.
+    const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    baselines::OptOracle oracle(sim);
+    Rng rng(35);
+    for (int i = 0; i < 20; ++i) {
+        const Network net = synthesizeNetwork(randomSpec(rng));
+        const sim::InferenceRequest request = sim::makeRequest(net);
+        const sim::Outcome o =
+            oracle.optimalOutcome(request, env::EnvState{});
+        ASSERT_TRUE(o.feasible) << net.name();
+        EXPECT_GE(o.accuracyPct, request.accuracyTargetPct) << net.name();
+    }
+}
+
+} // namespace
+} // namespace autoscale::dnn

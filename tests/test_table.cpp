@@ -1,0 +1,62 @@
+/** @file Unit tests for the table/CSV reporting helper (util/table.h). */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace autoscale {
+namespace {
+
+TEST(Table, FormattersProduceExpectedStrings)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.0, 0), "3");
+    EXPECT_EQ(Table::times(9.81, 1), "9.8x");
+    EXPECT_EQ(Table::pct(0.032, 1), "3.2%");
+    EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, PrintsAlignedColumns)
+{
+    Table table({"Name", "Value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22"});
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutputIsCommaSeparated)
+{
+    Table table({"a", "b"});
+    table.addRow({"1", "2"});
+    std::ostringstream oss;
+    table.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowCountTracksAdds)
+{
+    Table table({"x"});
+    EXPECT_EQ(table.rowCount(), 0u);
+    table.addRow({"1"});
+    table.addRow({"2"});
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(Table, BannerContainsTitle)
+{
+    std::ostringstream oss;
+    printBanner(oss, "Fig. 9");
+    EXPECT_NE(oss.str().find("=== Fig. 9 ==="), std::string::npos);
+}
+
+} // namespace
+} // namespace autoscale

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Command-line front-end to the AutoScale library. Lets a user explore
+ * the edge-cloud decision problem without writing code:
+ *
+ *   autoscale_cli devices
+ *   autoscale_cli workloads
+ *   autoscale_cli characterize --device Mi8Pro
+ *   autoscale_cli decide --device Mi8Pro --network "MobileNet v3" \
+ *       --co-cpu 0.8 --rssi-wlan -85
+ *   autoscale_cli train --device Mi8Pro --scenarios S1,S2,D3 \
+ *       --runs 400 --out qtable.txt
+ *   autoscale_cli evaluate --device Mi8Pro --qtable qtable.txt \
+ *       --scenarios S1,S4 --csv
+ */
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/fixed.h"
+#include "baselines/oracle.h"
+#include "core/scheduler.h"
+#include "dnn/model_zoo.h"
+#include "harness/experiment.h"
+#include "platform/device_zoo.h"
+#include "sim/simulator.h"
+#include "util/args.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace autoscale;
+
+env::EnvState
+envFromArgs(const Args &args)
+{
+    env::EnvState env;
+    env.coCpuUtil = args.getDouble("--co-cpu", 0.0);
+    env.coMemUtil = args.getDouble("--co-mem", 0.0);
+    env.rssiWlanDbm = args.getDouble("--rssi-wlan", -55.0);
+    env.rssiP2pDbm = args.getDouble("--rssi-p2p", -55.0);
+    return env;
+}
+
+std::vector<env::ScenarioId>
+scenariosFromArgs(const Args &args)
+{
+    const std::string spec = args.get("--scenarios", "S1,S2,S3,S4,S5");
+    std::map<std::string, env::ScenarioId> by_name;
+    for (const env::ScenarioId id : env::allScenarios()) {
+        by_name.emplace(env::scenarioName(id), id);
+    }
+    std::vector<env::ScenarioId> ids;
+    std::stringstream stream(spec);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+        const auto it = by_name.find(token);
+        if (it == by_name.end()) {
+            fatal("unknown scenario '" + token + "' (use S1-S5, D1-D4)");
+        }
+        ids.push_back(it->second);
+    }
+    if (ids.empty()) {
+        fatal("--scenarios parsed to an empty list");
+    }
+    return ids;
+}
+
+sim::InferenceSimulator
+simFromArgs(const Args &args)
+{
+    const std::string device = args.get("--device", "Mi8Pro");
+    return sim::InferenceSimulator::makeDefault(
+        platform::makePhone(device));
+}
+
+int
+cmdDevices()
+{
+    Table table({"Device", "Tier", "Processors", "Actions"});
+    for (const std::string &name : platform::phoneNames()) {
+        const sim::InferenceSimulator sim =
+            sim::InferenceSimulator::makeDefault(platform::makePhone(name));
+        std::string procs;
+        for (const platform::Processor *proc :
+             sim.localDevice().processors()) {
+            if (!procs.empty()) {
+                procs += ", ";
+            }
+            procs += proc->name();
+        }
+        table.addRow({name,
+                      platform::deviceTierName(sim.localDevice().tier()),
+                      procs,
+                      std::to_string(core::buildActionSpace(sim).size())});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdWorkloads()
+{
+    Table table({"Network", "Task", "CONV", "FC", "RC", "MACs (M)",
+                 "QoS (ms)"});
+    for (const auto &net : dnn::modelZoo()) {
+        const sim::InferenceRequest request = sim::makeRequest(net);
+        table.addRow({net.name(), dnn::taskName(net.task()),
+                      std::to_string(net.numConv()),
+                      std::to_string(net.numFc()),
+                      std::to_string(net.numRc()),
+                      Table::num(net.totalMacsMillions(), 0),
+                      Table::num(request.qosMs, 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdCharacterize(const Args &args)
+{
+    const sim::InferenceSimulator sim = simFromArgs(args);
+    const env::EnvState env = envFromArgs(args);
+    baselines::OptOracle oracle(sim);
+    std::cout << "Device: " << sim.localDevice().name() << "\n\n";
+    Table table({"Network", "Optimal target", "Latency (ms)",
+                 "Energy (mJ)", "PPW vs CPU FP32"});
+    for (const auto &net : dnn::modelZoo()) {
+        const sim::InferenceRequest request = sim::makeRequest(
+            net, args.getDouble("--accuracy", 50.0));
+        const sim::ExecutionTarget opt = oracle.optimalTarget(request, env);
+        const sim::Outcome o = sim.expected(net, opt, env);
+        const sim::ExecutionTarget cpu{
+            sim::TargetPlace::Local, platform::ProcKind::MobileCpu,
+            sim.localDevice().cpu().maxVfIndex(), dnn::Precision::FP32};
+        const sim::Outcome baseline = sim.expected(net, cpu, env);
+        table.addRow({net.name(), opt.label(),
+                      Table::num(o.latencyMs, 1),
+                      Table::num(o.energyJ * 1e3, 1),
+                      Table::times(baseline.energyJ / o.energyJ, 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdDecide(const Args &args)
+{
+    const sim::InferenceSimulator sim = simFromArgs(args);
+    const std::string network = args.get("--network", "MobileNet v3");
+    const dnn::Network &net = dnn::findModel(network);
+    const env::EnvState env = envFromArgs(args);
+    const sim::InferenceRequest request =
+        sim::makeRequest(net, args.getDouble("--accuracy", 50.0));
+
+    baselines::OptOracle oracle(sim);
+    std::cout << "Network: " << net.name() << " on "
+              << sim.localDevice().name() << ", QoS "
+              << Table::num(request.qosMs, 1) << " ms, accuracy target "
+              << Table::num(request.accuracyTargetPct, 0) << "%\n"
+              << "Environment: co-CPU "
+              << Table::pct(env.coCpuUtil) << ", co-mem "
+              << Table::pct(env.coMemUtil) << ", Wi-Fi "
+              << Table::num(env.rssiWlanDbm, 0) << " dBm, Wi-Fi Direct "
+              << Table::num(env.rssiP2pDbm, 0) << " dBm\n\n";
+
+    // Rank the whole action space by expected energy under constraints.
+    struct Row {
+        std::string label;
+        double latency;
+        double energy;
+        bool meets_qos;
+        bool meets_accuracy;
+    };
+    std::vector<Row> rows;
+    for (const auto &action : oracle.actions()) {
+        const sim::Outcome o = sim.expected(net, action, env);
+        if (!o.feasible) {
+            continue;
+        }
+        rows.push_back({action.label(), o.latencyMs, o.energyJ,
+                        o.latencyMs < request.qosMs,
+                        o.accuracyPct >= request.accuracyTargetPct});
+    }
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        const int ka = (a.meets_qos && a.meets_accuracy) ? 0 : 1;
+        const int kb = (b.meets_qos && b.meets_accuracy) ? 0 : 1;
+        return ka != kb ? ka < kb : a.energy < b.energy;
+    });
+
+    Table table({"Rank", "Target", "Latency (ms)", "Energy (mJ)",
+                 "QoS", "Accuracy"});
+    const int top = args.getInt("--top", 8);
+    for (int i = 0; i < top && i < static_cast<int>(rows.size()); ++i) {
+        const Row &row = rows[static_cast<std::size_t>(i)];
+        table.addRow({std::to_string(i + 1), row.label,
+                      Table::num(row.latency, 1),
+                      Table::num(row.energy * 1e3, 1),
+                      row.meets_qos ? "ok" : "VIOLATES",
+                      row.meets_accuracy ? "ok" : "FAILS"});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdTrain(const Args &args)
+{
+    const sim::InferenceSimulator sim = simFromArgs(args);
+    const std::vector<env::ScenarioId> scenarios = scenariosFromArgs(args);
+    const int runs = args.getInt("--runs", 400);
+    const auto seed = static_cast<std::uint64_t>(args.getInt("--seed", 1));
+
+    auto policy = harness::makeAutoScalePolicy(sim, seed);
+    Rng rng(seed ^ 0x7ea1ULL);
+    std::cout << "Training on " << sim.localDevice().name() << " across "
+              << scenarios.size() << " scenario(s), " << runs
+              << " runs per (network, scenario)...\n";
+    harness::trainPolicy(*policy, sim, harness::allZooNetworks(),
+                         scenarios, runs, rng);
+
+    const std::string out = args.get("--out", "qtable.txt");
+    std::ofstream file(out);
+    if (!file) {
+        fatal("cannot open '" + out + "' for writing");
+    }
+    policy->scheduler().saveQTable(file);
+    std::cout << "Q-table saved to " << out << " ("
+              << policy->scheduler().agent().table().memoryBytes() / 1024
+              << " KiB in memory)\n";
+    return 0;
+}
+
+int
+cmdEvaluate(const Args &args)
+{
+    const sim::InferenceSimulator sim = simFromArgs(args);
+    const std::vector<env::ScenarioId> scenarios = scenariosFromArgs(args);
+    const auto seed = static_cast<std::uint64_t>(args.getInt("--seed", 1));
+
+    auto autoscale_policy = harness::makeAutoScalePolicy(sim, seed);
+    const std::string qtable = args.get("--qtable");
+    if (!qtable.empty()) {
+        std::ifstream file(qtable);
+        if (!file) {
+            fatal("cannot open '" + qtable + "'");
+        }
+        autoscale_policy->scheduler().loadQTable(file);
+        std::cout << "Loaded Q-table from " << qtable << "\n";
+    } else {
+        Rng rng(seed ^ 0x7ea1ULL);
+        std::cout << "No --qtable given; training in place...\n";
+        harness::trainPolicy(*autoscale_policy, sim,
+                             harness::allZooNetworks(), scenarios,
+                             args.getInt("--train-runs", 400), rng);
+    }
+    autoscale_policy->setExploration(false);
+
+    harness::EvalOptions options;
+    options.runsPerCombo = args.getInt("--runs", 30);
+    options.seed = seed + 1;
+
+    std::vector<std::unique_ptr<baselines::SchedulingPolicy>> baselines_;
+    baselines_.push_back(baselines::makeEdgeCpuFp32Policy(sim));
+    baselines_.push_back(baselines::makeEdgeBestPolicy(sim));
+    baselines_.push_back(baselines::makeCloudPolicy(sim));
+    baselines_.push_back(baselines::makeConnectedEdgePolicy(sim));
+    baselines_.push_back(baselines::makeOptOracle(sim));
+
+    Table table({"Policy", "PPW (1/J)", "Mean energy (mJ)",
+                 "QoS violations", "Opt-match"});
+    auto add = [&](const std::string &name,
+                   const harness::RunStats &stats) {
+        table.addRow({name, Table::num(stats.ppw(), 2),
+                      Table::num(stats.meanEnergyJ() * 1e3, 2),
+                      Table::pct(stats.qosViolationRatio()),
+                      Table::pct(stats.predictionAccuracy())});
+    };
+    for (const auto &policy : baselines_) {
+        add(policy->name(),
+            harness::evaluatePolicy(*policy, sim,
+                                    harness::allZooNetworks(), scenarios,
+                                    options));
+    }
+    add("AutoScale",
+        harness::evaluatePolicy(*autoscale_policy, sim,
+                                harness::allZooNetworks(), scenarios,
+                                options));
+
+    if (args.has("--csv")) {
+        table.printCsv(std::cout);
+    } else {
+        table.print(std::cout);
+    }
+    return 0;
+}
+
+int
+usage()
+{
+    std::cout <<
+        "autoscale_cli — AutoScale (MICRO 2020) reproduction CLI\n\n"
+        "Commands:\n"
+        "  devices                      list the device fleet\n"
+        "  workloads                    list the Table III workloads\n"
+        "  characterize --device D      optimal target per workload\n"
+        "  decide --device D --network N [--co-cpu F] [--co-mem F]\n"
+        "         [--rssi-wlan DBM] [--rssi-p2p DBM] [--accuracy PCT]\n"
+        "         [--top K]             rank execution targets\n"
+        "  train --device D [--scenarios S1,S2,...] [--runs N]\n"
+        "        [--seed N] [--out FILE]\n"
+        "  evaluate --device D [--qtable FILE] [--scenarios ...]\n"
+        "           [--runs N] [--train-runs N] [--csv]\n\n"
+        "Devices: Mi8Pro, \"Galaxy S10e\", \"Moto X Force\"\n"
+        "Scenarios: S1-S5 (static), D1-D4 (dynamic), per Table IV\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        return usage();
+    }
+    const Args args(argc, argv);
+    const std::string command = argv[1];
+    if (command == "devices") {
+        return cmdDevices();
+    }
+    if (command == "workloads") {
+        return cmdWorkloads();
+    }
+    if (command == "characterize") {
+        return cmdCharacterize(args);
+    }
+    if (command == "decide") {
+        return cmdDecide(args);
+    }
+    if (command == "train") {
+        return cmdTrain(args);
+    }
+    if (command == "evaluate") {
+        return cmdEvaluate(args);
+    }
+    return usage();
+}
