@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_learning"
+  "../bench/bench_ablation_learning.pdb"
+  "CMakeFiles/bench_ablation_learning.dir/bench_ablation_learning.cpp.o"
+  "CMakeFiles/bench_ablation_learning.dir/bench_ablation_learning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

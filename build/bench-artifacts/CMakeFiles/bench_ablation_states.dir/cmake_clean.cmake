@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_states"
+  "../bench/bench_ablation_states.pdb"
+  "CMakeFiles/bench_ablation_states.dir/bench_ablation_states.cpp.o"
+  "CMakeFiles/bench_ablation_states.dir/bench_ablation_states.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_accelerators"
+  "../bench/bench_ext_accelerators.pdb"
+  "CMakeFiles/bench_ext_accelerators.dir/bench_ext_accelerators.cpp.o"
+  "CMakeFiles/bench_ext_accelerators.dir/bench_ext_accelerators.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_accelerators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_hybrid"
+  "../bench/bench_ext_hybrid.pdb"
+  "CMakeFiles/bench_ext_hybrid.dir/bench_ext_hybrid.cpp.o"
+  "CMakeFiles/bench_ext_hybrid.dir/bench_ext_hybrid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

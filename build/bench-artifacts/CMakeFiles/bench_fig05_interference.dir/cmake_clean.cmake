@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_interference"
+  "../bench/bench_fig05_interference.pdb"
+  "CMakeFiles/bench_fig05_interference.dir/bench_fig05_interference.cpp.o"
+  "CMakeFiles/bench_fig05_interference.dir/bench_fig05_interference.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_signal_strength"
+  "../bench/bench_fig06_signal_strength.pdb"
+  "CMakeFiles/bench_fig06_signal_strength.dir/bench_fig06_signal_strength.cpp.o"
+  "CMakeFiles/bench_fig06_signal_strength.dir/bench_fig06_signal_strength.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_signal_strength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

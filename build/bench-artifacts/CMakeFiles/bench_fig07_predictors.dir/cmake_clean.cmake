@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_predictors"
+  "../bench/bench_fig07_predictors.pdb"
+  "CMakeFiles/bench_fig07_predictors.dir/bench_fig07_predictors.cpp.o"
+  "CMakeFiles/bench_fig07_predictors.dir/bench_fig07_predictors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

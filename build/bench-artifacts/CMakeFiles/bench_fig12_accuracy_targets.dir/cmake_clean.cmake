@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_accuracy_targets"
+  "../bench/bench_fig12_accuracy_targets.pdb"
+  "CMakeFiles/bench_fig12_accuracy_targets.dir/bench_fig12_accuracy_targets.cpp.o"
+  "CMakeFiles/bench_fig12_accuracy_targets.dir/bench_fig12_accuracy_targets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_accuracy_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_decisions"
+  "../bench/bench_fig13_decisions.pdb"
+  "CMakeFiles/bench_fig13_decisions.dir/bench_fig13_decisions.cpp.o"
+  "CMakeFiles/bench_fig13_decisions.dir/bench_fig13_decisions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_decisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camera_app.dir/camera_app.cpp.o"
+  "CMakeFiles/camera_app.dir/camera_app.cpp.o.d"
+  "camera_app"
+  "camera_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camera_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_transfer.dir/learning_transfer.cpp.o"
+  "CMakeFiles/learning_transfer.dir/learning_transfer.cpp.o.d"
+  "learning_transfer"
+  "learning_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translation_app.dir/translation_app.cpp.o"
+  "CMakeFiles/translation_app.dir/translation_app.cpp.o.d"
+  "translation_app"
+  "translation_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translation_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bayesopt.cc" "src/baselines/CMakeFiles/autoscale_baselines.dir/bayesopt.cc.o" "gcc" "src/baselines/CMakeFiles/autoscale_baselines.dir/bayesopt.cc.o.d"
+  "/root/repo/src/baselines/classify.cc" "src/baselines/CMakeFiles/autoscale_baselines.dir/classify.cc.o" "gcc" "src/baselines/CMakeFiles/autoscale_baselines.dir/classify.cc.o.d"
+  "/root/repo/src/baselines/features.cc" "src/baselines/CMakeFiles/autoscale_baselines.dir/features.cc.o" "gcc" "src/baselines/CMakeFiles/autoscale_baselines.dir/features.cc.o.d"
+  "/root/repo/src/baselines/fixed.cc" "src/baselines/CMakeFiles/autoscale_baselines.dir/fixed.cc.o" "gcc" "src/baselines/CMakeFiles/autoscale_baselines.dir/fixed.cc.o.d"
+  "/root/repo/src/baselines/oracle.cc" "src/baselines/CMakeFiles/autoscale_baselines.dir/oracle.cc.o" "gcc" "src/baselines/CMakeFiles/autoscale_baselines.dir/oracle.cc.o.d"
+  "/root/repo/src/baselines/partitioners.cc" "src/baselines/CMakeFiles/autoscale_baselines.dir/partitioners.cc.o" "gcc" "src/baselines/CMakeFiles/autoscale_baselines.dir/partitioners.cc.o.d"
+  "/root/repo/src/baselines/policy.cc" "src/baselines/CMakeFiles/autoscale_baselines.dir/policy.cc.o" "gcc" "src/baselines/CMakeFiles/autoscale_baselines.dir/policy.cc.o.d"
+  "/root/repo/src/baselines/regression.cc" "src/baselines/CMakeFiles/autoscale_baselines.dir/regression.cc.o" "gcc" "src/baselines/CMakeFiles/autoscale_baselines.dir/regression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/autoscale_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autoscale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoscale_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/autoscale_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/autoscale_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/autoscale_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/autoscale_dnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

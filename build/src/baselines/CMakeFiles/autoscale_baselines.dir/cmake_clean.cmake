@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale_baselines.dir/bayesopt.cc.o"
+  "CMakeFiles/autoscale_baselines.dir/bayesopt.cc.o.d"
+  "CMakeFiles/autoscale_baselines.dir/classify.cc.o"
+  "CMakeFiles/autoscale_baselines.dir/classify.cc.o.d"
+  "CMakeFiles/autoscale_baselines.dir/features.cc.o"
+  "CMakeFiles/autoscale_baselines.dir/features.cc.o.d"
+  "CMakeFiles/autoscale_baselines.dir/fixed.cc.o"
+  "CMakeFiles/autoscale_baselines.dir/fixed.cc.o.d"
+  "CMakeFiles/autoscale_baselines.dir/oracle.cc.o"
+  "CMakeFiles/autoscale_baselines.dir/oracle.cc.o.d"
+  "CMakeFiles/autoscale_baselines.dir/partitioners.cc.o"
+  "CMakeFiles/autoscale_baselines.dir/partitioners.cc.o.d"
+  "CMakeFiles/autoscale_baselines.dir/policy.cc.o"
+  "CMakeFiles/autoscale_baselines.dir/policy.cc.o.d"
+  "CMakeFiles/autoscale_baselines.dir/regression.cc.o"
+  "CMakeFiles/autoscale_baselines.dir/regression.cc.o.d"
+  "libautoscale_baselines.a"
+  "libautoscale_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/action_space.cc" "src/core/CMakeFiles/autoscale_core.dir/action_space.cc.o" "gcc" "src/core/CMakeFiles/autoscale_core.dir/action_space.cc.o.d"
+  "/root/repo/src/core/agent.cc" "src/core/CMakeFiles/autoscale_core.dir/agent.cc.o" "gcc" "src/core/CMakeFiles/autoscale_core.dir/agent.cc.o.d"
+  "/root/repo/src/core/dbscan.cc" "src/core/CMakeFiles/autoscale_core.dir/dbscan.cc.o" "gcc" "src/core/CMakeFiles/autoscale_core.dir/dbscan.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/core/CMakeFiles/autoscale_core.dir/hybrid.cc.o" "gcc" "src/core/CMakeFiles/autoscale_core.dir/hybrid.cc.o.d"
+  "/root/repo/src/core/qtable.cc" "src/core/CMakeFiles/autoscale_core.dir/qtable.cc.o" "gcc" "src/core/CMakeFiles/autoscale_core.dir/qtable.cc.o.d"
+  "/root/repo/src/core/reward.cc" "src/core/CMakeFiles/autoscale_core.dir/reward.cc.o" "gcc" "src/core/CMakeFiles/autoscale_core.dir/reward.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/autoscale_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/autoscale_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/state.cc" "src/core/CMakeFiles/autoscale_core.dir/state.cc.o" "gcc" "src/core/CMakeFiles/autoscale_core.dir/state.cc.o.d"
+  "/root/repo/src/core/transfer.cc" "src/core/CMakeFiles/autoscale_core.dir/transfer.cc.o" "gcc" "src/core/CMakeFiles/autoscale_core.dir/transfer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/autoscale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/autoscale_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/autoscale_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoscale_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/autoscale_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/autoscale_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

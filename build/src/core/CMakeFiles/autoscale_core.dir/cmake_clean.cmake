@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale_core.dir/action_space.cc.o"
+  "CMakeFiles/autoscale_core.dir/action_space.cc.o.d"
+  "CMakeFiles/autoscale_core.dir/agent.cc.o"
+  "CMakeFiles/autoscale_core.dir/agent.cc.o.d"
+  "CMakeFiles/autoscale_core.dir/dbscan.cc.o"
+  "CMakeFiles/autoscale_core.dir/dbscan.cc.o.d"
+  "CMakeFiles/autoscale_core.dir/hybrid.cc.o"
+  "CMakeFiles/autoscale_core.dir/hybrid.cc.o.d"
+  "CMakeFiles/autoscale_core.dir/qtable.cc.o"
+  "CMakeFiles/autoscale_core.dir/qtable.cc.o.d"
+  "CMakeFiles/autoscale_core.dir/reward.cc.o"
+  "CMakeFiles/autoscale_core.dir/reward.cc.o.d"
+  "CMakeFiles/autoscale_core.dir/scheduler.cc.o"
+  "CMakeFiles/autoscale_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/autoscale_core.dir/state.cc.o"
+  "CMakeFiles/autoscale_core.dir/state.cc.o.d"
+  "CMakeFiles/autoscale_core.dir/transfer.cc.o"
+  "CMakeFiles/autoscale_core.dir/transfer.cc.o.d"
+  "libautoscale_core.a"
+  "libautoscale_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

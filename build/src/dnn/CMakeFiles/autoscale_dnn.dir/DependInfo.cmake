@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/accuracy.cc" "src/dnn/CMakeFiles/autoscale_dnn.dir/accuracy.cc.o" "gcc" "src/dnn/CMakeFiles/autoscale_dnn.dir/accuracy.cc.o.d"
+  "/root/repo/src/dnn/model_zoo.cc" "src/dnn/CMakeFiles/autoscale_dnn.dir/model_zoo.cc.o" "gcc" "src/dnn/CMakeFiles/autoscale_dnn.dir/model_zoo.cc.o.d"
+  "/root/repo/src/dnn/network.cc" "src/dnn/CMakeFiles/autoscale_dnn.dir/network.cc.o" "gcc" "src/dnn/CMakeFiles/autoscale_dnn.dir/network.cc.o.d"
+  "/root/repo/src/dnn/synthetic.cc" "src/dnn/CMakeFiles/autoscale_dnn.dir/synthetic.cc.o" "gcc" "src/dnn/CMakeFiles/autoscale_dnn.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/autoscale_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

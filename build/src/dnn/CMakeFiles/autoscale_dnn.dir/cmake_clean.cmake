@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale_dnn.dir/accuracy.cc.o"
+  "CMakeFiles/autoscale_dnn.dir/accuracy.cc.o.d"
+  "CMakeFiles/autoscale_dnn.dir/model_zoo.cc.o"
+  "CMakeFiles/autoscale_dnn.dir/model_zoo.cc.o.d"
+  "CMakeFiles/autoscale_dnn.dir/network.cc.o"
+  "CMakeFiles/autoscale_dnn.dir/network.cc.o.d"
+  "CMakeFiles/autoscale_dnn.dir/synthetic.cc.o"
+  "CMakeFiles/autoscale_dnn.dir/synthetic.cc.o.d"
+  "libautoscale_dnn.a"
+  "libautoscale_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/interference.cc" "src/env/CMakeFiles/autoscale_env.dir/interference.cc.o" "gcc" "src/env/CMakeFiles/autoscale_env.dir/interference.cc.o.d"
+  "/root/repo/src/env/scenario.cc" "src/env/CMakeFiles/autoscale_env.dir/scenario.cc.o" "gcc" "src/env/CMakeFiles/autoscale_env.dir/scenario.cc.o.d"
+  "/root/repo/src/env/thermal.cc" "src/env/CMakeFiles/autoscale_env.dir/thermal.cc.o" "gcc" "src/env/CMakeFiles/autoscale_env.dir/thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/autoscale_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/autoscale_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/autoscale_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoscale_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

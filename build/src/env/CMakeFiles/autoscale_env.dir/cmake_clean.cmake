@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale_env.dir/interference.cc.o"
+  "CMakeFiles/autoscale_env.dir/interference.cc.o.d"
+  "CMakeFiles/autoscale_env.dir/scenario.cc.o"
+  "CMakeFiles/autoscale_env.dir/scenario.cc.o.d"
+  "CMakeFiles/autoscale_env.dir/thermal.cc.o"
+  "CMakeFiles/autoscale_env.dir/thermal.cc.o.d"
+  "libautoscale_env.a"
+  "libautoscale_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale_harness.dir/autoscale_policy.cc.o"
+  "CMakeFiles/autoscale_harness.dir/autoscale_policy.cc.o.d"
+  "CMakeFiles/autoscale_harness.dir/experiment.cc.o"
+  "CMakeFiles/autoscale_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/autoscale_harness.dir/hybrid_policy.cc.o"
+  "CMakeFiles/autoscale_harness.dir/hybrid_policy.cc.o.d"
+  "CMakeFiles/autoscale_harness.dir/metrics.cc.o"
+  "CMakeFiles/autoscale_harness.dir/metrics.cc.o.d"
+  "libautoscale_harness.a"
+  "libautoscale_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautoscale_harness.a"
+)

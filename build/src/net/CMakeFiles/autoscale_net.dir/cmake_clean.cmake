@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale_net.dir/link.cc.o"
+  "CMakeFiles/autoscale_net.dir/link.cc.o.d"
+  "CMakeFiles/autoscale_net.dir/rssi_process.cc.o"
+  "CMakeFiles/autoscale_net.dir/rssi_process.cc.o.d"
+  "libautoscale_net.a"
+  "libautoscale_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

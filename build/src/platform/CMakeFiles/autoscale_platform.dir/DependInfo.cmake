@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/device.cc" "src/platform/CMakeFiles/autoscale_platform.dir/device.cc.o" "gcc" "src/platform/CMakeFiles/autoscale_platform.dir/device.cc.o.d"
+  "/root/repo/src/platform/device_zoo.cc" "src/platform/CMakeFiles/autoscale_platform.dir/device_zoo.cc.o" "gcc" "src/platform/CMakeFiles/autoscale_platform.dir/device_zoo.cc.o.d"
+  "/root/repo/src/platform/power.cc" "src/platform/CMakeFiles/autoscale_platform.dir/power.cc.o" "gcc" "src/platform/CMakeFiles/autoscale_platform.dir/power.cc.o.d"
+  "/root/repo/src/platform/processor.cc" "src/platform/CMakeFiles/autoscale_platform.dir/processor.cc.o" "gcc" "src/platform/CMakeFiles/autoscale_platform.dir/processor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnn/CMakeFiles/autoscale_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoscale_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale_platform.dir/device.cc.o"
+  "CMakeFiles/autoscale_platform.dir/device.cc.o.d"
+  "CMakeFiles/autoscale_platform.dir/device_zoo.cc.o"
+  "CMakeFiles/autoscale_platform.dir/device_zoo.cc.o.d"
+  "CMakeFiles/autoscale_platform.dir/power.cc.o"
+  "CMakeFiles/autoscale_platform.dir/power.cc.o.d"
+  "CMakeFiles/autoscale_platform.dir/processor.cc.o"
+  "CMakeFiles/autoscale_platform.dir/processor.cc.o.d"
+  "libautoscale_platform.a"
+  "libautoscale_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale_sim.dir/qos.cc.o"
+  "CMakeFiles/autoscale_sim.dir/qos.cc.o.d"
+  "CMakeFiles/autoscale_sim.dir/simulator.cc.o"
+  "CMakeFiles/autoscale_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/autoscale_sim.dir/target.cc.o"
+  "CMakeFiles/autoscale_sim.dir/target.cc.o.d"
+  "libautoscale_sim.a"
+  "libautoscale_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

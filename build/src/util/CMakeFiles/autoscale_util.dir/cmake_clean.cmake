@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale_util.dir/linalg.cc.o"
+  "CMakeFiles/autoscale_util.dir/linalg.cc.o.d"
+  "CMakeFiles/autoscale_util.dir/stats.cc.o"
+  "CMakeFiles/autoscale_util.dir/stats.cc.o.d"
+  "CMakeFiles/autoscale_util.dir/table.cc.o"
+  "CMakeFiles/autoscale_util.dir/table.cc.o.d"
+  "libautoscale_util.a"
+  "libautoscale_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

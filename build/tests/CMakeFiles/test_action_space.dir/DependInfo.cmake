@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_action_space.cpp" "tests/CMakeFiles/test_action_space.dir/test_action_space.cpp.o" "gcc" "tests/CMakeFiles/test_action_space.dir/test_action_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/autoscale_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/autoscale_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/autoscale_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autoscale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/autoscale_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/autoscale_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/autoscale_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/autoscale_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoscale_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_action_space.dir/test_action_space.cpp.o"
+  "CMakeFiles/test_action_space.dir/test_action_space.cpp.o.d"
+  "test_action_space"
+  "test_action_space.pdb"
+  "test_action_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_action_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

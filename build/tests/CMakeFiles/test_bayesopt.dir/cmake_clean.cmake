@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bayesopt.dir/test_bayesopt.cpp.o"
+  "CMakeFiles/test_bayesopt.dir/test_bayesopt.cpp.o.d"
+  "test_bayesopt"
+  "test_bayesopt.pdb"
+  "test_bayesopt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bayesopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_handling.dir/test_failure_handling.cpp.o"
+  "CMakeFiles/test_failure_handling.dir/test_failure_handling.cpp.o.d"
+  "test_failure_handling"
+  "test_failure_handling.pdb"
+  "test_failure_handling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_handling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qtable.dir/test_qtable.cpp.o"
+  "CMakeFiles/test_qtable.dir/test_qtable.cpp.o.d"
+  "test_qtable"
+  "test_qtable.pdb"
+  "test_qtable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale_cli.dir/autoscale_cli.cpp.o"
+  "CMakeFiles/autoscale_cli.dir/autoscale_cli.cpp.o.d"
+  "autoscale_cli"
+  "autoscale_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_usage "/root/repo/build/tools/autoscale_cli")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_devices "/root/repo/build/tools/autoscale_cli" "devices")
+set_tests_properties(cli_devices PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_workloads "/root/repo/build/tools/autoscale_cli" "workloads")
+set_tests_properties(cli_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_characterize "/root/repo/build/tools/autoscale_cli" "characterize" "--device" "Galaxy S10e")
+set_tests_properties(cli_characterize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_decide "/root/repo/build/tools/autoscale_cli" "decide" "--device" "Mi8Pro" "--network" "ResNet 50" "--rssi-wlan" "-85" "--top" "3")
+set_tests_properties(cli_decide PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_train_evaluate_roundtrip "sh" "-c" "/root/repo/build/tools/autoscale_cli train --device Mi8Pro               --scenarios S1 --runs 60 --out cli_test_qtable.txt &&           /root/repo/build/tools/autoscale_cli evaluate --device Mi8Pro               --qtable cli_test_qtable.txt --scenarios S1 --runs 3 --csv")
+set_tests_properties(cli_train_evaluate_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
