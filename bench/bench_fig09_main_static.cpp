@@ -26,13 +26,16 @@
 using namespace autoscale;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader(
         "Fig. 9: energy efficiency and QoS violations, static "
         "environments",
         "Shape: AutoScale ~= Opt >> fixed baselines; largest win over "
         "Edge (CPU FP32)");
+
+    const Args args(argc, argv);
+    const bench::RunConfig rc = bench::runConfigFromArgs(args);
 
     const std::vector<env::ScenarioId> scenarios = env::staticScenarios();
     harness::EvalOptions options;
@@ -49,27 +52,60 @@ main()
             sim::InferenceSimulator::makeDefault(platform::makePhone(phone));
         printBanner(std::cout, phone);
 
-        // AutoScale under the paper's leave-one-out protocol.
-        const harness::RunStats as_stats = harness::evaluateAutoScaleLoo(
-            sim, harness::allZooNetworks(), scenarios,
-            bench::kTrainRunsPerCombo, options);
+        // AutoScale under the paper's leave-one-out protocol, merged
+        // over the seed replicates. Parallelism goes to the outermost
+        // loop with work: the seed replicates when there are several,
+        // otherwise the ten LOO folds inside the single replicate.
+        const int fold_jobs = rc.seeds > 1 ? 1 : rc.jobs;
+        const harness::RunStats as_stats = bench::runSeeds(
+            options.seed, rc.seeds, rc.jobs, [&](std::uint64_t seed) {
+                harness::EvalOptions replicate = options;
+                replicate.seed = seed;
+                replicate.jobs = fold_jobs;
+                return harness::evaluateAutoScaleLoo(
+                    sim, harness::allZooNetworks(), scenarios,
+                    bench::kTrainRunsPerCombo, replicate);
+            });
 
-        // Everyone else under identical evaluation sequences.
-        std::vector<std::unique_ptr<baselines::SchedulingPolicy>> others;
-        others.push_back(baselines::makeEdgeCpuFp32Policy(sim));
-        others.push_back(baselines::makeEdgeBestPolicy(sim));
-        others.push_back(baselines::makeCloudPolicy(sim));
-        others.push_back(baselines::makeConnectedEdgePolicy(sim));
-        others.push_back(baselines::makeNeuroSurgeonPolicy(sim));
-        others.push_back(baselines::makeMosaicPolicy(sim));
-        others.push_back(baselines::makeOptOracle(sim));
-
+        // Everyone else under identical evaluation sequences. The
+        // policies are independent, so they evaluate concurrently;
+        // each task builds its own policy (they learn/accumulate
+        // state) and only shares the simulator read-only.
+        struct Comparator {
+            std::string name;
+            std::function<std::unique_ptr<baselines::SchedulingPolicy>()>
+                make;
+        };
+        const std::vector<Comparator> others = {
+            {"Edge (CPU FP32)",
+             [&] { return baselines::makeEdgeCpuFp32Policy(sim); }},
+            {"Edge (Best)",
+             [&] { return baselines::makeEdgeBestPolicy(sim); }},
+            {"Cloud", [&] { return baselines::makeCloudPolicy(sim); }},
+            {"Connected Edge",
+             [&] { return baselines::makeConnectedEdgePolicy(sim); }},
+            {"NeuroSurgeon",
+             [&] { return baselines::makeNeuroSurgeonPolicy(sim); }},
+            {"MOSAIC", [&] { return baselines::makeMosaicPolicy(sim); }},
+            {"Opt", [&] { return baselines::makeOptOracle(sim); }},
+        };
+        const std::vector<harness::RunStats> other_stats =
+            harness::parallelIndexed(
+                others.size(), rc.jobs, [&](std::size_t i) {
+                    return bench::runSeeds(
+                        options.seed, rc.seeds, 1,
+                        [&](std::uint64_t seed) {
+                            auto policy = others[i].make();
+                            harness::EvalOptions replicate = options;
+                            replicate.seed = seed;
+                            return harness::evaluatePolicy(
+                                *policy, sim, harness::allZooNetworks(),
+                                scenarios, replicate);
+                        });
+                });
         std::map<std::string, harness::RunStats> stats;
-        for (const auto &policy : others) {
-            stats.emplace(policy->name(),
-                          harness::evaluatePolicy(
-                              *policy, sim, harness::allZooNetworks(),
-                              scenarios, options));
+        for (std::size_t i = 0; i < others.size(); ++i) {
+            stats.emplace(others[i].name, other_stats[i]);
         }
         const double cpu_ppw = stats.at("Edge (CPU FP32)").ppw();
 

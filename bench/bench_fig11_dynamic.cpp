@@ -22,12 +22,15 @@
 using namespace autoscale;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader(
         "Fig. 11: per-environment adaptability (S1-S5, D1-D4)",
         "Shape: AutoScale tracks Opt in every environment, static and "
         "dynamic");
+
+    const Args args(argc, argv);
+    const bench::RunConfig rc = bench::runConfigFromArgs(args);
 
     const sim::InferenceSimulator sim =
         sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
@@ -37,16 +40,44 @@ main()
     // deployment setting: it has seen the variance space).
     auto autoscale_policy = bench::trainOnAll(sim, all, 1101);
 
-    std::vector<std::unique_ptr<baselines::SchedulingPolicy>> policies;
-    policies.push_back(baselines::makeEdgeCpuFp32Policy(sim));
-    policies.push_back(baselines::makeEdgeBestPolicy(sim));
-    policies.push_back(baselines::makeCloudPolicy(sim));
-    policies.push_back(baselines::makeConnectedEdgePolicy(sim));
-    policies.push_back(baselines::makeOptOracle(sim));
+    // The fixed baselines and the oracle carry no learning state, so
+    // each (environment, policy, seed) cell is independent: build the
+    // policy inside the task and fan the cells out across workers.
+    struct Comparator {
+        std::string name;
+        std::function<std::unique_ptr<baselines::SchedulingPolicy>()> make;
+    };
+    const std::vector<Comparator> comparators = {
+        {"Edge (CPU FP32)",
+         [&] { return baselines::makeEdgeCpuFp32Policy(sim); }},
+        {"Edge (Best)", [&] { return baselines::makeEdgeBestPolicy(sim); }},
+        {"Cloud", [&] { return baselines::makeCloudPolicy(sim); }},
+        {"Connected Edge",
+         [&] { return baselines::makeConnectedEdgePolicy(sim); }},
+        {"Opt", [&] { return baselines::makeOptOracle(sim); }},
+    };
 
     harness::EvalOptions options;
     options.runsPerCombo = bench::kEvalRunsPerCombo;
     options.seed = 1102;
+
+    // All (environment x comparator) cells in one flat fan-out.
+    const std::size_t cells = all.size() * comparators.size();
+    const std::vector<harness::RunStats> cell_stats =
+        harness::parallelIndexed(cells, rc.jobs, [&](std::size_t cell) {
+            const env::ScenarioId id = all[cell / comparators.size()];
+            const Comparator &comparator =
+                comparators[cell % comparators.size()];
+            return bench::runSeeds(
+                options.seed, rc.seeds, 1, [&](std::uint64_t seed) {
+                    auto policy = comparator.make();
+                    harness::EvalOptions replicate = options;
+                    replicate.seed = seed;
+                    return harness::evaluatePolicy(
+                        *policy, sim, harness::allZooNetworks(), {id},
+                        replicate);
+                });
+        });
 
     // Per-environment rows plus per-policy aggregates.
     std::map<std::string, std::vector<double>> ppw;
@@ -54,17 +85,24 @@ main()
 
     Table table({"Env", "Edge(Best)", "Cloud", "Connected", "AutoScale",
                  "Opt", "AutoScale QoS", "Opt QoS"});
-    for (const env::ScenarioId id : all) {
+    for (std::size_t env_index = 0; env_index < all.size(); ++env_index) {
+        const env::ScenarioId id = all[env_index];
         std::map<std::string, harness::RunStats> stats;
-        for (const auto &policy : policies) {
-            stats.emplace(policy->name(),
-                          harness::evaluatePolicy(
-                              *policy, sim, harness::allZooNetworks(),
-                              {id}, options));
+        for (std::size_t i = 0; i < comparators.size(); ++i) {
+            stats.emplace(
+                comparators[i].name,
+                cell_stats[env_index * comparators.size() + i]);
         }
-        const harness::RunStats as_stats = harness::evaluatePolicy(
-            *autoscale_policy, sim, harness::allZooNetworks(), {id},
-            options);
+        // The AutoScale policy keeps learning online, so it walks the
+        // environments (and seed replicates) serially on this thread.
+        const harness::RunStats as_stats = bench::runSeeds(
+            options.seed, rc.seeds, 1, [&](std::uint64_t seed) {
+                harness::EvalOptions replicate = options;
+                replicate.seed = seed;
+                return harness::evaluatePolicy(
+                    *autoscale_policy, sim, harness::allZooNetworks(),
+                    {id}, replicate);
+            });
         const double cpu = stats.at("Edge (CPU FP32)").ppw();
 
         auto norm = [&](const std::string &name) {

@@ -53,35 +53,46 @@ convergenceRuns(core::AutoScaleScheduler &scheduler,
     return converged_at;
 }
 
-/** Mean convergence run count across the zoo. */
+/**
+ * Mean convergence run count across the zoo. Each network's training
+ * stream is independent (own scheduler, own per-index RNG), so the zoo
+ * fans out across @p jobs workers; the result is identical for any
+ * worker count.
+ */
 double
 meanConvergence(const sim::InferenceSimulator &sim,
                 env::ScenarioId scenario_id, std::uint64_t seed,
-                const core::AutoScaleScheduler *transfer_source)
+                const core::AutoScaleScheduler *transfer_source, int jobs)
 {
-    std::vector<double> runs;
-    Rng rng(seed);
-    for (const auto &net : dnn::modelZoo()) {
-        core::AutoScaleScheduler scheduler(sim, core::SchedulerConfig{},
-                                           seed ^ 0xabcULL);
-        if (transfer_source != nullptr) {
-            scheduler.transferFrom(*transfer_source);
-        }
-        runs.push_back(static_cast<double>(convergenceRuns(
-            scheduler, sim, net, scenario_id, 200, rng, nullptr)));
-    }
+    const std::vector<const dnn::Network *> zoo =
+        harness::allZooNetworks();
+    const std::vector<double> runs = harness::parallelIndexed(
+        zoo.size(), jobs, [&](std::size_t i) {
+            core::AutoScaleScheduler scheduler(
+                sim, core::SchedulerConfig{}, seed ^ 0xabcULL);
+            if (transfer_source != nullptr) {
+                scheduler.transferFrom(*transfer_source);
+            }
+            Rng rng(harness::replicateSeed(seed, i));
+            return static_cast<double>(convergenceRuns(
+                scheduler, sim, *zoo[i], scenario_id, 200, rng,
+                nullptr));
+        });
     return mean(runs);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader(
         "Fig. 14: training convergence and learning transfer",
         "Shape: ~tens of runs from scratch; transfer accelerates "
         "convergence, especially in dynamic environments");
+
+    const Args args(argc, argv);
+    const bench::RunConfig rc = bench::runConfigFromArgs(args);
 
     const sim::InferenceSimulator mi8 =
         sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
@@ -132,9 +143,9 @@ main()
         for (const env::ScenarioId id :
              {env::ScenarioId::S1, env::ScenarioId::D3}) {
             const double scratch =
-                meanConvergence(sim, id, 1403, nullptr);
+                meanConvergence(sim, id, 1403, nullptr, rc.jobs);
             const double transferred =
-                meanConvergence(sim, id, 1403, &seeded);
+                meanConvergence(sim, id, 1403, &seeded, rc.jobs);
             const double reduction = 1.0 - transferred / scratch;
             reductions.push_back(reduction);
             transfer.addRow({phone, env::scenarioName(id),
@@ -151,9 +162,9 @@ main()
     // Static vs dynamic convergence gap.
     printBanner(std::cout, "Dynamic vs static convergence (from scratch)");
     const double static_runs =
-        meanConvergence(mi8, env::ScenarioId::S1, 1404, nullptr);
+        meanConvergence(mi8, env::ScenarioId::S1, 1404, nullptr, rc.jobs);
     const double dynamic_runs =
-        meanConvergence(mi8, env::ScenarioId::D2, 1404, nullptr);
+        meanConvergence(mi8, env::ScenarioId::D2, 1404, nullptr, rc.jobs);
     std::cout << "Static S1: " << Table::num(static_runs, 1)
               << " runs; dynamic D2: " << Table::num(dynamic_runs, 1)
               << " runs; slowdown "
@@ -166,26 +177,36 @@ main()
                 "Hyperparameter sensitivity (final greedy reward)");
     Table hyper({"Learning rate", "Discount", "Mean converge runs",
                  "Final window reward"});
-    for (double lr : {0.1, 0.5, 0.9}) {
-        for (double mu : {0.1, 0.5, 0.9}) {
+    // Each grid point owns its scheduler and RNG, so the 3x3 sweep
+    // fans out across workers; rows are emitted in grid order.
+    const std::vector<double> grid = {0.1, 0.5, 0.9};
+    struct SweepResult {
+        int converged = 0;
+        double tailReward = 0.0;
+    };
+    const std::vector<SweepResult> sweep = harness::parallelIndexed(
+        grid.size() * grid.size(), rc.jobs, [&](std::size_t cell) {
             core::SchedulerConfig config;
-            config.rl.learningRate = lr;
-            config.rl.discount = mu;
+            config.rl.learningRate = grid[cell / grid.size()];
+            config.rl.discount = grid[cell % grid.size()];
             core::AutoScaleScheduler scheduler(mi8, config, 1405);
             Rng rng(1406);
             std::vector<double> rewards;
-            const int converged = convergenceRuns(
+            SweepResult result;
+            result.converged = convergenceRuns(
                 scheduler, mi8, dnn::findModel("MobileNet v2"),
                 env::ScenarioId::S1, 200, rng, &rewards);
-            double tail = 0.0;
-            for (std::size_t i = rewards.size() - 10; i < rewards.size();
-                 ++i) {
-                tail += rewards[i];
+            for (std::size_t i = rewards.size() - 10;
+                 i < rewards.size(); ++i) {
+                result.tailReward += rewards[i];
             }
-            hyper.addRow({Table::num(lr, 1), Table::num(mu, 1),
-                          std::to_string(converged),
-                          Table::num(tail / 10.0, 2)});
-        }
+            return result;
+        });
+    for (std::size_t cell = 0; cell < sweep.size(); ++cell) {
+        hyper.addRow({Table::num(grid[cell / grid.size()], 1),
+                      Table::num(grid[cell % grid.size()], 1),
+                      std::to_string(sweep[cell].converged),
+                      Table::num(sweep[cell].tailReward / 10.0, 2)});
     }
     hyper.print(std::cout);
     std::cout << "Paper choice: learning rate 0.9, discount 0.1.\n";

@@ -1,5 +1,6 @@
 #include "common.h"
 
+#include <algorithm>
 #include <iostream>
 
 #include "util/logging.h"
@@ -34,6 +35,32 @@ trainOnAll(const sim::InferenceSimulator &sim,
                             accuracyTargetPct);
     policy->scheduler().setExploration(false);
     return policy;
+}
+
+RunConfig
+runConfigFromArgs(const Args &args)
+{
+    RunConfig config;
+    config.seeds = std::max(1, args.getInt("--seeds", 1));
+    config.jobs =
+        std::max(1, args.getInt("--jobs", harness::defaultJobs()));
+    std::cout << "Replicates: " << config.seeds << " seed(s), "
+              << config.jobs << " worker(s)\n";
+    return config;
+}
+
+harness::RunStats
+runSeeds(std::uint64_t baseSeed, int replicates, int jobs,
+         const std::function<harness::RunStats(std::uint64_t seed)> &fn)
+{
+    return harness::runReplicates(
+        replicates, baseSeed, jobs, [&](int index, Rng &) {
+            const std::uint64_t seed = index == 0
+                ? baseSeed
+                : harness::replicateSeed(
+                      baseSeed, static_cast<std::uint64_t>(index));
+            return fn(seed);
+        });
 }
 
 std::string

@@ -8,6 +8,8 @@
 #ifndef AUTOSCALE_BENCH_COMMON_H_
 #define AUTOSCALE_BENCH_COMMON_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,8 +17,10 @@
 #include "env/scenario.h"
 #include "harness/autoscale_policy.h"
 #include "harness/experiment.h"
+#include "harness/parallel.h"
 #include "platform/device_zoo.h"
 #include "sim/simulator.h"
+#include "util/args.h"
 #include "util/table.h"
 
 namespace autoscale::bench {
@@ -50,6 +54,34 @@ std::unique_ptr<harness::AutoScalePolicy> trainOnAll(
     const sim::InferenceSimulator &sim,
     const std::vector<env::ScenarioId> &scenarios, std::uint64_t seed,
     bool streaming = false, double accuracyTargetPct = 50.0);
+
+/**
+ * Seed replicates and worker count for a benchmark run, parsed from
+ * the standard `--seeds N` / `--jobs N` flags. `seeds` defaults to 1
+ * (the historical single-seed behaviour); `jobs` defaults to the
+ * hardware concurrency.
+ */
+struct RunConfig {
+    int seeds = 1;
+    int jobs = 1;
+};
+
+/** Parse `--seeds` / `--jobs` (and report them on stdout). */
+RunConfig runConfigFromArgs(const Args &args);
+
+/**
+ * Evaluate @p fn once per seed replicate across up to @p jobs workers
+ * and return the index-ordered merge. Replicate 0 receives @p baseSeed
+ * itself (so `--seeds 1` reproduces the historical single-seed
+ * numbers); replicate i > 0 receives an independent seed derived from
+ * (baseSeed, i) via SplitMix64. The merged result is bit-identical for
+ * every jobs value. @p fn must build everything stateful (policies,
+ * scenarios) itself: it runs concurrently and may only share the
+ * simulator and networks read-only.
+ */
+harness::RunStats runSeeds(
+    std::uint64_t baseSeed, int replicates, int jobs,
+    const std::function<harness::RunStats(std::uint64_t seed)> &fn);
 
 /** "measured (paper: X)" annotation cell. */
 std::string withPaper(const std::string &measured,

@@ -4,6 +4,7 @@
 
 #include "baselines/oracle.h"
 #include "dnn/model_zoo.h"
+#include "harness/parallel.h"
 #include "env/interference.h"
 #include "env/thermal.h"
 #include "util/logging.h"
@@ -242,47 +243,66 @@ evaluateAutoScaleLoo(const sim::InferenceSimulator &sim,
                      int trainRunsPerCombo, const EvalOptions &options,
                      const std::function<core::SchedulerConfig()> &configure)
 {
-    RunStats merged;
-    std::uint64_t fold_seed = options.seed;
+    // Fix the fold list (and with it each fold's seed) up front, so
+    // fold seeds are a pure function of (options.seed, fold index)
+    // regardless of how the folds are later scheduled.
+    std::vector<const dnn::Network *> folds;
     for (const dnn::Network *test_network : networks) {
         if (options.streaming
             && test_network->task() == dnn::Task::Translation) {
             continue;
         }
-        // Train on the other networks.
-        std::vector<const dnn::Network *> train_networks;
-        for (const dnn::Network *network : networks) {
-            if (network != test_network) {
-                train_networks.push_back(network);
+        folds.push_back(test_network);
+    }
+
+    // Each fold owns its policy, RNG, thermal state, and seed; the
+    // simulator and networks are shared read-only (see parallel.h for
+    // the audit). Merging in index order keeps the aggregate
+    // bit-identical to the serial run for every jobs value.
+    const std::vector<RunStats> fold_stats = parallelIndexed(
+        folds.size(), options.jobs, [&](std::size_t fold_index) {
+            const dnn::Network *test_network = folds[fold_index];
+            const std::uint64_t fold_seed = options.seed + fold_index;
+
+            // Train on the other networks.
+            std::vector<const dnn::Network *> train_networks;
+            for (const dnn::Network *network : networks) {
+                if (network != test_network) {
+                    train_networks.push_back(network);
+                }
             }
-        }
 
-        const core::SchedulerConfig config =
-            configure ? configure() : core::SchedulerConfig{};
-        AutoScalePolicy policy(sim, config, fold_seed);
-        Rng train_rng(fold_seed + 0x5eedULL);
-        trainAutoScale(policy, sim, train_networks, scenarios,
-                       trainRunsPerCombo, train_rng, options.streaming,
-                       options.accuracyTargetPct);
+            const core::SchedulerConfig config =
+                configure ? configure() : core::SchedulerConfig{};
+            AutoScalePolicy policy(sim, config, fold_seed);
+            Rng train_rng(fold_seed + 0x5eedULL);
+            trainAutoScale(policy, sim, train_networks, scenarios,
+                           trainRunsPerCombo, train_rng, options.streaming,
+                           options.accuracyTargetPct);
 
-        // Online-learning warm-up on the held-out network: AutoScale
-        // continuously learns in deployment, and the paper reports
-        // post-convergence behaviour (the pre-convergence phase is
-        // quantified separately in Section VI-C).
-        if (options.looWarmupRuns > 0) {
-            trainAutoScale(policy, sim, {test_network}, scenarios,
-                           options.looWarmupRuns, train_rng,
-                           options.streaming, options.accuracyTargetPct);
-        }
+            // Online-learning warm-up on the held-out network:
+            // AutoScale continuously learns in deployment, and the
+            // paper reports post-convergence behaviour (the
+            // pre-convergence phase is quantified separately in
+            // Section VI-C).
+            if (options.looWarmupRuns > 0) {
+                trainAutoScale(policy, sim, {test_network}, scenarios,
+                               options.looWarmupRuns, train_rng,
+                               options.streaming,
+                               options.accuracyTargetPct);
+            }
 
-        // Measure greedily (online learning stays on).
-        policy.scheduler().setExploration(false);
-        EvalOptions fold_options = options;
-        fold_options.seed = fold_seed + 0x7e57ULL;
-        const RunStats fold = evaluatePolicy(
-            policy, sim, {test_network}, scenarios, fold_options);
+            // Measure greedily (online learning stays on).
+            policy.scheduler().setExploration(false);
+            EvalOptions fold_options = options;
+            fold_options.seed = fold_seed + 0x7e57ULL;
+            return evaluatePolicy(policy, sim, {test_network}, scenarios,
+                                  fold_options);
+        });
+
+    RunStats merged;
+    for (const RunStats &fold : fold_stats) {
         merged.merge(fold);
-        ++fold_seed;
     }
     return merged;
 }

@@ -43,6 +43,12 @@ struct EvalOptions {
     int looWarmupRuns = 150;
     /** Master seed. */
     std::uint64_t seed = 1;
+    /**
+     * Worker threads for the leave-one-out fold fan-out (each fold
+     * owns its policy, RNG, and seed, so folds run concurrently).
+     * Results are bit-identical for every value; 1 = fully serial.
+     */
+    int jobs = 1;
 };
 
 /**
@@ -85,7 +91,9 @@ RunStats evaluatePolicy(baselines::SchedulingPolicy &policy,
  * held-out network. Returns merged statistics.
  *
  * @param configure Optional hook to customize each fresh policy's
- *        configuration (e.g. ablated state encoders).
+ *        configuration (e.g. ablated state encoders). With
+ *        EvalOptions::jobs > 1 the hook is invoked concurrently from
+ *        worker threads and must be reentrant.
  */
 RunStats evaluateAutoScaleLoo(
     const sim::InferenceSimulator &sim,

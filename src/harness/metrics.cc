@@ -1,7 +1,5 @@
 #include "harness/metrics.h"
 
-#include "util/logging.h"
-
 namespace autoscale::harness {
 
 void
@@ -55,20 +53,28 @@ RunStats::merge(const RunStats &other)
 double
 RunStats::meanEnergyJ() const
 {
-    AS_CHECK(count_ > 0);
+    // An empty accumulator is reachable in normal operation (e.g. the
+    // streaming mode filters Translation-task networks out entirely);
+    // report 0 rather than dividing by zero.
+    if (count_ == 0) {
+        return 0.0;
+    }
     return sumEnergyJ_ / static_cast<double>(count_);
 }
 
 double
 RunStats::ppw() const
 {
-    return 1.0 / meanEnergyJ();
+    const double energy = meanEnergyJ();
+    return energy > 0.0 ? 1.0 / energy : 0.0;
 }
 
 double
 RunStats::optMeanEnergyJ() const
 {
-    AS_CHECK(count_ > 0);
+    if (count_ == 0) {
+        return 0.0;
+    }
     return sumOptEnergyJ_ / static_cast<double>(count_);
 }
 
@@ -76,14 +82,15 @@ double
 RunStats::optPpw() const
 {
     const double energy = optMeanEnergyJ();
-    AS_CHECK(energy > 0.0);
-    return 1.0 / energy;
+    return energy > 0.0 ? 1.0 / energy : 0.0;
 }
 
 double
 RunStats::qosViolationRatio() const
 {
-    AS_CHECK(count_ > 0);
+    if (count_ == 0) {
+        return 0.0;
+    }
     return static_cast<double>(qosViolations_)
         / static_cast<double>(count_);
 }
@@ -91,7 +98,9 @@ RunStats::qosViolationRatio() const
 double
 RunStats::optQosViolationRatio() const
 {
-    AS_CHECK(count_ > 0);
+    if (count_ == 0) {
+        return 0.0;
+    }
     return static_cast<double>(optQosViolations_)
         / static_cast<double>(count_);
 }
@@ -99,7 +108,9 @@ RunStats::optQosViolationRatio() const
 double
 RunStats::accuracyViolationRatio() const
 {
-    AS_CHECK(count_ > 0);
+    if (count_ == 0) {
+        return 0.0;
+    }
     return static_cast<double>(accuracyViolations_)
         / static_cast<double>(count_);
 }
@@ -107,7 +118,9 @@ RunStats::accuracyViolationRatio() const
 double
 RunStats::predictionAccuracy() const
 {
-    AS_CHECK(count_ > 0);
+    if (count_ == 0) {
+        return 0.0;
+    }
     return static_cast<double>(oracleMatches_)
         / static_cast<double>(count_);
 }
@@ -115,7 +128,9 @@ RunStats::predictionAccuracy() const
 double
 RunStats::nearOptimalRatio() const
 {
-    AS_CHECK(count_ > 0);
+    if (count_ == 0) {
+        return 0.0;
+    }
     return static_cast<double>(nearOptimal_)
         / static_cast<double>(count_);
 }
@@ -123,14 +138,18 @@ RunStats::nearOptimalRatio() const
 double
 RunStats::meanLatencyMs() const
 {
-    AS_CHECK(count_ > 0);
+    if (count_ == 0) {
+        return 0.0;
+    }
     return sumLatencyMs_ / static_cast<double>(count_);
 }
 
 double
 RunStats::decisionShare(const std::string &category) const
 {
-    AS_CHECK(count_ > 0);
+    if (count_ == 0) {
+        return 0.0;
+    }
     const auto it = decisionCounts_.find(category);
     if (it == decisionCounts_.end()) {
         return 0.0;

@@ -1,0 +1,45 @@
+#include "harness/parallel.h"
+
+#include <thread>
+
+namespace autoscale::harness {
+
+int
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::uint64_t
+replicateSeed(std::uint64_t masterSeed, std::uint64_t index)
+{
+    // SplitMix64 finalizer over the master seed advanced index+1
+    // golden-gamma steps; the +1 keeps replicate 0 distinct from the
+    // raw master seed (which callers often use for a setup phase).
+    std::uint64_t z = masterSeed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+RunStats
+runReplicates(int n, std::uint64_t masterSeed, int jobs,
+              const std::function<RunStats(int index, Rng &rng)> &fn)
+{
+    if (n <= 0) {
+        return RunStats{};
+    }
+    const std::vector<RunStats> replicates = parallelIndexed(
+        static_cast<std::size_t>(n), jobs, [&](std::size_t i) {
+            Rng rng(replicateSeed(masterSeed, i));
+            return fn(static_cast<int>(i), rng);
+        });
+    RunStats merged;
+    for (const RunStats &replicate : replicates) {
+        merged.merge(replicate);
+    }
+    return merged;
+}
+
+} // namespace autoscale::harness

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic parallel experiment layer.
+ *
+ * Experiments here are embarrassingly parallel at the replicate level
+ * (LOO folds, seed replicates, independent policies), but naive
+ * parallelisation breaks reproducibility: drawing replicate seeds from
+ * a shared RNG ties results to execution order, and merging results as
+ * workers finish ties aggregates to scheduling. This layer fixes both:
+ *
+ *  - every replicate's RNG is seeded purely from (masterSeed, index)
+ *    through a SplitMix64 mix, never from a shared generator, so the
+ *    random streams are identical for any worker count;
+ *  - results are collected into an index-addressed vector and merged
+ *    in index order, so floating-point accumulation order is fixed.
+ *
+ * Consequently `runReplicates(..., jobs)` is bit-identical for every
+ * value of `jobs`, and `jobs = 1` executes inline on the calling
+ * thread with no pool at all (today's serial behaviour).
+ *
+ * Thread-safety contract of the shared read-only objects: replicate
+ * bodies may concurrently read `InferenceSimulator`, `Device`,
+ * `Network`, `WirelessLink`, and a const transfer-source scheduler.
+ * These were audited for hidden mutable state: the only statics on
+ * those paths are function-local `static const` tables
+ * (`dnn::modelZoo()`, the accuracy table), whose initialisation C++
+ * magic statics make thread-safe, and no lazily-filled caches exist.
+ * Anything stateful (Scenario, ThermalModel, policies, Rng) must be
+ * owned per replicate.
+ */
+
+#ifndef AUTOSCALE_HARNESS_PARALLEL_H_
+#define AUTOSCALE_HARNESS_PARALLEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "harness/metrics.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace autoscale::harness {
+
+/** Worker count meaning "one per hardware thread". */
+int defaultJobs();
+
+/**
+ * Seed for replicate @p index of an experiment with @p masterSeed:
+ * a SplitMix64 golden-gamma mix of the two, so neighbouring indices
+ * get uncorrelated xoshiro256** initial states and the mapping is a
+ * pure function (independent of worker count and scheduling).
+ */
+std::uint64_t replicateSeed(std::uint64_t masterSeed, std::uint64_t index);
+
+/**
+ * Deterministic indexed map: compute fn(0..n-1) with up to @p jobs
+ * workers and return the results in index order. @p jobs <= 1 runs
+ * inline on the calling thread in index order (exact serial
+ * behaviour); results are identical either way provided fn(i) depends
+ * only on i. fn's result type must be default-constructible.
+ */
+template <typename Fn>
+auto
+parallelIndexed(std::size_t n, int jobs, Fn &&fn)
+    -> std::vector<decltype(fn(std::size_t{}))>
+{
+    using Result = decltype(fn(std::size_t{}));
+    std::vector<Result> results(n);
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            results[i] = fn(i);
+        }
+        return results;
+    }
+    const int workers =
+        static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(jobs), n));
+    ThreadPool pool(workers);
+    pool.parallelFor(n, [&](std::size_t i) { results[i] = fn(i); });
+    return results;
+}
+
+/**
+ * Run @p n independent replicates of @p fn across up to @p jobs
+ * workers and return the index-ordered merge of their statistics.
+ * Replicate @p i receives its own Rng seeded replicateSeed(masterSeed,
+ * i); the merged aggregate is bit-identical for every jobs value.
+ */
+RunStats runReplicates(
+    int n, std::uint64_t masterSeed, int jobs,
+    const std::function<RunStats(int index, Rng &rng)> &fn);
+
+} // namespace autoscale::harness
+
+#endif // AUTOSCALE_HARNESS_PARALLEL_H_

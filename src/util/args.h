@@ -8,6 +8,7 @@
 #define AUTOSCALE_UTIL_ARGS_H_
 
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -42,20 +43,48 @@ class Args {
         return fallback;
     }
 
-    /** Numeric value of @p flag, or @p fallback. */
+    /**
+     * Numeric value of @p flag, or @p fallback when the flag is
+     * absent, not a number, has trailing garbage, or overflows.
+     */
     double
     getDouble(const std::string &flag, double fallback) const
     {
         const std::string value = get(flag);
-        return value.empty() ? fallback : std::stod(value);
+        if (value.empty()) {
+            return fallback;
+        }
+        try {
+            std::size_t consumed = 0;
+            const double parsed = std::stod(value, &consumed);
+            return consumed == value.size() ? parsed : fallback;
+        } catch (const std::invalid_argument &) {
+            return fallback;
+        } catch (const std::out_of_range &) {
+            return fallback;
+        }
     }
 
-    /** Integer value of @p flag, or @p fallback. */
+    /**
+     * Integer value of @p flag, or @p fallback when the flag is
+     * absent, not an integer, has trailing garbage, or overflows.
+     */
     int
     getInt(const std::string &flag, int fallback) const
     {
         const std::string value = get(flag);
-        return value.empty() ? fallback : std::stoi(value);
+        if (value.empty()) {
+            return fallback;
+        }
+        try {
+            std::size_t consumed = 0;
+            const int parsed = std::stoi(value, &consumed);
+            return consumed == value.size() ? parsed : fallback;
+        } catch (const std::invalid_argument &) {
+            return fallback;
+        } catch (const std::out_of_range &) {
+            return fallback;
+        }
     }
 
     /** Whether @p flag appears anywhere (boolean switch). */

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Work-stealing thread pool used by the parallel experiment layer.
+ *
+ * Each worker owns a deque: it pushes and pops its own work LIFO (hot
+ * caches), and idle workers steal FIFO from the front of their peers'
+ * deques (oldest work first, the classic work-stealing discipline).
+ * Tasks submitted from outside the pool are distributed round-robin.
+ *
+ * The pool is a pure execution engine: it makes no ordering promises.
+ * Determinism of experiment results is the job of the harness layer
+ * (harness/parallel.h), which seeds every unit of work independently
+ * and merges results in index order.
+ */
+
+#ifndef AUTOSCALE_UTIL_THREAD_POOL_H_
+#define AUTOSCALE_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace autoscale {
+
+/** Work-stealing pool of a fixed number of worker threads. */
+class ThreadPool {
+  public:
+    /** Spawn @p threads workers (clamped to at least 1). */
+    explicit ThreadPool(int threads);
+
+    /** Drains queued tasks, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threadCount() const { return static_cast<int>(threads_.size()); }
+
+    /**
+     * Enqueue @p task. The future rethrows any exception the task
+     * throws, so failures propagate to whoever waits on it.
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * Run @p body(0..n-1) across the workers and block until every
+     * index has completed. If any body throws, the exception from the
+     * lowest-numbered failing index is rethrown (after all indices
+     * finished), so error reporting is deterministic.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    /** One worker's deque; its mutex also guards thieves. */
+    struct Worker {
+        std::mutex mutex;
+        std::deque<std::packaged_task<void()>> tasks;
+    };
+
+    void workerLoop(std::size_t self);
+
+    /** Pop own work LIFO or steal FIFO from a peer; false when idle. */
+    bool runOne(std::size_t self);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+    std::mutex sleepMutex_;
+    std::condition_variable sleepCv_;
+    std::atomic<bool> stop_{false};
+    /** Tasks enqueued but not yet dequeued (cv wake predicate). */
+    std::atomic<int> queued_{0};
+    std::atomic<std::size_t> nextQueue_{0};
+};
+
+} // namespace autoscale
+
+#endif // AUTOSCALE_UTIL_THREAD_POOL_H_

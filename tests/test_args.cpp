@@ -45,6 +45,40 @@ TEST(Args, NumericParsing)
     EXPECT_EQ(args.getInt("--n", 0), 12);
 }
 
+TEST(Args, MalformedNumbersFallBack)
+{
+    // `autoscale_cli --runs abc` used to abort with an uncaught
+    // std::invalid_argument out of std::stoi.
+    const Args args = make({"prog", "--runs", "abc", "--rssi", "weak"});
+    EXPECT_EQ(args.getInt("--runs", 7), 7);
+    EXPECT_DOUBLE_EQ(args.getDouble("--rssi", -55.0), -55.0);
+}
+
+TEST(Args, TrailingGarbageFallsBack)
+{
+    const Args args = make({"prog", "--runs", "12abc", "--co-cpu",
+                            "0.5x", "--top", "3.5"});
+    EXPECT_EQ(args.getInt("--runs", 7), 7);
+    EXPECT_DOUBLE_EQ(args.getDouble("--co-cpu", 0.25), 0.25);
+    // "3.5" is not an integer token: stoi would silently truncate.
+    EXPECT_EQ(args.getInt("--top", 8), 8);
+}
+
+TEST(Args, OutOfRangeNumbersFallBack)
+{
+    const Args args = make({"prog", "--n", "99999999999999999999",
+                            "--x", "1e999"});
+    EXPECT_EQ(args.getInt("--n", 3), 3);
+    EXPECT_DOUBLE_EQ(args.getDouble("--x", 1.5), 1.5);
+}
+
+TEST(Args, NegativeAndScientificNumbersStillParse)
+{
+    const Args args = make({"prog", "--n", "-12", "--x", "2.5e-3"});
+    EXPECT_EQ(args.getInt("--n", 0), -12);
+    EXPECT_DOUBLE_EQ(args.getDouble("--x", 0.0), 2.5e-3);
+}
+
 TEST(Args, HasDetectsSwitches)
 {
     const Args args = make({"prog", "--csv", "--device", "X"});

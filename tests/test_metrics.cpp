@@ -79,6 +79,44 @@ TEST(RunStats, AccuracyViolations)
     EXPECT_NEAR(stats.accuracyViolationRatio(), 0.5, 1e-12);
 }
 
+TEST(RunStats, EmptyAccumulatorReportsZeroEverywhere)
+{
+    // An empty accumulator arises in normal operation (e.g. streaming
+    // mode filters all Translation-task networks out of a combo);
+    // every accessor must report 0 instead of dividing by zero.
+    const RunStats stats;
+    EXPECT_EQ(stats.count(), 0);
+    EXPECT_DOUBLE_EQ(stats.meanEnergyJ(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.ppw(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.optMeanEnergyJ(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.optPpw(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.qosViolationRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.optQosViolationRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.accuracyViolationRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.predictionAccuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.nearOptimalRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.meanLatencyMs(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.decisionShare("Cloud"), 0.0);
+    EXPECT_TRUE(stats.decisionCounts().empty());
+}
+
+TEST(RunStats, ZeroEnergyRunsDoNotBlowUpPpw)
+{
+    RunStats stats;
+    stats.add(record(0.0, 1.0, false, "Edge (CPU)"));
+    EXPECT_DOUBLE_EQ(stats.ppw(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.optPpw(), 0.0);
+}
+
+TEST(RunStats, MergingEmptyIntoEmptyStaysEmpty)
+{
+    RunStats a;
+    const RunStats b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0);
+    EXPECT_DOUBLE_EQ(a.ppw(), 0.0);
+}
+
 TEST(RunStats, MergeCombinesEverything)
 {
     RunStats a;

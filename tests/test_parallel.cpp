@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Determinism regression tests for the parallel experiment layer: the
+ * same experiment must produce bit-identical aggregates for every
+ * worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+
+#include "dnn/model_zoo.h"
+#include "harness/experiment.h"
+#include "harness/parallel.h"
+#include "platform/device_zoo.h"
+
+namespace autoscale::harness {
+namespace {
+
+/** Bit-exact equality of every aggregate the reports consume. */
+void
+expectIdentical(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.meanEnergyJ(), b.meanEnergyJ());
+    EXPECT_EQ(a.ppw(), b.ppw());
+    EXPECT_EQ(a.optMeanEnergyJ(), b.optMeanEnergyJ());
+    EXPECT_EQ(a.meanLatencyMs(), b.meanLatencyMs());
+    EXPECT_EQ(a.qosViolationRatio(), b.qosViolationRatio());
+    EXPECT_EQ(a.accuracyViolationRatio(), b.accuracyViolationRatio());
+    EXPECT_EQ(a.predictionAccuracy(), b.predictionAccuracy());
+    EXPECT_EQ(a.nearOptimalRatio(), b.nearOptimalRatio());
+    EXPECT_EQ(a.decisionCounts(), b.decisionCounts());
+    EXPECT_EQ(a.optDecisionCounts(), b.optDecisionCounts());
+}
+
+/** Synthetic replicate: a few Rng-driven records. */
+RunStats
+syntheticReplicate(int index, Rng &rng)
+{
+    RunStats stats;
+    for (int i = 0; i < 5; ++i) {
+        RunRecord record;
+        record.energyJ = rng.uniform(0.01, 0.2);
+        record.latencyMs = rng.uniform(1.0, 100.0);
+        record.qosMs = 50.0;
+        record.qosViolated = record.latencyMs >= record.qosMs;
+        record.decisionCategory =
+            (index + i) % 2 == 0 ? "Edge (DSP)" : "Cloud";
+        stats.add(record);
+    }
+    return stats;
+}
+
+TEST(ReplicateSeed, IsAPureFunctionOfMasterAndIndex)
+{
+    EXPECT_EQ(replicateSeed(42, 0), replicateSeed(42, 0));
+    EXPECT_EQ(replicateSeed(42, 7), replicateSeed(42, 7));
+    EXPECT_NE(replicateSeed(42, 0), replicateSeed(42, 1));
+    EXPECT_NE(replicateSeed(42, 0), replicateSeed(43, 0));
+    // Not the raw master seed: replicate streams must not collide
+    // with a setup phase seeded directly from the master.
+    EXPECT_NE(replicateSeed(42, 0), 42u);
+}
+
+TEST(ReplicateSeed, NeighbouringIndicesDoNotCollide)
+{
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        seeds.insert(replicateSeed(7, i));
+    }
+    EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(ParallelIndexed, PreservesIndexOrder)
+{
+    const auto doubled = parallelIndexed(
+        100, 4, [](std::size_t i) { return static_cast<int>(2 * i); });
+    ASSERT_EQ(doubled.size(), 100u);
+    for (std::size_t i = 0; i < doubled.size(); ++i) {
+        EXPECT_EQ(doubled[i], static_cast<int>(2 * i));
+    }
+}
+
+TEST(ParallelIndexed, SerialAndParallelAgree)
+{
+    const auto serial = parallelIndexed(
+        37, 1, [](std::size_t i) { return static_cast<int>(i * i); });
+    const auto parallel = parallelIndexed(
+        37, 4, [](std::size_t i) { return static_cast<int>(i * i); });
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelIndexed, PropagatesExceptions)
+{
+    EXPECT_THROW(parallelIndexed(8, 4, [](std::size_t i) -> int {
+        if (i == 5) {
+            throw std::runtime_error("replicate failed");
+        }
+        return 0;
+    }), std::runtime_error);
+}
+
+TEST(RunReplicates, AggregateIsBitIdenticalForAnyJobsValue)
+{
+    const RunStats serial =
+        runReplicates(16, 99, 1, syntheticReplicate);
+    const RunStats parallel =
+        runReplicates(16, 99, 4, syntheticReplicate);
+    ASSERT_EQ(serial.count(), 16 * 5);
+    expectIdentical(serial, parallel);
+}
+
+TEST(RunReplicates, ZeroReplicatesYieldEmptyStats)
+{
+    const RunStats stats = runReplicates(0, 1, 4, syntheticReplicate);
+    EXPECT_EQ(stats.count(), 0);
+    EXPECT_EQ(stats.meanEnergyJ(), 0.0);
+}
+
+TEST(RunReplicates, MasterSeedSelectsTheStreams)
+{
+    const RunStats a = runReplicates(8, 1, 2, syntheticReplicate);
+    const RunStats b = runReplicates(8, 2, 2, syntheticReplicate);
+    EXPECT_NE(a.meanEnergyJ(), b.meanEnergyJ());
+}
+
+TEST(LooDeterminism, FoldParallelismDoesNotChangeTheAggregate)
+{
+    // The regression test for the parallel LOO: --jobs 1 and --jobs 4
+    // must produce bit-identical merged statistics for a fixed seed.
+    const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    const auto nets = std::vector<const dnn::Network *>{
+        &dnn::findModel("MobileNet v1"), &dnn::findModel("MobileNet v2"),
+        &dnn::findModel("Inception v1")};
+
+    EvalOptions options;
+    options.runsPerCombo = 4;
+    options.looWarmupRuns = 5;
+    options.seed = 321;
+
+    options.jobs = 1;
+    const RunStats serial = evaluateAutoScaleLoo(
+        sim, nets, {env::ScenarioId::S1}, 10, options);
+    options.jobs = 4;
+    const RunStats parallel = evaluateAutoScaleLoo(
+        sim, nets, {env::ScenarioId::S1}, 10, options);
+
+    ASSERT_EQ(serial.count(), 4 * 3);
+    expectIdentical(serial, parallel);
+}
+
+TEST(DefaultJobs, IsAtLeastOne)
+{
+    EXPECT_GE(defaultJobs(), 1);
+}
+
+} // namespace
+} // namespace autoscale::harness

@@ -14,9 +14,12 @@
  *       --scenarios S1,S4 --csv
  */
 
+#include <algorithm>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,6 +29,7 @@
 #include "core/scheduler.h"
 #include "dnn/model_zoo.h"
 #include "harness/experiment.h"
+#include "harness/parallel.h"
 #include "platform/device_zoo.h"
 #include "sim/simulator.h"
 #include "util/args.h"
@@ -77,6 +81,17 @@ simFromArgs(const Args &args)
     const std::string device = args.get("--device", "Mi8Pro");
     return sim::InferenceSimulator::makeDefault(
         platform::makePhone(device));
+}
+
+/**
+ * Worker threads from `--jobs` (default: one per hardware thread).
+ * Results are deterministic for every value; `--jobs 1` runs the exact
+ * serial loop.
+ */
+int
+jobsFromArgs(const Args &args)
+{
+    return std::max(1, args.getInt("--jobs", harness::defaultJobs()));
 }
 
 int
@@ -265,12 +280,33 @@ cmdEvaluate(const Args &args)
     options.runsPerCombo = args.getInt("--runs", 30);
     options.seed = seed + 1;
 
-    std::vector<std::unique_ptr<baselines::SchedulingPolicy>> baselines_;
-    baselines_.push_back(baselines::makeEdgeCpuFp32Policy(sim));
-    baselines_.push_back(baselines::makeEdgeBestPolicy(sim));
-    baselines_.push_back(baselines::makeCloudPolicy(sim));
-    baselines_.push_back(baselines::makeConnectedEdgePolicy(sim));
-    baselines_.push_back(baselines::makeOptOracle(sim));
+    // The baseline policies are independent of each other and each
+    // evaluation derives its randomness from options.seed alone, so
+    // they fan out across --jobs workers; every policy's numbers are
+    // identical to the serial run. Each task builds its own policy
+    // (policies accumulate state) and shares only the simulator.
+    struct Baseline {
+        std::string name;
+        std::function<std::unique_ptr<baselines::SchedulingPolicy>()>
+            make;
+    };
+    const std::vector<Baseline> comparators = {
+        {"Edge (CPU FP32)",
+         [&] { return baselines::makeEdgeCpuFp32Policy(sim); }},
+        {"Edge (Best)", [&] { return baselines::makeEdgeBestPolicy(sim); }},
+        {"Cloud", [&] { return baselines::makeCloudPolicy(sim); }},
+        {"Connected Edge",
+         [&] { return baselines::makeConnectedEdgePolicy(sim); }},
+        {"Opt", [&] { return baselines::makeOptOracle(sim); }},
+    };
+    const std::vector<harness::RunStats> comparator_stats =
+        harness::parallelIndexed(
+            comparators.size(), jobsFromArgs(args), [&](std::size_t i) {
+                auto policy = comparators[i].make();
+                return harness::evaluatePolicy(
+                    *policy, sim, harness::allZooNetworks(), scenarios,
+                    options);
+            });
 
     Table table({"Policy", "PPW (1/J)", "Mean energy (mJ)",
                  "QoS violations", "Opt-match"});
@@ -281,17 +317,52 @@ cmdEvaluate(const Args &args)
                       Table::pct(stats.qosViolationRatio()),
                       Table::pct(stats.predictionAccuracy())});
     };
-    for (const auto &policy : baselines_) {
-        add(policy->name(),
-            harness::evaluatePolicy(*policy, sim,
-                                    harness::allZooNetworks(), scenarios,
-                                    options));
+    for (std::size_t i = 0; i < comparators.size(); ++i) {
+        add(comparators[i].name, comparator_stats[i]);
     }
     add("AutoScale",
         harness::evaluatePolicy(*autoscale_policy, sim,
                                 harness::allZooNetworks(), scenarios,
                                 options));
 
+    if (args.has("--csv")) {
+        table.printCsv(std::cout);
+    } else {
+        table.print(std::cout);
+    }
+    return 0;
+}
+
+int
+cmdLoo(const Args &args)
+{
+    const sim::InferenceSimulator sim = simFromArgs(args);
+    const std::vector<env::ScenarioId> scenarios = scenariosFromArgs(args);
+    const int jobs = jobsFromArgs(args);
+
+    harness::EvalOptions options;
+    options.runsPerCombo = args.getInt("--runs", 30);
+    options.looWarmupRuns = args.getInt("--warmup", 150);
+    options.seed = static_cast<std::uint64_t>(args.getInt("--seed", 1));
+    options.jobs = jobs;
+
+    std::cout << "Leave-one-out over " << harness::allZooNetworks().size()
+              << " workloads on " << sim.localDevice().name() << ", "
+              << scenarios.size() << " scenario(s), " << jobs
+              << " worker(s)...\n";
+    const harness::RunStats loo = harness::evaluateAutoScaleLoo(
+        sim, harness::allZooNetworks(), scenarios,
+        args.getInt("--train-runs", 400), options);
+
+    Table table({"Metric", "Value"});
+    table.addRow({"Evaluated inferences", std::to_string(loo.count())});
+    table.addRow({"PPW (1/J)", Table::num(loo.ppw(), 2)});
+    table.addRow({"Mean energy (mJ)",
+                  Table::num(loo.meanEnergyJ() * 1e3, 2)});
+    table.addRow({"QoS violations", Table::pct(loo.qosViolationRatio())});
+    table.addRow({"Opt-match", Table::pct(loo.predictionAccuracy())});
+    table.addRow({"Near-optimal (1%)",
+                  Table::pct(loo.nearOptimalRatio())});
     if (args.has("--csv")) {
         table.printCsv(std::cout);
     } else {
@@ -315,9 +386,14 @@ usage()
         "  train --device D [--scenarios S1,S2,...] [--runs N]\n"
         "        [--seed N] [--out FILE]\n"
         "  evaluate --device D [--qtable FILE] [--scenarios ...]\n"
-        "           [--runs N] [--train-runs N] [--csv]\n\n"
+        "           [--runs N] [--train-runs N] [--jobs N] [--csv]\n"
+        "  loo --device D [--scenarios ...] [--runs N] [--train-runs N]\n"
+        "      [--warmup N] [--seed N] [--jobs N] [--csv]\n\n"
         "Devices: Mi8Pro, \"Galaxy S10e\", \"Moto X Force\"\n"
-        "Scenarios: S1-S5 (static), D1-D4 (dynamic), per Table IV\n";
+        "Scenarios: S1-S5 (static), D1-D4 (dynamic), per Table IV\n"
+        "--jobs N: worker threads (default: hardware concurrency).\n"
+        "Results are bit-identical for every --jobs value; --jobs 1\n"
+        "runs fully serial.\n";
     return 2;
 }
 
@@ -348,6 +424,9 @@ main(int argc, char **argv)
     }
     if (command == "evaluate") {
         return cmdEvaluate(args);
+    }
+    if (command == "loo") {
+        return cmdLoo(args);
     }
     return usage();
 }
