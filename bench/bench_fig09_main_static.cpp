@@ -36,6 +36,7 @@ main(int argc, char **argv)
 
     const Args args(argc, argv);
     const bench::RunConfig rc = bench::runConfigFromArgs(args);
+    obs::ObsOutput obs_out(rc.obs);
 
     const std::vector<env::ScenarioId> scenarios = env::staticScenarios();
     harness::EvalOptions options;
@@ -58,10 +59,12 @@ main(int argc, char **argv)
         // otherwise the ten LOO folds inside the single replicate.
         const int fold_jobs = rc.seeds > 1 ? 1 : rc.jobs;
         const harness::RunStats as_stats = bench::runSeeds(
-            options.seed, rc.seeds, rc.jobs, [&](std::uint64_t seed) {
+            options.seed, rc.seeds, rc.jobs, obs_out.context(),
+            [&](std::uint64_t seed, const obs::ObsContext &replicate_obs) {
                 harness::EvalOptions replicate = options;
                 replicate.seed = seed;
                 replicate.jobs = fold_jobs;
+                replicate.obs = replicate_obs;
                 return harness::evaluateAutoScaleLoo(
                     sim, harness::allZooNetworks(), scenarios,
                     bench::kTrainRunsPerCombo, replicate);
@@ -89,23 +92,48 @@ main(int argc, char **argv)
             {"MOSAIC", [&] { return baselines::makeMosaicPolicy(sim); }},
             {"Opt", [&] { return baselines::makeOptOracle(sim); }},
         };
-        const std::vector<harness::RunStats> other_stats =
+        // With observability on, each concurrent comparator records
+        // into private sinks, merged below in listed order so the
+        // exported files stay byte-identical for every --jobs value.
+        struct ComparatorResult {
+            harness::RunStats stats;
+            obs::TraceRecorder trace;
+            obs::MetricsRegistry metrics;
+        };
+        const std::vector<ComparatorResult> other_results =
             harness::parallelIndexed(
                 others.size(), rc.jobs, [&](std::size_t i) {
-                    return bench::runSeeds(
-                        options.seed, rc.seeds, 1,
-                        [&](std::uint64_t seed) {
+                    ComparatorResult result;
+                    obs::ObsContext local;
+                    if (obs_out.config().tracing()) {
+                        local.trace = &result.trace;
+                    }
+                    if (obs_out.config().metering()) {
+                        local.metrics = &result.metrics;
+                    }
+                    result.stats = bench::runSeeds(
+                        options.seed, rc.seeds, 1, local,
+                        [&](std::uint64_t seed,
+                            const obs::ObsContext &replicate_obs) {
                             auto policy = others[i].make();
                             harness::EvalOptions replicate = options;
                             replicate.seed = seed;
+                            replicate.obs = replicate_obs;
                             return harness::evaluatePolicy(
                                 *policy, sim, harness::allZooNetworks(),
                                 scenarios, replicate);
                         });
+                    return result;
                 });
         std::map<std::string, harness::RunStats> stats;
         for (std::size_t i = 0; i < others.size(); ++i) {
-            stats.emplace(others[i].name, other_stats[i]);
+            stats.emplace(others[i].name, other_results[i].stats);
+            if (obs_out.config().tracing()) {
+                obs_out.trace().append(other_results[i].trace);
+            }
+            if (obs_out.config().metering()) {
+                obs_out.metrics().merge(other_results[i].metrics);
+            }
         }
         const double cpu_ppw = stats.at("Edge (CPU FP32)").ppw();
 
@@ -161,5 +189,6 @@ main(int argc, char **argv)
     std::cout << "QoS-violation gap to Opt: "
               << bench::withPaper(Table::pct(as_qos - opt_qos), "1.9%")
               << '\n';
+    obs_out.finalize(&std::cout);
     return 0;
 }

@@ -22,13 +22,16 @@ using namespace autoscale;
 namespace {
 
 void
-runScenario(const sim::InferenceSimulator &sim, bool streaming)
+runScenario(const sim::InferenceSimulator &sim, bool streaming, int jobs,
+            const obs::ObsContext &obs)
 {
     const std::vector<env::ScenarioId> scenarios = env::staticScenarios();
     harness::EvalOptions options;
     options.runsPerCombo = bench::kEvalRunsPerCombo;
     options.streaming = streaming;
     options.seed = streaming ? 1010 : 1011;
+    options.jobs = jobs;
+    options.obs = obs;
 
     const harness::RunStats as_stats = harness::evaluateAutoScaleLoo(
         sim, harness::allZooNetworks(), scenarios,
@@ -72,7 +75,7 @@ runScenario(const sim::InferenceSimulator &sim, bool streaming)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader(
         "Fig. 10: rising inference intensity (non-streaming -> "
@@ -80,16 +83,25 @@ main()
         "Shape: efficiency and QoS degrade under 30 FPS, but AutoScale "
         "still tracks Opt");
 
+    const Args args(argc, argv);
+    const bench::RunConfig rc = bench::runConfigFromArgs(args);
+    obs::ObsOutput obs_out(rc.obs);
+
     for (const std::string &phone : platform::phoneNames()) {
-        const sim::InferenceSimulator sim =
+        sim::InferenceSimulator sim =
             sim::InferenceSimulator::makeDefault(
                 platform::makePhone(phone));
+        if (obs_out.config().metering()) {
+            sim.setObserver(&obs_out.metrics());
+        }
         printBanner(std::cout,
                     phone + ": non-streaming (50 ms interactive QoS)");
-        runScenario(sim, /*streaming=*/false);
+        runScenario(sim, /*streaming=*/false, rc.jobs,
+                    obs_out.context());
         printBanner(std::cout,
                     phone + ": streaming (30 FPS QoS, vision only)");
-        runScenario(sim, /*streaming=*/true);
+        runScenario(sim, /*streaming=*/true, rc.jobs, obs_out.context());
     }
+    obs_out.finalize(&std::cout);
     return 0;
 }

@@ -31,9 +31,13 @@ main(int argc, char **argv)
 
     const Args args(argc, argv);
     const bench::RunConfig rc = bench::runConfigFromArgs(args);
+    obs::ObsOutput obs_out(rc.obs);
 
-    const sim::InferenceSimulator sim =
+    sim::InferenceSimulator sim =
         sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    if (obs_out.config().metering()) {
+        sim.setObserver(&obs_out.metrics());
+    }
     const std::vector<env::ScenarioId> all = env::allScenarios();
 
     // One AutoScale scheduler trained across every environment (the
@@ -61,23 +65,54 @@ main(int argc, char **argv)
     options.runsPerCombo = bench::kEvalRunsPerCombo;
     options.seed = 1102;
 
-    // All (environment x comparator) cells in one flat fan-out.
+    // All (environment x comparator) cells in one flat fan-out. With
+    // observability on, each cell records into private sinks that are
+    // merged below in cell-index order (then AutoScale's serial walk
+    // appends), so the export is byte-identical for every --jobs value.
+    struct CellResult {
+        harness::RunStats stats;
+        obs::TraceRecorder trace;
+        obs::MetricsRegistry metrics;
+    };
     const std::size_t cells = all.size() * comparators.size();
-    const std::vector<harness::RunStats> cell_stats =
+    const std::vector<CellResult> cell_results =
         harness::parallelIndexed(cells, rc.jobs, [&](std::size_t cell) {
             const env::ScenarioId id = all[cell / comparators.size()];
             const Comparator &comparator =
                 comparators[cell % comparators.size()];
-            return bench::runSeeds(
-                options.seed, rc.seeds, 1, [&](std::uint64_t seed) {
+            CellResult result;
+            obs::ObsContext local;
+            if (obs_out.config().tracing()) {
+                local.trace = &result.trace;
+            }
+            if (obs_out.config().metering()) {
+                local.metrics = &result.metrics;
+            }
+            result.stats = bench::runSeeds(
+                options.seed, rc.seeds, 1, local,
+                [&](std::uint64_t seed,
+                    const obs::ObsContext &replicate_obs) {
                     auto policy = comparator.make();
                     harness::EvalOptions replicate = options;
                     replicate.seed = seed;
+                    replicate.obs = replicate_obs;
                     return harness::evaluatePolicy(
                         *policy, sim, harness::allZooNetworks(), {id},
                         replicate);
                 });
+            return result;
         });
+    std::vector<harness::RunStats> cell_stats;
+    cell_stats.reserve(cell_results.size());
+    for (const CellResult &result : cell_results) {
+        cell_stats.push_back(result.stats);
+        if (obs_out.config().tracing()) {
+            obs_out.trace().append(result.trace);
+        }
+        if (obs_out.config().metering()) {
+            obs_out.metrics().merge(result.metrics);
+        }
+    }
 
     // Per-environment rows plus per-policy aggregates.
     std::map<std::string, std::vector<double>> ppw;
@@ -94,11 +129,14 @@ main(int argc, char **argv)
                 cell_stats[env_index * comparators.size() + i]);
         }
         // The AutoScale policy keeps learning online, so it walks the
-        // environments (and seed replicates) serially on this thread.
+        // environments (and seed replicates) serially on this thread,
+        // recording straight into the run-level sinks.
         const harness::RunStats as_stats = bench::runSeeds(
-            options.seed, rc.seeds, 1, [&](std::uint64_t seed) {
+            options.seed, rc.seeds, 1, obs_out.context(),
+            [&](std::uint64_t seed, const obs::ObsContext &replicate_obs) {
                 harness::EvalOptions replicate = options;
                 replicate.seed = seed;
+                replicate.obs = replicate_obs;
                 return harness::evaluatePolicy(
                     *autoscale_policy, sim, harness::allZooNetworks(),
                     {id}, replicate);
@@ -151,5 +189,6 @@ main(int argc, char **argv)
     std::cout << "AutoScale avg QoS violations: "
               << Table::pct(mean(qos["AutoScale"]))
               << " vs Opt " << Table::pct(mean(qos["Opt"])) << '\n';
+    obs_out.finalize(&std::cout);
     return 0;
 }

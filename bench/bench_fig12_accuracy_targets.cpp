@@ -20,15 +20,21 @@
 using namespace autoscale;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader(
         "Fig. 12: sensitivity to the inference accuracy target",
         "Shape: PPW and QoS degrade slightly at 65-70% targets; flat at "
         "and below 50%");
 
-    const sim::InferenceSimulator sim =
+    const Args args(argc, argv);
+    obs::ObsOutput obs_out(obs::ObsConfig::fromArgs(args));
+
+    sim::InferenceSimulator sim =
         sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    if (obs_out.config().metering()) {
+        sim.setObserver(&obs_out.metrics());
+    }
     const std::vector<env::ScenarioId> scenarios = env::staticScenarios();
 
     Table table({"Accuracy target", "AutoScale PPW vs Edge(CPU)",
@@ -44,6 +50,7 @@ main()
         options.runsPerCombo = bench::kEvalRunsPerCombo;
         options.seed = 1212 + static_cast<std::uint64_t>(target);
         options.accuracyTargetPct = target;
+        options.obs = obs_out.context(); // fully serial: record directly
 
         const harness::RunStats as_stats = harness::evaluatePolicy(
             *policy, sim, harness::allZooNetworks(), scenarios, options);
@@ -69,5 +76,6 @@ main()
                  " targets, its energy\nefficiency and QoS violation"
                  " ratio are improved. The improvement does not\nvary"
                  " much beyond the 50% accuracy threshold.\"\n";
+    obs_out.finalize(&std::cout);
     return 0;
 }

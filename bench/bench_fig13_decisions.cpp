@@ -52,22 +52,29 @@ printDistribution(const std::string &title,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader(
         "Fig. 13: decision distributions and prediction accuracy",
         "Paper: 97.9% average prediction accuracy; mis-predictions only "
         "where the energy gap is < 1%");
 
+    const Args args(argc, argv);
+    obs::ObsOutput obs_out(obs::ObsConfig::fromArgs(args));
+
     const std::vector<env::ScenarioId> scenarios = env::staticScenarios();
     harness::EvalOptions options;
     options.runsPerCombo = bench::kEvalRunsPerCombo;
     options.seed = 1301;
+    options.obs = obs_out.context(); // fully serial: record directly
 
     std::vector<double> accuracies;
     for (const std::string &phone : platform::phoneNames()) {
-        const sim::InferenceSimulator sim =
+        sim::InferenceSimulator sim =
             sim::InferenceSimulator::makeDefault(platform::makePhone(phone));
+        if (obs_out.config().metering()) {
+            sim.setObserver(&obs_out.metrics());
+        }
         auto policy = bench::trainOnAll(sim, scenarios, 1302);
         const harness::RunStats stats = harness::evaluatePolicy(
             *policy, sim, harness::allZooNetworks(), scenarios, options);
@@ -76,8 +83,11 @@ main()
     }
 
     // The Section VI-B per-environment anchors, on the Mi8Pro.
-    const sim::InferenceSimulator sim =
+    sim::InferenceSimulator sim =
         sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    if (obs_out.config().metering()) {
+        sim.setObserver(&obs_out.metrics());
+    }
     auto policy = bench::trainOnAll(sim, env::allScenarios(), 1303);
 
     options.seed = 1304;
@@ -105,5 +115,6 @@ main()
               << bench::withPaper(
                      Table::pct(sum / accuracies.size()), "97.9%")
               << '\n';
+    obs_out.finalize(&std::cout);
     return 0;
 }

@@ -23,13 +23,17 @@ namespace {
 
 /**
  * Train @p scheduler on one (network, scenario) stream and return the
- * run index at which the reward converged (or @p maxRuns).
+ * run index at which the reward converged (or @p maxRuns). When @p obs
+ * is tracing, one "train"-phase DecisionEvent is recorded per run (the
+ * reward series the figure plots); callers inside parallel regions
+ * pass a disabled context.
  */
 int
 convergenceRuns(core::AutoScaleScheduler &scheduler,
                 const sim::InferenceSimulator &sim,
                 const dnn::Network &net, env::ScenarioId scenario_id,
-                int maxRuns, Rng &rng, std::vector<double> *rewards)
+                int maxRuns, Rng &rng, std::vector<double> *rewards,
+                const obs::ObsContext &obs = {})
 {
     core::ConvergenceTracker tracker(10, 0.08);
     env::Scenario scenario(scenario_id);
@@ -44,6 +48,36 @@ convergenceRuns(core::AutoScaleScheduler &scheduler,
         tracker.add(scheduler.lastReward());
         if (rewards != nullptr) {
             rewards->push_back(scheduler.lastReward());
+        }
+        if (obs.tracing()) {
+            obs::DecisionEvent event;
+            event.policy = "AutoScale";
+            event.network = net.name();
+            event.scenario = env::scenarioName(scenario_id);
+            event.phase = "train";
+            event.coCpuUtil = env.coCpuUtil;
+            event.coMemUtil = env.coMemUtil;
+            event.rssiWlanDbm = env.rssiWlanDbm;
+            event.rssiP2pDbm = env.rssiP2pDbm;
+            event.thermalFactor = env.thermalFactor;
+            event.target = target.label();
+            event.category = target.category();
+            event.feasible = outcome.feasible;
+            event.latencyMs = outcome.latencyMs;
+            event.energyJ = outcome.energyJ;
+            event.accuracyPct = outcome.accuracyPct;
+            event.qosMs = request.qosMs;
+            event.qosViolated = !outcome.feasible
+                || outcome.latencyMs >= request.qosMs;
+            const core::AutoScaleScheduler::DecisionInfo &info =
+                scheduler.lastDecision();
+            event.stateId = info.state;
+            event.actionId = info.action;
+            event.qValue = info.qValue;
+            event.explored = info.explored;
+            event.reward = scheduler.lastReward();
+            event.qUpdateDelta = scheduler.lastQUpdateDelta();
+            obs.trace->record(std::move(event));
         }
         if (converged_at == maxRuns && tracker.converged()) {
             converged_at = run + 1;
@@ -93,11 +127,16 @@ main(int argc, char **argv)
 
     const Args args(argc, argv);
     const bench::RunConfig rc = bench::runConfigFromArgs(args);
+    obs::ObsOutput obs_out(rc.obs);
 
-    const sim::InferenceSimulator mi8 =
+    sim::InferenceSimulator mi8 =
         sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    if (obs_out.config().metering()) {
+        mi8.setObserver(&obs_out.metrics());
+    }
 
-    // Reward trace for one representative workload (plot series).
+    // Reward trace for one representative workload (plot series). This
+    // block is serial, so it records straight into the run-level trace.
     printBanner(std::cout,
                 "Reward trace: Inception v1 on Mi8Pro, from scratch");
     {
@@ -107,7 +146,8 @@ main(int argc, char **argv)
         std::vector<double> rewards;
         const int converged = convergenceRuns(
             scheduler, mi8, dnn::findModel("Inception v1"),
-            env::ScenarioId::S1, 120, rng, &rewards);
+            env::ScenarioId::S1, 120, rng, &rewards,
+            obs_out.context());
         Table trace({"Run", "Reward (window mean of 10)"});
         for (std::size_t i = 9; i < rewards.size(); i += 10) {
             double window = 0.0;
@@ -210,5 +250,6 @@ main(int argc, char **argv)
     }
     hyper.print(std::cout);
     std::cout << "Paper choice: learning rate 0.9, discount 0.1.\n";
+    obs_out.finalize(&std::cout);
     return 0;
 }

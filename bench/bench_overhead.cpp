@@ -153,6 +153,147 @@ BM_RewardCalculation(benchmark::State &state)
 }
 BENCHMARK(BM_RewardCalculation);
 
+/**
+ * Fill a DecisionEvent the way the experiment loop does; shared by the
+ * observability-overhead benchmarks below.
+ */
+obs::DecisionEvent
+makeObsEvent(const core::AutoScaleScheduler &scheduler,
+             const dnn::Network &net, const sim::InferenceRequest &request,
+             const sim::Outcome &outcome)
+{
+    obs::DecisionEvent event;
+    event.policy = "AutoScale";
+    event.network = net.name();
+    event.scenario = "S1";
+    event.phase = "eval";
+    event.target = "Local CPU INT8 @2.80GHz";
+    event.category = "on-device";
+    event.feasible = outcome.feasible;
+    event.latencyMs = outcome.latencyMs;
+    event.energyJ = outcome.energyJ;
+    event.accuracyPct = outcome.accuracyPct;
+    event.qosMs = request.qosMs;
+    const core::AutoScaleScheduler::DecisionInfo &info =
+        scheduler.lastDecision();
+    event.stateId = info.state;
+    event.actionId = info.action;
+    event.qValue = info.qValue;
+    event.reward = scheduler.lastReward();
+    event.qUpdateDelta = scheduler.lastQUpdateDelta();
+    return event;
+}
+
+void
+BM_SchedulerExploitObsDisabled(benchmark::State &state)
+{
+    // The BM_SchedulerExploit loop plus the disabled-observability
+    // guard exactly as the experiment loop runs it: one enabled()
+    // branch per inference. The acceptance bar is that this stays
+    // within 2% of BM_SchedulerExploit.
+    core::AutoScaleScheduler scheduler(mi8(), core::SchedulerConfig{}, 3);
+    scheduler.setExploration(false);
+    const dnn::Network &net = dnn::findModel("Inception v1");
+    const sim::InferenceRequest request = sim::makeRequest(net);
+    const env::EnvState env;
+    sim::Outcome outcome;
+    outcome.feasible = true;
+    outcome.latencyMs = 12.0;
+    outcome.estimatedEnergyJ = 0.02;
+    outcome.energyJ = 0.02;
+    outcome.accuracyPct = 69.8;
+    const obs::ObsContext obs; // both sinks null: tracing off
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scheduler.choose(request, env));
+        scheduler.feedback(outcome);
+        if (obs.enabled()) {
+            obs::DecisionEvent event =
+                makeObsEvent(scheduler, net, request, outcome);
+            obs.trace->record(std::move(event));
+        }
+    }
+    scheduler.finishEpisode();
+}
+BENCHMARK(BM_SchedulerExploitObsDisabled);
+
+void
+BM_SchedulerExploitTraced(benchmark::State &state)
+{
+    // Same loop with a live recorder and registry: the enabled-path
+    // cost of building and buffering one event per inference.
+    core::AutoScaleScheduler scheduler(mi8(), core::SchedulerConfig{}, 3);
+    scheduler.setExploration(false);
+    const dnn::Network &net = dnn::findModel("Inception v1");
+    const sim::InferenceRequest request = sim::makeRequest(net);
+    const env::EnvState env;
+    sim::Outcome outcome;
+    outcome.feasible = true;
+    outcome.latencyMs = 12.0;
+    outcome.estimatedEnergyJ = 0.02;
+    outcome.energyJ = 0.02;
+    outcome.accuracyPct = 69.8;
+    obs::TraceRecorder trace;
+    obs::MetricsRegistry metrics;
+    const obs::ObsContext obs{&trace, &metrics};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scheduler.choose(request, env));
+        scheduler.feedback(outcome);
+        if (obs.enabled()) {
+            obs::DecisionEvent event =
+                makeObsEvent(scheduler, net, request, outcome);
+            metrics.inc("eval.inferences");
+            metrics.observe("eval.latency_ms", event.latencyMs);
+            trace.record(std::move(event));
+        }
+        if (trace.size() >= 1 << 16) { // bound memory across iterations
+            trace.clear();
+        }
+    }
+    scheduler.finishEpisode();
+}
+BENCHMARK(BM_SchedulerExploitTraced);
+
+void
+BM_TraceRecordEvent(benchmark::State &state)
+{
+    // Isolated cost of buffering one fully populated event.
+    core::AutoScaleScheduler scheduler(mi8(), core::SchedulerConfig{}, 3);
+    const dnn::Network &net = dnn::findModel("Inception v1");
+    const sim::InferenceRequest request = sim::makeRequest(net);
+    sim::Outcome outcome;
+    outcome.feasible = true;
+    outcome.latencyMs = 12.0;
+    outcome.energyJ = 0.02;
+    outcome.accuracyPct = 69.8;
+    const obs::DecisionEvent prototype =
+        makeObsEvent(scheduler, net, request, outcome);
+    obs::TraceRecorder trace;
+    for (auto _ : state) {
+        obs::DecisionEvent event = prototype;
+        trace.record(std::move(event));
+        if (trace.size() >= 1 << 16) {
+            trace.clear();
+        }
+    }
+}
+BENCHMARK(BM_TraceRecordEvent);
+
+void
+BM_MetricsCounterAndHistogram(benchmark::State &state)
+{
+    // Isolated cost of the per-decision registry updates.
+    obs::MetricsRegistry metrics;
+    metrics.declareHistogram("eval.latency_ms",
+                             obs::MetricsRegistry::latencyBucketsMs());
+    double latency = 0.5;
+    for (auto _ : state) {
+        metrics.inc("eval.inferences");
+        metrics.observe("eval.latency_ms", latency);
+        latency = latency < 2000.0 ? latency * 1.7 : 0.5;
+    }
+}
+BENCHMARK(BM_MetricsCounterAndHistogram);
+
 void
 BM_LearningTransfer(benchmark::State &state)
 {

@@ -44,6 +44,7 @@ runConfigFromArgs(const Args &args)
     config.seeds = std::max(1, args.getInt("--seeds", 1));
     config.jobs =
         std::max(1, args.getInt("--jobs", harness::defaultJobs()));
+    config.obs = obs::ObsConfig::fromArgs(args);
     std::cout << "Replicates: " << config.seeds << " seed(s), "
               << config.jobs << " worker(s)\n";
     return config;
@@ -61,6 +62,49 @@ runSeeds(std::uint64_t baseSeed, int replicates, int jobs,
                       baseSeed, static_cast<std::uint64_t>(index));
             return fn(seed);
         });
+}
+
+harness::RunStats
+runSeeds(std::uint64_t baseSeed, int replicates, int jobs,
+         const obs::ObsContext &obs,
+         const std::function<harness::RunStats(
+             std::uint64_t seed, const obs::ObsContext &obs)> &fn)
+{
+    struct ReplicateResult {
+        harness::RunStats stats;
+        obs::TraceRecorder trace;
+        obs::MetricsRegistry metrics;
+    };
+    const std::vector<ReplicateResult> results = harness::parallelIndexed(
+        static_cast<std::size_t>(std::max(1, replicates)), jobs,
+        [&](std::size_t index) {
+            const std::uint64_t seed = index == 0
+                ? baseSeed
+                : harness::replicateSeed(
+                      baseSeed, static_cast<std::uint64_t>(index));
+            ReplicateResult result;
+            obs::ObsContext local;
+            if (obs.tracing()) {
+                local.trace = &result.trace;
+            }
+            if (obs.metering()) {
+                local.metrics = &result.metrics;
+            }
+            result.stats = fn(seed, local);
+            return result;
+        });
+
+    harness::RunStats merged;
+    for (const ReplicateResult &result : results) {
+        merged.merge(result.stats);
+        if (obs.tracing()) {
+            obs.trace->append(result.trace);
+        }
+        if (obs.metering()) {
+            obs.metrics->merge(result.metrics);
+        }
+    }
+    return merged;
 }
 
 std::string

@@ -18,6 +18,7 @@
 #include "harness/autoscale_policy.h"
 #include "harness/experiment.h"
 #include "harness/parallel.h"
+#include "obs/obs_output.h"
 #include "platform/device_zoo.h"
 #include "sim/simulator.h"
 #include "util/args.h"
@@ -64,9 +65,11 @@ std::unique_ptr<harness::AutoScalePolicy> trainOnAll(
 struct RunConfig {
     int seeds = 1;
     int jobs = 1;
+    /** `--trace` / `--trace-format` / `--metrics` passthrough. */
+    obs::ObsConfig obs;
 };
 
-/** Parse `--seeds` / `--jobs` (and report them on stdout). */
+/** Parse `--seeds` / `--jobs` / observability flags (and report). */
 RunConfig runConfigFromArgs(const Args &args);
 
 /**
@@ -82,6 +85,20 @@ RunConfig runConfigFromArgs(const Args &args);
 harness::RunStats runSeeds(
     std::uint64_t baseSeed, int replicates, int jobs,
     const std::function<harness::RunStats(std::uint64_t seed)> &fn);
+
+/**
+ * Observability-aware variant of runSeeds: each replicate records into
+ * private trace/metrics sinks passed to @p fn, which are merged into
+ * @p obs in replicate-index order after the parallel region. The
+ * exported files are therefore byte-identical for every jobs value.
+ * With observability fully disabled the per-replicate context is
+ * disabled too (null sinks, one branch per decision).
+ */
+harness::RunStats runSeeds(
+    std::uint64_t baseSeed, int replicates, int jobs,
+    const obs::ObsContext &obs,
+    const std::function<harness::RunStats(
+        std::uint64_t seed, const obs::ObsContext &obs)> &fn);
 
 /** "measured (paper: X)" annotation cell. */
 std::string withPaper(const std::string &measured,

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "env/env_state.h"
+#include "obs/trace_event.h"
 #include "sim/qos.h"
 #include "sim/simulator.h"
 #include "sim/target.h"
@@ -60,6 +61,18 @@ class SchedulingPolicy {
 
     /** Learning updates on/off for learning policies (no-op otherwise). */
     virtual void setLearning(bool enabled) { (void)enabled; }
+
+    /**
+     * Fill the learning-introspection fields of a decision-trace event
+     * (reward, Q-value, state/action ids, applied Q-update delta) for
+     * the most recent decide()/feedback() pair. Non-learning policies
+     * leave the defaults, which mark those fields as not applicable.
+     */
+    virtual void
+    describeLastDecision(obs::DecisionEvent &event) const
+    {
+        (void)event;
+    }
 };
 
 /** Execute @p decision on @p sim with measurement noise. */

@@ -91,10 +91,12 @@ int
 QLearningAgent::selectAction(int state)
 {
     if (explore_ && rng_.uniform() < config_.epsilon) {
+        lastExplored_ = true;
         return static_cast<int>(
             rng_.uniformInt(static_cast<std::uint64_t>(
                 table_.numActions())));
     }
+    lastExplored_ = false;
     return table_.bestAction(state);
 }
 
@@ -135,8 +137,9 @@ QLearningAgent::update(int state, int action, double reward, int nextState)
     const double target = reward + config_.discount
         * table_.maxValue(nextState);
     lastTdError_ = target - old_q;
+    lastUpdateDelta_ = rate * lastTdError_;
     table_.at(state, action) = static_cast<float>(
-        old_q + rate * lastTdError_);
+        old_q + lastUpdateDelta_);
 }
 
 } // namespace autoscale::core

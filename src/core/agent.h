@@ -95,6 +95,12 @@ class QLearningAgent {
     /** Epsilon-greedy action for @p state (Algorithm 1 selection). */
     int selectAction(int state);
 
+    /**
+     * Whether the most recent selectAction() chose by exploration
+     * (random draw) rather than the greedy argmax.
+     */
+    bool lastActionExplored() const { return lastExplored_; }
+
     /** Greedy action (exploitation only). */
     int bestAction(int state) const { return table_.bestAction(state); }
 
@@ -115,6 +121,13 @@ class QLearningAgent {
     /** Temporal-difference error of the most recent update. */
     double lastTdError() const { return lastTdError_; }
 
+    /**
+     * Q-value delta actually applied by the most recent update, i.e.
+     * effectiveLearningRate * lastTdError (0 while learning is off).
+     * This is the per-step table movement a decision trace records.
+     */
+    double lastUpdateDelta() const { return lastUpdateDelta_; }
+
     /** Number of learning updates applied to (state, action). */
     int visitCount(int state, int action) const;
 
@@ -127,7 +140,9 @@ class QLearningAgent {
     Rng rng_;
     bool explore_ = true;
     bool learn_ = true;
+    bool lastExplored_ = false;
     double lastTdError_ = 0.0;
+    double lastUpdateDelta_ = 0.0;
     ConvergenceTracker convergence_;
     std::vector<std::uint16_t> visits_;
 };

@@ -39,6 +39,11 @@ AutoScaleScheduler::choose(const sim::InferenceRequest &request,
     currentAction_ = agent_.selectAction(state);
     currentRequest_ = request;
     awaitingFeedback_ = true;
+    lastDecision_ = DecisionInfo{
+        currentState_, currentAction_,
+        static_cast<double>(agent_.table().at(currentState_,
+                                              currentAction_)),
+        agent_.lastActionExplored()};
     return actions_[static_cast<std::size_t>(currentAction_)];
 }
 

@@ -105,6 +105,26 @@ class AutoScaleScheduler {
     /** Last reward folded into the learner. */
     double lastReward() const { return lastReward_; }
 
+    /** Per-decision introspection for the observability layer. */
+    struct DecisionInfo {
+        StateId state = 0;
+        ActionId action = 0;
+        /** Q(S, A) of the chosen action at decision time. */
+        double qValue = 0.0;
+        /** Whether epsilon-greedy exploration overrode the argmax. */
+        bool explored = false;
+    };
+
+    /** How the most recent choose() picked its action. */
+    const DecisionInfo &lastDecision() const { return lastDecision_; }
+
+    /**
+     * Applied Q-table delta of the most recent Algorithm 1 update.
+     * Because the update for decision N runs when decision N+1 observes
+     * S', this lags the current decision by one step.
+     */
+    double lastQUpdateDelta() const { return agent_.lastUpdateDelta(); }
+
   private:
     struct Pending {
         StateId state;
@@ -123,6 +143,7 @@ class AutoScaleScheduler {
     sim::InferenceRequest currentRequest_;
     bool awaitingFeedback_ = false;
     double lastReward_ = 0.0;
+    DecisionInfo lastDecision_;
 };
 
 } // namespace autoscale::core

@@ -28,6 +28,19 @@ AutoScalePolicy::finishEpisode()
     scheduler_.finishEpisode();
 }
 
+void
+AutoScalePolicy::describeLastDecision(obs::DecisionEvent &event) const
+{
+    const core::AutoScaleScheduler::DecisionInfo &info =
+        scheduler_.lastDecision();
+    event.stateId = info.state;
+    event.actionId = info.action;
+    event.qValue = info.qValue;
+    event.explored = info.explored;
+    event.reward = scheduler_.lastReward();
+    event.qUpdateDelta = scheduler_.lastQUpdateDelta();
+}
+
 std::unique_ptr<AutoScalePolicy>
 makeAutoScalePolicy(const sim::InferenceSimulator &sim, std::uint64_t seed,
                     const core::SchedulerConfig &config)

@@ -44,6 +44,14 @@ class AutoScalePolicy : public baselines::SchedulingPolicy {
         scheduler_.setLearning(enabled);
     }
 
+    /**
+     * Expose the learner's view of the most recent decision: encoded
+     * state, chosen action, its Q-value, exploration flag, the reward
+     * folded back, and the applied Q-update delta (which lags one
+     * decision; see core::AutoScaleScheduler::lastQUpdateDelta).
+     */
+    void describeLastDecision(obs::DecisionEvent &event) const override;
+
     core::AutoScaleScheduler &scheduler() { return scheduler_; }
     const core::AutoScaleScheduler &scheduler() const { return scheduler_; }
 

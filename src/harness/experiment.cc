@@ -35,6 +35,85 @@ fallbackOutcome(const sim::InferenceSimulator &sim,
     return sim.run(*request.network, cpu, env, rng);
 }
 
+/**
+ * Declare the standard decision histograms on @p metrics (idempotent),
+ * prefixed with "train." or "eval.".
+ */
+void
+declareDecisionHistograms(obs::MetricsRegistry &metrics,
+                          const std::string &prefix)
+{
+    metrics.declareHistogram(prefix + "latency_ms",
+                             obs::MetricsRegistry::latencyBucketsMs());
+    metrics.declareHistogram(prefix + "energy_mj",
+                             obs::MetricsRegistry::energyBucketsMj());
+    metrics.declareHistogram(prefix + "reward",
+                             obs::MetricsRegistry::rewardBuckets());
+    metrics.declareHistogram(
+        prefix + "q_update_delta",
+        {-100, -10, -1, -0.1, 0, 0.1, 1, 10, 100});
+}
+
+/** Shared skeleton of a decision-trace event. */
+obs::DecisionEvent
+makeDecisionEvent(const char *phase, const baselines::SchedulingPolicy &policy,
+                  const sim::InferenceRequest &request,
+                  const env::Scenario &scenario, const env::EnvState &env,
+                  const baselines::Decision &decision,
+                  const sim::Outcome &observed, bool fallback)
+{
+    obs::DecisionEvent event;
+    event.policy = policy.name();
+    event.network = request.network->name();
+    event.scenario = scenario.name();
+    event.phase = phase;
+    event.coCpuUtil = env.coCpuUtil;
+    event.coMemUtil = env.coMemUtil;
+    event.rssiWlanDbm = env.rssiWlanDbm;
+    event.rssiP2pDbm = env.rssiP2pDbm;
+    event.thermalFactor = env.thermalFactor;
+    event.target = decision.partitioned
+        ? decision.category() : decision.target.label();
+    event.category = decision.category();
+    event.partitioned = decision.partitioned;
+    event.fallback = fallback;
+    event.latencyMs = observed.latencyMs;
+    event.energyJ = observed.energyJ;
+    event.accuracyPct = observed.accuracyPct;
+    event.qosMs = request.qosMs;
+    policy.describeLastDecision(event);
+    return event;
+}
+
+/** Record the per-decision counters/histograms for one inference. */
+void
+recordDecisionMetrics(obs::MetricsRegistry &metrics,
+                      const std::string &prefix,
+                      const obs::DecisionEvent &event)
+{
+    metrics.inc(prefix + "inferences");
+    metrics.inc(prefix + "decisions." + obs::metricSlug(event.category));
+    if (event.qosViolated) {
+        metrics.inc(prefix + "qos_violations");
+    }
+    if (event.accuracyViolated) {
+        metrics.inc(prefix + "accuracy_violations");
+    }
+    if (!event.feasible) {
+        metrics.inc(prefix + "infeasible");
+    }
+    if (event.fallback) {
+        metrics.inc(prefix + "fallbacks");
+    }
+    if (event.explored) {
+        metrics.inc(prefix + "explored");
+    }
+    metrics.observe(prefix + "latency_ms", event.latencyMs);
+    metrics.observe(prefix + "energy_mj", event.energyJ * 1e3);
+    metrics.observe(prefix + "reward", event.reward);
+    metrics.observe(prefix + "q_update_delta", event.qUpdateDelta);
+}
+
 } // namespace
 
 std::vector<const dnn::Network *>
@@ -66,10 +145,13 @@ trainPolicy(baselines::SchedulingPolicy &policy,
             const std::vector<const dnn::Network *> &networks,
             const std::vector<env::ScenarioId> &scenarios,
             int runsPerCombo, Rng &rng, bool streaming,
-            double accuracyTargetPct)
+            double accuracyTargetPct, const obs::ObsContext &obs)
 {
     policy.setExploration(true);
     policy.setLearning(true);
+    if (obs.metering()) {
+        declareDecisionHistograms(*obs.metrics, "train.");
+    }
 
     // One persistent stream per (scenario, network): its environment
     // process, its thermal state, and its request. Training interleaves
@@ -119,6 +201,32 @@ trainPolicy(baselines::SchedulingPolicy &policy,
             const sim::Outcome outcome = baselines::executeDecision(
                 sim, stream.request, decision, env, rng);
             policy.feedback(outcome);
+
+            if (obs.enabled()) {
+                obs::DecisionEvent event = makeDecisionEvent(
+                    "train", policy, stream.request, stream.scenario,
+                    env, decision, outcome, false);
+                event.feasible = outcome.feasible;
+                event.qosViolated = !outcome.feasible
+                    || outcome.latencyMs >= stream.request.qosMs;
+                event.accuracyViolated = !outcome.feasible
+                    || outcome.accuracyPct
+                        < stream.request.accuracyTargetPct;
+                if (obs.tracing()) {
+                    const sim::Outcome predicted =
+                        baselines::expectedDecision(sim, stream.request,
+                                                    decision, env);
+                    event.predictedLatencyMs = predicted.latencyMs;
+                    event.predictedEnergyJ = predicted.energyJ;
+                }
+                if (obs.metering()) {
+                    recordDecisionMetrics(*obs.metrics, "train.", event);
+                }
+                if (obs.tracing()) {
+                    obs.trace->record(std::move(event));
+                }
+            }
+
             if (streaming && outcome.feasible) {
                 // Inference power plus the co-runner's draw heats the
                 // SoC; the gap to the next frame cools it.
@@ -142,10 +250,10 @@ trainAutoScale(AutoScalePolicy &policy, const sim::InferenceSimulator &sim,
                const std::vector<const dnn::Network *> &networks,
                const std::vector<env::ScenarioId> &scenarios,
                int runsPerCombo, Rng &rng, bool streaming,
-               double accuracyTargetPct)
+               double accuracyTargetPct, const obs::ObsContext &obs)
 {
     trainPolicy(policy, sim, networks, scenarios, runsPerCombo, rng,
-                streaming, accuracyTargetPct);
+                streaming, accuracyTargetPct, obs);
 }
 
 RunStats
@@ -158,6 +266,9 @@ evaluatePolicy(baselines::SchedulingPolicy &policy,
     Rng rng(options.seed);
     baselines::OptOracle oracle(sim);
     RunStats stats;
+    if (options.obs.metering()) {
+        declareDecisionHistograms(*options.obs.metrics, "eval.");
+    }
 
     for (const env::ScenarioId scenario_id : scenarios) {
         for (const dnn::Network *network : networks) {
@@ -198,6 +309,13 @@ evaluatePolicy(baselines::SchedulingPolicy &policy,
                     || measured.accuracyPct < request.accuracyTargetPct;
                 record.decisionCategory = decision.category();
 
+                // The noiseless model prediction backs the oracle
+                // comparison and the trace's predicted-vs-observed gap.
+                sim::Outcome expected_decision;
+                if (options.compareOracle || options.obs.tracing()) {
+                    expected_decision = baselines::expectedDecision(
+                        sim, request, decision, env);
+                }
                 if (options.compareOracle) {
                     const sim::ExecutionTarget opt =
                         oracle.optimalTarget(request, env);
@@ -209,14 +327,29 @@ evaluatePolicy(baselines::SchedulingPolicy &policy,
                         opt_outcome.latencyMs >= request.qosMs;
                     record.matchedOracle = !decision.partitioned
                         && record.decisionCategory == record.optCategory;
-                    const sim::Outcome expected_decision =
-                        baselines::expectedDecision(sim, request, decision,
-                                                    env);
                     record.nearOptimal = expected_decision.feasible
                         && expected_decision.energyJ
                             <= opt_outcome.energyJ * 1.01;
                 }
                 stats.add(record);
+
+                if (options.obs.enabled()) {
+                    obs::DecisionEvent event = makeDecisionEvent(
+                        "eval", policy, request, scenario, env, decision,
+                        measured, !outcome.feasible);
+                    event.feasible = outcome.feasible;
+                    event.qosViolated = record.qosViolated;
+                    event.accuracyViolated = record.accuracyViolated;
+                    event.predictedLatencyMs = expected_decision.latencyMs;
+                    event.predictedEnergyJ = expected_decision.energyJ;
+                    if (options.obs.metering()) {
+                        recordDecisionMetrics(*options.obs.metrics,
+                                              "eval.", event);
+                    }
+                    if (options.obs.tracing()) {
+                        options.obs.trace->record(std::move(event));
+                    }
+                }
 
                 if (options.streaming) {
                     const double co_runner_w =
@@ -255,11 +388,18 @@ evaluateAutoScaleLoo(const sim::InferenceSimulator &sim,
         folds.push_back(test_network);
     }
 
-    // Each fold owns its policy, RNG, thermal state, and seed; the
-    // simulator and networks are shared read-only (see parallel.h for
-    // the audit). Merging in index order keeps the aggregate
-    // bit-identical to the serial run for every jobs value.
-    const std::vector<RunStats> fold_stats = parallelIndexed(
+    // Each fold owns its policy, RNG, thermal state, seed, and (when
+    // observability is on) its own trace/metrics sinks; the simulator
+    // and networks are shared read-only (see parallel.h for the
+    // audit). Merging everything in index order keeps the aggregate,
+    // the trace, and the metrics bit-identical to the serial run for
+    // every jobs value.
+    struct FoldResult {
+        RunStats stats;
+        obs::TraceRecorder trace;
+        obs::MetricsRegistry metrics;
+    };
+    const std::vector<FoldResult> fold_results = parallelIndexed(
         folds.size(), options.jobs, [&](std::size_t fold_index) {
             const dnn::Network *test_network = folds[fold_index];
             const std::uint64_t fold_seed = options.seed + fold_index;
@@ -292,17 +432,34 @@ evaluateAutoScaleLoo(const sim::InferenceSimulator &sim,
                                options.accuracyTargetPct);
             }
 
-            // Measure greedily (online learning stays on).
+            // Measure greedily (online learning stays on). Only the
+            // measurement phase records into the fold-local sinks;
+            // training/warm-up above runs unobserved.
             policy.scheduler().setExploration(false);
+            FoldResult result;
             EvalOptions fold_options = options;
             fold_options.seed = fold_seed + 0x7e57ULL;
-            return evaluatePolicy(policy, sim, {test_network}, scenarios,
-                                  fold_options);
+            fold_options.obs = {};
+            if (options.obs.tracing()) {
+                fold_options.obs.trace = &result.trace;
+            }
+            if (options.obs.metering()) {
+                fold_options.obs.metrics = &result.metrics;
+            }
+            result.stats = evaluatePolicy(policy, sim, {test_network},
+                                          scenarios, fold_options);
+            return result;
         });
 
     RunStats merged;
-    for (const RunStats &fold : fold_stats) {
-        merged.merge(fold);
+    for (const FoldResult &fold : fold_results) {
+        merged.merge(fold.stats);
+        if (options.obs.tracing()) {
+            options.obs.trace->append(fold.trace);
+        }
+        if (options.obs.metering()) {
+            options.obs.metrics->merge(fold.metrics);
+        }
     }
     return merged;
 }

@@ -18,6 +18,7 @@
 #include "env/scenario.h"
 #include "harness/autoscale_policy.h"
 #include "harness/metrics.h"
+#include "obs/trace_recorder.h"
 #include "sim/simulator.h"
 
 namespace autoscale::harness {
@@ -49,6 +50,15 @@ struct EvalOptions {
      * Results are bit-identical for every value; 1 = fully serial.
      */
     int jobs = 1;
+    /**
+     * Observability sinks. Disabled by default (null pointers; the
+     * per-inference cost is one branch). When enabled, evaluatePolicy
+     * records one DecisionEvent per inference and counters/histograms
+     * into the registry; evaluateAutoScaleLoo gives each fold private
+     * sinks and merges them into these in fold-index order, so trace
+     * and metrics output is byte-identical for every `jobs` value.
+     */
+    obs::ObsContext obs;
 };
 
 /**
@@ -63,7 +73,8 @@ void trainPolicy(baselines::SchedulingPolicy &policy,
                  const std::vector<const dnn::Network *> &networks,
                  const std::vector<env::ScenarioId> &scenarios,
                  int runsPerCombo, Rng &rng, bool streaming = false,
-                 double accuracyTargetPct = 50.0);
+                 double accuracyTargetPct = 50.0,
+                 const obs::ObsContext &obs = {});
 
 /** Convenience alias of trainPolicy kept for the AutoScale adapter. */
 void trainAutoScale(AutoScalePolicy &policy,
@@ -71,7 +82,8 @@ void trainAutoScale(AutoScalePolicy &policy,
                     const std::vector<const dnn::Network *> &networks,
                     const std::vector<env::ScenarioId> &scenarios,
                     int runsPerCombo, Rng &rng, bool streaming = false,
-                    double accuracyTargetPct = 50.0);
+                    double accuracyTargetPct = 50.0,
+                    const obs::ObsContext &obs = {});
 
 /**
  * Evaluate @p policy over (networks x scenarios) and aggregate metrics.
@@ -94,6 +106,12 @@ RunStats evaluatePolicy(baselines::SchedulingPolicy &policy,
  *        configuration (e.g. ablated state encoders). With
  *        EvalOptions::jobs > 1 the hook is invoked concurrently from
  *        worker threads and must be reentrant.
+ *
+ * With EvalOptions::obs enabled, only the measurement phase is traced
+ * (not the per-fold training/warm-up, which would dominate the file);
+ * each fold records into private sinks that are merged into
+ * options.obs in fold-index order, keeping the export byte-identical
+ * for every jobs value.
  */
 RunStats evaluateAutoScaleLoo(
     const sim::InferenceSimulator &sim,

@@ -1,0 +1,60 @@
+#include "obs/json.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace autoscale::obs {
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value)) {
+        return "null";
+    }
+    // Integral values print without an exponent or trailing ".0" so the
+    // common cases (counts, sequence numbers) stay compact.
+    std::array<char, 64> buffer;
+    const std::to_chars_result result = std::to_chars(
+        buffer.data(), buffer.data() + buffer.size(), value);
+    return std::string(buffer.data(), result.ptr);
+}
+
+void
+appendJsonEscaped(std::string &out, std::string_view text)
+{
+    for (const char c : text) {
+        const auto byte = static_cast<unsigned char>(c);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (byte < 0x20) {
+                char escaped[8];
+                std::snprintf(escaped, sizeof(escaped), "\\u%04x", byte);
+                out += escaped;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+std::string
+jsonString(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out += '"';
+    appendJsonEscaped(out, text);
+    out += '"';
+    return out;
+}
+
+} // namespace autoscale::obs

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Deterministic JSON formatting primitives for the observability
+ * exporters: locale-independent shortest-round-trip doubles (via
+ * std::to_chars) and RFC 8259 string escaping. Both are pure functions
+ * of their input, which is what makes trace files byte-comparable
+ * across runs and worker counts.
+ */
+
+#ifndef AUTOSCALE_OBS_JSON_H_
+#define AUTOSCALE_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace autoscale::obs {
+
+/**
+ * Shortest decimal string that round-trips @p value, independent of the
+ * global locale. Non-finite values (which JSON cannot represent) are
+ * rendered as "null".
+ */
+std::string jsonNumber(double value);
+
+/** Append @p text to @p out with JSON string escaping (no quotes). */
+void appendJsonEscaped(std::string &out, std::string_view text);
+
+/** Quoted, escaped JSON string literal for @p text. */
+std::string jsonString(std::string_view text);
+
+} // namespace autoscale::obs
+
+#endif // AUTOSCALE_OBS_JSON_H_

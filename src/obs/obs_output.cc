@@ -1,0 +1,110 @@
+#include "obs/obs_output.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace autoscale::obs {
+
+ObsConfig
+ObsConfig::fromArgs(const Args &args)
+{
+    ObsConfig config;
+    config.tracePath = args.get("--trace");
+    config.traceFormat =
+        traceFormatFromName(args.get("--trace-format", "jsonl"));
+    config.metricsPath = args.get("--metrics");
+    return config;
+}
+
+ObsOutput::ObsOutput(const ObsConfig &config)
+    : config_(config), trace_(config.tracing())
+{
+    if (config_.any()) {
+        // Probe writability up front so a bad path fails before hours
+        // of simulation, not after.
+        for (const std::string &path :
+             {config_.tracePath, config_.metricsPath}) {
+            if (path.empty()) {
+                continue;
+            }
+            std::ofstream probe(path, std::ios::app);
+            if (!probe) {
+                fatal("cannot open '" + path + "' for writing");
+            }
+        }
+        hookId_ = registerFlushHook([this] { writeFiles(); });
+    }
+}
+
+ObsOutput::~ObsOutput()
+{
+    if (hookId_ != 0) {
+        unregisterFlushHook(hookId_);
+        hookId_ = 0;
+    }
+}
+
+ObsContext
+ObsOutput::context()
+{
+    ObsContext context;
+    if (config_.tracing()) {
+        context.trace = &trace_;
+    }
+    if (config_.metering()) {
+        context.metrics = &metrics_;
+    }
+    return context;
+}
+
+void
+ObsOutput::writeFiles() const
+{
+    if (config_.tracing()) {
+        std::ofstream file(config_.tracePath, std::ios::trunc);
+        if (file) {
+            trace_.write(file, config_.traceFormat);
+            file.flush();
+        }
+    }
+    if (config_.metering()) {
+        std::ofstream file(config_.metricsPath, std::ios::trunc);
+        if (file) {
+            metrics_.writeText(file);
+            file.flush();
+        }
+    }
+}
+
+void
+ObsOutput::finalize(std::ostream *announce)
+{
+    if (finalized_) {
+        return;
+    }
+    finalized_ = true;
+    if (hookId_ != 0) {
+        unregisterFlushHook(hookId_);
+        hookId_ = 0;
+    }
+    if (!config_.any()) {
+        return;
+    }
+    writeFiles();
+    if (announce != nullptr) {
+        if (config_.tracing()) {
+            *announce << "Trace: " << trace_.size() << " decision(s) -> "
+                      << config_.tracePath << " ("
+                      << (config_.traceFormat == TraceFormat::Jsonl
+                              ? "jsonl" : "chrome")
+                      << ")\n";
+        }
+        if (config_.metering()) {
+            *announce << "Metrics -> " << config_.metricsPath << "\n";
+        }
+    }
+}
+
+} // namespace autoscale::obs

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ObsOutput: the CLI/bench-facing bundle. Parses the standard
+ * `--trace FILE`, `--trace-format {jsonl,chrome}`, `--metrics FILE`
+ * flags, owns the top-level TraceRecorder and MetricsRegistry, and
+ * writes the files on finalize(). While live it keeps a flush hook
+ * registered with util/logging, so a fatal()/panic() mid-run still
+ * lands whatever was buffered on disk instead of silently truncating.
+ */
+
+#ifndef AUTOSCALE_OBS_OBS_OUTPUT_H_
+#define AUTOSCALE_OBS_OBS_OUTPUT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
+#include "util/args.h"
+
+namespace autoscale::obs {
+
+/** Where (and whether) to write traces and metrics. */
+struct ObsConfig {
+    /** JSONL/Chrome trace output path; empty disables tracing. */
+    std::string tracePath;
+    TraceFormat traceFormat = TraceFormat::Jsonl;
+    /** Metrics text output path; empty disables metrics. */
+    std::string metricsPath;
+
+    bool tracing() const { return !tracePath.empty(); }
+    bool metering() const { return !metricsPath.empty(); }
+    bool any() const { return tracing() || metering(); }
+
+    /** Parse --trace / --trace-format / --metrics from @p args. */
+    static ObsConfig fromArgs(const Args &args);
+};
+
+/** Owns the run-level sinks and writes them out. */
+class ObsOutput {
+  public:
+    explicit ObsOutput(const ObsConfig &config);
+    ~ObsOutput();
+
+    ObsOutput(const ObsOutput &) = delete;
+    ObsOutput &operator=(const ObsOutput &) = delete;
+
+    /**
+     * Context pointing at the owned sinks; fully disabled (null
+     * members) when the config requested nothing.
+     */
+    ObsContext context();
+
+    TraceRecorder &trace() { return trace_; }
+    MetricsRegistry &metrics() { return metrics_; }
+    const ObsConfig &config() const { return config_; }
+
+    /**
+     * Write the configured files and report them on @p announce (pass
+     * nullptr for silence). Idempotent; the crash hook is disarmed
+     * first so a later fatal() cannot double-write.
+     */
+    void finalize(std::ostream *announce = nullptr);
+
+  private:
+    void writeFiles() const;
+
+    ObsConfig config_;
+    TraceRecorder trace_;
+    MetricsRegistry metrics_;
+    std::size_t hookId_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace autoscale::obs
+
+#endif // AUTOSCALE_OBS_OBS_OUTPUT_H_

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * DecisionEvent: one structured record per inference decision — the
+ * per-request visibility the aggregate RunStats cannot give. Each event
+ * captures what the agent saw (environment state), what it chose
+ * (target, Q-value), what the model predicted (noiseless expected
+ * latency/energy), what actually happened (measured outcome, QoS
+ * verdict), and what the learner did about it (reward, applied
+ * Q-update delta).
+ */
+
+#ifndef AUTOSCALE_OBS_TRACE_EVENT_H_
+#define AUTOSCALE_OBS_TRACE_EVENT_H_
+
+#include <string>
+
+namespace autoscale::obs {
+
+/** One traced inference decision. */
+struct DecisionEvent {
+    /** Policy display name ("AutoScale", "Cloud", ...). */
+    std::string policy;
+    /** Workload name ("MobileNet v3", ...). */
+    std::string network;
+    /** Scenario name ("S1".."S5", "D1".."D4"); empty outside runners. */
+    std::string scenario;
+    /** "train" or "eval". */
+    std::string phase;
+
+    // --- What the agent saw (Table I runtime-variance state). ---
+    double coCpuUtil = 0.0;
+    double coMemUtil = 0.0;
+    double rssiWlanDbm = 0.0;
+    double rssiP2pDbm = 0.0;
+    double thermalFactor = 1.0;
+
+    // --- What it chose. ---
+    /** Full target label, e.g. "Local CPU INT8 @2.80GHz". */
+    std::string target;
+    /** Coarse Fig. 13 category, e.g. "Edge (CPU)". */
+    std::string category;
+    bool partitioned = false;
+    /** Whether the chosen target could execute the network at all. */
+    bool feasible = true;
+    /** Whether the runtime fell back to the CPU for the user. */
+    bool fallback = false;
+    /** Encoded RL state id (-1 for non-learning policies). */
+    int stateId = -1;
+    /** RL action id (-1 for non-learning policies). */
+    int actionId = -1;
+    /** Q(S, A) of the chosen action at decision time. */
+    double qValue = 0.0;
+    /** Whether epsilon-greedy exploration overrode the argmax. */
+    bool explored = false;
+
+    // --- Predicted (noiseless model) vs. observed. ---
+    double predictedLatencyMs = 0.0;
+    double predictedEnergyJ = 0.0;
+    double latencyMs = 0.0;
+    double energyJ = 0.0;
+    double accuracyPct = 0.0;
+
+    // --- Verdicts and learning. ---
+    double qosMs = 0.0;
+    bool qosViolated = false;
+    bool accuracyViolated = false;
+    /** Reward folded into the learner for this decision (0 otherwise). */
+    double reward = 0.0;
+    /**
+     * Applied delta of the most recent Algorithm 1 Q-update at record
+     * time. Because the update for decision N runs when decision N+1
+     * observes S', this lags the event by one decision.
+     */
+    double qUpdateDelta = 0.0;
+};
+
+} // namespace autoscale::obs
+
+#endif // AUTOSCALE_OBS_TRACE_EVENT_H_

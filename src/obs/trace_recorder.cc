@@ -1,0 +1,235 @@
+#include "obs/trace_recorder.h"
+
+#include <map>
+#include <ostream>
+
+#include "obs/json.h"
+#include "util/logging.h"
+
+namespace autoscale::obs {
+
+namespace {
+
+void
+appendField(std::string &out, const char *key, const std::string &value,
+            bool quoted)
+{
+    if (out.back() != '{') {
+        out += ',';
+    }
+    out += '"';
+    out += key;
+    out += "\":";
+    if (quoted) {
+        out += jsonString(value);
+    } else {
+        out += value;
+    }
+}
+
+void
+appendString(std::string &out, const char *key, const std::string &value)
+{
+    appendField(out, key, value, true);
+}
+
+void
+appendNumber(std::string &out, const char *key, double value)
+{
+    appendField(out, key, jsonNumber(value), false);
+}
+
+void
+appendInt(std::string &out, const char *key, long long value)
+{
+    appendField(out, key, std::to_string(value), false);
+}
+
+void
+appendBool(std::string &out, const char *key, bool value)
+{
+    appendField(out, key, value ? "true" : "false", false);
+}
+
+/** The fixed-order JSONL body shared by both exporters' args payload. */
+std::string
+eventJson(const DecisionEvent &event, std::size_t sequence)
+{
+    std::string line = "{";
+    appendInt(line, "seq", static_cast<long long>(sequence));
+    appendString(line, "policy", event.policy);
+    appendString(line, "network", event.network);
+    appendString(line, "scenario", event.scenario);
+    appendString(line, "phase", event.phase);
+    appendNumber(line, "co_cpu", event.coCpuUtil);
+    appendNumber(line, "co_mem", event.coMemUtil);
+    appendNumber(line, "rssi_wlan_dbm", event.rssiWlanDbm);
+    appendNumber(line, "rssi_p2p_dbm", event.rssiP2pDbm);
+    appendNumber(line, "thermal_factor", event.thermalFactor);
+    appendString(line, "target", event.target);
+    appendString(line, "category", event.category);
+    appendBool(line, "partitioned", event.partitioned);
+    appendBool(line, "feasible", event.feasible);
+    appendBool(line, "fallback", event.fallback);
+    appendInt(line, "state_id", event.stateId);
+    appendInt(line, "action_id", event.actionId);
+    appendNumber(line, "q_value", event.qValue);
+    appendBool(line, "explored", event.explored);
+    appendNumber(line, "pred_latency_ms", event.predictedLatencyMs);
+    appendNumber(line, "pred_energy_j", event.predictedEnergyJ);
+    appendNumber(line, "latency_ms", event.latencyMs);
+    appendNumber(line, "energy_j", event.energyJ);
+    appendNumber(line, "accuracy_pct", event.accuracyPct);
+    appendNumber(line, "qos_ms", event.qosMs);
+    appendBool(line, "qos_violated", event.qosViolated);
+    appendBool(line, "accuracy_violated", event.accuracyViolated);
+    appendNumber(line, "reward", event.reward);
+    appendNumber(line, "q_update_delta", event.qUpdateDelta);
+    line += '}';
+    return line;
+}
+
+} // namespace
+
+TraceFormat
+traceFormatFromName(const std::string &name)
+{
+    if (name == "jsonl") {
+        return TraceFormat::Jsonl;
+    }
+    if (name == "chrome") {
+        return TraceFormat::Chrome;
+    }
+    fatal("unknown trace format '" + name + "' (use jsonl or chrome)");
+}
+
+TraceRecorder::TraceRecorder(const TraceRecorder &other)
+    : enabled_(other.enabled_)
+{
+    const std::lock_guard<std::mutex> lock(other.mutex_);
+    events_ = other.events_;
+}
+
+TraceRecorder &
+TraceRecorder::operator=(const TraceRecorder &other)
+{
+    if (this == &other) {
+        return *this;
+    }
+    std::unique_lock<std::mutex> mine(mutex_, std::defer_lock);
+    std::unique_lock<std::mutex> theirs(other.mutex_, std::defer_lock);
+    std::lock(mine, theirs);
+    enabled_ = other.enabled_;
+    events_ = other.events_;
+    return *this;
+}
+
+void
+TraceRecorder::record(DecisionEvent event)
+{
+    if (!enabled_) {
+        return;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+std::size_t
+TraceRecorder::size() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::vector<DecisionEvent>
+TraceRecorder::snapshot() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+void
+TraceRecorder::append(const TraceRecorder &other)
+{
+    const std::vector<DecisionEvent> theirs = other.snapshot();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.insert(events_.end(), theirs.begin(), theirs.end());
+}
+
+void
+TraceRecorder::clear()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+void
+TraceRecorder::writeJsonl(std::ostream &os) const
+{
+    const std::vector<DecisionEvent> events = snapshot();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        os << eventJson(events[i], i) << '\n';
+    }
+}
+
+void
+TraceRecorder::writeChromeTrace(std::ostream &os) const
+{
+    const std::vector<DecisionEvent> events = snapshot();
+
+    // One synthetic track per decision category, numbered in order of
+    // first appearance so the file is a pure function of the buffer.
+    std::map<std::string, int> track_ids;
+    std::vector<std::string> track_names;
+    for (const DecisionEvent &event : events) {
+        if (track_ids.emplace(event.category,
+                              static_cast<int>(track_names.size()) + 1)
+                .second) {
+            track_names.push_back(event.category);
+        }
+    }
+
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < track_names.size(); ++i) {
+        if (!first) {
+            os << ',';
+        }
+        first = false;
+        os << "{\"ph\":\"M\",\"pid\":1,\"tid\":"
+           << track_ids.at(track_names[i])
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":"
+           << jsonString(track_names[i]) << "}}";
+    }
+
+    // Time advances by each decision's observed latency: the trace
+    // reads as the serialized request timeline the device experienced.
+    double now_us = 0.0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const DecisionEvent &event = events[i];
+        const double duration_us = event.latencyMs * 1e3;
+        if (!first) {
+            os << ',';
+        }
+        first = false;
+        os << "{\"ph\":\"X\",\"pid\":1,\"tid\":"
+           << track_ids.at(event.category) << ",\"ts\":"
+           << jsonNumber(now_us) << ",\"dur\":" << jsonNumber(duration_us)
+           << ",\"name\":" << jsonString(event.network) << ",\"args\":"
+           << eventJson(event, i) << "}";
+        now_us += duration_us;
+    }
+    os << "]}\n";
+}
+
+void
+TraceRecorder::write(std::ostream &os, TraceFormat format) const
+{
+    switch (format) {
+      case TraceFormat::Jsonl: writeJsonl(os); return;
+      case TraceFormat::Chrome: writeChromeTrace(os); return;
+    }
+    panic("TraceRecorder::write: unknown format");
+}
+
+} // namespace autoscale::obs

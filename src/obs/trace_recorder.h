@@ -1,0 +1,121 @@
+/**
+ * @file
+ * TraceRecorder: buffered capture of DecisionEvents with JSONL and
+ * Chrome trace_event exporters, plus the ObsContext handle the hot
+ * paths carry.
+ *
+ * Fast path: observability is off by default — ObsContext's members
+ * are null pointers and `tracing()` / `enabled()` collapse to an
+ * inlinable null check, so an untraced run pays one predictable branch
+ * per decision. A recorder constructed disabled also drops events
+ * before taking its lock.
+ *
+ * Determinism: events carry no timestamps or thread ids; exporters
+ * derive everything (sequence numbers, the Chrome synthetic timeline)
+ * from buffer order, and parallel replicates each own a recorder that
+ * the parent `append`s in index order. Exported bytes are therefore
+ * identical for every `--jobs` value (DESIGN.md §10).
+ */
+
+#ifndef AUTOSCALE_OBS_TRACE_RECORDER_H_
+#define AUTOSCALE_OBS_TRACE_RECORDER_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace_event.h"
+
+namespace autoscale::obs {
+
+/** Trace export formats. */
+enum class TraceFormat {
+    Jsonl,  ///< One JSON object per line; the diffable/CI format.
+    Chrome, ///< chrome://tracing / Perfetto trace_event JSON.
+};
+
+/** Parse "jsonl" / "chrome"; fatal() on anything else. */
+TraceFormat traceFormatFromName(const std::string &name);
+
+/** Buffered decision-trace capture. */
+class TraceRecorder {
+  public:
+    /** @param enabled A disabled recorder drops every record(). */
+    explicit TraceRecorder(bool enabled = true) : enabled_(enabled) {}
+
+    TraceRecorder(const TraceRecorder &other);
+    TraceRecorder &operator=(const TraceRecorder &other);
+
+    /** Whether record() stores events (constant after construction). */
+    bool enabled() const noexcept { return enabled_; }
+
+    /** Buffer one event (dropped when disabled). */
+    void record(DecisionEvent event);
+
+    /** Buffered event count. */
+    std::size_t size() const;
+
+    /** Copy of the buffered events, in record order. */
+    std::vector<DecisionEvent> snapshot() const;
+
+    /**
+     * Append @p other's events after this recorder's. Callers merge
+     * replicate-local recorders in index order; exported bytes are then
+     * independent of the worker count.
+     */
+    void append(const TraceRecorder &other);
+
+    /** Drop all buffered events. */
+    void clear();
+
+    /**
+     * Write one JSON object per event, one per line, keys in fixed
+     * schema order, "seq" assigned from buffer position.
+     */
+    void writeJsonl(std::ostream &os) const;
+
+    /**
+     * Write Chrome trace_event JSON: each decision becomes a complete
+     * ("X") event on a synthetic timeline where time advances by the
+     * observed latency, on one track per decision category.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** Dispatch to the writer for @p format. */
+    void write(std::ostream &os, TraceFormat format) const;
+
+  private:
+    bool enabled_;
+    mutable std::mutex mutex_;
+    std::vector<DecisionEvent> events_;
+};
+
+/**
+ * The handle threaded through simulators, policies, and experiment
+ * loops. Default-constructed it is fully disabled and costs a null
+ * check.
+ */
+struct ObsContext {
+    TraceRecorder *trace = nullptr;
+    MetricsRegistry *metrics = nullptr;
+
+    /** Whether decision events should be built and recorded. */
+    bool
+    tracing() const noexcept
+    {
+        return trace != nullptr && trace->enabled();
+    }
+
+    /** Whether metrics should be recorded. */
+    bool metering() const noexcept { return metrics != nullptr; }
+
+    /** Whether any observability work is requested. */
+    bool enabled() const noexcept { return tracing() || metering(); }
+};
+
+} // namespace autoscale::obs
+
+#endif // AUTOSCALE_OBS_TRACE_RECORDER_H_

@@ -74,6 +74,33 @@ InferenceSimulator::deviceAt(TargetPlace place) const
     panic("deviceAt: unknown place");
 }
 
+void
+InferenceSimulator::countExecution(TargetPlace place, bool noisy,
+                                   bool feasible, bool partitioned) const
+{
+    obs::MetricsRegistry *metrics = metricsObserver_;
+    if (metrics == nullptr) {
+        return;
+    }
+    // Integer counters only: they commute, so concurrent evaluation
+    // loops sharing this simulator still export deterministic totals.
+    metrics->inc(noisy ? "sim.runs" : "sim.expected");
+    if (!feasible) {
+        metrics->inc("sim.infeasible");
+        return;
+    }
+    if (partitioned) {
+        metrics->inc("sim.exec.partitioned");
+    }
+    switch (place) {
+      case TargetPlace::Local: metrics->inc("sim.exec.local"); break;
+      case TargetPlace::ConnectedEdge:
+        metrics->inc("sim.exec.connected_edge");
+        break;
+      case TargetPlace::Cloud: metrics->inc("sim.exec.cloud"); break;
+    }
+}
+
 bool
 InferenceSimulator::isFeasible(const dnn::Network &network,
                                const ExecutionTarget &target) const
@@ -125,8 +152,10 @@ InferenceSimulator::measure(const dnn::Network &network,
 {
     Outcome outcome;
     if (!isFeasible(network, target)) {
+        countExecution(target.place, rng != nullptr, false, false);
         return outcome;
     }
+    countExecution(target.place, rng != nullptr, true, false);
     outcome.feasible = true;
     outcome.accuracyPct =
         dnn::inferenceAccuracy(network.name(), target.precision);
@@ -254,8 +283,10 @@ InferenceSimulator::measurePartitioned(const dnn::Network &network,
         || spec.vfIndex >= proc->numVfSteps()
         || (isCoProcessor(spec.localProc)
             && !network.supportedOnCoProcessors())) {
+        countExecution(spec.remotePlace, rng != nullptr, false, true);
         return outcome;
     }
+    countExecution(spec.remotePlace, rng != nullptr, true, true);
     outcome.feasible = true;
 
     const platform::Derate derate = env::derateFor(spec.localProc, env);

@@ -22,6 +22,7 @@
 #include "dnn/network.h"
 #include "env/env_state.h"
 #include "net/link.h"
+#include "obs/metrics_registry.h"
 #include "platform/device.h"
 #include "sim/target.h"
 #include "util/rng.h"
@@ -121,7 +122,26 @@ class InferenceSimulator {
     /** The device executing targets at @p place. */
     const platform::Device &deviceAt(TargetPlace place) const;
 
+    /**
+     * Attach a metrics registry counting every execution this simulator
+     * performs (noisy runs vs. noiseless model queries, per-place
+     * shares, infeasible picks). Pass nullptr to detach. Only commuting
+     * integer counters are recorded, so a registry may be shared by
+     * concurrent callers without breaking the determinism contract.
+     * The registry must outlive the simulator (or be detached first).
+     */
+    void setObserver(obs::MetricsRegistry *metrics)
+    {
+        metricsObserver_ = metrics;
+    }
+
+    /** The attached metrics observer (nullptr when none). */
+    obs::MetricsRegistry *observer() const { return metricsObserver_; }
+
   private:
+    void countExecution(TargetPlace place, bool noisy, bool feasible,
+                        bool partitioned) const;
+
     Outcome measure(const dnn::Network &network,
                     const ExecutionTarget &target, const env::EnvState &env,
                     Rng *rng) const;
@@ -140,6 +160,7 @@ class InferenceSimulator {
     platform::Device cloud_;
     net::WirelessLink wlan_;
     net::WirelessLink p2p_;
+    obs::MetricsRegistry *metricsObserver_ = nullptr;
 };
 
 } // namespace autoscale::sim

@@ -5,23 +5,104 @@
  * Following the gem5 convention: fatal() is for user/configuration errors
  * the program cannot continue from; panic() (here AS_CHECK failure) is for
  * internal invariant violations that indicate a library bug.
+ *
+ * Subsystems holding buffered output (open trace/metrics sinks) can
+ * register a flush hook; fatal() and panic() run every registered hook
+ * before terminating, so a crash truncates neither traces nor metrics.
  */
 
 #ifndef AUTOSCALE_UTIL_LOGGING_H_
 #define AUTOSCALE_UTIL_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
 
 namespace autoscale {
+
+namespace detail {
+
+struct FlushHookRegistry {
+    std::mutex mutex;
+    std::map<std::size_t, std::function<void()>> hooks;
+    std::size_t nextId = 1;
+    /** Guards against a hook itself calling fatal()/panic(). */
+    std::atomic<bool> running{false};
+};
+
+inline FlushHookRegistry &
+flushHookRegistry()
+{
+    static FlushHookRegistry registry;
+    return registry;
+}
+
+} // namespace detail
+
+/**
+ * Register @p hook to run before fatal()/panic() terminate the process.
+ * Returns an id for unregisterFlushHook(). Hooks must be safe to call
+ * from any thread and must not throw.
+ */
+inline std::size_t
+registerFlushHook(std::function<void()> hook)
+{
+    detail::FlushHookRegistry &registry = detail::flushHookRegistry();
+    const std::lock_guard<std::mutex> lock(registry.mutex);
+    const std::size_t id = registry.nextId++;
+    registry.hooks.emplace(id, std::move(hook));
+    return id;
+}
+
+/** Remove a hook registered with registerFlushHook(). */
+inline void
+unregisterFlushHook(std::size_t id)
+{
+    detail::FlushHookRegistry &registry = detail::flushHookRegistry();
+    const std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.hooks.erase(id);
+}
+
+/**
+ * Run every registered flush hook (in registration order). Reentrant
+ * calls (a hook that itself fails fatally) are ignored so termination
+ * cannot recurse.
+ */
+inline void
+runFlushHooks() noexcept
+{
+    detail::FlushHookRegistry &registry = detail::flushHookRegistry();
+    bool expected = false;
+    if (!registry.running.compare_exchange_strong(expected, true)) {
+        return;
+    }
+    // Copy under the lock, run outside it: a hook may legitimately
+    // take other locks (e.g. a recorder's mutex).
+    std::map<std::size_t, std::function<void()>> hooks;
+    {
+        const std::lock_guard<std::mutex> lock(registry.mutex);
+        hooks = registry.hooks;
+    }
+    for (const auto &[id, hook] : hooks) {
+        (void)id;
+        if (hook) {
+            hook();
+        }
+    }
+    registry.running.store(false);
+}
 
 /** Report an unrecoverable configuration/user error and exit(1). */
 [[noreturn]] inline void
 fatal(const std::string &message)
 {
     std::cerr << "fatal: " << message << std::endl;
+    runFlushHooks();
     std::exit(1);
 }
 
@@ -30,6 +111,7 @@ fatal(const std::string &message)
 panic(const std::string &message)
 {
     std::cerr << "panic: " << message << std::endl;
+    runFlushHooks();
     std::abort();
 }
 

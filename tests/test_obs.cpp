@@ -1,0 +1,533 @@
+/**
+ * @file
+ * Observability layer: MetricsRegistry semantics (bucket edges, merge
+ * determinism), JSON formatting/escaping, TraceRecorder buffering and
+ * exporters, the disabled fast path, logging flush hooks, and the
+ * end-to-end determinism contract through the experiment runners.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/fixed.h"
+#include "harness/experiment.h"
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+#include "obs/obs_output.h"
+#include "obs/trace_recorder.h"
+#include "platform/device_zoo.h"
+#include "sim/simulator.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace autoscale;
+
+obs::DecisionEvent
+sampleEvent(const std::string &policy, const std::string &category,
+            double latencyMs)
+{
+    obs::DecisionEvent event;
+    event.policy = policy;
+    event.network = "MobileNet v3";
+    event.scenario = "S1";
+    event.phase = "eval";
+    event.target = "Local CPU INT8 @2.80GHz";
+    event.category = category;
+    event.latencyMs = latencyMs;
+    event.energyJ = 0.02;
+    event.qosMs = 50.0;
+    event.reward = -0.8;
+    return event;
+}
+
+TEST(MetricSlug, CollapsesAndLowercases)
+{
+    EXPECT_EQ(obs::metricSlug("Edge (CPU FP32)"), "edge_cpu_fp32");
+    EXPECT_EQ(obs::metricSlug("on-device"), "on_device");
+    EXPECT_EQ(obs::metricSlug("Local CPU INT8 @2.80GHz"),
+              "local_cpu_int8_2_80ghz");
+    EXPECT_EQ(obs::metricSlug("(Cloud)"), "cloud");
+    EXPECT_EQ(obs::metricSlug(""), "");
+    EXPECT_EQ(obs::metricSlug("---"), "");
+}
+
+TEST(MetricsRegistry, CountersAndGauges)
+{
+    obs::MetricsRegistry registry;
+    EXPECT_TRUE(registry.empty());
+    EXPECT_EQ(registry.counter("missing"), 0);
+
+    registry.inc("a");
+    registry.inc("a", 4);
+    EXPECT_EQ(registry.counter("a"), 5);
+
+    registry.set("g", 1.5);
+    registry.set("g", -2.0); // last write wins
+    EXPECT_DOUBLE_EQ(registry.gauge("g"), -2.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("missing"), 0.0);
+    EXPECT_FALSE(registry.empty());
+
+    registry.clear();
+    EXPECT_TRUE(registry.empty());
+}
+
+TEST(MetricsRegistry, HistogramBucketEdgesAreInclusive)
+{
+    obs::MetricsRegistry registry;
+    registry.declareHistogram("h", {1.0, 2.0, 5.0});
+
+    registry.observe("h", 1.0); // == bound: belongs to that bucket (le)
+    registry.observe("h", 1.5);
+    registry.observe("h", 5.0);
+    registry.observe("h", 7.0); // overflow bucket
+
+    const obs::MetricsRegistry::HistogramSnapshot snapshot =
+        registry.histogram("h");
+    ASSERT_EQ(snapshot.bucketCounts.size(), 4u);
+    EXPECT_EQ(snapshot.bucketCounts[0], 1); // 1.0
+    EXPECT_EQ(snapshot.bucketCounts[1], 1); // 1.5
+    EXPECT_EQ(snapshot.bucketCounts[2], 1); // 5.0
+    EXPECT_EQ(snapshot.bucketCounts[3], 1); // 7.0
+    EXPECT_EQ(snapshot.count, 4);
+    EXPECT_DOUBLE_EQ(snapshot.sum, 1.0 + 1.5 + 5.0 + 7.0);
+    EXPECT_DOUBLE_EQ(snapshot.min, 1.0);
+    EXPECT_DOUBLE_EQ(snapshot.max, 7.0);
+}
+
+TEST(MetricsRegistry, ObserveAutoDeclaresWithDefaultBuckets)
+{
+    obs::MetricsRegistry registry;
+    EXPECT_FALSE(registry.hasHistogram("auto"));
+    registry.observe("auto", 0.5);
+    EXPECT_TRUE(registry.hasHistogram("auto"));
+    EXPECT_EQ(registry.histogram("auto").upperBounds,
+              obs::MetricsRegistry::defaultBuckets());
+}
+
+TEST(MetricsRegistry, DeclareIsIdempotent)
+{
+    obs::MetricsRegistry registry;
+    registry.declareHistogram("h", {1.0, 2.0});
+    registry.observe("h", 1.5);
+    registry.declareHistogram("h", {1.0, 2.0}); // no-op, keeps counts
+    EXPECT_EQ(registry.histogram("h").count, 1);
+}
+
+TEST(MetricsRegistry, MergeMatchesSerialAccumulation)
+{
+    // Merging replicate registries in index order must reproduce the
+    // serial run byte-for-byte (the --jobs determinism contract).
+    obs::MetricsRegistry serial;
+    serial.declareHistogram("h", {1.0, 10.0});
+    for (const double value : {0.1, 0.2, 0.3, 4.0}) {
+        serial.observe("h", value);
+    }
+    serial.inc("n", 4);
+    serial.set("g", 7.0);
+
+    obs::MetricsRegistry a;
+    a.declareHistogram("h", {1.0, 10.0});
+    a.observe("h", 0.1);
+    a.observe("h", 0.2);
+    a.inc("n", 2);
+    a.set("g", 3.0);
+    obs::MetricsRegistry b;
+    b.declareHistogram("h", {1.0, 10.0});
+    b.observe("h", 0.3);
+    b.observe("h", 4.0);
+    b.inc("n", 2);
+    b.set("g", 7.0); // gauge: other's value wins on merge
+
+    obs::MetricsRegistry merged;
+    merged.merge(a);
+    merged.merge(b);
+
+    std::ostringstream expected;
+    std::ostringstream actual;
+    serial.writeText(expected);
+    merged.writeText(actual);
+    EXPECT_EQ(actual.str(), expected.str());
+    EXPECT_EQ(merged.counter("n"), 4);
+    EXPECT_DOUBLE_EQ(merged.gauge("g"), 7.0);
+}
+
+TEST(MetricsRegistryDeathTest, MergeRejectsMismatchedBuckets)
+{
+    obs::MetricsRegistry a;
+    a.declareHistogram("h", {1.0, 2.0});
+    a.observe("h", 1.0);
+    obs::MetricsRegistry b;
+    b.declareHistogram("h", {1.0, 3.0});
+    b.observe("h", 1.0);
+    EXPECT_DEATH(a.merge(b), "check failed");
+}
+
+TEST(Json, NumberFormatting)
+{
+    EXPECT_EQ(obs::jsonNumber(0.0), "0");
+    EXPECT_EQ(obs::jsonNumber(1.5), "1.5");
+    EXPECT_EQ(obs::jsonNumber(-12.25), "-12.25");
+    // Shortest round-trip: 0.1 stays "0.1", not "0.1000000000000000055".
+    EXPECT_EQ(obs::jsonNumber(0.1), "0.1");
+    // JSON cannot represent non-finite values.
+    EXPECT_EQ(obs::jsonNumber(std::numeric_limits<double>::quiet_NaN()),
+              "null");
+    EXPECT_EQ(obs::jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(obs::jsonString("plain"), "\"plain\"");
+    EXPECT_EQ(obs::jsonString("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(obs::jsonString("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(obs::jsonString("tab\there"), "\"tab\\there\"");
+    EXPECT_EQ(obs::jsonString("line\nbreak"), "\"line\\nbreak\"");
+    EXPECT_EQ(obs::jsonString(std::string("ctrl\x01") + "x"),
+              "\"ctrl\\u0001x\"");
+}
+
+TEST(TraceRecorder, DisabledFastPathRecordsNothing)
+{
+    obs::TraceRecorder off(false);
+    EXPECT_FALSE(off.enabled());
+    off.record(sampleEvent("AutoScale", "on-device", 10.0));
+    EXPECT_EQ(off.size(), 0u);
+
+    // Default ObsContext: fully disabled, one null check per decision.
+    const obs::ObsContext none;
+    EXPECT_FALSE(none.tracing());
+    EXPECT_FALSE(none.metering());
+    EXPECT_FALSE(none.enabled());
+
+    // A context holding a disabled recorder is also not tracing.
+    obs::ObsContext with_off;
+    with_off.trace = &off;
+    EXPECT_FALSE(with_off.tracing());
+    EXPECT_FALSE(with_off.enabled());
+
+    std::ostringstream out;
+    off.writeJsonl(out);
+    EXPECT_TRUE(out.str().empty());
+}
+
+TEST(TraceRecorder, AppendKeepsIndexOrderAndSeqFollowsPosition)
+{
+    obs::TraceRecorder a;
+    a.record(sampleEvent("A", "on-device", 1.0));
+    a.record(sampleEvent("A", "on-device", 2.0));
+    obs::TraceRecorder b;
+    b.record(sampleEvent("B", "cloud", 3.0));
+
+    a.append(b);
+    ASSERT_EQ(a.size(), 3u);
+    const std::vector<obs::DecisionEvent> events = a.snapshot();
+    EXPECT_EQ(events[0].policy, "A");
+    EXPECT_EQ(events[2].policy, "B");
+
+    std::ostringstream out;
+    a.writeJsonl(out);
+    std::istringstream lines(out.str());
+    std::string line;
+    int seq = 0;
+    while (std::getline(lines, line)) {
+        const std::string prefix =
+            "{\"seq\":" + std::to_string(seq) + ",";
+        EXPECT_EQ(line.substr(0, prefix.size()), prefix);
+        ++seq;
+    }
+    EXPECT_EQ(seq, 3);
+}
+
+TEST(TraceRecorder, JsonlEscapesEventStrings)
+{
+    obs::TraceRecorder recorder;
+    obs::DecisionEvent event = sampleEvent("Edge \"Best\"", "on-device",
+                                           1.0);
+    event.network = "net\nwork";
+    recorder.record(event);
+
+    std::ostringstream out;
+    recorder.writeJsonl(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("\"policy\":\"Edge \\\"Best\\\"\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"network\":\"net\\nwork\""), std::string::npos);
+    // Exactly one line despite the embedded newline in the data.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+}
+
+/** Structural JSON check: balanced braces/brackets outside strings. */
+bool
+balancedJson(const std::string &text)
+{
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (const char c : text) {
+        if (in_string) {
+            if (escaped) {
+                escaped = false;
+            } else if (c == '\\') {
+                escaped = true;
+            } else if (c == '"') {
+                in_string = false;
+            }
+            continue;
+        }
+        if (c == '"') {
+            in_string = true;
+        } else if (c == '{' || c == '[') {
+            ++depth;
+        } else if (c == '}' || c == ']') {
+            if (--depth < 0) {
+                return false;
+            }
+        }
+    }
+    return depth == 0 && !in_string;
+}
+
+TEST(TraceRecorder, ChromeTraceIsStructurallyValid)
+{
+    obs::TraceRecorder recorder;
+    recorder.record(sampleEvent("AutoScale", "on-device", 10.0));
+    recorder.record(sampleEvent("AutoScale", "cloud", 5.0));
+    recorder.record(sampleEvent("Opt", "on-device", 2.5));
+
+    std::ostringstream out;
+    recorder.writeChromeTrace(out);
+    const std::string text = out.str();
+
+    EXPECT_TRUE(balancedJson(text)) << text;
+    EXPECT_EQ(text.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[",
+                         0),
+              0u);
+    // One thread-name metadata event per category, numbered in first-
+    // appearance order.
+    EXPECT_NE(text.find("\"name\":\"thread_name\",\"args\":"
+                        "{\"name\":\"on-device\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"name\":\"thread_name\",\"args\":"
+                        "{\"name\":\"cloud\"}"),
+              std::string::npos);
+    // The synthetic timeline advances by observed latency: the second
+    // X event starts where the first one ended (10 ms = 10000 us).
+    EXPECT_NE(text.find("\"ts\":0,"), std::string::npos);
+    EXPECT_NE(text.find("\"ts\":10000,"), std::string::npos);
+    EXPECT_NE(text.find("\"ts\":15000,"), std::string::npos);
+}
+
+TEST(TraceRecorderDeathTest, UnknownFormatNameIsFatal)
+{
+    EXPECT_EXIT(obs::traceFormatFromName("bogus"),
+                ::testing::ExitedWithCode(1), "unknown trace format");
+}
+
+TEST(FlushHooks, RunInRegistrationOrderAndUnregister)
+{
+    std::vector<int> order;
+    const std::size_t first =
+        registerFlushHook([&order] { order.push_back(1); });
+    const std::size_t second =
+        registerFlushHook([&order] { order.push_back(2); });
+
+    runFlushHooks();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+
+    unregisterFlushHook(first);
+    runFlushHooks();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 2}));
+    unregisterFlushHook(second);
+    runFlushHooks();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 2}));
+}
+
+TEST(FlushHooks, ReentrantHookDoesNotRecurse)
+{
+    int calls = 0;
+    const std::size_t id = registerFlushHook([&calls] {
+        ++calls;
+        runFlushHooks(); // must be ignored, not recurse forever
+    });
+    runFlushHooks();
+    unregisterFlushHook(id);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(FlushHooksDeathTest, FatalRunsHooksBeforeExit)
+{
+    const std::string path = "flush_hook_fatal_out.txt";
+    std::remove(path.c_str());
+    EXPECT_EXIT(
+        {
+            registerFlushHook([&path] {
+                std::ofstream file(path);
+                file << "flushed\n";
+            });
+            fatal("boom");
+        },
+        ::testing::ExitedWithCode(1), "fatal: boom");
+    // The hook ran in the death-test child before exit(1).
+    std::ifstream file(path);
+    ASSERT_TRUE(file.good());
+    std::string content;
+    std::getline(file, content);
+    EXPECT_EQ(content, "flushed");
+    std::remove(path.c_str());
+}
+
+TEST(ObsOutput, ParsesArgsAndWritesFilesOnce)
+{
+    const char *argv[] = {"prog",        "cmd",            "--trace",
+                          "obs_t.jsonl", "--trace-format", "jsonl",
+                          "--metrics",   "obs_m.txt"};
+    const Args args(8, argv);
+    const obs::ObsConfig config = obs::ObsConfig::fromArgs(args);
+    EXPECT_TRUE(config.tracing());
+    EXPECT_TRUE(config.metering());
+    EXPECT_EQ(config.tracePath, "obs_t.jsonl");
+    EXPECT_EQ(config.metricsPath, "obs_m.txt");
+
+    {
+        obs::ObsOutput out(config);
+        const obs::ObsContext context = out.context();
+        ASSERT_TRUE(context.tracing());
+        ASSERT_TRUE(context.metering());
+        context.trace->record(sampleEvent("AutoScale", "on-device", 1.0));
+        context.metrics->inc("eval.inferences");
+        out.finalize(nullptr);
+        out.finalize(nullptr); // idempotent
+    }
+
+    std::ifstream trace("obs_t.jsonl");
+    ASSERT_TRUE(trace.good());
+    std::string line;
+    int lines = 0;
+    while (std::getline(trace, line)) {
+        ++lines;
+    }
+    EXPECT_EQ(lines, 1);
+
+    std::ifstream metrics("obs_m.txt");
+    ASSERT_TRUE(metrics.good());
+    std::getline(metrics, line);
+    EXPECT_EQ(line, "counter eval.inferences 1");
+    std::remove("obs_t.jsonl");
+    std::remove("obs_m.txt");
+}
+
+TEST(ObsOutput, DisabledConfigYieldsDisabledContext)
+{
+    obs::ObsOutput out(obs::ObsConfig{});
+    EXPECT_FALSE(out.context().enabled());
+    out.finalize(nullptr); // writes nothing, must not crash
+}
+
+TEST(ExperimentObs, EvaluatePolicyRecordsOneEventPerInference)
+{
+    const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    auto policy = baselines::makeEdgeCpuFp32Policy(sim);
+
+    obs::TraceRecorder trace;
+    obs::MetricsRegistry metrics;
+    harness::EvalOptions options;
+    options.runsPerCombo = 2;
+    options.seed = 42;
+    options.obs.trace = &trace;
+    options.obs.metrics = &metrics;
+
+    const harness::RunStats stats = harness::evaluatePolicy(
+        *policy, sim, harness::allZooNetworks(), {env::ScenarioId::S1},
+        options);
+
+    ASSERT_GT(stats.count(), 0);
+    EXPECT_EQ(trace.size(), static_cast<std::size_t>(stats.count()));
+    EXPECT_EQ(metrics.counter("eval.inferences"), stats.count());
+    EXPECT_EQ(metrics.histogram("eval.latency_ms").count, stats.count());
+
+    const std::vector<obs::DecisionEvent> events = trace.snapshot();
+    EXPECT_EQ(events.front().phase, "eval");
+    EXPECT_EQ(events.front().policy, "Edge (CPU FP32)");
+    EXPECT_EQ(events.front().scenario, "S1");
+    EXPECT_GT(events.front().latencyMs, 0.0);
+    // Fixed policies expose no learner introspection.
+    EXPECT_EQ(events.front().stateId, -1);
+    EXPECT_EQ(events.front().actionId, -1);
+}
+
+TEST(ExperimentObs, TrainPolicyRecordsTrainPhaseEvents)
+{
+    const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    auto policy = harness::makeAutoScalePolicy(sim, 7);
+
+    obs::TraceRecorder trace;
+    obs::ObsContext obs;
+    obs.trace = &trace;
+    Rng rng(8);
+    harness::trainPolicy(*policy, sim, harness::allZooNetworks(),
+                         {env::ScenarioId::S1}, 2, rng, false, 50.0, obs);
+
+    ASSERT_GT(trace.size(), 0u);
+    const std::vector<obs::DecisionEvent> events = trace.snapshot();
+    EXPECT_EQ(events.front().phase, "train");
+    EXPECT_EQ(events.front().policy, "AutoScale");
+    // The learner's introspection is wired through.
+    EXPECT_GE(events.front().stateId, 0);
+    EXPECT_GE(events.front().actionId, 0);
+}
+
+TEST(ExperimentObs, LooTraceAndMetricsAreJobsInvariant)
+{
+    const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+
+    const auto run = [&](int jobs, std::string *trace_text,
+                         std::string *metrics_text) {
+        obs::TraceRecorder trace;
+        obs::MetricsRegistry metrics;
+        harness::EvalOptions options;
+        options.runsPerCombo = 2;
+        options.looWarmupRuns = 2;
+        options.seed = 5;
+        options.jobs = jobs;
+        options.obs.trace = &trace;
+        options.obs.metrics = &metrics;
+        const harness::RunStats stats = harness::evaluateAutoScaleLoo(
+            sim, harness::allZooNetworks(), {env::ScenarioId::S1},
+            /*trainRunsPerCombo=*/5, options);
+        EXPECT_EQ(trace.size(), static_cast<std::size_t>(stats.count()));
+        std::ostringstream trace_out;
+        trace.writeJsonl(trace_out);
+        *trace_text = trace_out.str();
+        std::ostringstream metrics_out;
+        metrics.writeText(metrics_out);
+        *metrics_text = metrics_out.str();
+        return stats;
+    };
+
+    std::string trace_serial;
+    std::string metrics_serial;
+    const harness::RunStats serial = run(1, &trace_serial, &metrics_serial);
+    std::string trace_parallel;
+    std::string metrics_parallel;
+    const harness::RunStats parallel =
+        run(2, &trace_parallel, &metrics_parallel);
+
+    EXPECT_EQ(serial.count(), parallel.count());
+    EXPECT_FALSE(trace_serial.empty());
+    EXPECT_EQ(trace_serial, trace_parallel);
+    EXPECT_EQ(metrics_serial, metrics_parallel);
+}
+
+} // namespace

@@ -30,6 +30,7 @@
 #include "dnn/model_zoo.h"
 #include "harness/experiment.h"
 #include "harness/parallel.h"
+#include "obs/obs_output.h"
 #include "platform/device_zoo.h"
 #include "sim/simulator.h"
 #include "util/args.h"
@@ -226,10 +227,15 @@ cmdDecide(const Args &args)
 int
 cmdTrain(const Args &args)
 {
-    const sim::InferenceSimulator sim = simFromArgs(args);
+    sim::InferenceSimulator sim = simFromArgs(args);
     const std::vector<env::ScenarioId> scenarios = scenariosFromArgs(args);
     const int runs = args.getInt("--runs", 400);
     const auto seed = static_cast<std::uint64_t>(args.getInt("--seed", 1));
+
+    obs::ObsOutput obs_out(obs::ObsConfig::fromArgs(args));
+    if (obs_out.config().metering()) {
+        sim.setObserver(&obs_out.metrics());
+    }
 
     auto policy = harness::makeAutoScalePolicy(sim, seed);
     Rng rng(seed ^ 0x7ea1ULL);
@@ -237,7 +243,8 @@ cmdTrain(const Args &args)
               << scenarios.size() << " scenario(s), " << runs
               << " runs per (network, scenario)...\n";
     harness::trainPolicy(*policy, sim, harness::allZooNetworks(),
-                         scenarios, runs, rng);
+                         scenarios, runs, rng, false, 50.0,
+                         obs_out.context());
 
     const std::string out = args.get("--out", "qtable.txt");
     std::ofstream file(out);
@@ -248,15 +255,24 @@ cmdTrain(const Args &args)
     std::cout << "Q-table saved to " << out << " ("
               << policy->scheduler().agent().table().memoryBytes() / 1024
               << " KiB in memory)\n";
+    obs_out.finalize(&std::cout);
     return 0;
 }
 
 int
 cmdEvaluate(const Args &args)
 {
-    const sim::InferenceSimulator sim = simFromArgs(args);
+    sim::InferenceSimulator sim = simFromArgs(args);
     const std::vector<env::ScenarioId> scenarios = scenariosFromArgs(args);
     const auto seed = static_cast<std::uint64_t>(args.getInt("--seed", 1));
+
+    // The simulator-level counters commute (integer adds), so the
+    // shared observer stays deterministic even with concurrent
+    // comparator evaluation below.
+    obs::ObsOutput obs_out(obs::ObsConfig::fromArgs(args));
+    if (obs_out.config().metering()) {
+        sim.setObserver(&obs_out.metrics());
+    }
 
     auto autoscale_policy = harness::makeAutoScalePolicy(sim, seed);
     const std::string qtable = args.get("--qtable");
@@ -299,14 +315,47 @@ cmdEvaluate(const Args &args)
          [&] { return baselines::makeConnectedEdgePolicy(sim); }},
         {"Opt", [&] { return baselines::makeOptOracle(sim); }},
     };
-    const std::vector<harness::RunStats> comparator_stats =
+    // When observability is on, each concurrent comparator records
+    // into private sinks; they are merged into the run-level sinks in
+    // listed order (then AutoScale last), so the exported trace and
+    // metrics are byte-identical for every --jobs value.
+    struct PolicyResult {
+        harness::RunStats stats;
+        obs::TraceRecorder trace;
+        obs::MetricsRegistry metrics;
+    };
+    const std::vector<PolicyResult> comparator_results =
         harness::parallelIndexed(
             comparators.size(), jobsFromArgs(args), [&](std::size_t i) {
                 auto policy = comparators[i].make();
-                return harness::evaluatePolicy(
+                PolicyResult result;
+                harness::EvalOptions task_options = options;
+                if (obs_out.config().tracing()) {
+                    task_options.obs.trace = &result.trace;
+                }
+                if (obs_out.config().metering()) {
+                    task_options.obs.metrics = &result.metrics;
+                }
+                result.stats = harness::evaluatePolicy(
                     *policy, sim, harness::allZooNetworks(), scenarios,
-                    options);
+                    task_options);
+                return result;
             });
+    for (const PolicyResult &result : comparator_results) {
+        if (obs_out.config().tracing()) {
+            obs_out.trace().append(result.trace);
+        }
+        if (obs_out.config().metering()) {
+            obs_out.metrics().merge(result.metrics);
+        }
+    }
+
+    // AutoScale runs serially after the merge, so it records straight
+    // into the run-level sinks.
+    options.obs = obs_out.context();
+    const harness::RunStats autoscale_stats = harness::evaluatePolicy(
+        *autoscale_policy, sim, harness::allZooNetworks(), scenarios,
+        options);
 
     Table table({"Policy", "PPW (1/J)", "Mean energy (mJ)",
                  "QoS violations", "Opt-match"});
@@ -318,33 +367,37 @@ cmdEvaluate(const Args &args)
                       Table::pct(stats.predictionAccuracy())});
     };
     for (std::size_t i = 0; i < comparators.size(); ++i) {
-        add(comparators[i].name, comparator_stats[i]);
+        add(comparators[i].name, comparator_results[i].stats);
     }
-    add("AutoScale",
-        harness::evaluatePolicy(*autoscale_policy, sim,
-                                harness::allZooNetworks(), scenarios,
-                                options));
+    add("AutoScale", autoscale_stats);
 
     if (args.has("--csv")) {
         table.printCsv(std::cout);
     } else {
         table.print(std::cout);
     }
+    obs_out.finalize(&std::cout);
     return 0;
 }
 
 int
 cmdLoo(const Args &args)
 {
-    const sim::InferenceSimulator sim = simFromArgs(args);
+    sim::InferenceSimulator sim = simFromArgs(args);
     const std::vector<env::ScenarioId> scenarios = scenariosFromArgs(args);
     const int jobs = jobsFromArgs(args);
+
+    obs::ObsOutput obs_out(obs::ObsConfig::fromArgs(args));
+    if (obs_out.config().metering()) {
+        sim.setObserver(&obs_out.metrics());
+    }
 
     harness::EvalOptions options;
     options.runsPerCombo = args.getInt("--runs", 30);
     options.looWarmupRuns = args.getInt("--warmup", 150);
     options.seed = static_cast<std::uint64_t>(args.getInt("--seed", 1));
     options.jobs = jobs;
+    options.obs = obs_out.context();
 
     std::cout << "Leave-one-out over " << harness::allZooNetworks().size()
               << " workloads on " << sim.localDevice().name() << ", "
@@ -368,6 +421,7 @@ cmdLoo(const Args &args)
     } else {
         table.print(std::cout);
     }
+    obs_out.finalize(&std::cout);
     return 0;
 }
 
@@ -389,11 +443,19 @@ usage()
         "           [--runs N] [--train-runs N] [--jobs N] [--csv]\n"
         "  loo --device D [--scenarios ...] [--runs N] [--train-runs N]\n"
         "      [--warmup N] [--seed N] [--jobs N] [--csv]\n\n"
+        "Observability (train, evaluate, loo):\n"
+        "  --trace FILE                 record one structured event per\n"
+        "                               inference decision\n"
+        "  --trace-format jsonl|chrome  JSON Lines (default) or Chrome\n"
+        "                               about://tracing format\n"
+        "  --metrics FILE               dump counters/gauges/histograms\n"
+        "  (summarize JSONL traces with the trace_summary tool)\n\n"
         "Devices: Mi8Pro, \"Galaxy S10e\", \"Moto X Force\"\n"
         "Scenarios: S1-S5 (static), D1-D4 (dynamic), per Table IV\n"
         "--jobs N: worker threads (default: hardware concurrency).\n"
-        "Results are bit-identical for every --jobs value; --jobs 1\n"
-        "runs fully serial.\n";
+        "Results — including --trace and --metrics files — are\n"
+        "bit-identical for every --jobs value; --jobs 1 runs fully\n"
+        "serial.\n";
     return 2;
 }
 

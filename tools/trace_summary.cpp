@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Summarize a JSONL decision trace produced by `autoscale_cli --trace`
+ * (or any bench with `--trace`): per-target decision shares, QoS
+ * violation rate, performance per watt, and mean latency/energy.
+ *
+ *   trace_summary trace.jsonl
+ *   trace_summary trace.jsonl --policy AutoScale --phase eval
+ *
+ * The parser accepts exactly what TraceRecorder::writeJsonl emits: one
+ * flat JSON object per line with string/number/bool/null values. It is
+ * intentionally not a general JSON library — nested values are
+ * rejected loudly rather than misread.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/args.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace autoscale;
+
+/** One parsed trace line: raw field values keyed by name. */
+using Record = std::map<std::string, std::string>;
+
+/** Skip spaces/tabs (writeJsonl emits none, but be tolerant). */
+void
+skipSpace(const std::string &line, std::size_t &pos)
+{
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+        ++pos;
+    }
+}
+
+/**
+ * Parse a JSON string starting at the opening quote; returns the
+ * unescaped value and leaves @p pos one past the closing quote.
+ */
+bool
+parseString(const std::string &line, std::size_t &pos, std::string *out)
+{
+    if (pos >= line.size() || line[pos] != '"') {
+        return false;
+    }
+    ++pos;
+    out->clear();
+    while (pos < line.size()) {
+        const char c = line[pos];
+        if (c == '"') {
+            ++pos;
+            return true;
+        }
+        if (c != '\\') {
+            out->push_back(c);
+            ++pos;
+            continue;
+        }
+        if (pos + 1 >= line.size()) {
+            return false;
+        }
+        const char esc = line[pos + 1];
+        pos += 2;
+        switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+            if (pos + 4 > line.size()) {
+                return false;
+            }
+            const std::string hex = line.substr(pos, 4);
+            pos += 4;
+            const long code = std::strtol(hex.c_str(), nullptr, 16);
+            // The writer only escapes control characters this way, so
+            // a one-byte reconstruction is exact for our own output.
+            out->push_back(static_cast<char>(code));
+            break;
+        }
+        default: return false;
+        }
+    }
+    return false;
+}
+
+/** Parse a bare scalar (number, true/false, null) as raw text. */
+bool
+parseScalar(const std::string &line, std::size_t &pos, std::string *out)
+{
+    const std::size_t start = pos;
+    while (pos < line.size() && line[pos] != ',' && line[pos] != '}') {
+        if (line[pos] == '{' || line[pos] == '[') {
+            return false; // nested values are not part of the schema
+        }
+        ++pos;
+    }
+    *out = line.substr(start, pos - start);
+    return !out->empty();
+}
+
+/** Parse one flat JSON object line into @p record. */
+bool
+parseLine(const std::string &line, Record *record)
+{
+    record->clear();
+    std::size_t pos = 0;
+    skipSpace(line, pos);
+    if (pos >= line.size() || line[pos] != '{') {
+        return false;
+    }
+    ++pos;
+    skipSpace(line, pos);
+    if (pos < line.size() && line[pos] == '}') {
+        return true;
+    }
+    while (pos < line.size()) {
+        std::string key;
+        if (!parseString(line, pos, &key)) {
+            return false;
+        }
+        skipSpace(line, pos);
+        if (pos >= line.size() || line[pos] != ':') {
+            return false;
+        }
+        ++pos;
+        skipSpace(line, pos);
+        std::string value;
+        if (pos < line.size() && line[pos] == '"') {
+            if (!parseString(line, pos, &value)) {
+                return false;
+            }
+        } else if (!parseScalar(line, pos, &value)) {
+            return false;
+        }
+        (*record)[key] = value;
+        skipSpace(line, pos);
+        if (pos < line.size() && line[pos] == ',') {
+            ++pos;
+            skipSpace(line, pos);
+            continue;
+        }
+        return pos < line.size() && line[pos] == '}';
+    }
+    return false;
+}
+
+double
+numberField(const Record &record, const std::string &key)
+{
+    const auto it = record.find(key);
+    if (it == record.end() || it->second == "null") {
+        return 0.0;
+    }
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+boolField(const Record &record, const std::string &key)
+{
+    const auto it = record.find(key);
+    return it != record.end() && it->second == "true";
+}
+
+std::string
+stringField(const Record &record, const std::string &key)
+{
+    const auto it = record.find(key);
+    return it == record.end() ? std::string() : it->second;
+}
+
+int
+usage()
+{
+    std::cout <<
+        "trace_summary — summarize an AutoScale JSONL decision trace\n\n"
+        "Usage: trace_summary TRACE.jsonl [--policy NAME] [--phase P]\n"
+        "  --policy NAME   only count events from this policy\n"
+        "  --phase P       only count events from phase 'train'/'eval'\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argv[1][0] == '-') {
+        return usage();
+    }
+    const Args args(argc, argv);
+    const std::string path = argv[1];
+    const std::string policy_filter = args.get("--policy");
+    const std::string phase_filter = args.get("--phase");
+
+    std::ifstream file(path);
+    if (!file) {
+        fatal("cannot open '" + path + "'");
+    }
+
+    long long total = 0;
+    long long skipped = 0;
+    long long qos_violations = 0;
+    long long accuracy_violations = 0;
+    long long fallbacks = 0;
+    long long explored = 0;
+    double latency_sum_ms = 0.0;
+    double energy_sum_j = 0.0;
+    double reward_sum = 0.0;
+    std::map<std::string, long long> by_target;
+    std::map<std::string, long long> by_policy;
+
+    std::string line;
+    long long line_number = 0;
+    Record record;
+    while (std::getline(file, line)) {
+        ++line_number;
+        if (line.empty()) {
+            continue;
+        }
+        if (!parseLine(line, &record)) {
+            std::cerr << "trace_summary: " << path << ":" << line_number
+                      << ": unparseable line (not a flat JSON object)\n";
+            return 1;
+        }
+        if (!policy_filter.empty()
+            && stringField(record, "policy") != policy_filter) {
+            ++skipped;
+            continue;
+        }
+        if (!phase_filter.empty()
+            && stringField(record, "phase") != phase_filter) {
+            ++skipped;
+            continue;
+        }
+        ++total;
+        ++by_target[stringField(record, "target")];
+        ++by_policy[stringField(record, "policy")];
+        qos_violations += boolField(record, "qos_violated") ? 1 : 0;
+        accuracy_violations +=
+            boolField(record, "accuracy_violated") ? 1 : 0;
+        fallbacks += boolField(record, "fallback") ? 1 : 0;
+        explored += boolField(record, "explored") ? 1 : 0;
+        latency_sum_ms += numberField(record, "latency_ms");
+        energy_sum_j += numberField(record, "energy_j");
+        reward_sum += numberField(record, "reward");
+    }
+
+    if (total == 0) {
+        std::cout << "No matching decision events in " << path
+                  << " (" << skipped << " filtered out)\n";
+        return 0;
+    }
+
+    const double n = static_cast<double>(total);
+    const double mean_energy = energy_sum_j / n;
+    std::cout << "Trace: " << path << " — " << total
+              << " decision(s)";
+    if (skipped > 0) {
+        std::cout << " (" << skipped << " filtered out)";
+    }
+    std::cout << "\n\n";
+
+    Table targets({"Target", "Decisions", "Share"});
+    for (const auto &[target, count] : by_target) {
+        targets.addRow({target, std::to_string(count),
+                        Table::pct(static_cast<double>(count) / n)});
+    }
+    targets.print(std::cout);
+    std::cout << "\n";
+
+    Table summary({"Metric", "Value"});
+    if (by_policy.size() > 1) {
+        summary.addRow({"Policies",
+                        std::to_string(by_policy.size())});
+    }
+    summary.addRow({"QoS violations",
+                    Table::pct(static_cast<double>(qos_violations) / n)});
+    summary.addRow({"Accuracy violations",
+                    Table::pct(
+                        static_cast<double>(accuracy_violations) / n)});
+    summary.addRow({"Fallback decisions",
+                    Table::pct(static_cast<double>(fallbacks) / n)});
+    summary.addRow({"Explored decisions",
+                    Table::pct(static_cast<double>(explored) / n)});
+    summary.addRow({"Mean latency (ms)",
+                    Table::num(latency_sum_ms / n, 2)});
+    summary.addRow({"Mean energy (mJ)",
+                    Table::num(mean_energy * 1e3, 2)});
+    summary.addRow({"PPW (1/J)",
+                    mean_energy > 0.0 ? Table::num(1.0 / mean_energy, 2)
+                                      : std::string("inf")});
+    summary.addRow({"Mean reward", Table::num(reward_sum / n, 3)});
+    summary.print(std::cout);
+    return 0;
+}
