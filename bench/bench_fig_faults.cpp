@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Fault extension: AutoScale re-learns to go local when the link dies.
+ *
+ * A ResNet 50 stream on the Mi8Pro in S1 (no runtime variance, regular
+ * signal) prefers the Cloud GPU — until the `blackout` fault preset
+ * takes both links down for steps [150, 450). Every remote attempt
+ * then burns the full timeout-retry-fallback budget, the wasted energy
+ * lands in the reward, and the Q-values for remote targets collapse
+ * until a local target tops the table. When the link comes back,
+ * epsilon-greedy exploration rediscovers the remote targets and the
+ * decision mix recovers.
+ *
+ * No paper anchor: this extends the paper's stochastic-variance model
+ * (Section IV) with hard connectivity faults. The printed series is
+ * deterministic for a given --seed/--steps and doubles as a golden
+ * regression surface.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "dnn/model_zoo.h"
+#include "fault/fault_injector.h"
+#include "fault/retry.h"
+#include "util/logging.h"
+
+using namespace autoscale;
+
+namespace {
+
+/** Per-bucket decision/outcome tallies. */
+struct Bucket {
+    int steps = 0;
+    int localDecisions = 0;
+    int fallbacks = 0;
+    int timeouts = 0;
+    double energyJ = 0.0;
+    double wastedJ = 0.0;
+
+    double localShare() const
+    {
+        return steps > 0
+            ? static_cast<double>(localDecisions) / steps : 0.0;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::printHeader(
+        "Fault extension: blackout re-learning (ResNet 50, S1)",
+        "Shape: decisions shift local while both links are down "
+        "(steps 150-449), then recover");
+
+    const Args args(argc, argv);
+    const auto seed = static_cast<std::uint64_t>(args.getInt("--seed", 1));
+    const int steps = args.getInt("--steps", 600);
+    const int bucket_size = args.getInt("--bucket", 50);
+    AS_CHECK(steps > 0 && bucket_size > 0);
+
+    const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    const std::vector<env::ScenarioId> scenarios = {env::ScenarioId::S1};
+
+    // Train fault-free first: the agent must already prefer the remote
+    // target for the blackout to have something to break.
+    auto policy = bench::trainOnAll(sim, scenarios, seed);
+    policy->setExploration(true);
+    policy->setLearning(true);
+
+    const dnn::Network &net = dnn::findModel("ResNet 50");
+    const sim::InferenceRequest request = sim::makeRequest(net);
+    const fault::FaultPlan plan = fault::FaultPlan::fromName("blackout");
+    const fault::RetryPolicy retry;
+    env::Scenario scenario(env::ScenarioId::S1, plan);
+    Rng rng(seed ^ 0xb1acULL);
+
+    const int num_buckets = (steps + bucket_size - 1) / bucket_size;
+    std::vector<Bucket> buckets(static_cast<std::size_t>(num_buckets));
+    Bucket before, during, after;
+
+    for (int step = 0; step < steps; ++step) {
+        env::EnvState env = scenario.next(rng);
+        const baselines::Decision decision =
+            policy->decide(request, env, rng);
+        const sim::FaultOutcome result =
+            baselines::executeDecisionWithFaults(sim, request, decision,
+                                                 env, retry, rng);
+        policy->feedback(result.outcome);
+
+        const bool local = !decision.partitioned
+            && decision.target.place == sim::TargetPlace::Local;
+        Bucket &bucket = buckets[static_cast<std::size_t>(
+            step / bucket_size)];
+        Bucket &phase = step < 150 ? before
+            : step < 450 ? during : after;
+        for (Bucket *b : {&bucket, &phase}) {
+            ++b->steps;
+            b->localDecisions += local ? 1 : 0;
+            b->fallbacks += result.fellBack ? 1 : 0;
+            b->timeouts += result.timeouts;
+            b->energyJ += result.outcome.energyJ;
+            b->wastedJ += result.wastedEnergyJ;
+        }
+    }
+
+    Table table({"Steps", "Link", "Local decisions", "Fallbacks",
+                 "Timeouts", "Mean energy (mJ)", "Wasted (mJ)"});
+    for (int i = 0; i < num_buckets; ++i) {
+        const Bucket &b = buckets[static_cast<std::size_t>(i)];
+        const int lo = i * bucket_size;
+        const int hi = lo + b.steps - 1;
+        // The blackout preset takes both links down over [150, 450).
+        const bool dark = lo < 450 && hi >= 150;
+        table.addRow({std::to_string(lo) + "-" + std::to_string(hi),
+                      dark ? "DOWN" : "up",
+                      Table::pct(b.localShare()),
+                      std::to_string(b.fallbacks),
+                      std::to_string(b.timeouts),
+                      Table::num(b.energyJ / b.steps * 1e3, 1),
+                      Table::num(b.wastedJ * 1e3, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPhase summary:\n";
+    Table phases({"Phase", "Local decisions", "Fallbacks",
+                  "Mean energy (mJ)"});
+    auto phase_row = [&](const char *name, const Bucket &b) {
+        phases.addRow({name, Table::pct(b.localShare()),
+                       std::to_string(b.fallbacks),
+                       Table::num(b.energyJ / std::max(1, b.steps) * 1e3,
+                                  1)});
+    };
+    phase_row("Before blackout (0-149)", before);
+    phase_row("During blackout (150-449)", during);
+    phase_row("After recovery (450+)", after);
+    phases.print(std::cout);
+
+    std::cout << "\nLocal share " << Table::pct(before.localShare())
+              << " -> " << Table::pct(during.localShare()) << " -> "
+              << Table::pct(after.localShare())
+              << " (before -> during -> after)\n";
+    return 0;
+}

@@ -45,6 +45,58 @@ executeDecision(const sim::InferenceSimulator &sim,
     return sim.run(*request.network, decision.target, env, rng);
 }
 
+sim::FaultOutcome
+executeDecisionWithFaults(const sim::InferenceSimulator &sim,
+                          const sim::InferenceRequest &request,
+                          const Decision &decision,
+                          const env::EnvState &env,
+                          const fault::RetryPolicy &retry, Rng &rng)
+{
+    AS_CHECK(request.network != nullptr);
+    if (!decision.partitioned) {
+        return sim.runWithFaults(*request.network, decision.target, env,
+                                 retry, request.accuracyTargetPct, rng);
+    }
+
+    sim::FaultOutcome result;
+    result.executedTarget.place = decision.partition.remotePlace;
+    const std::size_t num_layers = request.network->layers().size();
+    const bool fully_local = decision.partition.splitLayer >= num_layers;
+    const bool to_cloud =
+        decision.partition.remotePlace == sim::TargetPlace::Cloud;
+    const bool link_down = !fully_local
+        && ((to_cloud ? env.fault.wlanBlackout : env.fault.p2pBlackout)
+            || (to_cloud && env.fault.cloudDown));
+    if (!link_down) {
+        result.outcome = sim.runPartitioned(*request.network,
+                                            decision.partition, env, rng);
+        return result;
+    }
+
+    // The split half cannot reach its remote stage: one charged
+    // deadline on the dead link, then whole-model local fallback.
+    result.attempts = 1;
+    result.timeouts = 1;
+    result.linkDown = true;
+    result.fellBack = true;
+    const net::WirelessLink &link =
+        to_cloud ? sim.wlanLink() : sim.p2pLink();
+    const double rssi = to_cloud ? env.rssiWlanDbm : env.rssiP2pDbm;
+    const double system_power_w = sim.localDevice().basePowerW();
+    result.wastedMs = retry.timeoutMs;
+    result.wastedEnergyJ = (link.txPowerW(rssi) + system_power_w)
+        * retry.timeoutMs * 1e-3;
+    result.executedTarget = sim.bestLocalTarget(
+        *request.network, env, request.accuracyTargetPct);
+    sim::Outcome fallback = sim.run(*request.network,
+                                    result.executedTarget, env, rng);
+    fallback.latencyMs += result.wastedMs;
+    fallback.energyJ += result.wastedEnergyJ;
+    fallback.estimatedEnergyJ += result.wastedEnergyJ;
+    result.outcome = fallback;
+    return result;
+}
+
 sim::Outcome
 expectedDecision(const sim::InferenceSimulator &sim,
                  const sim::InferenceRequest &request,

@@ -81,6 +81,22 @@ sim::Outcome executeDecision(const sim::InferenceSimulator &sim,
                              const Decision &decision,
                              const env::EnvState &env, Rng &rng);
 
+/**
+ * Execute @p decision under the fault semantics of env.fault
+ * (timeout, bounded retry with exponential backoff, forced local
+ * fallback; see sim::InferenceSimulator::runWithFaults). Whole-model
+ * remote targets get the full retry loop. A partitioned decision whose
+ * remote half is blacked out (or whose cloud is down) skips retries —
+ * the split pipeline cannot be re-segmented mid-request — and falls
+ * back to whole-model local execution after one charged deadline;
+ * otherwise it runs normally (transfer drops are not modelled for the
+ * split-tensor path).
+ */
+sim::FaultOutcome executeDecisionWithFaults(
+    const sim::InferenceSimulator &sim,
+    const sim::InferenceRequest &request, const Decision &decision,
+    const env::EnvState &env, const fault::RetryPolicy &retry, Rng &rng);
+
 /** Noiseless expected outcome of @p decision. */
 sim::Outcome expectedDecision(const sim::InferenceSimulator &sim,
                               const sim::InferenceRequest &request,

@@ -10,6 +10,8 @@
 #ifndef AUTOSCALE_ENV_ENV_STATE_H_
 #define AUTOSCALE_ENV_ENV_STATE_H_
 
+#include "fault/fault_state.h"
+
 namespace autoscale::env {
 
 /** Per-inference runtime-variance snapshot. */
@@ -24,6 +26,14 @@ struct EnvState {
     double rssiP2pDbm = -55.0;
     /** Thermal headroom factor, 1.0 = cool, < 1.0 = throttled. */
     double thermalFactor = 1.0;
+    /**
+     * Injected hard failures for this step (default: none). RSSI floor
+     * drops and throttle events are already folded into the fields
+     * above by the scenario; the flags here drive the simulator's
+     * timeout/retry/fallback semantics for blackout, brownout, and
+     * transfer-drop faults.
+     */
+    fault::FaultState fault;
 };
 
 } // namespace autoscale::env

@@ -84,8 +84,16 @@ allScenarios()
 }
 
 Scenario::Scenario(ScenarioId id)
+    : Scenario(id, fault::FaultPlan{})
+{
+}
+
+Scenario::Scenario(ScenarioId id, const fault::FaultPlan &faults)
     : id_(id)
 {
+    if (faults.enabled()) {
+        faults_ = std::make_unique<fault::FaultInjector>(faults);
+    }
     // Defaults: no co-runner, regular signal on both links.
     app_ = makeIdleApp();
     wlanRssi_ = std::make_unique<net::ConstantRssi>(kRegularRssiDbm);
@@ -136,6 +144,28 @@ Scenario::next(Rng &rng)
     // CPU hog causes the frequent throttling observed in Fig. 5.
     state.thermalFactor =
         std::clamp(1.0 - 0.18 * state.coCpuUtil, 0.6, 1.0);
+    if (faults_ != nullptr) {
+        state.fault = faults_->next();
+        // Signal fades and throttle events act through the existing
+        // graceful-variance fields; brownout/drop conditions stay on
+        // state.fault for the simulator's retry semantics. A blacked-out
+        // link has no carrier, so its RSSI reads the floor — which is
+        // also what lets a Table I state encoder observe the outage
+        // (and keeps the healthy-signal bins' Q-values intact for when
+        // the link returns).
+        state.rssiWlanDbm = std::max(
+            -95.0, state.rssiWlanDbm - state.fault.wlanRssiDropDb);
+        state.rssiP2pDbm = std::max(
+            -95.0, state.rssiP2pDbm - state.fault.p2pRssiDropDb);
+        if (state.fault.wlanBlackout) {
+            state.rssiWlanDbm = -95.0;
+        }
+        if (state.fault.p2pBlackout) {
+            state.rssiP2pDbm = -95.0;
+        }
+        state.thermalFactor = std::min(
+            state.thermalFactor, state.fault.localThrottleFactor);
+    }
     return state;
 }
 

@@ -14,6 +14,7 @@
 
 #include "env/env_state.h"
 #include "env/interference.h"
+#include "fault/fault_injector.h"
 #include "net/rssi_process.h"
 #include "util/rng.h"
 
@@ -59,8 +60,22 @@ class Scenario {
   public:
     explicit Scenario(ScenarioId id);
 
+    /**
+     * Scenario with a fault plan layered on top of its graceful
+     * variance. The injector runs on its own RNG stream (seeded from
+     * the plan), so the base environment samples are identical with
+     * and without faults; RSSI floor drops and throttle events fold
+     * into the matching EnvState fields, the rest lands in
+     * EnvState::fault. A disabled plan behaves exactly like the
+     * single-argument constructor.
+     */
+    Scenario(ScenarioId id, const fault::FaultPlan &faults);
+
     ScenarioId id() const { return id_; }
     const char *name() const { return scenarioName(id_); }
+
+    /** Whether a fault plan is active on this scenario. */
+    bool injectingFaults() const { return faults_ != nullptr; }
 
     /** Runtime-variance snapshot for the next inference. */
     EnvState next(Rng &rng);
@@ -70,6 +85,7 @@ class Scenario {
     std::unique_ptr<CoRunningApp> app_;
     std::unique_ptr<net::RssiProcess> wlanRssi_;
     std::unique_ptr<net::RssiProcess> p2pRssi_;
+    std::unique_ptr<fault::FaultInjector> faults_;
 };
 
 } // namespace autoscale::env

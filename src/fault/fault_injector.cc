@@ -1,0 +1,91 @@
+#include "fault/fault_injector.h"
+
+#include "util/logging.h"
+
+namespace autoscale::fault {
+
+bool
+FaultPlan::enabled() const
+{
+    if (!blackouts.empty() || !fades.empty()) {
+        return true;
+    }
+    return brownoutSlowdown > 1.0 || brownoutDownProb > 0.0
+        || throttleFactor < 1.0 || transferDropProb > 0.0;
+}
+
+FaultPlan
+FaultPlan::fromName(const std::string &name)
+{
+    FaultPlan plan;
+    plan.name = name;
+    if (name == "none") {
+        return plan;
+    }
+    if (name == "blackout") {
+        // Hard outage of both links: offloading is impossible for 300
+        // steps, then the world recovers. The window start leaves room
+        // for pre-outage behaviour to establish itself.
+        plan.blackouts.push_back(
+            Blackout{StepWindow{150, 300, 0}, true, true});
+        return plan;
+    }
+    if (name == "flaky-wifi") {
+        // Deep WLAN fades most steps, a lossy link, and short periodic
+        // micro-blackouts: offloading sometimes works, expensively.
+        plan.fades.push_back(Fade{true, 22.0, 0.35});
+        plan.blackouts.push_back(
+            Blackout{StepWindow{40, 8, 80}, true, false});
+        plan.transferDropProb = 0.2;
+        return plan;
+    }
+    if (name == "cloud-brownout") {
+        // Periodic server-side load episodes: compute slows 12x and
+        // almost every third request inside the episode is refused.
+        plan.brownoutWindow = StepWindow{100, 200, 400};
+        plan.brownoutSlowdown = 12.0;
+        plan.brownoutDownProb = 0.3;
+        return plan;
+    }
+    fatal("unknown fault preset '" + name
+          + "' (use none, blackout, flaky-wifi, cloud-brownout)");
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+    : plan_(plan), rng_(plan.seed)
+{
+    for (const FaultPlan::Blackout &blackout : plan_.blackouts) {
+        processes_.push_back(std::make_unique<LinkBlackout>(
+            blackout.window, blackout.wlan, blackout.p2p));
+    }
+    for (const FaultPlan::Fade &fade : plan_.fades) {
+        processes_.push_back(std::make_unique<RssiFloorDrop>(
+            fade.wlan, fade.dropDb, fade.probability));
+    }
+    if (plan_.brownoutSlowdown > 1.0 || plan_.brownoutDownProb > 0.0) {
+        processes_.push_back(std::make_unique<CloudBrownout>(
+            plan_.brownoutWindow, plan_.brownoutSlowdown,
+            plan_.brownoutDownProb));
+    }
+    if (plan_.throttleProb > 0.0) {
+        processes_.push_back(std::make_unique<ThermalThrottleEvents>(
+            plan_.throttleFactor, plan_.throttleProb));
+    }
+    if (plan_.transferDropProb > 0.0) {
+        processes_.push_back(
+            std::make_unique<TransferDrops>(plan_.transferDropProb));
+    }
+}
+
+FaultState
+FaultInjector::next()
+{
+    FaultState state;
+    for (const auto &process : processes_) {
+        process->apply(step_, state, rng_);
+    }
+    ++step_;
+    return state;
+}
+
+} // namespace autoscale::fault

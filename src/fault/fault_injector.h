@@ -1,0 +1,100 @@
+/**
+ * @file
+ * FaultPlan: the declarative description of which fault processes to
+ * run (what the CLI's `--faults` flag parses into), with the named
+ * presets `blackout`, `flaky-wifi` and `cloud-brownout`.
+ *
+ * FaultInjector: the per-stream instantiation. It owns the composed
+ * fault processes, a step counter, and a dedicated fault RNG seeded
+ * purely from the plan seed — never from the experiment's measurement
+ * RNG — so enabling faults leaves the underlying runtime-variance
+ * sample stream untouched and two streams built from the same plan see
+ * the same fault timeline (a blackout hits every stream at the same
+ * relative step, like a real outage would).
+ */
+
+#ifndef AUTOSCALE_FAULT_FAULT_INJECTOR_H_
+#define AUTOSCALE_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault_process.h"
+#include "fault/fault_state.h"
+#include "util/rng.h"
+
+namespace autoscale::fault {
+
+/** Declarative fault configuration; all defaults mean "no faults". */
+struct FaultPlan {
+    /** Preset name for reporting ("none" when hand-assembled). */
+    std::string name = "none";
+    /** Seed of the dedicated fault RNG stream (`--fault-seed`). */
+    std::uint64_t seed = 0xfa17ULL;
+
+    /** Total link-loss windows. */
+    struct Blackout {
+        StepWindow window;
+        bool wlan = true;
+        bool p2p = false;
+    };
+    std::vector<Blackout> blackouts;
+
+    /** Random deep fades: {wlan?, depth dB, per-step probability}. */
+    struct Fade {
+        bool wlan = true;
+        double dropDb = 0.0;
+        double probability = 0.0;
+    };
+    std::vector<Fade> fades;
+
+    /** Cloud brownout episode (slowdown 1 disables). */
+    StepWindow brownoutWindow;
+    double brownoutSlowdown = 1.0;
+    double brownoutDownProb = 0.0;
+
+    /** Thermal-throttle events (probability 0 disables). */
+    double throttleFactor = 1.0;
+    double throttleProb = 0.0;
+
+    /** Per-attempt transfer-drop probability (0 disables). */
+    double transferDropProb = 0.0;
+
+    /** Whether this plan injects anything at all. */
+    bool enabled() const;
+
+    /**
+     * Named preset: "none", "blackout" (hard one-shot outage of both
+     * links over steps [150, 450)), "flaky-wifi" (random WLAN fades,
+     * lossy transfers, periodic micro-blackouts), or "cloud-brownout"
+     * (periodic server slowdown episodes with intermittent refusals).
+     * fatal() on an unknown name.
+     */
+    static FaultPlan fromName(const std::string &name);
+};
+
+/** Per-stream fault generator: one FaultState per inference step. */
+class FaultInjector {
+  public:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    /** Fault conditions for the next inference step. */
+    FaultState next();
+
+    /** Steps generated so far. */
+    std::int64_t step() const { return step_; }
+
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    FaultPlan plan_;
+    std::vector<std::unique_ptr<FaultProcess>> processes_;
+    Rng rng_;
+    std::int64_t step_ = 0;
+};
+
+} // namespace autoscale::fault
+
+#endif // AUTOSCALE_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,78 @@
+#include "fault/fault_process.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace autoscale::fault {
+
+bool
+StepWindow::contains(std::int64_t step) const
+{
+    if (durationSteps <= 0 || step < startStep) {
+        return false;
+    }
+    const std::int64_t offset = step - startStep;
+    if (periodSteps <= 0) {
+        return offset < durationSteps;
+    }
+    AS_CHECK(durationSteps <= periodSteps);
+    return offset % periodSteps < durationSteps;
+}
+
+void
+LinkBlackout::apply(std::int64_t step, FaultState &state, Rng &)
+{
+    if (!window_.contains(step)) {
+        return;
+    }
+    state.wlanBlackout = state.wlanBlackout || wlan_;
+    state.p2pBlackout = state.p2pBlackout || p2p_;
+}
+
+void
+RssiFloorDrop::apply(std::int64_t, FaultState &state, Rng &rng)
+{
+    // Unconditional draw: the fault stream of step N must not depend on
+    // which earlier faults fired (see file comment).
+    const bool fade = rng.bernoulli(probability_);
+    if (!fade) {
+        return;
+    }
+    if (wlan_) {
+        state.wlanRssiDropDb = std::max(state.wlanRssiDropDb, dropDb_);
+    } else {
+        state.p2pRssiDropDb = std::max(state.p2pRssiDropDb, dropDb_);
+    }
+}
+
+void
+CloudBrownout::apply(std::int64_t step, FaultState &state, Rng &rng)
+{
+    const bool down = rng.bernoulli(downProbability_);
+    if (!window_.contains(step)) {
+        return;
+    }
+    state.cloudSlowdown = std::max(state.cloudSlowdown, slowdown_);
+    state.cloudDown = state.cloudDown || down;
+}
+
+void
+ThermalThrottleEvents::apply(std::int64_t, FaultState &state, Rng &rng)
+{
+    const bool throttle = rng.bernoulli(probability_);
+    if (!throttle) {
+        return;
+    }
+    state.localThrottleFactor =
+        std::min(state.localThrottleFactor, throttleFactor_);
+}
+
+void
+TransferDrops::apply(std::int64_t, FaultState &state, Rng &)
+{
+    state.transferDropProb =
+        std::max(state.transferDropProb, probability_);
+}
+
+} // namespace autoscale::fault

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Composable fault processes. Each process observes the per-stream step
+ * counter and a dedicated fault RNG stream and merges its failure
+ * condition into the step's FaultState. Processes compose by
+ * worst-condition-wins merging (ORed blackouts, max drops/slowdowns,
+ * min throttle factors), so layering e.g. a blackout window over a
+ * flaky RSSI floor behaves like both happening at once.
+ *
+ * Determinism contract: every process draws the same number of RNG
+ * values on every step regardless of what it decides, so the fault
+ * stream of step N is a pure function of (plan, seed, N) — never of
+ * which faults happened to fire earlier.
+ */
+
+#ifndef AUTOSCALE_FAULT_FAULT_PROCESS_H_
+#define AUTOSCALE_FAULT_FAULT_PROCESS_H_
+
+#include <cstdint>
+
+#include "fault/fault_state.h"
+#include "util/rng.h"
+
+namespace autoscale::fault {
+
+/**
+ * A step window: active on steps [startStep, startStep + durationSteps)
+ * and, with periodSteps > 0, again every periodSteps thereafter.
+ * periodSteps == 0 means one-shot. durationSteps == 0 never fires.
+ */
+struct StepWindow {
+    std::int64_t startStep = 0;
+    std::int64_t durationSteps = 0;
+    std::int64_t periodSteps = 0;
+
+    /** Whether @p step falls inside the window. */
+    bool contains(std::int64_t step) const;
+};
+
+/** One fault condition generator; stateless between steps. */
+class FaultProcess {
+  public:
+    virtual ~FaultProcess() = default;
+
+    /**
+     * Merge this process's condition for @p step into @p state. Must
+     * draw a step-count-independent number of values from @p rng.
+     */
+    virtual void apply(std::int64_t step, FaultState &state,
+                       Rng &rng) = 0;
+};
+
+/** Total link loss during a step window (the "link dies" scenario). */
+class LinkBlackout : public FaultProcess {
+  public:
+    LinkBlackout(const StepWindow &window, bool wlan, bool p2p)
+        : window_(window), wlan_(wlan), p2p_(p2p)
+    {
+    }
+
+    void apply(std::int64_t step, FaultState &state, Rng &rng) override;
+
+  private:
+    StepWindow window_;
+    bool wlan_;
+    bool p2p_;
+};
+
+/** Random per-step RSSI floor drops (deep fades) on one link. */
+class RssiFloorDrop : public FaultProcess {
+  public:
+    /**
+     * @param wlan Drop the WLAN signal (else the P2P link).
+     * @param dropDb Depth of the fade in dB.
+     * @param probability Per-step probability of the fade.
+     */
+    RssiFloorDrop(bool wlan, double dropDb, double probability)
+        : wlan_(wlan), dropDb_(dropDb), probability_(probability)
+    {
+    }
+
+    void apply(std::int64_t step, FaultState &state, Rng &rng) override;
+
+  private:
+    bool wlan_;
+    double dropDb_;
+    double probability_;
+};
+
+/**
+ * Cloud-server brownout: inside the window the server runs @p slowdown
+ * times slower (co-located tenants), and with @p downProbability per
+ * step it black-holes requests entirely.
+ */
+class CloudBrownout : public FaultProcess {
+  public:
+    CloudBrownout(const StepWindow &window, double slowdown,
+                  double downProbability)
+        : window_(window), slowdown_(slowdown),
+          downProbability_(downProbability)
+    {
+    }
+
+    void apply(std::int64_t step, FaultState &state, Rng &rng) override;
+
+  private:
+    StepWindow window_;
+    double slowdown_;
+    double downProbability_;
+};
+
+/** Random thermal-throttle events on the local processors. */
+class ThermalThrottleEvents : public FaultProcess {
+  public:
+    ThermalThrottleEvents(double throttleFactor, double probability)
+        : throttleFactor_(throttleFactor), probability_(probability)
+    {
+    }
+
+    void apply(std::int64_t step, FaultState &state, Rng &rng) override;
+
+  private:
+    double throttleFactor_;
+    double probability_;
+};
+
+/** Constant per-attempt transfer-drop probability (lossy link). */
+class TransferDrops : public FaultProcess {
+  public:
+    explicit TransferDrops(double probability)
+        : probability_(probability)
+    {
+    }
+
+    void apply(std::int64_t step, FaultState &state, Rng &rng) override;
+
+  private:
+    double probability_;
+};
+
+} // namespace autoscale::fault
+
+#endif // AUTOSCALE_FAULT_FAULT_PROCESS_H_

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Per-inference snapshot of injected hard failures, layered on top of
+ * the graceful runtime variance in env::EnvState. The paper's stochastic
+ * edge setting (Section IV) includes connectivity loss where offloading
+ * must fall back to local execution; this struct is how a fault process
+ * tells the simulator that the world is currently broken.
+ *
+ * A default-constructed FaultState is fully inactive and must make the
+ * simulator behave bit-identically to the fault-free code path.
+ */
+
+#ifndef AUTOSCALE_FAULT_FAULT_STATE_H_
+#define AUTOSCALE_FAULT_FAULT_STATE_H_
+
+namespace autoscale::fault {
+
+/** Active hard-failure conditions for one inference step. */
+struct FaultState {
+    /** Wireless LAN (cloud path) is completely down. */
+    bool wlanBlackout = false;
+    /** Wi-Fi Direct (connected-edge path) is completely down. */
+    bool p2pBlackout = false;
+    /** Additional WLAN signal floor drop, dB (subtracted from RSSI). */
+    double wlanRssiDropDb = 0.0;
+    /** Additional P2P signal floor drop, dB. */
+    double p2pRssiDropDb = 0.0;
+    /** Cloud-server compute slowdown from co-located load, >= 1. */
+    double cloudSlowdown = 1.0;
+    /** Cloud server refuses/black-holes requests this step. */
+    bool cloudDown = false;
+    /** Thermal-throttle event factor, <= 1 (folds into thermalFactor). */
+    double localThrottleFactor = 1.0;
+    /** Probability that any single transfer attempt is dropped. */
+    double transferDropProb = 0.0;
+
+    /** Whether any fault condition is engaged this step. */
+    bool
+    active() const
+    {
+        return wlanBlackout || p2pBlackout || cloudDown
+            || wlanRssiDropDb > 0.0 || p2pRssiDropDb > 0.0
+            || cloudSlowdown > 1.0 || localThrottleFactor < 1.0
+            || transferDropProb > 0.0;
+    }
+};
+
+} // namespace autoscale::fault
+
+#endif // AUTOSCALE_FAULT_FAULT_STATE_H_

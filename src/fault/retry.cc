@@ -1,0 +1,18 @@
+#include "fault/retry.h"
+
+namespace autoscale::fault {
+
+double
+RetryPolicy::backoffMs(int attempt) const
+{
+    if (attempt <= 0) {
+        return 0.0;
+    }
+    double gap = backoffBaseMs;
+    for (int i = 1; i < attempt; ++i) {
+        gap *= backoffMultiplier;
+    }
+    return gap;
+}
+
+} // namespace autoscale::fault

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Timeout/retry semantics for remote execution under faults: how long
+ * the device waits for a remote result before declaring the attempt
+ * dead, how many times it retries, and how the exponential backoff
+ * between attempts grows. After the last retry fails, the runtime is
+ * forced to fall back to the best feasible local target — the
+ * connectivity-loss behaviour of the paper's stochastic edge setting.
+ */
+
+#ifndef AUTOSCALE_FAULT_RETRY_H_
+#define AUTOSCALE_FAULT_RETRY_H_
+
+namespace autoscale::fault {
+
+/** Deadline and bounded-retry configuration for remote attempts. */
+struct RetryPolicy {
+    /**
+     * Per-attempt deadline, ms (`--timeout-ms`). Generous relative to
+     * the QoS targets (50-100 ms): a healthy remote attempt never
+     * trips it, so the policy only bites when something is wrong.
+     */
+    double timeoutMs = 300.0;
+    /** Retries after the first attempt (`--max-retries`). */
+    int maxRetries = 2;
+    /** Idle gap before the first retry, ms. */
+    double backoffBaseMs = 25.0;
+    /** Multiplier applied to the gap for each further retry. */
+    double backoffMultiplier = 2.0;
+
+    /**
+     * Backoff gap before attempt @p attempt (1-based; attempt 0 is the
+     * initial try and has no gap): base * multiplier^(attempt-1).
+     */
+    double backoffMs(int attempt) const;
+
+    /** Total attempts allowed: 1 + maxRetries. */
+    int maxAttempts() const { return 1 + (maxRetries < 0 ? 0 : maxRetries); }
+};
+
+} // namespace autoscale::fault
+
+#endif // AUTOSCALE_FAULT_RETRY_H_

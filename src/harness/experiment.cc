@@ -85,6 +85,19 @@ makeDecisionEvent(const char *phase, const baselines::SchedulingPolicy &policy,
     return event;
 }
 
+/** Copy one decision's fault outcome into its trace event. */
+void
+annotateFaultEvent(obs::DecisionEvent &event,
+                   const sim::FaultOutcome &fault_result)
+{
+    event.faultAttempts = fault_result.attempts;
+    event.faultTimeouts = fault_result.timeouts;
+    event.faultDrops = fault_result.drops;
+    event.faultLinkDown = fault_result.linkDown;
+    event.faultFallback = fault_result.fellBack;
+    event.faultWastedEnergyJ = fault_result.wastedEnergyJ;
+}
+
 /** Record the per-decision counters/histograms for one inference. */
 void
 recordDecisionMetrics(obs::MetricsRegistry &metrics,
@@ -112,6 +125,18 @@ recordDecisionMetrics(obs::MetricsRegistry &metrics,
     metrics.observe(prefix + "energy_mj", event.energyJ * 1e3);
     metrics.observe(prefix + "reward", event.reward);
     metrics.observe(prefix + "q_update_delta", event.qUpdateDelta);
+    if (event.faultAttempts > 1) {
+        metrics.inc(prefix + "fault.retries", event.faultAttempts - 1);
+    }
+    if (event.faultTimeouts > 0) {
+        metrics.inc(prefix + "fault.timeouts", event.faultTimeouts);
+    }
+    if (event.faultDrops > 0) {
+        metrics.inc(prefix + "fault.drops", event.faultDrops);
+    }
+    if (event.faultFallback) {
+        metrics.inc(prefix + "fault.fallbacks");
+    }
 }
 
 } // namespace
@@ -145,7 +170,8 @@ trainPolicy(baselines::SchedulingPolicy &policy,
             const std::vector<const dnn::Network *> &networks,
             const std::vector<env::ScenarioId> &scenarios,
             int runsPerCombo, Rng &rng, bool streaming,
-            double accuracyTargetPct, const obs::ObsContext &obs)
+            double accuracyTargetPct, const obs::ObsContext &obs,
+            const fault::FaultPlan &faults, const fault::RetryPolicy &retry)
 {
     policy.setExploration(true);
     policy.setLearning(true);
@@ -172,7 +198,8 @@ trainPolicy(baselines::SchedulingPolicy &policy,
                 continue;
             }
             streams.push_back(Stream{
-                env::Scenario(scenario_id), env::ThermalModel{}, network,
+                env::Scenario(scenario_id, faults), env::ThermalModel{},
+                network,
                 streaming
                     ? sim::makeStreamingRequest(*network,
                                                 accuracyTargetPct)
@@ -198,14 +225,26 @@ trainPolicy(baselines::SchedulingPolicy &policy,
             }
             const baselines::Decision decision =
                 policy.decide(stream.request, env, rng);
-            const sim::Outcome outcome = baselines::executeDecision(
-                sim, stream.request, decision, env, rng);
+            sim::FaultOutcome fault_result;
+            sim::Outcome outcome;
+            if (faults.enabled()) {
+                fault_result = baselines::executeDecisionWithFaults(
+                    sim, stream.request, decision, env, retry, rng);
+                outcome = fault_result.outcome;
+            } else {
+                outcome = baselines::executeDecision(
+                    sim, stream.request, decision, env, rng);
+            }
+            // The policy observes the fault-adjusted outcome (wasted
+            // retry energy folded in), so the Q-learner feels failures
+            // through the reward signal.
             policy.feedback(outcome);
 
             if (obs.enabled()) {
                 obs::DecisionEvent event = makeDecisionEvent(
                     "train", policy, stream.request, stream.scenario,
                     env, decision, outcome, false);
+                annotateFaultEvent(event, fault_result);
                 event.feasible = outcome.feasible;
                 event.qosViolated = !outcome.feasible
                     || outcome.latencyMs >= stream.request.qosMs;
@@ -250,10 +289,12 @@ trainAutoScale(AutoScalePolicy &policy, const sim::InferenceSimulator &sim,
                const std::vector<const dnn::Network *> &networks,
                const std::vector<env::ScenarioId> &scenarios,
                int runsPerCombo, Rng &rng, bool streaming,
-               double accuracyTargetPct, const obs::ObsContext &obs)
+               double accuracyTargetPct, const obs::ObsContext &obs,
+               const fault::FaultPlan &faults,
+               const fault::RetryPolicy &retry)
 {
     trainPolicy(policy, sim, networks, scenarios, runsPerCombo, rng,
-                streaming, accuracyTargetPct, obs);
+                streaming, accuracyTargetPct, obs, faults, retry);
 }
 
 RunStats
@@ -276,7 +317,7 @@ evaluatePolicy(baselines::SchedulingPolicy &policy,
                 && network->task() == dnn::Task::Translation) {
                 continue;
             }
-            env::Scenario scenario(scenario_id);
+            env::Scenario scenario(scenario_id, options.faults);
             env::ThermalModel thermal;
             const sim::InferenceRequest request = options.streaming
                 ? sim::makeStreamingRequest(*network,
@@ -292,8 +333,16 @@ evaluatePolicy(baselines::SchedulingPolicy &policy,
 
                 const baselines::Decision decision =
                     policy.decide(request, env, rng);
-                const sim::Outcome outcome = baselines::executeDecision(
-                    sim, request, decision, env, rng);
+                sim::FaultOutcome fault_result;
+                sim::Outcome outcome;
+                if (options.faults.enabled()) {
+                    fault_result = baselines::executeDecisionWithFaults(
+                        sim, request, decision, env, options.retry, rng);
+                    outcome = fault_result.outcome;
+                } else {
+                    outcome = baselines::executeDecision(
+                        sim, request, decision, env, rng);
+                }
                 policy.feedback(outcome);
 
                 // Infeasible picks fall back to the CPU for metrics.
@@ -308,6 +357,11 @@ evaluatePolicy(baselines::SchedulingPolicy &policy,
                 record.accuracyViolated = !outcome.feasible
                     || measured.accuracyPct < request.accuracyTargetPct;
                 record.decisionCategory = decision.category();
+                record.faultAttempts = fault_result.attempts;
+                record.faultTimeouts = fault_result.timeouts;
+                record.faultDrops = fault_result.drops;
+                record.faultFellBack = fault_result.fellBack;
+                record.faultWastedEnergyJ = fault_result.wastedEnergyJ;
 
                 // The noiseless model prediction backs the oracle
                 // comparison and the trace's predicted-vs-observed gap.
@@ -337,6 +391,7 @@ evaluatePolicy(baselines::SchedulingPolicy &policy,
                     obs::DecisionEvent event = makeDecisionEvent(
                         "eval", policy, request, scenario, env, decision,
                         measured, !outcome.feasible);
+                    annotateFaultEvent(event, fault_result);
                     event.feasible = outcome.feasible;
                     event.qosViolated = record.qosViolated;
                     event.accuracyViolated = record.accuracyViolated;
@@ -418,7 +473,8 @@ evaluateAutoScaleLoo(const sim::InferenceSimulator &sim,
             Rng train_rng(fold_seed + 0x5eedULL);
             trainAutoScale(policy, sim, train_networks, scenarios,
                            trainRunsPerCombo, train_rng, options.streaming,
-                           options.accuracyTargetPct);
+                           options.accuracyTargetPct, {}, options.faults,
+                           options.retry);
 
             // Online-learning warm-up on the held-out network:
             // AutoScale continuously learns in deployment, and the
@@ -429,7 +485,8 @@ evaluateAutoScaleLoo(const sim::InferenceSimulator &sim,
                 trainAutoScale(policy, sim, {test_network}, scenarios,
                                options.looWarmupRuns, train_rng,
                                options.streaming,
-                               options.accuracyTargetPct);
+                               options.accuracyTargetPct, {},
+                               options.faults, options.retry);
             }
 
             // Measure greedily (online learning stays on). Only the

@@ -16,6 +16,8 @@
 
 #include "baselines/policy.h"
 #include "env/scenario.h"
+#include "fault/fault_injector.h"
+#include "fault/retry.h"
 #include "harness/autoscale_policy.h"
 #include "harness/metrics.h"
 #include "obs/trace_recorder.h"
@@ -59,6 +61,16 @@ struct EvalOptions {
      * and metrics output is byte-identical for every `jobs` value.
      */
     obs::ObsContext obs;
+    /**
+     * Fault-injection plan (see fault/fault_injector.h). Default is
+     * the empty plan: scenarios sample fault-free and the execution
+     * path is byte-identical to a build without the fault subsystem.
+     * When enabled(), every evaluated decision runs through
+     * executeDecisionWithFaults and fault counters are accumulated.
+     */
+    fault::FaultPlan faults;
+    /** Timeout/retry/backoff knobs used when faults are enabled. */
+    fault::RetryPolicy retry;
 };
 
 /**
@@ -74,7 +86,9 @@ void trainPolicy(baselines::SchedulingPolicy &policy,
                  const std::vector<env::ScenarioId> &scenarios,
                  int runsPerCombo, Rng &rng, bool streaming = false,
                  double accuracyTargetPct = 50.0,
-                 const obs::ObsContext &obs = {});
+                 const obs::ObsContext &obs = {},
+                 const fault::FaultPlan &faults = {},
+                 const fault::RetryPolicy &retry = {});
 
 /** Convenience alias of trainPolicy kept for the AutoScale adapter. */
 void trainAutoScale(AutoScalePolicy &policy,
@@ -83,7 +97,9 @@ void trainAutoScale(AutoScalePolicy &policy,
                     const std::vector<env::ScenarioId> &scenarios,
                     int runsPerCombo, Rng &rng, bool streaming = false,
                     double accuracyTargetPct = 50.0,
-                    const obs::ObsContext &obs = {});
+                    const obs::ObsContext &obs = {},
+                    const fault::FaultPlan &faults = {},
+                    const fault::RetryPolicy &retry = {});
 
 /**
  * Evaluate @p policy over (networks x scenarios) and aggregate metrics.

@@ -24,6 +24,15 @@ RunStats::add(const RunRecord &record)
     if (record.nearOptimal) {
         ++nearOptimal_;
     }
+    if (record.faultAttempts > 1) {
+        faultRetries_ += record.faultAttempts - 1;
+    }
+    faultTimeouts_ += record.faultTimeouts;
+    faultDrops_ += record.faultDrops;
+    if (record.faultFellBack) {
+        ++faultFallbacks_;
+    }
+    faultWastedEnergyJ_ += record.faultWastedEnergyJ;
     ++decisionCounts_[record.decisionCategory];
     if (!record.optCategory.empty()) {
         ++optDecisionCounts_[record.optCategory];
@@ -42,6 +51,11 @@ RunStats::merge(const RunStats &other)
     accuracyViolations_ += other.accuracyViolations_;
     oracleMatches_ += other.oracleMatches_;
     nearOptimal_ += other.nearOptimal_;
+    faultRetries_ += other.faultRetries_;
+    faultTimeouts_ += other.faultTimeouts_;
+    faultDrops_ += other.faultDrops_;
+    faultFallbacks_ += other.faultFallbacks_;
+    faultWastedEnergyJ_ += other.faultWastedEnergyJ_;
     for (const auto &[category, count] : other.decisionCounts_) {
         decisionCounts_[category] += count;
     }
@@ -142,6 +156,16 @@ RunStats::meanLatencyMs() const
         return 0.0;
     }
     return sumLatencyMs_ / static_cast<double>(count_);
+}
+
+double
+RunStats::faultFallbackRatio() const
+{
+    if (count_ == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(faultFallbacks_)
+        / static_cast<double>(count_);
 }
 
 double

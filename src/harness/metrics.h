@@ -24,6 +24,16 @@ struct RunRecord {
     std::string decisionCategory;
     /** Whether the decision matched Opt at category level. */
     bool matchedOracle = false;
+    /** Remote attempts under fault semantics (0 = fault path unused). */
+    int faultAttempts = 0;
+    /** Attempts abandoned at the deadline. */
+    int faultTimeouts = 0;
+    /** Attempts whose transfer was dropped. */
+    int faultDrops = 0;
+    /** Remote retries exhausted; ran on the forced local fallback. */
+    bool faultFellBack = false;
+    /** Energy burned on failed attempts and backoff gaps, J. */
+    double faultWastedEnergyJ = 0.0;
     /** Whether expected energy was within 1% of Opt's. */
     bool nearOptimal = false;
     /** Opt's expected energy for the same (request, env). */
@@ -72,6 +82,24 @@ class RunStats {
 
     double meanLatencyMs() const;
 
+    /** Total remote retry attempts beyond each decision's first. */
+    int faultRetries() const { return faultRetries_; }
+
+    /** Attempts abandoned at the per-attempt deadline. */
+    int faultTimeouts() const { return faultTimeouts_; }
+
+    /** Transfer attempts dropped by the link. */
+    int faultDrops() const { return faultDrops_; }
+
+    /** Decisions forced onto the local fallback target. */
+    int faultFallbacks() const { return faultFallbacks_; }
+
+    /** Fraction of runs that ended on the forced local fallback. */
+    double faultFallbackRatio() const;
+
+    /** Total energy burned on failed attempts and backoff gaps, J. */
+    double faultWastedEnergyJ() const { return faultWastedEnergyJ_; }
+
     /** Decision-category histogram (Fig. 13). */
     const std::map<std::string, int> &decisionCounts() const
     { return decisionCounts_; }
@@ -93,6 +121,11 @@ class RunStats {
     int accuracyViolations_ = 0;
     int oracleMatches_ = 0;
     int nearOptimal_ = 0;
+    int faultRetries_ = 0;
+    int faultTimeouts_ = 0;
+    int faultDrops_ = 0;
+    int faultFallbacks_ = 0;
+    double faultWastedEnergyJ_ = 0.0;
     std::map<std::string, int> decisionCounts_;
     std::map<std::string, int> optDecisionCounts_;
 };

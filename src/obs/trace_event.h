@@ -64,6 +64,20 @@ struct DecisionEvent {
     double qosMs = 0.0;
     bool qosViolated = false;
     bool accuracyViolated = false;
+    // --- Fault semantics (all defaults = fault path unused). ---
+    /** Remote attempts under fault injection (0 = no fault path). */
+    int faultAttempts = 0;
+    /** Attempts abandoned at the per-attempt deadline. */
+    int faultTimeouts = 0;
+    /** Attempts whose transfer the link dropped. */
+    int faultDrops = 0;
+    /** Whether the chosen link was blacked out (or the cloud down). */
+    bool faultLinkDown = false;
+    /** Retries exhausted; executed on the forced local fallback. */
+    bool faultFallback = false;
+    /** Energy burned on failed attempts and backoff gaps, J. */
+    double faultWastedEnergyJ = 0.0;
+
     /** Reward folded into the learner for this decision (0 otherwise). */
     double reward = 0.0;
     /**

@@ -83,6 +83,12 @@ eventJson(const DecisionEvent &event, std::size_t sequence)
     appendNumber(line, "qos_ms", event.qosMs);
     appendBool(line, "qos_violated", event.qosViolated);
     appendBool(line, "accuracy_violated", event.accuracyViolated);
+    appendInt(line, "fault_attempts", event.faultAttempts);
+    appendInt(line, "fault_timeouts", event.faultTimeouts);
+    appendInt(line, "fault_drops", event.faultDrops);
+    appendBool(line, "fault_link_down", event.faultLinkDown);
+    appendBool(line, "fault_fallback", event.faultFallback);
+    appendNumber(line, "fault_wasted_energy_j", event.faultWastedEnergyJ);
     appendNumber(line, "reward", event.reward);
     appendNumber(line, "q_update_delta", event.qUpdateDelta);
     line += '}';

@@ -148,7 +148,8 @@ InferenceSimulator::remoteComputeMs(const dnn::Network &network,
 Outcome
 InferenceSimulator::measure(const dnn::Network &network,
                             const ExecutionTarget &target,
-                            const env::EnvState &env, Rng *rng) const
+                            const env::EnvState &env, Rng *rng,
+                            double remoteSlowdown) const
 {
     Outcome outcome;
     if (!isFeasible(network, target)) {
@@ -194,7 +195,8 @@ InferenceSimulator::measure(const dnn::Network &network,
         net::TransferResult transfer = link.transfer(
             network.inputBytes(), network.outputBytes(), rssi);
         double remote_ms = remoteComputeMs(network, target.place,
-                                           target.proc, target.precision);
+                                           target.proc, target.precision)
+            * remoteSlowdown;
         if (rng != nullptr) {
             const double net_factor =
                 rng->lognormalFactor(kNetworkNoiseSigma);
@@ -235,6 +237,131 @@ InferenceSimulator::expected(const dnn::Network &network,
                              const env::EnvState &env) const
 {
     return measure(network, target, env, nullptr);
+}
+
+ExecutionTarget
+InferenceSimulator::bestLocalTarget(const dnn::Network &network,
+                                    const env::EnvState &env,
+                                    double accuracyTargetPct) const
+{
+    // Last resort: local CPU FP32 at top frequency is always feasible.
+    ExecutionTarget best{TargetPlace::Local, platform::ProcKind::MobileCpu,
+                         local_.cpu().maxVfIndex(), dnn::Precision::FP32};
+    double best_j = -1.0;
+    for (const platform::Processor *proc : local_.processors()) {
+        for (const dnn::Precision precision :
+             {dnn::Precision::FP32, dnn::Precision::FP16,
+              dnn::Precision::INT8}) {
+            ExecutionTarget candidate{TargetPlace::Local, proc->kind(),
+                                      proc->maxVfIndex(), precision};
+            if (!isFeasible(network, candidate)) {
+                continue;
+            }
+            if (dnn::inferenceAccuracy(network.name(), precision)
+                < accuracyTargetPct) {
+                continue;
+            }
+            const Outcome o = expected(network, candidate, env);
+            if (best_j < 0.0 || o.energyJ < best_j) {
+                best = candidate;
+                best_j = o.energyJ;
+            }
+        }
+    }
+    return best;
+}
+
+FaultOutcome
+InferenceSimulator::runWithFaults(const dnn::Network &network,
+                                  const ExecutionTarget &target,
+                                  const env::EnvState &env,
+                                  const fault::RetryPolicy &retry,
+                                  double accuracyTargetPct, Rng &rng) const
+{
+    FaultOutcome result;
+    result.executedTarget = target;
+    // Local decisions carry no transfer to fail (throttle events act
+    // through env.thermalFactor), and infeasible targets keep the
+    // plain middleware-rejection semantics the harness already handles.
+    if (target.place == TargetPlace::Local
+        || !isFeasible(network, target)) {
+        result.outcome = run(network, target, env, rng);
+        return result;
+    }
+
+    const fault::FaultState &fault = env.fault;
+    const bool to_cloud = target.place == TargetPlace::Cloud;
+    const net::WirelessLink &link = to_cloud ? wlan_ : p2p_;
+    const double rssi = to_cloud ? env.rssiWlanDbm : env.rssiP2pDbm;
+    const bool link_down =
+        (to_cloud ? fault.wlanBlackout : fault.p2pBlackout)
+        || (to_cloud && fault.cloudDown);
+    const double slowdown = to_cloud ? fault.cloudSlowdown : 1.0;
+    const double system_power_w = local_.basePowerW();
+
+    for (int attempt = 0; attempt < retry.maxAttempts(); ++attempt) {
+        if (attempt > 0) {
+            // Exponential-backoff gap: the device idles, waiting.
+            const double gap_ms = retry.backoffMs(attempt);
+            result.wastedMs += gap_ms;
+            result.wastedEnergyJ += system_power_w * gap_ms * 1e-3;
+        }
+        ++result.attempts;
+        if (link_down) {
+            // The radio probes a dead link at TX power until the
+            // deadline expires; nothing ever comes back.
+            result.linkDown = true;
+            ++result.timeouts;
+            result.wastedMs += retry.timeoutMs;
+            result.wastedEnergyJ += (link.txPowerW(rssi) + system_power_w)
+                * retry.timeoutMs * 1e-3;
+            continue;
+        }
+        if (fault.transferDropProb > 0.0
+            && rng.bernoulli(fault.transferDropProb)) {
+            // The request went out (uplink energy spent) but the
+            // response never arrives; the device waits out the
+            // deadline before retrying.
+            ++result.drops;
+            const net::TransferResult probe = link.transfer(
+                network.inputBytes(), network.outputBytes(), rssi);
+            result.wastedMs += retry.timeoutMs;
+            result.wastedEnergyJ += link.txPowerW(rssi) * probe.txMs * 1e-3
+                + system_power_w * retry.timeoutMs * 1e-3;
+            continue;
+        }
+        Outcome attempt_outcome =
+            measure(network, target, env, &rng, slowdown);
+        if (attempt_outcome.latencyMs > retry.timeoutMs) {
+            // Too slow: the device abandons the attempt at the
+            // deadline, having spent the pro-rated share of its energy.
+            ++result.timeouts;
+            result.wastedMs += retry.timeoutMs;
+            result.wastedEnergyJ += attempt_outcome.energyJ
+                * (retry.timeoutMs / attempt_outcome.latencyMs);
+            continue;
+        }
+        attempt_outcome.latencyMs += result.wastedMs;
+        attempt_outcome.energyJ += result.wastedEnergyJ;
+        attempt_outcome.estimatedEnergyJ += result.wastedEnergyJ;
+        result.outcome = attempt_outcome;
+        return result;
+    }
+
+    // Every remote attempt failed: forced fallback to the best
+    // feasible local target, still charging all the waste.
+    result.fellBack = true;
+    result.executedTarget =
+        bestLocalTarget(network, env, accuracyTargetPct);
+    Outcome fallback = run(network, result.executedTarget, env, rng);
+    fallback.latencyMs += result.wastedMs;
+    fallback.energyJ += result.wastedEnergyJ;
+    fallback.estimatedEnergyJ += result.wastedEnergyJ;
+    result.outcome = fallback;
+    if (metricsObserver_ != nullptr) {
+        metricsObserver_->inc("sim.fault.fallbacks");
+    }
+    return result;
 }
 
 Outcome

@@ -21,6 +21,7 @@
 
 #include "dnn/network.h"
 #include "env/env_state.h"
+#include "fault/retry.h"
 #include "net/link.h"
 #include "obs/metrics_registry.h"
 #include "platform/device.h"
@@ -58,6 +59,34 @@ struct Outcome {
     {
         return energyJ > 0.0 ? 1.0 / energyJ : 0.0;
     }
+};
+
+/**
+ * Result of one execution under fault semantics: what was finally
+ * delivered to the user, where it actually ran, and what the failed
+ * attempts cost. The wasted radio/retry energy and the deadline/backoff
+ * time are already folded into `outcome` (charged to the request), so
+ * a reward computed from it makes the learner feel the failure.
+ */
+struct FaultOutcome {
+    /** Delivered result, with all waste charged in. */
+    Outcome outcome;
+    /** Where the inference finally ran (fallback target if fellBack). */
+    ExecutionTarget executedTarget;
+    /** Remote attempts made; 0 when the decision was local. */
+    int attempts = 0;
+    /** Attempts abandoned at the deadline (dead link or too slow). */
+    int timeouts = 0;
+    /** Attempts whose transfer the link dropped mid-flight. */
+    int drops = 0;
+    /** A blackout/brownout outage blocked at least one attempt. */
+    bool linkDown = false;
+    /** Remote attempts exhausted; ran on the local fallback target. */
+    bool fellBack = false;
+    /** Energy burned on failed attempts and backoff gaps, J. */
+    double wastedEnergyJ = 0.0;
+    /** Time burned on failed attempts and backoff gaps, ms. */
+    double wastedMs = 0.0;
 };
 
 /** Specification of the local half of a partitioned execution. */
@@ -109,6 +138,36 @@ class InferenceSimulator {
                      const ExecutionTarget &target,
                      const env::EnvState &env) const;
 
+    /**
+     * Noisy execution under the fault semantics of env.fault: a remote
+     * attempt that hits a blackout, a cloud outage, a dropped transfer,
+     * or the per-attempt deadline is retried with exponential backoff
+     * up to retry.maxRetries times; when every attempt fails, the
+     * runtime is forced onto bestLocalTarget(). All waste is charged to
+     * the request. Local decisions and infeasible targets pass straight
+     * through to run(). With an inactive env.fault and a deadline no
+     * healthy attempt trips, this consumes the same RNG stream as run()
+     * and returns identical numbers.
+     *
+     * @param accuracyTargetPct Quality requirement used to pick the
+     *        local fallback target (0 disables the constraint).
+     */
+    FaultOutcome runWithFaults(const dnn::Network &network,
+                               const ExecutionTarget &target,
+                               const env::EnvState &env,
+                               const fault::RetryPolicy &retry,
+                               double accuracyTargetPct, Rng &rng) const;
+
+    /**
+     * The forced-fallback target: the lowest expected-energy feasible
+     * local option (each processor at its top frequency, any supported
+     * precision) meeting @p accuracyTargetPct; local CPU FP32 at top
+     * frequency when nothing qualifies (it is always feasible).
+     */
+    ExecutionTarget bestLocalTarget(const dnn::Network &network,
+                                    const env::EnvState &env,
+                                    double accuracyTargetPct) const;
+
     /** Noisy layer-partitioned execution (NeuroSurgeon/MOSAIC). */
     Outcome runPartitioned(const dnn::Network &network,
                            const PartitionSpec &spec,
@@ -144,7 +203,7 @@ class InferenceSimulator {
 
     Outcome measure(const dnn::Network &network,
                     const ExecutionTarget &target, const env::EnvState &env,
-                    Rng *rng) const;
+                    Rng *rng, double remoteSlowdown = 1.0) const;
 
     Outcome measurePartitioned(const dnn::Network &network,
                                const PartitionSpec &spec,

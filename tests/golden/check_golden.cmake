@@ -1,0 +1,43 @@
+# Golden-regression check, run as a ctest entry:
+#
+#   cmake -DCMD="<binary> <args...>" -DGOLDEN=<checked-in file>
+#         -DOUT=<scratch file> -P check_golden.cmake
+#
+# Runs CMD, captures stdout into OUT, and byte-compares it against
+# GOLDEN. On divergence the scratch file is left in place (CI uploads
+# it as an artifact) and the test fails with update instructions.
+# Regenerate every golden with tools/update_goldens.sh after an
+# intentional behaviour change; the diff then documents the change in
+# review.
+
+foreach(required CMD GOLDEN OUT)
+    if(NOT DEFINED ${required})
+        message(FATAL_ERROR "check_golden.cmake: missing -D${required}")
+    endif()
+endforeach()
+
+separate_arguments(command_list UNIX_COMMAND "${CMD}")
+get_filename_component(out_dir "${OUT}" DIRECTORY)
+file(MAKE_DIRECTORY "${out_dir}")
+
+execute_process(
+    COMMAND ${command_list}
+    OUTPUT_FILE "${OUT}"
+    RESULT_VARIABLE run_result)
+if(NOT run_result EQUAL 0)
+    message(FATAL_ERROR
+        "golden command failed (exit ${run_result}): ${CMD}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${OUT}" "${GOLDEN}"
+    RESULT_VARIABLE diff_result)
+if(NOT diff_result EQUAL 0)
+    file(READ "${OUT}" actual)
+    message(FATAL_ERROR
+        "golden mismatch against ${GOLDEN}\n"
+        "divergent output kept at: ${OUT}\n"
+        "If the change is intentional, regenerate with "
+        "tools/update_goldens.sh and commit the diff.\n"
+        "--- actual output ---\n${actual}")
+endif()

@@ -65,6 +65,122 @@ TEST(FailureHandling, HarnessFallsBackAndChargesTheCpuRun)
     EXPECT_GT(stats.meanLatencyMs(), 0.0);
 }
 
+/** A policy fixed on one (possibly nonsensical) whole-model target. */
+class FixedTargetPolicy : public baselines::SchedulingPolicy {
+  public:
+    explicit FixedTargetPolicy(const sim::ExecutionTarget &target)
+        : target_(target)
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+
+    baselines::Decision
+    decide(const sim::InferenceRequest &, const env::EnvState &,
+           Rng &) override
+    {
+        return baselines::makeTargetDecision(target_);
+    }
+
+  private:
+    sim::ExecutionTarget target_;
+    std::string name_ = "fixed-target";
+};
+
+TEST(FailureHandling, CloudPlaceRejectsMobileProcessors)
+{
+    // A mobile processor does not exist at the cloud place; the
+    // middleware must refuse rather than invent numbers, and the
+    // harness must still deliver a (CPU-fallback) result to the user.
+    const sim::InferenceSimulator sim = mi8Sim();
+    const dnn::Network &net = dnn::findModel("MobileNet v1");
+    const sim::ExecutionTarget bogus{sim::TargetPlace::Cloud,
+                                     platform::ProcKind::MobileCpu, 0,
+                                     dnn::Precision::FP32};
+    EXPECT_FALSE(sim.expected(net, bogus, env::EnvState{}).feasible);
+
+    FixedTargetPolicy policy(bogus);
+    harness::EvalOptions options;
+    options.runsPerCombo = 4;
+    options.compareOracle = false;
+    const auto nets = std::vector<const dnn::Network *>{&net};
+    const harness::RunStats stats = harness::evaluatePolicy(
+        policy, sim, nets, {env::ScenarioId::S1}, options);
+    EXPECT_EQ(stats.count(), 4);
+    EXPECT_DOUBLE_EQ(stats.accuracyViolationRatio(), 1.0);
+    EXPECT_GT(stats.meanEnergyJ(), 0.0);
+}
+
+TEST(FailureHandling, EdgePlacesRejectServerProcessors)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    const dnn::Network &net = dnn::findModel("MobileNet v1");
+    for (const sim::TargetPlace place :
+         {sim::TargetPlace::Local, sim::TargetPlace::ConnectedEdge}) {
+        const sim::ExecutionTarget bogus{
+            place, platform::ProcKind::ServerGpu, 0,
+            dnn::Precision::FP32};
+        EXPECT_FALSE(sim.expected(net, bogus, env::EnvState{}).feasible)
+            << sim::targetPlaceName(place);
+    }
+}
+
+TEST(FailureHandling, FaultFallbackChoiceIsTheCheapestQualifyingLocal)
+{
+    // When remote retries exhaust, the forced fallback must be the
+    // minimum-expected-energy feasible local target that meets the
+    // accuracy requirement — not just any local target.
+    const sim::InferenceSimulator sim = mi8Sim();
+    const env::EnvState env;
+    for (const dnn::Network *net : harness::allZooNetworks()) {
+        for (const double accuracy : {0.0, 50.0, 80.0}) {
+            const sim::ExecutionTarget fallback =
+                sim.bestLocalTarget(*net, env, accuracy);
+            const sim::Outcome chosen =
+                sim.expected(*net, fallback, env);
+            ASSERT_TRUE(chosen.feasible) << net->name();
+
+            // Brute-force the qualifying candidate set (each local
+            // processor at its top step, every supported precision).
+            bool any_qualifies = false;
+            double best_energy = 1e300;
+            for (const platform::Processor *proc :
+                 sim.localDevice().processors()) {
+                for (const dnn::Precision precision :
+                     {dnn::Precision::FP32, dnn::Precision::FP16,
+                      dnn::Precision::INT8}) {
+                    const sim::ExecutionTarget candidate{
+                        sim::TargetPlace::Local, proc->kind(),
+                        proc->maxVfIndex(), precision};
+                    const sim::Outcome outcome =
+                        sim.expected(*net, candidate, env);
+                    if (!outcome.feasible
+                        || outcome.accuracyPct < accuracy) {
+                        continue;
+                    }
+                    any_qualifies = true;
+                    best_energy = std::min(best_energy, outcome.energyJ);
+                }
+            }
+
+            if (any_qualifies) {
+                // The chosen fallback must qualify and match the
+                // cheapest qualifying candidate.
+                EXPECT_GE(chosen.accuracyPct, accuracy) << net->name();
+                EXPECT_DOUBLE_EQ(chosen.energyJ, best_energy)
+                    << net->name() << " at accuracy " << accuracy;
+            } else {
+                // Unreachable requirement: the last resort is the
+                // always-feasible CPU FP32 at its top step.
+                EXPECT_EQ(fallback.proc, platform::ProcKind::MobileCpu)
+                    << net->name();
+                EXPECT_EQ(fallback.precision, dnn::Precision::FP32)
+                    << net->name();
+            }
+        }
+    }
+}
+
 TEST(FailureHandling, InfeasibleRewardIsTheQualityFailurePenalty)
 {
     const dnn::Network &net = dnn::findModel("MobileBERT");

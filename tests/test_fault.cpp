@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Fault-injection subsystem tests: step-window edges, backoff
+ * arithmetic, preset plans, injector determinism, the
+ * timeout/retry/forced-local-fallback semantics of runWithFaults, the
+ * fault-free parity contract, and the headline behaviour — AutoScale
+ * re-learns to go local while both links are down and recovers when
+ * the signal returns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/fixed.h"
+#include "baselines/policy.h"
+#include "dnn/model_zoo.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_process.h"
+#include "fault/retry.h"
+#include "harness/autoscale_policy.h"
+#include "harness/experiment.h"
+#include "obs/trace_recorder.h"
+#include "platform/device_zoo.h"
+
+namespace autoscale {
+namespace {
+
+sim::InferenceSimulator
+mi8Sim()
+{
+    return sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+}
+
+sim::ExecutionTarget
+cloudGpu()
+{
+    return sim::ExecutionTarget{sim::TargetPlace::Cloud,
+                                platform::ProcKind::ServerGpu, 0,
+                                dnn::Precision::FP32};
+}
+
+/** A plan whose only fault is a both-link blackout from step 0 on. */
+fault::FaultPlan
+alwaysDarkPlan()
+{
+    fault::FaultPlan plan;
+    plan.name = "always-dark";
+    plan.blackouts.push_back(
+        {fault::StepWindow{0, 1 << 30, 0}, true, true});
+    return plan;
+}
+
+TEST(FaultWindow, OneShotEdgesAreHalfOpen)
+{
+    const fault::StepWindow window{150, 300, 0};
+    EXPECT_FALSE(window.contains(149));
+    EXPECT_TRUE(window.contains(150));
+    EXPECT_TRUE(window.contains(449));
+    EXPECT_FALSE(window.contains(450));
+    EXPECT_FALSE(window.contains(100000));
+}
+
+TEST(FaultWindow, PeriodicWindowRepeatsEveryPeriod)
+{
+    const fault::StepWindow window{40, 8, 80};
+    EXPECT_FALSE(window.contains(39));
+    EXPECT_TRUE(window.contains(40));
+    EXPECT_TRUE(window.contains(47));
+    EXPECT_FALSE(window.contains(48));
+    // Next period: [120, 128).
+    EXPECT_TRUE(window.contains(120));
+    EXPECT_TRUE(window.contains(127));
+    EXPECT_FALSE(window.contains(128));
+    // Before the first occurrence nothing fires.
+    EXPECT_FALSE(window.contains(0));
+}
+
+TEST(FaultWindow, ZeroDurationNeverFires)
+{
+    const fault::StepWindow window{10, 0, 50};
+    for (std::int64_t step = 0; step < 200; ++step) {
+        EXPECT_FALSE(window.contains(step));
+    }
+}
+
+TEST(FaultRetry, BackoffGrowsExponentiallyFromTheFirstRetry)
+{
+    const fault::RetryPolicy retry;
+    EXPECT_DOUBLE_EQ(retry.backoffMs(0), 0.0);
+    EXPECT_DOUBLE_EQ(retry.backoffMs(1), 25.0);
+    EXPECT_DOUBLE_EQ(retry.backoffMs(2), 50.0);
+    EXPECT_DOUBLE_EQ(retry.backoffMs(3), 100.0);
+    EXPECT_EQ(retry.maxAttempts(), 3);
+
+    fault::RetryPolicy no_retries;
+    no_retries.maxRetries = 0;
+    EXPECT_EQ(no_retries.maxAttempts(), 1);
+}
+
+TEST(FaultPlan, PresetsParseAndDefaultIsDisabled)
+{
+    EXPECT_FALSE(fault::FaultPlan{}.enabled());
+    EXPECT_FALSE(fault::FaultPlan::fromName("none").enabled());
+    EXPECT_TRUE(fault::FaultPlan::fromName("blackout").enabled());
+    EXPECT_TRUE(fault::FaultPlan::fromName("flaky-wifi").enabled());
+    EXPECT_TRUE(fault::FaultPlan::fromName("cloud-brownout").enabled());
+}
+
+TEST(FaultPlanDeath, UnknownPresetIsFatal)
+{
+    EXPECT_EXIT({ fault::FaultPlan::fromName("solar-flare"); },
+                ::testing::ExitedWithCode(1), "unknown fault preset");
+}
+
+TEST(FaultInjector, BlackoutPresetDropsBothLinksOverTheWindow)
+{
+    fault::FaultInjector injector(fault::FaultPlan::fromName("blackout"));
+    for (std::int64_t step = 0; step < 600; ++step) {
+        const fault::FaultState state = injector.next();
+        const bool dark = step >= 150 && step < 450;
+        EXPECT_EQ(state.wlanBlackout, dark) << "step " << step;
+        EXPECT_EQ(state.p2pBlackout, dark) << "step " << step;
+    }
+}
+
+TEST(FaultInjector, SamePlanSameSeedSameTimeline)
+{
+    const fault::FaultPlan plan = fault::FaultPlan::fromName("flaky-wifi");
+    fault::FaultInjector a(plan);
+    fault::FaultInjector b(plan);
+    for (int step = 0; step < 500; ++step) {
+        const fault::FaultState sa = a.next();
+        const fault::FaultState sb = b.next();
+        EXPECT_EQ(sa.wlanBlackout, sb.wlanBlackout);
+        EXPECT_EQ(sa.p2pBlackout, sb.p2pBlackout);
+        EXPECT_DOUBLE_EQ(sa.wlanRssiDropDb, sb.wlanRssiDropDb);
+        EXPECT_DOUBLE_EQ(sa.transferDropProb, sb.transferDropProb);
+        EXPECT_DOUBLE_EQ(sa.cloudSlowdown, sb.cloudSlowdown);
+    }
+}
+
+TEST(FaultInjector, FaultSeedOnlyMovesTheRandomProcesses)
+{
+    // Deterministic windows are seed-independent; random fades differ.
+    fault::FaultPlan plan_a = fault::FaultPlan::fromName("flaky-wifi");
+    fault::FaultPlan plan_b = plan_a;
+    plan_b.seed = plan_a.seed + 1;
+    fault::FaultInjector a(plan_a);
+    fault::FaultInjector b(plan_b);
+    int fade_diffs = 0;
+    for (int step = 0; step < 400; ++step) {
+        const fault::FaultState sa = a.next();
+        const fault::FaultState sb = b.next();
+        EXPECT_EQ(sa.wlanBlackout, sb.wlanBlackout) << "step " << step;
+        fade_diffs += sa.wlanRssiDropDb != sb.wlanRssiDropDb ? 1 : 0;
+    }
+    EXPECT_GT(fade_diffs, 0);
+}
+
+TEST(FaultSim, DeadLinkExhaustsRetriesAndFallsBackLocal)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    const dnn::Network &net = dnn::findModel("ResNet 50");
+    env::EnvState env;
+    env.fault.wlanBlackout = true;
+    const fault::RetryPolicy retry;
+    Rng rng(7);
+
+    const sim::FaultOutcome result =
+        sim.runWithFaults(net, cloudGpu(), env, retry, 50.0, rng);
+    EXPECT_EQ(result.attempts, retry.maxAttempts());
+    EXPECT_EQ(result.timeouts, retry.maxAttempts());
+    EXPECT_TRUE(result.linkDown);
+    EXPECT_TRUE(result.fellBack);
+    EXPECT_EQ(result.executedTarget.place, sim::TargetPlace::Local);
+    EXPECT_TRUE(result.outcome.feasible);
+
+    // Energy accounting: the delivered outcome carries the waste of
+    // the dead-link attempts on top of the fallback's own cost.
+    EXPECT_GT(result.wastedEnergyJ, 0.0);
+    EXPECT_GT(result.outcome.energyJ, result.wastedEnergyJ);
+    EXPECT_GT(result.wastedMs, 0.0);
+    EXPECT_GT(result.outcome.latencyMs, result.wastedMs);
+    // Three timeouts plus two backoff gaps.
+    EXPECT_DOUBLE_EQ(result.wastedMs,
+                     3 * retry.timeoutMs + retry.backoffMs(1)
+                         + retry.backoffMs(2));
+}
+
+TEST(FaultSim, CertainTransferDropAlsoExhaustsRetries)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    const dnn::Network &net = dnn::findModel("MobileNet v1");
+    env::EnvState env;
+    env.fault.transferDropProb = 1.0;
+    const fault::RetryPolicy retry;
+    Rng rng(7);
+
+    const sim::FaultOutcome result =
+        sim.runWithFaults(net, cloudGpu(), env, retry, 50.0, rng);
+    EXPECT_EQ(result.drops, retry.maxAttempts());
+    EXPECT_FALSE(result.linkDown);
+    EXPECT_TRUE(result.fellBack);
+    EXPECT_EQ(result.executedTarget.place, sim::TargetPlace::Local);
+    EXPECT_GT(result.wastedEnergyJ, 0.0);
+}
+
+TEST(FaultSim, CloudSlowdownTripsTheDeadlineButSparesTheEdge)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    const dnn::Network &net = dnn::findModel("ResNet 50");
+    env::EnvState env;
+    env.fault.cloudSlowdown = 1e4;
+    const fault::RetryPolicy retry;
+
+    Rng rng_cloud(7);
+    const sim::FaultOutcome slow = sim.runWithFaults(
+        net, cloudGpu(), env, retry, 50.0, rng_cloud);
+    EXPECT_EQ(slow.timeouts, retry.maxAttempts());
+    EXPECT_TRUE(slow.fellBack);
+
+    // The brownout is server-side: the Wi-Fi Direct edge path is fine.
+    const sim::ExecutionTarget edge{sim::TargetPlace::ConnectedEdge,
+                                    platform::ProcKind::MobileGpu, 0,
+                                    dnn::Precision::FP16};
+    Rng rng_edge(7);
+    const sim::FaultOutcome fine =
+        sim.runWithFaults(net, edge, env, retry, 50.0, rng_edge);
+    EXPECT_FALSE(fine.fellBack);
+    EXPECT_EQ(fine.timeouts, 0);
+}
+
+TEST(FaultSim, LocalDecisionsBypassTheRetryMachinery)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    const dnn::Network &net = dnn::findModel("MobileNet v1");
+    env::EnvState env;
+    env.fault.wlanBlackout = true;
+    env.fault.p2pBlackout = true;
+    const sim::ExecutionTarget cpu{sim::TargetPlace::Local,
+                                   platform::ProcKind::MobileCpu, 0,
+                                   dnn::Precision::FP32};
+    Rng rng(3);
+    const sim::FaultOutcome result = sim.runWithFaults(
+        net, cpu, env, fault::RetryPolicy{}, 50.0, rng);
+    EXPECT_EQ(result.attempts, 0);
+    EXPECT_FALSE(result.fellBack);
+    EXPECT_DOUBLE_EQ(result.wastedEnergyJ, 0.0);
+}
+
+TEST(FaultSim, InactiveFaultStateMatchesPlainRunExactly)
+{
+    // The parity contract: with a default FaultState and a deadline no
+    // healthy attempt trips, runWithFaults consumes the same RNG
+    // stream as run() and returns identical numbers.
+    const sim::InferenceSimulator sim = mi8Sim();
+    const env::EnvState env; // fault defaults to inactive
+    for (const char *name : {"MobileNet v1", "ResNet 50", "MobileBERT"}) {
+        const dnn::Network &net = dnn::findModel(name);
+        Rng rng_plain(11);
+        Rng rng_fault(11);
+        const sim::Outcome plain =
+            sim.run(net, cloudGpu(), env, rng_plain);
+        const sim::FaultOutcome faulted = sim.runWithFaults(
+            net, cloudGpu(), env, fault::RetryPolicy{}, 50.0, rng_fault);
+        EXPECT_DOUBLE_EQ(faulted.outcome.latencyMs, plain.latencyMs);
+        EXPECT_DOUBLE_EQ(faulted.outcome.energyJ, plain.energyJ);
+        EXPECT_EQ(faulted.attempts, 1);
+        EXPECT_EQ(faulted.timeouts, 0);
+        EXPECT_FALSE(faulted.fellBack);
+        // The next draw from both generators must agree too (no
+        // extra RNG consumption on the fault path).
+        EXPECT_EQ(rng_plain.next(), rng_fault.next());
+    }
+}
+
+TEST(FaultSim, BestLocalTargetIsFeasibleAndMeetsAccuracy)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    const env::EnvState env;
+    for (const dnn::Network *net : harness::allZooNetworks()) {
+        const sim::ExecutionTarget target =
+            sim.bestLocalTarget(*net, env, 50.0);
+        EXPECT_EQ(target.place, sim::TargetPlace::Local);
+        const sim::Outcome outcome = sim.expected(*net, target, env);
+        EXPECT_TRUE(outcome.feasible) << net->name();
+        EXPECT_GE(outcome.accuracyPct, 50.0) << net->name();
+    }
+}
+
+TEST(FaultHarness, PermanentBlackoutForcesEveryCloudDecisionLocal)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    auto cloud_policy = baselines::makeCloudPolicy(sim);
+    harness::EvalOptions options;
+    options.runsPerCombo = 6;
+    options.compareOracle = false;
+    options.faults = alwaysDarkPlan();
+    const auto nets = std::vector<const dnn::Network *>{
+        &dnn::findModel("MobileNet v1")};
+    const harness::RunStats stats = harness::evaluatePolicy(
+        *cloud_policy, sim, nets, {env::ScenarioId::S1}, options);
+    EXPECT_EQ(stats.count(), 6);
+    EXPECT_EQ(stats.faultFallbacks(), 6);
+    EXPECT_DOUBLE_EQ(stats.faultFallbackRatio(), 1.0);
+    EXPECT_EQ(stats.faultTimeouts(), 6 * fault::RetryPolicy{}.maxAttempts());
+    EXPECT_GT(stats.faultWastedEnergyJ(), 0.0);
+}
+
+TEST(FaultHarness, TraceEventsCarryTheFaultAnnotations)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    auto cloud_policy = baselines::makeCloudPolicy(sim);
+    obs::TraceRecorder trace;
+    harness::EvalOptions options;
+    options.runsPerCombo = 3;
+    options.compareOracle = false;
+    options.faults = alwaysDarkPlan();
+    options.obs.trace = &trace;
+    const auto nets = std::vector<const dnn::Network *>{
+        &dnn::findModel("MobileNet v1")};
+    harness::evaluatePolicy(*cloud_policy, sim, nets,
+                            {env::ScenarioId::S1}, options);
+    ASSERT_EQ(trace.size(), 3u);
+    for (const obs::DecisionEvent &event : trace.snapshot()) {
+        EXPECT_EQ(event.faultAttempts, fault::RetryPolicy{}.maxAttempts());
+        EXPECT_TRUE(event.faultLinkDown);
+        EXPECT_TRUE(event.faultFallback);
+        EXPECT_GT(event.faultWastedEnergyJ, 0.0);
+    }
+}
+
+TEST(FaultHarness, LooWithFaultsIsBitIdenticalAcrossJobs)
+{
+    const sim::InferenceSimulator sim = mi8Sim();
+    const auto nets = std::vector<const dnn::Network *>{
+        &dnn::findModel("MobileNet v1"), &dnn::findModel("MobileNet v2"),
+        &dnn::findModel("ResNet 50")};
+
+    auto run = [&](int jobs, obs::TraceRecorder *trace) {
+        harness::EvalOptions options;
+        options.runsPerCombo = 4;
+        options.looWarmupRuns = 5;
+        options.compareOracle = false;
+        options.jobs = jobs;
+        options.faults = fault::FaultPlan::fromName("flaky-wifi");
+        options.obs.trace = trace;
+        return harness::evaluateAutoScaleLoo(
+            sim, nets, {env::ScenarioId::S1, env::ScenarioId::S4}, 15,
+            options);
+    };
+    obs::TraceRecorder trace1, trace4;
+    const harness::RunStats serial = run(1, &trace1);
+    const harness::RunStats parallel = run(4, &trace4);
+
+    EXPECT_EQ(serial.count(), parallel.count());
+    EXPECT_DOUBLE_EQ(serial.meanEnergyJ(), parallel.meanEnergyJ());
+    EXPECT_DOUBLE_EQ(serial.meanLatencyMs(), parallel.meanLatencyMs());
+    EXPECT_EQ(serial.faultRetries(), parallel.faultRetries());
+    EXPECT_EQ(serial.faultTimeouts(), parallel.faultTimeouts());
+    EXPECT_EQ(serial.faultDrops(), parallel.faultDrops());
+    EXPECT_EQ(serial.faultFallbacks(), parallel.faultFallbacks());
+    EXPECT_DOUBLE_EQ(serial.faultWastedEnergyJ(),
+                     parallel.faultWastedEnergyJ());
+
+    std::ostringstream jsonl1, jsonl4;
+    trace1.writeJsonl(jsonl1);
+    trace4.writeJsonl(jsonl4);
+    EXPECT_EQ(jsonl1.str(), jsonl4.str());
+}
+
+TEST(FaultLearning, AutoScaleGoesLocalDuringBlackoutAndRecovers)
+{
+    // The acceptance scenario of the fault extension (and the story of
+    // bench_fig_faults): a ResNet 50 stream in S1 prefers the remote
+    // targets, shifts almost fully local while the blackout preset has
+    // both links down over steps [150, 450), and swings back once the
+    // carrier returns.
+    const sim::InferenceSimulator sim = mi8Sim();
+    const dnn::Network &net = dnn::findModel("ResNet 50");
+    auto policy = harness::makeAutoScalePolicy(sim, 1);
+    Rng train_rng(99);
+    harness::trainPolicy(*policy, sim, {&net}, {env::ScenarioId::S1}, 400,
+                         train_rng);
+
+    const sim::InferenceRequest request = sim::makeRequest(net);
+    env::Scenario scenario(env::ScenarioId::S1,
+                           fault::FaultPlan::fromName("blackout"));
+    Rng rng(17);
+    int local_before = 0, local_during = 0, local_after = 0;
+    for (int step = 0; step < 600; ++step) {
+        env::EnvState env = scenario.next(rng);
+        const baselines::Decision decision =
+            policy->decide(request, env, rng);
+        const sim::FaultOutcome result =
+            baselines::executeDecisionWithFaults(
+                sim, request, decision, env, fault::RetryPolicy{}, rng);
+        policy->feedback(result.outcome);
+        const bool local = !decision.partitioned
+            && decision.target.place == sim::TargetPlace::Local;
+        if (local) {
+            (step < 150 ? local_before
+             : step < 450 ? local_during : local_after)++;
+        }
+    }
+    const double before = local_before / 150.0;
+    const double during = local_during / 300.0;
+    const double after = local_after / 150.0;
+
+    // Remote-dominated before, near-fully local during, recovered
+    // after. Generous margins keep this robust to RNG details while
+    // still pinning the qualitative arc.
+    EXPECT_LT(before, 0.5);
+    EXPECT_GT(during, before + 0.3);
+    EXPECT_GT(during, 0.7);
+    EXPECT_LT(after, during - 0.3);
+}
+
+} // namespace
+} // namespace autoscale

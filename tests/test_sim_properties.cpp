@@ -7,11 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <tuple>
 
 #include "core/action_space.h"
 #include "dnn/model_zoo.h"
+#include "dnn/synthetic.h"
+#include "fault/fault_injector.h"
+#include "fault/retry.h"
 #include "platform/device_zoo.h"
 #include "sim/simulator.h"
 
@@ -194,6 +198,182 @@ TEST_P(SimProperties, PartitionTransferShrinksWithDepth)
         previous_tx = o.txMs;
     }
 }
+
+// ---------------------------------------------------------------------
+// Seeded random-config properties: instead of sweeping hand-picked
+// corners, draw N plausible (environment, fault, retry, target)
+// configurations from a fixed master seed and check the invariants
+// that must hold for every one of them — with and without faults.
+// A failing draw reproduces from the printed config seed alone.
+// ---------------------------------------------------------------------
+
+constexpr int kRandomConfigs = 60;
+constexpr std::uint64_t kPropertySeed = 0x5eedf00dULL;
+
+/** One randomly drawn evaluation configuration. */
+struct RandomConfig {
+    env::EnvState env;
+    fault::RetryPolicy retry;
+    double accuracyTargetPct = 0.0;
+};
+
+RandomConfig
+drawConfig(Rng &rng, bool with_faults)
+{
+    RandomConfig config;
+    config.env.coCpuUtil = rng.uniform();
+    config.env.coMemUtil = rng.uniform();
+    config.env.rssiWlanDbm = rng.uniform(-95.0, -40.0);
+    config.env.rssiP2pDbm = rng.uniform(-95.0, -40.0);
+    config.env.thermalFactor = rng.uniform(0.6, 1.0);
+    config.accuracyTargetPct = rng.uniform(0.0, 90.0);
+    config.retry.timeoutMs = rng.uniform(50.0, 500.0);
+    config.retry.maxRetries = static_cast<int>(rng.uniformInt(4));
+    config.retry.backoffBaseMs = rng.uniform(5.0, 50.0);
+    if (with_faults) {
+        config.env.fault.wlanBlackout = rng.bernoulli(0.3);
+        config.env.fault.p2pBlackout = rng.bernoulli(0.3);
+        config.env.fault.cloudDown = rng.bernoulli(0.2);
+        config.env.fault.cloudSlowdown = rng.uniform(1.0, 20.0);
+        config.env.fault.transferDropProb = rng.uniform(0.0, 0.8);
+        config.env.fault.localThrottleFactor = rng.uniform(0.6, 1.0);
+    }
+    return config;
+}
+
+class RandomizedSimProperties : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RandomizedSimProperties, FaultOutcomesStayPhysical)
+{
+    const bool with_faults = GetParam();
+    const InferenceSimulator sim = InferenceSimulator::makeDefault(
+        platform::makeMi8Pro());
+    const auto actions = core::buildActionSpace(sim);
+    const auto &zoo = dnn::modelZoo();
+    Rng rng(kPropertySeed + (with_faults ? 1 : 0));
+
+    for (int draw = 0; draw < kRandomConfigs; ++draw) {
+        const RandomConfig config = drawConfig(rng, with_faults);
+        const dnn::Network &net =
+            zoo[static_cast<std::size_t>(rng.uniformInt(zoo.size()))];
+        const ExecutionTarget target =
+            actions[static_cast<std::size_t>(rng.uniformInt(
+                actions.size()))];
+        Rng run_rng(rng.next());
+
+        const FaultOutcome result = sim.runWithFaults(
+            net, target, config.env, config.retry,
+            config.accuracyTargetPct, run_rng);
+        const std::string label = "draw " + std::to_string(draw) + ": "
+            + net.name() + " on " + target.label();
+
+        // Bookkeeping invariants.
+        EXPECT_LE(result.attempts, config.retry.maxAttempts()) << label;
+        EXPECT_LE(result.timeouts + result.drops, result.attempts)
+            << label;
+        EXPECT_GE(result.wastedEnergyJ, 0.0) << label;
+        EXPECT_GE(result.wastedMs, 0.0) << label;
+        if (result.fellBack) {
+            EXPECT_EQ(result.executedTarget.place, TargetPlace::Local)
+                << label;
+        }
+
+        // Physicality of whatever was delivered.
+        if (result.outcome.feasible) {
+            EXPECT_GT(result.outcome.energyJ, 0.0) << label;
+            EXPECT_GT(result.outcome.latencyMs, 0.0) << label;
+            EXPECT_GE(result.outcome.energyJ,
+                      result.wastedEnergyJ - 1e-12)
+                << label;
+            EXPECT_GE(result.outcome.latencyMs, result.wastedMs - 1e-9)
+                << label;
+            const double ppw = 1.0 / result.outcome.energyJ;
+            EXPECT_TRUE(std::isfinite(ppw)) << label;
+        } else {
+            // Only a locally infeasible pick can pass through: remote
+            // failures always deliver via the forced local fallback.
+            EXPECT_FALSE(result.fellBack) << label;
+        }
+
+        // Determinism: re-running the identical draw reproduces the
+        // outcome bit for bit.
+        Rng replay_rng(run_rng);
+        Rng replay_rng2(run_rng);
+        const FaultOutcome a = sim.runWithFaults(
+            net, target, config.env, config.retry,
+            config.accuracyTargetPct, replay_rng);
+        const FaultOutcome b = sim.runWithFaults(
+            net, target, config.env, config.retry,
+            config.accuracyTargetPct, replay_rng2);
+        EXPECT_DOUBLE_EQ(a.outcome.energyJ, b.outcome.energyJ) << label;
+        EXPECT_DOUBLE_EQ(a.outcome.latencyMs, b.outcome.latencyMs)
+            << label;
+        EXPECT_EQ(a.attempts, b.attempts) << label;
+    }
+}
+
+TEST_P(RandomizedSimProperties, FallbackTargetIsAlwaysFeasible)
+{
+    const bool with_faults = GetParam();
+    const InferenceSimulator sim = InferenceSimulator::makeDefault(
+        platform::makeMi8Pro());
+    const auto &zoo = dnn::modelZoo();
+    Rng rng(kPropertySeed + 100 + (with_faults ? 1 : 0));
+
+    for (int draw = 0; draw < kRandomConfigs; ++draw) {
+        const RandomConfig config = drawConfig(rng, with_faults);
+        const dnn::Network &net =
+            zoo[static_cast<std::size_t>(rng.uniformInt(zoo.size()))];
+        const ExecutionTarget fallback = sim.bestLocalTarget(
+            net, config.env, config.accuracyTargetPct);
+        EXPECT_EQ(fallback.place, TargetPlace::Local);
+        const Outcome outcome = sim.expected(net, fallback, config.env);
+        EXPECT_TRUE(outcome.feasible)
+            << "draw " << draw << ": " << net.name();
+        EXPECT_GT(outcome.energyJ, 0.0);
+    }
+}
+
+TEST_P(RandomizedSimProperties, RemoteLatencyIsMonotoneInPayloadSize)
+{
+    const bool with_faults = GetParam();
+    const InferenceSimulator sim = InferenceSimulator::makeDefault(
+        platform::makeMi8Pro());
+    Rng rng(kPropertySeed + 200 + (with_faults ? 1 : 0));
+
+    for (int draw = 0; draw < kRandomConfigs / 4; ++draw) {
+        const RandomConfig config = drawConfig(rng, with_faults);
+        // Three synthetic clones differing only in input payload.
+        dnn::SyntheticSpec spec = dnn::randomSpec(rng);
+        spec.rcLayers = 0; // keep the network remote-capable
+        double previous_latency = 0.0;
+        for (const std::uint64_t payload :
+             {std::uint64_t{50} * 1024, std::uint64_t{200} * 1024,
+              std::uint64_t{800} * 1024}) {
+            dnn::SyntheticSpec sized = spec;
+            sized.name = spec.name + "-" + std::to_string(payload);
+            sized.inputBytes = payload;
+            const dnn::Network net = dnn::synthesizeNetwork(sized);
+            const Outcome o = sim.expected(
+                net,
+                ExecutionTarget{TargetPlace::Cloud,
+                                platform::ProcKind::ServerGpu, 0,
+                                dnn::Precision::FP32},
+                config.env);
+            ASSERT_TRUE(o.feasible);
+            EXPECT_GT(o.latencyMs, previous_latency)
+                << "draw " << draw << " payload " << payload;
+            previous_latency = o.latencyMs;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(NoFaultsAndFaults, RandomizedSimProperties,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &info) {
+                             return info.param ? "WithFaults"
+                                               : "FaultFree";
+                         });
 
 std::vector<Combo>
 allCombos()

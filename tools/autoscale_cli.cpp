@@ -76,6 +76,36 @@ scenariosFromArgs(const Args &args)
     return ids;
 }
 
+/**
+ * Fault plan from `--faults NAME` (none | blackout | flaky-wifi |
+ * cloud-brownout) with optional `--fault-seed N` override.
+ */
+fault::FaultPlan
+faultsFromArgs(const Args &args)
+{
+    fault::FaultPlan plan =
+        fault::FaultPlan::fromName(args.get("--faults", "none"));
+    plan.seed = static_cast<std::uint64_t>(
+        args.getInt("--fault-seed", static_cast<int>(plan.seed)));
+    return plan;
+}
+
+/** Retry policy from `--timeout-ms` / `--max-retries`. */
+fault::RetryPolicy
+retryFromArgs(const Args &args)
+{
+    fault::RetryPolicy retry;
+    retry.timeoutMs = args.getDouble("--timeout-ms", retry.timeoutMs);
+    retry.maxRetries = args.getInt("--max-retries", retry.maxRetries);
+    if (retry.timeoutMs <= 0.0) {
+        fatal("--timeout-ms must be positive");
+    }
+    if (retry.maxRetries < 0) {
+        fatal("--max-retries must be >= 0");
+    }
+    return retry;
+}
+
 sim::InferenceSimulator
 simFromArgs(const Args &args)
 {
@@ -237,14 +267,20 @@ cmdTrain(const Args &args)
         sim.setObserver(&obs_out.metrics());
     }
 
+    const fault::FaultPlan faults = faultsFromArgs(args);
+    const fault::RetryPolicy retry = retryFromArgs(args);
     auto policy = harness::makeAutoScalePolicy(sim, seed);
     Rng rng(seed ^ 0x7ea1ULL);
     std::cout << "Training on " << sim.localDevice().name() << " across "
               << scenarios.size() << " scenario(s), " << runs
-              << " runs per (network, scenario)...\n";
+              << " runs per (network, scenario)";
+    if (faults.enabled()) {
+        std::cout << ", faults: " << faults.name;
+    }
+    std::cout << "...\n";
     harness::trainPolicy(*policy, sim, harness::allZooNetworks(),
                          scenarios, runs, rng, false, 50.0,
-                         obs_out.context());
+                         obs_out.context(), faults, retry);
 
     const std::string out = args.get("--out", "qtable.txt");
     std::ofstream file(out);
@@ -274,6 +310,9 @@ cmdEvaluate(const Args &args)
         sim.setObserver(&obs_out.metrics());
     }
 
+    const fault::FaultPlan faults = faultsFromArgs(args);
+    const fault::RetryPolicy retry = retryFromArgs(args);
+
     auto autoscale_policy = harness::makeAutoScalePolicy(sim, seed);
     const std::string qtable = args.get("--qtable");
     if (!qtable.empty()) {
@@ -288,13 +327,16 @@ cmdEvaluate(const Args &args)
         std::cout << "No --qtable given; training in place...\n";
         harness::trainPolicy(*autoscale_policy, sim,
                              harness::allZooNetworks(), scenarios,
-                             args.getInt("--train-runs", 400), rng);
+                             args.getInt("--train-runs", 400), rng,
+                             false, 50.0, {}, faults, retry);
     }
     autoscale_policy->setExploration(false);
 
     harness::EvalOptions options;
     options.runsPerCombo = args.getInt("--runs", 30);
     options.seed = seed + 1;
+    options.faults = faults;
+    options.retry = retry;
 
     // The baseline policies are independent of each other and each
     // evaluation derives its randomness from options.seed alone, so
@@ -376,6 +418,33 @@ cmdEvaluate(const Args &args)
     } else {
         table.print(std::cout);
     }
+
+    if (faults.enabled()) {
+        std::cout << "\nFault injection (" << faults.name << ", seed "
+                  << faults.seed << ", timeout "
+                  << Table::num(retry.timeoutMs, 0) << " ms, "
+                  << retry.maxRetries << " retries):\n";
+        Table fault_table({"Policy", "Retries", "Timeouts", "Drops",
+                           "Fallbacks", "Wasted (mJ)"});
+        auto add_faults = [&](const std::string &name,
+                              const harness::RunStats &stats) {
+            fault_table.addRow(
+                {name, std::to_string(stats.faultRetries()),
+                 std::to_string(stats.faultTimeouts()),
+                 std::to_string(stats.faultDrops()),
+                 Table::pct(stats.faultFallbackRatio()),
+                 Table::num(stats.faultWastedEnergyJ() * 1e3, 1)});
+        };
+        for (std::size_t i = 0; i < comparators.size(); ++i) {
+            add_faults(comparators[i].name, comparator_results[i].stats);
+        }
+        add_faults("AutoScale", autoscale_stats);
+        if (args.has("--csv")) {
+            fault_table.printCsv(std::cout);
+        } else {
+            fault_table.print(std::cout);
+        }
+    }
     obs_out.finalize(&std::cout);
     return 0;
 }
@@ -398,6 +467,8 @@ cmdLoo(const Args &args)
     options.seed = static_cast<std::uint64_t>(args.getInt("--seed", 1));
     options.jobs = jobs;
     options.obs = obs_out.context();
+    options.faults = faultsFromArgs(args);
+    options.retry = retryFromArgs(args);
 
     std::cout << "Leave-one-out over " << harness::allZooNetworks().size()
               << " workloads on " << sim.localDevice().name() << ", "
@@ -416,6 +487,17 @@ cmdLoo(const Args &args)
     table.addRow({"Opt-match", Table::pct(loo.predictionAccuracy())});
     table.addRow({"Near-optimal (1%)",
                   Table::pct(loo.nearOptimalRatio())});
+    if (options.faults.enabled()) {
+        table.addRow({"Fault retries",
+                      std::to_string(loo.faultRetries())});
+        table.addRow({"Fault timeouts",
+                      std::to_string(loo.faultTimeouts())});
+        table.addRow({"Fault drops", std::to_string(loo.faultDrops())});
+        table.addRow({"Fault fallbacks",
+                      Table::pct(loo.faultFallbackRatio())});
+        table.addRow({"Fault wasted energy (mJ)",
+                      Table::num(loo.faultWastedEnergyJ() * 1e3, 1)});
+    }
     if (args.has("--csv")) {
         table.printCsv(std::cout);
     } else {
@@ -443,6 +525,14 @@ usage()
         "           [--runs N] [--train-runs N] [--jobs N] [--csv]\n"
         "  loo --device D [--scenarios ...] [--runs N] [--train-runs N]\n"
         "      [--warmup N] [--seed N] [--jobs N] [--csv]\n\n"
+        "Fault injection (train, evaluate, loo):\n"
+        "  --faults NAME                none (default), blackout,\n"
+        "                               flaky-wifi, or cloud-brownout\n"
+        "  --fault-seed N               fault-process RNG seed\n"
+        "  --timeout-ms F               per-attempt remote deadline\n"
+        "                               (default 300)\n"
+        "  --max-retries N              remote retries before the forced\n"
+        "                               local fallback (default 2)\n\n"
         "Observability (train, evaluate, loo):\n"
         "  --trace FILE                 record one structured event per\n"
         "                               inference decision\n"

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerate the checked-in golden-regression outputs under
+# tests/golden/ from the current build. Run after an intentional
+# behaviour change; commit the resulting diff so review documents the
+# change. The commands here must stay in lockstep with the golden
+# ctest entries in tests/CMakeLists.txt.
+#
+# Usage: tools/update_goldens.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cli="$build/tools/autoscale_cli"
+bench="$build/bench/bench_fig_faults"
+for binary in "$cli" "$bench"; do
+    if [[ ! -x "$binary" ]]; then
+        echo "missing $binary — build first (cmake --build $build)" >&2
+        exit 1
+    fi
+done
+
+"$cli" evaluate --device Mi8Pro --scenarios S1 --runs 10 \
+    --train-runs 60 --seed 1 --jobs 1 --faults flaky-wifi --csv \
+    > "$repo/tests/golden/evaluate.golden"
+
+"$bench" --steps 600 --seed 1 \
+    > "$repo/tests/golden/bench_faults.golden"
+
+echo "updated:"
+git -C "$repo" --no-pager diff --stat -- tests/golden || true
