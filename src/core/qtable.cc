@@ -1,6 +1,9 @@
 #include "core/qtable.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <iomanip>
 #include <istream>
 #include <ostream>
@@ -83,17 +86,42 @@ QTable::save(std::ostream &os) const
 QTable
 QTable::load(std::istream &is)
 {
-    int states = 0;
-    int actions = 0;
+    // The stream is untrusted (a user-supplied --qtable file or a
+    // checkpoint that survived a crash): validate the header before
+    // sizing any allocation and every value before trusting it.
+    long long states = 0;
+    long long actions = 0;
     if (!(is >> states >> actions) || states <= 0 || actions <= 0) {
         fatal("QTable::load: malformed header");
     }
-    QTable table(states, actions);
+    constexpr long long kMaxElements = 1LL << 26; // 64M floats = 256 MiB
+    if (states > kMaxElements || actions > kMaxElements
+        || states * actions > kMaxElements) {
+        fatal("QTable::load: absurd header (" + std::to_string(states)
+              + " x " + std::to_string(actions)
+              + " exceeds the " + std::to_string(kMaxElements)
+              + "-entry limit)");
+    }
+    QTable table(static_cast<int>(states), static_cast<int>(actions));
+    // Values are parsed as tokens through strtof (operator>> never
+    // accepts "nan"/"inf" text, which would hide the finiteness check).
+    std::string token;
     for (int s = 0; s < states; ++s) {
         for (int a = 0; a < actions; ++a) {
-            float value = 0.0f;
-            if (!(is >> value)) {
+            if (!(is >> token)) {
                 fatal("QTable::load: truncated values");
+            }
+            char *end = nullptr;
+            const float value = std::strtof(token.c_str(), &end);
+            if (end == token.c_str() || *end != '\0') {
+                fatal("QTable::load: unparseable value '" + token
+                      + "' at state " + std::to_string(s) + ", action "
+                      + std::to_string(a));
+            }
+            if (!std::isfinite(value)) {
+                fatal("QTable::load: non-finite value at state "
+                      + std::to_string(s) + ", action "
+                      + std::to_string(a));
             }
             table.at(s, a) = value;
         }

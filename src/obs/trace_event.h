@@ -78,6 +78,28 @@ struct DecisionEvent {
     /** Energy burned on failed attempts and backoff gaps, J. */
     double faultWastedEnergyJ = 0.0;
 
+    // --- Online serving (all defaults = event not from `serve`). ---
+    /**
+     * What the serving loop did with the request: "served",
+     * "shed_deadline", "shed_overflow", or "shed_stale". Empty for
+     * events recorded outside the serving loop.
+     */
+    std::string serveOutcome;
+    /** Queue depth observed when the request was dequeued/shed. */
+    int queueDepth = 0;
+    /** Admission-to-service wait, ms (0 for shed requests). */
+    double queueWaitMs = 0.0;
+    /** Graceful-degradation ladder level applied (0 = none). */
+    int degradeLevel = 0;
+    /** An open breaker short-circuited this request to the fallback. */
+    bool breakerShortCircuit = false;
+    /** WLAN (cloud-link) breaker state after the request. */
+    std::string breakerWlan;
+    /** Wi-Fi Direct (connected-edge) breaker state after the request. */
+    std::string breakerP2p;
+    /** Checkpoints written so far when the event was recorded. */
+    long long serveCheckpoints = 0;
+
     /** Reward folded into the learner for this decision (0 otherwise). */
     double reward = 0.0;
     /**

@@ -91,6 +91,16 @@ eventJson(const DecisionEvent &event, std::size_t sequence)
     appendNumber(line, "fault_wasted_energy_j", event.faultWastedEnergyJ);
     appendNumber(line, "reward", event.reward);
     appendNumber(line, "q_update_delta", event.qUpdateDelta);
+    // Serving-loop fields ride at the end so pre-serve consumers that
+    // parse by key (tools/trace_summary) keep working unchanged.
+    appendString(line, "serve_outcome", event.serveOutcome);
+    appendInt(line, "queue_depth", event.queueDepth);
+    appendNumber(line, "queue_wait_ms", event.queueWaitMs);
+    appendInt(line, "degrade_level", event.degradeLevel);
+    appendBool(line, "breaker_short_circuit", event.breakerShortCircuit);
+    appendString(line, "breaker_wlan", event.breakerWlan);
+    appendString(line, "breaker_p2p", event.breakerP2p);
+    appendInt(line, "serve_checkpoints", event.serveCheckpoints);
     line += '}';
     return line;
 }

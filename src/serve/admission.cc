@@ -1,0 +1,58 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace autoscale::serve {
+
+AdmissionQueue::AdmissionQueue(const AdmissionConfig &config)
+    : config_(config)
+{
+    AS_CHECK(config_.maxDepth > 0);
+}
+
+AdmissionVerdict
+AdmissionQueue::offer(const QueuedRequest &request, double nowMs,
+                      double ewmaServiceMs, double minServiceMs)
+{
+    if (static_cast<int>(queue_.size()) >= config_.maxDepth) {
+        return AdmissionVerdict::ShedOverflow;
+    }
+    // Predicted completion: drain everyone already queued at the
+    // estimated service rate, then run this request at its best case.
+    // Admission is deliberately optimistic (minServiceMs, not the
+    // EWMA, prices the request itself): the stale re-check at dequeue
+    // catches estimates that aged badly, and shedding late is cheaper
+    // than rejecting work the server could in fact have finished.
+    const double start = std::max(nowMs, request.arrivalMs);
+    const double predicted = start
+        + static_cast<double>(queue_.size()) * ewmaServiceMs
+        + minServiceMs;
+    if (predicted > request.deadlineMs) {
+        return AdmissionVerdict::ShedDeadline;
+    }
+    queue_.push_back(request);
+    maxDepthSeen_ = std::max(maxDepthSeen_, queue_.size());
+    return AdmissionVerdict::Admitted;
+}
+
+QueuedRequest
+AdmissionQueue::pop()
+{
+    AS_CHECK(!queue_.empty());
+    QueuedRequest request = queue_.front();
+    queue_.pop_front();
+    return request;
+}
+
+int
+AdmissionQueue::degradeLevel() const
+{
+    if (config_.degradeDepth <= 0) {
+        return 0;
+    }
+    return static_cast<int>(queue_.size()) >= config_.degradeDepth ? 1 : 0;
+}
+
+} // namespace autoscale::serve

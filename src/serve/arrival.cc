@@ -1,0 +1,48 @@
+#include "serve/arrival.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autoscale::serve {
+
+bool
+ArrivalConfig::inBurst(double nowMs) const
+{
+    if (burstPeriodMs <= 0.0 || burstDurationMs <= 0.0
+        || burstMultiplier <= 1.0) {
+        return false;
+    }
+    const double phase = std::fmod(nowMs, burstPeriodMs);
+    return phase < burstDurationMs;
+}
+
+double
+ArrivalConfig::ratePerMs(double nowMs) const
+{
+    const double base = ratePerSec / 1000.0;
+    return inBurst(nowMs) ? base * burstMultiplier : base;
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig &config,
+                               std::uint64_t seed)
+    : config_(config), rng_(seed)
+{
+    AS_CHECK(config_.ratePerSec > 0.0);
+}
+
+double
+ArrivalProcess::nextArrivalMs()
+{
+    // Inverse-CDF exponential gap at the rate in force right now.
+    double u = rng_.uniform();
+    if (u < 1e-300) {
+        u = 1e-300; // avoid log(0)
+    }
+    const double rate = config_.ratePerMs(clockMs_);
+    clockMs_ += -std::log(u) / rate;
+    ++count_;
+    return clockMs_;
+}
+
+} // namespace autoscale::serve

@@ -1,0 +1,232 @@
+#include "serve/checkpoint.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace autoscale::serve {
+
+namespace {
+
+constexpr const char *kMagic = "autoscale-checkpoint";
+constexpr const char *kVersion = "v1";
+// Same guard as QTable::load: a checkpoint header must not be able to
+// request a multi-gigabyte allocation before validation finishes.
+constexpr long long kMaxElements = 1LL << 26;
+
+void
+setError(std::string *error, const std::string &message)
+{
+    if (error != nullptr) {
+        *error = message;
+    }
+}
+
+bool
+readFile(const std::string &path, std::string *out)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    *out = buffer.str();
+    return true;
+}
+
+} // namespace
+
+std::string
+encodeCheckpoint(const std::string &fingerprint, std::int64_t step,
+                 const core::QTable &table)
+{
+    std::ostringstream body;
+    body << kMagic << ' ' << kVersion << ' ' << fingerprint << ' ' << step
+         << '\n';
+    table.save(body);
+    std::string bytes = body.str();
+
+    char footer[32];
+    std::snprintf(footer, sizeof(footer), "crc32 %08x\n",
+                  crc32(bytes.data(), bytes.size()));
+    bytes += footer;
+    return bytes;
+}
+
+bool
+decodeCheckpoint(const std::string &bytes, CheckpointData *out,
+                 std::string *error)
+{
+    // The footer is the last non-empty line; everything before it is
+    // covered by the CRC. Checking the CRC first subsumes most
+    // truncation/corruption cases with one comparison.
+    if (bytes.empty()) {
+        setError(error, "empty checkpoint");
+        return false;
+    }
+    // A file that does not end in a newline lost its tail mid-write.
+    if (bytes.back() != '\n') {
+        setError(error, "truncated checkpoint (no final newline)");
+        return false;
+    }
+    const std::size_t footer_start = bytes.rfind("crc32 ");
+    if (footer_start == std::string::npos
+        || (footer_start != 0 && bytes[footer_start - 1] != '\n')) {
+        setError(error, "missing crc32 footer (truncated checkpoint?)");
+        return false;
+    }
+    unsigned long stored_crc = 0;
+    {
+        std::istringstream footer(bytes.substr(footer_start + 6));
+        if (!(footer >> std::hex >> stored_crc)) {
+            setError(error, "unparseable crc32 footer");
+            return false;
+        }
+    }
+    const std::uint32_t actual_crc = crc32(bytes.data(), footer_start);
+    if (actual_crc != static_cast<std::uint32_t>(stored_crc)) {
+        char message[96];
+        std::snprintf(message, sizeof(message),
+                      "crc32 mismatch (stored %08lx, computed %08x)",
+                      stored_crc, actual_crc);
+        setError(error, message);
+        return false;
+    }
+
+    std::istringstream is(bytes.substr(0, footer_start));
+    std::string magic;
+    std::string version;
+    std::string fingerprint;
+    std::int64_t step = 0;
+    if (!(is >> magic >> version >> fingerprint >> step)) {
+        setError(error, "malformed checkpoint header");
+        return false;
+    }
+    if (magic != kMagic || version != kVersion) {
+        setError(error, "not an " + std::string(kMagic) + " "
+                            + kVersion + " file");
+        return false;
+    }
+    if (step < 0) {
+        setError(error, "negative step in checkpoint header");
+        return false;
+    }
+
+    long long states = 0;
+    long long actions = 0;
+    if (!(is >> states >> actions) || states <= 0 || actions <= 0
+        || states > kMaxElements || actions > kMaxElements
+        || states * actions > kMaxElements) {
+        setError(error, "invalid Q-table dimensions in checkpoint");
+        return false;
+    }
+    core::QTable table(static_cast<int>(states), static_cast<int>(actions));
+    for (int s = 0; s < states; ++s) {
+        for (int a = 0; a < actions; ++a) {
+            float value = 0.0f;
+            if (!(is >> value)) {
+                setError(error, "truncated Q-table in checkpoint");
+                return false;
+            }
+            if (!std::isfinite(value)) {
+                setError(error, "non-finite Q value in checkpoint");
+                return false;
+            }
+            table.at(s, a) = value;
+        }
+    }
+
+    if (out != nullptr) {
+        out->fingerprint = fingerprint;
+        out->step = step;
+        out->table = std::move(table);
+    }
+    return true;
+}
+
+const char *
+checkpointSourceName(CheckpointSource source)
+{
+    switch (source) {
+    case CheckpointSource::None:
+        return "none";
+    case CheckpointSource::Primary:
+        return "primary";
+    case CheckpointSource::Previous:
+        return "prev";
+    }
+    panic("unreachable checkpoint source");
+}
+
+CheckpointManager::CheckpointManager(std::string path)
+    : path_(std::move(path)), prevPath_(path_ + ".prev")
+{
+    AS_CHECK(!path_.empty());
+}
+
+bool
+CheckpointManager::save(const std::string &fingerprint, std::int64_t step,
+                        const core::QTable &table, std::string *error)
+{
+    // Rotate the current checkpoint out of the way first. If the
+    // process dies between the rotate and the write, only `.prev`
+    // exists and load() recovers from it; atomicWriteFile guarantees
+    // the new primary is never observable half-written.
+    std::ifstream exists(path_, std::ios::binary);
+    if (exists) {
+        exists.close();
+        if (std::rename(path_.c_str(), prevPath_.c_str()) != 0) {
+            setError(error, "cannot rotate '" + path_ + "' to '"
+                                + prevPath_ + "'");
+            return false;
+        }
+    }
+    if (!atomicWriteFile(path_, encodeCheckpoint(fingerprint, step, table),
+                         error)) {
+        return false;
+    }
+    ++written_;
+    return true;
+}
+
+CheckpointLoadResult
+CheckpointManager::load() const
+{
+    CheckpointLoadResult result;
+    std::string bytes;
+
+    if (readFile(path_, &bytes)) {
+        std::string error;
+        if (decodeCheckpoint(bytes, &result.data, &error)) {
+            result.loaded = true;
+            result.source = CheckpointSource::Primary;
+            return result;
+        }
+        ++result.corruptDetected;
+        result.error = path_ + ": " + error;
+    }
+
+    if (readFile(prevPath_, &bytes)) {
+        std::string error;
+        if (decodeCheckpoint(bytes, &result.data, &error)) {
+            result.loaded = true;
+            result.source = CheckpointSource::Previous;
+            return result;
+        }
+        ++result.corruptDetected;
+        const std::string prev_error = prevPath_ + ": " + error;
+        result.error = result.error.empty()
+            ? prev_error : result.error + "; " + prev_error;
+    }
+
+    return result;
+}
+
+} // namespace autoscale::serve

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Crash-safe Q-table checkpointing for the online serving loop
+ * (DESIGN.md §12). A checkpoint is a small self-validating text file:
+ *
+ *   autoscale-checkpoint v1 <action-fingerprint> <step>
+ *   <QTable::save text>
+ *   crc32 <8 hex digits>
+ *
+ * The CRC32 footer covers every byte before the footer line, so a
+ * truncated or bit-flipped file is detected on read instead of being
+ * silently loaded into the learner. Writes go through atomicWriteFile
+ * (temp file + fsync + rename), and the previous checkpoint is rotated
+ * to `<path>.prev` first, so recovery after SIGKILL always finds either
+ * the newest complete checkpoint or the one before it — never a torn
+ * file it has to trust.
+ *
+ * Unlike QTable::load / AutoScaleScheduler::loadQTable, decoding here
+ * never fatal()s: a corrupt checkpoint is an expected input on the
+ * recovery path and is reported back so the manager can fall back.
+ */
+
+#ifndef AUTOSCALE_SERVE_CHECKPOINT_H_
+#define AUTOSCALE_SERVE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/qtable.h"
+
+namespace autoscale::serve {
+
+/** Decoded checkpoint payload. */
+struct CheckpointData {
+    /** Action-space fingerprint the table was trained for. */
+    std::string fingerprint;
+    /** Serving step at which the checkpoint was taken. */
+    std::int64_t step = 0;
+    /** The restored Q-table. */
+    core::QTable table{1, 1};
+};
+
+/** Serialize a checkpoint (header + table + CRC footer). */
+std::string encodeCheckpoint(const std::string &fingerprint,
+                             std::int64_t step, const core::QTable &table);
+
+/**
+ * Parse and validate @p bytes. Returns false (with @p error describing
+ * the first problem found: bad magic, CRC mismatch, truncation,
+ * non-finite values, absurd dimensions) without touching fatal() —
+ * corrupt checkpoints are survivable, not programming errors.
+ */
+bool decodeCheckpoint(const std::string &bytes, CheckpointData *out,
+                      std::string *error);
+
+/** Where a recovered checkpoint came from. */
+enum class CheckpointSource {
+    None,    ///< No usable checkpoint found; cold start.
+    Primary, ///< `<path>` itself was intact.
+    Previous ///< `<path>` was missing/corrupt; `<path>.prev` was used.
+};
+
+/** Human-readable source name ("none"/"primary"/"prev"). */
+const char *checkpointSourceName(CheckpointSource source);
+
+/** Result of a recovery attempt. */
+struct CheckpointLoadResult {
+    bool loaded = false;
+    CheckpointSource source = CheckpointSource::None;
+    /** Files that existed but failed validation (0, 1, or 2). */
+    int corruptDetected = 0;
+    CheckpointData data;
+    /** Why the primary (and possibly the fallback) was rejected. */
+    std::string error;
+};
+
+/** Rotating two-deep checkpoint store at a fixed path. */
+class CheckpointManager {
+  public:
+    explicit CheckpointManager(std::string path);
+
+    /**
+     * Persist one checkpoint: rotate the current file to `<path>.prev`,
+     * then atomically write the new one. Returns false (with @p error
+     * filled when non-null) on I/O failure.
+     */
+    bool save(const std::string &fingerprint, std::int64_t step,
+              const core::QTable &table, std::string *error = nullptr);
+
+    /**
+     * Recover the newest intact checkpoint: try `<path>`, then
+     * `<path>.prev`. Corrupt files are counted and skipped.
+     */
+    CheckpointLoadResult load() const;
+
+    const std::string &path() const { return path_; }
+    const std::string &prevPath() const { return prevPath_; }
+
+    /** Checkpoints successfully written through this manager. */
+    std::int64_t written() const { return written_; }
+
+  private:
+    std::string path_;
+    std::string prevPath_;
+    std::int64_t written_ = 0;
+};
+
+} // namespace autoscale::serve
+
+#endif // AUTOSCALE_SERVE_CHECKPOINT_H_

@@ -1,0 +1,676 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <ostream>
+
+#include "baselines/fixed.h"
+#include "baselines/policy.h"
+#include "dnn/model_zoo.h"
+#include "dnn/network.h"
+#include "harness/autoscale_policy.h"
+#include "harness/experiment.h"
+#include "obs/metrics_registry.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace autoscale::serve {
+
+namespace {
+
+/** EWMA weight for the observed service-time estimate. */
+constexpr double kServiceEwmaAlpha = 0.1;
+
+/** One zoo workload the serving mix can draw. */
+struct Workload {
+    const dnn::Network *network = nullptr;
+    sim::InferenceRequest request;
+    /** Best-case service time (admission floor), ms. */
+    double minServiceMs = 0.0;
+};
+
+void
+declareServeHistograms(obs::MetricsRegistry &metrics)
+{
+    metrics.declareHistogram("serve.latency_ms",
+                             obs::MetricsRegistry::latencyBucketsMs());
+    metrics.declareHistogram("serve.wait_ms",
+                             obs::MetricsRegistry::latencyBucketsMs());
+    metrics.declareHistogram("serve.energy_mj",
+                             obs::MetricsRegistry::energyBucketsMj());
+    metrics.declareHistogram("serve.queue_depth",
+                             {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+                              128.0});
+}
+
+const char *
+shedOutcomeName(AdmissionVerdict verdict)
+{
+    switch (verdict) {
+    case AdmissionVerdict::Admitted:
+        return "served";
+    case AdmissionVerdict::ShedOverflow:
+        return "shed_overflow";
+    case AdmissionVerdict::ShedDeadline:
+        return "shed_deadline";
+    }
+    panic("unreachable admission verdict");
+}
+
+/** Skeleton event shared by served and shed records. */
+obs::DecisionEvent
+makeServeEvent(const baselines::SchedulingPolicy &policy,
+               const Workload &workload, const char *scenarioName,
+               const char *serveOutcome, int queueDepth,
+               std::int64_t checkpoints)
+{
+    obs::DecisionEvent event;
+    event.policy = policy.name();
+    event.network = workload.network->name();
+    event.scenario = scenarioName;
+    event.phase = "serve";
+    event.qosMs = workload.request.qosMs;
+    event.serveOutcome = serveOutcome;
+    event.queueDepth = queueDepth;
+    event.serveCheckpoints = checkpoints;
+    return event;
+}
+
+void
+recordServeMetrics(obs::MetricsRegistry &metrics,
+                   const obs::DecisionEvent &event)
+{
+    metrics.inc("serve." + event.serveOutcome);
+    metrics.observe("serve.queue_depth",
+                    static_cast<double>(event.queueDepth));
+    if (event.serveOutcome != "served") {
+        return;
+    }
+    metrics.inc("serve.decisions." + obs::metricSlug(event.category));
+    if (event.qosViolated) {
+        metrics.inc("serve.qos_violations");
+    }
+    if (event.degradeLevel > 0) {
+        metrics.inc("serve.degraded");
+    }
+    if (event.breakerShortCircuit) {
+        metrics.inc("serve.breaker.short_circuits");
+    }
+    if (event.faultFallback) {
+        metrics.inc("serve.fault.fallbacks");
+    }
+    metrics.observe("serve.wait_ms", event.queueWaitMs);
+    metrics.observe("serve.latency_ms", event.latencyMs);
+    metrics.observe("serve.energy_mj", event.energyJ * 1e3);
+}
+
+} // namespace
+
+double
+ServeStats::latencyPercentileMs(double percentile) const
+{
+    if (latenciesMs.empty()) {
+        return 0.0;
+    }
+    std::vector<double> sorted = latenciesMs;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = percentile / 100.0
+        * static_cast<double>(sorted.size());
+    const std::size_t index = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(std::max(0.0, std::ceil(rank) - 1.0)));
+    return sorted[index];
+}
+
+double
+ServeStats::meanWaitMs() const
+{
+    return served > 0 ? totalWaitMs / static_cast<double>(served) : 0.0;
+}
+
+double
+ServeStats::meanServiceMs() const
+{
+    return served > 0 ? totalServiceMs / static_cast<double>(served) : 0.0;
+}
+
+std::vector<double>
+minServiceMsPerNetwork(const sim::InferenceSimulator &sim,
+                       const std::vector<const dnn::Network *> &networks,
+                       double accuracyTargetPct)
+{
+    const env::EnvState clean;
+    std::vector<double> floors;
+    floors.reserve(networks.size());
+    for (const dnn::Network *network : networks) {
+        const sim::ExecutionTarget target =
+            sim.bestLocalTarget(*network, clean, accuracyTargetPct);
+        floors.push_back(sim.expected(*network, target, clean).latencyMs);
+    }
+    return floors;
+}
+
+double
+nominalServiceMs(const sim::InferenceSimulator &sim,
+                 const std::vector<const dnn::Network *> &networks,
+                 double accuracyTargetPct)
+{
+    AS_CHECK(!networks.empty());
+    const std::vector<double> floors =
+        minServiceMsPerNetwork(sim, networks, accuracyTargetPct);
+    double sum = 0.0;
+    for (const double floor : floors) {
+        sum += floor;
+    }
+    return sum / static_cast<double>(floors.size());
+}
+
+ServeStats
+runServe(const sim::InferenceSimulator &sim, const ServeConfig &config,
+         const obs::ObsContext &obs)
+{
+    AS_CHECK(config.totalRequests > 0);
+    ServeStats stats;
+    stats.breakerEnabled = config.breakerEnabled;
+
+    // --- Workload mix. ---
+    std::vector<const dnn::Network *> networks;
+    for (const dnn::Network &network : dnn::modelZoo()) {
+        if (config.networkFilter.empty()
+            || network.name() == config.networkFilter) {
+            networks.push_back(&network);
+        }
+    }
+    if (networks.empty()) {
+        fatal("serve: unknown network '" + config.networkFilter + "'");
+    }
+    const std::vector<double> floors =
+        minServiceMsPerNetwork(sim, networks, config.accuracyTargetPct);
+    std::vector<Workload> workloads;
+    workloads.reserve(networks.size());
+    for (std::size_t i = 0; i < networks.size(); ++i) {
+        workloads.push_back(Workload{
+            networks[i],
+            sim::makeRequest(*networks[i], config.accuracyTargetPct),
+            floors[i]});
+    }
+
+    // --- Deterministic RNG fan-out (fixed fork order; see header). ---
+    Rng master(config.seed);
+    Rng trainRng = master.fork();
+    const std::uint64_t arrivalSeed = master.next();
+    Rng envRng = master.fork();
+    Rng decisionRng = master.fork();
+    Rng execRng = master.fork();
+    Rng workloadRng = master.fork();
+    const std::uint64_t wlanSeed = master.next();
+    const std::uint64_t p2pSeed = master.next();
+    const std::uint64_t policySeed = master.next();
+
+    // --- Policy. Fixed baselines run the same loop (useful to expose
+    // the breaker and shedding machinery to remote-heavy traffic), but
+    // only the AutoScale learner has a Q-table to checkpoint. ---
+    std::unique_ptr<baselines::SchedulingPolicy> policy;
+    harness::AutoScalePolicy *learner = nullptr;
+    if (config.policyName.empty() || config.policyName == "autoscale") {
+        auto autoscale = harness::makeAutoScalePolicy(sim, policySeed);
+        learner = autoscale.get();
+        policy = std::move(autoscale);
+    } else if (config.policyName == "cloud") {
+        policy = baselines::makeCloudPolicy(sim);
+    } else if (config.policyName == "connected-edge") {
+        policy = baselines::makeConnectedEdgePolicy(sim);
+    } else if (config.policyName == "edge-best") {
+        policy = baselines::makeEdgeBestPolicy(sim);
+    } else if (config.policyName == "edge-cpu") {
+        policy = baselines::makeEdgeCpuFp32Policy(sim);
+    } else {
+        fatal("serve: unknown policy '" + config.policyName
+              + "' (expected autoscale, cloud, connected-edge, edge-best,"
+                " or edge-cpu)");
+    }
+    if (learner == nullptr
+        && (!config.checkpointPath.empty() || !config.qtablePath.empty())) {
+        fatal("serve: --checkpoint/--qtable apply to the autoscale policy"
+              " only");
+    }
+
+    // --- Q-table provenance: checkpoint > --qtable > pre-training. ---
+    std::optional<CheckpointManager> manager;
+    if (!config.checkpointPath.empty()) {
+        manager.emplace(config.checkpointPath);
+    }
+    std::int64_t startStep = 0;
+    bool restored = false;
+    if (config.resume) {
+        if (!manager) {
+            fatal("serve: --resume requires --checkpoint");
+        }
+        core::AutoScaleScheduler &scheduler = learner->scheduler();
+        const CheckpointLoadResult recovery = manager->load();
+        stats.corruptCheckpoints = recovery.corruptDetected;
+        stats.resumeSource = recovery.source;
+        if (recovery.loaded) {
+            if (recovery.data.fingerprint != scheduler.actionFingerprint()) {
+                fatal("serve: checkpoint '" + config.checkpointPath
+                      + "' was written for a different action space");
+            }
+            core::QTable &live = scheduler.mutableAgent().mutableTable();
+            if (recovery.data.table.numStates() != live.numStates()
+                || recovery.data.table.numActions() != live.numActions()) {
+                fatal("serve: checkpoint '" + config.checkpointPath
+                      + "' has mismatched Q-table dimensions");
+            }
+            // Q values and the step counter are restored; per-cell
+            // visit counts are not checkpointed, so post-resume updates
+            // restart at the full learning rate. That only accelerates
+            // re-convergence toward the same steady state.
+            live = recovery.data.table;
+            startStep = recovery.data.step;
+            stats.resumed = true;
+            stats.resumeStep = recovery.data.step;
+            restored = true;
+        }
+    }
+    if (learner != nullptr && !restored) {
+        if (!config.qtablePath.empty()) {
+            std::ifstream in(config.qtablePath);
+            if (!in) {
+                fatal("serve: cannot open Q-table '" + config.qtablePath
+                      + "'");
+            }
+            learner->scheduler().loadQTable(in);
+        } else if (config.trainRunsPerCombo > 0) {
+            harness::trainPolicy(*learner, sim, networks, {config.scenario},
+                                 config.trainRunsPerCombo, trainRng, false,
+                                 config.accuracyTargetPct);
+        }
+    }
+    // Serving keeps learning online (the paper's deployment mode), so
+    // the loop itself is the convergence mechanism after a resume.
+    policy->setExploration(true);
+    policy->setLearning(true);
+
+    // --- Loop state. ---
+    env::Scenario scenario(config.scenario, config.faults);
+    ArrivalProcess arrivals(config.arrival, arrivalSeed);
+    AdmissionQueue queue(config.admission);
+    CircuitBreaker wlanBreaker(config.breaker, wlanSeed);
+    CircuitBreaker p2pBreaker(config.breaker, p2pSeed);
+    fault::RetryPolicy probeRetry = config.retry;
+    probeRetry.maxRetries = 0;
+
+    if (obs.metering()) {
+        declareServeHistograms(*obs.metrics);
+    }
+
+    double clockMs = 0.0;
+    double ewmaServiceMs =
+        nominalServiceMs(sim, networks, config.accuracyTargetPct);
+    double pendingArrivalMs = arrivals.nextArrivalMs();
+    bool arrivalsDone = false;
+
+    auto checkpointNow = [&]() {
+        if (!manager) {
+            return;
+        }
+        core::AutoScaleScheduler &scheduler = learner->scheduler();
+        std::string error;
+        if (!manager->save(scheduler.actionFingerprint(),
+                           startStep + stats.served,
+                           scheduler.agent().table(), &error)) {
+            fatal("serve: checkpoint failed: " + error);
+        }
+        stats.checkpointsWritten = manager->written();
+        if (obs.metering()) {
+            obs.metrics->inc("serve.checkpoints");
+        }
+    };
+
+    auto recordShed = [&](const Workload &workload, const char *outcome,
+                          int depth) {
+        if (!obs.enabled()) {
+            return;
+        }
+        obs::DecisionEvent event = makeServeEvent(
+            *policy, workload, scenario.name(), outcome, depth,
+            stats.checkpointsWritten);
+        event.target = "(shed)";
+        event.category = "(shed)";
+        if (config.breakerEnabled) {
+            event.breakerWlan = breakerStateName(wlanBreaker.state());
+            event.breakerP2p = breakerStateName(p2pBreaker.state());
+        }
+        if (obs.metering()) {
+            recordServeMetrics(*obs.metrics, event);
+        }
+        if (obs.tracing()) {
+            obs.trace->record(std::move(event));
+        }
+    };
+
+    // Admit every arrival at or before the current virtual time.
+    auto admitUpTo = [&](double nowMs) {
+        while (!arrivalsDone && pendingArrivalMs <= nowMs) {
+            const int index = static_cast<int>(
+                workloadRng.uniformInt(workloads.size()));
+            const Workload &workload = workloads[index];
+            const QueuedRequest request{
+                stats.arrivals, pendingArrivalMs,
+                pendingArrivalMs + workload.request.qosMs, index};
+            ++stats.arrivals;
+            const AdmissionVerdict verdict = queue.offer(
+                request, nowMs, ewmaServiceMs, workload.minServiceMs);
+            switch (verdict) {
+            case AdmissionVerdict::Admitted:
+                ++stats.admitted;
+                break;
+            case AdmissionVerdict::ShedOverflow:
+                ++stats.shedOverflow;
+                recordShed(workload, shedOutcomeName(verdict),
+                           static_cast<int>(queue.depth()));
+                break;
+            case AdmissionVerdict::ShedDeadline:
+                ++stats.shedDeadline;
+                recordShed(workload, shedOutcomeName(verdict),
+                           static_cast<int>(queue.depth()));
+                break;
+            }
+            if (arrivals.count() >= config.totalRequests) {
+                arrivalsDone = true;
+            } else {
+                pendingArrivalMs = arrivals.nextArrivalMs();
+            }
+        }
+    };
+
+    // --- The serving loop proper. ---
+    while (true) {
+        admitUpTo(clockMs);
+        if (queue.empty()) {
+            if (arrivalsDone) {
+                break;
+            }
+            // Idle: jump to the next arrival.
+            clockMs = std::max(clockMs, pendingArrivalMs);
+            continue;
+        }
+
+        const int degradeLevel = queue.degradeLevel();
+        const QueuedRequest queued = queue.pop();
+        const Workload &workload = workloads[queued.networkIndex];
+        const int depthAtDequeue = static_cast<int>(queue.depth()) + 1;
+
+        // Stale re-check: the admission estimate may have aged badly
+        // (a burst of slow services after this request was admitted).
+        if (clockMs + workload.minServiceMs > queued.deadlineMs) {
+            ++stats.shedStale;
+            recordShed(workload, "shed_stale", depthAtDequeue);
+            continue;
+        }
+
+        env::EnvState env = scenario.next(envRng);
+        baselines::Decision decision =
+            policy->decide(workload.request, env, decisionRng);
+
+        // Graceful degradation: under queue pressure, force expensive
+        // remote/partitioned picks onto the cheap local variant before
+        // any request has to be dropped.
+        bool degraded = false;
+        const bool remoteDecision = decision.partitioned
+            || decision.target.place != sim::TargetPlace::Local;
+        if (degradeLevel > 0 && remoteDecision) {
+            decision = baselines::makeTargetDecision(sim.bestLocalTarget(
+                *workload.network, env, config.accuracyTargetPct));
+            degraded = true;
+            ++stats.degraded;
+        }
+
+        // Circuit-breaker gate on the remote place the decision needs.
+        CircuitBreaker *breaker = nullptr;
+        bool shortCircuited = false;
+        bool probing = false;
+        if (config.breakerEnabled
+            && (decision.partitioned
+                || decision.target.place != sim::TargetPlace::Local)) {
+            const sim::TargetPlace place = decision.partitioned
+                ? decision.partition.remotePlace : decision.target.place;
+            breaker = place == sim::TargetPlace::Cloud
+                ? &wlanBreaker : &p2pBreaker;
+            if (!breaker->allowAttempt(clockMs)) {
+                // Open breaker: skip the doomed remote attempt (and its
+                // timeout+retry energy) entirely.
+                shortCircuited = true;
+                breaker = nullptr;
+                decision = baselines::makeTargetDecision(
+                    sim.bestLocalTarget(*workload.network, env,
+                                        config.accuracyTargetPct));
+            } else {
+                probing = breaker->probing();
+            }
+        }
+
+        // Half-open probes run with zero retries: one cheap attempt
+        // decides reopen-vs-close instead of a full retry cycle.
+        const fault::RetryPolicy &retry =
+            breaker != nullptr && probing ? probeRetry : config.retry;
+        sim::FaultOutcome faultResult = baselines::executeDecisionWithFaults(
+            sim, workload.request, decision, env, retry, execRng);
+        if (breaker != nullptr) {
+            if (faultResult.fellBack) {
+                breaker->recordFailure(clockMs);
+            } else {
+                breaker->recordSuccess(clockMs);
+            }
+        }
+        policy->feedback(faultResult.outcome);
+
+        // Infeasible picks execute on the fallback for the user, like
+        // the batch harness does.
+        sim::Outcome measured = faultResult.outcome;
+        if (!measured.feasible) {
+            measured = sim.run(*workload.network,
+                               sim.bestLocalTarget(*workload.network, env,
+                                                   config.accuracyTargetPct),
+                               env, execRng);
+        }
+
+        const double serviceMs = measured.latencyMs;
+        const double waitMs = std::max(0.0, clockMs - queued.arrivalMs);
+        const double latencyMs = waitMs + serviceMs;
+        const double finishMs = clockMs + serviceMs;
+
+        ++stats.served;
+        stats.totalWaitMs += waitMs;
+        stats.totalServiceMs += serviceMs;
+        stats.latenciesMs.push_back(latencyMs);
+        stats.energyJ += measured.energyJ;
+        stats.wastedEnergyJ += faultResult.wastedEnergyJ;
+        if (faultResult.fellBack) {
+            ++stats.faultFallbacks;
+        }
+        if (finishMs > queued.deadlineMs) {
+            ++stats.qosViolations;
+        }
+        if (!faultResult.outcome.feasible
+            || measured.accuracyPct < workload.request.accuracyTargetPct) {
+            ++stats.accuracyViolations;
+        }
+        ++stats.categoryCounts[decision.category()];
+        ewmaServiceMs = (1.0 - kServiceEwmaAlpha) * ewmaServiceMs
+            + kServiceEwmaAlpha * serviceMs;
+
+        if (obs.enabled()) {
+            obs::DecisionEvent event = makeServeEvent(
+                *policy, workload, scenario.name(), "served",
+                depthAtDequeue, stats.checkpointsWritten);
+            event.coCpuUtil = env.coCpuUtil;
+            event.coMemUtil = env.coMemUtil;
+            event.rssiWlanDbm = env.rssiWlanDbm;
+            event.rssiP2pDbm = env.rssiP2pDbm;
+            event.thermalFactor = env.thermalFactor;
+            event.target = decision.partitioned
+                ? decision.category() : decision.target.label();
+            event.category = decision.category();
+            event.partitioned = decision.partitioned;
+            event.feasible = faultResult.outcome.feasible;
+            event.fallback = !faultResult.outcome.feasible;
+            event.latencyMs = latencyMs;
+            event.energyJ = measured.energyJ;
+            event.accuracyPct = measured.accuracyPct;
+            event.qosViolated = finishMs > queued.deadlineMs;
+            event.accuracyViolated =
+                measured.accuracyPct < workload.request.accuracyTargetPct;
+            event.faultAttempts = faultResult.attempts;
+            event.faultTimeouts = faultResult.timeouts;
+            event.faultDrops = faultResult.drops;
+            event.faultLinkDown = faultResult.linkDown;
+            event.faultFallback = faultResult.fellBack;
+            event.faultWastedEnergyJ = faultResult.wastedEnergyJ;
+            event.queueWaitMs = waitMs;
+            event.degradeLevel = degraded ? degradeLevel : 0;
+            event.breakerShortCircuit = shortCircuited;
+            if (config.breakerEnabled) {
+                event.breakerWlan = breakerStateName(wlanBreaker.state());
+                event.breakerP2p = breakerStateName(p2pBreaker.state());
+            }
+            policy->describeLastDecision(event);
+            if (obs.metering()) {
+                recordServeMetrics(*obs.metrics, event);
+            }
+            if (obs.tracing()) {
+                obs.trace->record(std::move(event));
+            }
+        }
+
+        clockMs = finishMs;
+        if (manager && config.checkpointIntervalRequests > 0
+            && stats.served % config.checkpointIntervalRequests == 0) {
+            checkpointNow();
+        }
+    }
+
+    policy->finishEpisode();
+    wlanBreaker.finalize(clockMs);
+    p2pBreaker.finalize(clockMs);
+    checkpointNow();
+
+    stats.maxQueueDepth = queue.maxDepthSeen();
+    stats.wlanBreaker = wlanBreaker.stats();
+    stats.p2pBreaker = p2pBreaker.stats();
+    stats.breakerShortCircuits =
+        stats.wlanBreaker.shortCircuits + stats.p2pBreaker.shortCircuits;
+    stats.endClockMs = clockMs;
+
+    if (obs.metering()) {
+        obs.metrics->inc("serve.arrivals", stats.arrivals);
+        obs.metrics->inc("serve.breaker.opens",
+                         stats.wlanBreaker.opens + stats.p2pBreaker.opens);
+        obs.metrics->inc("serve.breaker.probes",
+                         stats.wlanBreaker.probes + stats.p2pBreaker.probes);
+        obs.metrics->set("serve.max_queue_depth",
+                         static_cast<double>(stats.maxQueueDepth));
+        obs.metrics->set("serve.breaker.open_ms",
+                         stats.wlanBreaker.totalOpenMs
+                             + stats.p2pBreaker.totalOpenMs);
+    }
+    return stats;
+}
+
+void
+printServeReport(std::ostream &os, const ServeConfig &config,
+                 const ServeStats &stats)
+{
+    printBanner(os, "Serving summary");
+    {
+        Table table({"metric", "value"});
+        const double arrivals = static_cast<double>(
+            std::max<std::int64_t>(1, stats.arrivals));
+        table.addRow({"arrivals", std::to_string(stats.arrivals)});
+        table.addRow({"served",
+                      std::to_string(stats.served) + " ("
+                          + Table::pct(static_cast<double>(stats.served)
+                                       / arrivals)
+                          + ")"});
+        table.addRow({"degraded", std::to_string(stats.degraded)});
+        table.addRow({"shed (deadline)",
+                      std::to_string(stats.shedDeadline)});
+        table.addRow({"shed (overflow)",
+                      std::to_string(stats.shedOverflow)});
+        table.addRow({"shed (stale)", std::to_string(stats.shedStale)});
+        table.addRow({"max queue depth",
+                      std::to_string(stats.maxQueueDepth)});
+        table.addRow({"p50 latency (ms)",
+                      Table::num(stats.latencyPercentileMs(50.0))});
+        table.addRow({"p99 latency (ms)",
+                      Table::num(stats.latencyPercentileMs(99.0))});
+        table.addRow({"mean wait (ms)", Table::num(stats.meanWaitMs())});
+        table.addRow({"mean service (ms)",
+                      Table::num(stats.meanServiceMs())});
+        table.addRow({"QoS violations (served)",
+                      std::to_string(stats.qosViolations)});
+        table.addRow({"accuracy violations",
+                      std::to_string(stats.accuracyViolations)});
+        table.addRow({"energy (J)", Table::num(stats.energyJ, 3)});
+        table.addRow({"wasted energy (J)",
+                      Table::num(stats.wastedEnergyJ, 3)});
+        table.addRow({"retry fallbacks",
+                      std::to_string(stats.faultFallbacks)});
+        table.addRow({"virtual time (s)",
+                      Table::num(stats.endClockMs / 1e3, 2)});
+        table.print(os);
+    }
+
+    if (!stats.categoryCounts.empty()) {
+        printBanner(os, "Served decision mix");
+        Table table({"category", "count", "share"});
+        for (const auto &[category, count] : stats.categoryCounts) {
+            table.addRow({category, std::to_string(count),
+                          Table::pct(static_cast<double>(count)
+                                     / static_cast<double>(stats.served))});
+        }
+        table.print(os);
+    }
+
+    if (stats.breakerEnabled) {
+        printBanner(os, "Circuit breakers");
+        Table table({"link", "opens", "short-circuits", "probes",
+                     "open time (s)"});
+        table.addRow({"wlan (cloud)",
+                      std::to_string(stats.wlanBreaker.opens),
+                      std::to_string(stats.wlanBreaker.shortCircuits),
+                      std::to_string(stats.wlanBreaker.probes),
+                      Table::num(stats.wlanBreaker.totalOpenMs / 1e3)});
+        table.addRow({"p2p (edge)",
+                      std::to_string(stats.p2pBreaker.opens),
+                      std::to_string(stats.p2pBreaker.shortCircuits),
+                      std::to_string(stats.p2pBreaker.probes),
+                      Table::num(stats.p2pBreaker.totalOpenMs / 1e3)});
+        table.print(os);
+    }
+
+    if (!config.checkpointPath.empty()) {
+        printBanner(os, "Checkpointing");
+        Table table({"metric", "value"});
+        table.addRow({"path", config.checkpointPath});
+        table.addRow({"written",
+                      std::to_string(stats.checkpointsWritten)});
+        if (config.resume) {
+            table.addRow({"recovered",
+                          stats.resumed
+                              ? std::string("yes (")
+                                  + checkpointSourceName(stats.resumeSource)
+                                  + ", step "
+                                  + std::to_string(stats.resumeStep) + ")"
+                              : std::string("no (cold start)")});
+            table.addRow({"corrupt checkpoints detected",
+                          std::to_string(stats.corruptCheckpoints)});
+        }
+        table.print(os);
+    }
+}
+
+} // namespace autoscale::serve

@@ -1,0 +1,127 @@
+#include "util/atomic_file.h"
+
+#include <cstdio>
+
+#if defined(_WIN32)
+#include <fstream>
+#else
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace autoscale {
+
+namespace {
+
+void
+setError(std::string *error, const std::string &message)
+{
+    if (error != nullptr) {
+        *error = message;
+    }
+}
+
+std::string
+parentDirectory(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos) {
+        return ".";
+    }
+    return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+} // namespace
+
+#if defined(_WIN32)
+
+bool
+atomicWriteFile(const std::string &path, const std::string &contents,
+                std::string *error)
+{
+    // No fsync portability on this path; ofstream + rename still gives
+    // all-or-nothing visibility against process crashes.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+        if (!file || !(file << contents) || !file.flush()) {
+            setError(error, "cannot write '" + tmp + "'");
+            return false;
+        }
+    }
+    std::remove(path.c_str());
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        setError(error, "cannot rename '" + tmp + "' to '" + path + "'");
+        return false;
+    }
+    return true;
+}
+
+#else
+
+bool
+atomicWriteFile(const std::string &path, const std::string &contents,
+                std::string *error)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        setError(error, "cannot open '" + tmp + "': "
+                            + std::strerror(errno));
+        return false;
+    }
+
+    std::size_t written = 0;
+    while (written < contents.size()) {
+        const ssize_t n = ::write(fd, contents.data() + written,
+                                  contents.size() - written);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            setError(error, "cannot write '" + tmp + "': "
+                                + std::strerror(errno));
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+
+    if (::fsync(fd) != 0) {
+        setError(error, "cannot fsync '" + tmp + "': "
+                            + std::strerror(errno));
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        setError(error, "cannot close '" + tmp + "': "
+                            + std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return false;
+    }
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        setError(error, "cannot rename '" + tmp + "' to '" + path
+                            + "': " + std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return false;
+    }
+
+    // Persist the rename itself: fsync the containing directory.
+    // Best-effort — some filesystems refuse O_RDONLY directory fds.
+    const std::string dir = parentDirectory(path);
+    const int dir_fd = ::open(dir.c_str(), O_RDONLY);
+    if (dir_fd >= 0) {
+        ::fsync(dir_fd);
+        ::close(dir_fd);
+    }
+    return true;
+}
+
+#endif
+
+} // namespace autoscale

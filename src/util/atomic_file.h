@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Crash-safe whole-file writes: temp file in the same directory +
+ * fsync + atomic rename, so a reader (or a restart after SIGKILL)
+ * either sees the complete old contents or the complete new contents,
+ * never a half-written file. Shared by `train --out` and the serving
+ * loop's Q-table checkpointer (DESIGN.md §12).
+ */
+
+#ifndef AUTOSCALE_UTIL_ATOMIC_FILE_H_
+#define AUTOSCALE_UTIL_ATOMIC_FILE_H_
+
+#include <string>
+
+namespace autoscale {
+
+/**
+ * Atomically replace @p path with @p contents: write to `path.tmp`,
+ * fsync the data, rename over @p path, then fsync the directory so the
+ * rename itself survives a power cut. Returns false (with @p error
+ * filled when non-null) on any I/O failure; a failed write never
+ * touches the existing @p path.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &contents,
+                     std::string *error = nullptr);
+
+} // namespace autoscale
+
+#endif // AUTOSCALE_UTIL_ATOMIC_FILE_H_

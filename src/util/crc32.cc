@@ -1,0 +1,41 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace autoscale {
+
+namespace {
+
+/** Reflected CRC-32 lookup table, built once at first use. */
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit) {
+                c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            }
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32Update(std::uint32_t crc, const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    const std::array<std::uint32_t, 256> &table = crcTable();
+    crc = ~crc;
+    for (std::size_t i = 0; i < size; ++i) {
+        crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+    }
+    return ~crc;
+}
+
+} // namespace autoscale

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum
+ * footer of the crash-safe checkpoint format (DESIGN.md §12). Table
+ * driven, incremental-friendly: feed chunks through the running value.
+ */
+
+#ifndef AUTOSCALE_UTIL_CRC32_H_
+#define AUTOSCALE_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace autoscale {
+
+/**
+ * Update a running CRC-32 with @p size bytes at @p data. Start from
+ * crc = 0; the canonical check value of "123456789" is 0xcbf43926.
+ */
+std::uint32_t crc32Update(std::uint32_t crc, const void *data,
+                          std::size_t size);
+
+/** CRC-32 of a whole buffer. */
+inline std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    return crc32Update(0, data, size);
+}
+
+/** CRC-32 of a string's bytes. */
+inline std::uint32_t
+crc32(const std::string &bytes)
+{
+    return crc32(bytes.data(), bytes.size());
+}
+
+} // namespace autoscale
+
+#endif // AUTOSCALE_UTIL_CRC32_H_

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the crash-safe checkpoint format (DESIGN.md §12): CRC32
+ * vectors, encode/decode round trips, corruption and truncation
+ * detection, and the two-deep rotation of CheckpointManager.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/qtable.h"
+#include "serve/checkpoint.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+
+namespace autoscale::serve {
+namespace {
+
+core::QTable
+makeTable(std::uint64_t seed = 9)
+{
+    core::QTable table(6, 4);
+    Rng rng(seed);
+    table.randomize(rng, -2.0, 2.0);
+    return table;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+}
+
+/** Unique scratch path under the test temp dir. */
+std::string
+scratchPath(const std::string &name)
+{
+    return testing::TempDir() + "autoscale_ckpt_" + name;
+}
+
+TEST(Crc32, CanonicalCheckValue)
+{
+    // IEEE 802.3 check vector.
+    EXPECT_EQ(crc32(std::string("123456789")), 0xcbf43926u);
+    EXPECT_EQ(crc32(std::string()), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesWholeBuffer)
+{
+    const std::string bytes = "autoscale-checkpoint v1 demo 42\n0 1\n";
+    std::uint32_t running = 0;
+    for (const char c : bytes) {
+        running = crc32Update(running, &c, 1);
+    }
+    EXPECT_EQ(running, crc32(bytes));
+}
+
+TEST(Checkpoint, EncodeDecodeRoundTrip)
+{
+    const core::QTable table = makeTable();
+    const std::string bytes = encodeCheckpoint("fingerprint-abc", 321,
+                                               table);
+    CheckpointData decoded;
+    std::string error;
+    ASSERT_TRUE(decodeCheckpoint(bytes, &decoded, &error)) << error;
+    EXPECT_EQ(decoded.fingerprint, "fingerprint-abc");
+    EXPECT_EQ(decoded.step, 321);
+    ASSERT_EQ(decoded.table.numStates(), table.numStates());
+    ASSERT_EQ(decoded.table.numActions(), table.numActions());
+    for (int s = 0; s < table.numStates(); ++s) {
+        for (int a = 0; a < table.numActions(); ++a) {
+            EXPECT_FLOAT_EQ(decoded.table.at(s, a), table.at(s, a));
+        }
+    }
+}
+
+TEST(Checkpoint, EveryFlippedByteIsDetected)
+{
+    const std::string bytes = encodeCheckpoint("fp", 7, makeTable());
+    // Flip the low bit of one byte at a time across the whole file;
+    // every mutation must be rejected (CRC for the body, parse checks
+    // for the footer). Note ^0x20 would be too weak a test here: a
+    // case-flipped hex digit in the footer parses to the same CRC.
+    for (std::size_t i = 0; i < bytes.size(); i += 7) {
+        std::string mutated = bytes;
+        mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+        if (mutated == bytes) {
+            continue;
+        }
+        CheckpointData decoded;
+        std::string error;
+        EXPECT_FALSE(decodeCheckpoint(mutated, &decoded, &error))
+            << "offset " << i << " accepted";
+    }
+}
+
+TEST(Checkpoint, TruncationIsDetected)
+{
+    const std::string bytes = encodeCheckpoint("fp", 7, makeTable());
+    CheckpointData decoded;
+    std::string error;
+    for (const double fraction : {0.0, 0.25, 0.5, 0.9}) {
+        const std::string cut = bytes.substr(
+            0, static_cast<std::size_t>(fraction
+                                        * static_cast<double>(bytes.size())));
+        EXPECT_FALSE(decodeCheckpoint(cut, &decoded, &error))
+            << "kept " << fraction;
+    }
+    // Cutting just the last byte of the footer must also fail.
+    EXPECT_FALSE(decodeCheckpoint(bytes.substr(0, bytes.size() - 1),
+                                  &decoded, &error));
+}
+
+TEST(Checkpoint, WrongMagicIsRejected)
+{
+    std::string bytes = encodeCheckpoint("fp", 7, makeTable());
+    bytes.replace(0, 9, "malicious");
+    CheckpointData decoded;
+    std::string error;
+    EXPECT_FALSE(decodeCheckpoint(bytes, &decoded, &error));
+}
+
+TEST(CheckpointManager, SaveRotatesAndLoadPrefersPrimary)
+{
+    const std::string path = scratchPath("rotate");
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+
+    CheckpointManager manager(path);
+    ASSERT_TRUE(manager.save("fp", 10, makeTable(1)));
+    ASSERT_TRUE(manager.save("fp", 20, makeTable(2)));
+    EXPECT_EQ(manager.written(), 2);
+
+    const CheckpointLoadResult result = manager.load();
+    ASSERT_TRUE(result.loaded);
+    EXPECT_EQ(result.source, CheckpointSource::Primary);
+    EXPECT_EQ(result.data.step, 20);
+    EXPECT_EQ(result.corruptDetected, 0);
+
+    // The rotated previous checkpoint holds the older step.
+    CheckpointData prev;
+    std::string error;
+    ASSERT_TRUE(decodeCheckpoint(readFile(manager.prevPath()), &prev,
+                                 &error))
+        << error;
+    EXPECT_EQ(prev.step, 10);
+}
+
+TEST(CheckpointManager, CorruptPrimaryFallsBackToPrevious)
+{
+    const std::string path = scratchPath("fallback");
+    CheckpointManager manager(path);
+    ASSERT_TRUE(manager.save("fp", 10, makeTable(1)));
+    ASSERT_TRUE(manager.save("fp", 20, makeTable(2)));
+
+    // Simulate a torn write: chop the tail off the primary.
+    const std::string bytes = readFile(path);
+    writeFile(path, bytes.substr(0, bytes.size() / 2));
+
+    const CheckpointLoadResult result = manager.load();
+    ASSERT_TRUE(result.loaded);
+    EXPECT_EQ(result.source, CheckpointSource::Previous);
+    EXPECT_EQ(result.data.step, 10);
+    EXPECT_EQ(result.corruptDetected, 1);
+}
+
+TEST(CheckpointManager, NothingToRecoverIsACleanColdStart)
+{
+    const std::string path = scratchPath("missing");
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+    const CheckpointLoadResult result = CheckpointManager(path).load();
+    EXPECT_FALSE(result.loaded);
+    EXPECT_EQ(result.source, CheckpointSource::None);
+    EXPECT_EQ(result.corruptDetected, 0);
+}
+
+TEST(CheckpointManager, BothCopiesCorruptReportsBoth)
+{
+    const std::string path = scratchPath("double");
+    CheckpointManager manager(path);
+    ASSERT_TRUE(manager.save("fp", 10, makeTable(1)));
+    ASSERT_TRUE(manager.save("fp", 20, makeTable(2)));
+    writeFile(path, "garbage");
+    writeFile(path + ".prev", "more garbage");
+
+    const CheckpointLoadResult result = manager.load();
+    EXPECT_FALSE(result.loaded);
+    EXPECT_EQ(result.corruptDetected, 2);
+    EXPECT_FALSE(result.error.empty());
+}
+
+} // namespace
+} // namespace autoscale::serve

@@ -171,6 +171,29 @@ TEST(PackedQTable, UnpackRoundTrip)
     }
 }
 
+TEST(QTableDeath, AbsurdHeaderIsRejectedBeforeAllocating)
+{
+    // A corrupt or malicious header must not size a huge allocation.
+    std::stringstream huge("999999999 999999999\n");
+    EXPECT_EXIT({ QTable::load(huge); }, ::testing::ExitedWithCode(1),
+                "absurd header");
+    std::stringstream negative("-3 4\n");
+    EXPECT_EXIT({ QTable::load(negative); },
+                ::testing::ExitedWithCode(1), "malformed header");
+}
+
+TEST(QTableDeath, NonFiniteValuesAreRejected)
+{
+    std::stringstream nan_stream("2 2\n0.5 nan\n1.0 2.0\n");
+    EXPECT_EXIT({ QTable::load(nan_stream); },
+                ::testing::ExitedWithCode(1),
+                "non-finite value at state 0, action 1");
+    std::stringstream inf_stream("2 2\n0.5 1.5\ninf 2.0\n");
+    EXPECT_EXIT({ QTable::load(inf_stream); },
+                ::testing::ExitedWithCode(1),
+                "non-finite value at state 1, action 0");
+}
+
 TEST(QTable, DimensionsReported)
 {
     QTable table(3072, 66);

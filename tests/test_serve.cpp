@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the online serving loop (DESIGN.md §12): determinism,
+ * bounded queues under overload, the degradation ladder, breaker
+ * behaviour during a blackout, and checkpoint/resume.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dnn/model_zoo.h"
+#include "platform/device_zoo.h"
+#include "serve/server.h"
+#include "sim/simulator.h"
+
+namespace autoscale::serve {
+namespace {
+
+const sim::InferenceSimulator &
+testSim()
+{
+    static const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    return sim;
+}
+
+std::vector<const dnn::Network *>
+allNetworks()
+{
+    std::vector<const dnn::Network *> networks;
+    for (const dnn::Network &network : dnn::modelZoo()) {
+        networks.push_back(&network);
+    }
+    return networks;
+}
+
+/** Config with the arrival rate set as a multiple of local capacity. */
+ServeConfig
+configAtRate(double rateX, std::int64_t requests)
+{
+    ServeConfig config;
+    config.totalRequests = requests;
+    config.trainRunsPerCombo = 20;
+    config.seed = 7;
+    const double nominal =
+        nominalServiceMs(testSim(), allNetworks(), 50.0);
+    config.arrival.ratePerSec = rateX * 1000.0 / nominal;
+    return config;
+}
+
+std::string
+dominantCategory(const ServeStats &stats)
+{
+    std::string best;
+    std::int64_t count = -1;
+    for (const auto &[category, n] : stats.categoryCounts) {
+        if (n > count) {
+            best = category;
+            count = n;
+        }
+    }
+    return best;
+}
+
+TEST(Serve, RerunsAreByteIdentical)
+{
+    const ServeConfig config = configAtRate(1.5, 250);
+    const ServeStats a = runServe(testSim(), config);
+    const ServeStats b = runServe(testSim(), config);
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.served, b.served);
+    EXPECT_EQ(a.shedDeadline, b.shedDeadline);
+    EXPECT_EQ(a.shedOverflow, b.shedOverflow);
+    EXPECT_EQ(a.shedStale, b.shedStale);
+    EXPECT_EQ(a.qosViolations, b.qosViolations);
+    // Bitwise-equal floats: the loop must be deterministic, not just
+    // statistically similar.
+    EXPECT_EQ(a.energyJ, b.energyJ);
+    EXPECT_EQ(a.wastedEnergyJ, b.wastedEnergyJ);
+    EXPECT_EQ(a.endClockMs, b.endClockMs);
+    ASSERT_EQ(a.latenciesMs.size(), b.latenciesMs.size());
+    for (std::size_t i = 0; i < a.latenciesMs.size(); ++i) {
+        EXPECT_EQ(a.latenciesMs[i], b.latenciesMs[i]) << i;
+    }
+    EXPECT_EQ(a.categoryCounts, b.categoryCounts);
+}
+
+TEST(Serve, EveryArrivalIsAccountedFor)
+{
+    const ServeStats stats = runServe(testSim(), configAtRate(2.0, 300));
+    EXPECT_EQ(stats.arrivals, 300);
+    EXPECT_EQ(stats.admitted + stats.shedDeadline + stats.shedOverflow,
+              stats.arrivals);
+    EXPECT_EQ(stats.served + stats.shedStale, stats.admitted);
+}
+
+TEST(Serve, OverloadKeepsQueueAndWaitsBounded)
+{
+    // Sustained 4x overload: the queue must stay within its configured
+    // bound and accepted requests must not accumulate unbounded wait.
+    ServeConfig config = configAtRate(4.0, 400);
+    config.admission.maxDepth = 16;
+    const ServeStats stats = runServe(testSim(), config);
+    EXPECT_LE(stats.maxQueueDepth, 16u);
+    EXPECT_GT(stats.served, 0);
+    const std::int64_t shed =
+        stats.shedDeadline + stats.shedOverflow + stats.shedStale;
+    EXPECT_GT(shed, 0);
+    // Queueing delay is what admission control bounds: the mean wait
+    // must stay near one service time even at 4x overload (the tail of
+    // total latency is execution variance, not queueing).
+    EXPECT_LT(stats.meanWaitMs(), 4.0 * stats.meanServiceMs() + 100.0);
+}
+
+TEST(Serve, DegradationLadderEngagesBeforeDropping)
+{
+    // A remote-only policy under overload with an aggressive degrade
+    // threshold: queued-up requests get forced onto the local variant.
+    ServeConfig config = configAtRate(2.0, 300);
+    config.policyName = "cloud";
+    config.admission.degradeDepth = 1;
+    const ServeStats stats = runServe(testSim(), config);
+    EXPECT_GT(stats.degraded, 0);
+}
+
+TEST(Serve, BreakerCapsWastedEnergyDuringBlackout)
+{
+    // Remote-heavy traffic through a blackout (both links down for
+    // fault steps 150-449). Without the breaker every in-outage
+    // request burns the full timeout+retry budget; with it only the
+    // opening failure and bounded half-open probes pay.
+    ServeConfig config = configAtRate(0.5, 600);
+    config.scenario = env::ScenarioId::S1;
+    config.policyName = "cloud";
+    config.faults = fault::FaultPlan::fromName("blackout");
+
+    config.breakerEnabled = true;
+    const ServeStats with = runServe(testSim(), config);
+    config.breakerEnabled = false;
+    const ServeStats without = runServe(testSim(), config);
+
+    EXPECT_GE(with.wlanBreaker.opens, 1);
+    EXPECT_GT(with.breakerShortCircuits, 0);
+    EXPECT_GT(without.wastedEnergyJ, 0.0);
+    // The acceptance bar: wasted remote-attempt energy collapses to
+    // about one retry cycle (plus probes) per outage.
+    EXPECT_LT(with.wastedEnergyJ, 0.5 * without.wastedEnergyJ);
+    // Each wasted cycle is at most one full retry ladder; the breaker
+    // run's total must fit in (opens + probes) such cycles.
+    const double cycleJ =
+        without.wastedEnergyJ
+        / static_cast<double>(std::max<std::int64_t>(
+            1, without.faultFallbacks));
+    const double cycles = static_cast<double>(
+        with.wlanBreaker.opens + with.wlanBreaker.probes
+        + with.p2pBreaker.opens + with.p2pBreaker.probes);
+    EXPECT_LE(with.wastedEnergyJ, cycles * cycleJ + cycleJ);
+}
+
+TEST(Serve, CheckpointResumeRestoresStepAndConverges)
+{
+    const std::string path =
+        testing::TempDir() + "autoscale_serve_resume.ckpt";
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+
+    // The uninterrupted reference run.
+    ServeConfig full = configAtRate(1.0, 400);
+    const ServeStats reference = runServe(testSim(), full);
+
+    // The same run "killed" after 200 arrivals, then resumed.
+    ServeConfig first = full;
+    first.totalRequests = 200;
+    first.checkpointPath = path;
+    first.checkpointIntervalRequests = 20;
+    const ServeStats before = runServe(testSim(), first);
+    EXPECT_GT(before.checkpointsWritten, 0);
+
+    ServeConfig second = full;
+    second.totalRequests = 200;
+    second.checkpointPath = path;
+    second.checkpointIntervalRequests = 20;
+    second.resume = true;
+    const ServeStats after = runServe(testSim(), second);
+    EXPECT_TRUE(after.resumed);
+    EXPECT_EQ(after.resumeSource, CheckpointSource::Primary);
+    EXPECT_EQ(after.resumeStep, before.served);
+    EXPECT_EQ(after.corruptCheckpoints, 0);
+
+    // The resumed learner settles into the same steady-state decision
+    // mix as the uninterrupted run.
+    EXPECT_EQ(dominantCategory(after), dominantCategory(reference));
+}
+
+TEST(Serve, ResumeWithoutACheckpointIsAColdStart)
+{
+    const std::string path =
+        testing::TempDir() + "autoscale_serve_cold.ckpt";
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+    ServeConfig config = configAtRate(1.0, 120);
+    config.checkpointPath = path;
+    config.resume = true;
+    const ServeStats stats = runServe(testSim(), config);
+    EXPECT_FALSE(stats.resumed);
+    EXPECT_EQ(stats.resumeSource, CheckpointSource::None);
+    EXPECT_GT(stats.checkpointsWritten, 0);
+}
+
+TEST(ServeDeath, FixedPoliciesCannotCheckpoint)
+{
+    ServeConfig config = configAtRate(1.0, 50);
+    config.policyName = "cloud";
+    config.checkpointPath = testing::TempDir() + "nope.ckpt";
+    EXPECT_EXIT({ runServe(testSim(), config); },
+                ::testing::ExitedWithCode(1), "autoscale policy only");
+}
+
+TEST(ServeDeath, UnknownPolicyIsFatal)
+{
+    ServeConfig config = configAtRate(1.0, 50);
+    config.policyName = "oracle-of-delphi";
+    EXPECT_EXIT({ runServe(testSim(), config); },
+                ::testing::ExitedWithCode(1), "unknown policy");
+}
+
+} // namespace
+} // namespace autoscale::serve

@@ -32,8 +32,10 @@
 #include "harness/parallel.h"
 #include "obs/obs_output.h"
 #include "platform/device_zoo.h"
+#include "serve/server.h"
 #include "sim/simulator.h"
 #include "util/args.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/table.h"
 
@@ -90,18 +92,78 @@ faultsFromArgs(const Args &args)
     return plan;
 }
 
-/** Retry policy from `--timeout-ms` / `--max-retries`. */
+/**
+ * Strict numeric flag parsers for flags whose silent fallback would
+ * change failure semantics (the retry/fault knobs): a present flag
+ * whose value is missing, malformed, has trailing garbage, or
+ * overflows is a usage error, not a default.
+ */
+double
+strictDouble(const Args &args, const std::string &flag, double fallback)
+{
+    if (!args.has(flag)) {
+        return fallback;
+    }
+    const std::string raw = args.get(flag);
+    std::size_t consumed = 0;
+    double parsed = 0.0;
+    try {
+        parsed = std::stod(raw, &consumed);
+    } catch (const std::exception &) {
+        consumed = 0;
+    }
+    if (raw.empty() || consumed != raw.size()) {
+        fatal(flag + " expects a number, got '" + raw + "'");
+    }
+    return parsed;
+}
+
+int
+strictInt(const Args &args, const std::string &flag, int fallback)
+{
+    if (!args.has(flag)) {
+        return fallback;
+    }
+    const std::string raw = args.get(flag);
+    std::size_t consumed = 0;
+    int parsed = 0;
+    try {
+        parsed = std::stoi(raw, &consumed);
+    } catch (const std::exception &) {
+        consumed = 0;
+    }
+    if (raw.empty() || consumed != raw.size()) {
+        fatal(flag + " expects an integer, got '" + raw + "'");
+    }
+    return parsed;
+}
+
+/**
+ * Retry policy from `--timeout-ms` / `--max-retries` / `--backoff-ms` /
+ * `--backoff-mult`. All four fail fast on malformed or out-of-range
+ * values: a typo here would silently change what "failure" costs.
+ */
 fault::RetryPolicy
 retryFromArgs(const Args &args)
 {
     fault::RetryPolicy retry;
-    retry.timeoutMs = args.getDouble("--timeout-ms", retry.timeoutMs);
-    retry.maxRetries = args.getInt("--max-retries", retry.maxRetries);
+    retry.timeoutMs = strictDouble(args, "--timeout-ms", retry.timeoutMs);
+    retry.maxRetries = strictInt(args, "--max-retries", retry.maxRetries);
+    retry.backoffBaseMs =
+        strictDouble(args, "--backoff-ms", retry.backoffBaseMs);
+    retry.backoffMultiplier =
+        strictDouble(args, "--backoff-mult", retry.backoffMultiplier);
     if (retry.timeoutMs <= 0.0) {
         fatal("--timeout-ms must be positive");
     }
     if (retry.maxRetries < 0) {
         fatal("--max-retries must be >= 0");
+    }
+    if (retry.backoffBaseMs < 0.0) {
+        fatal("--backoff-ms must be >= 0");
+    }
+    if (retry.backoffMultiplier <= 0.0) {
+        fatal("--backoff-mult must be positive");
     }
     return retry;
 }
@@ -282,12 +344,15 @@ cmdTrain(const Args &args)
                          scenarios, runs, rng, false, 50.0,
                          obs_out.context(), faults, retry);
 
+    // Atomic replace: a crash (or a concurrent reader) never sees a
+    // half-written table, and an existing file survives a failed write.
     const std::string out = args.get("--out", "qtable.txt");
-    std::ofstream file(out);
-    if (!file) {
-        fatal("cannot open '" + out + "' for writing");
+    std::ostringstream buffer;
+    policy->scheduler().saveQTable(buffer);
+    std::string error;
+    if (!atomicWriteFile(out, buffer.str(), &error)) {
+        fatal("cannot write '" + out + "': " + error);
     }
-    policy->scheduler().saveQTable(file);
     std::cout << "Q-table saved to " << out << " ("
               << policy->scheduler().agent().table().memoryBytes() / 1024
               << " KiB in memory)\n";
@@ -507,6 +572,123 @@ cmdLoo(const Args &args)
     return 0;
 }
 
+/** Single scenario from @p flag ("S1".."D4"). */
+env::ScenarioId
+scenarioFromArg(const Args &args, const char *flag, const char *fallback)
+{
+    const std::string name = args.get(flag, fallback);
+    for (const env::ScenarioId id : env::allScenarios()) {
+        if (name == env::scenarioName(id)) {
+            return id;
+        }
+    }
+    fatal("unknown scenario '" + name + "' (use S1-S5, D1-D4)");
+}
+
+int
+cmdServe(const Args &args)
+{
+    sim::InferenceSimulator sim = simFromArgs(args);
+    obs::ObsOutput obs_out(obs::ObsConfig::fromArgs(args));
+    if (obs_out.config().metering()) {
+        sim.setObserver(&obs_out.metrics());
+    }
+
+    serve::ServeConfig config;
+    config.scenario = scenarioFromArg(args, "--scenario", "D3");
+    config.faults = faultsFromArgs(args);
+    config.retry = retryFromArgs(args);
+    config.totalRequests = args.getInt("--requests", 1000);
+    if (config.totalRequests <= 0) {
+        fatal("--requests must be positive");
+    }
+    config.policyName = args.get("--policy", "autoscale");
+    config.networkFilter = args.get("--network");
+    config.accuracyTargetPct = args.getDouble("--accuracy", 50.0);
+    config.seed =
+        static_cast<std::uint64_t>(args.getInt("--seed", 1));
+    config.trainRunsPerCombo = args.getInt("--train-runs", 40);
+    config.qtablePath = args.get("--qtable");
+    config.checkpointPath = args.get("--checkpoint");
+    config.checkpointIntervalRequests =
+        args.getInt("--checkpoint-interval", 100);
+    config.resume = args.has("--resume");
+
+    config.admission.maxDepth = args.getInt("--queue-depth", 64);
+    if (config.admission.maxDepth <= 0) {
+        fatal("--queue-depth must be positive");
+    }
+    config.admission.degradeDepth = args.getInt("--degrade-depth", 8);
+
+    const std::string breaker = args.get("--breaker", "on");
+    if (breaker == "on") {
+        config.breakerEnabled = true;
+    } else if (breaker == "off") {
+        config.breakerEnabled = false;
+    } else {
+        fatal("--breaker expects 'on' or 'off', got '" + breaker + "'");
+    }
+    config.breaker.openBaseMs = strictDouble(
+        args, "--breaker-open-ms", config.breaker.openBaseMs);
+    if (config.breaker.openBaseMs <= 0.0) {
+        fatal("--breaker-open-ms must be positive");
+    }
+    config.breaker.halfOpenSuccesses = strictInt(
+        args, "--breaker-probe-successes", config.breaker.halfOpenSuccesses);
+    if (config.breaker.halfOpenSuccesses <= 0) {
+        fatal("--breaker-probe-successes must be positive");
+    }
+
+    // Arrival rate: either absolute (--rate-hz) or as a multiple of the
+    // server's nominal local-only capacity (--rate-x; 2.0 = sustained
+    // 2x overload).
+    std::vector<const dnn::Network *> networks;
+    for (const auto &network : dnn::modelZoo()) {
+        if (config.networkFilter.empty()
+            || network.name() == config.networkFilter) {
+            networks.push_back(&network);
+        }
+    }
+    if (networks.empty()) {
+        fatal("unknown network '" + config.networkFilter + "'");
+    }
+    const double nominal_ms = serve::nominalServiceMs(
+        sim, networks, config.accuracyTargetPct);
+    double rate_hz = 0.0;
+    if (args.has("--rate-hz")) {
+        rate_hz = strictDouble(args, "--rate-hz", 0.0);
+    } else {
+        rate_hz = strictDouble(args, "--rate-x", 2.0) * 1000.0 / nominal_ms;
+    }
+    if (rate_hz <= 0.0) {
+        fatal("--rate-hz/--rate-x must be positive");
+    }
+    config.arrival.ratePerSec = rate_hz;
+    config.arrival.burstPeriodMs =
+        args.getDouble("--burst-period-ms", config.arrival.burstPeriodMs);
+    config.arrival.burstDurationMs =
+        args.getDouble("--burst-ms", config.arrival.burstDurationMs);
+    config.arrival.burstMultiplier =
+        args.getDouble("--burst-mult", config.arrival.burstMultiplier);
+
+    std::cout << "Serving " << config.totalRequests << " arrivals on "
+              << sim.localDevice().name() << ", scenario "
+              << env::scenarioName(config.scenario) << ", rate "
+              << Table::num(rate_hz, 1) << " req/s (nominal capacity "
+              << Table::num(1000.0 / nominal_ms, 1) << " req/s)";
+    if (config.faults.enabled()) {
+        std::cout << ", faults: " << config.faults.name;
+    }
+    std::cout << ", breaker " << (config.breakerEnabled ? "on" : "off")
+              << "...\n";
+
+    const serve::ServeStats stats =
+        serve::runServe(sim, config, obs_out.context());
+    serve::printServeReport(std::cout, config, stats);
+    obs_out.finalize(&std::cout);
+    return 0;
+}
+
 int
 usage()
 {
@@ -524,16 +706,33 @@ usage()
         "  evaluate --device D [--qtable FILE] [--scenarios ...]\n"
         "           [--runs N] [--train-runs N] [--jobs N] [--csv]\n"
         "  loo --device D [--scenarios ...] [--runs N] [--train-runs N]\n"
-        "      [--warmup N] [--seed N] [--jobs N] [--csv]\n\n"
-        "Fault injection (train, evaluate, loo):\n"
+        "      [--warmup N] [--seed N] [--jobs N] [--csv]\n"
+        "  serve --device D [--scenario S] [--requests N]\n"
+        "        [--rate-x F | --rate-hz F] [--burst-period-ms F]\n"
+        "        [--burst-ms F] [--burst-mult F] [--queue-depth N]\n"
+        "        [--degrade-depth N] [--breaker on|off]\n"
+        "        [--breaker-open-ms F] [--breaker-probe-successes N]\n"
+        "        [--checkpoint FILE] [--checkpoint-interval N] [--resume]\n"
+        "        [--qtable FILE] [--train-runs N] [--network NAME]\n"
+        "        [--policy autoscale|cloud|connected-edge|edge-best|\n"
+        "         edge-cpu]\n"
+        "        [--seed N]            online serving loop: stochastic\n"
+        "                              arrivals, admission control,\n"
+        "                              circuit breakers, crash-safe\n"
+        "                              Q-table checkpoints\n\n"
+        "Fault injection (train, evaluate, loo, serve):\n"
         "  --faults NAME                none (default), blackout,\n"
         "                               flaky-wifi, or cloud-brownout\n"
         "  --fault-seed N               fault-process RNG seed\n"
         "  --timeout-ms F               per-attempt remote deadline\n"
         "                               (default 300)\n"
         "  --max-retries N              remote retries before the forced\n"
-        "                               local fallback (default 2)\n\n"
-        "Observability (train, evaluate, loo):\n"
+        "                               local fallback (default 2)\n"
+        "  --backoff-ms F               idle gap before the first retry\n"
+        "                               (default 25)\n"
+        "  --backoff-mult F             backoff growth per retry\n"
+        "                               (default 2)\n\n"
+        "Observability (train, evaluate, loo, serve):\n"
         "  --trace FILE                 record one structured event per\n"
         "                               inference decision\n"
         "  --trace-format jsonl|chrome  JSON Lines (default) or Chrome\n"
@@ -579,6 +778,9 @@ main(int argc, char **argv)
     }
     if (command == "loo") {
         return cmdLoo(args);
+    }
+    if (command == "serve") {
+        return cmdServe(args);
     }
     return usage();
 }

@@ -13,6 +13,7 @@
  * rejected loudly rather than misread.
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -221,6 +222,18 @@ main(int argc, char **argv)
     std::map<std::string, long long> by_target;
     std::map<std::string, long long> by_policy;
 
+    // Serving-loop fields (PR 4); absent from pre-serve traces, in
+    // which case the serving section is simply not printed.
+    std::map<std::string, long long> by_serve_outcome;
+    long long serve_records = 0;
+    long long degraded = 0;
+    long long short_circuits = 0;
+    long long wlan_open_seen = 0;
+    long long p2p_open_seen = 0;
+    long long checkpoints = 0;
+    double queue_depth_sum = 0.0;
+    double queue_wait_sum_ms = 0.0;
+
     std::string line;
     long long line_number = 0;
     Record record;
@@ -244,6 +257,30 @@ main(int argc, char **argv)
             ++skipped;
             continue;
         }
+        const std::string serve_outcome =
+            stringField(record, "serve_outcome");
+        if (!serve_outcome.empty()) {
+            ++serve_records;
+            ++by_serve_outcome[serve_outcome];
+            degraded += numberField(record, "degrade_level") > 0 ? 1 : 0;
+            short_circuits +=
+                boolField(record, "breaker_short_circuit") ? 1 : 0;
+            wlan_open_seen +=
+                stringField(record, "breaker_wlan") == "open" ? 1 : 0;
+            p2p_open_seen +=
+                stringField(record, "breaker_p2p") == "open" ? 1 : 0;
+            checkpoints = std::max(
+                checkpoints,
+                static_cast<long long>(
+                    numberField(record, "serve_checkpoints")));
+            queue_depth_sum += numberField(record, "queue_depth");
+            queue_wait_sum_ms += numberField(record, "queue_wait_ms");
+            // Shed arrivals never became decisions; keep them out of
+            // the decision mix and the per-decision means.
+            if (serve_outcome != "served") {
+                continue;
+            }
+        }
         ++total;
         ++by_target[stringField(record, "target")];
         ++by_policy[stringField(record, "policy")];
@@ -257,51 +294,89 @@ main(int argc, char **argv)
         reward_sum += numberField(record, "reward");
     }
 
-    if (total == 0) {
+    if (total == 0 && serve_records == 0) {
         std::cout << "No matching decision events in " << path
                   << " (" << skipped << " filtered out)\n";
         return 0;
     }
 
-    const double n = static_cast<double>(total);
+    const double n = static_cast<double>(std::max<long long>(1, total));
     const double mean_energy = energy_sum_j / n;
     std::cout << "Trace: " << path << " — " << total
               << " decision(s)";
+    if (serve_records > 0) {
+        std::cout << ", " << serve_records << " serving record(s)";
+    }
     if (skipped > 0) {
         std::cout << " (" << skipped << " filtered out)";
     }
     std::cout << "\n\n";
 
-    Table targets({"Target", "Decisions", "Share"});
-    for (const auto &[target, count] : by_target) {
-        targets.addRow({target, std::to_string(count),
-                        Table::pct(static_cast<double>(count) / n)});
-    }
-    targets.print(std::cout);
-    std::cout << "\n";
+    if (total > 0) {
+        Table targets({"Target", "Decisions", "Share"});
+        for (const auto &[target, count] : by_target) {
+            targets.addRow({target, std::to_string(count),
+                            Table::pct(static_cast<double>(count) / n)});
+        }
+        targets.print(std::cout);
+        std::cout << "\n";
 
-    Table summary({"Metric", "Value"});
-    if (by_policy.size() > 1) {
-        summary.addRow({"Policies",
-                        std::to_string(by_policy.size())});
+        Table summary({"Metric", "Value"});
+        if (by_policy.size() > 1) {
+            summary.addRow({"Policies",
+                            std::to_string(by_policy.size())});
+        }
+        summary.addRow({"QoS violations",
+                        Table::pct(static_cast<double>(qos_violations)
+                                   / n)});
+        summary.addRow({"Accuracy violations",
+                        Table::pct(
+                            static_cast<double>(accuracy_violations) / n)});
+        summary.addRow({"Fallback decisions",
+                        Table::pct(static_cast<double>(fallbacks) / n)});
+        summary.addRow({"Explored decisions",
+                        Table::pct(static_cast<double>(explored) / n)});
+        summary.addRow({"Mean latency (ms)",
+                        Table::num(latency_sum_ms / n, 2)});
+        summary.addRow({"Mean energy (mJ)",
+                        Table::num(mean_energy * 1e3, 2)});
+        summary.addRow({"PPW (1/J)",
+                        mean_energy > 0.0
+                            ? Table::num(1.0 / mean_energy, 2)
+                            : std::string("inf")});
+        summary.addRow({"Mean reward", Table::num(reward_sum / n, 3)});
+        summary.print(std::cout);
     }
-    summary.addRow({"QoS violations",
-                    Table::pct(static_cast<double>(qos_violations) / n)});
-    summary.addRow({"Accuracy violations",
-                    Table::pct(
-                        static_cast<double>(accuracy_violations) / n)});
-    summary.addRow({"Fallback decisions",
-                    Table::pct(static_cast<double>(fallbacks) / n)});
-    summary.addRow({"Explored decisions",
-                    Table::pct(static_cast<double>(explored) / n)});
-    summary.addRow({"Mean latency (ms)",
-                    Table::num(latency_sum_ms / n, 2)});
-    summary.addRow({"Mean energy (mJ)",
-                    Table::num(mean_energy * 1e3, 2)});
-    summary.addRow({"PPW (1/J)",
-                    mean_energy > 0.0 ? Table::num(1.0 / mean_energy, 2)
-                                      : std::string("inf")});
-    summary.addRow({"Mean reward", Table::num(reward_sum / n, 3)});
-    summary.print(std::cout);
+
+    if (serve_records > 0) {
+        const double sn = static_cast<double>(serve_records);
+        std::cout << "\nServing:\n";
+        Table serving({"Metric", "Value"});
+        for (const auto &[outcome, count] : by_serve_outcome) {
+            serving.addRow(
+                {outcome, std::to_string(count) + " ("
+                              + Table::pct(static_cast<double>(count) / sn)
+                              + ")"});
+        }
+        serving.addRow({"degraded decisions", std::to_string(degraded)});
+        serving.addRow({"breaker short-circuits",
+                        std::to_string(short_circuits)});
+        serving.addRow({"records with wlan breaker open",
+                        std::to_string(wlan_open_seen)});
+        serving.addRow({"records with p2p breaker open",
+                        std::to_string(p2p_open_seen)});
+        serving.addRow({"checkpoints written",
+                        std::to_string(checkpoints)});
+        serving.addRow({"mean queue depth",
+                        Table::num(queue_depth_sum / sn, 2)});
+        const long long served_count = total;
+        serving.addRow(
+            {"mean queue wait (ms)",
+             Table::num(queue_wait_sum_ms
+                            / static_cast<double>(
+                                std::max<long long>(1, served_count)),
+                        2)});
+        serving.print(std::cout);
+    }
     return 0;
 }

@@ -13,7 +13,8 @@ build="${1:-$repo/build}"
 
 cli="$build/tools/autoscale_cli"
 bench="$build/bench/bench_fig_faults"
-for binary in "$cli" "$bench"; do
+bench_serve="$build/bench/bench_fig_serve"
+for binary in "$cli" "$bench" "$bench_serve"; do
     if [[ ! -x "$binary" ]]; then
         echo "missing $binary — build first (cmake --build $build)" >&2
         exit 1
@@ -26,6 +27,13 @@ done
 
 "$bench" --steps 600 --seed 1 \
     > "$repo/tests/golden/bench_faults.golden"
+
+"$cli" serve --device Mi8Pro --scenario S1 --requests 200 --rate-x 2 \
+    --train-runs 20 --seed 1 --faults flaky-wifi \
+    > "$repo/tests/golden/serve.golden"
+
+"$bench_serve" --seed 1 --requests 200 --blackout-requests 600 \
+    > "$repo/tests/golden/bench_serve.golden"
 
 echo "updated:"
 git -C "$repo" --no-pager diff --stat -- tests/golden || true
