@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Decision-path throughput benchmark for the precomputed cost tables
+ * (DESIGN.md §13): single-threaded steps/sec for
+ *
+ *  (a) the oracle sweep — OptOracle::optimalTarget over every zoo
+ *      network on a seeded dynamic environment stream (the inner loop
+ *      of every `matched Opt` column and regret gate);
+ *  (b) the policy train step — AutoScaleScheduler choose + noisy
+ *      simulator execution + feedback (the per-inference training
+ *      cost); and
+ *  (c) the partition sweep — expectedPartitioned over every split
+ *      point with the interference-blinded environment, exactly the
+ *      NeuroSurgeon/MOSAIC inner search.
+ *
+ * Both the cached path and the `--direct` first-principles path run in
+ * one invocation by default (restrict with --cached / --direct);
+ * per-mode checksums over the produced outcomes are compared to assert
+ * the two paths computed the same numbers, and the speedups land in
+ * BENCH_decision_path.json. `--check` turns the ≥3x oracle-sweep and
+ * ≥5x partition-sweep speedup floors into a nonzero exit (the CI
+ * perf-regression gate).
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/oracle.h"
+#include "common.h"
+#include "core/scheduler.h"
+#include "dnn/model_zoo.h"
+#include "env/scenario.h"
+#include "obs/json.h"
+#include "sim/qos.h"
+
+using namespace autoscale;
+
+namespace {
+
+/** One workload's measurement in one mode. */
+struct Measurement {
+    std::int64_t steps = 0;
+    double seconds = 0.0;
+    double checksum = 0.0;
+
+    double
+    stepsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(steps) / seconds : 0.0;
+    }
+};
+
+/** All three workloads for one cache mode. */
+struct ModeResult {
+    Measurement oracle;
+    Measurement train;
+    Measurement partition;
+};
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Pre-sampled environment stream shared by both modes. */
+std::vector<env::EnvState>
+sampleEnvs(int steps, std::uint64_t seed)
+{
+    env::Scenario scenario(env::ScenarioId::D4);
+    Rng rng(seed);
+    std::vector<env::EnvState> envs;
+    envs.reserve(static_cast<std::size_t>(steps));
+    for (int i = 0; i < steps; ++i) {
+        envs.push_back(scenario.next(rng));
+    }
+    return envs;
+}
+
+/**
+ * (a) Oracle sweep: every zoo network × every env step. One step = one
+ * optimalTarget call (a full feasible-action-space argmin).
+ */
+Measurement
+benchOracleSweep(const sim::InferenceSimulator &sim,
+                 const std::vector<env::EnvState> &envs, int repeats)
+{
+    const baselines::OptOracle oracle(sim);
+    std::vector<sim::InferenceRequest> requests;
+    for (const dnn::Network &net : dnn::modelZoo()) {
+        requests.push_back(sim::makeRequest(net));
+    }
+    Measurement m;
+    const double start = now();
+    for (int r = 0; r < repeats; ++r) {
+        for (const env::EnvState &env : envs) {
+            for (const sim::InferenceRequest &request : requests) {
+                const sim::ExecutionTarget target =
+                    oracle.optimalTarget(request, env);
+                m.checksum += static_cast<double>(target.vfIndex)
+                    + 7.0 * static_cast<double>(target.proc)
+                    + 131.0 * static_cast<double>(target.place);
+                ++m.steps;
+            }
+        }
+    }
+    m.seconds = now() - start;
+    return m;
+}
+
+/**
+ * (b) Policy train step: epsilon-greedy choose, noisy simulated
+ * execution of the chosen action, reward feedback. One step = one full
+ * train iteration.
+ */
+Measurement
+benchTrainStep(const sim::InferenceSimulator &sim,
+               const std::vector<env::EnvState> &envs, int repeats,
+               std::uint64_t seed)
+{
+    core::AutoScaleScheduler scheduler(sim, core::SchedulerConfig{}, seed);
+    std::vector<sim::InferenceRequest> requests;
+    for (const dnn::Network &net : dnn::modelZoo()) {
+        requests.push_back(sim::makeRequest(net));
+    }
+    Rng rng(seed + 1);
+    Measurement m;
+    const double start = now();
+    for (int r = 0; r < repeats; ++r) {
+        for (const env::EnvState &env : envs) {
+            for (const sim::InferenceRequest &request : requests) {
+                const sim::ExecutionTarget target =
+                    scheduler.choose(request, env);
+                const sim::Outcome outcome =
+                    sim.run(*request.network, target, env, rng);
+                scheduler.feedback(outcome);
+                m.checksum += outcome.energyJ;
+                ++m.steps;
+            }
+        }
+        scheduler.finishEpisode();
+    }
+    m.seconds = now() - start;
+    return m;
+}
+
+/**
+ * (c) Partition sweep: the partitioner baselines' inner loop — every
+ * split point of Inception v3 (the deepest zoo network, the paper's
+ * Fig. 3 partitioning subject) on the local CPU at top frequency
+ * against the cloud, interference-blinded environment. One step = one
+ * expectedPartitioned call (two layer-range latencies + a boundary
+ * transfer).
+ */
+Measurement
+benchPartitionSweep(const sim::InferenceSimulator &sim,
+                    const std::vector<env::EnvState> &envs, int repeats)
+{
+    const dnn::Network &net = dnn::findModel("Inception v3");
+    const std::size_t num_layers = net.layers().size();
+    const std::size_t vf = sim.localDevice().cpu().maxVfIndex();
+    Measurement m;
+    const double start = now();
+    for (int r = 0; r < repeats; ++r) {
+        const env::EnvState &env = envs[static_cast<std::size_t>(r)
+                                        % envs.size()];
+        env::EnvState blinded = env;
+        blinded.coCpuUtil = 0.0;
+        blinded.coMemUtil = 0.0;
+        blinded.thermalFactor = 1.0;
+        sim::PartitionSpec spec;
+        spec.localProc = platform::ProcKind::MobileCpu;
+        spec.localPrecision = dnn::Precision::FP32;
+        spec.vfIndex = vf;
+        spec.remotePlace = sim::TargetPlace::Cloud;
+        for (std::size_t split = 0; split <= num_layers; ++split) {
+            spec.splitLayer = split;
+            const sim::Outcome outcome =
+                sim.expectedPartitioned(net, spec, blinded);
+            m.checksum += outcome.latencyMs;
+            ++m.steps;
+        }
+    }
+    m.seconds = now() - start;
+    return m;
+}
+
+ModeResult
+runMode(bool cached, const std::vector<env::EnvState> &envs,
+        int oracleRepeats, int trainRepeats, int partitionRepeats,
+        std::uint64_t seed)
+{
+    sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    sim.setUseCostCache(cached);
+    ModeResult result;
+    result.oracle = benchOracleSweep(sim, envs, oracleRepeats);
+    result.train = benchTrainStep(sim, envs, trainRepeats, seed);
+    result.partition = benchPartitionSweep(sim, envs, partitionRepeats);
+    return result;
+}
+
+void
+printMeasurement(const char *mode, const char *workload,
+                 const Measurement &m)
+{
+    std::cout << mode << " " << workload << ": "
+              << Table::num(m.stepsPerSec(), 0) << " steps/s ("
+              << m.steps << " steps in " << Table::num(m.seconds, 3)
+              << " s, checksum " << Table::num(m.checksum, 3) << ")\n";
+}
+
+std::string
+measurementJson(const Measurement &m)
+{
+    return std::string("{\"steps\":") + std::to_string(m.steps)
+        + ",\"seconds\":" + obs::jsonNumber(m.seconds)
+        + ",\"steps_per_sec\":" + obs::jsonNumber(m.stepsPerSec())
+        + ",\"checksum\":" + obs::jsonNumber(m.checksum) + "}";
+}
+
+std::string
+modeJson(const ModeResult &r)
+{
+    return std::string("{\"oracle_sweep\":") + measurementJson(r.oracle)
+        + ",\"train_step\":" + measurementJson(r.train)
+        + ",\"partition_sweep\":" + measurementJson(r.partition) + "}";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("--seed", 1));
+    const int envSteps = args.getInt("--env-steps", 40);
+    const int oracleRepeats = args.getInt("--oracle-repeats", 8);
+    const int trainRepeats = args.getInt("--train-repeats", 8);
+    const int partitionRepeats = args.getInt("--partition-repeats", 120);
+    const std::string out =
+        args.get("--out", "BENCH_decision_path.json");
+    const bool check = args.has("--check");
+    const bool onlyCached = args.has("--cached");
+    const bool onlyDirect = args.has("--direct");
+    const bool runCached = !onlyDirect;
+    const bool runDirect = !onlyCached;
+
+    bench::printHeader(
+        "Decision-path throughput: precomputed tables vs direct",
+        "Gate: cached >= 3x direct on the oracle sweep, >= 5x on the "
+        "partition sweep");
+
+    const std::vector<env::EnvState> envs = sampleEnvs(envSteps, seed);
+
+    ModeResult cached;
+    ModeResult direct;
+    if (runCached) {
+        // Warm-up pass (page in code/tables), then the measured pass.
+        runMode(true, envs, 1, 1, 2, seed);
+        cached = runMode(true, envs, oracleRepeats, trainRepeats,
+                         partitionRepeats, seed);
+        printMeasurement("cached", "oracle-sweep", cached.oracle);
+        printMeasurement("cached", "train-step", cached.train);
+        printMeasurement("cached", "partition-sweep", cached.partition);
+    }
+    if (runDirect) {
+        runMode(false, envs, 1, 1, 2, seed);
+        direct = runMode(false, envs, oracleRepeats, trainRepeats,
+                         partitionRepeats, seed);
+        printMeasurement("direct", "oracle-sweep", direct.oracle);
+        printMeasurement("direct", "train-step", direct.train);
+        printMeasurement("direct", "partition-sweep", direct.partition);
+    }
+
+    bool checksumsAgree = true;
+    double oracleSpeedup = 0.0;
+    double trainSpeedup = 0.0;
+    double partitionSpeedup = 0.0;
+    if (runCached && runDirect) {
+        // The cached path replays the direct path's exact FP sequence,
+        // and both modes reseed identically, so the checksums must be
+        // bit-equal — a free end-to-end parity assertion.
+        checksumsAgree = cached.oracle.checksum == direct.oracle.checksum
+            && cached.train.checksum == direct.train.checksum
+            && cached.partition.checksum == direct.partition.checksum;
+        oracleSpeedup =
+            cached.oracle.stepsPerSec() / direct.oracle.stepsPerSec();
+        trainSpeedup =
+            cached.train.stepsPerSec() / direct.train.stepsPerSec();
+        partitionSpeedup = cached.partition.stepsPerSec()
+            / direct.partition.stepsPerSec();
+        std::cout << "\nspeedup: oracle-sweep "
+                  << Table::num(oracleSpeedup, 2) << "x, train-step "
+                  << Table::num(trainSpeedup, 2) << "x, partition-sweep "
+                  << Table::num(partitionSpeedup, 2) << "x; checksums "
+                  << (checksumsAgree ? "agree" : "DISAGREE") << "\n";
+    }
+
+    std::ofstream json(out);
+    json << "{\"seed\":" << seed;
+    if (runCached) {
+        json << ",\"cached\":" << modeJson(cached);
+    }
+    if (runDirect) {
+        json << ",\"direct\":" << modeJson(direct);
+    }
+    if (runCached && runDirect) {
+        json << ",\"speedup\":{\"oracle_sweep\":"
+             << obs::jsonNumber(oracleSpeedup)
+             << ",\"train_step\":" << obs::jsonNumber(trainSpeedup)
+             << ",\"partition_sweep\":"
+             << obs::jsonNumber(partitionSpeedup) << "}"
+             << ",\"checksums_agree\":"
+             << (checksumsAgree ? "true" : "false")
+             << ",\"gates\":{\"oracle_min_3x\":"
+             << (oracleSpeedup >= 3.0 ? "true" : "false")
+             << ",\"partition_min_5x\":"
+             << (partitionSpeedup >= 5.0 ? "true" : "false") << "}";
+    }
+    json << "}\n";
+    std::cout << "Wrote " << out << "\n";
+
+    if (check) {
+        if (!(runCached && runDirect)) {
+            std::cerr << "--check requires both modes\n";
+            return 2;
+        }
+        if (!checksumsAgree) {
+            std::cerr << "FAIL: cached/direct checksums disagree\n";
+            return 1;
+        }
+        if (oracleSpeedup < 3.0) {
+            std::cerr << "FAIL: oracle-sweep speedup "
+                      << Table::num(oracleSpeedup, 2) << "x < 3x\n";
+            return 1;
+        }
+        if (partitionSpeedup < 5.0) {
+            std::cerr << "FAIL: partition-sweep speedup "
+                      << Table::num(partitionSpeedup, 2) << "x < 5x\n";
+            return 1;
+        }
+        std::cout << "CHECK PASSED\n";
+    }
+    return 0;
+}

@@ -22,21 +22,25 @@ printDistribution(const std::string &title,
                   const harness::RunStats &stats)
 {
     printBanner(std::cout, title);
+    // Bind the report-time maps once: the accessors build them by value.
+    const std::map<std::string, int> as_counts = stats.decisionCounts();
+    const std::map<std::string, int> opt_counts =
+        stats.optDecisionCounts();
     std::set<std::string> categories;
-    for (const auto &[category, count] : stats.decisionCounts()) {
+    for (const auto &[category, count] : as_counts) {
         categories.insert(category);
     }
-    for (const auto &[category, count] : stats.optDecisionCounts()) {
+    for (const auto &[category, count] : opt_counts) {
         categories.insert(category);
     }
     Table table({"Category", "AutoScale share", "Opt share"});
     for (const std::string &category : categories) {
-        const auto as_it = stats.decisionCounts().find(category);
-        const auto opt_it = stats.optDecisionCounts().find(category);
-        const double as_share = as_it == stats.decisionCounts().end()
+        const auto as_it = as_counts.find(category);
+        const auto opt_it = opt_counts.find(category);
+        const double as_share = as_it == as_counts.end()
             ? 0.0
             : static_cast<double>(as_it->second) / stats.count();
-        const double opt_share = opt_it == stats.optDecisionCounts().end()
+        const double opt_share = opt_it == opt_counts.end()
             ? 0.0
             : static_cast<double>(opt_it->second) / stats.count();
         table.addRow({category, Table::pct(as_share),

@@ -295,6 +295,25 @@ BM_MetricsCounterAndHistogram(benchmark::State &state)
 BENCHMARK(BM_MetricsCounterAndHistogram);
 
 void
+BM_MetricsCounterHandle(benchmark::State &state)
+{
+    // The serve loop's pre-resolved handle path: counter() once, then
+    // add() per event with no map lookup. Contrast with the inc()
+    // lookups in BM_MetricsCounterAndHistogram.
+    obs::MetricsRegistry metrics;
+    metrics.declareHistogram("eval.latency_ms",
+                             obs::MetricsRegistry::latencyBucketsMs());
+    obs::Counter &inferences = metrics.counter("eval.inferences");
+    double latency = 0.5;
+    for (auto _ : state) {
+        inferences.add();
+        metrics.observe("eval.latency_ms", latency);
+        latency = latency < 2000.0 ? latency * 1.7 : 0.5;
+    }
+}
+BENCHMARK(BM_MetricsCounterHandle);
+
+void
 BM_LearningTransfer(benchmark::State &state)
 {
     // One-time cost of re-keying a trained table onto another device.

@@ -10,6 +10,16 @@ namespace autoscale::baselines {
 OptOracle::OptOracle(const sim::InferenceSimulator &sim)
     : sim_(sim), name_("Opt"), actions_(core::buildActionSpace(sim))
 {
+    allActions_.reserve(actions_.size());
+    for (const sim::ExecutionTarget &action : actions_) {
+        allActions_.push_back(&action);
+        if (sim.targetAvailable(action, true)) {
+            feasibleActions_.push_back(&action);
+        }
+        if (sim.targetAvailable(action, false)) {
+            feasibleActionsRcOnly_.push_back(&action);
+        }
+    }
 }
 
 sim::ExecutionTarget
@@ -25,7 +35,17 @@ OptOracle::optimalTarget(const sim::InferenceRequest &request,
     double best_any_accuracy = -1.0;
     double best_any_energy = std::numeric_limits<double>::infinity();
 
-    for (const auto &action : actions_) {
+    // With the cost cache on, sweep only the precomputed feasible
+    // subset; infeasible candidates would be skipped inside the loop
+    // anyway, so the winner (and every tie-break) is unchanged.
+    const std::vector<const sim::ExecutionTarget *> &candidates =
+        sim_.usingCostCache()
+            ? (request.network->supportedOnCoProcessors()
+                   ? feasibleActions_
+                   : feasibleActionsRcOnly_)
+            : allActions_;
+    for (const sim::ExecutionTarget *candidate : candidates) {
+        const sim::ExecutionTarget &action = *candidate;
         const sim::Outcome outcome =
             sim_.expected(*request.network, action, env);
         if (!outcome.feasible) {

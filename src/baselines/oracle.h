@@ -46,6 +46,18 @@ class OptOracle : public SchedulingPolicy {
     const sim::InferenceSimulator &sim_;
     std::string name_;
     std::vector<sim::ExecutionTarget> actions_;
+    /**
+     * Order-preserving views into actions_, precomputed once: every
+     * action, and the feasible subsets for networks that may / may not
+     * use mobile co-processors (the only network-dependent feasibility
+     * clause). The sweep picks a view instead of re-running isFeasible
+     * per action per decision; order preservation keeps every tie-break
+     * identical to the exhaustive loop. Pointers stay valid across a
+     * move (vector buffers transfer ownership).
+     */
+    std::vector<const sim::ExecutionTarget *> allActions_;
+    std::vector<const sim::ExecutionTarget *> feasibleActions_;
+    std::vector<const sim::ExecutionTarget *> feasibleActionsRcOnly_;
 };
 
 /** Factory for symmetry with the other baselines. */

@@ -54,8 +54,9 @@ class PartitionerPolicy : public SchedulingPolicy {
 
         // The split search is deterministic given the network and the
         // observed link state (the models are interference-blind), so
-        // memoize on (network, quantized RSSI).
-        const CacheKey key{request.network->name(),
+        // memoize on (network id, quantized RSSI). The interned ModelId
+        // keys the map without per-decision string hashing/copies.
+        const CacheKey key{request.network->modelId(),
                            static_cast<int>(std::lround(env.rssiWlanDbm)),
                            static_cast<int>(std::lround(env.rssiP2pDbm))};
         const auto cached = cache_.find(key);
@@ -113,7 +114,7 @@ class PartitionerPolicy : public SchedulingPolicy {
     }
 
   private:
-    using CacheKey = std::tuple<std::string, int, int>;
+    using CacheKey = std::tuple<dnn::ModelId, int, int>;
 
     std::string name_;
     const sim::InferenceSimulator &sim_;

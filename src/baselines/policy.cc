@@ -7,11 +7,16 @@ namespace autoscale::baselines {
 std::string
 Decision::category() const
 {
+    return sim::targetCategoryName(categoryId());
+}
+
+sim::TargetCategoryId
+Decision::categoryId() const
+{
     if (!partitioned) {
-        return target.category();
+        return target.categoryId();
     }
-    return "Partitioned (" + std::string(
-        sim::targetPlaceName(partition.remotePlace)) + ")";
+    return sim::partitionedCategoryId(partition.remotePlace);
 }
 
 Decision

@@ -30,6 +30,9 @@ struct Decision {
 
     /** Coarse category for decision-distribution reports (Fig. 13). */
     std::string category() const;
+
+    /** Dense id of category() (no string building; hot tally paths). */
+    sim::TargetCategoryId categoryId() const;
 };
 
 /** Whole-model decision helper. */

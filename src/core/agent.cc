@@ -19,8 +19,24 @@ ConvergenceTracker::add(double reward)
 {
     ++count_;
     recent_.push_back(reward);
-    if (static_cast<int>(recent_.size()) > window_) {
+    sum_ += reward;
+    sumSq_ += reward * reward;
+    const std::size_t half = static_cast<std::size_t>(window_) / 2;
+    if (static_cast<int>(recent_.size()) == window_) {
+        // Window just filled: one O(window) pass seeds the split-half
+        // sum; every later add() maintains it incrementally.
+        firstHalfSum_ = 0.0;
+        for (std::size_t i = 0; i < half; ++i) {
+            firstHalfSum_ += recent_[i];
+        }
+    } else if (static_cast<int>(recent_.size()) > window_) {
+        const double dropped = recent_.front();
         recent_.pop_front();
+        sum_ -= dropped;
+        sumSq_ -= dropped * dropped;
+        // The window slid one step: the old front leaves the first
+        // half and the element now ending it (index half-1) enters.
+        firstHalfSum_ += recent_[half - 1] - dropped;
     }
 }
 
@@ -30,11 +46,7 @@ ConvergenceTracker::windowMean() const
     if (recent_.empty()) {
         return 0.0;
     }
-    double sum = 0.0;
-    for (double r : recent_) {
-        sum += r;
-    }
-    return sum / static_cast<double>(recent_.size());
+    return sum_ / static_cast<double>(recent_.size());
 }
 
 bool
@@ -48,21 +60,16 @@ ConvergenceTracker::converged() const
     // max-min spread criterion never fires for small-magnitude rewards
     // whose measurement noise exceeds the tolerance.
     const std::size_t half = recent_.size() / 2;
-    double first = 0.0;
-    double second = 0.0;
-    for (std::size_t i = 0; i < recent_.size(); ++i) {
-        (i < half ? first : second) += recent_[i];
-    }
-    first /= static_cast<double>(half);
-    second /= static_cast<double>(recent_.size() - half);
+    const double first = firstHalfSum_ / static_cast<double>(half);
+    const double second = (sum_ - firstHalfSum_)
+        / static_cast<double>(recent_.size() - half);
 
     const double mean = windowMean();
-    double var = 0.0;
-    for (double r : recent_) {
-        var += (r - mean) * (r - mean);
-    }
-    const double stddev =
-        std::sqrt(var / static_cast<double>(recent_.size()));
+    // E[r^2] - mean^2; clamped because cancellation can dip a tiny
+    // constant-reward variance below zero.
+    const double var = std::max(
+        sumSq_ / static_cast<double>(recent_.size()) - mean * mean, 0.0);
+    const double stddev = std::sqrt(var);
 
     const double scale = std::max(std::fabs(mean), 10.0);
     return std::fabs(second - first) <= tolerance_ * scale

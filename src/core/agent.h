@@ -78,6 +78,17 @@ class ConvergenceTracker {
     double tolerance_;
     int count_ = 0;
     std::deque<double> recent_;
+    /**
+     * Running aggregates kept in lockstep with recent_ so add() and
+     * converged() are O(1) instead of re-scanning the window: the
+     * window sum, sum of squares, and the sum of the first window half
+     * (updated incrementally as the window slides; initialized when it
+     * first fills). tests/test_agent pins verdict parity against the
+     * naive rescan on random reward streams.
+     */
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double firstHalfSum_ = 0.0;
 };
 
 /** Tabular Q-learning agent with epsilon-greedy exploration. */

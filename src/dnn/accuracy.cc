@@ -1,6 +1,8 @@
 #include "dnn/accuracy.h"
 
+#include <deque>
 #include <map>
+#include <mutex>
 
 #include "util/logging.h"
 
@@ -9,78 +11,144 @@ namespace autoscale::dnn {
 namespace {
 
 struct AccuracyRow {
-    double fp32;
-    double fp16;
-    double int8;
+    double fp32 = 0.0;
+    double fp16 = 0.0;
+    double int8 = 0.0;
+    // Interned names without a registered quality row (synthetic test
+    // networks that never call registerAccuracy) keep known == false and
+    // fatal on lookup, preserving the pre-interning error behaviour.
+    bool known = false;
 };
 
-std::map<std::string, AccuracyRow> &
-overlayTable()
+/**
+ * Name→id map plus id-indexed quality rows. Rows live in deques so that
+ * references/indices stay valid while new names are interned: the
+ * lock-free id-indexed read path in inferenceAccuracy(ModelId, ...)
+ * never observes relocated storage. Interning/registration still must
+ * not race with lookups (same discipline the overlay map had).
+ */
+struct ModelRegistry {
+    std::mutex mutex;
+    std::map<std::string, ModelId> ids;
+    std::deque<AccuracyRow> rows;
+    std::deque<std::string> names;
+    int numCanonical = 0;
+};
+
+ModelId
+internLocked(ModelRegistry &reg, const std::string &modelName)
 {
-    static std::map<std::string, AccuracyRow> overlay;
-    return overlay;
+    const auto [it, inserted] =
+        reg.ids.emplace(modelName, static_cast<ModelId>(reg.rows.size()));
+    if (inserted) {
+        reg.rows.emplace_back();
+        reg.names.push_back(modelName);
+    }
+    return it->second;
 }
 
-const std::map<std::string, AccuracyRow> &
-accuracyTable()
+ModelRegistry &
+registry()
 {
     // FP32 columns use published top-1 / normalized quality numbers;
     // INT8 columns reflect post-training quantization without
     // retraining. MobileNet v3 variants degrade severely under INT8,
     // reproducing the Fig. 4 behaviour (meets a 50% target locally but
     // needs the cloud for 65%).
-    static const std::map<std::string, AccuracyRow> table = {
-        {"Inception v1",     {69.8, 69.7, 60.5}},
-        {"Inception v3",     {77.9, 77.8, 76.8}},
-        {"MobileNet v1",     {70.9, 70.8, 68.9}},
-        {"MobileNet v2",     {71.8, 71.7, 70.1}},
-        {"MobileNet v3",     {75.2, 75.1, 54.7}},
-        {"ResNet 50",        {76.1, 76.0, 75.2}},
-        {"SSD MobileNet v1", {73.0, 72.9, 71.0}},
-        {"SSD MobileNet v2", {74.6, 74.5, 72.8}},
-        {"SSD MobileNet v3", {75.4, 75.3, 56.1}},
-        {"MobileBERT",       {90.0, 89.9, 88.2}},
-    };
-    return table;
+    static ModelRegistry *reg = [] {
+        auto *r = new ModelRegistry;
+        static const struct {
+            const char *name;
+            double fp32, fp16, int8;
+        } kCanonical[] = {
+            {"Inception v1",     69.8, 69.7, 60.5},
+            {"Inception v3",     77.9, 77.8, 76.8},
+            {"MobileNet v1",     70.9, 70.8, 68.9},
+            {"MobileNet v2",     71.8, 71.7, 70.1},
+            {"MobileNet v3",     75.2, 75.1, 54.7},
+            {"ResNet 50",        76.1, 76.0, 75.2},
+            {"SSD MobileNet v1", 73.0, 72.9, 71.0},
+            {"SSD MobileNet v2", 74.6, 74.5, 72.8},
+            {"SSD MobileNet v3", 75.4, 75.3, 56.1},
+            {"MobileBERT",       90.0, 89.9, 88.2},
+        };
+        for (const auto &row : kCanonical) {
+            const ModelId id = internLocked(*r, row.name);
+            r->rows[id] = AccuracyRow{row.fp32, row.fp16, row.int8, true};
+        }
+        r->numCanonical = static_cast<int>(r->rows.size());
+        return r;
+    }();
+    return *reg;
 }
 
 } // namespace
 
+ModelId
+internModelName(const std::string &modelName)
+{
+    ModelRegistry &reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    return internLocked(reg, modelName);
+}
+
+double
+inferenceAccuracy(ModelId id, Precision precision)
+{
+    const ModelRegistry &reg = registry();
+    AS_CHECK(id >= 0 && static_cast<std::size_t>(id) < reg.rows.size());
+    const AccuracyRow &row = reg.rows[id];
+    if (!row.known) {
+        fatal("inferenceAccuracy: unknown model '" + reg.names[id] + "'");
+    }
+    switch (precision) {
+      case Precision::FP32: return row.fp32;
+      case Precision::FP16: return row.fp16;
+      case Precision::INT8: return row.int8;
+    }
+    panic("inferenceAccuracy: unknown precision");
+}
+
 double
 inferenceAccuracy(const std::string &modelName, Precision precision)
 {
-    auto it = accuracyTable().find(modelName);
-    if (it == accuracyTable().end()) {
-        it = overlayTable().find(modelName);
-        if (it == overlayTable().end()) {
-            fatal("inferenceAccuracy: unknown model '" + modelName + "'");
+    ModelRegistry &reg = registry();
+    ModelId id = kInvalidModelId;
+    {
+        const std::lock_guard<std::mutex> lock(reg.mutex);
+        const auto it = reg.ids.find(modelName);
+        if (it != reg.ids.end()) {
+            id = it->second;
         }
     }
-    switch (precision) {
-      case Precision::FP32: return it->second.fp32;
-      case Precision::FP16: return it->second.fp16;
-      case Precision::INT8: return it->second.int8;
+    if (id == kInvalidModelId) {
+        fatal("inferenceAccuracy: unknown model '" + modelName + "'");
     }
-    panic("inferenceAccuracy: unknown precision");
+    return inferenceAccuracy(id, precision);
 }
 
 bool
 hasAccuracyEntry(const std::string &modelName)
 {
-    return accuracyTable().count(modelName) > 0
-        || overlayTable().count(modelName) > 0;
+    ModelRegistry &reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.ids.find(modelName);
+    return it != reg.ids.end() && reg.rows[it->second].known;
 }
 
 void
 registerAccuracy(const std::string &modelName, double fp32, double fp16,
                  double int8)
 {
-    if (accuracyTable().count(modelName) > 0) {
+    ModelRegistry &reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const ModelId id = internLocked(reg, modelName);
+    if (id < reg.numCanonical) {
         fatal("registerAccuracy: '" + modelName
               + "' is a canonical Table III entry");
     }
     AS_CHECK(fp32 > 0.0 && fp32 <= 100.0);
-    overlayTable()[modelName] = AccuracyRow{fp32, fp16, int8};
+    reg.rows[id] = AccuracyRow{fp32, fp16, int8, true};
 }
 
 } // namespace autoscale::dnn

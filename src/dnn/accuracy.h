@@ -7,6 +7,13 @@
  * quality for SSD models, and a normalized translation quality for
  * MobileBERT — so that the paper's absolute accuracy targets
  * (50% / 65% / 70%) apply uniformly.
+ *
+ * Model names are interned to dense ModelIds at Network construction
+ * time, so the per-decision hot path resolves a quality row with a flat
+ * array index instead of a string-keyed map probe. Interning and row
+ * registration must happen before any concurrent phase (the model zoo is
+ * built at static initialization; synthesized test networks register
+ * up front), matching the pre-existing overlay-table discipline.
  */
 
 #ifndef AUTOSCALE_DNN_ACCURACY_H_
@@ -18,6 +25,19 @@
 
 namespace autoscale::dnn {
 
+/** Dense id assigned to each distinct model name, in interning order. */
+using ModelId = int;
+
+/** Sentinel for "no model". */
+inline constexpr ModelId kInvalidModelId = -1;
+
+/**
+ * Intern @p modelName, returning its dense id (allocating one on first
+ * sight). Idempotent; the canonical Table III rows occupy ids [0, 10) in
+ * table order.
+ */
+ModelId internModelName(const std::string &modelName);
+
 /**
  * Inference quality (%) of @p modelName when executed at @p precision.
  * fatal() for unknown models.
@@ -28,6 +48,13 @@ namespace autoscale::dnn {
  * accuracy-target crossovers.
  */
 double inferenceAccuracy(const std::string &modelName, Precision precision);
+
+/**
+ * Flat-array overload of inferenceAccuracy for the decision hot path:
+ * no lock, no map probe. fatal() for ids with no registered quality row.
+ * Returns bit-identical values to the string overload.
+ */
+double inferenceAccuracy(ModelId id, Precision precision);
 
 /** Whether @p modelName is in the accuracy table. */
 bool hasAccuracyEntry(const std::string &modelName);

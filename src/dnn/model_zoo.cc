@@ -128,6 +128,13 @@ modelZoo()
         models.push_back(makeSsdMobileNetV2());
         models.push_back(makeSsdMobileNetV3());
         models.push_back(makeMobileBert());
+        // Zoo-build interning contract: the ten canonical names occupy
+        // dense ModelIds [0, 10) in table order, so id-indexed caches
+        // (accuracy rows, sim::CostModelCache) can address zoo models
+        // with a flat array lookup.
+        for (std::size_t i = 0; i < models.size(); ++i) {
+            AS_CHECK(models[i].modelId() == static_cast<ModelId>(i));
+        }
         return models;
     }();
     return zoo;

@@ -34,8 +34,8 @@ taskName(Task task)
 
 Network::Network(std::string name, Task task, std::uint64_t inputBytes,
                  std::uint64_t outputBytes)
-    : name_(std::move(name)), task_(task), inputBytes_(inputBytes),
-      outputBytes_(outputBytes)
+    : name_(std::move(name)), modelId_(internModelName(name_)), task_(task),
+      inputBytes_(inputBytes), outputBytes_(outputBytes)
 {
     AS_CHECK(inputBytes_ > 0);
     AS_CHECK(outputBytes_ > 0);

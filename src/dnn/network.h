@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "dnn/accuracy.h"
 #include "dnn/layer.h"
 
 namespace autoscale::dnn {
@@ -42,6 +43,14 @@ class Network {
     void addLayer(Layer layer);
 
     const std::string &name() const { return name_; }
+
+    /**
+     * Dense id interned from name() at construction; lets hot paths
+     * index flat per-model tables (accuracy rows, cost-model cache)
+     * instead of probing string-keyed maps.
+     */
+    ModelId modelId() const { return modelId_; }
+
     Task task() const { return task_; }
     std::uint64_t inputBytes() const { return inputBytes_; }
     std::uint64_t outputBytes() const { return outputBytes_; }
@@ -77,6 +86,7 @@ class Network {
 
   private:
     std::string name_;
+    ModelId modelId_ = kInvalidModelId;
     Task task_;
     std::uint64_t inputBytes_;
     std::uint64_t outputBytes_;

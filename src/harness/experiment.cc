@@ -356,7 +356,7 @@ evaluatePolicy(baselines::SchedulingPolicy &policy,
                 record.qosViolated = measured.latencyMs >= request.qosMs;
                 record.accuracyViolated = !outcome.feasible
                     || measured.accuracyPct < request.accuracyTargetPct;
-                record.decisionCategory = decision.category();
+                record.decisionCategory = decision.categoryId();
                 record.faultAttempts = fault_result.attempts;
                 record.faultTimeouts = fault_result.timeouts;
                 record.faultDrops = fault_result.drops;
@@ -375,7 +375,7 @@ evaluatePolicy(baselines::SchedulingPolicy &policy,
                         oracle.optimalTarget(request, env);
                     const sim::Outcome opt_outcome =
                         sim.expected(*network, opt, env);
-                    record.optCategory = opt.category();
+                    record.optCategory = opt.categoryId();
                     record.optEnergyJ = opt_outcome.energyJ;
                     record.optQosViolated =
                         opt_outcome.latencyMs >= request.qosMs;

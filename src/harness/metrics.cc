@@ -33,9 +33,12 @@ RunStats::add(const RunRecord &record)
         ++faultFallbacks_;
     }
     faultWastedEnergyJ_ += record.faultWastedEnergyJ;
-    ++decisionCounts_[record.decisionCategory];
-    if (!record.optCategory.empty()) {
-        ++optDecisionCounts_[record.optCategory];
+    if (record.decisionCategory != sim::TargetCategoryId::None) {
+        ++decisionCounts_[static_cast<std::size_t>(
+            record.decisionCategory)];
+    }
+    if (record.optCategory != sim::TargetCategoryId::None) {
+        ++optDecisionCounts_[static_cast<std::size_t>(record.optCategory)];
     }
 }
 
@@ -56,11 +59,9 @@ RunStats::merge(const RunStats &other)
     faultDrops_ += other.faultDrops_;
     faultFallbacks_ += other.faultFallbacks_;
     faultWastedEnergyJ_ += other.faultWastedEnergyJ_;
-    for (const auto &[category, count] : other.decisionCounts_) {
-        decisionCounts_[category] += count;
-    }
-    for (const auto &[category, count] : other.optDecisionCounts_) {
-        optDecisionCounts_[category] += count;
+    for (std::size_t i = 0; i < decisionCounts_.size(); ++i) {
+        decisionCounts_[i] += other.decisionCounts_[i];
+        optDecisionCounts_[i] += other.optDecisionCounts_[i];
     }
 }
 
@@ -168,17 +169,60 @@ RunStats::faultFallbackRatio() const
         / static_cast<double>(count_);
 }
 
+namespace {
+
+/** Nonzero tallies keyed by display name (sorted-name map order). */
+std::map<std::string, int>
+countsByName(const std::array<int, sim::kNumTargetCategories> &counts)
+{
+    std::map<std::string, int> named;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] != 0) {
+            named.emplace(
+                sim::targetCategoryName(
+                    static_cast<sim::TargetCategoryId>(i)),
+                counts[i]);
+        }
+    }
+    return named;
+}
+
+} // namespace
+
+std::map<std::string, int>
+RunStats::decisionCounts() const
+{
+    return countsByName(decisionCounts_);
+}
+
+std::map<std::string, int>
+RunStats::optDecisionCounts() const
+{
+    return countsByName(optDecisionCounts_);
+}
+
 double
 RunStats::decisionShare(const std::string &category) const
 {
-    if (count_ == 0) {
+    for (std::size_t i = 0; i < decisionCounts_.size(); ++i) {
+        if (category
+            == sim::targetCategoryName(
+                static_cast<sim::TargetCategoryId>(i))) {
+            return decisionShare(static_cast<sim::TargetCategoryId>(i));
+        }
+    }
+    return 0.0;
+}
+
+double
+RunStats::decisionShare(sim::TargetCategoryId id) const
+{
+    if (count_ == 0 || id == sim::TargetCategoryId::None) {
         return 0.0;
     }
-    const auto it = decisionCounts_.find(category);
-    if (it == decisionCounts_.end()) {
-        return 0.0;
-    }
-    return static_cast<double>(it->second) / static_cast<double>(count_);
+    return static_cast<double>(
+               decisionCounts_[static_cast<std::size_t>(id)])
+        / static_cast<double>(count_);
 }
 
 } // namespace autoscale::harness

@@ -8,9 +8,12 @@
 #ifndef AUTOSCALE_HARNESS_METRICS_H_
 #define AUTOSCALE_HARNESS_METRICS_H_
 
+#include <array>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "sim/target.h"
 
 namespace autoscale::harness {
 
@@ -21,7 +24,7 @@ struct RunRecord {
     double qosMs = 0.0;
     bool qosViolated = false;
     bool accuracyViolated = false;
-    std::string decisionCategory;
+    sim::TargetCategoryId decisionCategory = sim::TargetCategoryId::None;
     /** Whether the decision matched Opt at category level. */
     bool matchedOracle = false;
     /** Remote attempts under fault semantics (0 = fault path unused). */
@@ -39,7 +42,7 @@ struct RunRecord {
     /** Opt's expected energy for the same (request, env). */
     double optEnergyJ = 0.0;
     bool optQosViolated = false;
-    std::string optCategory;
+    sim::TargetCategoryId optCategory = sim::TargetCategoryId::None;
 };
 
 /** Aggregated statistics over a set of runs. */
@@ -100,16 +103,22 @@ class RunStats {
     /** Total energy burned on failed attempts and backoff gaps, J. */
     double faultWastedEnergyJ() const { return faultWastedEnergyJ_; }
 
-    /** Decision-category histogram (Fig. 13). */
-    const std::map<std::string, int> &decisionCounts() const
-    { return decisionCounts_; }
+    /**
+     * Decision-category histogram (Fig. 13), keyed by display name.
+     * Built at report time from the id-indexed tally (hot-path add()
+     * touches only a flat array); only nonzero categories appear, in
+     * sorted-name order as before.
+     */
+    std::map<std::string, int> decisionCounts() const;
 
     /** Opt's decision-category histogram. */
-    const std::map<std::string, int> &optDecisionCounts() const
-    { return optDecisionCounts_; }
+    std::map<std::string, int> optDecisionCounts() const;
 
     /** Share of decisions in @p category, [0, 1]. */
     double decisionShare(const std::string &category) const;
+
+    /** Share of decisions in category @p id, [0, 1]. */
+    double decisionShare(sim::TargetCategoryId id) const;
 
   private:
     int count_ = 0;
@@ -126,8 +135,8 @@ class RunStats {
     int faultDrops_ = 0;
     int faultFallbacks_ = 0;
     double faultWastedEnergyJ_ = 0.0;
-    std::map<std::string, int> decisionCounts_;
-    std::map<std::string, int> optDecisionCounts_;
+    std::array<int, sim::kNumTargetCategories> decisionCounts_{};
+    std::array<int, sim::kNumTargetCategories> optDecisionCounts_{};
 };
 
 } // namespace autoscale::harness

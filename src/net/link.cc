@@ -84,12 +84,19 @@ TransferResult
 WirelessLink::transfer(std::uint64_t txBytes, std::uint64_t rxBytes,
                        double rssiDbm) const
 {
+    return transferBits(static_cast<double>(txBytes) * 8.0,
+                        static_cast<double>(rxBytes) * 8.0, rssiDbm);
+}
+
+TransferResult
+WirelessLink::transferBits(double txBits, double rxBits, double rssiDbm) const
+{
     const double rate_mbps = dataRateMbps(rssiDbm);
     const double bits_per_ms = rate_mbps * 1e3; // Mbit/s == bit/us == kb/ms
 
     TransferResult result;
-    result.txMs = static_cast<double>(txBytes) * 8.0 / bits_per_ms;
-    result.rxMs = static_cast<double>(rxBytes) * 8.0 / bits_per_ms;
+    result.txMs = txBits / bits_per_ms;
+    result.rxMs = rxBits / bits_per_ms;
     result.fixedMs = fixedRttMs_;
     // Eq. (4) TX/RX terms: P^S_TX * t_TX + P^S_RX * t_RX.
     result.energyJ = txPowerW(rssiDbm) * result.txMs * 1e-3

@@ -94,6 +94,15 @@ class WirelessLink {
     TransferResult transfer(std::uint64_t txBytes, std::uint64_t rxBytes,
                             double rssiDbm) const;
 
+    /**
+     * transfer() with the payload pre-converted to bits
+     * (static_cast<double>(bytes) * 8.0 — an exact FP operation, so the
+     * two entry points are bit-identical). Lets per-network invariants
+     * be hoisted out of the decision loop (sim::CostModelCache).
+     */
+    TransferResult transferBits(double txBits, double rxBits,
+                                double rssiDbm) const;
+
   private:
     LinkKind kind_;
     double maxRateMbps_;

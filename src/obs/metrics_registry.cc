@@ -58,8 +58,18 @@ MetricsRegistry::operator=(const MetricsRegistry &other)
 void
 MetricsRegistry::inc(const std::string &name, std::int64_t delta)
 {
+    counter(name).add(delta);
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
     const std::lock_guard<std::mutex> lock(mutex_);
-    counters_[name] += delta;
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) {
+        return it->second;
+    }
+    return counters_.emplace(std::string(name), Counter()).first->second;
 }
 
 void
@@ -124,11 +134,11 @@ MetricsRegistry::observe(const std::string &name, double value)
 }
 
 std::int64_t
-MetricsRegistry::counter(const std::string &name) const
+MetricsRegistry::counterValue(const std::string &name) const
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    return it == counters_.end() ? 0 : it->second.value();
 }
 
 double
@@ -172,7 +182,7 @@ MetricsRegistry::merge(const MetricsRegistry &other)
     const MetricsRegistry snapshot(other);
     const std::lock_guard<std::mutex> lock(mutex_);
     for (const auto &[name, value] : snapshot.counters_) {
-        counters_[name] += value;
+        counters_[name].add(value.value());
     }
     for (const auto &[name, value] : snapshot.gauges_) {
         gauges_[name] = value;
@@ -223,7 +233,7 @@ MetricsRegistry::writeText(std::ostream &os) const
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (const auto &[name, value] : counters_) {
-        os << "counter " << name << ' ' << value << '\n';
+        os << "counter " << name << ' ' << value.value() << '\n';
     }
     for (const auto &[name, value] : gauges_) {
         os << "gauge " << name << ' ' << jsonNumber(value) << '\n';

@@ -16,11 +16,13 @@
 #ifndef AUTOSCALE_OBS_METRICS_REGISTRY_H_
 #define AUTOSCALE_OBS_METRICS_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace autoscale::obs {
@@ -31,6 +33,44 @@ namespace autoscale::obs {
  * trailing '_' (e.g. "Edge (CPU FP32)" -> "edge_cpu_fp32").
  */
 std::string metricSlug(const std::string &text);
+
+/**
+ * One registry counter, addressable without a name lookup. Handles come
+ * from MetricsRegistry::counter() and stay valid for the registry's
+ * lifetime (map nodes are stable) until clear() drops every metric.
+ * add() is lock-free; integer additions commute, so concurrent
+ * increments stay deterministic in aggregate (DESIGN.md §10).
+ */
+class Counter {
+  public:
+    Counter() = default;
+    Counter(const Counter &other)
+        : value_(other.value_.load(std::memory_order_relaxed))
+    {
+    }
+    Counter &
+    operator=(const Counter &other)
+    {
+        value_.store(other.value_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        return *this;
+    }
+
+    void
+    add(std::int64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
 
 /** Thread-safe, mergeable registry of counters, gauges, histograms. */
 class MetricsRegistry {
@@ -60,6 +100,14 @@ class MetricsRegistry {
     /** Add @p delta to counter @p name (creating it at zero). */
     void inc(const std::string &name, std::int64_t delta = 1);
 
+    /**
+     * Pre-resolved handle for counter @p name (created at zero when
+     * absent). Hot paths resolve once and call Counter::add() with no
+     * per-event map lookup; export order is unaffected because creation
+     * still lands in the sorted name map.
+     */
+    Counter &counter(std::string_view name);
+
     /** Set gauge @p name to @p value (last write wins). */
     void set(const std::string &name, double value);
 
@@ -79,7 +127,7 @@ class MetricsRegistry {
     void observe(const std::string &name, double value);
 
     /** Counter value (0 when absent). */
-    std::int64_t counter(const std::string &name) const;
+    std::int64_t counterValue(const std::string &name) const;
 
     /** Gauge value (0.0 when absent). */
     double gauge(const std::string &name) const;
@@ -136,7 +184,9 @@ class MetricsRegistry {
     void observeLocked(Histogram &histogram, double value);
 
     mutable std::mutex mutex_;
-    std::map<std::string, std::int64_t> counters_;
+    // Node-based map: Counter& handles survive later insertions.
+    // Heterogeneous std::less<> lets counter() probe by string_view.
+    std::map<std::string, Counter, std::less<>> counters_;
     std::map<std::string, double> gauges_;
     std::map<std::string, Histogram> histograms_;
 };

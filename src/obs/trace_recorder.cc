@@ -161,7 +161,7 @@ std::vector<DecisionEvent>
 TraceRecorder::snapshot() const
 {
     const std::lock_guard<std::mutex> lock(mutex_);
-    return events_;
+    return std::vector<DecisionEvent>(events_.begin(), events_.end());
 }
 
 void

@@ -21,6 +21,7 @@
 #define AUTOSCALE_OBS_TRACE_RECORDER_H_
 
 #include <cstddef>
+#include <deque>
 #include <iosfwd>
 #include <mutex>
 #include <string>
@@ -90,7 +91,13 @@ class TraceRecorder {
   private:
     bool enabled_;
     mutable std::mutex mutex_;
-    std::vector<DecisionEvent> events_;
+    /**
+     * Chunked storage: record() under load never triggers the
+     * move-every-event reallocation storms of a growing vector, so
+     * enabled-path overhead stays flat as traces grow (bench_overhead
+     * covers this path).
+     */
+    std::deque<DecisionEvent> events_;
 };
 
 /**

@@ -81,16 +81,37 @@ uniformBusyEnergyJ(const Processor &proc, std::size_t vfIndex, double busyMs,
     switch (proc.kind()) {
       case ProcKind::MobileCpu:
       case ProcKind::ServerCpu: {
-        std::vector<CoreActivity> per_core(
-            static_cast<std::size_t>(cores),
-            CoreActivity{BusyInterval{vfIndex, busyMs}});
-        return cpuEnergyJ(proc, per_core, windowMs);
+        // Allocation-free replay of cpuEnergyJ over `cores` identical
+        // single-interval cores: every sliceEnergyJ call would compute
+        // the same double, so compute it once and fold it in the same
+        // order the per-core loop would. This is the oracle sweep's
+        // per-action energy model; building the vector-of-vectors here
+        // cost several heap allocations per evaluated action.
+        AS_CHECK(vfIndex < proc.numVfSteps());
+        AS_CHECK(busyMs >= 0.0);
+        const double share = 1.0 / static_cast<double>(proc.numCores());
+        double slice_j = proc.busyPowerW(vfIndex) * share * busyMs * 1e-3;
+        slice_j += proc.idlePowerW() * share * (windowMs - busyMs) * 1e-3;
+        double energy_j = 0.0;
+        for (int core = 0; core < cores; ++core) {
+            energy_j += slice_j;
+        }
+        const int silent = proc.numCores() - cores;
+        energy_j += proc.idlePowerW() * share
+            * static_cast<double>(silent) * windowMs * 1e-3;
+        return energy_j;
       }
       case ProcKind::MobileGpu:
       case ProcKind::ServerGpu:
-      case ProcKind::ServerTpu:
-        return gpuEnergyJ(proc, CoreActivity{BusyInterval{vfIndex, busyMs}},
-                          windowMs);
+      case ProcKind::ServerTpu: {
+        // Same replay of gpuEnergyJ/sliceEnergyJ at powerShare 1.0.
+        AS_CHECK(vfIndex < proc.numVfSteps());
+        AS_CHECK(busyMs >= 0.0);
+        AS_CHECK(busyMs <= windowMs + 1e-9);
+        double energy_j = proc.busyPowerW(vfIndex) * 1.0 * busyMs * 1e-3;
+        energy_j += proc.idlePowerW() * 1.0 * (windowMs - busyMs) * 1e-3;
+        return energy_j;
+      }
       case ProcKind::MobileDsp:
       case ProcKind::MobileNpu:
         // Eq. (3)-style constant-power accelerators.

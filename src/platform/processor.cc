@@ -239,6 +239,27 @@ Processor::precisionPowerFactor(dnn::Precision precision) const
 }
 
 double
+Processor::vfFreqFrac(std::size_t vfIndex) const
+{
+    AS_CHECK(vfIndex < vfSteps_.size());
+    return vfSteps_[vfIndex].freqGhz / vfSteps_.back().freqGhz;
+}
+
+LayerCostTerms
+Processor::layerCostTerms(const dnn::Layer &layer,
+                          dnn::Precision precision) const
+{
+    LayerCostTerms terms;
+    terms.ops = 2.0 * static_cast<double>(layer.macs);
+    terms.computeEff = computeEfficiency(layer.kind);
+    terms.bytes = static_cast<double>(layer.memoryBytes())
+        * dnn::bytesPerElement(precision) / 4.0;
+    terms.memEff = memoryEfficiency(layer.kind);
+    terms.overheadMs = dispatchOverheadMs(layer.kind);
+    return terms;
+}
+
+double
 Processor::layerLatencyMs(const dnn::Layer &layer, dnn::Precision precision,
                           std::size_t vfIndex, const Derate &derate) const
 {
@@ -246,21 +267,21 @@ Processor::layerLatencyMs(const dnn::Layer &layer, dnn::Precision precision,
     AS_CHECK(derate.freqFactor > 0.0 && derate.freqFactor <= 1.0);
     AS_CHECK(derate.bandwidthFactor > 0.0 && derate.bandwidthFactor <= 1.0);
 
-    const double freq_frac = vfSteps_[vfIndex].freqGhz
-        / vfSteps_.back().freqGhz * derate.freqFactor;
+    // Expressed through vfFreqFrac/layerCostTerms with the same
+    // association order as the original inline formula, so cached replay
+    // (CostModelCache) matches bit-for-bit.
+    const double freq_frac = vfFreqFrac(vfIndex) * derate.freqFactor;
+    const LayerCostTerms terms = layerCostTerms(layer, precision);
 
     const double gflops = peakGflopsFp32_ * freq_frac
-        * precisionSpeedup(precision) * computeEfficiency(layer.kind);
-    const double ops = 2.0 * static_cast<double>(layer.macs);
-    const double compute_ms = ops / (gflops * 1e9) * 1e3;
+        * precisionSpeedup(precision) * terms.computeEff;
+    const double compute_ms = terms.ops / (gflops * 1e9) * 1e3;
 
-    const double bytes = static_cast<double>(layer.memoryBytes())
-        * dnn::bytesPerElement(precision) / 4.0;
     const double bandwidth = memBandwidthGBs_ * derate.bandwidthFactor
-        * memoryEfficiency(layer.kind);
-    const double memory_ms = bytes / (bandwidth * 1e9) * 1e3;
+        * terms.memEff;
+    const double memory_ms = terms.bytes / (bandwidth * 1e9) * 1e3;
 
-    return std::max(compute_ms, memory_ms) + dispatchOverheadMs(layer.kind);
+    return std::max(compute_ms, memory_ms) + terms.overheadMs;
 }
 
 double

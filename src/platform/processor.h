@@ -61,6 +61,20 @@ struct Derate {
     double bandwidthFactor = 1.0;
 };
 
+/**
+ * The derate-independent operands of the roofline layer-latency formula,
+ * factored out so precomputed cost tables (sim::CostModelCache) replay
+ * the exact FP operation sequence of layerLatencyMs. layerLatencyMs is
+ * itself defined in terms of these, so the decomposition cannot drift.
+ */
+struct LayerCostTerms {
+    double ops = 0.0;        ///< 2.0 * layer.macs
+    double computeEff = 0.0; ///< computeEfficiency(layer.kind)
+    double bytes = 0.0;      ///< memoryBytes * bytesPerElement(prec) / 4.0
+    double memEff = 0.0;     ///< memoryEfficiency(layer.kind)
+    double overheadMs = 0.0; ///< dispatchOverheadMs(layer.kind)
+};
+
 /** A compute unit with DVFS, roofline model, and power profile. */
 class Processor {
   public:
@@ -124,6 +138,18 @@ class Processor {
      * FP16 ~0.85 on mobile CPU/GPU).
      */
     double precisionPowerFactor(dnn::Precision precision) const;
+
+    /**
+     * Underated frequency fraction of a V/F step:
+     * vfSteps()[vfIndex].freqGhz / vfSteps().back().freqGhz. Multiplying
+     * by Derate::freqFactor reproduces layerLatencyMs's freq_frac with
+     * the identical operation order.
+     */
+    double vfFreqFrac(std::size_t vfIndex) const;
+
+    /** Derate-independent roofline operands for one layer (see above). */
+    LayerCostTerms layerCostTerms(const dnn::Layer &layer,
+                                  dnn::Precision precision) const;
 
     /**
      * Roofline latency of a single layer.

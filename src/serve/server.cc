@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <ostream>
@@ -79,33 +80,84 @@ makeServeEvent(const baselines::SchedulingPolicy &policy,
     return event;
 }
 
-void
-recordServeMetrics(obs::MetricsRegistry &metrics,
-                   const obs::DecisionEvent &event)
-{
-    metrics.inc("serve." + event.serveOutcome);
-    metrics.observe("serve.queue_depth",
-                    static_cast<double>(event.queueDepth));
-    if (event.serveOutcome != "served") {
-        return;
+/**
+ * Per-run serve counter handles. The fixed counters are resolved once
+ * at construction and the per-outcome / per-category names memoized on
+ * first sight, so the steady-state loop increments through pre-resolved
+ * handles with no string building or registry name lookups.
+ */
+class ServeMetricsRecorder {
+  public:
+    explicit ServeMetricsRecorder(obs::MetricsRegistry &metrics)
+        : metrics_(metrics),
+          qosViolations_(&metrics.counter("serve.qos_violations")),
+          degraded_(&metrics.counter("serve.degraded")),
+          breakerShortCircuits_(
+              &metrics.counter("serve.breaker.short_circuits")),
+          faultFallbacks_(&metrics.counter("serve.fault.fallbacks")),
+          checkpoints_(&metrics.counter("serve.checkpoints"))
+    {
     }
-    metrics.inc("serve.decisions." + obs::metricSlug(event.category));
-    if (event.qosViolated) {
-        metrics.inc("serve.qos_violations");
+
+    /** Handle for the checkpoint-written counter. */
+    obs::Counter &checkpoints() { return *checkpoints_; }
+
+    void
+    record(const obs::DecisionEvent &event)
+    {
+        counterFor(outcomeCounters_, event.serveOutcome, [&] {
+            return "serve." + event.serveOutcome;
+        }).add();
+        metrics_.observe("serve.queue_depth",
+                         static_cast<double>(event.queueDepth));
+        if (event.serveOutcome != "served") {
+            return;
+        }
+        counterFor(decisionCounters_, event.category, [&] {
+            return "serve.decisions." + obs::metricSlug(event.category);
+        }).add();
+        if (event.qosViolated) {
+            qosViolations_->add();
+        }
+        if (event.degradeLevel > 0) {
+            degraded_->add();
+        }
+        if (event.breakerShortCircuit) {
+            breakerShortCircuits_->add();
+        }
+        if (event.faultFallback) {
+            faultFallbacks_->add();
+        }
+        metrics_.observe("serve.wait_ms", event.queueWaitMs);
+        metrics_.observe("serve.latency_ms", event.latencyMs);
+        metrics_.observe("serve.energy_mj", event.energyJ * 1e3);
     }
-    if (event.degradeLevel > 0) {
-        metrics.inc("serve.degraded");
+
+  private:
+    /** Memoized handle; @p makeName runs only on first sight of key. */
+    template <typename NameFn>
+    obs::Counter &
+    counterFor(std::map<std::string, obs::Counter *> &memo,
+               const std::string &key, NameFn &&makeName)
+    {
+        const auto it = memo.find(key);
+        if (it != memo.end()) {
+            return *it->second;
+        }
+        obs::Counter &counter = metrics_.counter(makeName());
+        memo.emplace(key, &counter);
+        return counter;
     }
-    if (event.breakerShortCircuit) {
-        metrics.inc("serve.breaker.short_circuits");
-    }
-    if (event.faultFallback) {
-        metrics.inc("serve.fault.fallbacks");
-    }
-    metrics.observe("serve.wait_ms", event.queueWaitMs);
-    metrics.observe("serve.latency_ms", event.latencyMs);
-    metrics.observe("serve.energy_mj", event.energyJ * 1e3);
-}
+
+    obs::MetricsRegistry &metrics_;
+    obs::Counter *qosViolations_;
+    obs::Counter *degraded_;
+    obs::Counter *breakerShortCircuits_;
+    obs::Counter *faultFallbacks_;
+    obs::Counter *checkpoints_;
+    std::map<std::string, obs::Counter *> outcomeCounters_;
+    std::map<std::string, obs::Counter *> decisionCounters_;
+};
 
 } // namespace
 
@@ -303,8 +355,10 @@ runServe(const sim::InferenceSimulator &sim, const ServeConfig &config,
     fault::RetryPolicy probeRetry = config.retry;
     probeRetry.maxRetries = 0;
 
+    std::optional<ServeMetricsRecorder> serveMetrics;
     if (obs.metering()) {
         declareServeHistograms(*obs.metrics);
+        serveMetrics.emplace(*obs.metrics);
     }
 
     double clockMs = 0.0;
@@ -325,8 +379,8 @@ runServe(const sim::InferenceSimulator &sim, const ServeConfig &config,
             fatal("serve: checkpoint failed: " + error);
         }
         stats.checkpointsWritten = manager->written();
-        if (obs.metering()) {
-            obs.metrics->inc("serve.checkpoints");
+        if (serveMetrics) {
+            serveMetrics->checkpoints().add();
         }
     };
 
@@ -344,8 +398,8 @@ runServe(const sim::InferenceSimulator &sim, const ServeConfig &config,
             event.breakerWlan = breakerStateName(wlanBreaker.state());
             event.breakerP2p = breakerStateName(p2pBreaker.state());
         }
-        if (obs.metering()) {
-            recordServeMetrics(*obs.metrics, event);
+        if (serveMetrics) {
+            serveMetrics->record(event);
         }
         if (obs.tracing()) {
             obs.trace->record(std::move(event));
@@ -538,8 +592,8 @@ runServe(const sim::InferenceSimulator &sim, const ServeConfig &config,
                 event.breakerP2p = breakerStateName(p2pBreaker.state());
             }
             policy->describeLastDecision(event);
-            if (obs.metering()) {
-                recordServeMetrics(*obs.metrics, event);
+            if (serveMetrics) {
+                serveMetrics->record(event);
             }
             if (obs.tracing()) {
                 obs.trace->record(std::move(event));

@@ -1,0 +1,218 @@
+#include "sim/cost_model_cache.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "dnn/accuracy.h"
+#include "dnn/model_zoo.h"
+#include "util/logging.h"
+
+namespace autoscale::sim {
+
+namespace {
+
+constexpr dnn::Precision kPrecisions[] = {
+    dnn::Precision::FP32, dnn::Precision::FP16, dnn::Precision::INT8};
+
+/**
+ * One (network, processor, precision) table. The unit-derate tables are
+ * built with the exact operation sequence of Processor::layerLatencyMs
+ * at Derate{1.0, 1.0}: multiplying by a factor of exactly 1.0 is an
+ * identity in IEEE-754, so the precomputed values equal what the direct
+ * path computes, bit for bit.
+ */
+CostModelCache::ConfigTable
+buildConfig(const dnn::Network &net, const platform::Processor &proc,
+            dnn::Precision precision)
+{
+    CostModelCache::ConfigTable t;
+    const std::vector<dnn::Layer> &layers = net.layers();
+    const std::size_t num_layers = layers.size();
+
+    t.peakGflops = proc.peakGflopsFp32();
+    t.precisionSpeedup = proc.precisionSpeedup(precision);
+    t.memBandwidthGBs = proc.memBandwidthGBs();
+    t.accuracyPct = dnn::inferenceAccuracy(net.modelId(), precision);
+
+    t.ops.reserve(num_layers);
+    t.computeEff.reserve(num_layers);
+    t.bytes.reserve(num_layers);
+    t.memEff.reserve(num_layers);
+    t.overheadMs.reserve(num_layers);
+    t.memoryMs.reserve(num_layers);
+    for (const dnn::Layer &layer : layers) {
+        const platform::LayerCostTerms terms =
+            proc.layerCostTerms(layer, precision);
+        t.ops.push_back(terms.ops);
+        t.computeEff.push_back(terms.computeEff);
+        t.bytes.push_back(terms.bytes);
+        t.memEff.push_back(terms.memEff);
+        t.overheadMs.push_back(terms.overheadMs);
+        // Unit-derate memory term: (memBW * 1.0) * memEff == memBW * memEff.
+        const double bandwidth = t.memBandwidthGBs * terms.memEff;
+        t.memoryMs.push_back(terms.bytes / (bandwidth * 1e9) * 1e3);
+    }
+
+    const std::size_t top = proc.maxVfIndex();
+    t.vf.resize(proc.numVfSteps());
+    for (std::size_t v = 0; v < proc.numVfSteps(); ++v) {
+        CostModelCache::VfSlice &slice = t.vf[v];
+        slice.freqFrac = proc.vfFreqFrac(v);
+        // Unit-derate hoist: freq_frac * 1.0 == freq_frac, and
+        // ((peak * freq_frac) * spd) is the layer-invariant prefix of
+        // the left-associated gflops product.
+        const double peak_ff_spd =
+            t.peakGflops * slice.freqFrac * t.precisionSpeedup;
+        slice.computeMs.reserve(num_layers);
+        slice.latencyMs.reserve(num_layers);
+        slice.prefixMs.assign(num_layers + 1, 0.0);
+        double running = 0.0;
+        for (std::size_t i = 0; i < num_layers; ++i) {
+            const double gflops = peak_ff_spd * t.computeEff[i];
+            const double compute_ms = t.ops[i] / (gflops * 1e9) * 1e3;
+            slice.computeMs.push_back(compute_ms);
+            const double latency_ms =
+                std::max(compute_ms, t.memoryMs[i]) + t.overheadMs[i];
+            slice.latencyMs.push_back(latency_ms);
+            running += latency_ms;
+            slice.prefixMs[i + 1] = running;
+        }
+        slice.totalMs = slice.prefixMs[num_layers];
+        if (v == top) {
+            // Tail sums must be left folds from each start index — a
+            // right-to-left recurrence or prefix subtraction would round
+            // differently. O(L^2) build, but only at the top V/F step
+            // (the only step remote executions and partition specs use).
+            slice.tailMs.assign(num_layers + 1, 0.0);
+            for (std::size_t s = 0; s < num_layers; ++s) {
+                double total = 0.0;
+                for (std::size_t i = s; i < num_layers; ++i) {
+                    total += slice.latencyMs[i];
+                }
+                slice.tailMs[s] = total;
+            }
+        }
+    }
+    return t;
+}
+
+} // namespace
+
+double
+CostModelCache::ConfigTable::networkLatencyMs(
+    std::size_t vfIndex, const platform::Derate &derate) const
+{
+    return rangeLatencyMs(0, ops.size(), vfIndex, derate);
+}
+
+double
+CostModelCache::ConfigTable::rangeLatencyMs(
+    std::size_t first, std::size_t last, std::size_t vfIndex,
+    const platform::Derate &derate) const
+{
+    AS_CHECK(vfIndex < vf.size());
+    AS_CHECK(first <= last && last <= ops.size());
+    AS_CHECK(derate.freqFactor > 0.0 && derate.freqFactor <= 1.0);
+    AS_CHECK(derate.bandwidthFactor > 0.0 && derate.bandwidthFactor <= 1.0);
+    const VfSlice &slice = vf[vfIndex];
+
+    if (derate.freqFactor == 1.0 && derate.bandwidthFactor == 1.0) {
+        // The unit-derate tables ARE the direct computation (x * 1.0 is
+        // exact), so anchored ranges read one precomputed partial sum.
+        if (first == 0) {
+            return slice.prefixMs[last];
+        }
+        if (last == ops.size() && !slice.tailMs.empty()) {
+            return slice.tailMs[first];
+        }
+        double total = 0.0;
+        for (std::size_t i = first; i < last; ++i) {
+            total += slice.latencyMs[i];
+        }
+        return total;
+    }
+
+    // Derated replay: same FP operations as layerLatencyMs in the same
+    // order, with the layer-invariant product prefixes hoisted.
+    const double freq_frac = slice.freqFrac * derate.freqFactor;
+    const double peak_ff_spd = peakGflops * freq_frac * precisionSpeedup;
+    const double derated_bw = memBandwidthGBs * derate.bandwidthFactor;
+    double total = 0.0;
+    for (std::size_t i = first; i < last; ++i) {
+        const double gflops = peak_ff_spd * computeEff[i];
+        const double compute_ms = ops[i] / (gflops * 1e9) * 1e3;
+        const double bandwidth = derated_bw * memEff[i];
+        const double memory_ms = bytes[i] / (bandwidth * 1e9) * 1e3;
+        total += std::max(compute_ms, memory_ms) + overheadMs[i];
+    }
+    return total;
+}
+
+void
+CostModelCache::build(const platform::Device &local,
+                      const platform::Device &connected,
+                      const platform::Device &cloud)
+{
+    const std::vector<dnn::Network> &zoo = dnn::modelZoo();
+    entries_.clear();
+    entries_.resize(zoo.size());
+
+    const struct {
+        TargetPlace place;
+        const platform::Device *device;
+    } places[] = {
+        {TargetPlace::Local, &local},
+        {TargetPlace::ConnectedEdge, &connected},
+        {TargetPlace::Cloud, &cloud},
+    };
+
+    for (std::size_t n = 0; n < zoo.size(); ++n) {
+        const dnn::Network &net = zoo[n];
+        AS_CHECK(net.modelId() == static_cast<dnn::ModelId>(n));
+        NetworkEntry &entry = entries_[n];
+        entry.network = &net;
+        entry.txBits = static_cast<double>(net.inputBytes()) * 8.0;
+        entry.rxBits = static_cast<double>(net.outputBytes()) * 8.0;
+        for (auto &place_row : entry.configIndex) {
+            for (auto &kind_row : place_row) {
+                kind_row.fill(-1);
+            }
+        }
+
+        const std::size_t num_layers = net.layers().size();
+        for (const dnn::Precision precision : kPrecisions) {
+            // Partition-boundary payload, replicating the activation
+            // quantize + clamp math of measurePartitioned exactly.
+            std::vector<double> &bits =
+                entry.splitTxBits[precisionIndex(precision)];
+            bits.assign(num_layers + 1, 0.0);
+            for (std::size_t s = 1; s <= num_layers; ++s) {
+                const dnn::Layer &boundary = net.layers()[s - 1];
+                const auto tx_bytes = static_cast<std::uint64_t>(
+                    static_cast<double>(boundary.activationBytes)
+                    * dnn::bytesPerElement(precision) / 4.0);
+                bits[s] = static_cast<double>(
+                              std::max<std::uint64_t>(tx_bytes, 1))
+                    * 8.0;
+            }
+        }
+
+        for (const auto &pd : places) {
+            for (const platform::Processor *proc : pd.device->processors()) {
+                for (const dnn::Precision precision : kPrecisions) {
+                    if (!proc->supportsPrecision(precision)) {
+                        continue;
+                    }
+                    entry.configIndex[static_cast<std::size_t>(pd.place)]
+                                     [static_cast<std::size_t>(proc->kind())]
+                                     [precisionIndex(precision)] =
+                        static_cast<int>(entry.configs.size());
+                    entry.configs.push_back(
+                        buildConfig(net, *proc, precision));
+                }
+            }
+        }
+    }
+}
+
+} // namespace autoscale::sim

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Precomputed decision-path cost tables. Everything the per-decision hot
+ * loops derive from data fixed at startup — the roofline layer latencies
+ * of every (model-zoo network × device processor × precision × V/F
+ * step), the per-network accuracy rows, and the per-network transfer
+ * payload sizes — is computed once when an InferenceSimulator is built
+ * and then served as flat-array lookups:
+ *
+ *  - whole-network latency at any derate is a tight two-array max-loop
+ *    (or a single prefix-sum read when the derate is the identity, which
+ *    covers every remote execution and the interference-blinded
+ *    partition sweep);
+ *  - layer-range latency for the partition-search baselines is O(1) off
+ *    prefix sums for [0, s) ranges and tail sums for [s, L) ranges;
+ *  - transfer payloads are pre-converted to bits so the per-decision
+ *    radio model skips the byte→bit conversions.
+ *
+ * Parity contract: the cached evaluation performs the exact FP
+ * operations of the direct path in the same order, so cached and direct
+ * results agree bit-for-bit (see DESIGN.md §13 and tests/test_cost_cache).
+ * The two exact building blocks are (a) hoisting a *prefix* of a
+ * left-associated multiply chain, and (b) reusing left-fold partial sums
+ * for ranges anchored at either end of the layer list; interior ranges
+ * replay the per-layer loop instead (still table-driven, never a
+ * prefix-sum subtraction, which would round differently).
+ *
+ * Invalidation rules: none. Devices, links, and zoo networks are
+ * immutable after InferenceSimulator construction, so the tables are
+ * never rebuilt. Networks not in the cache (synthetic test networks)
+ * transparently fall back to the direct path.
+ */
+
+#ifndef AUTOSCALE_SIM_COST_MODEL_CACHE_H_
+#define AUTOSCALE_SIM_COST_MODEL_CACHE_H_
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "dnn/network.h"
+#include "dnn/precision.h"
+#include "platform/device.h"
+#include "platform/processor.h"
+#include "sim/target.h"
+
+namespace autoscale::sim {
+
+/** Dense index of a Precision (FP32=0, FP16=1, INT8=2). */
+inline std::size_t
+precisionIndex(dnn::Precision precision)
+{
+    return static_cast<std::size_t>(precision);
+}
+
+/** Precomputed cost tables for one simulator's devices over the zoo. */
+class CostModelCache {
+  public:
+    /** Per-V/F-step tables of one (network, processor, precision). */
+    struct VfSlice {
+        /** Processor::vfFreqFrac(vf) — underated frequency fraction. */
+        double freqFrac = 1.0;
+        /** Unit-derate compute term per layer. */
+        std::vector<double> computeMs;
+        /** Unit-derate layer latency: max(compute, memory) + overhead. */
+        std::vector<double> latencyMs;
+        /** prefixMs[i] = left-fold sum of latencyMs[0..i); size L+1. */
+        std::vector<double> prefixMs;
+        /**
+         * tailMs[i] = left-fold sum of latencyMs[i..L); size L+1. Only
+         * populated at the top V/F step (the only step partition specs
+         * and remote executions use); empty otherwise.
+         */
+        std::vector<double> tailMs;
+        /** Whole-network unit-derate latency (== prefixMs[L]). */
+        double totalMs = 0.0;
+    };
+
+    /** Tables for one (network, place, processor kind, precision). */
+    struct ConfigTable {
+        // Derate-independent replay operands (Processor::layerCostTerms),
+        // SoA per layer.
+        std::vector<double> ops;
+        std::vector<double> computeEff;
+        std::vector<double> bytes;
+        std::vector<double> memEff;
+        std::vector<double> overheadMs;
+        /** Unit-derate memory term per layer (V/F-independent). */
+        std::vector<double> memoryMs;
+        double peakGflops = 0.0;
+        double precisionSpeedup = 1.0;
+        double memBandwidthGBs = 0.0;
+        /** dnn::inferenceAccuracy(network, precision). */
+        double accuracyPct = 0.0;
+        std::vector<VfSlice> vf;
+
+        /**
+         * Bit-identical replacement for Processor::networkLatencyMs.
+         * Unit derates read one prefix sum; others replay the exact
+         * per-layer operation sequence off the SoA operands.
+         */
+        double networkLatencyMs(std::size_t vfIndex,
+                                const platform::Derate &derate) const;
+
+        /** Bit-identical replacement for Processor::layerRangeLatencyMs. */
+        double rangeLatencyMs(std::size_t first, std::size_t last,
+                              std::size_t vfIndex,
+                              const platform::Derate &derate) const;
+    };
+
+    /** Per-network invariants plus its config tables. */
+    struct NetworkEntry {
+        const dnn::Network *network = nullptr;
+        /** inputBytes * 8.0 / outputBytes * 8.0 (exact conversions). */
+        double txBits = 0.0;
+        double rxBits = 0.0;
+        /**
+         * Partition-boundary uplink payload in bits, per local precision:
+         * splitTxBits[p][s] for split s in [1, L] replicates the
+         * activation-quantization and clamp math of measurePartitioned.
+         * Index 0 is unused (split 0 has no boundary transfer).
+         */
+        std::array<std::vector<double>, 3> splitTxBits;
+        /**
+         * configIndex[place][kind][precision] → index into configs, or
+         * -1 when the processor is absent or the precision unsupported.
+         */
+        std::array<std::array<std::array<int, 3>, 7>, 3> configIndex;
+        std::vector<ConfigTable> configs;
+
+        const ConfigTable *
+        table(TargetPlace place, platform::ProcKind kind,
+              dnn::Precision precision) const
+        {
+            const int idx =
+                configIndex[static_cast<std::size_t>(place)]
+                           [static_cast<std::size_t>(kind)]
+                           [precisionIndex(precision)];
+            return idx >= 0 ? &configs[static_cast<std::size_t>(idx)]
+                            : nullptr;
+        }
+    };
+
+    CostModelCache() = default;
+
+    /**
+     * Build tables for every zoo network on every processor of the three
+     * devices. Called once from the InferenceSimulator constructor; the
+     * cache holds no pointers into the devices, so a moved simulator
+     * stays valid.
+     */
+    void build(const platform::Device &local,
+               const platform::Device &connected,
+               const platform::Device &cloud);
+
+    /**
+     * The entry for @p network, or nullptr when it is not a zoo network
+     * (callers then take the direct path). Resolution is a flat index by
+     * ModelId plus an identity check guarding same-name reconstructions.
+     */
+    const NetworkEntry *
+    entry(const dnn::Network &network) const
+    {
+        const dnn::ModelId id = network.modelId();
+        if (id < 0 || static_cast<std::size_t>(id) >= entries_.size()) {
+            return nullptr;
+        }
+        const NetworkEntry &e = entries_[static_cast<std::size_t>(id)];
+        return e.network == &network ? &e : nullptr;
+    }
+
+    /** Convenience: the config table for one execution choice. */
+    const ConfigTable *
+    table(const dnn::Network &network, TargetPlace place,
+          platform::ProcKind kind, dnn::Precision precision) const
+    {
+        const NetworkEntry *e = entry(network);
+        return e != nullptr ? e->table(place, kind, precision) : nullptr;
+    }
+
+  private:
+    /** Indexed by ModelId (the zoo occupies the dense prefix [0, 10)). */
+    std::vector<NetworkEntry> entries_;
+};
+
+} // namespace autoscale::sim
+
+#endif // AUTOSCALE_SIM_COST_MODEL_CACHE_H_

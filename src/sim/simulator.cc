@@ -52,6 +52,28 @@ InferenceSimulator::InferenceSimulator(platform::Device local,
     AS_CHECK(connected_.tier() != platform::DeviceTier::Server);
     AS_CHECK(wlan_.kind() == net::LinkKind::Wlan);
     AS_CHECK(p2p_.kind() == net::LinkKind::PeerToPeer);
+
+    costCache_.build(local_, connected_, cloud_);
+
+    // bestLocalTarget candidates in the exact enumeration order of the
+    // direct path (processors() × precision at top frequency), split by
+    // the only network-dependent feasibility clause so the per-call
+    // filter reduces to a list selection.
+    for (const platform::Processor *proc : local_.processors()) {
+        for (const dnn::Precision precision :
+             {dnn::Precision::FP32, dnn::Precision::FP16,
+              dnn::Precision::INT8}) {
+            const ExecutionTarget candidate{
+                TargetPlace::Local, proc->kind(), proc->maxVfIndex(),
+                precision};
+            if (targetAvailable(candidate, true)) {
+                localFallbacks_.push_back(candidate);
+            }
+            if (targetAvailable(candidate, false)) {
+                localFallbacksRcOnly_.push_back(candidate);
+            }
+        }
+    }
 }
 
 InferenceSimulator
@@ -75,35 +97,57 @@ InferenceSimulator::deviceAt(TargetPlace place) const
 }
 
 void
+InferenceSimulator::setObserver(obs::MetricsRegistry *metrics)
+{
+    metricsObserver_ = metrics;
+    counters_ = ObserverCounters{};
+    if (metrics == nullptr) {
+        return;
+    }
+    // Resolve every handle once; the hot path then increments through
+    // stable pointers with no per-event name lookup. Handles stay valid
+    // until the registry is cleared or destroyed (it must outlive the
+    // simulator per the setObserver contract).
+    counters_.runs = &metrics->counter("sim.runs");
+    counters_.expected = &metrics->counter("sim.expected");
+    counters_.infeasible = &metrics->counter("sim.infeasible");
+    counters_.execPartitioned = &metrics->counter("sim.exec.partitioned");
+    counters_.execLocal = &metrics->counter("sim.exec.local");
+    counters_.execConnectedEdge =
+        &metrics->counter("sim.exec.connected_edge");
+    counters_.execCloud = &metrics->counter("sim.exec.cloud");
+    counters_.faultFallbacks = &metrics->counter("sim.fault.fallbacks");
+}
+
+void
 InferenceSimulator::countExecution(TargetPlace place, bool noisy,
                                    bool feasible, bool partitioned) const
 {
-    obs::MetricsRegistry *metrics = metricsObserver_;
-    if (metrics == nullptr) {
+    if (metricsObserver_ == nullptr) {
         return;
     }
     // Integer counters only: they commute, so concurrent evaluation
     // loops sharing this simulator still export deterministic totals.
-    metrics->inc(noisy ? "sim.runs" : "sim.expected");
+    (noisy ? counters_.runs : counters_.expected)->add();
     if (!feasible) {
-        metrics->inc("sim.infeasible");
+        counters_.infeasible->add();
         return;
     }
     if (partitioned) {
-        metrics->inc("sim.exec.partitioned");
+        counters_.execPartitioned->add();
     }
     switch (place) {
-      case TargetPlace::Local: metrics->inc("sim.exec.local"); break;
+      case TargetPlace::Local: counters_.execLocal->add(); break;
       case TargetPlace::ConnectedEdge:
-        metrics->inc("sim.exec.connected_edge");
+        counters_.execConnectedEdge->add();
         break;
-      case TargetPlace::Cloud: metrics->inc("sim.exec.cloud"); break;
+      case TargetPlace::Cloud: counters_.execCloud->add(); break;
     }
 }
 
 bool
-InferenceSimulator::isFeasible(const dnn::Network &network,
-                               const ExecutionTarget &target) const
+InferenceSimulator::targetAvailable(const ExecutionTarget &target,
+                                    bool coProcessorsUsable) const
 {
     const platform::Device &device = deviceAt(target.place);
     const platform::Processor *proc = device.processor(target.proc);
@@ -125,10 +169,17 @@ InferenceSimulator::isFeasible(const dnn::Network &network,
     }
     // Middleware limitation: recurrent/attention networks are not
     // deployable on mobile co-processors (Section III, footnote 3).
-    if (isCoProcessor(target.proc) && !network.supportedOnCoProcessors()) {
+    if (isCoProcessor(target.proc) && !coProcessorsUsable) {
         return false;
     }
     return true;
+}
+
+bool
+InferenceSimulator::isFeasible(const dnn::Network &network,
+                               const ExecutionTarget &target) const
+{
+    return targetAvailable(target, network.supportedOnCoProcessors());
 }
 
 double
@@ -141,7 +192,15 @@ InferenceSimulator::remoteComputeMs(const dnn::Network &network,
     const platform::Processor *p = device.processor(proc);
     AS_CHECK(p != nullptr);
     // Remote systems run at their top frequency with no on-device
-    // interference.
+    // interference, so the precomputed unit-derate total is the whole
+    // answer: one array read instead of the per-layer roofline loop.
+    if (useCostCache_) {
+        const CostModelCache::ConfigTable *table =
+            costCache_.table(network, place, proc, precision);
+        if (table != nullptr) {
+            return table->vf[p->maxVfIndex()].totalMs;
+        }
+    }
     return p->networkLatencyMs(network, precision, p->maxVfIndex());
 }
 
@@ -158,8 +217,12 @@ InferenceSimulator::measure(const dnn::Network &network,
     }
     countExecution(target.place, rng != nullptr, true, false);
     outcome.feasible = true;
-    outcome.accuracyPct =
-        dnn::inferenceAccuracy(network.name(), target.precision);
+    // The id lookup is a flat array read; the name overload is the
+    // string-keyed probe the --direct benchmark baseline measures. Both
+    // return the same row.
+    outcome.accuracyPct = useCostCache_
+        ? dnn::inferenceAccuracy(network.modelId(), target.precision)
+        : dnn::inferenceAccuracy(network.name(), target.precision);
 
     // Rest-of-system power charged to the inference for its duration.
     // The co-runner's own consumption is NOT attributed to the
@@ -170,8 +233,14 @@ InferenceSimulator::measure(const dnn::Network &network,
     if (target.place == TargetPlace::Local) {
         const platform::Processor *proc = local_.processor(target.proc);
         const platform::Derate derate = env::derateFor(target.proc, env);
-        double compute_ms = proc->networkLatencyMs(
-            network, target.precision, target.vfIndex, derate);
+        const CostModelCache::ConfigTable *table = useCostCache_
+            ? costCache_.table(network, TargetPlace::Local, target.proc,
+                               target.precision)
+            : nullptr;
+        double compute_ms = table != nullptr
+            ? table->networkLatencyMs(target.vfIndex, derate)
+            : proc->networkLatencyMs(network, target.precision,
+                                     target.vfIndex, derate);
         if (rng != nullptr) {
             compute_ms *= rng->lognormalFactor(kComputeNoiseSigma);
         }
@@ -192,8 +261,12 @@ InferenceSimulator::measure(const dnn::Network &network,
         const double rssi =
             to_cloud ? env.rssiWlanDbm : env.rssiP2pDbm;
 
-        net::TransferResult transfer = link.transfer(
-            network.inputBytes(), network.outputBytes(), rssi);
+        const CostModelCache::NetworkEntry *entry =
+            useCostCache_ ? costCache_.entry(network) : nullptr;
+        net::TransferResult transfer = entry != nullptr
+            ? link.transferBits(entry->txBits, entry->rxBits, rssi)
+            : link.transfer(network.inputBytes(), network.outputBytes(),
+                            rssi);
         double remote_ms = remoteComputeMs(network, target.place,
                                            target.proc, target.precision)
             * remoteSlowdown;
@@ -248,6 +321,27 @@ InferenceSimulator::bestLocalTarget(const dnn::Network &network,
     ExecutionTarget best{TargetPlace::Local, platform::ProcKind::MobileCpu,
                          local_.cpu().maxVfIndex(), dnn::Precision::FP32};
     double best_j = -1.0;
+    if (useCostCache_) {
+        // The feasibility filter was hoisted to construction; the
+        // candidate order (and therefore every tie-break and the
+        // expected() call sequence) matches the direct loop exactly.
+        const std::vector<ExecutionTarget> &candidates =
+            network.supportedOnCoProcessors() ? localFallbacks_
+                                              : localFallbacksRcOnly_;
+        const dnn::ModelId id = network.modelId();
+        for (const ExecutionTarget &candidate : candidates) {
+            if (dnn::inferenceAccuracy(id, candidate.precision)
+                < accuracyTargetPct) {
+                continue;
+            }
+            const Outcome o = expected(network, candidate, env);
+            if (best_j < 0.0 || o.energyJ < best_j) {
+                best = candidate;
+                best_j = o.energyJ;
+            }
+        }
+        return best;
+    }
     for (const platform::Processor *proc : local_.processors()) {
         for (const dnn::Precision precision :
              {dnn::Precision::FP32, dnn::Precision::FP16,
@@ -359,7 +453,7 @@ InferenceSimulator::runWithFaults(const dnn::Network &network,
     fallback.estimatedEnergyJ += result.wastedEnergyJ;
     result.outcome = fallback;
     if (metricsObserver_ != nullptr) {
-        metricsObserver_->inc("sim.fault.fallbacks");
+        counters_.faultFallbacks->add();
     }
     return result;
 }
@@ -416,30 +510,56 @@ InferenceSimulator::measurePartitioned(const dnn::Network &network,
     countExecution(spec.remotePlace, rng != nullptr, true, true);
     outcome.feasible = true;
 
-    const platform::Derate derate = env::derateFor(spec.localProc, env);
-    double local_ms = proc->layerRangeLatencyMs(
-        network, 0, spec.splitLayer, spec.localPrecision, spec.vfIndex,
-        derate);
+    const CostModelCache::NetworkEntry *entry =
+        useCostCache_ ? costCache_.entry(network) : nullptr;
 
+    // Local prefix [0, split): one prefix-sum read when the derate is
+    // the identity, an exact table-driven replay otherwise.
+    const platform::Derate derate = env::derateFor(spec.localProc, env);
+    const CostModelCache::ConfigTable *local_table = entry != nullptr
+        ? entry->table(TargetPlace::Local, spec.localProc,
+                       spec.localPrecision)
+        : nullptr;
+    double local_ms = local_table != nullptr
+        ? local_table->rangeLatencyMs(0, spec.splitLayer, spec.vfIndex,
+                                      derate)
+        : proc->layerRangeLatencyMs(network, 0, spec.splitLayer,
+                                    spec.localPrecision, spec.vfIndex,
+                                    derate);
+
+    // Remote tail [split, L) at top frequency, unit derate: one
+    // tail-sum read.
     const platform::Processor *rp = remote.processor(remote_proc);
     AS_CHECK(rp != nullptr);
-    double remote_ms = rp->layerRangeLatencyMs(
-        network, spec.splitLayer, num_layers, remote_prec,
-        rp->maxVfIndex());
-
-    // Intermediate activations of the boundary layer cross the link at
-    // the local precision.
-    const auto &boundary = network.layers()[spec.splitLayer - 1];
-    const auto tx_bytes = static_cast<std::uint64_t>(
-        static_cast<double>(boundary.activationBytes)
-        * dnn::bytesPerElement(spec.localPrecision) / 4.0);
+    const CostModelCache::ConfigTable *remote_table = entry != nullptr
+        ? entry->table(spec.remotePlace, remote_proc, remote_prec)
+        : nullptr;
+    double remote_ms = remote_table != nullptr
+        ? remote_table->rangeLatencyMs(spec.splitLayer, num_layers,
+                                       rp->maxVfIndex(),
+                                       platform::Derate{})
+        : rp->layerRangeLatencyMs(network, spec.splitLayer, num_layers,
+                                  remote_prec, rp->maxVfIndex());
 
     const bool to_cloud = spec.remotePlace == TargetPlace::Cloud;
     const net::WirelessLink &link = to_cloud ? wlan_ : p2p_;
     const double rssi = to_cloud ? env.rssiWlanDbm : env.rssiP2pDbm;
-    net::TransferResult transfer =
-        link.transfer(std::max<std::uint64_t>(tx_bytes, 1),
-                      network.outputBytes(), rssi);
+    net::TransferResult transfer;
+    if (entry != nullptr) {
+        transfer = link.transferBits(
+            entry->splitTxBits[precisionIndex(spec.localPrecision)]
+                              [spec.splitLayer],
+            entry->rxBits, rssi);
+    } else {
+        // Intermediate activations of the boundary layer cross the link
+        // at the local precision.
+        const auto &boundary = network.layers()[spec.splitLayer - 1];
+        const auto tx_bytes = static_cast<std::uint64_t>(
+            static_cast<double>(boundary.activationBytes)
+            * dnn::bytesPerElement(spec.localPrecision) / 4.0);
+        transfer = link.transfer(std::max<std::uint64_t>(tx_bytes, 1),
+                                 network.outputBytes(), rssi);
+    }
 
     if (rng != nullptr) {
         local_ms *= rng->lognormalFactor(kComputeNoiseSigma);
@@ -454,9 +574,14 @@ InferenceSimulator::measurePartitioned(const dnn::Network &network,
     outcome.txMs = transfer.txMs;
     outcome.rxMs = transfer.rxMs;
     outcome.latencyMs = local_ms + transfer.totalMs() + remote_ms;
-    outcome.accuracyPct = std::min(
-        dnn::inferenceAccuracy(network.name(), spec.localPrecision),
-        dnn::inferenceAccuracy(network.name(), remote_prec));
+    outcome.accuracyPct = useCostCache_
+        ? std::min(
+              dnn::inferenceAccuracy(network.modelId(),
+                                     spec.localPrecision),
+              dnn::inferenceAccuracy(network.modelId(), remote_prec))
+        : std::min(
+              dnn::inferenceAccuracy(network.name(), spec.localPrecision),
+              dnn::inferenceAccuracy(network.name(), remote_prec));
 
     const int cores = proc->kind() == platform::ProcKind::MobileCpu
         ? proc->numCores() : 1;

@@ -25,6 +25,7 @@
 #include "net/link.h"
 #include "obs/metrics_registry.h"
 #include "platform/device.h"
+#include "sim/cost_model_cache.h"
 #include "sim/target.h"
 #include "util/rng.h"
 
@@ -129,6 +130,18 @@ class InferenceSimulator {
     bool isFeasible(const dnn::Network &network,
                     const ExecutionTarget &target) const;
 
+    /**
+     * The network-independent part of isFeasible: whether @p target
+     * exists on its device, matches its place, supports its precision
+     * and V/F step — with the one network-dependent clause (mobile
+     * co-processors cannot run recurrent/attention networks)
+     * parameterized. Baselines precompute feasible-action subsets per
+     * co-processor class with this and skip per-decision isFeasible
+     * calls entirely.
+     */
+    bool targetAvailable(const ExecutionTarget &target,
+                         bool coProcessorsUsable) const;
+
     /** Noisy measured execution (the real-system observation). */
     Outcome run(const dnn::Network &network, const ExecutionTarget &target,
                 const env::EnvState &env, Rng &rng) const;
@@ -188,16 +201,42 @@ class InferenceSimulator {
      * integer counters are recorded, so a registry may be shared by
      * concurrent callers without breaking the determinism contract.
      * The registry must outlive the simulator (or be detached first).
+     * Counter handles are resolved here, once, so per-execution
+     * accounting is a lock-free add with no name lookup.
      */
-    void setObserver(obs::MetricsRegistry *metrics)
-    {
-        metricsObserver_ = metrics;
-    }
+    void setObserver(obs::MetricsRegistry *metrics);
 
     /** The attached metrics observer (nullptr when none). */
     obs::MetricsRegistry *observer() const { return metricsObserver_; }
 
+    /**
+     * Toggle the precomputed decision-path tables (default on). The
+     * direct path recomputes every latency/accuracy/transfer quantity
+     * from first principles; both paths produce bit-identical numbers
+     * (the cache replays the exact FP operation sequence), so this
+     * exists only as the benchmark baseline and parity-test control.
+     */
+    void setUseCostCache(bool use) { useCostCache_ = use; }
+
+    /** Whether decisions are served from the precomputed tables. */
+    bool usingCostCache() const { return useCostCache_; }
+
+    /** The precomputed tables (built once at construction). */
+    const CostModelCache &costCache() const { return costCache_; }
+
   private:
+    /** Pre-resolved observer counter handles (null when detached). */
+    struct ObserverCounters {
+        obs::Counter *runs = nullptr;
+        obs::Counter *expected = nullptr;
+        obs::Counter *infeasible = nullptr;
+        obs::Counter *execPartitioned = nullptr;
+        obs::Counter *execLocal = nullptr;
+        obs::Counter *execConnectedEdge = nullptr;
+        obs::Counter *execCloud = nullptr;
+        obs::Counter *faultFallbacks = nullptr;
+    };
+
     void countExecution(TargetPlace place, bool noisy, bool feasible,
                         bool partitioned) const;
 
@@ -220,6 +259,16 @@ class InferenceSimulator {
     net::WirelessLink wlan_;
     net::WirelessLink p2p_;
     obs::MetricsRegistry *metricsObserver_ = nullptr;
+    ObserverCounters counters_;
+    CostModelCache costCache_;
+    bool useCostCache_ = true;
+    /**
+     * bestLocalTarget candidate lists, precomputed in processors() ×
+     * precision order at top frequency: one for networks that may use
+     * mobile co-processors, one for those that may not.
+     */
+    std::vector<ExecutionTarget> localFallbacks_;
+    std::vector<ExecutionTarget> localFallbacksRcOnly_;
 };
 
 } // namespace autoscale::sim

@@ -26,18 +26,72 @@ ExecutionTarget::label() const
     return oss.str();
 }
 
+const char *
+targetCategoryName(TargetCategoryId id)
+{
+    switch (id) {
+      case TargetCategoryId::EdgeCpu: return "Edge (CPU)";
+      case TargetCategoryId::EdgeGpu: return "Edge (GPU)";
+      case TargetCategoryId::EdgeDsp: return "Edge (DSP)";
+      case TargetCategoryId::EdgeNpu: return "Edge (NPU)";
+      case TargetCategoryId::EdgeTpu: return "Edge (TPU)";
+      case TargetCategoryId::ConnectedEdge: return "Connected Edge";
+      case TargetCategoryId::Cloud: return "Cloud";
+      case TargetCategoryId::PartitionedLocal:
+        return "Partitioned (Local)";
+      case TargetCategoryId::PartitionedConnectedEdge:
+        return "Partitioned (Connected Edge)";
+      case TargetCategoryId::PartitionedCloud:
+        return "Partitioned (Cloud)";
+      case TargetCategoryId::None: return "";
+    }
+    panic("targetCategoryName: unknown id");
+}
+
+TargetCategoryId
+partitionedCategoryId(TargetPlace remotePlace)
+{
+    switch (remotePlace) {
+      case TargetPlace::Local: return TargetCategoryId::PartitionedLocal;
+      case TargetPlace::ConnectedEdge:
+        return TargetCategoryId::PartitionedConnectedEdge;
+      case TargetPlace::Cloud: return TargetCategoryId::PartitionedCloud;
+    }
+    panic("partitionedCategoryId: unknown place");
+}
+
 std::string
 ExecutionTarget::category() const
 {
+    return targetCategoryName(categoryId());
+}
+
+TargetCategoryId
+ExecutionTarget::categoryId() const
+{
     switch (place) {
       case TargetPlace::Local:
-        return std::string("Edge (") + platform::procKindName(proc) + ")";
+        switch (proc) {
+          case platform::ProcKind::MobileCpu:
+          case platform::ProcKind::ServerCpu:
+            return TargetCategoryId::EdgeCpu;
+          case platform::ProcKind::MobileGpu:
+          case platform::ProcKind::ServerGpu:
+            return TargetCategoryId::EdgeGpu;
+          case platform::ProcKind::MobileDsp:
+            return TargetCategoryId::EdgeDsp;
+          case platform::ProcKind::MobileNpu:
+            return TargetCategoryId::EdgeNpu;
+          case platform::ProcKind::ServerTpu:
+            return TargetCategoryId::EdgeTpu;
+        }
+        panic("categoryId: unknown proc kind");
       case TargetPlace::ConnectedEdge:
-        return "Connected Edge";
+        return TargetCategoryId::ConnectedEdge;
       case TargetPlace::Cloud:
-        return "Cloud";
+        return TargetCategoryId::Cloud;
     }
-    panic("category: unknown place");
+    panic("categoryId: unknown place");
 }
 
 } // namespace autoscale::sim

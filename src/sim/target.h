@@ -11,6 +11,7 @@
 #define AUTOSCALE_SIM_TARGET_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "dnn/precision.h"
@@ -28,6 +29,35 @@ enum class TargetPlace {
 /** Human-readable place name. */
 const char *targetPlaceName(TargetPlace place);
 
+/**
+ * Dense id of the coarse decision category (Fig. 13 distributions).
+ * Hot accumulation paths (harness::RunStats) index arrays by this id and
+ * convert to the display strings only at report time.
+ */
+enum class TargetCategoryId : std::uint8_t {
+    EdgeCpu,
+    EdgeGpu,
+    EdgeDsp,
+    EdgeNpu,
+    EdgeTpu,
+    ConnectedEdge,
+    Cloud,
+    PartitionedLocal,
+    PartitionedConnectedEdge,
+    PartitionedCloud,
+    None, ///< Sentinel: no decision recorded.
+};
+
+/** Number of real categories (excludes None). */
+inline constexpr std::size_t kNumTargetCategories =
+    static_cast<std::size_t>(TargetCategoryId::None);
+
+/** Display name, e.g. "Edge (DSP)" or "Partitioned (Cloud)". */
+const char *targetCategoryName(TargetCategoryId id);
+
+/** Category of a partitioned decision offloading to @p remotePlace. */
+TargetCategoryId partitionedCategoryId(TargetPlace remotePlace);
+
 /** A fully specified execution decision. */
 struct ExecutionTarget {
     TargetPlace place = TargetPlace::Local;
@@ -44,6 +74,9 @@ struct ExecutionTarget {
      * or "Cloud".
      */
     std::string category() const;
+
+    /** Dense id of category() (same partition, no string building). */
+    TargetCategoryId categoryId() const;
 
     bool
     operator==(const ExecutionTarget &other) const

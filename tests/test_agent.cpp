@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <deque>
 
 #include "core/agent.h"
 #include "util/rng.h"
@@ -165,6 +167,105 @@ TEST(ConvergenceTracker, RecoversAfterTransient)
     }
     EXPECT_TRUE(tracker.converged());
     EXPECT_EQ(tracker.count(), 20);
+}
+
+/**
+ * The pre-optimization tracker: rescans the whole window on every
+ * converged() call. Kept here as the reference implementation for the
+ * verdict-parity pin on the O(1) running-sum tracker.
+ */
+class NaiveConvergenceTracker {
+  public:
+    NaiveConvergenceTracker(int window, double tolerance)
+        : window_(window), tolerance_(tolerance)
+    {
+    }
+
+    void
+    add(double reward)
+    {
+        recent_.push_back(reward);
+        if (static_cast<int>(recent_.size()) > window_) {
+            recent_.pop_front();
+        }
+    }
+
+    double
+    windowMean() const
+    {
+        if (recent_.empty()) {
+            return 0.0;
+        }
+        double sum = 0.0;
+        for (const double r : recent_) {
+            sum += r;
+        }
+        return sum / static_cast<double>(recent_.size());
+    }
+
+    bool
+    converged() const
+    {
+        if (static_cast<int>(recent_.size()) < window_) {
+            return false;
+        }
+        const std::size_t half = recent_.size() / 2;
+        double first_sum = 0.0;
+        double second_sum = 0.0;
+        for (std::size_t i = 0; i < recent_.size(); ++i) {
+            (i < half ? first_sum : second_sum) += recent_[i];
+        }
+        const double first = first_sum / static_cast<double>(half);
+        const double second =
+            second_sum / static_cast<double>(recent_.size() - half);
+
+        const double mean = windowMean();
+        double sq = 0.0;
+        for (const double r : recent_) {
+            sq += (r - mean) * (r - mean);
+        }
+        const double stddev =
+            std::sqrt(sq / static_cast<double>(recent_.size()));
+
+        const double scale = std::max(std::fabs(mean), 10.0);
+        return std::fabs(second - first) <= tolerance_ * scale
+            && stddev <= 0.5 * scale;
+    }
+
+  private:
+    int window_;
+    double tolerance_;
+    std::deque<double> recent_;
+};
+
+TEST(ConvergenceTracker, MatchesNaiveVerdictsOnRandomStream)
+{
+    ConvergenceTracker fast(10, 0.08);
+    NaiveConvergenceTracker naive(10, 0.08);
+    Rng rng(20260805);
+    // Mix of regimes: noisy rewards, near-constant plateaus (the
+    // converged case), and level shifts, at the millijoule reward
+    // magnitudes training produces.
+    double level = -120.0;
+    int converged_verdicts = 0;
+    for (int step = 0; step < 5000; ++step) {
+        if (step % 250 == 0) {
+            level = -200.0 * rng.uniform();
+        }
+        const bool plateau = (step / 125) % 2 == 1;
+        const double noise = plateau ? 0.5 : 80.0;
+        const double reward = level + noise * (rng.uniform() - 0.5);
+        fast.add(reward);
+        naive.add(reward);
+        ASSERT_EQ(fast.converged(), naive.converged())
+            << "verdicts diverged at step " << step;
+        EXPECT_NEAR(fast.windowMean(), naive.windowMean(), 1e-9);
+        converged_verdicts += fast.converged() ? 1 : 0;
+    }
+    // The stream must actually exercise both verdicts for the parity
+    // pin to mean anything.
+    EXPECT_GT(converged_verdicts, 100);
+    EXPECT_LT(converged_verdicts, 4900);
 }
 
 } // namespace

@@ -9,7 +9,7 @@ namespace {
 
 RunRecord
 record(double energyJ, double latencyMs, bool qos_violated,
-       const std::string &category)
+       sim::TargetCategoryId category)
 {
     RunRecord r;
     r.energyJ = energyJ;
@@ -23,8 +23,8 @@ record(double energyJ, double latencyMs, bool qos_violated,
 TEST(RunStats, AccumulatesMeansAndRatios)
 {
     RunStats stats;
-    stats.add(record(0.02, 10.0, false, "Edge (DSP)"));
-    stats.add(record(0.04, 60.0, true, "Cloud"));
+    stats.add(record(0.02, 10.0, false, sim::TargetCategoryId::EdgeDsp));
+    stats.add(record(0.04, 60.0, true, sim::TargetCategoryId::Cloud));
     EXPECT_EQ(stats.count(), 2);
     EXPECT_NEAR(stats.meanEnergyJ(), 0.03, 1e-12);
     EXPECT_NEAR(stats.ppw(), 1.0 / 0.03, 1e-9);
@@ -35,9 +35,9 @@ TEST(RunStats, AccumulatesMeansAndRatios)
 TEST(RunStats, DecisionHistogram)
 {
     RunStats stats;
-    stats.add(record(0.01, 5.0, false, "Edge (DSP)"));
-    stats.add(record(0.01, 5.0, false, "Edge (DSP)"));
-    stats.add(record(0.01, 5.0, false, "Cloud"));
+    stats.add(record(0.01, 5.0, false, sim::TargetCategoryId::EdgeDsp));
+    stats.add(record(0.01, 5.0, false, sim::TargetCategoryId::EdgeDsp));
+    stats.add(record(0.01, 5.0, false, sim::TargetCategoryId::Cloud));
     EXPECT_NEAR(stats.decisionShare("Edge (DSP)"), 2.0 / 3.0, 1e-12);
     EXPECT_NEAR(stats.decisionShare("Cloud"), 1.0 / 3.0, 1e-12);
     EXPECT_DOUBLE_EQ(stats.decisionShare("Connected Edge"), 0.0);
@@ -47,16 +47,16 @@ TEST(RunStats, DecisionHistogram)
 TEST(RunStats, OracleComparisons)
 {
     RunStats stats;
-    RunRecord a = record(0.02, 10.0, false, "Edge (DSP)");
+    RunRecord a = record(0.02, 10.0, false, sim::TargetCategoryId::EdgeDsp);
     a.matchedOracle = true;
     a.nearOptimal = true;
     a.optEnergyJ = 0.018;
-    a.optCategory = "Edge (DSP)";
-    RunRecord b = record(0.05, 20.0, false, "Cloud");
+    a.optCategory = sim::TargetCategoryId::EdgeDsp;
+    RunRecord b = record(0.05, 20.0, false, sim::TargetCategoryId::Cloud);
     b.matchedOracle = false;
     b.nearOptimal = false;
     b.optEnergyJ = 0.02;
-    b.optCategory = "Edge (GPU)";
+    b.optCategory = sim::TargetCategoryId::EdgeGpu;
     b.optQosViolated = true;
     stats.add(a);
     stats.add(b);
@@ -72,10 +72,10 @@ TEST(RunStats, OracleComparisons)
 TEST(RunStats, AccuracyViolations)
 {
     RunStats stats;
-    RunRecord bad = record(0.02, 10.0, false, "Edge (CPU)");
+    RunRecord bad = record(0.02, 10.0, false, sim::TargetCategoryId::EdgeCpu);
     bad.accuracyViolated = true;
     stats.add(bad);
-    stats.add(record(0.02, 10.0, false, "Edge (CPU)"));
+    stats.add(record(0.02, 10.0, false, sim::TargetCategoryId::EdgeCpu));
     EXPECT_NEAR(stats.accuracyViolationRatio(), 0.5, 1e-12);
 }
 
@@ -103,7 +103,7 @@ TEST(RunStats, EmptyAccumulatorReportsZeroEverywhere)
 TEST(RunStats, ZeroEnergyRunsDoNotBlowUpPpw)
 {
     RunStats stats;
-    stats.add(record(0.0, 1.0, false, "Edge (CPU)"));
+    stats.add(record(0.0, 1.0, false, sim::TargetCategoryId::EdgeCpu));
     EXPECT_DOUBLE_EQ(stats.ppw(), 0.0);
     EXPECT_DOUBLE_EQ(stats.optPpw(), 0.0);
 }
@@ -120,10 +120,10 @@ TEST(RunStats, MergingEmptyIntoEmptyStaysEmpty)
 TEST(RunStats, MergeCombinesEverything)
 {
     RunStats a;
-    a.add(record(0.02, 10.0, false, "Edge (DSP)"));
+    a.add(record(0.02, 10.0, false, sim::TargetCategoryId::EdgeDsp));
     RunStats b;
-    b.add(record(0.04, 60.0, true, "Cloud"));
-    b.add(record(0.06, 30.0, false, "Cloud"));
+    b.add(record(0.04, 60.0, true, sim::TargetCategoryId::Cloud));
+    b.add(record(0.06, 30.0, false, sim::TargetCategoryId::Cloud));
     a.merge(b);
     EXPECT_EQ(a.count(), 3);
     EXPECT_NEAR(a.meanEnergyJ(), 0.04, 1e-12);

@@ -63,11 +63,11 @@ TEST(MetricsRegistry, CountersAndGauges)
 {
     obs::MetricsRegistry registry;
     EXPECT_TRUE(registry.empty());
-    EXPECT_EQ(registry.counter("missing"), 0);
+    EXPECT_EQ(registry.counterValue("missing"), 0);
 
     registry.inc("a");
     registry.inc("a", 4);
-    EXPECT_EQ(registry.counter("a"), 5);
+    EXPECT_EQ(registry.counterValue("a"), 5);
 
     registry.set("g", 1.5);
     registry.set("g", -2.0); // last write wins
@@ -155,7 +155,7 @@ TEST(MetricsRegistry, MergeMatchesSerialAccumulation)
     serial.writeText(expected);
     merged.writeText(actual);
     EXPECT_EQ(actual.str(), expected.str());
-    EXPECT_EQ(merged.counter("n"), 4);
+    EXPECT_EQ(merged.counterValue("n"), 4);
     EXPECT_DOUBLE_EQ(merged.gauge("g"), 7.0);
 }
 
@@ -452,7 +452,7 @@ TEST(ExperimentObs, EvaluatePolicyRecordsOneEventPerInference)
 
     ASSERT_GT(stats.count(), 0);
     EXPECT_EQ(trace.size(), static_cast<std::size_t>(stats.count()));
-    EXPECT_EQ(metrics.counter("eval.inferences"), stats.count());
+    EXPECT_EQ(metrics.counterValue("eval.inferences"), stats.count());
     EXPECT_EQ(metrics.histogram("eval.latency_ms").count, stats.count());
 
     const std::vector<obs::DecisionEvent> events = trace.snapshot();

@@ -47,8 +47,9 @@ syntheticReplicate(int index, Rng &rng)
         record.latencyMs = rng.uniform(1.0, 100.0);
         record.qosMs = 50.0;
         record.qosViolated = record.latencyMs >= record.qosMs;
-        record.decisionCategory =
-            (index + i) % 2 == 0 ? "Edge (DSP)" : "Cloud";
+        record.decisionCategory = (index + i) % 2 == 0
+            ? sim::TargetCategoryId::EdgeDsp
+            : sim::TargetCategoryId::Cloud;
         stats.add(record);
     }
     return stats;

@@ -172,8 +172,15 @@ sim::InferenceSimulator
 simFromArgs(const Args &args)
 {
     const std::string device = args.get("--device", "Mi8Pro");
-    return sim::InferenceSimulator::makeDefault(
+    sim::InferenceSimulator sim = sim::InferenceSimulator::makeDefault(
         platform::makePhone(device));
+    // --direct bypasses the precomputed cost tables (DESIGN.md section
+    // 13). Outcomes are bit-identical either way; this exists to
+    // demonstrate that and to time the difference.
+    if (args.has("--direct")) {
+        sim.setUseCostCache(false);
+    }
+    return sim;
 }
 
 /**
@@ -741,6 +748,9 @@ usage()
         "  (summarize JSONL traces with the trace_summary tool)\n\n"
         "Devices: Mi8Pro, \"Galaxy S10e\", \"Moto X Force\"\n"
         "Scenarios: S1-S5 (static), D1-D4 (dynamic), per Table IV\n"
+        "--direct: bypass the precomputed cost-model tables and walk\n"
+        "the layer model per decision (bit-identical results; exists\n"
+        "to prove it, and for bench_decision_path's perf gate).\n"
         "--jobs N: worker threads (default: hardware concurrency).\n"
         "Results — including --trace and --metrics files — are\n"
         "bit-identical for every --jobs value; --jobs 1 runs fully\n"
