@@ -6,6 +6,7 @@
 #include <string>
 #include <iomanip>
 #include <istream>
+#include <locale>
 #include <ostream>
 
 #include "util/logging.h"
@@ -43,12 +44,17 @@ QTable::randomize(Rng &rng, double lo, double hi)
 int
 QTable::bestAction(int state) const
 {
+    // One bounds check for the whole row, then a raw scan: this runs
+    // once per decision and the per-cell index() checks dominated it.
+    AS_CHECK(state >= 0 && state < numStates_);
+    const float *row = values_.data()
+        + static_cast<std::size_t>(state)
+            * static_cast<std::size_t>(numActions_);
     int best = 0;
-    float best_value = at(state, 0);
+    float best_value = row[0];
     for (int a = 1; a < numActions_; ++a) {
-        const float value = at(state, a);
-        if (value > best_value) {
-            best_value = value;
+        if (row[a] > best_value) {
+            best_value = row[a];
             best = a;
         }
     }
@@ -58,7 +64,17 @@ QTable::bestAction(int state) const
 double
 QTable::maxValue(int state) const
 {
-    return at(state, bestAction(state));
+    AS_CHECK(state >= 0 && state < numStates_);
+    const float *row = values_.data()
+        + static_cast<std::size_t>(state)
+            * static_cast<std::size_t>(numActions_);
+    float best_value = row[0];
+    for (int a = 1; a < numActions_; ++a) {
+        if (row[a] > best_value) {
+            best_value = row[a];
+        }
+    }
+    return best_value;
 }
 
 std::size_t
@@ -70,6 +86,9 @@ QTable::memoryBytes() const
 void
 QTable::save(std::ostream &os) const
 {
+    // Checkpoints and --qtable files must parse back under any global
+    // locale: pin the stream to the classic "C" locale while writing.
+    const std::locale previous = os.imbue(std::locale::classic());
     os << numStates_ << ' ' << numActions_ << '\n';
     os << std::setprecision(9);
     for (int s = 0; s < numStates_; ++s) {
@@ -81,6 +100,7 @@ QTable::save(std::ostream &os) const
         }
         os << '\n';
     }
+    os.imbue(previous);
 }
 
 QTable
@@ -88,7 +108,10 @@ QTable::load(std::istream &is)
 {
     // The stream is untrusted (a user-supplied --qtable file or a
     // checkpoint that survived a crash): validate the header before
-    // sizing any allocation and every value before trusting it.
+    // sizing any allocation and every value before trusting it. Parsing
+    // is pinned to the classic locale so a comma-decimal global locale
+    // cannot misread values that were written in "C" form.
+    is.imbue(std::locale::classic());
     long long states = 0;
     long long actions = 0;
     if (!(is >> states >> actions) || states <= 0 || actions <= 0) {

@@ -46,19 +46,18 @@ Network::addLayer(Layer layer)
 {
     totalMacs_ += layer.macs;
     totalParamBytes_ += layer.paramBytes;
+    const auto kindIndex = static_cast<std::size_t>(layer.kind);
+    AS_CHECK(kindIndex < kindCounts_.size());
+    ++kindCounts_[kindIndex];
     layers_.push_back(std::move(layer));
 }
 
 int
 Network::countLayers(LayerKind kind) const
 {
-    int count = 0;
-    for (const auto &layer : layers_) {
-        if (layer.kind == kind) {
-            ++count;
-        }
-    }
-    return count;
+    const auto kindIndex = static_cast<std::size_t>(kind);
+    AS_CHECK(kindIndex < kindCounts_.size());
+    return kindCounts_[kindIndex];
 }
 
 bool

@@ -8,6 +8,7 @@
 #ifndef AUTOSCALE_DNN_NETWORK_H_
 #define AUTOSCALE_DNN_NETWORK_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -93,6 +94,9 @@ class Network {
     std::vector<Layer> layers_;
     std::uint64_t totalMacs_ = 0;
     std::uint64_t totalParamBytes_ = 0;
+    /// Per-kind layer tallies maintained by addLayer so countLayers is
+    /// O(1); indexed by the LayerKind enumerator value.
+    std::array<int, 9> kindCounts_{};
 };
 
 } // namespace autoscale::dnn

@@ -1,24 +1,17 @@
 #include "obs/json.h"
 
-#include <array>
-#include <charconv>
-#include <cmath>
 #include <cstdio>
+
+#include "util/format.h"
 
 namespace autoscale::obs {
 
 std::string
 jsonNumber(double value)
 {
-    if (!std::isfinite(value)) {
-        return "null";
-    }
-    // Integral values print without an exponent or trailing ".0" so the
-    // common cases (counts, sequence numbers) stay compact.
-    std::array<char, 64> buffer;
-    const std::to_chars_result result = std::to_chars(
-        buffer.data(), buffer.data() + buffer.size(), value);
-    return std::string(buffer.data(), result.ptr);
+    // One shared implementation (util::formatDouble) so every exporter
+    // renders doubles identically and locale-independently.
+    return formatDouble(value);
 }
 
 void

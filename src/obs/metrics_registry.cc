@@ -133,6 +133,31 @@ MetricsRegistry::observe(const std::string &name, double value)
     observeLocked(it->second, value);
 }
 
+HistogramHandle
+MetricsRegistry::histogramHandle(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        Histogram histogram;
+        histogram.upperBounds = defaultBuckets();
+        histogram.bucketCounts.assign(histogram.upperBounds.size() + 1, 0);
+        it = histograms_.emplace(name, std::move(histogram)).first;
+    }
+    return HistogramHandle(this, &it->second);
+}
+
+void
+HistogramHandle::observe(double value)
+{
+    if (registry_ == nullptr) {
+        return;
+    }
+    const std::lock_guard<std::mutex> lock(registry_->mutex_);
+    registry_->observeLocked(
+        *static_cast<MetricsRegistry::Histogram *>(histogram_), value);
+}
+
 std::int64_t
 MetricsRegistry::counterValue(const std::string &name) const
 {

@@ -72,6 +72,37 @@ class Counter {
     std::atomic<std::int64_t> value_{0};
 };
 
+class MetricsRegistry;
+
+/**
+ * Pre-resolved handle for one histogram, the histogram counterpart of
+ * Counter: observe() records a sample with no name lookup or string
+ * building. Handles come from MetricsRegistry::histogramHandle() and
+ * stay valid for the registry's lifetime (map nodes are stable) until
+ * clear() drops every metric. Unlike Counter::add(), observe() takes
+ * the registry mutex — histogram sums are order-sensitive doubles, so
+ * they keep the same locking discipline as MetricsRegistry::observe().
+ */
+class HistogramHandle {
+  public:
+    HistogramHandle() = default;
+
+    /** Record @p value; no-op on a default-constructed handle. */
+    void observe(double value);
+
+    explicit operator bool() const { return registry_ != nullptr; }
+
+  private:
+    friend class MetricsRegistry;
+    HistogramHandle(MetricsRegistry *registry, void *histogram)
+        : registry_(registry), histogram_(histogram)
+    {
+    }
+
+    MetricsRegistry *registry_ = nullptr;
+    void *histogram_ = nullptr;
+};
+
 /** Thread-safe, mergeable registry of counters, gauges, histograms. */
 class MetricsRegistry {
   public:
@@ -126,6 +157,14 @@ class MetricsRegistry {
      */
     void observe(const std::string &name, double value);
 
+    /**
+     * Pre-resolved handle for histogram @p name (auto-declared with
+     * defaultBuckets() when absent, exactly like observe()). Hot paths
+     * resolve once and record through HistogramHandle::observe() with
+     * no per-event map lookup.
+     */
+    HistogramHandle histogramHandle(const std::string &name);
+
     /** Counter value (0 when absent). */
     std::int64_t counterValue(const std::string &name) const;
 
@@ -172,6 +211,8 @@ class MetricsRegistry {
     static std::vector<double> defaultBuckets();
 
   private:
+    friend class HistogramHandle;
+
     struct Histogram {
         std::vector<double> upperBounds;
         std::vector<std::int64_t> bucketCounts;

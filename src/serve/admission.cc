@@ -37,6 +37,13 @@ AdmissionQueue::offer(const QueuedRequest &request, double nowMs,
     return AdmissionVerdict::Admitted;
 }
 
+const QueuedRequest &
+AdmissionQueue::at(std::size_t i) const
+{
+    AS_CHECK(i < queue_.size());
+    return queue_[i];
+}
+
 QueuedRequest
 AdmissionQueue::pop()
 {

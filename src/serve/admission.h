@@ -72,6 +72,14 @@ class AdmissionQueue {
 
     const QueuedRequest &front() const { return queue_.front(); }
 
+    /**
+     * Peek the @p i-th queued request from the head without removing it
+     * (i < depth()). The batch engine gathers the ready slice through
+     * this accessor; offers only ever push_back, so the peeked prefix
+     * stays valid while a gathered batch is being committed.
+     */
+    const QueuedRequest &at(std::size_t i) const;
+
     /** Remove and return the head (queue must be non-empty). */
     QueuedRequest pop();
 

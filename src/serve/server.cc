@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <fstream>
 #include <map>
@@ -15,7 +16,9 @@
 #include "harness/autoscale_policy.h"
 #include "harness/experiment.h"
 #include "obs/metrics_registry.h"
+#include "sim/batch_engine.h"
 #include "util/logging.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 namespace autoscale::serve {
@@ -47,16 +50,32 @@ declareServeHistograms(obs::MetricsRegistry &metrics)
                               128.0});
 }
 
-const char *
-shedOutcomeName(AdmissionVerdict verdict)
+/**
+ * Dense serve-outcome ids: array indices for the allocation-free
+ * metrics recorder (the string names feed trace events and lazy
+ * counter creation only).
+ */
+enum ServeOutcomeId : int {
+    kServed = 0,
+    kShedOverflow,
+    kShedDeadline,
+    kShedStale,
+    kNumServeOutcomes,
+};
+
+constexpr std::array<const char *, kNumServeOutcomes> kServeOutcomeNames =
+    {"served", "shed_overflow", "shed_deadline", "shed_stale"};
+
+ServeOutcomeId
+shedOutcomeId(AdmissionVerdict verdict)
 {
     switch (verdict) {
     case AdmissionVerdict::Admitted:
-        return "served";
+        return kServed;
     case AdmissionVerdict::ShedOverflow:
-        return "shed_overflow";
+        return kShedOverflow;
     case AdmissionVerdict::ShedDeadline:
-        return "shed_deadline";
+        return kShedDeadline;
     }
     panic("unreachable admission verdict");
 }
@@ -159,22 +178,124 @@ class ServeMetricsRecorder {
     std::map<std::string, obs::Counter *> decisionCounters_;
 };
 
+/**
+ * Allocation-free serve metrics recorder for the batched path. Where
+ * ServeMetricsRecorder keys its memos by strings taken from a built
+ * DecisionEvent, this recorder is indexed by dense outcome/category
+ * ids through pre-resolved Counter and HistogramHandle handles, so a
+ * metering-only run records a served request with no DecisionEvent,
+ * no string building, and no map lookup.
+ *
+ * Parity: the per-outcome and per-category counters are still resolved
+ * lazily, on first hit, so the *set* of exported metric names — and
+ * therefore the metrics dump — is byte-identical to the scalar
+ * recorder's (a counter that was never incremented must not appear).
+ */
+class FastServeMetrics {
+  public:
+    explicit FastServeMetrics(obs::MetricsRegistry &metrics)
+        : metrics_(metrics),
+          qosViolations_(&metrics.counter("serve.qos_violations")),
+          degraded_(&metrics.counter("serve.degraded")),
+          breakerShortCircuits_(
+              &metrics.counter("serve.breaker.short_circuits")),
+          faultFallbacks_(&metrics.counter("serve.fault.fallbacks")),
+          checkpoints_(&metrics.counter("serve.checkpoints")),
+          queueDepth_(metrics.histogramHandle("serve.queue_depth")),
+          waitMs_(metrics.histogramHandle("serve.wait_ms")),
+          latencyMs_(metrics.histogramHandle("serve.latency_ms")),
+          energyMj_(metrics.histogramHandle("serve.energy_mj"))
+    {
+        outcomeCounters_.fill(nullptr);
+        decisionCounters_.fill(nullptr);
+    }
+
+    /** Handle for the checkpoint-written counter. */
+    obs::Counter &checkpoints() { return *checkpoints_; }
+
+    void
+    recordShed(ServeOutcomeId outcome, int depth)
+    {
+        outcomeCounter(outcome).add();
+        queueDepth_.observe(static_cast<double>(depth));
+    }
+
+    void
+    recordServed(sim::TargetCategoryId category, bool qosViolated,
+                 bool degraded, bool shortCircuit, bool faultFallback,
+                 double waitMs, double latencyMs, double energyMj,
+                 int depth)
+    {
+        // Same operation order as ServeMetricsRecorder::record so each
+        // histogram accumulates its (order-sensitive) sum identically.
+        outcomeCounter(kServed).add();
+        queueDepth_.observe(static_cast<double>(depth));
+        decisionCounter(category).add();
+        if (qosViolated) {
+            qosViolations_->add();
+        }
+        if (degraded) {
+            degraded_->add();
+        }
+        if (shortCircuit) {
+            breakerShortCircuits_->add();
+        }
+        if (faultFallback) {
+            faultFallbacks_->add();
+        }
+        waitMs_.observe(waitMs);
+        latencyMs_.observe(latencyMs);
+        energyMj_.observe(energyMj);
+    }
+
+  private:
+    obs::Counter &
+    outcomeCounter(ServeOutcomeId outcome)
+    {
+        const auto index = static_cast<std::size_t>(outcome);
+        if (outcomeCounters_[index] == nullptr) {
+            outcomeCounters_[index] = &metrics_.counter(
+                std::string("serve.") + kServeOutcomeNames[index]);
+        }
+        return *outcomeCounters_[index];
+    }
+
+    obs::Counter &
+    decisionCounter(sim::TargetCategoryId category)
+    {
+        const auto index = static_cast<std::size_t>(category);
+        AS_CHECK(index < decisionCounters_.size());
+        if (decisionCounters_[index] == nullptr) {
+            decisionCounters_[index] = &metrics_.counter(
+                "serve.decisions."
+                + obs::metricSlug(sim::targetCategoryName(category)));
+        }
+        return *decisionCounters_[index];
+    }
+
+    obs::MetricsRegistry &metrics_;
+    obs::Counter *qosViolations_;
+    obs::Counter *degraded_;
+    obs::Counter *breakerShortCircuits_;
+    obs::Counter *faultFallbacks_;
+    obs::Counter *checkpoints_;
+    obs::HistogramHandle queueDepth_;
+    obs::HistogramHandle waitMs_;
+    obs::HistogramHandle latencyMs_;
+    obs::HistogramHandle energyMj_;
+    std::array<obs::Counter *, kNumServeOutcomes> outcomeCounters_;
+    std::array<obs::Counter *, sim::kNumTargetCategories>
+        decisionCounters_;
+};
+
 } // namespace
 
 double
 ServeStats::latencyPercentileMs(double percentile) const
 {
-    if (latenciesMs.empty()) {
-        return 0.0;
-    }
-    std::vector<double> sorted = latenciesMs;
-    std::sort(sorted.begin(), sorted.end());
-    const double rank = percentile / 100.0
-        * static_cast<double>(sorted.size());
-    const std::size_t index = std::min(
-        sorted.size() - 1,
-        static_cast<std::size_t>(std::max(0.0, std::ceil(rank) - 1.0)));
-    return sorted[index];
+    // Shared nearest-rank helper: one nth_element selection instead of
+    // fully sorting a copy of every recorded latency per report line.
+    return percentileNearestRank(latenciesMs, percentile);
 }
 
 double
@@ -355,10 +476,21 @@ runServe(const sim::InferenceSimulator &sim, const ServeConfig &config,
     fault::RetryPolicy probeRetry = config.retry;
     probeRetry.maxRetries = 0;
 
+    // Batched (SoA gather/commit) vs scalar reference dispatch. Both
+    // paths produce byte-identical output (DESIGN.md §14); the batched
+    // path records through dense pre-resolved handles and skips
+    // DecisionEvent construction entirely when only metering is on.
+    const bool batched = config.batchSize >= 1;
+
     std::optional<ServeMetricsRecorder> serveMetrics;
+    std::optional<FastServeMetrics> fastMetrics;
     if (obs.metering()) {
         declareServeHistograms(*obs.metrics);
-        serveMetrics.emplace(*obs.metrics);
+        if (batched) {
+            fastMetrics.emplace(*obs.metrics);
+        } else {
+            serveMetrics.emplace(*obs.metrics);
+        }
     }
 
     double clockMs = 0.0;
@@ -382,15 +514,22 @@ runServe(const sim::InferenceSimulator &sim, const ServeConfig &config,
         if (serveMetrics) {
             serveMetrics->checkpoints().add();
         }
+        if (fastMetrics) {
+            fastMetrics->checkpoints().add();
+        }
     };
 
-    auto recordShed = [&](const Workload &workload, const char *outcome,
+    auto recordShed = [&](const Workload &workload, ServeOutcomeId outcome,
                           int depth) {
-        if (!obs.enabled()) {
+        if (fastMetrics) {
+            fastMetrics->recordShed(outcome, depth);
+        }
+        if (!serveMetrics && !obs.tracing()) {
             return;
         }
         obs::DecisionEvent event = makeServeEvent(
-            *policy, workload, scenario.name(), outcome, depth,
+            *policy, workload, scenario.name(),
+            kServeOutcomeNames[static_cast<std::size_t>(outcome)], depth,
             stats.checkpointsWritten);
         event.target = "(shed)";
         event.category = "(shed)";
@@ -424,12 +563,12 @@ runServe(const sim::InferenceSimulator &sim, const ServeConfig &config,
                 break;
             case AdmissionVerdict::ShedOverflow:
                 ++stats.shedOverflow;
-                recordShed(workload, shedOutcomeName(verdict),
+                recordShed(workload, shedOutcomeId(verdict),
                            static_cast<int>(queue.depth()));
                 break;
             case AdmissionVerdict::ShedDeadline:
                 ++stats.shedDeadline;
-                recordShed(workload, shedOutcomeName(verdict),
+                recordShed(workload, shedOutcomeId(verdict),
                            static_cast<int>(queue.depth()));
                 break;
             }
@@ -441,34 +580,42 @@ runServe(const sim::InferenceSimulator &sim, const ServeConfig &config,
         }
     };
 
-    // --- The serving loop proper. ---
-    while (true) {
-        admitUpTo(clockMs);
-        if (queue.empty()) {
-            if (arrivalsDone) {
-                break;
-            }
-            // Idle: jump to the next arrival.
-            clockMs = std::max(clockMs, pendingArrivalMs);
-            continue;
-        }
+    // Per-category served tally for the batched path: a dense array
+    // bump during the loop, folded into the name-keyed report map once
+    // at the end.
+    std::array<std::int64_t, sim::kNumTargetCategories> categoryTally{};
 
-        const int degradeLevel = queue.degradeLevel();
-        const QueuedRequest queued = queue.pop();
+    // Commit one popped request — the shared body of the scalar and
+    // batched loops. @p engine is non-null on the batched path, where
+    // it supplies the memoized best-local-target (identical values,
+    // computed once per request instead of up to three times).
+    auto commitRequest = [&](const QueuedRequest &queued, int degradeLevel,
+                             int depthAtDequeue,
+                             sim::BatchDecisionEngine *engine) {
         const Workload &workload = workloads[queued.networkIndex];
-        const int depthAtDequeue = static_cast<int>(queue.depth()) + 1;
 
         // Stale re-check: the admission estimate may have aged badly
         // (a burst of slow services after this request was admitted).
         if (clockMs + workload.minServiceMs > queued.deadlineMs) {
             ++stats.shedStale;
-            recordShed(workload, "shed_stale", depthAtDequeue);
-            continue;
+            recordShed(workload, kShedStale, depthAtDequeue);
+            return;
         }
 
         env::EnvState env = scenario.next(envRng);
         baselines::Decision decision =
             policy->decide(workload.request, env, decisionRng);
+
+        // Best local target for this (request, env) pair, wanted by up
+        // to three sites below with identical arguments. The function
+        // is pure, so the engine memo is bit-identical to recomputing.
+        auto bestLocal = [&]() {
+            return engine != nullptr
+                ? engine->bestLocalTarget(*workload.network, env,
+                                          config.accuracyTargetPct)
+                : sim.bestLocalTarget(*workload.network, env,
+                                      config.accuracyTargetPct);
+        };
 
         // Graceful degradation: under queue pressure, force expensive
         // remote/partitioned picks onto the cheap local variant before
@@ -477,8 +624,7 @@ runServe(const sim::InferenceSimulator &sim, const ServeConfig &config,
         const bool remoteDecision = decision.partitioned
             || decision.target.place != sim::TargetPlace::Local;
         if (degradeLevel > 0 && remoteDecision) {
-            decision = baselines::makeTargetDecision(sim.bestLocalTarget(
-                *workload.network, env, config.accuracyTargetPct));
+            decision = baselines::makeTargetDecision(bestLocal());
             degraded = true;
             ++stats.degraded;
         }
@@ -499,9 +645,7 @@ runServe(const sim::InferenceSimulator &sim, const ServeConfig &config,
                 // timeout+retry energy) entirely.
                 shortCircuited = true;
                 breaker = nullptr;
-                decision = baselines::makeTargetDecision(
-                    sim.bestLocalTarget(*workload.network, env,
-                                        config.accuracyTargetPct));
+                decision = baselines::makeTargetDecision(bestLocal());
             } else {
                 probing = breaker->probing();
             }
@@ -526,16 +670,15 @@ runServe(const sim::InferenceSimulator &sim, const ServeConfig &config,
         // the batch harness does.
         sim::Outcome measured = faultResult.outcome;
         if (!measured.feasible) {
-            measured = sim.run(*workload.network,
-                               sim.bestLocalTarget(*workload.network, env,
-                                                   config.accuracyTargetPct),
-                               env, execRng);
+            measured = sim.run(*workload.network, bestLocal(), env,
+                               execRng);
         }
 
         const double serviceMs = measured.latencyMs;
         const double waitMs = std::max(0.0, clockMs - queued.arrivalMs);
         const double latencyMs = waitMs + serviceMs;
         const double finishMs = clockMs + serviceMs;
+        const bool qosViolated = finishMs > queued.deadlineMs;
 
         ++stats.served;
         stats.totalWaitMs += waitMs;
@@ -546,18 +689,29 @@ runServe(const sim::InferenceSimulator &sim, const ServeConfig &config,
         if (faultResult.fellBack) {
             ++stats.faultFallbacks;
         }
-        if (finishMs > queued.deadlineMs) {
+        if (qosViolated) {
             ++stats.qosViolations;
         }
         if (!faultResult.outcome.feasible
             || measured.accuracyPct < workload.request.accuracyTargetPct) {
             ++stats.accuracyViolations;
         }
-        ++stats.categoryCounts[decision.category()];
+        if (engine != nullptr) {
+            ++categoryTally[static_cast<std::size_t>(
+                decision.categoryId())];
+        } else {
+            ++stats.categoryCounts[decision.category()];
+        }
         ewmaServiceMs = (1.0 - kServiceEwmaAlpha) * ewmaServiceMs
             + kServiceEwmaAlpha * serviceMs;
 
-        if (obs.enabled()) {
+        if (fastMetrics) {
+            fastMetrics->recordServed(
+                decision.categoryId(), qosViolated, degraded,
+                shortCircuited, faultResult.fellBack, waitMs, latencyMs,
+                measured.energyJ * 1e3, depthAtDequeue);
+        }
+        if (serveMetrics || obs.tracing()) {
             obs::DecisionEvent event = makeServeEvent(
                 *policy, workload, scenario.name(), "served",
                 depthAtDequeue, stats.checkpointsWritten);
@@ -575,7 +729,7 @@ runServe(const sim::InferenceSimulator &sim, const ServeConfig &config,
             event.latencyMs = latencyMs;
             event.energyJ = measured.energyJ;
             event.accuracyPct = measured.accuracyPct;
-            event.qosViolated = finishMs > queued.deadlineMs;
+            event.qosViolated = qosViolated;
             event.accuracyViolated =
                 measured.accuracyPct < workload.request.accuracyTargetPct;
             event.faultAttempts = faultResult.attempts;
@@ -605,7 +759,95 @@ runServe(const sim::InferenceSimulator &sim, const ServeConfig &config,
             && stats.served % config.checkpointIntervalRequests == 0) {
             checkpointNow();
         }
+    };
+
+    // --- The serving loop proper. ---
+    if (!batched) {
+        // Scalar reference loop: one admit/pop/commit per iteration.
+        while (true) {
+            admitUpTo(clockMs);
+            if (queue.empty()) {
+                if (arrivalsDone) {
+                    break;
+                }
+                // Idle: jump to the next arrival.
+                clockMs = std::max(clockMs, pendingArrivalMs);
+                continue;
+            }
+            const int degradeLevel = queue.degradeLevel();
+            const QueuedRequest queued = queue.pop();
+            const int depthAtDequeue = static_cast<int>(queue.depth()) + 1;
+            commitRequest(queued, degradeLevel, depthAtDequeue, nullptr);
+        }
+    } else {
+        // Batched SoA path: gather the ready queue prefix into the
+        // engine's slots (a peek — admission only appends, so the
+        // prefix stays valid), then commit the slots sequentially,
+        // replaying the scalar loop's exact operation order (admissions
+        // between commits, degrade level and depth read at pop time).
+        sim::BatchDecisionEngine engine(
+            sim, static_cast<std::size_t>(config.batchSize));
+        while (true) {
+            admitUpTo(clockMs);
+            if (queue.empty()) {
+                if (arrivalsDone) {
+                    break;
+                }
+                // Idle: jump to the next arrival.
+                clockMs = std::max(clockMs, pendingArrivalMs);
+                continue;
+            }
+            engine.beginTick(clockMs);
+            const std::size_t ready = std::min(
+                queue.depth(), static_cast<std::size_t>(config.batchSize));
+            for (std::size_t i = 0; i < ready; ++i) {
+                const QueuedRequest &peeked = queue.at(i);
+                const Workload &workload = workloads[peeked.networkIndex];
+                engine.addSlot(peeked.id, peeked.arrivalMs,
+                               peeked.deadlineMs, peeked.networkIndex,
+                               workload.network, workload.minServiceMs);
+            }
+            for (std::size_t slot = 0; slot < engine.size(); ++slot) {
+                if (slot > 0) {
+                    // What the scalar loop's next iteration would have
+                    // admitted before popping this request.
+                    admitUpTo(clockMs);
+                }
+                engine.beginRequest();
+                const int degradeLevel = queue.degradeLevel();
+                const QueuedRequest queued = queue.pop();
+                AS_CHECK(queued.id == engine.id(slot));
+                const int depthAtDequeue =
+                    static_cast<int>(queue.depth()) + 1;
+                commitRequest(queued, degradeLevel, depthAtDequeue,
+                              &engine);
+            }
+        }
     }
+
+    // Fold the batched path's dense tally into the report's name-keyed
+    // map. Zero-count categories are skipped, matching the scalar map,
+    // which only creates keys it increments.
+    for (std::size_t i = 0; i < categoryTally.size(); ++i) {
+        if (categoryTally[i] > 0) {
+            stats.categoryCounts[sim::targetCategoryName(
+                static_cast<sim::TargetCategoryId>(i))] += categoryTally[i];
+        }
+    }
+
+    // RNG fingerprint: one post-run draw per serving stream, hash
+    // combined. Any draw an optimized path hoists, drops, or reorders
+    // shifts at least one stream and changes the fingerprint.
+    auto mixFingerprint = [](std::uint64_t fp, std::uint64_t draw) {
+        return fp
+            ^ (draw + 0x9e3779b97f4a7c15ULL + (fp << 6) + (fp >> 2));
+    };
+    std::uint64_t fingerprint = 0;
+    fingerprint = mixFingerprint(fingerprint, envRng.next());
+    fingerprint = mixFingerprint(fingerprint, decisionRng.next());
+    fingerprint = mixFingerprint(fingerprint, execRng.next());
+    fingerprint = mixFingerprint(fingerprint, workloadRng.next());
+    stats.rngFingerprint = fingerprint;
 
     policy->finishEpisode();
     wlanBreaker.finalize(clockMs);

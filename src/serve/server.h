@@ -84,6 +84,16 @@ struct ServeConfig {
     double accuracyTargetPct = 50.0;
     /** Master seed. */
     std::uint64_t seed = 1;
+
+    /**
+     * Decision-path batch size: >= 1 routes the loop through the
+     * sim::BatchDecisionEngine SoA gather/commit path (gathering up to
+     * this many ready requests per tick), <= 0 runs the scalar
+     * reference loop. Every value — including the scalar loop —
+     * produces byte-identical output (DESIGN.md §14); the batched path
+     * is simply faster.
+     */
+    int batchSize = 64;
 };
 
 /** Aggregate results of one serving run. */
@@ -131,6 +141,15 @@ struct ServeStats {
     double endClockMs = 0.0;
     /** Served-request decision mix by Fig. 13 category. */
     std::map<std::string, std::int64_t> categoryCounts;
+
+    /**
+     * Combined hash of one post-run draw from each serving RNG stream
+     * (environment, decision, execution, workload-mix). Two runs that
+     * consumed their streams identically — the batched/scalar/--direct
+     * parity contract — end with identical fingerprints; any hoisted,
+     * dropped, or reordered draw changes it.
+     */
+    std::uint64_t rngFingerprint = 0;
 
     /** Percentile (0..100) of latenciesMs; 0 when nothing was served. */
     double latencyPercentileMs(double percentile) const;

@@ -1,0 +1,78 @@
+#include "sim/batch_engine.h"
+
+#include "util/logging.h"
+
+namespace autoscale::sim {
+
+BatchDecisionEngine::BatchDecisionEngine(const InferenceSimulator &sim,
+                                         std::size_t batchCapacity)
+    : sim_(sim)
+{
+    AS_CHECK(batchCapacity > 0);
+    ids_.reserve(batchCapacity);
+    arrivalsMs_.reserve(batchCapacity);
+    deadlinesMs_.reserve(batchCapacity);
+    slacksMs_.reserve(batchCapacity);
+    workloadIndices_.reserve(batchCapacity);
+    networks_.reserve(batchCapacity);
+    minServicesMs_.reserve(batchCapacity);
+    cacheEntries_.reserve(batchCapacity);
+}
+
+void
+BatchDecisionEngine::beginTick(double clockMs)
+{
+    tickClockMs_ = clockMs;
+    ids_.clear();
+    arrivalsMs_.clear();
+    deadlinesMs_.clear();
+    slacksMs_.clear();
+    workloadIndices_.clear();
+    networks_.clear();
+    minServicesMs_.clear();
+    cacheEntries_.clear();
+    memoNetwork_ = nullptr;
+}
+
+void
+BatchDecisionEngine::addSlot(std::int64_t id, double arrivalMs,
+                             double deadlineMs, int workloadIndex,
+                             const dnn::Network *network,
+                             double minServiceMs)
+{
+    AS_CHECK(network != nullptr);
+    ids_.push_back(id);
+    arrivalsMs_.push_back(arrivalMs);
+    deadlinesMs_.push_back(deadlineMs);
+    slacksMs_.push_back(deadlineMs - tickClockMs_);
+    workloadIndices_.push_back(workloadIndex);
+    networks_.push_back(network);
+    minServicesMs_.push_back(minServiceMs);
+    cacheEntries_.push_back(sim_.costCache().entry(*network));
+}
+
+void
+BatchDecisionEngine::beginRequest()
+{
+    memoNetwork_ = nullptr;
+}
+
+const ExecutionTarget &
+BatchDecisionEngine::bestLocalTarget(const dnn::Network &network,
+                                     const env::EnvState &env,
+                                     double accuracyTargetPct)
+{
+    // The env is constant within one commit (one draw per request), so
+    // (network, accuracy) fully keys the memo between beginRequest()
+    // calls; bestLocalTarget is pure, so returning the memoized target
+    // is bit-identical to recomputing it.
+    if (memoNetwork_ != &network
+        || memoAccuracyTargetPct_ != accuracyTargetPct) {
+        memoTarget_ = sim_.bestLocalTarget(network, env, accuracyTargetPct);
+        memoNetwork_ = &network;
+        memoAccuracyTargetPct_ = accuracyTargetPct;
+    }
+    return memoTarget_;
+}
+
+} // namespace autoscale::sim

@@ -2,12 +2,20 @@
  * @file
  * Minimal `--flag value` command-line parser used by the CLI tools.
  * Header-only; no dependencies beyond the standard library.
+ *
+ * Both `--flag value` and `--flag=value` spellings are accepted
+ * everywhere: `=`-form tokens are split into flag/value pairs at
+ * construction, so every accessor sees one canonical token stream.
+ * Repeated value-carrying flags resolve last-one-wins (with a warning
+ * on stderr); callers that must not silently drop a value can treat
+ * hasConflictingDuplicate() as an error.
  */
 
 #ifndef AUTOSCALE_UTIL_ARGS_H_
 #define AUTOSCALE_UTIL_ARGS_H_
 
 #include <cstdlib>
+#include <iostream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -20,27 +28,32 @@ class Args {
     /** Wrap (argc, argv) without copying the program's semantics. */
     Args(int argc, const char *const *argv)
     {
+        std::vector<std::string> tokens;
+        tokens.reserve(static_cast<std::size_t>(argc));
         for (int i = 0; i < argc; ++i) {
-            tokens_.emplace_back(argv[i]);
+            tokens.emplace_back(argv[i]);
         }
+        init(std::move(tokens));
     }
 
     /** Construct from a token list (testing convenience). */
     explicit Args(std::vector<std::string> tokens)
-        : tokens_(std::move(tokens))
     {
+        init(std::move(tokens));
     }
 
-    /** Value following @p flag, or @p fallback when absent/trailing. */
+    /** Value following @p flag (last occurrence wins), or @p fallback
+     * when absent/trailing. */
     std::string
     get(const std::string &flag, const std::string &fallback = "") const
     {
+        std::string value = fallback;
         for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
             if (tokens_[i] == flag) {
-                return tokens_[i + 1];
+                value = tokens_[i + 1];
             }
         }
-        return fallback;
+        return value;
     }
 
     /**
@@ -99,10 +112,80 @@ class Args {
         return false;
     }
 
-    /** Number of raw tokens. */
+    /**
+     * Whether @p flag is given more than once with differing following
+     * values. Plain repeats of the same value are benign (last-one-wins
+     * returns it unchanged); conflicting repeats are what a strict
+     * caller should reject.
+     */
+    bool
+    hasConflictingDuplicate(const std::string &flag) const
+    {
+        bool seen = false;
+        std::string first;
+        for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
+            if (tokens_[i] != flag) {
+                continue;
+            }
+            if (!seen) {
+                seen = true;
+                first = tokens_[i + 1];
+            } else if (tokens_[i + 1] != first) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Number of raw tokens (after `=`-form splitting). */
     std::size_t size() const { return tokens_.size(); }
 
   private:
+    void
+    init(std::vector<std::string> tokens)
+    {
+        // Canonicalize: split "--flag=value" (at the first '=') into
+        // separate flag/value tokens so every accessor handles both
+        // spellings. Only tokens that look like long flags split;
+        // positional operands keep any '=' they contain.
+        tokens_.reserve(tokens.size());
+        for (auto &token : tokens) {
+            const std::size_t eq = token.find('=');
+            if (token.size() > 2 && token[0] == '-' && token[1] == '-'
+                && eq != std::string::npos && eq > 2) {
+                tokens_.push_back(token.substr(0, eq));
+                tokens_.push_back(token.substr(eq + 1));
+            } else {
+                tokens_.push_back(std::move(token));
+            }
+        }
+        // Warn once per repeated value-carrying flag: the repeat is
+        // legal (last-one-wins) but usually a copy-paste mistake.
+        for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
+            const std::string &flag = tokens_[i];
+            if (flag.size() <= 2 || flag[0] != '-' || flag[1] != '-') {
+                continue;
+            }
+            bool warned_earlier = false;
+            for (std::size_t j = 0; j < i; ++j) {
+                if (tokens_[j] == flag) {
+                    warned_earlier = true;
+                    break;
+                }
+            }
+            if (warned_earlier) {
+                continue;
+            }
+            for (std::size_t j = i + 1; j + 1 < tokens_.size(); ++j) {
+                if (tokens_[j] == flag) {
+                    std::cerr << "warning: repeated flag " << flag
+                              << "; the last value wins\n";
+                    break;
+                }
+            }
+        }
+    }
+
     std::vector<std::string> tokens_;
 };
 

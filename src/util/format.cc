@@ -1,0 +1,23 @@
+#include "util/format.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+
+namespace autoscale {
+
+std::string
+formatDouble(double value)
+{
+    if (!std::isfinite(value)) {
+        return "null";
+    }
+    // Integral values print without an exponent or trailing ".0" so the
+    // common cases (counts, sequence numbers) stay compact.
+    std::array<char, 64> buffer;
+    const std::to_chars_result result = std::to_chars(
+        buffer.data(), buffer.data() + buffer.size(), value);
+    return std::string(buffer.data(), result.ptr);
+}
+
+} // namespace autoscale

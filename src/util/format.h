@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Locale-independent number formatting. Every bench/metrics/trace
+ * writer routes doubles through formatDouble so that exported JSON and
+ * reports are byte-identical no matter what global locale the host
+ * process runs under (a comma-decimal LC_NUMERIC must not corrupt
+ * machine-readable output).
+ */
+
+#ifndef AUTOSCALE_UTIL_FORMAT_H_
+#define AUTOSCALE_UTIL_FORMAT_H_
+
+#include <string>
+
+namespace autoscale {
+
+/**
+ * Shortest decimal string that round-trips @p value exactly, rendered
+ * with std::to_chars, which the standard defines to be unaffected by
+ * the global locale (unlike printf-family "%.17g", whose decimal point
+ * follows LC_NUMERIC). Non-finite values render as "null" so the
+ * result can be embedded in JSON directly.
+ */
+std::string formatDouble(double value);
+
+} // namespace autoscale
+
+#endif // AUTOSCALE_UTIL_FORMAT_H_

@@ -65,6 +65,25 @@ percentile(std::vector<double> values, double p)
 }
 
 double
+percentileNearestRank(std::vector<double> values, double p)
+{
+    AS_CHECK(p >= 0.0 && p <= 100.0);
+    if (values.empty()) {
+        return 0.0;
+    }
+    const double rank = p / 100.0 * static_cast<double>(values.size());
+    // ceil(rank) is the 1-based nearest rank; clamp to [1, n] before the
+    // 0-based conversion so p0 cannot underflow and p100 cannot read one
+    // past the end.
+    const std::size_t index = std::min(
+        values.size() - 1,
+        static_cast<std::size_t>(std::max(0.0, std::ceil(rank) - 1.0)));
+    auto nth = values.begin() + static_cast<std::ptrdiff_t>(index);
+    std::nth_element(values.begin(), nth, values.end());
+    return *nth;
+}
+
+double
 mape(const std::vector<double> &predicted, const std::vector<double> &actual)
 {
     AS_CHECK(predicted.size() == actual.size());

@@ -29,6 +29,20 @@ double geomean(const std::vector<double> &values);
  */
 double percentile(std::vector<double> values, double p);
 
+/**
+ * Nearest-rank percentile, @p p in [0, 100]; returns 0 for empty input.
+ *
+ * Contract: for n samples the result is the element at sorted index
+ * clamp(ceil(p/100 * n), 1, n) - 1 — i.e. the smallest sample whose
+ * cumulative frequency is >= p%. For even n, p50 selects the LOWER of
+ * the two middle values (index n/2 - 1); for odd n it selects the exact
+ * middle (index (n-1)/2). p0 is the minimum and p100 the maximum for
+ * every n, including n == 1 and n == 2 — the clamp makes reading past
+ * the last element impossible by construction. Selection uses
+ * nth_element (expected O(n)) rather than a full sort.
+ */
+double percentileNearestRank(std::vector<double> values, double p);
+
 /** Mean absolute percentage error between predictions and actuals (in %). */
 double mape(const std::vector<double> &predicted,
             const std::vector<double> &actual);

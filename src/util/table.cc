@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <locale>
 #include <sstream>
 
 #include "util/logging.h"
@@ -25,6 +26,9 @@ std::string
 Table::num(double value, int precision)
 {
     std::ostringstream oss;
+    // Reports must not change shape under a comma-decimal global
+    // locale; pin the stream to the classic "C" locale.
+    oss.imbue(std::locale::classic());
     oss << std::fixed << std::setprecision(precision) << value;
     return oss.str();
 }

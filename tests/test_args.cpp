@@ -87,10 +87,57 @@ TEST(Args, HasDetectsSwitches)
     EXPECT_FALSE(args.has("--json"));
 }
 
-TEST(Args, FirstOccurrenceWins)
+TEST(Args, LastOccurrenceWins)
 {
+    // Repeated flags resolve last-one-wins (with a stderr warning);
+    // strict callers reject conflicts via hasConflictingDuplicate().
     const Args args = make({"prog", "--seed", "1", "--seed", "2"});
-    EXPECT_EQ(args.getInt("--seed", 0), 1);
+    EXPECT_EQ(args.getInt("--seed", 0), 2);
+}
+
+TEST(Args, EqualsFormAcceptedEverywhere)
+{
+    const Args args = make({"prog", "--device=Mi8Pro", "--rssi=-85.5",
+                            "--runs=12", "--csv"});
+    EXPECT_EQ(args.get("--device"), "Mi8Pro");
+    EXPECT_DOUBLE_EQ(args.getDouble("--rssi", 0.0), -85.5);
+    EXPECT_EQ(args.getInt("--runs", 0), 12);
+    EXPECT_TRUE(args.has("--device"));
+    EXPECT_TRUE(args.has("--csv"));
+}
+
+TEST(Args, EqualsFormSplitsOnlyLongFlags)
+{
+    // Positional operands and short options keep their '='; an empty
+    // value after '=' is a present-but-empty value, not the next flag.
+    const Args args = make({"prog", "a=b", "-x=y", "--empty=", "--n", "4"});
+    EXPECT_FALSE(args.has("--a"));
+    EXPECT_FALSE(args.has("-x"));
+    EXPECT_EQ(args.get("--empty", "fallback"), "");
+    EXPECT_EQ(args.getInt("--n", 0), 4);
+}
+
+TEST(Args, EqualsAndSpaceFormsMix)
+{
+    const Args args = make({"prog", "--seed=1", "--seed", "2"});
+    EXPECT_EQ(args.getInt("--seed", 0), 2);
+    EXPECT_TRUE(args.hasConflictingDuplicate("--seed"));
+}
+
+TEST(Args, ConflictingDuplicateDetection)
+{
+    const Args conflicting =
+        make({"prog", "--jobs", "1", "--jobs", "4"});
+    EXPECT_TRUE(conflicting.hasConflictingDuplicate("--jobs"));
+
+    // A repeat of the identical value is benign: last-one-wins returns
+    // it unchanged.
+    const Args benign = make({"prog", "--jobs", "2", "--jobs", "2"});
+    EXPECT_FALSE(benign.hasConflictingDuplicate("--jobs"));
+
+    const Args single = make({"prog", "--jobs", "2"});
+    EXPECT_FALSE(single.hasConflictingDuplicate("--jobs"));
+    EXPECT_FALSE(single.hasConflictingDuplicate("--seed"));
 }
 
 TEST(Args, ArgcArgvConstructor)

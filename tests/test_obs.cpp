@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <locale>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "obs/trace_recorder.h"
 #include "platform/device_zoo.h"
 #include "sim/simulator.h"
+#include "util/format.h"
 #include "util/logging.h"
 
 namespace {
@@ -182,6 +184,72 @@ TEST(Json, NumberFormatting)
               "null");
     EXPECT_EQ(obs::jsonNumber(std::numeric_limits<double>::infinity()),
               "null");
+}
+
+/** numpunct facet with a comma decimal point (a de_DE-style locale,
+ * available without any OS locale data installed). */
+struct CommaDecimalPoint : std::numpunct<char> {
+    char do_decimal_point() const override { return ','; }
+    std::string do_grouping() const override { return "\3"; }
+    char do_thousands_sep() const override { return '.'; }
+};
+
+/** Install a comma-decimal global locale for the test's scope. */
+class ScopedCommaLocale {
+  public:
+    ScopedCommaLocale()
+        : previous_(std::locale::global(
+              std::locale(std::locale::classic(),
+                          new CommaDecimalPoint)))
+    {
+    }
+    ~ScopedCommaLocale() { std::locale::global(previous_); }
+
+  private:
+    std::locale previous_;
+};
+
+TEST(Json, NumberFormattingIsLocaleIndependent)
+{
+    // A comma-decimal global locale (the classic iostream footgun)
+    // must not leak into JSON output: numbers always use '.'.
+    const ScopedCommaLocale commaLocale;
+    EXPECT_EQ(obs::jsonNumber(1.5), "1.5");
+    EXPECT_EQ(obs::jsonNumber(-12.25), "-12.25");
+    EXPECT_EQ(obs::jsonNumber(0.1), "0.1");
+    EXPECT_EQ(obs::jsonNumber(1234567.5), "1234567.5");
+    EXPECT_EQ(formatDouble(2.5e-3), "0.0025");
+}
+
+TEST(MetricsRegistry, DumpIsLocaleIndependent)
+{
+    obs::MetricsRegistry metrics;
+    metrics.counter("test.count").add(3);
+    metrics.set("test.gauge", 12.5);
+    metrics.observe("test.histogram", 0.75);
+    std::ostringstream classicOs;
+    metrics.writeText(classicOs);
+    {
+        const ScopedCommaLocale commaLocale;
+        std::ostringstream commaOs;
+        metrics.writeText(commaOs);
+        EXPECT_EQ(commaOs.str(), classicOs.str());
+    }
+    EXPECT_EQ(classicOs.str().find(','), std::string::npos)
+        << classicOs.str();
+}
+
+TEST(TraceRecorder, JsonlExportIsLocaleIndependent)
+{
+    obs::TraceRecorder trace;
+    trace.record(sampleEvent("autoscale", "Local CPU", 12.5));
+    trace.record(sampleEvent("cloud", "Cloud", 0.125));
+    std::ostringstream classicOs;
+    trace.writeJsonl(classicOs);
+    const ScopedCommaLocale commaLocale;
+    std::ostringstream commaOs;
+    trace.writeJsonl(commaOs);
+    EXPECT_EQ(commaOs.str(), classicOs.str());
 }
 
 TEST(Json, StringEscaping)

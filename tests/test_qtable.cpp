@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <locale>
 #include <sstream>
 
 #include "core/qtable.h"
@@ -86,6 +87,35 @@ TEST(QTable, SaveLoadRoundTrip)
     ASSERT_EQ(loaded.numActions(), 4);
     for (int s = 0; s < 6; ++s) {
         for (int a = 0; a < 4; ++a) {
+            EXPECT_FLOAT_EQ(loaded.at(s, a), table.at(s, a));
+        }
+    }
+}
+
+TEST(QTable, SaveIsLocaleIndependent)
+{
+    // Q-table serialization feeds checkpoint bodies whose CRC is taken
+    // over the exact bytes: a comma-decimal global locale must not
+    // change them (save/load imbue the classic locale).
+    QTable table(4, 3);
+    Rng rng(11);
+    table.randomize(rng, -2.0, 2.0);
+    std::stringstream classicStream;
+    table.save(classicStream);
+
+    struct CommaDecimalPoint : std::numpunct<char> {
+        char do_decimal_point() const override { return ','; }
+    };
+    const std::locale previous = std::locale::global(
+        std::locale(std::locale::classic(), new CommaDecimalPoint));
+    std::stringstream commaStream;
+    table.save(commaStream);
+    EXPECT_EQ(commaStream.str(), classicStream.str());
+    const QTable loaded = QTable::load(commaStream);
+    std::locale::global(previous);
+
+    for (int s = 0; s < 4; ++s) {
+        for (int a = 0; a < 3; ++a) {
             EXPECT_FLOAT_EQ(loaded.at(s, a), table.at(s, a));
         }
     }

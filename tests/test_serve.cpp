@@ -211,6 +211,66 @@ TEST(Serve, ResumeWithoutACheckpointIsAColdStart)
     EXPECT_GT(stats.checkpointsWritten, 0);
 }
 
+TEST(AdmissionQueue, MaxDepthSeenTracksPushHighWater)
+{
+    // Regression: the high-water mark is taken at push time, so a burst
+    // that fills the queue and is then fully shed/drained still reports
+    // the true peak (not the depth at the last pop).
+    AdmissionConfig config;
+    config.maxDepth = 8;
+    AdmissionQueue queue(config);
+    for (int i = 0; i < 8; ++i) {
+        const QueuedRequest request{i, 0.0, 1e9, 0};
+        EXPECT_EQ(queue.offer(request, 0.0, 1.0, 1.0),
+                  AdmissionVerdict::Admitted);
+    }
+    EXPECT_EQ(queue.maxDepthSeen(), 8u);
+
+    // Overflow sheds don't grow the queue or the high-water mark.
+    const QueuedRequest overflow{99, 0.0, 1e9, 0};
+    EXPECT_EQ(queue.offer(overflow, 0.0, 1.0, 1.0),
+              AdmissionVerdict::ShedOverflow);
+    EXPECT_EQ(queue.depth(), 8u);
+    EXPECT_EQ(queue.maxDepthSeen(), 8u);
+
+    // Fully drain: the mark must survive at the burst's peak.
+    while (!queue.empty()) {
+        queue.pop();
+    }
+    EXPECT_EQ(queue.maxDepthSeen(), 8u);
+
+    // Refill shallower: the mark is a lifetime max, never lowered.
+    const QueuedRequest late{100, 0.0, 1e9, 0};
+    EXPECT_EQ(queue.offer(late, 0.0, 1.0, 1.0),
+              AdmissionVerdict::Admitted);
+    EXPECT_EQ(queue.maxDepthSeen(), 8u);
+}
+
+TEST(AdmissionQueue, PeekedPrefixSurvivesAppends)
+{
+    // The batch engine's gather contract: at(i) peeks without removal,
+    // and later offers (push_back only) never move the peeked prefix.
+    AdmissionQueue queue(AdmissionConfig{});
+    for (int i = 0; i < 3; ++i) {
+        const QueuedRequest request{i, static_cast<double>(i), 1e9, i};
+        ASSERT_EQ(queue.offer(request, 0.0, 1.0, 1.0),
+                  AdmissionVerdict::Admitted);
+    }
+    EXPECT_EQ(queue.at(0).id, 0);
+    EXPECT_EQ(queue.at(2).id, 2);
+    EXPECT_EQ(queue.depth(), 3u);
+
+    const QueuedRequest late{7, 3.0, 1e9, 7};
+    ASSERT_EQ(queue.offer(late, 0.0, 1.0, 1.0),
+              AdmissionVerdict::Admitted);
+    EXPECT_EQ(queue.at(0).id, 0);
+    EXPECT_EQ(queue.at(1).id, 1);
+    EXPECT_EQ(queue.at(2).id, 2);
+    EXPECT_EQ(queue.at(3).id, 7);
+    EXPECT_EQ(queue.pop().id, 0);
+    EXPECT_EQ(queue.at(0).id, 1);
+}
+
 TEST(ServeDeath, FixedPoliciesCannotCheckpoint)
 {
     ServeConfig config = configAtRate(1.0, 50);

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "util/stats.h"
 
@@ -37,6 +39,71 @@ TEST(Stats, PercentileInterpolation)
     EXPECT_DOUBLE_EQ(percentile(values, 100.0), 4.0);
     EXPECT_DOUBLE_EQ(percentile(values, 50.0), 2.5);
     EXPECT_DOUBLE_EQ(percentile({42.0}, 75.0), 42.0);
+}
+
+TEST(Stats, PercentileNearestRankEmptyAndSingle)
+{
+    EXPECT_DOUBLE_EQ(percentileNearestRank({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentileNearestRank({42.0}, 0.0), 42.0);
+    EXPECT_DOUBLE_EQ(percentileNearestRank({42.0}, 50.0), 42.0);
+    EXPECT_DOUBLE_EQ(percentileNearestRank({42.0}, 100.0), 42.0);
+}
+
+TEST(Stats, PercentileNearestRankTwoElements)
+{
+    // Even length: nearest-rank p50 is the LOWER middle (index
+    // ceil(0.5 * 2) - 1 = 0), with no interpolation.
+    const std::vector<double> values{9.0, 3.0}; // unsorted on purpose
+    EXPECT_DOUBLE_EQ(percentileNearestRank(values, 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(values, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(values, 50.1), 9.0);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(values, 100.0), 9.0);
+}
+
+TEST(Stats, PercentileNearestRankOddLength)
+{
+    const std::vector<double> values{5.0, 1.0, 4.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentileNearestRank(values, 0.0), 1.0);
+    // Odd length: p50 is the exact middle element (index (n-1)/2).
+    EXPECT_DOUBLE_EQ(percentileNearestRank(values, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(values, 99.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(values, 100.0), 5.0);
+}
+
+TEST(Stats, PercentileNearestRankEvenLength)
+{
+    const std::vector<double> values{40.0, 10.0, 30.0, 20.0};
+    EXPECT_DOUBLE_EQ(percentileNearestRank(values, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(values, 25.0), 10.0);
+    // Even length: p50 -> lower middle (index n/2 - 1), by contract.
+    EXPECT_DOUBLE_EQ(percentileNearestRank(values, 50.0), 20.0);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(values, 75.0), 30.0);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(values, 100.0), 40.0);
+}
+
+TEST(Stats, PercentileNearestRankMatchesSortedIndex)
+{
+    // Reference implementation: fully sort, index by the nearest-rank
+    // formula. nth_element must agree at every percentile.
+    std::vector<double> values;
+    std::uint64_t x = 88172645463325252ULL;
+    for (int i = 0; i < 101; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        values.push_back(static_cast<double>(x % 10000) / 7.0);
+    }
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    for (double p = 0.0; p <= 100.0; p += 0.5) {
+        const double rank =
+            std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+        const std::size_t index = std::min(
+            sorted.size() - 1,
+            static_cast<std::size_t>(std::max(0.0, rank - 1.0)));
+        EXPECT_DOUBLE_EQ(percentileNearestRank(values, p), sorted[index])
+            << "p=" << p;
+    }
 }
 
 TEST(Stats, MapeKnownError)

@@ -2,12 +2,27 @@
 
 #include <gtest/gtest.h>
 
+#include <locale>
 #include <sstream>
 
 #include "util/table.h"
 
 namespace autoscale {
 namespace {
+
+TEST(Table, NumIsLocaleIndependent)
+{
+    // Reports are diffed/golden-compared byte for byte, so Table::num
+    // pins the classic locale regardless of the global one.
+    struct CommaDecimalPoint : std::numpunct<char> {
+        char do_decimal_point() const override { return ','; }
+    };
+    const std::locale previous = std::locale::global(
+        std::locale(std::locale::classic(), new CommaDecimalPoint));
+    const std::string formatted = Table::num(3.14159, 2);
+    std::locale::global(previous);
+    EXPECT_EQ(formatted, "3.14");
+}
 
 TEST(Table, FormattersProduceExpectedStrings)
 {

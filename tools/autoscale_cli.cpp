@@ -621,6 +621,11 @@ cmdServe(const Args &args)
         args.getInt("--checkpoint-interval", 100);
     config.resume = args.has("--resume");
 
+    config.batchSize = strictInt(args, "--batch", config.batchSize);
+    if (config.batchSize < 0) {
+        fatal("--batch must be >= 0 (0 runs the scalar reference loop)");
+    }
+
     config.admission.maxDepth = args.getInt("--queue-depth", 64);
     if (config.admission.maxDepth <= 0) {
         fatal("--queue-depth must be positive");
@@ -723,6 +728,10 @@ usage()
         "        [--qtable FILE] [--train-runs N] [--network NAME]\n"
         "        [--policy autoscale|cloud|connected-edge|edge-best|\n"
         "         edge-cpu]\n"
+        "        [--batch N]           decision-path batch size\n"
+        "                              (default 64; 0 = scalar reference\n"
+        "                              loop; every value produces\n"
+        "                              byte-identical output)\n"
         "        [--seed N]            online serving loop: stochastic\n"
         "                              arrivals, admission control,\n"
         "                              circuit breakers, crash-safe\n"
@@ -767,6 +776,15 @@ main(int argc, char **argv)
         return usage();
     }
     const Args args(argc, argv);
+    // Repeated flags resolve last-one-wins, but a CONFLICTING repeat of
+    // a determinism-critical flag is fatal: silently dropping one value
+    // would change which run the user thinks they reproduced.
+    for (const char *flag : {"--jobs", "--seed", "--seeds"}) {
+        if (args.hasConflictingDuplicate(flag)) {
+            fatal(std::string(flag)
+                  + " given multiple times with conflicting values");
+        }
+    }
     const std::string command = argv[1];
     if (command == "devices") {
         return cmdDevices();
