@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Fleet-serving benchmark (DESIGN.md §15): device-steps/sec (arrivals
+ * processed across the whole fleet per wall second), energy, and QoS
+ * as fleet size grows, at 1x and 4x contention. The --check gate runs
+ * a 1000-device fleet through the 2x-contention scenario and fails
+ * unless (a) the fleet completes with a positive device-steps/sec
+ * figure and (b) the fleet checksum is bit-equal between --shards 1
+ * and --shards 4 — the cross-shard determinism contract, enforced in
+ * the perf-gate CI job. Results land in BENCH_fleet.json.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "dnn/model_zoo.h"
+#include "obs/json.h"
+#include "serve/fleet.h"
+#include "serve/server.h"
+
+using namespace autoscale;
+
+namespace {
+
+/** One fleet run's measurement. */
+struct Measurement {
+    int devices = 0;
+    double contention = 1.0;
+    std::int64_t arrivals = 0;
+    std::int64_t served = 0;
+    std::int64_t qosViolations = 0;
+    double energyJ = 0.0;
+    double seconds = 0.0;
+    std::uint64_t checksum = 0;
+
+    double
+    deviceStepsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(arrivals) / seconds
+                             : 0.0;
+    }
+};
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+serve::FleetConfig
+fleetConfig(int devices, double contention, std::int64_t requests,
+            std::uint64_t seed, int shards)
+{
+    serve::FleetConfig fleet;
+    // No fault plan: injected WLAN faults would trip the breakers and
+    // push everything onto the local fallback, hiding the shared-infra
+    // contention this benchmark is about.
+    fleet.serve.scenario = env::ScenarioId::D3;
+    fleet.serve.totalRequests = requests;
+    fleet.serve.seed = seed;
+    // Throughput of the fleet loop itself: skip pre-training (device 0
+    // would train once and warm-start the rest, but even that single
+    // run would dominate small-fleet timings). A remote-only policy
+    // keeps every request on the shared edge so contention actually
+    // shapes the sweep.
+    fleet.serve.trainRunsPerCombo = 0;
+    fleet.serve.policyName = "connected-edge";
+    fleet.devices = devices;
+    fleet.shards = shards;
+    // Short epochs: at 2x overload the whole arrival burst spans only a
+    // few hundred virtual milliseconds, and contention feeds back one
+    // epoch behind — 50 ms barriers give it several epochs to bite.
+    fleet.epochMs = 50.0;
+    fleet.infra.contention = contention;
+    fleet.infra.brownoutPeriodMs = 200.0;
+    fleet.infra.brownoutDurationMs = 50.0;
+
+    sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    std::vector<const dnn::Network *> networks;
+    for (const dnn::Network &network : dnn::modelZoo()) {
+        networks.push_back(&network);
+    }
+    fleet.serve.arrival.ratePerSec = 2.0 * 1000.0
+        / serve::nominalServiceMs(sim, networks,
+                                  fleet.serve.accuracyTargetPct);
+    return fleet;
+}
+
+Measurement
+runFleetBench(int devices, double contention, std::int64_t requests,
+              std::uint64_t seed, int shards)
+{
+    const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    const serve::FleetConfig fleet =
+        fleetConfig(devices, contention, requests, seed, shards);
+
+    Measurement m;
+    m.devices = devices;
+    m.contention = contention;
+    const double start = now();
+    const serve::FleetStats stats = serve::runFleet(sim, fleet, {});
+    m.seconds = now() - start;
+    m.arrivals = stats.totalArrivals();
+    m.served = stats.totalServed();
+    m.qosViolations = stats.totalQosViolations();
+    m.energyJ = stats.totalEnergyJ();
+    m.checksum = stats.checksum;
+    return m;
+}
+
+void
+printMeasurement(const Measurement &m)
+{
+    std::cout << m.devices << " devices @" << Table::num(m.contention, 0)
+              << "x: " << Table::num(m.deviceStepsPerSec(), 0)
+              << " device-steps/s (" << m.arrivals << " arrivals in "
+              << Table::num(m.seconds, 3) << " s, served " << m.served
+              << ", qos-violations " << m.qosViolations << ", energy "
+              << Table::num(m.energyJ, 2) << " J)\n";
+}
+
+std::string
+measurementJson(const Measurement &m)
+{
+    return std::string("{\"devices\":") + std::to_string(m.devices)
+        + ",\"contention\":" + obs::jsonNumber(m.contention)
+        + ",\"arrivals\":" + std::to_string(m.arrivals)
+        + ",\"served\":" + std::to_string(m.served)
+        + ",\"qos_violations\":" + std::to_string(m.qosViolations)
+        + ",\"energy_j\":" + obs::jsonNumber(m.energyJ)
+        + ",\"seconds\":" + obs::jsonNumber(m.seconds)
+        + ",\"device_steps_per_sec\":"
+        + obs::jsonNumber(m.deviceStepsPerSec()) + ",\"checksum\":\""
+        + std::to_string(m.checksum) + "\"}";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("--seed", 1));
+    const std::int64_t requests = args.getInt("--requests", 100);
+    const int checkDevices = args.getInt("--check-devices", 1000);
+    const std::string out = args.get("--out", "BENCH_fleet.json");
+    const bool check = args.has("--check");
+
+    bench::printHeader(
+        "Fleet serving: device-steps/sec vs fleet size and contention",
+        "Gate: 1000-device 2x-contention fleet completes; checksum "
+        "bit-equal across shard counts");
+
+    // Scaling sweep: fleet size x contention.
+    std::vector<Measurement> sweep;
+    for (const int devices : {64, 256}) {
+        for (const double contention : {1.0, 4.0}) {
+            sweep.push_back(runFleetBench(devices, contention, requests,
+                                          seed, 4));
+            printMeasurement(sweep.back());
+        }
+    }
+
+    // The gate scenario: a big fleet under 2x contention, run with two
+    // shard counts; the checksums must match bit for bit.
+    std::cout << "\ngate: " << checkDevices
+              << "-device fleet @2x contention\n";
+    const Measurement gateA =
+        runFleetBench(checkDevices, 2.0, requests, seed, 1);
+    printMeasurement(gateA);
+    const Measurement gateB =
+        runFleetBench(checkDevices, 2.0, requests, seed, 4);
+    const bool checksumsAgree = gateA.checksum == gateB.checksum;
+    const bool completed =
+        gateA.arrivals
+            == static_cast<std::int64_t>(checkDevices) * requests
+        && gateA.deviceStepsPerSec() > 0.0;
+    std::cout << "cross-shard checksums "
+              << (checksumsAgree ? "agree" : "DISAGREE") << "\n";
+
+    std::ofstream json(out);
+    json << "{\"seed\":" << seed << ",\"requests_per_device\":" << requests
+         << ",\"sweep\":[";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        json << (i > 0 ? "," : "") << measurementJson(sweep[i]);
+    }
+    json << "],\"gate\":{\"shards_1\":" << measurementJson(gateA)
+         << ",\"shards_4\":" << measurementJson(gateB)
+         << ",\"completed\":" << (completed ? "true" : "false")
+         << ",\"checksums_agree\":" << (checksumsAgree ? "true" : "false")
+         << "}}\n";
+    std::cout << "Wrote " << out << "\n";
+
+    if (check) {
+        if (!completed) {
+            std::cerr << "FAIL: gate fleet did not complete all arrivals\n";
+            return 1;
+        }
+        if (!checksumsAgree) {
+            std::cerr << "FAIL: fleet checksum differs across shard "
+                         "counts (determinism violation)\n";
+            return 1;
+        }
+        std::cout << "PASS: gates met\n";
+    }
+    return 0;
+}

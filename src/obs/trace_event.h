@@ -100,6 +100,21 @@ struct DecisionEvent {
     /** Checkpoints written so far when the event was recorded. */
     long long serveCheckpoints = 0;
 
+    // --- Fleet serving (emitted only when deviceId >= 0, so
+    // single-device traces stay byte-identical). ---
+    /** Fleet device index; -1 outside fleet mode. */
+    int deviceId = -1;
+    /** Fleet epoch (virtual-time barrier interval) of the event. */
+    long long fleetEpoch = 0;
+    /** Shared-edge queue depth in the epoch's contention snapshot. */
+    int edgeQueueDepth = 0;
+    /** Extra shared-edge queueing delay applied to this request, ms. */
+    double edgeWaitMs = 0.0;
+    /** Wi-Fi congestion derate applied (1.0 = uncontended). */
+    double congestionDerate = 1.0;
+    /** Whether a shared cloud brownout stretched this request. */
+    bool fleetBrownout = false;
+
     /** Reward folded into the learner for this decision (0 otherwise). */
     double reward = 0.0;
     /**

@@ -101,6 +101,16 @@ eventJson(const DecisionEvent &event, std::size_t sequence)
     appendString(line, "breaker_wlan", event.breakerWlan);
     appendString(line, "breaker_p2p", event.breakerP2p);
     appendInt(line, "serve_checkpoints", event.serveCheckpoints);
+    // Fleet fields appear only for fleet-member events, keeping every
+    // pre-fleet trace (and single-device serve) byte-identical.
+    if (event.deviceId >= 0) {
+        appendInt(line, "device_id", event.deviceId);
+        appendInt(line, "fleet_epoch", event.fleetEpoch);
+        appendInt(line, "edge_queue_depth", event.edgeQueueDepth);
+        appendNumber(line, "edge_wait_ms", event.edgeWaitMs);
+        appendNumber(line, "congestion_derate", event.congestionDerate);
+        appendBool(line, "fleet_brownout", event.fleetBrownout);
+    }
     line += '}';
     return line;
 }

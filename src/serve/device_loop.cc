@@ -1,0 +1,1132 @@
+#include "serve/device_loop.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "baselines/fixed.h"
+#include "baselines/policy.h"
+#include "core/scheduler.h"
+#include "dnn/model_zoo.h"
+#include "dnn/network.h"
+#include "harness/autoscale_policy.h"
+#include "harness/experiment.h"
+#include "obs/metrics_registry.h"
+#include "sim/batch_engine.h"
+#include "util/logging.h"
+
+namespace autoscale::serve {
+
+namespace {
+
+/** EWMA weight for the observed service-time estimate. */
+constexpr double kServiceEwmaAlpha = 0.1;
+
+/** One zoo workload the serving mix can draw. */
+struct Workload {
+    const dnn::Network *network = nullptr;
+    sim::InferenceRequest request;
+    /** Best-case service time (admission floor), ms. */
+    double minServiceMs = 0.0;
+};
+
+void
+declareServeHistograms(obs::MetricsRegistry &metrics)
+{
+    metrics.declareHistogram("serve.latency_ms",
+                             obs::MetricsRegistry::latencyBucketsMs());
+    metrics.declareHistogram("serve.wait_ms",
+                             obs::MetricsRegistry::latencyBucketsMs());
+    metrics.declareHistogram("serve.energy_mj",
+                             obs::MetricsRegistry::energyBucketsMj());
+    metrics.declareHistogram("serve.queue_depth",
+                             {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+                              128.0});
+}
+
+/**
+ * Dense serve-outcome ids: array indices for the allocation-free
+ * metrics recorder (the string names feed trace events and lazy
+ * counter creation only).
+ */
+enum ServeOutcomeId : int {
+    kServed = 0,
+    kShedOverflow,
+    kShedDeadline,
+    kShedStale,
+    kNumServeOutcomes,
+};
+
+constexpr std::array<const char *, kNumServeOutcomes> kServeOutcomeNames =
+    {"served", "shed_overflow", "shed_deadline", "shed_stale"};
+
+ServeOutcomeId
+shedOutcomeId(AdmissionVerdict verdict)
+{
+    switch (verdict) {
+    case AdmissionVerdict::Admitted:
+        return kServed;
+    case AdmissionVerdict::ShedOverflow:
+        return kShedOverflow;
+    case AdmissionVerdict::ShedDeadline:
+        return kShedDeadline;
+    }
+    panic("unreachable admission verdict");
+}
+
+/** Skeleton event shared by served and shed records. */
+obs::DecisionEvent
+makeServeEvent(const baselines::SchedulingPolicy &policy,
+               const Workload &workload, const char *scenarioName,
+               const char *serveOutcome, int queueDepth,
+               std::int64_t checkpoints)
+{
+    obs::DecisionEvent event;
+    event.policy = policy.name();
+    event.network = workload.network->name();
+    event.scenario = scenarioName;
+    event.phase = "serve";
+    event.qosMs = workload.request.qosMs;
+    event.serveOutcome = serveOutcome;
+    event.queueDepth = queueDepth;
+    event.serveCheckpoints = checkpoints;
+    return event;
+}
+
+/**
+ * Per-run serve counter handles. The fixed counters are resolved once
+ * at construction and the per-outcome / per-category names memoized on
+ * first sight, so the steady-state loop increments through pre-resolved
+ * handles with no string building or registry name lookups.
+ */
+class ServeMetricsRecorder {
+  public:
+    explicit ServeMetricsRecorder(obs::MetricsRegistry &metrics)
+        : metrics_(metrics),
+          qosViolations_(&metrics.counter("serve.qos_violations")),
+          degraded_(&metrics.counter("serve.degraded")),
+          breakerShortCircuits_(
+              &metrics.counter("serve.breaker.short_circuits")),
+          faultFallbacks_(&metrics.counter("serve.fault.fallbacks")),
+          checkpoints_(&metrics.counter("serve.checkpoints"))
+    {
+    }
+
+    /** Handle for the checkpoint-written counter. */
+    obs::Counter &checkpoints() { return *checkpoints_; }
+
+    void
+    record(const obs::DecisionEvent &event)
+    {
+        counterFor(outcomeCounters_, event.serveOutcome, [&] {
+            return "serve." + event.serveOutcome;
+        }).add();
+        metrics_.observe("serve.queue_depth",
+                         static_cast<double>(event.queueDepth));
+        if (event.serveOutcome != "served") {
+            return;
+        }
+        counterFor(decisionCounters_, event.category, [&] {
+            return "serve.decisions." + obs::metricSlug(event.category);
+        }).add();
+        if (event.qosViolated) {
+            qosViolations_->add();
+        }
+        if (event.degradeLevel > 0) {
+            degraded_->add();
+        }
+        if (event.breakerShortCircuit) {
+            breakerShortCircuits_->add();
+        }
+        if (event.faultFallback) {
+            faultFallbacks_->add();
+        }
+        metrics_.observe("serve.wait_ms", event.queueWaitMs);
+        metrics_.observe("serve.latency_ms", event.latencyMs);
+        metrics_.observe("serve.energy_mj", event.energyJ * 1e3);
+    }
+
+  private:
+    /** Memoized handle; @p makeName runs only on first sight of key. */
+    template <typename NameFn>
+    obs::Counter &
+    counterFor(std::map<std::string, obs::Counter *> &memo,
+               const std::string &key, NameFn &&makeName)
+    {
+        const auto it = memo.find(key);
+        if (it != memo.end()) {
+            return *it->second;
+        }
+        obs::Counter &counter = metrics_.counter(makeName());
+        memo.emplace(key, &counter);
+        return counter;
+    }
+
+    obs::MetricsRegistry &metrics_;
+    obs::Counter *qosViolations_;
+    obs::Counter *degraded_;
+    obs::Counter *breakerShortCircuits_;
+    obs::Counter *faultFallbacks_;
+    obs::Counter *checkpoints_;
+    std::map<std::string, obs::Counter *> outcomeCounters_;
+    std::map<std::string, obs::Counter *> decisionCounters_;
+};
+
+/**
+ * Allocation-free serve metrics recorder for the batched path. Where
+ * ServeMetricsRecorder keys its memos by strings taken from a built
+ * DecisionEvent, this recorder is indexed by dense outcome/category
+ * ids through pre-resolved Counter and HistogramHandle handles, so a
+ * metering-only run records a served request with no DecisionEvent,
+ * no string building, and no map lookup.
+ *
+ * Parity: the per-outcome and per-category counters are still resolved
+ * lazily, on first hit, so the *set* of exported metric names — and
+ * therefore the metrics dump — is byte-identical to the scalar
+ * recorder's (a counter that was never incremented must not appear).
+ */
+class FastServeMetrics {
+  public:
+    explicit FastServeMetrics(obs::MetricsRegistry &metrics)
+        : metrics_(metrics),
+          qosViolations_(&metrics.counter("serve.qos_violations")),
+          degraded_(&metrics.counter("serve.degraded")),
+          breakerShortCircuits_(
+              &metrics.counter("serve.breaker.short_circuits")),
+          faultFallbacks_(&metrics.counter("serve.fault.fallbacks")),
+          checkpoints_(&metrics.counter("serve.checkpoints")),
+          queueDepth_(metrics.histogramHandle("serve.queue_depth")),
+          waitMs_(metrics.histogramHandle("serve.wait_ms")),
+          latencyMs_(metrics.histogramHandle("serve.latency_ms")),
+          energyMj_(metrics.histogramHandle("serve.energy_mj"))
+    {
+        outcomeCounters_.fill(nullptr);
+        decisionCounters_.fill(nullptr);
+    }
+
+    /** Handle for the checkpoint-written counter. */
+    obs::Counter &checkpoints() { return *checkpoints_; }
+
+    void
+    recordShed(ServeOutcomeId outcome, int depth)
+    {
+        outcomeCounter(outcome).add();
+        queueDepth_.observe(static_cast<double>(depth));
+    }
+
+    void
+    recordServed(sim::TargetCategoryId category, bool qosViolated,
+                 bool degraded, bool shortCircuit, bool faultFallback,
+                 double waitMs, double latencyMs, double energyMj,
+                 int depth)
+    {
+        // Same operation order as ServeMetricsRecorder::record so each
+        // histogram accumulates its (order-sensitive) sum identically.
+        outcomeCounter(kServed).add();
+        queueDepth_.observe(static_cast<double>(depth));
+        decisionCounter(category).add();
+        if (qosViolated) {
+            qosViolations_->add();
+        }
+        if (degraded) {
+            degraded_->add();
+        }
+        if (shortCircuit) {
+            breakerShortCircuits_->add();
+        }
+        if (faultFallback) {
+            faultFallbacks_->add();
+        }
+        waitMs_.observe(waitMs);
+        latencyMs_.observe(latencyMs);
+        energyMj_.observe(energyMj);
+    }
+
+  private:
+    obs::Counter &
+    outcomeCounter(ServeOutcomeId outcome)
+    {
+        const auto index = static_cast<std::size_t>(outcome);
+        if (outcomeCounters_[index] == nullptr) {
+            outcomeCounters_[index] = &metrics_.counter(
+                std::string("serve.") + kServeOutcomeNames[index]);
+        }
+        return *outcomeCounters_[index];
+    }
+
+    obs::Counter &
+    decisionCounter(sim::TargetCategoryId category)
+    {
+        const auto index = static_cast<std::size_t>(category);
+        AS_CHECK(index < decisionCounters_.size());
+        if (decisionCounters_[index] == nullptr) {
+            decisionCounters_[index] = &metrics_.counter(
+                "serve.decisions."
+                + obs::metricSlug(sim::targetCategoryName(category)));
+        }
+        return *decisionCounters_[index];
+    }
+
+    obs::MetricsRegistry &metrics_;
+    obs::Counter *qosViolations_;
+    obs::Counter *degraded_;
+    obs::Counter *breakerShortCircuits_;
+    obs::Counter *faultFallbacks_;
+    obs::Counter *checkpoints_;
+    obs::HistogramHandle queueDepth_;
+    obs::HistogramHandle waitMs_;
+    obs::HistogramHandle latencyMs_;
+    obs::HistogramHandle energyMj_;
+    std::array<obs::Counter *, kNumServeOutcomes> outcomeCounters_;
+    std::array<obs::Counter *, sim::kNumTargetCategories>
+        decisionCounters_;
+};
+
+/**
+ * Fleet-mode contention metrics (serve.fleet.*), recorded by both the
+ * scalar and batched paths so --batch 0 fleets meter identically.
+ * Declaration is lazy — the serve.fleet.* series only appear once a
+ * request actually touched shared infrastructure, so an uncontended
+ * fleet (or a fleet of one) exports the exact pre-fleet metric-name
+ * set.
+ */
+struct FleetContentionMetrics {
+    explicit FleetContentionMetrics(obs::MetricsRegistry &metrics_in)
+        : metrics(&metrics_in)
+    {
+    }
+
+    void
+    observeEdgeWait(double waitMs)
+    {
+        resolve();
+        edgeWaitMs.observe(waitMs);
+    }
+
+    void
+    observeCloud(double derateValue, bool brownoutHit)
+    {
+        resolve();
+        derate.observe(derateValue);
+        if (brownoutHit) {
+            brownoutServed->add();
+        }
+    }
+
+private:
+    void
+    resolve()
+    {
+        if (brownoutServed != nullptr) {
+            return;
+        }
+        metrics->declareHistogram("serve.fleet.edge_wait_ms",
+                                  obs::MetricsRegistry::latencyBucketsMs());
+        metrics->declareHistogram("serve.fleet.congestion_derate",
+                                  {0.125, 0.25, 0.375, 0.5, 0.625, 0.75,
+                                   0.875, 1.0});
+        edgeWaitMs = metrics->histogramHandle("serve.fleet.edge_wait_ms");
+        derate = metrics->histogramHandle("serve.fleet.congestion_derate");
+        brownoutServed = &metrics->counter("serve.fleet.brownout_served");
+    }
+
+    obs::MetricsRegistry *metrics;
+    obs::HistogramHandle edgeWaitMs;
+    obs::HistogramHandle derate;
+    obs::Counter *brownoutServed = nullptr;
+};
+
+} // namespace
+
+/**
+ * All of `runServe`'s former local state, verbatim, plus the fleet
+ * hooks (epoch barrier, contention snapshot, usage accounting). The
+ * member initialization below replays the original function body's
+ * statement order exactly — the RNG fan-out and every side effect
+ * happen in the same sequence, so a full-run advance() is bit-identical
+ * to the pre-refactor loop.
+ */
+struct DeviceLoop::Impl {
+    Impl(const sim::InferenceSimulator &sim_in, const ServeConfig &config_in,
+         const obs::ObsContext &obs_in, int deviceId_in,
+         const core::AutoScaleScheduler *warmStart);
+
+    void advance(double untilMs);
+    void scalarLoop(double untilMs);
+    void batchedLoop(double untilMs);
+    void admitUpTo(double nowMs);
+    void recordShed(const Workload &workload, ServeOutcomeId outcome,
+                    int depth);
+    void commitRequest(const QueuedRequest &queued, int degradeLevel,
+                       int depthAtDequeue, sim::BatchDecisionEngine *engine);
+    void checkpointNow();
+    ServeStats finish();
+
+    const sim::InferenceSimulator &sim;
+    ServeConfig config;
+    obs::ObsContext obs;
+    int deviceId;
+
+    ServeStats stats;
+    std::vector<const dnn::Network *> networks;
+    std::vector<Workload> workloads;
+
+    Rng envRng;
+    Rng decisionRng;
+    Rng execRng;
+    Rng workloadRng;
+
+    std::unique_ptr<baselines::SchedulingPolicy> policy;
+    harness::AutoScalePolicy *learner = nullptr;
+    std::optional<CheckpointManager> manager;
+    std::int64_t startStep = 0;
+
+    std::optional<env::Scenario> scenario;
+    std::optional<ArrivalProcess> arrivals;
+    std::optional<AdmissionQueue> queue;
+    std::optional<CircuitBreaker> wlanBreaker;
+    std::optional<CircuitBreaker> p2pBreaker;
+    fault::RetryPolicy probeRetry;
+
+    bool batched = false;
+    std::optional<ServeMetricsRecorder> serveMetrics;
+    std::optional<FastServeMetrics> fastMetrics;
+    std::optional<FleetContentionMetrics> fleetMetrics;
+    std::optional<sim::BatchDecisionEngine> engine;
+
+    double clockMs = 0.0;
+    double ewmaServiceMs = 0.0;
+    double pendingArrivalMs = 0.0;
+    bool arrivalsDone = false;
+    bool loopDone = false;
+    bool finished = false;
+
+    std::array<std::int64_t, sim::kNumTargetCategories> categoryTally{};
+
+    // --- Fleet hooks (inert outside fleet mode). ---
+    /** Frozen contention snapshot for the current advance() slice. */
+    const SharedSnapshot *shared = nullptr;
+    /** Fleet epoch index recorded on trace events. */
+    std::int64_t epoch = 0;
+    EpochUsage usage;
+};
+
+DeviceLoop::Impl::Impl(const sim::InferenceSimulator &sim_in,
+                       const ServeConfig &config_in,
+                       const obs::ObsContext &obs_in, int deviceId_in,
+                       const core::AutoScaleScheduler *warmStart)
+    : sim(sim_in), config(config_in), obs(obs_in), deviceId(deviceId_in)
+{
+    AS_CHECK(config.totalRequests > 0);
+    stats.breakerEnabled = config.breakerEnabled;
+
+    // --- Workload mix. ---
+    for (const dnn::Network &network : dnn::modelZoo()) {
+        if (config.networkFilter.empty()
+            || network.name() == config.networkFilter) {
+            networks.push_back(&network);
+        }
+    }
+    if (networks.empty()) {
+        fatal("serve: unknown network '" + config.networkFilter + "'");
+    }
+    const std::vector<double> floors =
+        minServiceMsPerNetwork(sim, networks, config.accuracyTargetPct);
+    workloads.reserve(networks.size());
+    for (std::size_t i = 0; i < networks.size(); ++i) {
+        workloads.push_back(Workload{
+            networks[i],
+            sim::makeRequest(*networks[i], config.accuracyTargetPct),
+            floors[i]});
+    }
+
+    // --- Deterministic RNG fan-out (fixed fork order; see server.h).
+    // Every stream is forked for every device — including streams a
+    // warm-started fleet device never consumes (trainRng) — so the
+    // fan-out is a pure function of the device seed. ---
+    Rng master(config.seed);
+    Rng trainRng = master.fork();
+    const std::uint64_t arrivalSeed = master.next();
+    envRng = master.fork();
+    decisionRng = master.fork();
+    execRng = master.fork();
+    workloadRng = master.fork();
+    const std::uint64_t wlanSeed = master.next();
+    const std::uint64_t p2pSeed = master.next();
+    const std::uint64_t policySeed = master.next();
+
+    // --- Policy. Fixed baselines run the same loop (useful to expose
+    // the breaker and shedding machinery to remote-heavy traffic), but
+    // only the AutoScale learner has a Q-table to checkpoint. ---
+    if (config.policyName.empty() || config.policyName == "autoscale") {
+        auto autoscale = harness::makeAutoScalePolicy(sim, policySeed);
+        learner = autoscale.get();
+        policy = std::move(autoscale);
+    } else if (config.policyName == "cloud") {
+        policy = baselines::makeCloudPolicy(sim);
+    } else if (config.policyName == "connected-edge") {
+        policy = baselines::makeConnectedEdgePolicy(sim);
+    } else if (config.policyName == "edge-best") {
+        policy = baselines::makeEdgeBestPolicy(sim);
+    } else if (config.policyName == "edge-cpu") {
+        policy = baselines::makeEdgeCpuFp32Policy(sim);
+    } else {
+        fatal("serve: unknown policy '" + config.policyName
+              + "' (expected autoscale, cloud, connected-edge, edge-best,"
+                " or edge-cpu)");
+    }
+    if (learner == nullptr
+        && (!config.checkpointPath.empty() || !config.qtablePath.empty())) {
+        fatal("serve: --checkpoint/--qtable apply to the autoscale policy"
+              " only");
+    }
+
+    // --- Q-table provenance: warm start (fleet peers) > checkpoint >
+    // --qtable > pre-training. ---
+    if (!config.checkpointPath.empty()) {
+        manager.emplace(config.checkpointPath);
+    }
+    if (learner != nullptr && warmStart != nullptr) {
+        // Fleet peer: device 0 already trained (or loaded) this table;
+        // copy it instead of repeating the work N times.
+        learner->scheduler().transferFrom(*warmStart);
+    } else {
+        bool restored = false;
+        if (config.resume) {
+            if (!manager) {
+                fatal("serve: --resume requires --checkpoint");
+            }
+            core::AutoScaleScheduler &scheduler = learner->scheduler();
+            const CheckpointLoadResult recovery = manager->load();
+            stats.corruptCheckpoints = recovery.corruptDetected;
+            stats.resumeSource = recovery.source;
+            if (recovery.loaded) {
+                if (recovery.data.fingerprint
+                    != scheduler.actionFingerprint()) {
+                    fatal("serve: checkpoint '" + config.checkpointPath
+                          + "' was written for a different action space");
+                }
+                core::QTable &live =
+                    scheduler.mutableAgent().mutableTable();
+                if (recovery.data.table.numStates() != live.numStates()
+                    || recovery.data.table.numActions()
+                        != live.numActions()) {
+                    fatal("serve: checkpoint '" + config.checkpointPath
+                          + "' has mismatched Q-table dimensions");
+                }
+                // Q values and the step counter are restored; per-cell
+                // visit counts are not checkpointed, so post-resume
+                // updates restart at the full learning rate. That only
+                // accelerates re-convergence toward the same steady
+                // state.
+                live = recovery.data.table;
+                startStep = recovery.data.step;
+                stats.resumed = true;
+                stats.resumeStep = recovery.data.step;
+                restored = true;
+            }
+        }
+        if (learner != nullptr && !restored) {
+            if (!config.qtablePath.empty()) {
+                std::ifstream in(config.qtablePath);
+                if (!in) {
+                    fatal("serve: cannot open Q-table '" + config.qtablePath
+                          + "'");
+                }
+                learner->scheduler().loadQTable(in);
+            } else if (config.trainRunsPerCombo > 0) {
+                harness::trainPolicy(*learner, sim, networks,
+                                     {config.scenario},
+                                     config.trainRunsPerCombo, trainRng,
+                                     false, config.accuracyTargetPct);
+            }
+        }
+    }
+    // Serving keeps learning online (the paper's deployment mode), so
+    // the loop itself is the convergence mechanism after a resume.
+    policy->setExploration(true);
+    policy->setLearning(true);
+
+    // --- Loop state. ---
+    scenario.emplace(config.scenario, config.faults);
+    arrivals.emplace(config.arrival, arrivalSeed);
+    queue.emplace(config.admission);
+    wlanBreaker.emplace(config.breaker, wlanSeed);
+    p2pBreaker.emplace(config.breaker, p2pSeed);
+    probeRetry = config.retry;
+    probeRetry.maxRetries = 0;
+
+    // Batched (SoA gather/commit) vs scalar reference dispatch. Both
+    // paths produce byte-identical output (DESIGN.md §14); the batched
+    // path records through dense pre-resolved handles and skips
+    // DecisionEvent construction entirely when only metering is on.
+    batched = config.batchSize >= 1;
+
+    if (obs.metering()) {
+        declareServeHistograms(*obs.metrics);
+        if (batched) {
+            fastMetrics.emplace(*obs.metrics);
+        } else {
+            serveMetrics.emplace(*obs.metrics);
+        }
+        if (deviceId >= 0) {
+            fleetMetrics.emplace(*obs.metrics);
+        }
+    }
+    if (batched) {
+        engine.emplace(sim, static_cast<std::size_t>(config.batchSize));
+    }
+
+    clockMs = 0.0;
+    ewmaServiceMs =
+        nominalServiceMs(sim, networks, config.accuracyTargetPct);
+    pendingArrivalMs = arrivals->nextArrivalMs();
+    arrivalsDone = false;
+}
+
+void
+DeviceLoop::Impl::checkpointNow()
+{
+    if (!manager) {
+        return;
+    }
+    core::AutoScaleScheduler &scheduler = learner->scheduler();
+    std::string error;
+    if (!manager->save(scheduler.actionFingerprint(),
+                       startStep + stats.served,
+                       scheduler.agent().table(), &error)) {
+        fatal("serve: checkpoint failed: " + error);
+    }
+    stats.checkpointsWritten = manager->written();
+    if (serveMetrics) {
+        serveMetrics->checkpoints().add();
+    }
+    if (fastMetrics) {
+        fastMetrics->checkpoints().add();
+    }
+}
+
+void
+DeviceLoop::Impl::recordShed(const Workload &workload,
+                             ServeOutcomeId outcome, int depth)
+{
+    if (fastMetrics) {
+        fastMetrics->recordShed(outcome, depth);
+    }
+    if (!serveMetrics && !obs.tracing()) {
+        return;
+    }
+    obs::DecisionEvent event = makeServeEvent(
+        *policy, workload, scenario->name(),
+        kServeOutcomeNames[static_cast<std::size_t>(outcome)], depth,
+        stats.checkpointsWritten);
+    event.target = "(shed)";
+    event.category = "(shed)";
+    if (config.breakerEnabled) {
+        event.breakerWlan = breakerStateName(wlanBreaker->state());
+        event.breakerP2p = breakerStateName(p2pBreaker->state());
+    }
+    if (deviceId >= 0) {
+        event.deviceId = deviceId;
+        event.fleetEpoch = epoch;
+        if (shared != nullptr) {
+            event.edgeQueueDepth = shared->edgeQueueDepth;
+            event.congestionDerate = shared->wifiDerate;
+            event.fleetBrownout = shared->brownout;
+        }
+    }
+    if (serveMetrics) {
+        serveMetrics->record(event);
+    }
+    if (obs.tracing()) {
+        obs.trace->record(std::move(event));
+    }
+}
+
+// Admit every arrival at or before the current virtual time.
+void
+DeviceLoop::Impl::admitUpTo(double nowMs)
+{
+    while (!arrivalsDone && pendingArrivalMs <= nowMs) {
+        const int index = static_cast<int>(
+            workloadRng.uniformInt(workloads.size()));
+        const Workload &workload = workloads[index];
+        const QueuedRequest request{
+            stats.arrivals, pendingArrivalMs,
+            pendingArrivalMs + workload.request.qosMs, index};
+        ++stats.arrivals;
+        const AdmissionVerdict verdict = queue->offer(
+            request, nowMs, ewmaServiceMs, workload.minServiceMs);
+        switch (verdict) {
+        case AdmissionVerdict::Admitted:
+            ++stats.admitted;
+            break;
+        case AdmissionVerdict::ShedOverflow:
+            ++stats.shedOverflow;
+            recordShed(workload, shedOutcomeId(verdict),
+                       static_cast<int>(queue->depth()));
+            break;
+        case AdmissionVerdict::ShedDeadline:
+            ++stats.shedDeadline;
+            recordShed(workload, shedOutcomeId(verdict),
+                       static_cast<int>(queue->depth()));
+            break;
+        }
+        if (arrivals->count() >= config.totalRequests) {
+            arrivalsDone = true;
+        } else {
+            pendingArrivalMs = arrivals->nextArrivalMs();
+        }
+    }
+}
+
+// Commit one popped request — the shared body of the scalar and
+// batched loops. @p batchEngine is non-null on the batched path, where
+// it supplies the memoized best-local-target (identical values,
+// computed once per request instead of up to three times).
+void
+DeviceLoop::Impl::commitRequest(const QueuedRequest &queued,
+                                int degradeLevel, int depthAtDequeue,
+                                sim::BatchDecisionEngine *batchEngine)
+{
+    const Workload &workload = workloads[queued.networkIndex];
+
+    // Stale re-check: the admission estimate may have aged badly
+    // (a burst of slow services after this request was admitted).
+    if (clockMs + workload.minServiceMs > queued.deadlineMs) {
+        ++stats.shedStale;
+        recordShed(workload, kShedStale, depthAtDequeue);
+        return;
+    }
+
+    env::EnvState env = scenario->next(envRng);
+    baselines::Decision decision =
+        policy->decide(workload.request, env, decisionRng);
+
+    // Best local target for this (request, env) pair, wanted by up
+    // to three sites below with identical arguments. The function
+    // is pure, so the engine memo is bit-identical to recomputing.
+    auto bestLocal = [&]() {
+        return batchEngine != nullptr
+            ? batchEngine->bestLocalTarget(*workload.network, env,
+                                           config.accuracyTargetPct)
+            : sim.bestLocalTarget(*workload.network, env,
+                                  config.accuracyTargetPct);
+    };
+
+    // Graceful degradation: under queue pressure, force expensive
+    // remote/partitioned picks onto the cheap local variant before
+    // any request has to be dropped.
+    bool degraded = false;
+    const bool remoteDecision = decision.partitioned
+        || decision.target.place != sim::TargetPlace::Local;
+    if (degradeLevel > 0 && remoteDecision) {
+        decision = baselines::makeTargetDecision(bestLocal());
+        degraded = true;
+        ++stats.degraded;
+    }
+
+    // Circuit-breaker gate on the remote place the decision needs.
+    CircuitBreaker *breaker = nullptr;
+    bool shortCircuited = false;
+    bool probing = false;
+    if (config.breakerEnabled
+        && (decision.partitioned
+            || decision.target.place != sim::TargetPlace::Local)) {
+        const sim::TargetPlace place = decision.partitioned
+            ? decision.partition.remotePlace : decision.target.place;
+        breaker = place == sim::TargetPlace::Cloud
+            ? &*wlanBreaker : &*p2pBreaker;
+        if (!breaker->allowAttempt(clockMs)) {
+            // Open breaker: skip the doomed remote attempt (and its
+            // timeout+retry energy) entirely.
+            shortCircuited = true;
+            breaker = nullptr;
+            decision = baselines::makeTargetDecision(bestLocal());
+        } else {
+            probing = breaker->probing();
+        }
+    }
+
+    // Half-open probes run with zero retries: one cheap attempt
+    // decides reopen-vs-close instead of a full retry cycle.
+    const fault::RetryPolicy &retry =
+        breaker != nullptr && probing ? probeRetry : config.retry;
+    sim::FaultOutcome faultResult = baselines::executeDecisionWithFaults(
+        sim, workload.request, decision, env, retry, execRng);
+    if (breaker != nullptr) {
+        if (faultResult.fellBack) {
+            breaker->recordFailure(clockMs);
+        } else {
+            breaker->recordSuccess(clockMs);
+        }
+    }
+    policy->feedback(faultResult.outcome);
+
+    // Infeasible picks execute on the fallback for the user, like
+    // the batch harness does.
+    sim::Outcome measured = faultResult.outcome;
+    if (!measured.feasible) {
+        measured = sim.run(*workload.network, bestLocal(), env, execRng);
+    }
+
+    double serviceMs = measured.latencyMs;
+
+    // --- Fleet contention (DESIGN.md §15). shared == nullptr outside
+    // fleet mode: the block is skipped and serviceMs is untouched. A
+    // neutral snapshot applies only IEEE-754 identities (+0.0, /1.0),
+    // so a one-device fleet stays bit-identical too. ---
+    double edgeWaitMs = 0.0;
+    double derate = 1.0;
+    bool brownoutHit = false;
+    if (shared != nullptr) {
+        // Where the request actually executed: fallbacks, infeasible
+        // reruns, and short-circuits all landed on the local device
+        // and consume no shared capacity.
+        sim::TargetPlace place = sim::TargetPlace::Local;
+        if (!faultResult.fellBack && faultResult.outcome.feasible) {
+            place = decision.partitioned ? decision.partition.remotePlace
+                                         : decision.target.place;
+        }
+        if (place == sim::TargetPlace::ConnectedEdge) {
+            // Slot occupancy is the actual service time; the queue wait
+            // delays this device but holds no edge slot.
+            edgeWaitMs = shared->edgeQueueMs;
+            usage.edgeBusyMs += serviceMs;
+            ++usage.edgeJobs;
+            serviceMs += edgeWaitMs;
+            if (fleetMetrics) {
+                fleetMetrics->observeEdgeWait(edgeWaitMs);
+            }
+        } else if (place == sim::TargetPlace::Cloud) {
+            // Congested Wi-Fi stretches the transfer (rate derate), and
+            // a browned-out cloud stretches the whole service. The
+            // stretched time is what occupies the channel.
+            derate = shared->wifiDerate;
+            serviceMs /= derate;
+            if (shared->brownout) {
+                serviceMs *= shared->cloudSlowdown;
+                brownoutHit = true;
+            }
+            usage.cloudBusyMs += serviceMs;
+            ++usage.cloudJobs;
+            if (fleetMetrics) {
+                fleetMetrics->observeCloud(derate, brownoutHit);
+            }
+        }
+    }
+
+    const double waitMs = std::max(0.0, clockMs - queued.arrivalMs);
+    const double latencyMs = waitMs + serviceMs;
+    const double finishMs = clockMs + serviceMs;
+    const bool qosViolated = finishMs > queued.deadlineMs;
+
+    ++stats.served;
+    stats.totalWaitMs += waitMs;
+    stats.totalServiceMs += serviceMs;
+    stats.latenciesMs.push_back(latencyMs);
+    stats.energyJ += measured.energyJ;
+    stats.wastedEnergyJ += faultResult.wastedEnergyJ;
+    if (faultResult.fellBack) {
+        ++stats.faultFallbacks;
+    }
+    if (qosViolated) {
+        ++stats.qosViolations;
+    }
+    if (!faultResult.outcome.feasible
+        || measured.accuracyPct < workload.request.accuracyTargetPct) {
+        ++stats.accuracyViolations;
+    }
+    if (batchEngine != nullptr) {
+        ++categoryTally[static_cast<std::size_t>(decision.categoryId())];
+    } else {
+        ++stats.categoryCounts[decision.category()];
+    }
+    ewmaServiceMs = (1.0 - kServiceEwmaAlpha) * ewmaServiceMs
+        + kServiceEwmaAlpha * serviceMs;
+
+    if (fastMetrics) {
+        fastMetrics->recordServed(
+            decision.categoryId(), qosViolated, degraded, shortCircuited,
+            faultResult.fellBack, waitMs, latencyMs,
+            measured.energyJ * 1e3, depthAtDequeue);
+    }
+    if (serveMetrics || obs.tracing()) {
+        obs::DecisionEvent event = makeServeEvent(
+            *policy, workload, scenario->name(), "served", depthAtDequeue,
+            stats.checkpointsWritten);
+        event.coCpuUtil = env.coCpuUtil;
+        event.coMemUtil = env.coMemUtil;
+        event.rssiWlanDbm = env.rssiWlanDbm;
+        event.rssiP2pDbm = env.rssiP2pDbm;
+        event.thermalFactor = env.thermalFactor;
+        event.target = decision.partitioned
+            ? decision.category() : decision.target.label();
+        event.category = decision.category();
+        event.partitioned = decision.partitioned;
+        event.feasible = faultResult.outcome.feasible;
+        event.fallback = !faultResult.outcome.feasible;
+        event.latencyMs = latencyMs;
+        event.energyJ = measured.energyJ;
+        event.accuracyPct = measured.accuracyPct;
+        event.qosViolated = qosViolated;
+        event.accuracyViolated =
+            measured.accuracyPct < workload.request.accuracyTargetPct;
+        event.faultAttempts = faultResult.attempts;
+        event.faultTimeouts = faultResult.timeouts;
+        event.faultDrops = faultResult.drops;
+        event.faultLinkDown = faultResult.linkDown;
+        event.faultFallback = faultResult.fellBack;
+        event.faultWastedEnergyJ = faultResult.wastedEnergyJ;
+        event.queueWaitMs = waitMs;
+        event.degradeLevel = degraded ? degradeLevel : 0;
+        event.breakerShortCircuit = shortCircuited;
+        if (config.breakerEnabled) {
+            event.breakerWlan = breakerStateName(wlanBreaker->state());
+            event.breakerP2p = breakerStateName(p2pBreaker->state());
+        }
+        if (deviceId >= 0) {
+            event.deviceId = deviceId;
+            event.fleetEpoch = epoch;
+            event.edgeWaitMs = edgeWaitMs;
+            event.congestionDerate = derate;
+            event.fleetBrownout = brownoutHit;
+            if (shared != nullptr) {
+                event.edgeQueueDepth = shared->edgeQueueDepth;
+            }
+        }
+        policy->describeLastDecision(event);
+        if (serveMetrics) {
+            serveMetrics->record(event);
+        }
+        if (obs.tracing()) {
+            obs.trace->record(std::move(event));
+        }
+    }
+
+    clockMs = finishMs;
+    if (manager && config.checkpointIntervalRequests > 0
+        && stats.served % config.checkpointIntervalRequests == 0) {
+        checkpointNow();
+    }
+}
+
+// Scalar reference loop: one admit/pop/commit per iteration. With
+// untilMs == +inf this is the original runServe loop verbatim; a
+// finite barrier pauses before processing anything at or beyond it.
+void
+DeviceLoop::Impl::scalarLoop(double untilMs)
+{
+    while (clockMs < untilMs) {
+        admitUpTo(clockMs);
+        if (queue->empty()) {
+            if (arrivalsDone) {
+                loopDone = true;
+                break;
+            }
+            if (pendingArrivalMs >= untilMs) {
+                // Idle until after the barrier; the next epoch jumps.
+                break;
+            }
+            // Idle: jump to the next arrival.
+            clockMs = std::max(clockMs, pendingArrivalMs);
+            continue;
+        }
+        const int degradeLevel = queue->degradeLevel();
+        const QueuedRequest queued = queue->pop();
+        const int depthAtDequeue = static_cast<int>(queue->depth()) + 1;
+        commitRequest(queued, degradeLevel, depthAtDequeue, nullptr);
+    }
+}
+
+// Batched SoA path: gather the ready queue prefix into the engine's
+// slots (a peek — admission only appends, so the prefix stays valid),
+// then commit the slots sequentially, replaying the scalar loop's
+// exact operation order (admissions between commits, degrade level and
+// depth read at pop time). An epoch barrier may interrupt mid-batch:
+// un-popped slots simply stay queued and are re-gathered next epoch,
+// so the commit sequence is identical for every barrier placement.
+void
+DeviceLoop::Impl::batchedLoop(double untilMs)
+{
+    while (clockMs < untilMs) {
+        admitUpTo(clockMs);
+        if (queue->empty()) {
+            if (arrivalsDone) {
+                loopDone = true;
+                break;
+            }
+            if (pendingArrivalMs >= untilMs) {
+                break;
+            }
+            // Idle: jump to the next arrival.
+            clockMs = std::max(clockMs, pendingArrivalMs);
+            continue;
+        }
+        engine->beginTick(clockMs);
+        const std::size_t ready = std::min(
+            queue->depth(), static_cast<std::size_t>(config.batchSize));
+        for (std::size_t i = 0; i < ready; ++i) {
+            const QueuedRequest &peeked = queue->at(i);
+            const Workload &workload = workloads[peeked.networkIndex];
+            engine->addSlot(peeked.id, peeked.arrivalMs, peeked.deadlineMs,
+                            peeked.networkIndex, workload.network,
+                            workload.minServiceMs);
+        }
+        for (std::size_t slot = 0; slot < engine->size(); ++slot) {
+            if (clockMs >= untilMs) {
+                break;
+            }
+            if (slot > 0) {
+                // What the scalar loop's next iteration would have
+                // admitted before popping this request.
+                admitUpTo(clockMs);
+            }
+            engine->beginRequest();
+            const int degradeLevel = queue->degradeLevel();
+            const QueuedRequest queued = queue->pop();
+            AS_CHECK(queued.id == engine->id(slot));
+            const int depthAtDequeue =
+                static_cast<int>(queue->depth()) + 1;
+            commitRequest(queued, degradeLevel, depthAtDequeue, &*engine);
+        }
+    }
+}
+
+void
+DeviceLoop::Impl::advance(double untilMs)
+{
+    if (loopDone) {
+        return;
+    }
+    if (!batched) {
+        scalarLoop(untilMs);
+    } else {
+        batchedLoop(untilMs);
+    }
+}
+
+ServeStats
+DeviceLoop::Impl::finish()
+{
+    AS_CHECK(!finished);
+    finished = true;
+
+    // Fold the batched path's dense tally into the report's name-keyed
+    // map. Zero-count categories are skipped, matching the scalar map,
+    // which only creates keys it increments.
+    for (std::size_t i = 0; i < categoryTally.size(); ++i) {
+        if (categoryTally[i] > 0) {
+            stats.categoryCounts[sim::targetCategoryName(
+                static_cast<sim::TargetCategoryId>(i))] += categoryTally[i];
+        }
+    }
+
+    // RNG fingerprint: one post-run draw per serving stream, hash
+    // combined. Any draw an optimized path hoists, drops, or reorders
+    // shifts at least one stream and changes the fingerprint.
+    auto mixFingerprint = [](std::uint64_t fp, std::uint64_t draw) {
+        return fp
+            ^ (draw + 0x9e3779b97f4a7c15ULL + (fp << 6) + (fp >> 2));
+    };
+    std::uint64_t fingerprint = 0;
+    fingerprint = mixFingerprint(fingerprint, envRng.next());
+    fingerprint = mixFingerprint(fingerprint, decisionRng.next());
+    fingerprint = mixFingerprint(fingerprint, execRng.next());
+    fingerprint = mixFingerprint(fingerprint, workloadRng.next());
+    stats.rngFingerprint = fingerprint;
+
+    policy->finishEpisode();
+    wlanBreaker->finalize(clockMs);
+    p2pBreaker->finalize(clockMs);
+    checkpointNow();
+
+    stats.maxQueueDepth = queue->maxDepthSeen();
+    stats.wlanBreaker = wlanBreaker->stats();
+    stats.p2pBreaker = p2pBreaker->stats();
+    stats.breakerShortCircuits =
+        stats.wlanBreaker.shortCircuits + stats.p2pBreaker.shortCircuits;
+    stats.endClockMs = clockMs;
+
+    if (obs.metering()) {
+        obs.metrics->inc("serve.arrivals", stats.arrivals);
+        obs.metrics->inc("serve.breaker.opens",
+                         stats.wlanBreaker.opens + stats.p2pBreaker.opens);
+        obs.metrics->inc("serve.breaker.probes",
+                         stats.wlanBreaker.probes
+                             + stats.p2pBreaker.probes);
+        obs.metrics->set("serve.max_queue_depth",
+                         static_cast<double>(stats.maxQueueDepth));
+        obs.metrics->set("serve.breaker.open_ms",
+                         stats.wlanBreaker.totalOpenMs
+                             + stats.p2pBreaker.totalOpenMs);
+    }
+    return std::move(stats);
+}
+
+DeviceLoop::DeviceLoop(const sim::InferenceSimulator &sim,
+                       const ServeConfig &config,
+                       const obs::ObsContext &obs, int deviceId,
+                       const core::AutoScaleScheduler *warmStart)
+    : impl_(std::make_unique<Impl>(sim, config, obs, deviceId, warmStart))
+{
+}
+
+DeviceLoop::~DeviceLoop() = default;
+
+void
+DeviceLoop::advance(double untilMs, const SharedSnapshot *shared,
+                    std::int64_t epoch)
+{
+    impl_->shared = shared;
+    impl_->epoch = epoch;
+    impl_->advance(untilMs);
+    impl_->shared = nullptr;
+}
+
+bool
+DeviceLoop::done() const
+{
+    return impl_->loopDone;
+}
+
+double
+DeviceLoop::clockMs() const
+{
+    return impl_->clockMs;
+}
+
+EpochUsage
+DeviceLoop::takeEpochUsage()
+{
+    const EpochUsage taken = impl_->usage;
+    impl_->usage = EpochUsage{};
+    return taken;
+}
+
+core::AutoScaleScheduler *
+DeviceLoop::scheduler()
+{
+    return impl_->learner != nullptr ? &impl_->learner->scheduler()
+                                     : nullptr;
+}
+
+const core::AutoScaleScheduler *
+DeviceLoop::scheduler() const
+{
+    return impl_->learner != nullptr ? &impl_->learner->scheduler()
+                                     : nullptr;
+}
+
+ServeStats
+DeviceLoop::finish()
+{
+    return impl_->finish();
+}
+
+} // namespace autoscale::serve

@@ -1,0 +1,420 @@
+#include "serve/fleet.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "core/agent.h"
+#include "core/qtable.h"
+#include "core/scheduler.h"
+#include "harness/parallel.h"
+#include "obs/trace_recorder.h"
+#include "serve/device_loop.h"
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace autoscale::serve {
+
+namespace {
+
+/** Golden-ratio hash fold (same mix as the serve RNG fingerprint). */
+std::uint64_t
+mixChecksum(std::uint64_t hash, std::uint64_t value)
+{
+    return hash
+        ^ (value + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2));
+}
+
+} // namespace
+
+QTableMode
+qTableModeFromName(const std::string &name)
+{
+    if (name == "per-device") {
+        return QTableMode::PerDevice;
+    }
+    if (name == "shared") {
+        return QTableMode::Shared;
+    }
+    if (name == "federated") {
+        return QTableMode::Federated;
+    }
+    fatal("unknown --q-mode '" + name
+          + "' (expected per-device, shared, or federated)");
+}
+
+const char *
+qTableModeName(QTableMode mode)
+{
+    switch (mode) {
+    case QTableMode::PerDevice:
+        return "per-device";
+    case QTableMode::Shared:
+        return "shared";
+    case QTableMode::Federated:
+        return "federated";
+    }
+    panic("unreachable q-table mode");
+}
+
+std::int64_t
+FleetStats::totalArrivals() const
+{
+    std::int64_t total = 0;
+    for (const ServeStats &device : devices) {
+        total += device.arrivals;
+    }
+    return total;
+}
+
+std::int64_t
+FleetStats::totalServed() const
+{
+    std::int64_t total = 0;
+    for (const ServeStats &device : devices) {
+        total += device.served;
+    }
+    return total;
+}
+
+std::int64_t
+FleetStats::totalShed() const
+{
+    std::int64_t total = 0;
+    for (const ServeStats &device : devices) {
+        total += device.shedOverflow + device.shedDeadline
+            + device.shedStale;
+    }
+    return total;
+}
+
+std::int64_t
+FleetStats::totalDegraded() const
+{
+    std::int64_t total = 0;
+    for (const ServeStats &device : devices) {
+        total += device.degraded;
+    }
+    return total;
+}
+
+std::int64_t
+FleetStats::totalQosViolations() const
+{
+    std::int64_t total = 0;
+    for (const ServeStats &device : devices) {
+        total += device.qosViolations;
+    }
+    return total;
+}
+
+double
+FleetStats::totalEnergyJ() const
+{
+    double total = 0.0;
+    for (const ServeStats &device : devices) {
+        total += device.energyJ;
+    }
+    return total;
+}
+
+double
+FleetStats::totalWastedEnergyJ() const
+{
+    double total = 0.0;
+    for (const ServeStats &device : devices) {
+        total += device.wastedEnergyJ;
+    }
+    return total;
+}
+
+double
+FleetStats::latencyPercentileMs(double percentile) const
+{
+    std::vector<double> pooled;
+    for (const ServeStats &device : devices) {
+        pooled.insert(pooled.end(), device.latenciesMs.begin(),
+                      device.latenciesMs.end());
+    }
+    return percentileNearestRank(pooled, percentile);
+}
+
+void
+mergeQTablesVisitWeighted(
+    const std::vector<core::AutoScaleScheduler *> &schedulers)
+{
+    if (schedulers.size() < 2) {
+        return;
+    }
+    const core::QTable &first = schedulers.front()->agent().table();
+    const int numStates = first.numStates();
+    const int numActions = first.numActions();
+    for (core::AutoScaleScheduler *scheduler : schedulers) {
+        AS_CHECK(scheduler != nullptr);
+        const core::QTable &table = scheduler->agent().table();
+        AS_CHECK(table.numStates() == numStates);
+        AS_CHECK(table.numActions() == numActions);
+    }
+    for (int state = 0; state < numStates; ++state) {
+        for (int action = 0; action < numActions; ++action) {
+            std::int64_t totalVisits = 0;
+            for (const core::AutoScaleScheduler *scheduler : schedulers) {
+                totalVisits +=
+                    scheduler->agent().visitCount(state, action);
+            }
+            if (totalVisits == 0) {
+                // Nobody has experience here; leave every table's
+                // optimistic initialization untouched.
+                continue;
+            }
+            // Visits are uint16 and Q floats: each product is exact in
+            // double (< 53 significant bits), so the single-contributor
+            // case divides a product by its own integer factor and
+            // round-trips bitwise.
+            double weighted = 0.0;
+            for (const core::AutoScaleScheduler *scheduler : schedulers) {
+                weighted += static_cast<double>(
+                                scheduler->agent().visitCount(state,
+                                                              action))
+                    * static_cast<double>(
+                        scheduler->agent().table().at(state, action));
+            }
+            const float merged = static_cast<float>(
+                weighted / static_cast<double>(totalVisits));
+            for (core::AutoScaleScheduler *scheduler : schedulers) {
+                scheduler->mutableAgent().mutableTable().at(state, action) =
+                    merged;
+            }
+        }
+    }
+}
+
+FleetStats
+runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
+         const obs::ObsContext &obs)
+{
+    AS_CHECK(config.devices >= 1);
+    AS_CHECK(config.shards >= 1);
+    AS_CHECK(config.epochMs > 0.0);
+    AS_CHECK(config.federatedMergeEpochs >= 1);
+    const std::size_t n = static_cast<std::size_t>(config.devices);
+    if (n > 1 && !config.serve.checkpointPath.empty()) {
+        fatal("fleet: --checkpoint is single-device only");
+    }
+    const bool learnerPolicy = config.serve.policyName.empty()
+        || config.serve.policyName == "autoscale";
+    if (config.qMode != QTableMode::PerDevice && !learnerPolicy) {
+        fatal("fleet: --q-mode shared/federated requires the autoscale"
+              " policy");
+    }
+    const int jobs =
+        config.jobs > 0 ? config.jobs : harness::defaultJobs();
+
+    // --- Device-private observability sinks. Devices record into these
+    // concurrently; the parent sinks receive an index-ordered merge
+    // after the run, so exported bytes never depend on shards/jobs. ---
+    std::vector<std::unique_ptr<obs::TraceRecorder>> traces;
+    std::vector<std::unique_ptr<obs::MetricsRegistry>> registries;
+    std::vector<obs::ObsContext> deviceObs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (obs.tracing()) {
+            traces.push_back(std::make_unique<obs::TraceRecorder>(true));
+            deviceObs[i].trace = traces.back().get();
+        }
+        if (obs.metering()) {
+            registries.push_back(
+                std::make_unique<obs::MetricsRegistry>());
+            deviceObs[i].metrics = registries.back().get();
+        }
+    }
+
+    // --- Devices. Device 0 follows the full single-device Q-table
+    // provenance (checkpoint > --qtable > pre-training); its trained
+    // scheduler warm-starts every peer, whose seed is the pure function
+    // replicateSeed(master, i). ---
+    std::vector<std::unique_ptr<DeviceLoop>> devices;
+    devices.reserve(n);
+    devices.push_back(std::make_unique<DeviceLoop>(
+        sim, config.serve, deviceObs[0], 0));
+    const core::AutoScaleScheduler *warm = devices[0]->scheduler();
+    for (std::size_t i = 1; i < n; ++i) {
+        ServeConfig peer = config.serve;
+        peer.seed = harness::replicateSeed(config.serve.seed, i);
+        peer.checkpointPath.clear();
+        peer.resume = false;
+        peer.qtablePath.clear();
+        devices.push_back(std::make_unique<DeviceLoop>(
+            sim, peer, deviceObs[i], static_cast<int>(i), warm));
+    }
+
+    std::vector<core::AutoScaleScheduler *> schedulers;
+    if (learnerPolicy) {
+        schedulers.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            schedulers.push_back(devices[i]->scheduler());
+        }
+    }
+
+    // --- The epoch loop: advance every device to the next virtual-time
+    // barrier under a frozen contention snapshot, then fold usage and
+    // merge tables in device-index order. Shards partition contiguous
+    // device ranges; nothing inside an epoch crosses devices, so the
+    // partitioning is output-invariant. ---
+    SharedInfra infra(config.infra);
+    FleetStats stats;
+    std::vector<EpochUsage> usage(n);
+    const std::size_t shards =
+        std::min(n, static_cast<std::size_t>(config.shards));
+    const std::size_t perShard = (n + shards - 1) / shards;
+
+    SharedSnapshot snapshot = infra.snapshotFor(0.0, config.epochMs, {});
+    double epochStartMs = 0.0;
+    std::int64_t epoch = 0;
+    bool previousBrownout = false;
+    while (true) {
+        if (snapshot.brownout) {
+            ++stats.brownoutEpochs;
+            if (!previousBrownout) {
+                ++stats.brownoutWindows;
+            }
+        }
+        previousBrownout = snapshot.brownout;
+        stats.maxEdgeQueueMs =
+            std::max(stats.maxEdgeQueueMs, snapshot.edgeQueueMs);
+        stats.minWifiDerate =
+            std::min(stats.minWifiDerate, snapshot.wifiDerate);
+
+        const double barrierMs = epochStartMs + config.epochMs;
+        harness::parallelIndexed(shards, jobs, [&](std::size_t shard) {
+            const std::size_t begin = shard * perShard;
+            const std::size_t end = std::min(n, begin + perShard);
+            for (std::size_t d = begin; d < end; ++d) {
+                devices[d]->advance(barrierMs, &snapshot, epoch);
+            }
+            return 0;
+        });
+        ++stats.epochs;
+
+        bool allDone = true;
+        for (std::size_t d = 0; d < n; ++d) {
+            usage[d] = devices[d]->takeEpochUsage();
+            allDone = allDone && devices[d]->done();
+        }
+
+        if (schedulers.size() > 1
+            && (config.qMode == QTableMode::Shared
+                || (config.qMode == QTableMode::Federated
+                    && (epoch + 1) % config.federatedMergeEpochs == 0))) {
+            mergeQTablesVisitWeighted(schedulers);
+        }
+
+        if (allDone) {
+            break;
+        }
+        snapshot = infra.snapshotFor(barrierMs, config.epochMs, usage);
+        epochStartMs = barrierMs;
+        ++epoch;
+    }
+
+    // --- Finalize and merge in device-index order. ---
+    stats.devices.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        stats.devices.push_back(devices[i]->finish());
+        stats.endClockMs =
+            std::max(stats.endClockMs, stats.devices.back().endClockMs);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (obs.tracing()) {
+            obs.trace->append(*traces[i]);
+        }
+        if (obs.metering()) {
+            obs.metrics->merge(*registries[i]);
+        }
+    }
+
+    std::uint64_t checksum = 0;
+    for (const ServeStats &device : stats.devices) {
+        checksum = mixChecksum(checksum, device.rngFingerprint);
+        checksum = mixChecksum(
+            checksum, static_cast<std::uint64_t>(device.served));
+        checksum = mixChecksum(
+            checksum, std::bit_cast<std::uint64_t>(device.energyJ));
+        checksum = mixChecksum(
+            checksum, std::bit_cast<std::uint64_t>(device.endClockMs));
+    }
+    stats.checksum = checksum;
+
+    if (config.collectQTables && learnerPolicy) {
+        std::ostringstream dump;
+        for (std::size_t i = 0; i < n; ++i) {
+            dump << "# device " << i << '\n';
+            devices[i]->scheduler()->saveQTable(dump);
+        }
+        stats.qtableDump = dump.str();
+    }
+    return stats;
+}
+
+void
+printFleetReport(std::ostream &os, const FleetConfig &config,
+                 const FleetStats &stats)
+{
+    printBanner(os, "Fleet summary");
+    {
+        Table table({"metric", "value"});
+        table.addRow({"devices", std::to_string(config.devices)});
+        table.addRow({"shards", std::to_string(config.shards)});
+        table.addRow({"q-mode", qTableModeName(config.qMode)});
+        table.addRow({"epochs", std::to_string(stats.epochs)});
+        table.addRow({"epoch (ms)", Table::num(config.epochMs)});
+        const std::int64_t arrivals =
+            std::max<std::int64_t>(1, stats.totalArrivals());
+        table.addRow({"arrivals", std::to_string(stats.totalArrivals())});
+        table.addRow(
+            {"served",
+             std::to_string(stats.totalServed()) + " ("
+                 + Table::pct(static_cast<double>(stats.totalServed())
+                              / static_cast<double>(arrivals))
+                 + ")"});
+        table.addRow({"shed", std::to_string(stats.totalShed())});
+        table.addRow({"degraded", std::to_string(stats.totalDegraded())});
+        table.addRow({"QoS violations (served)",
+                      std::to_string(stats.totalQosViolations())});
+        table.addRow({"p50 latency (ms)",
+                      Table::num(stats.latencyPercentileMs(50.0))});
+        table.addRow({"p99 latency (ms)",
+                      Table::num(stats.latencyPercentileMs(99.0))});
+        table.addRow({"energy (J)", Table::num(stats.totalEnergyJ(), 3)});
+        table.addRow({"wasted energy (J)",
+                      Table::num(stats.totalWastedEnergyJ(), 3)});
+        table.addRow({"virtual time (s)",
+                      Table::num(stats.endClockMs / 1e3, 2)});
+        table.print(os);
+    }
+
+    printBanner(os, "Shared infrastructure");
+    {
+        Table table({"metric", "value"});
+        table.addRow({"edge capacity (slots)",
+                      Table::num(config.infra.edgeCapacity)});
+        table.addRow({"wifi capacity (transfers)",
+                      Table::num(config.infra.wifiCapacity)});
+        table.addRow({"contention multiplier",
+                      Table::num(config.infra.contention)});
+        table.addRow({"max edge queue delay (ms)",
+                      Table::num(stats.maxEdgeQueueMs)});
+        table.addRow({"min wifi derate",
+                      Table::num(stats.minWifiDerate, 3)});
+        table.addRow({"brownout epochs",
+                      std::to_string(stats.brownoutEpochs)});
+        table.addRow({"brownout windows",
+                      std::to_string(stats.brownoutWindows)});
+        table.print(os);
+    }
+}
+
+} // namespace autoscale::serve

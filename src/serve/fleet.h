@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fleet serving (DESIGN.md §15): N devices, each running its own
+ * DeviceLoop (own Scenario stream, ArrivalProcess, AdmissionQueue, and
+ * agent), driven through one virtual-time event loop in which they
+ * contend for shared infrastructure (SharedInfra): a finite-slot edge
+ * server, a congestible Wi-Fi uplink, and a cloud whose brownout
+ * windows hit every device in the same epoch.
+ *
+ * Determinism: device i's ServeConfig seed is replicateSeed(seed, i) —
+ * a pure function of (master seed, device index) — and contention
+ * state only changes at virtual-time barriers, where per-device usage
+ * is folded and per-device observability merged in device-index order.
+ * Shards are therefore pure work partitions: traces, metrics, stats,
+ * and Q-tables are bit-identical for every --shards/--jobs value
+ * (CI cmp-enforces this).
+ *
+ * Q-table modes: per-device learners are fully independent; "shared"
+ * approximates one fleet-wide table by visit-count-weighted merging at
+ * every epoch barrier; "federated" merges every
+ * `federatedMergeEpochs` epochs. Merges never run mid-epoch.
+ */
+
+#ifndef AUTOSCALE_SERVE_FLEET_H_
+#define AUTOSCALE_SERVE_FLEET_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+#include "serve/shared_infra.h"
+
+namespace autoscale::core {
+class AutoScaleScheduler;
+} // namespace autoscale::core
+
+namespace autoscale::serve {
+
+/** How fleet learners share (or don't share) Q-tables. */
+enum class QTableMode {
+    PerDevice, ///< Independent learner per device (default).
+    Shared,    ///< Visit-weighted merge at every epoch barrier.
+    Federated, ///< Visit-weighted merge every `federatedMergeEpochs`.
+};
+
+/** Parse "per-device" / "shared" / "federated"; fatal() otherwise. */
+QTableMode qTableModeFromName(const std::string &name);
+
+/** Display name of @p mode. */
+const char *qTableModeName(QTableMode mode);
+
+/** One fleet run's configuration. */
+struct FleetConfig {
+    /**
+     * Per-device serving template. Device 0 uses it verbatim
+     * (including Q-table provenance: checkpoint/--qtable/training);
+     * device i > 0 gets seed replicateSeed(serve.seed, i) and warm
+     * starts from device 0's trained table. Checkpointing is
+     * single-device only: fleets with devices > 1 must leave
+     * checkpointPath empty.
+     */
+    ServeConfig serve;
+    int devices = 1;
+    /** Work partitions (pure parallelism knob; never affects output). */
+    int shards = 4;
+    /** Worker threads; <= 0 means one per hardware thread. */
+    int jobs = 0;
+    QTableMode qMode = QTableMode::PerDevice;
+    /** Barrier period between federated merges. */
+    int federatedMergeEpochs = 8;
+    /** Virtual-time barrier interval, ms. */
+    double epochMs = 250.0;
+    SharedInfraConfig infra;
+    /** Capture every device's final Q-table in FleetStats::qtableDump. */
+    bool collectQTables = false;
+};
+
+/** Fleet-level results: per-device stats plus contention aggregates. */
+struct FleetStats {
+    /** Per-device serving stats, in device-index order. */
+    std::vector<ServeStats> devices;
+    /** Virtual-time barriers executed. */
+    std::int64_t epochs = 0;
+    /** Epochs covered by a shared cloud brownout window. */
+    std::int64_t brownoutEpochs = 0;
+    /** Distinct brownout windows (consecutive epochs count once). */
+    std::int64_t brownoutWindows = 0;
+    /** Worst per-offload edge queueing delay seen in any epoch, ms. */
+    double maxEdgeQueueMs = 0.0;
+    /** Worst Wi-Fi derate seen in any epoch (1.0 = never congested). */
+    double minWifiDerate = 1.0;
+    /** Latest device virtual clock at completion, ms. */
+    double endClockMs = 0.0;
+    /**
+     * Order-sensitive fold of every device's RNG fingerprint and key
+     * stats — the cross-shard equality probe bench_fleet gates on.
+     */
+    std::uint64_t checksum = 0;
+    /**
+     * Every device's final Q-table ("# device N" headers, saveQTable
+     * text format) when FleetConfig::collectQTables is set; the CI
+     * determinism gate byte-compares this across shard counts.
+     */
+    std::string qtableDump;
+
+    std::int64_t totalArrivals() const;
+    std::int64_t totalServed() const;
+    std::int64_t totalShed() const;
+    std::int64_t totalDegraded() const;
+    std::int64_t totalQosViolations() const;
+    double totalEnergyJ() const;
+    double totalWastedEnergyJ() const;
+    /** Nearest-rank percentile over all devices' served latencies. */
+    double latencyPercentileMs(double percentile) const;
+};
+
+/**
+ * Visit-count-weighted Q-table merge across @p schedulers: each cell
+ * becomes sum(visits_i * Q_i) / sum(visits_i), written back to every
+ * table; cells nobody visited are untouched. Merging a single
+ * contributor is bitwise a no-op (the uint16 visit × float Q product
+ * is exact in double and the division by the same visit count is
+ * exact), so zero-visit peers never perturb a trained table.
+ * Visit counts themselves are not merged: they keep encoding each
+ * device's own experience for its learning-rate schedule.
+ */
+void mergeQTablesVisitWeighted(
+    const std::vector<core::AutoScaleScheduler *> &schedulers);
+
+/**
+ * Run a fleet. Device traces and metrics are recorded into
+ * device-private sinks and merged into @p obs in device-index order
+ * after the last barrier, so @p obs sees bytes independent of
+ * --shards/--jobs. A fleet of one device is bit-identical to
+ * runServe with the same ServeConfig.
+ */
+FleetStats runFleet(const sim::InferenceSimulator &sim,
+                    const FleetConfig &config, const obs::ObsContext &obs);
+
+/** Human-readable fleet report (summary + contention tables). */
+void printFleetReport(std::ostream &os, const FleetConfig &config,
+                      const FleetStats &stats);
+
+} // namespace autoscale::serve
+
+#endif // AUTOSCALE_SERVE_FLEET_H_

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared infrastructure contended by a serving fleet (DESIGN.md §15):
+ * an edge server with a finite number of concurrent offload slots, a
+ * Wi-Fi uplink whose effective transfer rate derates with concurrent
+ * in-flight transfers, and a cloud whose brownout windows hit every
+ * device at the same virtual time.
+ *
+ * Determinism contract: contention state never changes while devices
+ * run. Each device accumulates an EpochUsage privately; at the end of
+ * every fleet epoch (a virtual-time barrier) the usages are folded in
+ * device-index order into the next epoch's SharedSnapshot, which is
+ * then read-only until the next barrier. Because a snapshot is a pure
+ * function of (epoch start time, previous-epoch usage), fleet results
+ * are bit-identical for any shard or worker count.
+ *
+ * Neutrality contract: with zero contention the snapshot is exactly
+ * neutral — edgeQueueMs == 0.0, wifiDerate == 1.0, no brownout — and
+ * applying it is bitwise free (`x + 0.0` and `x / 1.0` are IEEE-754
+ * identities for the positive latencies flowing through the loop), so
+ * a fleet of one device reproduces the single-device serving loop byte
+ * for byte.
+ */
+
+#ifndef AUTOSCALE_SERVE_SHARED_INFRA_H_
+#define AUTOSCALE_SERVE_SHARED_INFRA_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace autoscale::serve {
+
+/** Fleet-level contention model parameters. */
+struct SharedInfraConfig {
+    /** Concurrent offload slots at the shared edge server. */
+    double edgeCapacity = 4.0;
+    /** Concurrent Wi-Fi transfers sustained before congestion derates. */
+    double wifiCapacity = 8.0;
+    /**
+     * Demand multiplier (the bench's 1x/4x knob): scales the fleet's
+     * observed concurrency before it is compared against capacity, so
+     * the same workload can be replayed under tighter contention.
+     */
+    double contention = 1.0;
+    /**
+     * Shared cloud brownout: every `brownoutPeriodMs` of virtual time,
+     * the cloud runs `brownoutSlowdown`x slower for
+     * `brownoutDurationMs`. Unlike the per-device fault processes
+     * (which are step-indexed per device), these windows live in fleet
+     * virtual time, so one brownout hits every device in the same
+     * epoch. 0 disables.
+     */
+    double brownoutPeriodMs = 0.0;
+    double brownoutDurationMs = 0.0;
+    double brownoutSlowdown = 3.0;
+};
+
+/** One device's contention-relevant activity during one epoch. */
+struct EpochUsage {
+    /** Edge service time consumed (occupies an edge slot), ms. */
+    double edgeBusyMs = 0.0;
+    /** Cloud transfer+service time consumed (occupies the WLAN), ms. */
+    double cloudBusyMs = 0.0;
+    std::int64_t edgeJobs = 0;
+    std::int64_t cloudJobs = 0;
+};
+
+/**
+ * Frozen per-epoch contention state every device reads. Default
+ * construction is the neutral (uncontended) snapshot.
+ */
+struct SharedSnapshot {
+    /** Extra queueing delay per edge offload this epoch, ms. */
+    double edgeQueueMs = 0.0;
+    /** Jobs waiting for an edge slot (ceil of excess concurrency). */
+    int edgeQueueDepth = 0;
+    /** Effective Wi-Fi rate fraction in (0, 1]; 1.0 = uncontended. */
+    double wifiDerate = 1.0;
+    /** Whether a shared cloud brownout window covers this epoch. */
+    bool brownout = false;
+    /** Cloud latency multiplier while browned out (1.0 otherwise). */
+    double cloudSlowdown = 1.0;
+};
+
+/** The contended shared infrastructure of one fleet run. */
+class SharedInfra {
+  public:
+    explicit SharedInfra(const SharedInfraConfig &config);
+
+    /**
+     * Snapshot governing the epoch starting at @p epochStartMs, given
+     * the previous epoch's per-device usage (empty for the first
+     * epoch). Pure function of its arguments; callers pass @p usage in
+     * device-index order so the folds are order-stable.
+     */
+    SharedSnapshot snapshotFor(double epochStartMs, double epochMs,
+                               const std::vector<EpochUsage> &usage) const;
+
+    const SharedInfraConfig &config() const { return config_; }
+
+  private:
+    SharedInfraConfig config_;
+};
+
+} // namespace autoscale::serve
+
+#endif // AUTOSCALE_SERVE_SHARED_INFRA_H_

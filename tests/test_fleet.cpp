@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for fleet serving (DESIGN.md §15): fleet-of-1 equivalence to
+ * the single-device loop, shard/jobs output invariance, contention
+ * effects (edge saturation pushing marginal devices local), shared
+ * brownout windows hitting every device in the same epoch, and the
+ * visit-weighted federated Q-table merge.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "dnn/model_zoo.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
+#include "platform/device_zoo.h"
+#include "serve/fleet.h"
+#include "serve/server.h"
+#include "sim/simulator.h"
+
+namespace autoscale::serve {
+namespace {
+
+const sim::InferenceSimulator &
+testSim()
+{
+    static const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    return sim;
+}
+
+std::vector<const dnn::Network *>
+allNetworks()
+{
+    std::vector<const dnn::Network *> networks;
+    for (const dnn::Network &network : dnn::modelZoo()) {
+        networks.push_back(&network);
+    }
+    return networks;
+}
+
+/** Small-but-real serve config at @p rateX times local capacity. */
+ServeConfig
+serveConfig(double rateX, std::int64_t requests)
+{
+    ServeConfig config;
+    config.totalRequests = requests;
+    config.trainRunsPerCombo = 5;
+    config.seed = 11;
+    const double nominal =
+        nominalServiceMs(testSim(), allNetworks(), 50.0);
+    config.arrival.ratePerSec = rateX * 1000.0 / nominal;
+    return config;
+}
+
+void
+expectStatsBitIdentical(const ServeStats &a, const ServeStats &b)
+{
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.admitted, b.admitted);
+    EXPECT_EQ(a.served, b.served);
+    EXPECT_EQ(a.degraded, b.degraded);
+    EXPECT_EQ(a.shedOverflow, b.shedOverflow);
+    EXPECT_EQ(a.shedDeadline, b.shedDeadline);
+    EXPECT_EQ(a.shedStale, b.shedStale);
+    EXPECT_EQ(a.qosViolations, b.qosViolations);
+    EXPECT_EQ(a.accuracyViolations, b.accuracyViolations);
+    EXPECT_EQ(a.faultFallbacks, b.faultFallbacks);
+    EXPECT_EQ(a.maxQueueDepth, b.maxQueueDepth);
+    // Bitwise float equality: the fleet path must replay the exact
+    // arithmetic, not approximate it.
+    EXPECT_EQ(a.totalWaitMs, b.totalWaitMs);
+    EXPECT_EQ(a.totalServiceMs, b.totalServiceMs);
+    EXPECT_EQ(a.energyJ, b.energyJ);
+    EXPECT_EQ(a.wastedEnergyJ, b.wastedEnergyJ);
+    EXPECT_EQ(a.endClockMs, b.endClockMs);
+    EXPECT_EQ(a.latenciesMs, b.latenciesMs);
+    EXPECT_EQ(a.categoryCounts, b.categoryCounts);
+    EXPECT_EQ(a.rngFingerprint, b.rngFingerprint);
+}
+
+TEST(Fleet, FleetOfOneMatchesRunServe)
+{
+    const ServeConfig config = serveConfig(1.5, 120);
+
+    obs::TraceRecorder soloTrace(true);
+    obs::MetricsRegistry soloMetrics;
+    const ServeStats solo = runServe(
+        testSim(), config, obs::ObsContext{&soloTrace, &soloMetrics});
+
+    FleetConfig fleet;
+    fleet.serve = config;
+    fleet.devices = 1;
+    obs::TraceRecorder fleetTrace(true);
+    obs::MetricsRegistry fleetMetrics;
+    const FleetStats stats = runFleet(
+        testSim(), fleet, obs::ObsContext{&fleetTrace, &fleetMetrics});
+
+    ASSERT_EQ(stats.devices.size(), 1u);
+    expectStatsBitIdentical(solo, stats.devices[0]);
+
+    // Metrics merge through a device-private registry must reproduce
+    // the single-device dump byte for byte. (Traces differ only by the
+    // deliberate fleet fields on each event.)
+    std::ostringstream soloText;
+    soloMetrics.writeText(soloText);
+    std::ostringstream fleetText;
+    fleetMetrics.writeText(fleetText);
+    EXPECT_EQ(soloText.str(), fleetText.str());
+    EXPECT_EQ(soloTrace.size(), fleetTrace.size());
+}
+
+TEST(Fleet, ShardAndJobsInvariance)
+{
+    FleetConfig fleet;
+    fleet.serve = serveConfig(1.5, 40);
+    fleet.devices = 12;
+    fleet.qMode = QTableMode::Federated;
+    fleet.federatedMergeEpochs = 2;
+    fleet.collectQTables = true;
+    fleet.infra.edgeCapacity = 1.0;
+    fleet.infra.contention = 4.0;
+    fleet.infra.brownoutPeriodMs = 1000.0;
+    fleet.infra.brownoutDurationMs = 250.0;
+
+    auto run = [&](int shards, int jobs) {
+        FleetConfig config = fleet;
+        config.shards = shards;
+        config.jobs = jobs;
+        obs::TraceRecorder trace(true);
+        obs::MetricsRegistry metrics;
+        const FleetStats stats = runFleet(
+            testSim(), config, obs::ObsContext{&trace, &metrics});
+        std::ostringstream traceText;
+        trace.writeJsonl(traceText);
+        std::ostringstream metricsText;
+        metrics.writeText(metricsText);
+        return std::make_tuple(stats.checksum, stats.qtableDump,
+                               traceText.str(), metricsText.str(),
+                               stats.epochs);
+    };
+
+    const auto base = run(1, 1);
+    const auto sharded = run(4, 4);
+    const auto odd = run(5, 2);
+    EXPECT_EQ(base, sharded);
+    EXPECT_EQ(base, odd);
+}
+
+TEST(Fleet, EdgeSaturationPushesMarginalDevicesLocal)
+{
+    FleetConfig fleet;
+    // Below local capacity so the uncontended fleet serves comfortably;
+    // any extra shedding in the tight fleet is the contention's doing.
+    fleet.serve = serveConfig(0.6, 60);
+    // A remote-only policy makes every served request want the shared
+    // edge; saturation must inflate service, build queues, and trip the
+    // degradation ladder onto the local fallback.
+    fleet.serve.policyName = "connected-edge";
+    fleet.devices = 8;
+
+    FleetConfig tight = fleet;
+    tight.infra.edgeCapacity = 1.0;
+    tight.infra.contention = 8.0;
+
+    FleetConfig loose = fleet;
+    loose.infra.edgeCapacity = 64.0;
+    loose.infra.contention = 1.0;
+
+    const FleetStats contended = runFleet(testSim(), tight, {});
+    const FleetStats uncontended = runFleet(testSim(), loose, {});
+
+    EXPECT_GT(contended.maxEdgeQueueMs, 0.0);
+    EXPECT_EQ(uncontended.maxEdgeQueueMs, 0.0);
+    // Queue pressure under saturation shifts the admission share: more
+    // requests get degraded onto the local device (or shed) than in
+    // the uncontended fleet.
+    EXPECT_GT(contended.totalDegraded() + contended.totalShed(),
+              uncontended.totalDegraded() + uncontended.totalShed());
+    // And the requests that do reach the edge pay the queue wait: mean
+    // served latency inflates under saturation.
+    double tightServiceMs = 0.0;
+    std::int64_t tightServed = 0;
+    double looseServiceMs = 0.0;
+    std::int64_t looseServed = 0;
+    for (const ServeStats &stats : contended.devices) {
+        tightServiceMs += stats.totalServiceMs;
+        tightServed += stats.served;
+    }
+    for (const ServeStats &stats : uncontended.devices) {
+        looseServiceMs += stats.totalServiceMs;
+        looseServed += stats.served;
+    }
+    ASSERT_GT(tightServed, 0);
+    ASSERT_GT(looseServed, 0);
+    EXPECT_GT(tightServiceMs / static_cast<double>(tightServed),
+              looseServiceMs / static_cast<double>(looseServed));
+}
+
+TEST(Fleet, BrownoutHitsAllDevicesInTheSameEpoch)
+{
+    FleetConfig fleet;
+    fleet.serve = serveConfig(0.8, 60);
+    fleet.serve.policyName = "cloud";
+    fleet.devices = 4;
+    fleet.epochMs = 200.0;
+    fleet.infra.brownoutPeriodMs = 400.0;
+    fleet.infra.brownoutDurationMs = 200.0;
+    fleet.infra.brownoutSlowdown = 4.0;
+
+    obs::TraceRecorder trace(true);
+    const FleetStats stats =
+        runFleet(testSim(), fleet, obs::ObsContext{&trace, nullptr});
+    EXPECT_GT(stats.brownoutEpochs, 0);
+    EXPECT_GT(stats.brownoutWindows, 0);
+
+    // Cloud-served (non-fallback) events within one epoch must agree on
+    // the brownout flag: the window lives in fleet virtual time, not in
+    // any per-device stream.
+    std::map<long long, std::set<bool>> flagsByEpoch;
+    std::map<long long, std::set<int>> brownoutDevices;
+    for (const obs::DecisionEvent &event : trace.snapshot()) {
+        if (event.serveOutcome != "served" || event.category != "Cloud"
+            || event.faultFallback || !event.feasible) {
+            continue;
+        }
+        ASSERT_GE(event.deviceId, 0);
+        flagsByEpoch[event.fleetEpoch].insert(event.fleetBrownout);
+        if (event.fleetBrownout) {
+            brownoutDevices[event.fleetEpoch].insert(event.deviceId);
+        }
+    }
+    ASSERT_FALSE(flagsByEpoch.empty());
+    for (const auto &[epoch, flags] : flagsByEpoch) {
+        EXPECT_EQ(flags.size(), 1u)
+            << "brownout flag split within epoch " << epoch;
+    }
+    // At least one brownout epoch touched several devices at once.
+    std::size_t widest = 0;
+    for (const auto &[epoch, devices] : brownoutDevices) {
+        widest = std::max(widest, devices.size());
+    }
+    EXPECT_GE(widest, 2u);
+}
+
+TEST(Fleet, FederatedMergeWithZeroVisitPeersIsANoOp)
+{
+    const sim::InferenceSimulator &sim = testSim();
+    core::AutoScaleScheduler trained(sim, {}, 1);
+    core::AutoScaleScheduler idleB(sim, {}, 2);
+    core::AutoScaleScheduler idleC(sim, {}, 3);
+
+    // Give the trained peer real experience at a few cells.
+    const int numActions = trained.agent().table().numActions();
+    for (int step = 0; step < 200; ++step) {
+        const int state = step % 7;
+        const int action = step % numActions;
+        trained.mutableAgent().update(state, action, 0.25 * step, state);
+    }
+    const core::QTable before = trained.agent().table();
+    const core::QTable beforeB = idleB.agent().table();
+
+    mergeQTablesVisitWeighted({&trained, &idleB, &idleC});
+
+    const core::QTable &after = trained.agent().table();
+    const core::QTable &afterB = idleB.agent().table();
+    const int numStates = before.numStates();
+    for (int s = 0; s < numStates; ++s) {
+        for (int a = 0; a < numActions; ++a) {
+            // Zero-visit peers contribute nothing: the trained table is
+            // bitwise untouched everywhere.
+            EXPECT_EQ(before.at(s, a), after.at(s, a))
+                << "trained table perturbed at (" << s << "," << a << ")";
+            if (trained.agent().visitCount(s, a) > 0) {
+                // Visited cells propagate the trained value to peers.
+                EXPECT_EQ(afterB.at(s, a), before.at(s, a));
+            } else {
+                // Unvisited cells leave peers untouched.
+                EXPECT_EQ(afterB.at(s, a), beforeB.at(s, a));
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace autoscale::serve

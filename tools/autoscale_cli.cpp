@@ -32,6 +32,7 @@
 #include "harness/parallel.h"
 #include "obs/obs_output.h"
 #include "platform/device_zoo.h"
+#include "serve/fleet.h"
 #include "serve/server.h"
 #include "sim/simulator.h"
 #include "util/args.h"
@@ -683,6 +684,71 @@ cmdServe(const Args &args)
     config.arrival.burstMultiplier =
         args.getDouble("--burst-mult", config.arrival.burstMultiplier);
 
+    // --- Fleet mode: --fleet N > 1 drives N devices through the
+    // shared-infrastructure event loop. --fleet 1 (the default) takes
+    // the single-device path below, byte-identical to pre-fleet serve.
+    const int fleetDevices = strictInt(args, "--fleet", 1);
+    if (fleetDevices < 1) {
+        fatal("--fleet must be >= 1");
+    }
+    if (fleetDevices > 1) {
+        if (!config.checkpointPath.empty() || config.resume) {
+            fatal("--checkpoint/--resume are single-device serving only");
+        }
+        serve::FleetConfig fleet;
+        fleet.serve = config;
+        fleet.devices = fleetDevices;
+        fleet.shards = strictInt(args, "--shards", fleet.shards);
+        if (fleet.shards < 1) {
+            fatal("--shards must be >= 1");
+        }
+        fleet.jobs = args.getInt("--jobs", 0);
+        fleet.qMode =
+            serve::qTableModeFromName(args.get("--q-mode", "per-device"));
+        fleet.federatedMergeEpochs = strictInt(
+            args, "--merge-epochs", fleet.federatedMergeEpochs);
+        if (fleet.federatedMergeEpochs < 1) {
+            fatal("--merge-epochs must be >= 1");
+        }
+        fleet.epochMs = strictDouble(args, "--epoch-ms", fleet.epochMs);
+        if (fleet.epochMs <= 0.0) {
+            fatal("--epoch-ms must be positive");
+        }
+        fleet.infra.edgeCapacity = strictDouble(
+            args, "--edge-capacity", fleet.infra.edgeCapacity);
+        fleet.infra.wifiCapacity = strictDouble(
+            args, "--wifi-capacity", fleet.infra.wifiCapacity);
+        fleet.infra.contention = strictDouble(
+            args, "--contention", fleet.infra.contention);
+        fleet.infra.brownoutPeriodMs = strictDouble(
+            args, "--brownout-period-ms", fleet.infra.brownoutPeriodMs);
+        fleet.infra.brownoutDurationMs = strictDouble(
+            args, "--brownout-ms", fleet.infra.brownoutDurationMs);
+        fleet.infra.brownoutSlowdown = strictDouble(
+            args, "--brownout-slowdown", fleet.infra.brownoutSlowdown);
+        const std::string qtableOut = args.get("--fleet-qtable-out");
+        fleet.collectQTables = !qtableOut.empty();
+
+        std::cout << "Serving fleet of " << fleet.devices << " devices ("
+                  << config.totalRequests << " arrivals each) on "
+                  << sim.localDevice().name() << ", scenario "
+                  << env::scenarioName(config.scenario) << ", q-mode "
+                  << serve::qTableModeName(fleet.qMode) << ", "
+                  << fleet.shards << " shards...\n";
+        const serve::FleetStats stats =
+            serve::runFleet(sim, fleet, obs_out.context());
+        serve::printFleetReport(std::cout, fleet, stats);
+        if (!qtableOut.empty()) {
+            std::ofstream out(qtableOut);
+            if (!out) {
+                fatal("cannot write '" + qtableOut + "'");
+            }
+            out << stats.qtableDump;
+        }
+        obs_out.finalize(&std::cout);
+        return 0;
+    }
+
     std::cout << "Serving " << config.totalRequests << " arrivals on "
               << sim.localDevice().name() << ", scenario "
               << env::scenarioName(config.scenario) << ", rate "
@@ -735,7 +801,22 @@ usage()
         "        [--seed N]            online serving loop: stochastic\n"
         "                              arrivals, admission control,\n"
         "                              circuit breakers, crash-safe\n"
-        "                              Q-table checkpoints\n\n"
+        "                              Q-table checkpoints\n"
+        "  serve --fleet N              fleet mode: N devices contending\n"
+        "        [--shards N]          work partitions (output-invariant,\n"
+        "                              default 4)\n"
+        "        [--jobs N]            worker threads\n"
+        "        [--q-mode per-device|shared|federated]\n"
+        "        [--merge-epochs N]    federated merge period (default 8)\n"
+        "        [--epoch-ms F]        contention barrier interval\n"
+        "                              (default 250)\n"
+        "        [--edge-capacity F]   shared edge slots (default 4)\n"
+        "        [--wifi-capacity F]   concurrent transfers before\n"
+        "                              congestion (default 8)\n"
+        "        [--contention F]      demand multiplier (default 1)\n"
+        "        [--brownout-period-ms F] [--brownout-ms F]\n"
+        "        [--brownout-slowdown F]  shared cloud brownout windows\n"
+        "        [--fleet-qtable-out FILE] dump all final Q-tables\n\n"
         "Fault injection (train, evaluate, loo, serve):\n"
         "  --faults NAME                none (default), blackout,\n"
         "                               flaky-wifi, or cloud-brownout\n"

@@ -234,6 +234,16 @@ main(int argc, char **argv)
     double queue_depth_sum = 0.0;
     double queue_wait_sum_ms = 0.0;
 
+    // Fleet fields (PR 7); absent outside `serve --fleet`, in which
+    // case the Fleet section is simply not printed.
+    std::map<long long, long long> by_device;
+    long long fleet_records = 0;
+    long long brownout_records = 0;
+    long long congested_records = 0;
+    long long max_fleet_epoch = 0;
+    double edge_wait_sum_ms = 0.0;
+    double min_derate = 1.0;
+
     std::string line;
     long long line_number = 0;
     Record record;
@@ -256,6 +266,24 @@ main(int argc, char **argv)
             && stringField(record, "phase") != phase_filter) {
             ++skipped;
             continue;
+        }
+        if (record.count("device_id") != 0) {
+            ++fleet_records;
+            ++by_device[static_cast<long long>(
+                numberField(record, "device_id"))];
+            max_fleet_epoch = std::max(
+                max_fleet_epoch,
+                static_cast<long long>(
+                    numberField(record, "fleet_epoch")));
+            brownout_records +=
+                boolField(record, "fleet_brownout") ? 1 : 0;
+            edge_wait_sum_ms += numberField(record, "edge_wait_ms");
+            const double derate =
+                numberField(record, "congestion_derate");
+            if (derate > 0.0) {
+                congested_records += derate < 1.0 ? 1 : 0;
+                min_derate = std::min(min_derate, derate);
+            }
         }
         const std::string serve_outcome =
             stringField(record, "serve_outcome");
@@ -377,6 +405,32 @@ main(int argc, char **argv)
                                 std::max<long long>(1, served_count)),
                         2)});
         serving.print(std::cout);
+    }
+
+    if (fleet_records > 0) {
+        const double fn = static_cast<double>(fleet_records);
+        std::cout << "\nFleet:\n";
+        Table fleet({"Metric", "Value"});
+        fleet.addRow({"devices seen",
+                      std::to_string(by_device.size())});
+        fleet.addRow({"fleet records", std::to_string(fleet_records)});
+        fleet.addRow({"epochs (max index)",
+                      std::to_string(max_fleet_epoch + 1)});
+        fleet.addRow(
+            {"brownout records",
+             std::to_string(brownout_records) + " ("
+                 + Table::pct(static_cast<double>(brownout_records) / fn)
+                 + ")"});
+        fleet.addRow(
+            {"congested records",
+             std::to_string(congested_records) + " ("
+                 + Table::pct(static_cast<double>(congested_records) / fn)
+                 + ")"});
+        fleet.addRow({"mean edge wait (ms)",
+                      Table::num(edge_wait_sum_ms / fn, 2)});
+        fleet.addRow({"min congestion derate",
+                      Table::num(min_derate, 3)});
+        fleet.print(std::cout);
     }
     return 0;
 }
