@@ -146,6 +146,18 @@ Scenario::next(Rng &rng)
         std::clamp(1.0 - 0.18 * state.coCpuUtil, 0.6, 1.0);
     if (faults_ != nullptr) {
         state.fault = faults_->next();
+        // Scheduled co-runner surges floor the interference fields
+        // before anything derived from them; a raised CPU floor also
+        // re-derives the thermal headroom it erodes. Zero floors take
+        // neither branch, leaving the pre-surge code path bit-exact.
+        if (state.fault.coCpuFloor > state.coCpuUtil) {
+            state.coCpuUtil = state.fault.coCpuFloor;
+            state.thermalFactor =
+                std::clamp(1.0 - 0.18 * state.coCpuUtil, 0.6, 1.0);
+        }
+        if (state.fault.coMemFloor > state.coMemUtil) {
+            state.coMemUtil = state.fault.coMemFloor;
+        }
         // Signal fades and throttle events act through the existing
         // graceful-variance fields; brownout/drop conditions stay on
         // state.fault for the simulator's retry semantics. A blacked-out

@@ -7,7 +7,8 @@ namespace autoscale::fault {
 bool
 FaultPlan::enabled() const
 {
-    if (!blackouts.empty() || !fades.empty()) {
+    if (!blackouts.empty() || !fades.empty() || !segments.empty()
+        || !surges.empty()) {
         return true;
     }
     return brownoutSlowdown > 1.0 || brownoutDownProb > 0.0
@@ -61,6 +62,14 @@ FaultInjector::FaultInjector(const FaultPlan &plan)
     for (const FaultPlan::Fade &fade : plan_.fades) {
         processes_.push_back(std::make_unique<RssiFloorDrop>(
             fade.wlan, fade.dropDb, fade.probability));
+    }
+    for (const FaultPlan::Segment &segment : plan_.segments) {
+        processes_.push_back(std::make_unique<RssiSegment>(
+            segment.window, segment.wlan, segment.attenuationDb));
+    }
+    for (const FaultPlan::Surge &surge : plan_.surges) {
+        processes_.push_back(std::make_unique<CoRunnerSurge>(
+            surge.window, surge.cpuUtil, surge.memUtil));
     }
     if (plan_.brownoutSlowdown > 1.0 || plan_.brownoutDownProb > 0.0) {
         processes_.push_back(std::make_unique<CloudBrownout>(

@@ -50,6 +50,26 @@ struct FaultPlan {
     };
     std::vector<Fade> fades;
 
+    /**
+     * Deterministic RSSI attenuation windows — mobility arcs (commuter
+     * tunnels, dead zones) declared by scenario files. Zero RNG draws,
+     * so segments never shift the other processes' streams.
+     */
+    struct Segment {
+        StepWindow window;
+        bool wlan = true;
+        double attenuationDb = 0.0;
+    };
+    std::vector<Segment> segments;
+
+    /** Scheduled co-runner interference floors (surge windows). */
+    struct Surge {
+        StepWindow window;
+        double cpuUtil = 0.0;
+        double memUtil = 0.0;
+    };
+    std::vector<Surge> surges;
+
     /** Cloud brownout episode (slowdown 1 disables). */
     StepWindow brownoutWindow;
     double brownoutSlowdown = 1.0;

@@ -69,6 +69,31 @@ ThermalThrottleEvents::apply(std::int64_t, FaultState &state, Rng &rng)
 }
 
 void
+RssiSegment::apply(std::int64_t step, FaultState &state, Rng &)
+{
+    if (!window_.contains(step)) {
+        return;
+    }
+    if (wlan_) {
+        state.wlanRssiDropDb =
+            std::max(state.wlanRssiDropDb, attenuationDb_);
+    } else {
+        state.p2pRssiDropDb =
+            std::max(state.p2pRssiDropDb, attenuationDb_);
+    }
+}
+
+void
+CoRunnerSurge::apply(std::int64_t step, FaultState &state, Rng &)
+{
+    if (!window_.contains(step)) {
+        return;
+    }
+    state.coCpuFloor = std::max(state.coCpuFloor, cpuUtil_);
+    state.coMemFloor = std::max(state.coMemFloor, memUtil_);
+}
+
+void
 TransferDrops::apply(std::int64_t, FaultState &state, Rng &)
 {
     state.transferDropProb =

@@ -124,6 +124,48 @@ class ThermalThrottleEvents : public FaultProcess {
     double probability_;
 };
 
+/**
+ * Deterministic RSSI attenuation during a step window: the declarative
+ * building block of mobility arcs (commuter drives through a tunnel,
+ * desk by the window vs. the server room). Draws nothing from the RNG,
+ * so layering segments onto a plan never shifts the other processes'
+ * streams.
+ */
+class RssiSegment : public FaultProcess {
+  public:
+    RssiSegment(const StepWindow &window, bool wlan, double attenuationDb)
+        : window_(window), wlan_(wlan), attenuationDb_(attenuationDb)
+    {
+    }
+
+    void apply(std::int64_t step, FaultState &state, Rng &rng) override;
+
+  private:
+    StepWindow window_;
+    bool wlan_;
+    double attenuationDb_;
+};
+
+/**
+ * Co-runner interference floor during a step window (scheduled
+ * foreground app, backup job): raises EnvState's co-running CPU/memory
+ * utilization to at least the given levels. Draws nothing from the RNG.
+ */
+class CoRunnerSurge : public FaultProcess {
+  public:
+    CoRunnerSurge(const StepWindow &window, double cpuUtil, double memUtil)
+        : window_(window), cpuUtil_(cpuUtil), memUtil_(memUtil)
+    {
+    }
+
+    void apply(std::int64_t step, FaultState &state, Rng &rng) override;
+
+  private:
+    StepWindow window_;
+    double cpuUtil_;
+    double memUtil_;
+};
+
 /** Constant per-attempt transfer-drop probability (lossy link). */
 class TransferDrops : public FaultProcess {
   public:

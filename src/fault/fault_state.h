@@ -33,6 +33,10 @@ struct FaultState {
     double localThrottleFactor = 1.0;
     /** Probability that any single transfer attempt is dropped. */
     double transferDropProb = 0.0;
+    /** Co-runner CPU-utilization floor (interference surge), [0, 1]. */
+    double coCpuFloor = 0.0;
+    /** Co-runner memory-utilization floor, [0, 1]. */
+    double coMemFloor = 0.0;
 
     /** Whether any fault condition is engaged this step. */
     bool
@@ -41,7 +45,8 @@ struct FaultState {
         return wlanBlackout || p2pBlackout || cloudDown
             || wlanRssiDropDb > 0.0 || p2pRssiDropDb > 0.0
             || cloudSlowdown > 1.0 || localThrottleFactor < 1.0
-            || transferDropProb > 0.0;
+            || transferDropProb > 0.0 || coCpuFloor > 0.0
+            || coMemFloor > 0.0;
     }
 };
 

@@ -1,0 +1,121 @@
+#include "scenario/apply.h"
+
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace autoscale::scenario {
+
+void
+SettingsMerger::conflict(const std::string &flag, const std::string &key,
+                         const std::string &flagValue,
+                         const std::string &fileValue) const
+{
+    fatal(flag + " " + flagValue + " conflicts with " + key + " = "
+          + fileValue + " from " + spec_->sourceFile
+          + " (drop the flag or change the file)");
+}
+
+bool
+SettingsMerger::fileSets(const std::string &key) const
+{
+    return spec_ != nullptr && spec_->isSet(key);
+}
+
+double
+SettingsMerger::resolveDouble(const std::string &flag,
+                              const std::string &key, double specValue,
+                              double fallback) const
+{
+    double flagValue = 0.0;
+    const Args::ParseStatus status = args_.parseDouble(flag, &flagValue);
+    if (status == Args::ParseStatus::Malformed) {
+        fatal(flag + " expects a number, got '" + args_.get(flag) + "'");
+    }
+    const bool inFile = fileSets(key);
+    if (status == Args::ParseStatus::Ok) {
+        // formatDouble comparison: "4" restates "4.0", and the round
+        // trip through parser doubles is exact.
+        if (inFile
+            && formatDouble(flagValue) != formatDouble(specValue)) {
+            conflict(flag, key, formatDouble(flagValue),
+                     formatDouble(specValue));
+        }
+        return flagValue;
+    }
+    return inFile ? specValue : fallback;
+}
+
+int
+SettingsMerger::resolveInt(const std::string &flag, const std::string &key,
+                           std::int64_t specValue, int fallback) const
+{
+    int flagValue = 0;
+    const Args::ParseStatus status = args_.parseInt(flag, &flagValue);
+    if (status == Args::ParseStatus::Malformed) {
+        fatal(flag + " expects an integer, got '" + args_.get(flag)
+              + "'");
+    }
+    const bool inFile = fileSets(key);
+    if (status == Args::ParseStatus::Ok) {
+        if (inFile && static_cast<std::int64_t>(flagValue) != specValue) {
+            conflict(flag, key, std::to_string(flagValue),
+                     std::to_string(specValue));
+        }
+        return flagValue;
+    }
+    if (inFile) {
+        if (specValue < INT32_MIN || specValue > INT32_MAX) {
+            fatal(key + " = " + std::to_string(specValue) + " from "
+                  + spec_->sourceFile + " does not fit " + flag);
+        }
+        return static_cast<int>(specValue);
+    }
+    return fallback;
+}
+
+std::string
+SettingsMerger::resolveString(const std::string &flag,
+                              const std::string &key,
+                              const std::string &specValue,
+                              const std::string &fallback) const
+{
+    const bool inFlag = args_.has(flag);
+    const bool inFile = fileSets(key);
+    if (inFlag) {
+        const std::string flagValue = args_.get(flag);
+        if (inFile && flagValue != specValue) {
+            conflict(flag, key, "'" + flagValue + "'",
+                     "\"" + specValue + "\"");
+        }
+        return flagValue;
+    }
+    return inFile ? specValue : fallback;
+}
+
+std::uint64_t
+SettingsMerger::resolveSeed(const std::string &flag, const std::string &key,
+                            std::uint64_t specValue,
+                            std::uint64_t fallback) const
+{
+    int flagValue = 0;
+    const Args::ParseStatus status = args_.parseInt(flag, &flagValue);
+    if (status == Args::ParseStatus::Malformed) {
+        fatal(flag + " expects an integer, got '" + args_.get(flag)
+              + "'");
+    }
+    const bool inFile = fileSets(key);
+    if (status == Args::ParseStatus::Ok) {
+        if (flagValue < 0) {
+            fatal(flag + " must be >= 0");
+        }
+        const auto wide = static_cast<std::uint64_t>(flagValue);
+        if (inFile && wide != specValue) {
+            conflict(flag, key, std::to_string(wide),
+                     std::to_string(specValue));
+        }
+        return wide;
+    }
+    return inFile ? specValue : fallback;
+}
+
+} // namespace autoscale::scenario

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Conflict-checked resolution of CLI flags against a loaded scenario
+ * file. The contract (DESIGN.md §16): a value can come from the flag,
+ * the file, or the built-in default — and when both the flag and the
+ * file set the SAME setting to DIFFERENT values, that is a fatal
+ * conflict, not a silent precedence rule. Equal restatements are
+ * allowed (so wrapper scripts can pin flags), a flag over a silent
+ * file wins, and a file over an absent flag wins.
+ *
+ * Exactness comes from two sides: ScenarioSpec::explicitKeys records
+ * which dotted keys the file actually wrote (never defaults), and
+ * Args::parseDouble/parseInt separate absent flags from malformed
+ * ones. Double comparison goes through formatDouble so "4" and "4.0"
+ * restate, not conflict.
+ */
+
+#ifndef AUTOSCALE_SCENARIO_APPLY_H_
+#define AUTOSCALE_SCENARIO_APPLY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/spec.h"
+#include "util/args.h"
+
+namespace autoscale::scenario {
+
+/**
+ * Flag/file/default resolver for one command invocation. @p spec may
+ * be null (no --scenario file), in which case every resolve is a
+ * strict flag read with the built-in fallback. All methods fatal() on
+ * malformed flag values and on flag-vs-file conflicts.
+ */
+class SettingsMerger {
+  public:
+    SettingsMerger(const Args &args, const ScenarioSpec *spec)
+        : args_(args), spec_(spec)
+    {
+    }
+
+    /**
+     * Resolve @p flag against file key @p key. @p specValue is the
+     * bound spec field for @p key (ignored unless the file set it);
+     * @p fallback applies when neither side speaks.
+     */
+    double resolveDouble(const std::string &flag, const std::string &key,
+                         double specValue, double fallback) const;
+    int resolveInt(const std::string &flag, const std::string &key,
+                   std::int64_t specValue, int fallback) const;
+    std::string resolveString(const std::string &flag,
+                              const std::string &key,
+                              const std::string &specValue,
+                              const std::string &fallback) const;
+
+    /** Like resolveInt but wide enough for 64-bit seeds. */
+    std::uint64_t resolveSeed(const std::string &flag,
+                              const std::string &key,
+                              std::uint64_t specValue,
+                              std::uint64_t fallback) const;
+
+    /** Whether the file set @p key (false without a file). */
+    bool fileSets(const std::string &key) const;
+
+    /** Whether a file is loaded at all. */
+    bool hasFile() const { return spec_ != nullptr; }
+
+    const ScenarioSpec *spec() const { return spec_; }
+
+  private:
+    [[noreturn]] void conflict(const std::string &flag,
+                               const std::string &key,
+                               const std::string &flagValue,
+                               const std::string &fileValue) const;
+
+    const Args &args_;
+    const ScenarioSpec *spec_;
+};
+
+} // namespace autoscale::scenario
+
+#endif // AUTOSCALE_SCENARIO_APPLY_H_

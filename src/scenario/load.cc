@@ -1,0 +1,62 @@
+#include "scenario/load.h"
+
+namespace autoscale::scenario {
+
+namespace {
+
+std::vector<LoadedScenario>
+loadParsed(const Doc &doc, Diagnostics &diags)
+{
+    if (!diags.ok()) {
+        return {};
+    }
+    const std::vector<Variant> variants = expandVariants(doc, diags);
+    if (!diags.ok()) {
+        return {};
+    }
+    const bool swept = doc.find("variant") != nullptr;
+    std::vector<LoadedScenario> loaded;
+    loaded.reserve(variants.size());
+    for (const Variant &variant : variants) {
+        LoadedScenario scenario;
+        scenario.index = variant.index;
+        scenario.assignments = variant.assignments;
+        scenario.spec = bindSpec(variant.doc, diags);
+        // The sweep owns identity: expansion-derived name and seed
+        // override whatever [meta] carries (spec fields only; the Doc
+        // keeps the base values, so canonical text stays shared).
+        scenario.spec.name = variant.name;
+        scenario.spec.seed = variant.seed;
+        if (swept) {
+            // Derived identity counts as file-set: a --seed flag
+            // fighting a sweep-derived seed must surface as a
+            // conflict, not silently fork the replay.
+            scenario.spec.explicitKeys.insert("meta.name");
+            scenario.spec.explicitKeys.insert("meta.seed");
+        }
+        if (scenario.spec.faults.enabled()) {
+            scenario.spec.faults.name = variant.name;
+        }
+        loaded.push_back(std::move(scenario));
+    }
+    return diags.ok() ? loaded : std::vector<LoadedScenario>{};
+}
+
+} // namespace
+
+std::vector<LoadedScenario>
+loadScenarioFile(const std::string &path, Diagnostics &diags)
+{
+    const Doc doc = parseScenarioFile(path, diags);
+    return loadParsed(doc, diags);
+}
+
+std::vector<LoadedScenario>
+loadScenarioText(const std::string &text, const std::string &file,
+                 Diagnostics &diags)
+{
+    const Doc doc = parseScenarioText(text, file, diags);
+    return loadParsed(doc, diags);
+}
+
+} // namespace autoscale::scenario

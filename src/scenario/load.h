@@ -1,0 +1,46 @@
+/**
+ * @file
+ * One-call scenario loading: parse -> validate [variant] -> expand ->
+ * bind each expanded Doc into a typed ScenarioSpec. This is the entry
+ * point the CLI (`--scenario FILE`) and scenario_lint share, so a file
+ * that lints clean is exactly a file the CLI will accept.
+ */
+
+#ifndef AUTOSCALE_SCENARIO_LOAD_H_
+#define AUTOSCALE_SCENARIO_LOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "scenario/parser.h"
+#include "scenario/spec.h"
+#include "scenario/variants.h"
+
+namespace autoscale::scenario {
+
+/** One expanded, validated scenario from a file. */
+struct LoadedScenario {
+    /** Expansion index (0 for files without [variant]). */
+    int index = 0;
+    /** Axis assignments that produced this variant (empty: no sweep). */
+    std::vector<std::pair<std::string, std::string>> assignments;
+    /** The bound spec; name/seed already variant-derived. */
+    ScenarioSpec spec;
+};
+
+/**
+ * Load @p path end-to-end. All parse, variant, and binding errors
+ * accumulate into @p diags; the result is meaningful only when
+ * @p diags stays ok(), and is then non-empty (at least one variant).
+ */
+std::vector<LoadedScenario> loadScenarioFile(const std::string &path,
+                                             Diagnostics &diags);
+
+/** Same, over in-memory text (@p file labels diagnostics). */
+std::vector<LoadedScenario> loadScenarioText(const std::string &text,
+                                             const std::string &file,
+                                             Diagnostics &diags);
+
+} // namespace autoscale::scenario
+
+#endif // AUTOSCALE_SCENARIO_LOAD_H_

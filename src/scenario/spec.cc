@@ -1,0 +1,944 @@
+#include "scenario/spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "dnn/model_zoo.h"
+#include "platform/device_zoo.h"
+#include "util/format.h"
+
+namespace autoscale::scenario {
+
+namespace {
+
+/** Largest integer exactly representable in the Number payload. */
+constexpr double kMaxExactInt = 9007199254740992.0; // 2^53
+
+/** Section names and per-section key order — the canonical order. */
+struct SectionSchema {
+    const char *name;
+    bool repeatable;
+    std::vector<const char *> keys;
+};
+
+const std::vector<SectionSchema> &
+schema()
+{
+    static const std::vector<SectionSchema> kSchema = {
+        {"meta", false, {"name", "description", "seed"}},
+        {"device", false, {"model", "population"}},
+        {"workload", false,
+         {"network", "requests", "train_runs", "accuracy_target_pct"}},
+        {"env", false, {"base"}},
+        {"arrival", false,
+         {"rate_x", "rate_rps", "burst_period_ms", "burst_ms",
+          "burst_mult", "diurnal_period_ms", "diurnal_amplitude"}},
+        {"qos", false, {"queue_depth", "degrade_depth"}},
+        {"retry", false,
+         {"timeout_ms", "max_retries", "backoff_ms", "backoff_mult"}},
+        {"fault", false,
+         {"seed", "brownout_start", "brownout_duration", "brownout_period",
+          "brownout_slowdown", "brownout_down_prob", "throttle_factor",
+          "throttle_prob", "transfer_drop_prob"}},
+        {"fault.blackout", true,
+         {"start", "duration", "period", "wlan", "p2p"}},
+        {"fault.fade", true, {"wlan", "drop_db", "probability"}},
+        {"mobility.segment", true,
+         {"start", "duration", "period", "wlan", "attenuation_db"}},
+        {"interference.segment", true,
+         {"start", "duration", "period", "co_cpu", "co_mem"}},
+        {"fleet", false, {"epoch_ms", "q_mode", "merge_epochs"}},
+        {"infra", false,
+         {"edge_capacity", "wifi_capacity", "contention",
+          "brownout_period_ms", "brownout_ms", "brownout_slowdown"}},
+        // [variant] keys are free-form axis paths; file order is
+        // meaningful and preserved (see variants.h).
+        {"variant", false, {}},
+    };
+    return kSchema;
+}
+
+const SectionSchema *
+findSectionSchema(const std::string &name)
+{
+    for (const SectionSchema &section : schema()) {
+        if (name == section.name) {
+            return &section;
+        }
+    }
+    return nullptr;
+}
+
+const char *
+kindName(Value::Kind kind)
+{
+    switch (kind) {
+      case Value::Kind::String: return "a string";
+      case Value::Kind::Number: return "a number";
+      case Value::Kind::Bool: return "a boolean";
+      case Value::Kind::List: return "a list";
+    }
+    return "a value";
+}
+
+/**
+ * Typed accessor over one section's entries. Reports duplicate and
+ * unknown keys once per section, and records every successfully read
+ * key into the spec's explicit-key set under "section.key".
+ */
+class Binder {
+  public:
+    Binder(const Section &section, const std::string &file,
+           const SectionSchema &sectionSchema, Diagnostics &diags,
+           std::set<std::string> *explicitKeys)
+        : section_(section), file_(file), diags_(diags),
+          explicit_(explicitKeys)
+    {
+        // Duplicate keys are never accepted: last-one-wins in a
+        // replayable artifact silently changes the run.
+        std::map<std::string, int> first_line;
+        for (const Entry &entry : section_.entries) {
+            const auto [it, inserted] =
+                first_line.emplace(entry.key, entry.line);
+            if (!inserted) {
+                diags_.error(file_, entry.line,
+                             "duplicate key '" + entry.key + "' in ["
+                                 + section_.name + "] (first at line "
+                                 + std::to_string(it->second) + ")");
+            }
+        }
+        for (const Entry &entry : section_.entries) {
+            bool known = false;
+            for (const char *key : sectionSchema.keys) {
+                if (entry.key == key) {
+                    known = true;
+                    break;
+                }
+            }
+            if (!known) {
+                diags_.error(file_, entry.line,
+                             "unknown key '" + entry.key + "' in ["
+                                 + section_.name + "]");
+            }
+        }
+    }
+
+    /** Dotted path of @p key for messages and the explicit-key set. */
+    std::string
+    path(const char *key) const
+    {
+        return section_.name + std::string(".") + key;
+    }
+
+    bool
+    number(const char *key, double *out)
+    {
+        const Entry *entry = section_.find(key);
+        if (entry == nullptr) {
+            return false;
+        }
+        if (entry->value.kind != Value::Kind::Number) {
+            diags_.error(file_, entry->line,
+                         path(key) + " must be a number, got "
+                             + kindName(entry->value.kind));
+            return false;
+        }
+        if (!std::isfinite(entry->value.num)) {
+            diags_.error(file_, entry->line,
+                         path(key) + " must be finite");
+            return false;
+        }
+        *out = entry->value.num;
+        line_ = entry->line;
+        mark(key);
+        return true;
+    }
+
+    bool
+    integer(const char *key, std::int64_t *out)
+    {
+        const Entry *entry = section_.find(key);
+        if (entry == nullptr) {
+            return false;
+        }
+        double value = 0.0;
+        if (!number(key, &value)) {
+            return false;
+        }
+        if (value != std::floor(value) || std::fabs(value) > kMaxExactInt) {
+            diags_.error(file_, entry->line,
+                         path(key) + " must be an integer, got "
+                             + formatDouble(value));
+            return false;
+        }
+        *out = static_cast<std::int64_t>(value);
+        return true;
+    }
+
+    bool
+    boolean(const char *key, bool *out)
+    {
+        const Entry *entry = section_.find(key);
+        if (entry == nullptr) {
+            return false;
+        }
+        if (entry->value.kind != Value::Kind::Bool) {
+            diags_.error(file_, entry->line,
+                         path(key) + " must be true or false, got "
+                             + kindName(entry->value.kind));
+            return false;
+        }
+        *out = entry->value.boolean;
+        line_ = entry->line;
+        mark(key);
+        return true;
+    }
+
+    bool
+    string(const char *key, std::string *out)
+    {
+        const Entry *entry = section_.find(key);
+        if (entry == nullptr) {
+            return false;
+        }
+        if (entry->value.kind != Value::Kind::String) {
+            diags_.error(file_, entry->line,
+                         path(key) + " must be a quoted string, got "
+                             + kindName(entry->value.kind));
+            return false;
+        }
+        *out = entry->value.str;
+        line_ = entry->line;
+        mark(key);
+        return true;
+    }
+
+    /** Line of the entry most recently read (for range messages). */
+    int
+    line(const char *key) const
+    {
+        const Entry *entry = section_.find(key);
+        return entry != nullptr ? entry->line : section_.line;
+    }
+
+    bool has(const char *key) const { return section_.find(key) != nullptr; }
+
+    void
+    fail(const char *key, const std::string &constraint, double got)
+    {
+        diags_.error(file_, line(key),
+                     path(key) + " must be " + constraint + ", got "
+                         + formatDouble(got));
+    }
+
+    /** Free-form "<path> <message>" diagnostic at @p key's line. */
+    void
+    failText(const char *key, const std::string &message)
+    {
+        diags_.error(file_, line(key), path(key) + " " + message);
+    }
+
+  private:
+    void
+    mark(const char *key)
+    {
+        if (explicit_ != nullptr) {
+            explicit_->insert(path(key));
+        }
+    }
+
+    const Section &section_;
+    const std::string &file_;
+    Diagnostics &diags_;
+    std::set<std::string> *explicit_;
+    int line_ = 0;
+};
+
+/** number + range check in one call; true iff present and valid. */
+bool
+checkedNumber(Binder &binder, const char *key, double lo, double hi,
+              const char *constraint, double *out)
+{
+    double value = 0.0;
+    if (!binder.number(key, &value)) {
+        return false;
+    }
+    if (value < lo || value > hi) {
+        binder.fail(key, constraint, value);
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+bool
+checkedInteger(Binder &binder, const char *key, std::int64_t lo,
+               std::int64_t hi, const char *constraint, std::int64_t *out)
+{
+    std::int64_t value = 0;
+    if (!binder.integer(key, &value)) {
+        return false;
+    }
+    if (value < lo || value > hi) {
+        binder.fail(key, constraint, static_cast<double>(value));
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+/** A step window from start/duration/period keys; true iff valid. */
+bool
+bindWindow(Binder &binder, Diagnostics &diags, const std::string &file,
+           fault::StepWindow *window)
+{
+    bool ok = true;
+    std::int64_t value = 0;
+    if (checkedInteger(binder, "start", 0, 1000000000, ">= 0", &value)) {
+        window->startStep = value;
+    } else if (binder.has("start")) {
+        ok = false;
+    }
+    if (checkedInteger(binder, "duration", 1, 1000000000, ">= 1 (a zero-"
+                       "duration window never fires)", &value)) {
+        window->durationSteps = value;
+    } else {
+        // duration is required: a windowed process without one is dead.
+        if (!binder.has("duration")) {
+            diags.error(file, binder.line("duration"),
+                        binder.path("duration") + " is required");
+        }
+        ok = false;
+    }
+    if (checkedInteger(binder, "period", 0, 1000000000, ">= 0", &value)) {
+        window->periodSteps = value;
+    } else if (binder.has("period")) {
+        ok = false;
+    }
+    if (ok && window->periodSteps > 0
+        && window->durationSteps > window->periodSteps) {
+        binder.fail("duration", "<= period when period > 0",
+                    static_cast<double>(window->durationSteps));
+        ok = false;
+    }
+    return ok;
+}
+
+env::ScenarioId
+parseEnvBase(const std::string &name, int line, const std::string &file,
+             Diagnostics &diags, bool *ok)
+{
+    for (const env::ScenarioId id : env::allScenarios()) {
+        if (name == env::scenarioName(id)) {
+            return id;
+        }
+    }
+    diags.error(file, line,
+                "env.base '" + name
+                    + "' is not a Table IV scenario (use S1-S5, D1-D4)");
+    *ok = false;
+    return env::ScenarioId::D3;
+}
+
+void
+bindMeta(Binder &binder, ScenarioSpec &spec)
+{
+    std::string text;
+    if (binder.string("name", &text)) {
+        if (text.empty()) {
+            binder.failText("name", "must be non-empty");
+        } else {
+            spec.name = text;
+        }
+    }
+    binder.string("description", &spec.description);
+    std::int64_t seed = 0;
+    if (checkedInteger(binder, "seed", 0, 9007199254740992, ">= 0",
+                       &seed)) {
+        spec.seed = static_cast<std::uint64_t>(seed);
+    }
+}
+
+void
+bindDevice(Binder &binder, ScenarioSpec &spec)
+{
+    std::string model;
+    if (binder.string("model", &model)) {
+        const std::vector<std::string> names = platform::phoneNames();
+        if (std::find(names.begin(), names.end(), model) == names.end()) {
+            std::string known;
+            for (const std::string &name : names) {
+                if (!known.empty()) {
+                    known += ", ";
+                }
+                known += name;
+            }
+            binder.failText("model", "must be one of {" + known
+                                         + "}, got \"" + model + "\"");
+        } else {
+            spec.deviceModel = model;
+        }
+    }
+    std::int64_t population = 0;
+    if (checkedInteger(binder, "population", 1, 1000000,
+                       "within [1, 1000000]", &population)) {
+        spec.population = static_cast<int>(population);
+    }
+}
+
+void
+bindWorkload(Binder &binder, ScenarioSpec &spec)
+{
+    std::string network;
+    if (binder.string("network", &network) && !network.empty()) {
+        bool known = false;
+        for (const auto &net : dnn::modelZoo()) {
+            if (net.name() == network) {
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            binder.failText("network",
+                            "must be a model-zoo network name or \"\", "
+                            "got \"" + network + "\"");
+        } else {
+            spec.network = network;
+        }
+    }
+    std::int64_t value = 0;
+    if (checkedInteger(binder, "requests", 1, 1000000000,
+                       "within [1, 1e9]", &value)) {
+        spec.requests = value;
+    }
+    if (checkedInteger(binder, "train_runs", 0, 1000000,
+                       "within [0, 1e6]", &value)) {
+        spec.trainRuns = static_cast<int>(value);
+    }
+    checkedNumber(binder, "accuracy_target_pct", 0.0, 100.0,
+                  "within [0, 100]", &spec.accuracyTargetPct);
+}
+
+void
+bindEnv(const Section &section, Binder &binder, const std::string &file,
+        ScenarioSpec &spec, Diagnostics &diags)
+{
+    const Entry *entry = section.find("base");
+    if (entry == nullptr) {
+        return;
+    }
+    bool ok = true;
+    std::vector<env::ScenarioId> bases;
+    if (entry->value.kind == Value::Kind::String) {
+        bases.push_back(parseEnvBase(entry->value.str, entry->line, file,
+                                     diags, &ok));
+    } else if (entry->value.kind == Value::Kind::List) {
+        for (const Value &item : entry->value.items) {
+            if (item.kind != Value::Kind::String) {
+                diags.error(file, entry->line,
+                            "env.base list items must be strings");
+                ok = false;
+                break;
+            }
+            bases.push_back(
+                parseEnvBase(item.str, entry->line, file, diags, &ok));
+        }
+        if (bases.empty() && ok) {
+            diags.error(file, entry->line,
+                        "env.base must name at least one scenario");
+            ok = false;
+        }
+        for (std::size_t i = 0; ok && i < bases.size(); ++i) {
+            for (std::size_t j = i + 1; j < bases.size(); ++j) {
+                if (bases[i] == bases[j]) {
+                    diags.error(file, entry->line,
+                                "env.base lists '"
+                                    + std::string(
+                                          env::scenarioName(bases[i]))
+                                    + "' twice");
+                    ok = false;
+                    break;
+                }
+            }
+        }
+    } else {
+        diags.error(file, entry->line,
+                    "env.base must be a scenario name or a list of them, "
+                    "got " + std::string(kindName(entry->value.kind)));
+        ok = false;
+    }
+    if (ok) {
+        spec.envBases = std::move(bases);
+        // Recorded by hand: the list form bypasses Binder::string.
+        spec.explicitKeys.insert("env.base");
+    }
+    // Silence the "unknown key" pass: base is in the schema, and the
+    // Binder never saw a typed read for the list form. (No-op.)
+    (void)binder;
+}
+
+void
+bindArrival(Binder &binder, const std::string &file, ScenarioSpec &spec,
+            Diagnostics &diags)
+{
+    if (binder.has("rate_x") && binder.has("rate_rps")) {
+        diags.error(file, binder.line("rate_rps"),
+                    "arrival.rate_rps and arrival.rate_x are mutually "
+                    "exclusive; set one");
+    }
+    double value = 0.0;
+    if (checkedNumber(binder, "rate_x", 1e-6, 1e6, "> 0", &value)) {
+        spec.arrival.rateX = value;
+    }
+    if (checkedNumber(binder, "rate_rps", 1e-6, 1e9, "> 0", &value)) {
+        spec.arrival.rateRps = value;
+    }
+    if (binder.number("burst_period_ms", &value)) {
+        // <= 0 is the documented "bursts off" spelling.
+        spec.arrival.burstPeriodMs = value;
+    }
+    if (checkedNumber(binder, "burst_ms", 0.0, 1e9, ">= 0", &value)) {
+        spec.arrival.burstMs = value;
+    }
+    if (checkedNumber(binder, "burst_mult", 1.0, 1e6, ">= 1", &value)) {
+        spec.arrival.burstMult = value;
+    }
+    if (spec.arrival.burstPeriodMs > 0.0
+        && spec.arrival.burstMs > spec.arrival.burstPeriodMs) {
+        binder.fail("burst_ms", "<= arrival.burst_period_ms",
+                    spec.arrival.burstMs);
+    }
+    if (checkedNumber(binder, "diurnal_period_ms", 1e-3, 1e12, "> 0",
+                      &value)) {
+        spec.arrival.diurnalPeriodMs = value;
+    }
+    if (checkedNumber(binder, "diurnal_amplitude", 0.0,
+                      0.999999, "within [0, 1)", &value)) {
+        spec.arrival.diurnalAmplitude = value;
+    }
+    if (spec.arrival.diurnalAmplitude > 0.0
+        && spec.arrival.diurnalPeriodMs <= 0.0) {
+        diags.error(file, binder.line("diurnal_amplitude"),
+                    "arrival.diurnal_amplitude requires "
+                    "arrival.diurnal_period_ms");
+    }
+}
+
+void
+bindQos(Binder &binder, ScenarioSpec &spec)
+{
+    std::int64_t value = 0;
+    if (checkedInteger(binder, "queue_depth", 1, 1000000,
+                       "within [1, 1e6]", &value)) {
+        spec.queueDepth = static_cast<int>(value);
+    }
+    if (checkedInteger(binder, "degrade_depth", 0, 1000000,
+                       "within [0, 1e6]", &value)) {
+        spec.degradeDepth = static_cast<int>(value);
+    }
+}
+
+void
+bindRetry(Binder &binder, ScenarioSpec &spec)
+{
+    double value = 0.0;
+    if (checkedNumber(binder, "timeout_ms", 1e-3, 1e9, "> 0", &value)) {
+        spec.retry.timeoutMs = value;
+    }
+    std::int64_t retries = 0;
+    if (checkedInteger(binder, "max_retries", 0, 100, "within [0, 100]",
+                       &retries)) {
+        spec.retry.maxRetries = static_cast<int>(retries);
+    }
+    if (checkedNumber(binder, "backoff_ms", 0.0, 1e9, ">= 0", &value)) {
+        spec.retry.backoffBaseMs = value;
+    }
+    if (checkedNumber(binder, "backoff_mult", 1e-6, 1e6, "> 0", &value)) {
+        spec.retry.backoffMultiplier = value;
+    }
+}
+
+void
+bindFault(Binder &binder, const std::string &file, ScenarioSpec &spec,
+          Diagnostics &diags)
+{
+    std::int64_t seed = 0;
+    if (checkedInteger(binder, "seed", 0, 9007199254740992, ">= 0",
+                       &seed)) {
+        spec.faults.seed = static_cast<std::uint64_t>(seed);
+    }
+    std::int64_t steps = 0;
+    if (checkedInteger(binder, "brownout_start", 0, 1000000000, ">= 0",
+                       &steps)) {
+        spec.faults.brownoutWindow.startStep = steps;
+    }
+    if (checkedInteger(binder, "brownout_duration", 1, 1000000000,
+                       ">= 1 (a zero-duration window never fires)",
+                       &steps)) {
+        spec.faults.brownoutWindow.durationSteps = steps;
+    }
+    if (checkedInteger(binder, "brownout_period", 0, 1000000000, ">= 0",
+                       &steps)) {
+        spec.faults.brownoutWindow.periodSteps = steps;
+    }
+    if (spec.faults.brownoutWindow.periodSteps > 0
+        && spec.faults.brownoutWindow.durationSteps
+               > spec.faults.brownoutWindow.periodSteps) {
+        binder.fail(
+            "brownout_duration", "<= fault.brownout_period",
+            static_cast<double>(spec.faults.brownoutWindow.durationSteps));
+    }
+    double value = 0.0;
+    if (checkedNumber(binder, "brownout_slowdown", 1.0, 1e6, ">= 1",
+                      &value)) {
+        spec.faults.brownoutSlowdown = value;
+    }
+    if (checkedNumber(binder, "brownout_down_prob", 0.0, 1.0,
+                      "within [0, 1]", &value)) {
+        spec.faults.brownoutDownProb = value;
+    }
+    if ((spec.faults.brownoutSlowdown > 1.0
+         || spec.faults.brownoutDownProb > 0.0)
+        && spec.faults.brownoutWindow.durationSteps <= 0) {
+        diags.error(file, binder.line("brownout_slowdown"),
+                    "a cloud brownout needs a fault.brownout_duration "
+                    "window to fire in");
+    }
+    if (checkedNumber(binder, "throttle_factor", 1e-6, 1.0,
+                      "within (0, 1]", &value)) {
+        spec.faults.throttleFactor = value;
+    }
+    if (checkedNumber(binder, "throttle_prob", 0.0, 1.0, "within [0, 1]",
+                      &value)) {
+        spec.faults.throttleProb = value;
+    }
+    if (spec.faults.throttleFactor < 1.0
+        && spec.faults.throttleProb <= 0.0) {
+        diags.error(file, binder.line("throttle_factor"),
+                    "fault.throttle_factor < 1 needs fault.throttle_prob "
+                    "> 0 to ever fire");
+    }
+    if (checkedNumber(binder, "transfer_drop_prob", 0.0, 1.0,
+                      "within [0, 1]", &value)) {
+        spec.faults.transferDropProb = value;
+    }
+}
+
+void
+bindBlackout(Binder &binder, const std::string &file, ScenarioSpec &spec,
+             Diagnostics &diags, int sectionLine)
+{
+    fault::FaultPlan::Blackout blackout;
+    blackout.wlan = false;
+    blackout.p2p = false;
+    const bool windowOk = bindWindow(binder, diags, file, &blackout.window);
+    binder.boolean("wlan", &blackout.wlan);
+    binder.boolean("p2p", &blackout.p2p);
+    if (!blackout.wlan && !blackout.p2p) {
+        diags.error(file, sectionLine,
+                    "[fault.blackout] must set wlan = true, p2p = true, "
+                    "or both");
+        return;
+    }
+    if (windowOk) {
+        spec.faults.blackouts.push_back(blackout);
+        spec.explicitKeys.insert("fault.blackout");
+    }
+}
+
+void
+bindFade(Binder &binder, const std::string &file, ScenarioSpec &spec,
+         Diagnostics &diags, int sectionLine)
+{
+    fault::FaultPlan::Fade fade;
+    binder.boolean("wlan", &fade.wlan);
+    bool ok = true;
+    if (!checkedNumber(binder, "drop_db", 1e-6, 95.0, "within (0, 95]",
+                       &fade.dropDb)) {
+        if (!binder.has("drop_db")) {
+            diags.error(file, sectionLine,
+                        "fault.fade.drop_db is required");
+        }
+        ok = false;
+    }
+    if (!checkedNumber(binder, "probability", 1e-9, 1.0, "within (0, 1]",
+                       &fade.probability)) {
+        if (!binder.has("probability")) {
+            diags.error(file, sectionLine,
+                        "fault.fade.probability is required");
+        }
+        ok = false;
+    }
+    if (ok) {
+        spec.faults.fades.push_back(fade);
+        spec.explicitKeys.insert("fault.fade");
+    }
+}
+
+void
+bindMobilitySegment(Binder &binder, const std::string &file,
+                    ScenarioSpec &spec, Diagnostics &diags,
+                    int sectionLine)
+{
+    fault::FaultPlan::Segment segment;
+    const bool windowOk = bindWindow(binder, diags, file, &segment.window);
+    binder.boolean("wlan", &segment.wlan);
+    bool ok = windowOk;
+    if (!checkedNumber(binder, "attenuation_db", 1e-6, 95.0,
+                       "within (0, 95]", &segment.attenuationDb)) {
+        if (!binder.has("attenuation_db")) {
+            diags.error(file, sectionLine,
+                        "mobility.segment.attenuation_db is required");
+        }
+        ok = false;
+    }
+    if (ok) {
+        spec.faults.segments.push_back(segment);
+        spec.explicitKeys.insert("mobility.segment");
+    }
+}
+
+void
+bindInterferenceSegment(Binder &binder, const std::string &file,
+                        ScenarioSpec &spec, Diagnostics &diags,
+                        int sectionLine)
+{
+    fault::FaultPlan::Surge surge;
+    const bool windowOk = bindWindow(binder, diags, file, &surge.window);
+    bool ok = windowOk;
+    if (binder.has("co_cpu")
+        && !checkedNumber(binder, "co_cpu", 0.0, 1.0, "within [0, 1]",
+                          &surge.cpuUtil)) {
+        ok = false;
+    }
+    if (binder.has("co_mem")
+        && !checkedNumber(binder, "co_mem", 0.0, 1.0, "within [0, 1]",
+                          &surge.memUtil)) {
+        ok = false;
+    }
+    if (surge.cpuUtil <= 0.0 && surge.memUtil <= 0.0) {
+        diags.error(file, sectionLine,
+                    "[interference.segment] must raise co_cpu, co_mem, "
+                    "or both above 0");
+        ok = false;
+    }
+    if (ok) {
+        spec.faults.surges.push_back(surge);
+        spec.explicitKeys.insert("interference.segment");
+    }
+}
+
+void
+bindFleet(Binder &binder, ScenarioSpec &spec)
+{
+    double value = 0.0;
+    if (checkedNumber(binder, "epoch_ms", 1e-3, 1e9, "> 0", &value)) {
+        spec.fleet.epochMs = value;
+    }
+    std::string mode;
+    if (binder.string("q_mode", &mode)) {
+        if (mode != "per-device" && mode != "shared"
+            && mode != "federated") {
+            binder.failText("q_mode",
+                            "must be one of {per-device, shared, "
+                            "federated}, got \"" + mode + "\"");
+        } else {
+            spec.fleet.qMode = mode;
+        }
+    }
+    std::int64_t epochs = 0;
+    if (checkedInteger(binder, "merge_epochs", 1, 1000000,
+                       "within [1, 1e6]", &epochs)) {
+        spec.fleet.mergeEpochs = static_cast<int>(epochs);
+    }
+}
+
+void
+bindInfra(Binder &binder, ScenarioSpec &spec)
+{
+    double value = 0.0;
+    if (checkedNumber(binder, "edge_capacity", 1e-6, 1e9, "> 0", &value)) {
+        spec.infra.edgeCapacity = value;
+    }
+    if (checkedNumber(binder, "wifi_capacity", 1e-6, 1e9, "> 0", &value)) {
+        spec.infra.wifiCapacity = value;
+    }
+    if (checkedNumber(binder, "contention", 1e-6, 1e6, "> 0", &value)) {
+        spec.infra.contention = value;
+    }
+    if (checkedNumber(binder, "brownout_period_ms", 0.0, 1e12, ">= 0",
+                      &value)) {
+        spec.infra.brownoutPeriodMs = value;
+    }
+    if (checkedNumber(binder, "brownout_ms", 0.0, 1e12, ">= 0", &value)) {
+        spec.infra.brownoutDurationMs = value;
+    }
+    if (spec.infra.brownoutPeriodMs > 0.0
+        && spec.infra.brownoutDurationMs > spec.infra.brownoutPeriodMs) {
+        binder.fail("brownout_ms", "<= infra.brownout_period_ms",
+                    spec.infra.brownoutDurationMs);
+    }
+    if (checkedNumber(binder, "brownout_slowdown", 1.0, 1e6, ">= 1",
+                      &value)) {
+        spec.infra.brownoutSlowdown = value;
+    }
+}
+
+} // namespace
+
+bool
+ScenarioSpec::isSet(const std::string &dottedKey) const
+{
+    return explicitKeys.count(dottedKey) > 0;
+}
+
+bool
+ScenarioSpec::declaresFaults() const
+{
+    for (const std::string &key : explicitKeys) {
+        if (key.rfind("fault", 0) == 0 || key.rfind("mobility", 0) == 0
+            || key.rfind("interference", 0) == 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+ScenarioSpec
+bindSpec(const Doc &doc, Diagnostics &diags)
+{
+    ScenarioSpec spec;
+    spec.sourceFile = doc.file;
+
+    // Unknown and duplicated-singleton sections first, so the messages
+    // lead with structure before key-level detail.
+    std::map<std::string, int> singleton_line;
+    for (const Section &section : doc.sections) {
+        const SectionSchema *sectionSchema =
+            findSectionSchema(section.name);
+        if (sectionSchema == nullptr) {
+            diags.error(doc.file, section.line,
+                        "unknown section [" + section.name + "]");
+            continue;
+        }
+        if (!sectionSchema->repeatable) {
+            const auto [it, inserted] =
+                singleton_line.emplace(section.name, section.line);
+            if (!inserted) {
+                diags.error(doc.file, section.line,
+                            "duplicate [" + section.name
+                                + "] section (first at line "
+                                + std::to_string(it->second) + ")");
+            }
+        }
+    }
+
+    for (const Section &section : doc.sections) {
+        const SectionSchema *sectionSchema =
+            findSectionSchema(section.name);
+        if (sectionSchema == nullptr || section.name == "variant") {
+            continue; // [variant] is bound by expandVariants.
+        }
+        Binder binder(section, doc.file, *sectionSchema, diags,
+                      &spec.explicitKeys);
+        if (section.name == "meta") {
+            bindMeta(binder, spec);
+        } else if (section.name == "device") {
+            bindDevice(binder, spec);
+        } else if (section.name == "workload") {
+            bindWorkload(binder, spec);
+        } else if (section.name == "env") {
+            bindEnv(section, binder, doc.file, spec, diags);
+        } else if (section.name == "arrival") {
+            bindArrival(binder, doc.file, spec, diags);
+        } else if (section.name == "qos") {
+            bindQos(binder, spec);
+        } else if (section.name == "retry") {
+            bindRetry(binder, spec);
+        } else if (section.name == "fault") {
+            bindFault(binder, doc.file, spec, diags);
+        } else if (section.name == "fault.blackout") {
+            bindBlackout(binder, doc.file, spec, diags, section.line);
+        } else if (section.name == "fault.fade") {
+            bindFade(binder, doc.file, spec, diags, section.line);
+        } else if (section.name == "mobility.segment") {
+            bindMobilitySegment(binder, doc.file, spec, diags,
+                                section.line);
+        } else if (section.name == "interference.segment") {
+            bindInterferenceSegment(binder, doc.file, spec, diags,
+                                    section.line);
+        } else if (section.name == "fleet") {
+            bindFleet(binder, spec);
+        } else if (section.name == "infra") {
+            bindInfra(binder, spec);
+        }
+    }
+
+    // Fleet knobs describe shared infrastructure; on a population of
+    // one there is nothing to share and the keys would silently do
+    // nothing — reject instead.
+    if (spec.population <= 1) {
+        for (const std::string &key : spec.explicitKeys) {
+            if (key.rfind("fleet.", 0) == 0 || key.rfind("infra.", 0) == 0) {
+                const Section *section = doc.find(
+                    key.rfind("fleet.", 0) == 0 ? "fleet" : "infra");
+                diags.error(doc.file,
+                            section != nullptr ? section->line : 0,
+                            key + " requires device.population > 1");
+                break;
+            }
+        }
+    }
+
+    // The fault plan reports under the scenario's name, exactly like a
+    // --faults preset reports under its preset name.
+    if (spec.faults.enabled()) {
+        spec.faults.name = spec.name;
+    }
+    return spec;
+}
+
+std::string
+canonicalText(const Doc &doc)
+{
+    std::ostringstream os;
+    bool first = true;
+    auto emitSection = [&](const Section &section,
+                           const SectionSchema &sectionSchema) {
+        if (!first) {
+            os << "\n";
+        }
+        first = false;
+        os << "[" << section.name << "]\n";
+        if (section.name == "variant") {
+            // Axis order is meaningful: keep file order.
+            for (const Entry &entry : section.entries) {
+                os << entry.key << " = " << entry.value.render() << "\n";
+            }
+            return;
+        }
+        for (const char *key : sectionSchema.keys) {
+            const Entry *entry = section.find(key);
+            if (entry != nullptr) {
+                os << key << " = " << entry->value.render() << "\n";
+            }
+        }
+    };
+    // Singleton sections in schema order; repeatable sections grouped
+    // under their schema position, in file order.
+    for (const SectionSchema &sectionSchema : schema()) {
+        for (const Section &section : doc.sections) {
+            if (section.name == sectionSchema.name) {
+                emitSection(section, sectionSchema);
+                if (!sectionSchema.repeatable) {
+                    break;
+                }
+            }
+        }
+    }
+    return os.str();
+}
+
+} // namespace autoscale::scenario

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * [variant] expansion: one scenario file -> N concrete scenarios.
+ *
+ * The [variant] section lists sweep axes as dotted key paths with list
+ * values, plus an optional `replicates` count:
+ *
+ *     [variant]
+ *     arrival.rate_x = [1, 2, 4]
+ *     env.base = ["S1", "D3"]
+ *     replicates = 3
+ *
+ * expands to 3 * 2 * 3 = 18 variants: the cartesian product of the
+ * axes (first axis outermost, file order preserved) repeated for each
+ * replicate (replicate index innermost). Variant i is the base Doc
+ * with each axis key substituted, named `<meta.name>#i` and seeded
+ * `replicateSeed(meta.seed, i)` — a pure function of (file, i), so a
+ * sweep sharded across machines derives identical seeds everywhere.
+ *
+ * A file without a [variant] section expands to exactly itself
+ * (variant 0, base name and seed untouched).
+ */
+
+#ifndef AUTOSCALE_SCENARIO_VARIANTS_H_
+#define AUTOSCALE_SCENARIO_VARIANTS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/parser.h"
+
+namespace autoscale::scenario {
+
+/** One concrete expansion of a (possibly swept) scenario file. */
+struct Variant {
+    /** Base Doc with axis values substituted; [variant] removed. */
+    Doc doc;
+    /** 0-based expansion index. */
+    int index = 0;
+    /** `<meta.name>#<index>`, or the base name for a no-sweep file. */
+    std::string name;
+    /**
+     * replicateSeed(meta.seed, index), or the base seed for a no-sweep
+     * file. Carried out-of-band (not written into the Doc) because
+     * seeds are 64-bit and Doc numbers are doubles.
+     */
+    std::uint64_t seed = 0;
+    /** Axis assignments as (dotted path, rendered value), file order. */
+    std::vector<std::pair<std::string, std::string>> assignments;
+};
+
+/**
+ * Validate the [variant] section of @p doc and expand it. Axis errors
+ * (non-list value, empty list, nested lists, unknown target section,
+ * axes into repeatable sections, bad `replicates`) are reported into
+ * @p diags with the axis line; on any error the result is empty.
+ * Binding each returned Doc with bindSpec completes validation of the
+ * substituted values themselves.
+ */
+std::vector<Variant> expandVariants(const Doc &doc, Diagnostics &diags);
+
+} // namespace autoscale::scenario
+
+#endif // AUTOSCALE_SCENARIO_VARIANTS_H_

@@ -20,7 +20,12 @@ ArrivalConfig::inBurst(double nowMs) const
 double
 ArrivalConfig::ratePerMs(double nowMs) const
 {
-    const double base = ratePerSec / 1000.0;
+    double base = ratePerSec / 1000.0;
+    if (diurnalAmplitude > 0.0 && diurnalPeriodMs > 0.0) {
+        constexpr double kTau = 6.283185307179586476925286766559;
+        base *= 1.0
+            + diurnalAmplitude * std::sin(kTau * nowMs / diurnalPeriodMs);
+    }
     return inBurst(nowMs) ? base * burstMultiplier : base;
 }
 

@@ -31,6 +31,16 @@ struct ArrivalConfig {
     double burstDurationMs = 400.0;
     /** Rate multiplier inside a burst episode (>= 1). */
     double burstMultiplier = 4.0;
+    /**
+     * Diurnal rate modulation (scenario files' arrival.diurnal_*): the
+     * base rate is scaled by 1 + amplitude * sin(2*pi * t / period)
+     * before burst multipliers apply. Amplitude 0 (the default)
+     * bypasses the modulation entirely, so non-diurnal configs keep
+     * their exact historical arrival timelines. Amplitude must stay
+     * < 1 so the rate never reaches zero.
+     */
+    double diurnalPeriodMs = 0.0;
+    double diurnalAmplitude = 0.0;
 
     /** Whether @p nowMs falls inside a burst episode. */
     bool inBurst(double nowMs) const;

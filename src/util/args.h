@@ -100,6 +100,72 @@ class Args {
         }
     }
 
+    /** Outcome of a strict typed read (parseDouble/parseInt). */
+    enum class ParseStatus {
+        Absent,    ///< Flag not given (or trailing with no value).
+        Ok,        ///< Parsed; *out was written.
+        Malformed, ///< Flag given but not parseable; *out untouched.
+    };
+
+    /**
+     * Strict typed read of @p flag. Unlike getDouble, this separates
+     * "the user didn't pass the flag" from "the user passed garbage":
+     * a fallback-returning accessor cannot tell `--rate-x 2.0` absent
+     * from `--rate-x oops`, which makes exact file-vs-flag override
+     * detection impossible. Malformed means present but not a full
+     * finite-syntax number (trailing garbage, overflow, empty value).
+     */
+    ParseStatus
+    parseDouble(const std::string &flag, double *out) const
+    {
+        if (!has(flag)) {
+            return ParseStatus::Absent;
+        }
+        const std::string value = get(flag);
+        if (value.empty()) {
+            return ParseStatus::Malformed; // `--flag=` or trailing flag.
+        }
+        try {
+            std::size_t consumed = 0;
+            const double parsed = std::stod(value, &consumed);
+            if (consumed != value.size()) {
+                return ParseStatus::Malformed;
+            }
+            *out = parsed;
+            return ParseStatus::Ok;
+        } catch (const std::invalid_argument &) {
+            return ParseStatus::Malformed;
+        } catch (const std::out_of_range &) {
+            return ParseStatus::Malformed;
+        }
+    }
+
+    /** Strict integer read; same contract as parseDouble. */
+    ParseStatus
+    parseInt(const std::string &flag, int *out) const
+    {
+        if (!has(flag)) {
+            return ParseStatus::Absent;
+        }
+        const std::string value = get(flag);
+        if (value.empty()) {
+            return ParseStatus::Malformed; // `--flag=` or trailing flag.
+        }
+        try {
+            std::size_t consumed = 0;
+            const int parsed = std::stoi(value, &consumed);
+            if (consumed != value.size()) {
+                return ParseStatus::Malformed;
+            }
+            *out = parsed;
+            return ParseStatus::Ok;
+        } catch (const std::invalid_argument &) {
+            return ParseStatus::Malformed;
+        } catch (const std::out_of_range &) {
+            return ParseStatus::Malformed;
+        }
+    }
+
     /** Whether @p flag appears anywhere (boolean switch). */
     bool
     has(const std::string &flag) const

@@ -140,6 +140,70 @@ TEST(Args, ConflictingDuplicateDetection)
     EXPECT_FALSE(single.hasConflictingDuplicate("--seed"));
 }
 
+TEST(Args, ParseDoubleDistinguishesAbsentFromMalformed)
+{
+    // getDouble cannot tell "flag missing" from "flag present but
+    // broken" — both return the fallback. parseDouble closes that gap
+    // for callers (the scenario merger) whose conflict rules depend on
+    // whether the flag was actually given.
+    const Args args = make({"prog", "--ok", "2.5", "--bad", "x",
+                            "--empty=", "--trail"});
+    double value = -1.0;
+    EXPECT_EQ(args.parseDouble("--missing", &value),
+              Args::ParseStatus::Absent);
+    EXPECT_DOUBLE_EQ(value, -1.0); // Untouched on Absent.
+
+    EXPECT_EQ(args.parseDouble("--ok", &value), Args::ParseStatus::Ok);
+    EXPECT_DOUBLE_EQ(value, 2.5);
+
+    value = -1.0;
+    EXPECT_EQ(args.parseDouble("--bad", &value),
+              Args::ParseStatus::Malformed);
+    EXPECT_DOUBLE_EQ(value, -1.0); // Untouched on Malformed.
+
+    // A present flag with no value is a usage error, not an absence.
+    EXPECT_EQ(args.parseDouble("--empty", &value),
+              Args::ParseStatus::Malformed);
+    EXPECT_EQ(args.parseDouble("--trail", &value),
+              Args::ParseStatus::Malformed);
+}
+
+TEST(Args, ParseDoubleRejectsGarbageAndOverflow)
+{
+    const Args args = make({"prog", "--a", "0.5x", "--b", "1e999",
+                            "--c", "-85.5", "--d", "2.5e-3"});
+    double value = 0.0;
+    EXPECT_EQ(args.parseDouble("--a", &value),
+              Args::ParseStatus::Malformed);
+    EXPECT_EQ(args.parseDouble("--b", &value),
+              Args::ParseStatus::Malformed);
+    EXPECT_EQ(args.parseDouble("--c", &value), Args::ParseStatus::Ok);
+    EXPECT_DOUBLE_EQ(value, -85.5);
+    EXPECT_EQ(args.parseDouble("--d", &value), Args::ParseStatus::Ok);
+    EXPECT_DOUBLE_EQ(value, 2.5e-3);
+}
+
+TEST(Args, ParseIntDistinguishesAbsentFromMalformed)
+{
+    const Args args = make({"prog", "--n", "12", "--bad", "3.5",
+                            "--huge", "99999999999999999999"});
+    int value = 7;
+    EXPECT_EQ(args.parseInt("--missing", &value),
+              Args::ParseStatus::Absent);
+    EXPECT_EQ(value, 7);
+
+    EXPECT_EQ(args.parseInt("--n", &value), Args::ParseStatus::Ok);
+    EXPECT_EQ(value, 12);
+
+    value = 7;
+    // "3.5" would silently truncate under stoi; here it is Malformed.
+    EXPECT_EQ(args.parseInt("--bad", &value),
+              Args::ParseStatus::Malformed);
+    EXPECT_EQ(args.parseInt("--huge", &value),
+              Args::ParseStatus::Malformed);
+    EXPECT_EQ(value, 7);
+}
+
 TEST(Args, ArgcArgvConstructor)
 {
     const char *argv[] = {"prog", "--x", "y"};

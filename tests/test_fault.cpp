@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "baselines/fixed.h"
@@ -368,6 +369,100 @@ TEST(FaultHarness, LooWithFaultsIsBitIdenticalAcrossJobs)
     trace1.writeJsonl(jsonl1);
     trace4.writeJsonl(jsonl4);
     EXPECT_EQ(jsonl1.str(), jsonl4.str());
+}
+
+TEST(FaultProcessUnits, RssiSegmentAttenuatesOnlyInsideItsWindow)
+{
+    fault::RssiSegment wlanSeg(fault::StepWindow{80, 60, 0}, true, 30.0);
+    fault::RssiSegment p2pSeg(fault::StepWindow{200, 40, 120}, false,
+                              25.0);
+    Rng rng(1);
+    for (const std::int64_t step : {0L, 79L, 80L, 139L, 140L}) {
+        fault::FaultState state;
+        wlanSeg.apply(step, state, rng);
+        const bool inside = step >= 80 && step < 140;
+        EXPECT_DOUBLE_EQ(state.wlanRssiDropDb, inside ? 30.0 : 0.0)
+            << "step " << step;
+        EXPECT_DOUBLE_EQ(state.p2pRssiDropDb, 0.0);
+    }
+    // Periodic p2p segment: fires in [200, 240), again in [320, 360).
+    for (const std::int64_t step : {199L, 200L, 239L, 240L, 320L}) {
+        fault::FaultState state;
+        p2pSeg.apply(step, state, rng);
+        const bool inside =
+            (step >= 200 && step < 240) || (step >= 320 && step < 360);
+        EXPECT_DOUBLE_EQ(state.p2pRssiDropDb, inside ? 25.0 : 0.0)
+            << "step " << step;
+        EXPECT_DOUBLE_EQ(state.wlanRssiDropDb, 0.0);
+    }
+    // Segments floor via max: a deeper existing fade is not reduced.
+    fault::FaultState state;
+    state.wlanRssiDropDb = 45.0;
+    wlanSeg.apply(100, state, rng);
+    EXPECT_DOUBLE_EQ(state.wlanRssiDropDb, 45.0);
+}
+
+TEST(FaultProcessUnits, CoRunnerSurgeFloorsUtilizationInsideItsWindow)
+{
+    fault::CoRunnerSurge surge(fault::StepWindow{50, 100, 0}, 0.9, 0.6);
+    Rng rng(1);
+    fault::FaultState outside;
+    surge.apply(49, outside, rng);
+    EXPECT_DOUBLE_EQ(outside.coCpuFloor, 0.0);
+    EXPECT_DOUBLE_EQ(outside.coMemFloor, 0.0);
+    EXPECT_FALSE(outside.active());
+
+    fault::FaultState inside;
+    surge.apply(50, inside, rng);
+    EXPECT_DOUBLE_EQ(inside.coCpuFloor, 0.9);
+    EXPECT_DOUBLE_EQ(inside.coMemFloor, 0.6);
+    EXPECT_TRUE(inside.active());
+
+    // Floors merge with max, never lower an existing surge.
+    fault::FaultState merged;
+    merged.coCpuFloor = 0.95;
+    merged.coMemFloor = 0.1;
+    surge.apply(60, merged, rng);
+    EXPECT_DOUBLE_EQ(merged.coCpuFloor, 0.95);
+    EXPECT_DOUBLE_EQ(merged.coMemFloor, 0.6);
+}
+
+TEST(FaultProcessUnits, SegmentsAndSurgesDrawNothingFromTheRng)
+{
+    // The scenario-file mobility/interference windows are documented
+    // as zero-RNG-draw: layering them onto a plan must not shift any
+    // random process's stream. Compare the fade timeline of a
+    // fades-only plan against the same plan plus segments and surges.
+    fault::FaultPlan bare;
+    bare.fades.push_back(fault::FaultPlan::Fade{true, 22.0, 0.35});
+
+    fault::FaultPlan layered = bare;
+    layered.segments.push_back(
+        fault::FaultPlan::Segment{fault::StepWindow{10, 20, 0}, true,
+                                  30.0});
+    layered.surges.push_back(
+        fault::FaultPlan::Surge{fault::StepWindow{15, 5, 0}, 0.8, 0.5});
+
+    fault::FaultInjector a(bare);
+    fault::FaultInjector b(layered);
+    for (int step = 0; step < 200; ++step) {
+        const fault::FaultState sa = a.next();
+        const fault::FaultState sb = b.next();
+        // Outside the segment window the states agree exactly; inside
+        // it only the deterministic attenuation floor differs.
+        const bool inSegment = step >= 10 && step < 30;
+        if (inSegment) {
+            EXPECT_GE(sb.wlanRssiDropDb, 30.0) << "step " << step;
+            EXPECT_DOUBLE_EQ(std::max(sa.wlanRssiDropDb, 30.0),
+                             sb.wlanRssiDropDb)
+                << "step " << step;
+        } else {
+            EXPECT_DOUBLE_EQ(sa.wlanRssiDropDb, sb.wlanRssiDropDb)
+                << "step " << step;
+        }
+        EXPECT_DOUBLE_EQ(sb.coCpuFloor,
+                         step >= 15 && step < 20 ? 0.8 : 0.0);
+    }
 }
 
 TEST(FaultLearning, AutoScaleGoesLocalDuringBlackoutAndRecovers)

@@ -20,6 +20,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,6 +33,8 @@
 #include "harness/parallel.h"
 #include "obs/obs_output.h"
 #include "platform/device_zoo.h"
+#include "scenario/apply.h"
+#include "scenario/load.h"
 #include "serve/fleet.h"
 #include "serve/server.h"
 #include "sim/simulator.h"
@@ -102,58 +105,143 @@ faultsFromArgs(const Args &args)
 double
 strictDouble(const Args &args, const std::string &flag, double fallback)
 {
-    if (!args.has(flag)) {
-        return fallback;
+    double value = fallback;
+    if (args.parseDouble(flag, &value) == Args::ParseStatus::Malformed) {
+        fatal(flag + " expects a number, got '" + args.get(flag) + "'");
     }
-    const std::string raw = args.get(flag);
-    std::size_t consumed = 0;
-    double parsed = 0.0;
-    try {
-        parsed = std::stod(raw, &consumed);
-    } catch (const std::exception &) {
-        consumed = 0;
-    }
-    if (raw.empty() || consumed != raw.size()) {
-        fatal(flag + " expects a number, got '" + raw + "'");
-    }
-    return parsed;
+    return value;
 }
 
 int
 strictInt(const Args &args, const std::string &flag, int fallback)
 {
-    if (!args.has(flag)) {
-        return fallback;
+    int value = fallback;
+    if (args.parseInt(flag, &value) == Args::ParseStatus::Malformed) {
+        fatal(flag + " expects an integer, got '" + args.get(flag) + "'");
     }
-    const std::string raw = args.get(flag);
-    std::size_t consumed = 0;
-    int parsed = 0;
-    try {
-        parsed = std::stoi(raw, &consumed);
-    } catch (const std::exception &) {
-        consumed = 0;
+    return value;
+}
+
+/** Basename of a scenario path, so banners stay checkout-independent. */
+std::string
+scenarioFileBase(const std::string &path)
+{
+    return path.substr(path.find_last_of('/') + 1);
+}
+
+/**
+ * Load `--scenario FILE` (with `--variant N` selection when the file
+ * sweeps) into a typed, validated spec. Returns nullopt for an empty
+ * @p value. Every diagnostic prints before the fatal, so a broken
+ * file reports all its problems in one run.
+ */
+std::optional<scenario::LoadedScenario>
+loadScenarioArg(const Args &args, const std::string &value)
+{
+    if (value.empty()) {
+        return std::nullopt;
     }
-    if (raw.empty() || consumed != raw.size()) {
-        fatal(flag + " expects an integer, got '" + raw + "'");
+    scenario::Diagnostics diags;
+    std::vector<scenario::LoadedScenario> loaded =
+        scenario::loadScenarioFile(value, diags);
+    if (!diags.ok()) {
+        std::cerr << diags.render();
+        fatal("invalid scenario file '" + value + "' ("
+              + std::to_string(diags.diags().size()) + " error(s))");
     }
-    return parsed;
+    int variant = strictInt(args, "--variant", -1);
+    if (variant < 0) {
+        if (loaded.size() > 1) {
+            fatal("'" + value + "' expands to "
+                  + std::to_string(loaded.size())
+                  + " variants; pick one with --variant N "
+                    "(scenario_lint --expand lists them)");
+        }
+        variant = 0;
+    }
+    if (variant >= static_cast<int>(loaded.size())) {
+        fatal("--variant " + std::to_string(variant)
+              + " out of range; '" + value + "' expands to "
+              + std::to_string(loaded.size()) + " variant(s)");
+    }
+    return loaded[static_cast<std::size_t>(variant)];
+}
+
+/**
+ * Fault plan under a (possibly absent) scenario file. A file that
+ * declares fault content owns the plan — mixing it with a `--faults`
+ * preset is a conflict, not a merge. `--fault-seed` still resolves
+ * against `fault.seed` like any scalar.
+ */
+fault::FaultPlan
+mergeFaults(const Args &args, const scenario::SettingsMerger &merge)
+{
+    const scenario::ScenarioSpec *spec = merge.spec();
+    fault::FaultPlan plan;
+    if (spec != nullptr && spec->faults.enabled()) {
+        if (args.has("--faults")) {
+            fatal("--faults conflicts with the fault sections of "
+                  + spec->sourceFile
+                  + " (drop the flag or the sections)");
+        }
+        plan = spec->faults;
+    } else {
+        plan = fault::FaultPlan::fromName(args.get("--faults", "none"));
+    }
+    plan.seed = merge.resolveSeed(
+        "--fault-seed", "fault.seed",
+        spec != nullptr ? spec->faults.seed : plan.seed, plan.seed);
+    return plan;
+}
+
+/**
+ * Table IV environment list: `--scenarios` flag vs the file's
+ * `env.base`, conflict-checked as whole lists.
+ */
+std::vector<env::ScenarioId>
+mergeScenarios(const Args &args, const scenario::SettingsMerger &merge)
+{
+    const scenario::ScenarioSpec *spec = merge.spec();
+    if (spec == nullptr || !spec->isSet("env.base")) {
+        return scenariosFromArgs(args);
+    }
+    if (args.has("--scenarios")) {
+        const std::vector<env::ScenarioId> fromFlag =
+            scenariosFromArgs(args);
+        if (fromFlag != spec->envBases) {
+            fatal("--scenarios " + args.get("--scenarios")
+                  + " conflicts with env.base from " + spec->sourceFile
+                  + " (drop the flag or change the file)");
+        }
+    }
+    return spec->envBases;
 }
 
 /**
  * Retry policy from `--timeout-ms` / `--max-retries` / `--backoff-ms` /
- * `--backoff-mult`. All four fail fast on malformed or out-of-range
- * values: a typo here would silently change what "failure" costs.
+ * `--backoff-mult`, resolved against the file's [retry] section. All
+ * four fail fast on malformed or out-of-range values: a typo here
+ * would silently change what "failure" costs.
  */
 fault::RetryPolicy
-retryFromArgs(const Args &args)
+retryFromArgs(const Args &args, const scenario::SettingsMerger &merge)
 {
+    const fault::RetryPolicy base = merge.spec() != nullptr
+        ? merge.spec()->retry
+        : fault::RetryPolicy{};
     fault::RetryPolicy retry;
-    retry.timeoutMs = strictDouble(args, "--timeout-ms", retry.timeoutMs);
-    retry.maxRetries = strictInt(args, "--max-retries", retry.maxRetries);
-    retry.backoffBaseMs =
-        strictDouble(args, "--backoff-ms", retry.backoffBaseMs);
-    retry.backoffMultiplier =
-        strictDouble(args, "--backoff-mult", retry.backoffMultiplier);
+    retry.timeoutMs = merge.resolveDouble(
+        "--timeout-ms", "retry.timeout_ms", base.timeoutMs,
+        retry.timeoutMs);
+    retry.maxRetries = merge.resolveInt(
+        "--max-retries", "retry.max_retries", base.maxRetries,
+        retry.maxRetries);
+    retry.backoffBaseMs = merge.resolveDouble(
+        "--backoff-ms", "retry.backoff_ms", base.backoffBaseMs,
+        retry.backoffBaseMs);
+    retry.backoffMultiplier = merge.resolveDouble(
+        "--backoff-mult", "retry.backoff_mult", base.backoffMultiplier,
+        retry.backoffMultiplier);
     if (retry.timeoutMs <= 0.0) {
         fatal("--timeout-ms must be positive");
     }
@@ -170,9 +258,12 @@ retryFromArgs(const Args &args)
 }
 
 sim::InferenceSimulator
-simFromArgs(const Args &args)
+simFromArgs(const Args &args, const scenario::SettingsMerger &merge)
 {
-    const std::string device = args.get("--device", "Mi8Pro");
+    const std::string device = merge.resolveString(
+        "--device", "device.model",
+        merge.spec() != nullptr ? merge.spec()->deviceModel : "",
+        "Mi8Pro");
     sim::InferenceSimulator sim = sim::InferenceSimulator::makeDefault(
         platform::makePhone(device));
     // --direct bypasses the precomputed cost tables (DESIGN.md section
@@ -182,6 +273,13 @@ simFromArgs(const Args &args)
         sim.setUseCostCache(false);
     }
     return sim;
+}
+
+/** Flag-only simulator (commands without --scenario file support). */
+sim::InferenceSimulator
+simFromArgs(const Args &args)
+{
+    return simFromArgs(args, scenario::SettingsMerger(args, nullptr));
 }
 
 /**
@@ -327,18 +425,31 @@ cmdDecide(const Args &args)
 int
 cmdTrain(const Args &args)
 {
-    sim::InferenceSimulator sim = simFromArgs(args);
-    const std::vector<env::ScenarioId> scenarios = scenariosFromArgs(args);
-    const int runs = args.getInt("--runs", 400);
-    const auto seed = static_cast<std::uint64_t>(args.getInt("--seed", 1));
+    const std::optional<scenario::LoadedScenario> loaded =
+        loadScenarioArg(args, args.get("--scenario"));
+    const scenario::ScenarioSpec *spec =
+        loaded ? &loaded->spec : nullptr;
+    const scenario::SettingsMerger merge(args, spec);
+
+    sim::InferenceSimulator sim = simFromArgs(args, merge);
+    const std::vector<env::ScenarioId> scenarios =
+        mergeScenarios(args, merge);
+    const int runs = merge.resolveInt(
+        "--runs", "workload.train_runs",
+        spec != nullptr ? spec->trainRuns : 400, 400);
+    const std::uint64_t seed = merge.resolveSeed(
+        "--seed", "meta.seed", spec != nullptr ? spec->seed : 1, 1);
+    const double accuracy = merge.resolveDouble(
+        "--accuracy", "workload.accuracy_target_pct",
+        spec != nullptr ? spec->accuracyTargetPct : 50.0, 50.0);
 
     obs::ObsOutput obs_out(obs::ObsConfig::fromArgs(args));
     if (obs_out.config().metering()) {
         sim.setObserver(&obs_out.metrics());
     }
 
-    const fault::FaultPlan faults = faultsFromArgs(args);
-    const fault::RetryPolicy retry = retryFromArgs(args);
+    const fault::FaultPlan faults = mergeFaults(args, merge);
+    const fault::RetryPolicy retry = retryFromArgs(args, merge);
     auto policy = harness::makeAutoScalePolicy(sim, seed);
     Rng rng(seed ^ 0x7ea1ULL);
     std::cout << "Training on " << sim.localDevice().name() << " across "
@@ -349,7 +460,7 @@ cmdTrain(const Args &args)
     }
     std::cout << "...\n";
     harness::trainPolicy(*policy, sim, harness::allZooNetworks(),
-                         scenarios, runs, rng, false, 50.0,
+                         scenarios, runs, rng, false, accuracy,
                          obs_out.context(), faults, retry);
 
     // Atomic replace: a crash (or a concurrent reader) never sees a
@@ -371,9 +482,23 @@ cmdTrain(const Args &args)
 int
 cmdEvaluate(const Args &args)
 {
-    sim::InferenceSimulator sim = simFromArgs(args);
-    const std::vector<env::ScenarioId> scenarios = scenariosFromArgs(args);
-    const auto seed = static_cast<std::uint64_t>(args.getInt("--seed", 1));
+    const std::optional<scenario::LoadedScenario> loaded =
+        loadScenarioArg(args, args.get("--scenario"));
+    const scenario::ScenarioSpec *spec =
+        loaded ? &loaded->spec : nullptr;
+    const scenario::SettingsMerger merge(args, spec);
+
+    sim::InferenceSimulator sim = simFromArgs(args, merge);
+    const std::vector<env::ScenarioId> scenarios =
+        mergeScenarios(args, merge);
+    const std::uint64_t seed = merge.resolveSeed(
+        "--seed", "meta.seed", spec != nullptr ? spec->seed : 1, 1);
+    const int trainRuns = merge.resolveInt(
+        "--train-runs", "workload.train_runs",
+        spec != nullptr ? spec->trainRuns : 400, 400);
+    const double accuracy = merge.resolveDouble(
+        "--accuracy", "workload.accuracy_target_pct",
+        spec != nullptr ? spec->accuracyTargetPct : 50.0, 50.0);
 
     // The simulator-level counters commute (integer adds), so the
     // shared observer stays deterministic even with concurrent
@@ -383,8 +508,8 @@ cmdEvaluate(const Args &args)
         sim.setObserver(&obs_out.metrics());
     }
 
-    const fault::FaultPlan faults = faultsFromArgs(args);
-    const fault::RetryPolicy retry = retryFromArgs(args);
+    const fault::FaultPlan faults = mergeFaults(args, merge);
+    const fault::RetryPolicy retry = retryFromArgs(args, merge);
 
     auto autoscale_policy = harness::makeAutoScalePolicy(sim, seed);
     const std::string qtable = args.get("--qtable");
@@ -400,13 +525,14 @@ cmdEvaluate(const Args &args)
         std::cout << "No --qtable given; training in place...\n";
         harness::trainPolicy(*autoscale_policy, sim,
                              harness::allZooNetworks(), scenarios,
-                             args.getInt("--train-runs", 400), rng,
-                             false, 50.0, {}, faults, retry);
+                             trainRuns, rng, false, accuracy, {}, faults,
+                             retry);
     }
     autoscale_policy->setExploration(false);
 
     harness::EvalOptions options;
     options.runsPerCombo = args.getInt("--runs", 30);
+    options.accuracyTargetPct = accuracy;
     options.seed = seed + 1;
     options.faults = faults;
     options.retry = retry;
@@ -525,8 +651,15 @@ cmdEvaluate(const Args &args)
 int
 cmdLoo(const Args &args)
 {
-    sim::InferenceSimulator sim = simFromArgs(args);
-    const std::vector<env::ScenarioId> scenarios = scenariosFromArgs(args);
+    const std::optional<scenario::LoadedScenario> loaded =
+        loadScenarioArg(args, args.get("--scenario"));
+    const scenario::ScenarioSpec *spec =
+        loaded ? &loaded->spec : nullptr;
+    const scenario::SettingsMerger merge(args, spec);
+
+    sim::InferenceSimulator sim = simFromArgs(args, merge);
+    const std::vector<env::ScenarioId> scenarios =
+        mergeScenarios(args, merge);
     const int jobs = jobsFromArgs(args);
 
     obs::ObsOutput obs_out(obs::ObsConfig::fromArgs(args));
@@ -537,11 +670,15 @@ cmdLoo(const Args &args)
     harness::EvalOptions options;
     options.runsPerCombo = args.getInt("--runs", 30);
     options.looWarmupRuns = args.getInt("--warmup", 150);
-    options.seed = static_cast<std::uint64_t>(args.getInt("--seed", 1));
+    options.accuracyTargetPct = merge.resolveDouble(
+        "--accuracy", "workload.accuracy_target_pct",
+        spec != nullptr ? spec->accuracyTargetPct : 50.0, 50.0);
+    options.seed = merge.resolveSeed(
+        "--seed", "meta.seed", spec != nullptr ? spec->seed : 1, 1);
     options.jobs = jobs;
     options.obs = obs_out.context();
-    options.faults = faultsFromArgs(args);
-    options.retry = retryFromArgs(args);
+    options.faults = mergeFaults(args, merge);
+    options.retry = retryFromArgs(args, merge);
 
     std::cout << "Leave-one-out over " << harness::allZooNetworks().size()
               << " workloads on " << sim.localDevice().name() << ", "
@@ -549,7 +686,9 @@ cmdLoo(const Args &args)
               << " worker(s)...\n";
     const harness::RunStats loo = harness::evaluateAutoScaleLoo(
         sim, harness::allZooNetworks(), scenarios,
-        args.getInt("--train-runs", 400), options);
+        merge.resolveInt("--train-runs", "workload.train_runs",
+                         spec != nullptr ? spec->trainRuns : 400, 400),
+        options);
 
     Table table({"Metric", "Value"});
     table.addRow({"Evaluated inferences", std::to_string(loo.count())});
@@ -596,26 +735,60 @@ scenarioFromArg(const Args &args, const char *flag, const char *fallback)
 int
 cmdServe(const Args &args)
 {
-    sim::InferenceSimulator sim = simFromArgs(args);
+    // `--scenario` is dual-mode on serve: a Table IV name (S1..D4)
+    // keeps its historical meaning; anything else is a scenario file
+    // path (scenarios/*.scn).
+    const std::string scenarioArg = args.get("--scenario", "D3");
+    bool isTableIvName = false;
+    for (const env::ScenarioId id : env::allScenarios()) {
+        if (scenarioArg == env::scenarioName(id)) {
+            isTableIvName = true;
+            break;
+        }
+    }
+    const std::optional<scenario::LoadedScenario> loaded =
+        isTableIvName ? std::nullopt : loadScenarioArg(args, scenarioArg);
+    const scenario::ScenarioSpec *spec =
+        loaded ? &loaded->spec : nullptr;
+    const scenario::SettingsMerger merge(args, spec);
+
+    sim::InferenceSimulator sim = simFromArgs(args, merge);
     obs::ObsOutput obs_out(obs::ObsConfig::fromArgs(args));
     if (obs_out.config().metering()) {
         sim.setObserver(&obs_out.metrics());
     }
 
     serve::ServeConfig config;
-    config.scenario = scenarioFromArg(args, "--scenario", "D3");
-    config.faults = faultsFromArgs(args);
-    config.retry = retryFromArgs(args);
-    config.totalRequests = args.getInt("--requests", 1000);
+    if (spec != nullptr) {
+        if (spec->envBases.size() != 1) {
+            fatal("serve replays one environment, but " + scenarioArg
+                  + " lists " + std::to_string(spec->envBases.size())
+                  + " env.base entries (sweep them with [variant])");
+        }
+        config.scenario = spec->envBases.front();
+    } else {
+        config.scenario = scenarioFromArg(args, "--scenario", "D3");
+    }
+    config.faults = mergeFaults(args, merge);
+    config.retry = retryFromArgs(args, merge);
+    config.totalRequests = merge.resolveInt(
+        "--requests", "workload.requests",
+        spec != nullptr ? spec->requests : 1000, 1000);
     if (config.totalRequests <= 0) {
         fatal("--requests must be positive");
     }
     config.policyName = args.get("--policy", "autoscale");
-    config.networkFilter = args.get("--network");
-    config.accuracyTargetPct = args.getDouble("--accuracy", 50.0);
-    config.seed =
-        static_cast<std::uint64_t>(args.getInt("--seed", 1));
-    config.trainRunsPerCombo = args.getInt("--train-runs", 40);
+    config.networkFilter = merge.resolveString(
+        "--network", "workload.network",
+        spec != nullptr ? spec->network : "", "");
+    config.accuracyTargetPct = merge.resolveDouble(
+        "--accuracy", "workload.accuracy_target_pct",
+        spec != nullptr ? spec->accuracyTargetPct : 50.0, 50.0);
+    config.seed = merge.resolveSeed(
+        "--seed", "meta.seed", spec != nullptr ? spec->seed : 1, 1);
+    config.trainRunsPerCombo = merge.resolveInt(
+        "--train-runs", "workload.train_runs",
+        spec != nullptr ? spec->trainRuns : 40, 40);
     config.qtablePath = args.get("--qtable");
     config.checkpointPath = args.get("--checkpoint");
     config.checkpointIntervalRequests =
@@ -627,11 +800,15 @@ cmdServe(const Args &args)
         fatal("--batch must be >= 0 (0 runs the scalar reference loop)");
     }
 
-    config.admission.maxDepth = args.getInt("--queue-depth", 64);
+    config.admission.maxDepth = merge.resolveInt(
+        "--queue-depth", "qos.queue_depth",
+        spec != nullptr ? spec->queueDepth : 64, 64);
     if (config.admission.maxDepth <= 0) {
         fatal("--queue-depth must be positive");
     }
-    config.admission.degradeDepth = args.getInt("--degrade-depth", 8);
+    config.admission.degradeDepth = merge.resolveInt(
+        "--degrade-depth", "qos.degrade_depth",
+        spec != nullptr ? spec->degradeDepth : 8, 8);
 
     const std::string breaker = args.get("--breaker", "on");
     if (breaker == "on") {
@@ -667,27 +844,58 @@ cmdServe(const Args &args)
     }
     const double nominal_ms = serve::nominalServiceMs(
         sim, networks, config.accuracyTargetPct);
+    // Absolute (--rate-hz / arrival.rate_rps) and relative (--rate-x /
+    // arrival.rate_x) spellings are one setting: crossing a flag of
+    // one spelling with a file key of the other is a conflict.
+    const bool fileRps = merge.fileSets("arrival.rate_rps");
+    const bool fileX = merge.fileSets("arrival.rate_x");
+    if (args.has("--rate-hz") && fileX) {
+        fatal("--rate-hz conflicts with arrival.rate_x from "
+              + spec->sourceFile + " (drop one spelling)");
+    }
+    if (args.has("--rate-x") && fileRps) {
+        fatal("--rate-x conflicts with arrival.rate_rps from "
+              + spec->sourceFile + " (drop one spelling)");
+    }
     double rate_hz = 0.0;
-    if (args.has("--rate-hz")) {
-        rate_hz = strictDouble(args, "--rate-hz", 0.0);
+    if (args.has("--rate-hz") || fileRps) {
+        rate_hz = merge.resolveDouble(
+            "--rate-hz", "arrival.rate_rps",
+            spec != nullptr ? spec->arrival.rateRps : 0.0, 0.0);
     } else {
-        rate_hz = strictDouble(args, "--rate-x", 2.0) * 1000.0 / nominal_ms;
+        rate_hz = merge.resolveDouble(
+                      "--rate-x", "arrival.rate_x",
+                      spec != nullptr ? spec->arrival.rateX : 2.0, 2.0)
+            * 1000.0 / nominal_ms;
     }
     if (rate_hz <= 0.0) {
         fatal("--rate-hz/--rate-x must be positive");
     }
     config.arrival.ratePerSec = rate_hz;
-    config.arrival.burstPeriodMs =
-        args.getDouble("--burst-period-ms", config.arrival.burstPeriodMs);
-    config.arrival.burstDurationMs =
-        args.getDouble("--burst-ms", config.arrival.burstDurationMs);
-    config.arrival.burstMultiplier =
-        args.getDouble("--burst-mult", config.arrival.burstMultiplier);
+    config.arrival.burstPeriodMs = merge.resolveDouble(
+        "--burst-period-ms", "arrival.burst_period_ms",
+        spec != nullptr ? spec->arrival.burstPeriodMs : 0.0,
+        config.arrival.burstPeriodMs);
+    config.arrival.burstDurationMs = merge.resolveDouble(
+        "--burst-ms", "arrival.burst_ms",
+        spec != nullptr ? spec->arrival.burstMs : 0.0,
+        config.arrival.burstDurationMs);
+    config.arrival.burstMultiplier = merge.resolveDouble(
+        "--burst-mult", "arrival.burst_mult",
+        spec != nullptr ? spec->arrival.burstMult : 1.0,
+        config.arrival.burstMultiplier);
+    if (spec != nullptr) {
+        // Diurnal modulation is scenario-file-only (no flag spelling).
+        config.arrival.diurnalPeriodMs = spec->arrival.diurnalPeriodMs;
+        config.arrival.diurnalAmplitude = spec->arrival.diurnalAmplitude;
+    }
 
     // --- Fleet mode: --fleet N > 1 drives N devices through the
     // shared-infrastructure event loop. --fleet 1 (the default) takes
     // the single-device path below, byte-identical to pre-fleet serve.
-    const int fleetDevices = strictInt(args, "--fleet", 1);
+    const int fleetDevices = merge.resolveInt(
+        "--fleet", "device.population",
+        spec != nullptr ? spec->population : 1, 1);
     if (fleetDevices < 1) {
         fatal("--fleet must be >= 1");
     }
@@ -703,32 +911,52 @@ cmdServe(const Args &args)
             fatal("--shards must be >= 1");
         }
         fleet.jobs = args.getInt("--jobs", 0);
-        fleet.qMode =
-            serve::qTableModeFromName(args.get("--q-mode", "per-device"));
-        fleet.federatedMergeEpochs = strictInt(
-            args, "--merge-epochs", fleet.federatedMergeEpochs);
+        fleet.qMode = serve::qTableModeFromName(merge.resolveString(
+            "--q-mode", "fleet.q_mode",
+            spec != nullptr ? spec->fleet.qMode : "per-device",
+            "per-device"));
+        fleet.federatedMergeEpochs = merge.resolveInt(
+            "--merge-epochs", "fleet.merge_epochs",
+            spec != nullptr ? spec->fleet.mergeEpochs : 8,
+            fleet.federatedMergeEpochs);
         if (fleet.federatedMergeEpochs < 1) {
             fatal("--merge-epochs must be >= 1");
         }
-        fleet.epochMs = strictDouble(args, "--epoch-ms", fleet.epochMs);
+        fleet.epochMs = merge.resolveDouble(
+            "--epoch-ms", "fleet.epoch_ms",
+            spec != nullptr ? spec->fleet.epochMs : 250.0,
+            fleet.epochMs);
         if (fleet.epochMs <= 0.0) {
             fatal("--epoch-ms must be positive");
         }
-        fleet.infra.edgeCapacity = strictDouble(
-            args, "--edge-capacity", fleet.infra.edgeCapacity);
-        fleet.infra.wifiCapacity = strictDouble(
-            args, "--wifi-capacity", fleet.infra.wifiCapacity);
-        fleet.infra.contention = strictDouble(
-            args, "--contention", fleet.infra.contention);
-        fleet.infra.brownoutPeriodMs = strictDouble(
-            args, "--brownout-period-ms", fleet.infra.brownoutPeriodMs);
-        fleet.infra.brownoutDurationMs = strictDouble(
-            args, "--brownout-ms", fleet.infra.brownoutDurationMs);
-        fleet.infra.brownoutSlowdown = strictDouble(
-            args, "--brownout-slowdown", fleet.infra.brownoutSlowdown);
+        const serve::SharedInfraConfig infraSpec = spec != nullptr
+            ? spec->infra
+            : serve::SharedInfraConfig{};
+        fleet.infra.edgeCapacity = merge.resolveDouble(
+            "--edge-capacity", "infra.edge_capacity",
+            infraSpec.edgeCapacity, fleet.infra.edgeCapacity);
+        fleet.infra.wifiCapacity = merge.resolveDouble(
+            "--wifi-capacity", "infra.wifi_capacity",
+            infraSpec.wifiCapacity, fleet.infra.wifiCapacity);
+        fleet.infra.contention = merge.resolveDouble(
+            "--contention", "infra.contention", infraSpec.contention,
+            fleet.infra.contention);
+        fleet.infra.brownoutPeriodMs = merge.resolveDouble(
+            "--brownout-period-ms", "infra.brownout_period_ms",
+            infraSpec.brownoutPeriodMs, fleet.infra.brownoutPeriodMs);
+        fleet.infra.brownoutDurationMs = merge.resolveDouble(
+            "--brownout-ms", "infra.brownout_ms",
+            infraSpec.brownoutDurationMs, fleet.infra.brownoutDurationMs);
+        fleet.infra.brownoutSlowdown = merge.resolveDouble(
+            "--brownout-slowdown", "infra.brownout_slowdown",
+            infraSpec.brownoutSlowdown, fleet.infra.brownoutSlowdown);
         const std::string qtableOut = args.get("--fleet-qtable-out");
         fleet.collectQTables = !qtableOut.empty();
 
+        if (spec != nullptr) {
+            std::cout << "Scenario: " << spec->name << " ("
+                      << scenarioFileBase(spec->sourceFile) << ")\n";
+        }
         std::cout << "Serving fleet of " << fleet.devices << " devices ("
                   << config.totalRequests << " arrivals each) on "
                   << sim.localDevice().name() << ", scenario "
@@ -749,6 +977,10 @@ cmdServe(const Args &args)
         return 0;
     }
 
+    if (spec != nullptr) {
+        std::cout << "Scenario: " << spec->name << " ("
+                  << scenarioFileBase(spec->sourceFile) << ")\n";
+    }
     std::cout << "Serving " << config.totalRequests << " arrivals on "
               << sim.localDevice().name() << ", scenario "
               << env::scenarioName(config.scenario) << ", rate "
@@ -817,6 +1049,16 @@ usage()
         "        [--brownout-period-ms F] [--brownout-ms F]\n"
         "        [--brownout-slowdown F]  shared cloud brownout windows\n"
         "        [--fleet-qtable-out FILE] dump all final Q-tables\n\n"
+        "Scenario files (train, evaluate, loo, serve):\n"
+        "  --scenario FILE              load a declarative .scn scenario\n"
+        "                               (on serve, a Table IV name S1-D4\n"
+        "                               keeps its classic meaning)\n"
+        "  --variant N                  pick one expansion of a file\n"
+        "                               with a [variant] sweep\n"
+        "  Flags override file values; a flag and a file key set to\n"
+        "  DIFFERENT values is a fatal conflict. Validate and expand\n"
+        "  files with the scenario_lint tool; library lives in\n"
+        "  scenarios/.\n\n"
         "Fault injection (train, evaluate, loo, serve):\n"
         "  --faults NAME                none (default), blackout,\n"
         "                               flaky-wifi, or cloud-brownout\n"

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Determinism gate for the scenario library: every scenarios/*.scn must
+# (a) lint clean, (b) produce a byte-identical serve trace across two
+# runs, and (c) produce the same trace under --jobs 1 and --jobs 4.
+# Library files pin their own small workloads, so this script passes no
+# workload flags — only --variant 0, which is valid for swept and
+# unswept files alike (variant 0 always exists).
+#
+# Usage: tools/check_scenarios.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+cli="$build/tools/autoscale_cli"
+lint="$build/tools/scenario_lint"
+
+for binary in "$cli" "$lint"; do
+    if [[ ! -x "$binary" ]]; then
+        echo "missing $binary — build first (cmake --build $build)" >&2
+        exit 1
+    fi
+done
+
+"$lint" --all "$repo/scenarios"
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+failures=0
+for scn in "$repo"/scenarios/*.scn; do
+    name="$(basename "$scn" .scn)"
+    echo "== $name"
+    # Each run gets its own cwd and writes `trace.jsonl` relative to
+    # it, so the serve stdout (which echoes the trace path) must be
+    # byte-identical too — not just the traces.
+    for run in run1 run2 jobs1 jobs4; do
+        mkdir -p "$work/$name.$run"
+    done
+    (cd "$work/$name.run1" && "$cli" serve --scenario "$scn" \
+        --variant 0 --trace trace.jsonl > stdout.txt)
+    (cd "$work/$name.run2" && "$cli" serve --scenario "$scn" \
+        --variant 0 --trace trace.jsonl > stdout.txt)
+    (cd "$work/$name.jobs1" && "$cli" serve --scenario "$scn" \
+        --variant 0 --jobs 1 --trace trace.jsonl > /dev/null)
+    (cd "$work/$name.jobs4" && "$cli" serve --scenario "$scn" \
+        --variant 0 --jobs 4 --trace trace.jsonl > /dev/null)
+    ok=1
+    cmp -s "$work/$name.run1/trace.jsonl" "$work/$name.run2/trace.jsonl" \
+        || { echo "   FAIL: trace differs across reruns"; ok=0; }
+    cmp -s "$work/$name.run1/stdout.txt" "$work/$name.run2/stdout.txt" \
+        || { echo "   FAIL: stdout differs across reruns"; ok=0; }
+    cmp -s "$work/$name.jobs1/trace.jsonl" "$work/$name.jobs4/trace.jsonl" \
+        || { echo "   FAIL: trace differs between --jobs 1 and 4"; ok=0; }
+    if [[ "$ok" == 1 ]]; then
+        echo "   ok: rerun-identical and jobs-independent"
+    else
+        failures=$((failures + 1))
+    fi
+done
+
+if [[ "$failures" -gt 0 ]]; then
+    echo "check_scenarios: $failures scenario(s) failed" >&2
+    exit 1
+fi
+echo "check_scenarios: all scenarios deterministic"

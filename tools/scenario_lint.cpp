@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Linter/canonicalizer for .scn scenario files (DESIGN.md §16):
+ *
+ *   scenario_lint FILE...          validate; print all diagnostics
+ *   scenario_lint --all DIR        validate every *.scn under DIR
+ *   scenario_lint --canon FILE     print the canonical form
+ *   scenario_lint --expand FILE    list the [variant] expansion
+ *
+ * Exit status 0 iff every file validates. Diagnostics go to stderr as
+ * `file:line: message`, one per problem — the same accumulated output
+ * the CLI prints when `--scenario FILE` is invalid, because both run
+ * the identical load path. Directory iteration is sorted, so output
+ * order (and CI logs) are machine-independent.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/load.h"
+
+namespace {
+
+using namespace autoscale;
+
+int
+usage()
+{
+    std::cerr
+        << "scenario_lint — validate, canonicalize, and expand .scn "
+           "scenario files\n\n"
+           "  scenario_lint FILE...       validate each file\n"
+           "  scenario_lint --all DIR     validate every *.scn under "
+           "DIR\n"
+           "  scenario_lint --canon FILE  print the canonical form\n"
+           "  scenario_lint --expand FILE print the variant expansion\n";
+    return 2;
+}
+
+/** Validate one file; prints diagnostics; returns ok. */
+bool
+lintFile(const std::string &path, bool verbose)
+{
+    scenario::Diagnostics diags;
+    const std::vector<scenario::LoadedScenario> loaded =
+        scenario::loadScenarioFile(path, diags);
+    if (!diags.ok()) {
+        std::cerr << diags.render();
+        std::cout << path << ": FAIL ("
+                  << diags.diags().size() << " error(s))\n";
+        return false;
+    }
+    if (verbose) {
+        std::cout << path << ": ok (" << loaded.size() << " variant"
+                  << (loaded.size() == 1 ? "" : "s") << ")\n";
+    }
+    return true;
+}
+
+int
+cmdAll(const std::string &dir)
+{
+    std::error_code ec;
+    std::vector<std::string> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.path().extension() == ".scn") {
+            files.push_back(entry.path().string());
+        }
+    }
+    if (ec) {
+        std::cerr << "scenario_lint: cannot read directory '" << dir
+                  << "': " << ec.message() << "\n";
+        return 2;
+    }
+    if (files.empty()) {
+        std::cerr << "scenario_lint: no .scn files under '" << dir
+                  << "'\n";
+        return 2;
+    }
+    std::sort(files.begin(), files.end());
+    int failures = 0;
+    for (const std::string &file : files) {
+        if (!lintFile(file, true)) {
+            ++failures;
+        }
+    }
+    if (failures > 0) {
+        std::cout << failures << " of " << files.size()
+                  << " file(s) failed validation\n";
+        return 1;
+    }
+    std::cout << "all " << files.size() << " file(s) ok\n";
+    return 0;
+}
+
+int
+cmdCanon(const std::string &path)
+{
+    scenario::Diagnostics diags;
+    const scenario::Doc doc = scenario::parseScenarioFile(path, diags);
+    if (diags.ok()) {
+        // Canonical form is only defined for valid files.
+        scenario::loadScenarioText(scenario::canonicalText(doc), path,
+                                   diags);
+    }
+    if (!diags.ok()) {
+        std::cerr << diags.render();
+        return 1;
+    }
+    std::cout << scenario::canonicalText(doc);
+    return 0;
+}
+
+int
+cmdExpand(const std::string &path)
+{
+    scenario::Diagnostics diags;
+    const std::vector<scenario::LoadedScenario> loaded =
+        scenario::loadScenarioFile(path, diags);
+    if (!diags.ok()) {
+        std::cerr << diags.render();
+        return 1;
+    }
+    for (const scenario::LoadedScenario &scenario : loaded) {
+        std::cout << scenario.index << "\t" << scenario.spec.name
+                  << "\tseed=" << scenario.spec.seed;
+        for (const auto &[path_, value] : scenario.assignments) {
+            std::cout << "\t" << path_ << "=" << value;
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> arguments(argv + 1, argv + argc);
+    if (arguments.empty()) {
+        return usage();
+    }
+    if (arguments[0] == "--all") {
+        return arguments.size() == 2 ? cmdAll(arguments[1]) : usage();
+    }
+    if (arguments[0] == "--canon") {
+        return arguments.size() == 2 ? cmdCanon(arguments[1]) : usage();
+    }
+    if (arguments[0] == "--expand") {
+        return arguments.size() == 2 ? cmdExpand(arguments[1]) : usage();
+    }
+    bool ok = true;
+    for (const std::string &file : arguments) {
+        if (file.rfind("--", 0) == 0) {
+            return usage();
+        }
+        ok = lintFile(file, true) && ok;
+    }
+    return ok ? 0 : 1;
+}

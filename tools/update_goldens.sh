@@ -35,5 +35,8 @@ done
 "$bench_serve" --seed 1 --requests 200 --blackout-requests 600 \
     > "$repo/tests/golden/bench_serve.golden"
 
+"$cli" serve --scenario "$repo/scenarios/flash-crowd.scn" \
+    > "$repo/tests/golden/scenario_serve.golden"
+
 echo "updated:"
 git -C "$repo" --no-pager diff --stat -- tests/golden || true
