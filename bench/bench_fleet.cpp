@@ -22,6 +22,7 @@
 #include "obs/json.h"
 #include "serve/fleet.h"
 #include "serve/server.h"
+#include "util/logging.h"
 
 using namespace autoscale;
 
@@ -155,6 +156,81 @@ main(int argc, char **argv)
     const int checkDevices = args.getInt("--check-devices", 1000);
     const std::string out = args.get("--out", "BENCH_fleet.json");
     const bool check = args.has("--check");
+    const std::string scenarioPath = args.get("--scenario");
+
+    // --scenario FILE: benchmark a declared fleet (population, arrival
+    // schedule, shared infrastructure, churn — scenarios/*.scn) instead
+    // of the synthetic sweep. The cross-shard checksum gate applies
+    // unchanged: declarative churn and outages must be exactly as
+    // shard-invariant as the synthetic workload.
+    if (!scenarioPath.empty()) {
+        const scenario::ScenarioSpec spec =
+            bench::loadBenchScenario(scenarioPath);
+        if (spec.population <= 1) {
+            fatal("scenario '" + scenarioPath
+                  + "' has device.population <= 1; bench_fleet "
+                    "benchmarks fleets");
+        }
+        const sim::InferenceSimulator sim =
+            sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+        const serve::FleetConfig fleet =
+            bench::fleetConfigFromScenario(spec, sim);
+
+        bench::printHeader(
+            "Fleet serving: scenario '" + spec.name + "' ("
+                + std::to_string(fleet.devices) + " devices)",
+            "Gate: fleet completes; checksum bit-equal across shard "
+            "counts");
+
+        auto runShards = [&](int shards) {
+            serve::FleetConfig config = fleet;
+            config.shards = shards;
+            Measurement m;
+            m.devices = config.devices;
+            m.contention = config.infra.contention;
+            const double start = now();
+            const serve::FleetStats stats =
+                serve::runFleet(sim, config, {});
+            m.seconds = now() - start;
+            m.arrivals = stats.totalArrivals();
+            m.served = stats.totalServed();
+            m.qosViolations = stats.totalQosViolations();
+            m.energyJ = stats.totalEnergyJ();
+            m.checksum = stats.checksum;
+            return m;
+        };
+        const Measurement gateA = runShards(1);
+        printMeasurement(gateA);
+        const Measurement gateB = runShards(4);
+        const bool checksumsAgree = gateA.checksum == gateB.checksum;
+        const bool completed = gateA.arrivals
+                == static_cast<std::int64_t>(fleet.devices)
+                    * fleet.serve.totalRequests
+            && gateA.deviceStepsPerSec() > 0.0;
+        std::cout << "cross-shard checksums "
+                  << (checksumsAgree ? "agree" : "DISAGREE") << "\n";
+
+        std::ofstream json(out);
+        json << "{\"scenario\":\"" << spec.name
+             << "\",\"gate\":{\"shards_1\":" << measurementJson(gateA)
+             << ",\"shards_4\":" << measurementJson(gateB)
+             << ",\"completed\":" << (completed ? "true" : "false")
+             << ",\"checksums_agree\":"
+             << (checksumsAgree ? "true" : "false") << "}}\n";
+        std::cout << "Wrote " << out << "\n";
+
+        if (check && (!completed || !checksumsAgree)) {
+            std::cerr << "FAIL: scenario fleet gate "
+                      << (completed ? "checksum mismatch"
+                                    : "did not complete")
+                      << "\n";
+            return 1;
+        }
+        if (check) {
+            std::cout << "PASS: gates met\n";
+        }
+        return 0;
+    }
 
     bench::printHeader(
         "Fleet serving: device-steps/sec vs fleet size and contention",

@@ -29,6 +29,7 @@
 #include "obs/json.h"
 #include "obs/metrics_registry.h"
 #include "serve/server.h"
+#include "util/logging.h"
 
 using namespace autoscale;
 
@@ -78,23 +79,35 @@ benchConfig(std::int64_t requests, std::uint64_t seed)
  */
 Measurement
 runMode(int batchSize, bool useCostCache, std::int64_t requests,
-        std::uint64_t seed)
+        std::uint64_t seed, const scenario::ScenarioSpec *spec)
 {
     sim::InferenceSimulator sim =
         sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
     sim.setUseCostCache(useCostCache);
-    serve::ServeConfig config = benchConfig(requests, seed);
-    config.batchSize = batchSize;
-    // Nominal capacity depends on the device only, so every mode sees
-    // the same arrival process.
-    const double rateX = 2.0;
-    std::vector<const dnn::Network *> networks;
-    for (const dnn::Network &network : dnn::modelZoo()) {
-        networks.push_back(&network);
+    serve::ServeConfig config;
+    if (spec != nullptr) {
+        // --scenario FILE: the file supplies the workload shape (env
+        // base, faults, arrival schedule, QoS depths); --requests and
+        // --seed stay authoritative for measurement length and
+        // seeding, and pre-training is skipped as in synthetic mode.
+        bench::applyScenarioToServe(*spec, sim, &config);
+        config.totalRequests = requests;
+        config.seed = seed;
+        config.trainRunsPerCombo = 0;
+    } else {
+        config = benchConfig(requests, seed);
+        // Nominal capacity depends on the device only, so every mode
+        // sees the same arrival process.
+        const double rateX = 2.0;
+        std::vector<const dnn::Network *> networks;
+        for (const dnn::Network &network : dnn::modelZoo()) {
+            networks.push_back(&network);
+        }
+        config.arrival.ratePerSec = rateX * 1000.0
+            / serve::nominalServiceMs(sim, networks,
+                                      config.accuracyTargetPct);
     }
-    config.arrival.ratePerSec = rateX * 1000.0
-        / serve::nominalServiceMs(sim, networks,
-                                  config.accuracyTargetPct);
+    config.batchSize = batchSize;
 
     obs::MetricsRegistry metrics;
     obs::ObsContext obs;
@@ -148,22 +161,40 @@ main(int argc, char **argv)
         args.get("--out", "BENCH_serve_throughput.json");
     const bool check = args.has("--check");
 
+    const std::string scenarioPath = args.get("--scenario");
+    scenario::ScenarioSpec scenarioSpec;
+    const scenario::ScenarioSpec *spec = nullptr;
+    if (!scenarioPath.empty()) {
+        scenarioSpec = bench::loadBenchScenario(scenarioPath);
+        if (scenarioSpec.population > 1) {
+            fatal("scenario '" + scenarioPath
+                  + "' declares a fleet (device.population > 1); use "
+                    "bench_fleet for fleet scenarios");
+        }
+        spec = &scenarioSpec;
+    }
+
     bench::printHeader(
-        "Serve-loop throughput: batched SoA vs scalar vs direct",
+        spec != nullptr
+            ? "Serve-loop throughput: scenario '" + spec->name
+                  + "', batched vs scalar vs direct"
+            : "Serve-loop throughput: batched SoA vs scalar vs direct",
         "Gate: batched >= 2x scalar req/s; all modes bit-equal");
 
     // Warm-up run per mode (pages in code and cost tables), then the
     // measured run.
-    runMode(batchSize, true, requests / 10, seed);
-    const Measurement batched = runMode(batchSize, true, requests, seed);
+    runMode(batchSize, true, requests / 10, seed, spec);
+    const Measurement batched =
+        runMode(batchSize, true, requests, seed, spec);
     printMeasurement("batched", batched);
 
-    runMode(0, true, requests / 10, seed);
-    const Measurement scalar = runMode(0, true, requests, seed);
+    runMode(0, true, requests / 10, seed, spec);
+    const Measurement scalar = runMode(0, true, requests, seed, spec);
     printMeasurement("scalar", scalar);
 
-    runMode(batchSize, false, requests / 10, seed);
-    const Measurement direct = runMode(batchSize, false, requests, seed);
+    runMode(batchSize, false, requests / 10, seed, spec);
+    const Measurement direct =
+        runMode(batchSize, false, requests, seed, spec);
     printMeasurement("direct", direct);
 
     const double speedupVsScalar =

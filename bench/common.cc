@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "dnn/model_zoo.h"
 #include "util/logging.h"
 
 namespace autoscale::bench {
@@ -105,6 +106,85 @@ runSeeds(std::uint64_t baseSeed, int replicates, int jobs,
         }
     }
     return merged;
+}
+
+scenario::ScenarioSpec
+loadBenchScenario(const std::string &path)
+{
+    scenario::Diagnostics diags;
+    const std::vector<scenario::LoadedScenario> loaded =
+        scenario::loadScenarioFile(path, diags);
+    if (!diags.ok()) {
+        fatal("invalid scenario '" + path + "':\n" + diags.render());
+    }
+    if (loaded.size() != 1) {
+        fatal("scenario '" + path + "' expands to "
+              + std::to_string(loaded.size())
+              + " variants; benchmarks take exactly one (sweep "
+                "[variant] axes externally)");
+    }
+    return loaded.front().spec;
+}
+
+void
+applyScenarioToServe(const scenario::ScenarioSpec &spec,
+                     const sim::InferenceSimulator &sim,
+                     serve::ServeConfig *config)
+{
+    if (spec.envBases.size() != 1) {
+        fatal("scenario '" + spec.name
+              + "' lists " + std::to_string(spec.envBases.size())
+              + " env.base entries; serving replays exactly one");
+    }
+    config->scenario = spec.envBases.front();
+    config->totalRequests = spec.requests;
+    config->seed = spec.seed;
+    config->networkFilter = spec.network;
+    config->accuracyTargetPct = spec.accuracyTargetPct;
+    if (spec.trainRuns >= 0) {
+        config->trainRunsPerCombo = spec.trainRuns;
+    }
+    config->faults = spec.faults;
+    config->retry = spec.retry;
+    config->admission.maxDepth = spec.queueDepth;
+    config->admission.degradeDepth = spec.degradeDepth;
+
+    std::vector<const dnn::Network *> networks;
+    for (const dnn::Network &network : dnn::modelZoo()) {
+        if (config->networkFilter.empty()
+            || network.name() == config->networkFilter) {
+            networks.push_back(&network);
+        }
+    }
+    if (networks.empty()) {
+        fatal("scenario '" + spec.name + "': unknown network '"
+              + config->networkFilter + "'");
+    }
+    config->arrival.ratePerSec = spec.arrival.rateRps > 0.0
+        ? spec.arrival.rateRps
+        : spec.arrival.rateX * 1000.0
+            / serve::nominalServiceMs(sim, networks,
+                                      config->accuracyTargetPct);
+    config->arrival.burstPeriodMs = spec.arrival.burstPeriodMs;
+    config->arrival.burstDurationMs = spec.arrival.burstMs;
+    config->arrival.burstMultiplier = spec.arrival.burstMult;
+    config->arrival.diurnalPeriodMs = spec.arrival.diurnalPeriodMs;
+    config->arrival.diurnalAmplitude = spec.arrival.diurnalAmplitude;
+}
+
+serve::FleetConfig
+fleetConfigFromScenario(const scenario::ScenarioSpec &spec,
+                        const sim::InferenceSimulator &sim)
+{
+    serve::FleetConfig fleet;
+    applyScenarioToServe(spec, sim, &fleet.serve);
+    fleet.devices = spec.population;
+    fleet.epochMs = spec.fleet.epochMs;
+    fleet.qMode = serve::qTableModeFromName(spec.fleet.qMode);
+    fleet.federatedMergeEpochs = spec.fleet.mergeEpochs;
+    fleet.infra = spec.infra;
+    fleet.churn = spec.churn;
+    return fleet;
 }
 
 std::string

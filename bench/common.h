@@ -20,6 +20,8 @@
 #include "harness/parallel.h"
 #include "obs/obs_output.h"
 #include "platform/device_zoo.h"
+#include "scenario/load.h"
+#include "serve/fleet.h"
 #include "sim/simulator.h"
 #include "util/args.h"
 #include "util/table.h"
@@ -99,6 +101,32 @@ harness::RunStats runSeeds(
     const obs::ObsContext &obs,
     const std::function<harness::RunStats(
         std::uint64_t seed, const obs::ObsContext &obs)> &fn);
+
+/**
+ * Load a scenario file for a benchmark: exactly one variant, zero
+ * diagnostics — anything else is fatal(). Benchmarks pin one concrete
+ * workload per run; sweep the [variant] axes from the outside.
+ */
+scenario::ScenarioSpec loadBenchScenario(const std::string &path);
+
+/**
+ * Apply @p spec's serving-relevant fields (env base, workload, seed,
+ * arrival schedule, QoS depths, retry, faults) onto @p config.
+ * Relative arrival rates resolve against @p sim's nominal capacity
+ * exactly like the CLI's --rate-x.
+ */
+void applyScenarioToServe(const scenario::ScenarioSpec &spec,
+                          const sim::InferenceSimulator &sim,
+                          serve::ServeConfig *config);
+
+/**
+ * Build a complete FleetConfig from @p spec: the serving template via
+ * applyScenarioToServe plus population, epoch/merge cadence, shared
+ * infrastructure, and the churn schedule (DESIGN.md §17).
+ */
+serve::FleetConfig fleetConfigFromScenario(
+    const scenario::ScenarioSpec &spec,
+    const sim::InferenceSimulator &sim);
 
 /** "measured (paper: X)" annotation cell. */
 std::string withPaper(const std::string &measured,

@@ -72,6 +72,13 @@ AutoScaleScheduler::finishEpisode()
 }
 
 void
+AutoScaleScheduler::discardPending()
+{
+    AS_CHECK(!awaitingFeedback_);
+    pending_.reset();
+}
+
+void
 AutoScaleScheduler::setExploration(bool enabled)
 {
     agent_.setExploration(enabled);

@@ -73,6 +73,14 @@ class AutoScaleScheduler {
     /** Flush the pending update at the end of an episode. */
     void finishEpisode();
 
+    /**
+     * Drop the pending update without applying it — a crashed device
+     * loses the in-flight transition (DESIGN.md §17), whereas a clean
+     * shutdown flushes it via finishEpisode(). No-op when no update is
+     * pending; must not be called between choose() and feedback().
+     */
+    void discardPending();
+
     /** Exploration on/off (testing phase runs greedy, Section IV-B). */
     void setExploration(bool enabled);
 

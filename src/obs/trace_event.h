@@ -114,6 +114,8 @@ struct DecisionEvent {
     double congestionDerate = 1.0;
     /** Whether a shared cloud brownout stretched this request. */
     bool fleetBrownout = false;
+    /** Whether an edge outage window (capacity 0) covered the epoch. */
+    bool edgeOutage = false;
 
     /** Reward folded into the learner for this decision (0 otherwise). */
     double reward = 0.0;

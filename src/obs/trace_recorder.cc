@@ -110,6 +110,7 @@ eventJson(const DecisionEvent &event, std::size_t sequence)
         appendNumber(line, "edge_wait_ms", event.edgeWaitMs);
         appendNumber(line, "congestion_derate", event.congestionDerate);
         appendBool(line, "fleet_brownout", event.fleetBrownout);
+        appendBool(line, "edge_outage", event.edgeOutage);
     }
     line += '}';
     return line;

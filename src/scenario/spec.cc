@@ -52,7 +52,11 @@ schema()
         {"fleet", false, {"epoch_ms", "q_mode", "merge_epochs"}},
         {"infra", false,
          {"edge_capacity", "wifi_capacity", "contention",
-          "brownout_period_ms", "brownout_ms", "brownout_slowdown"}},
+          "brownout_period_ms", "brownout_ms", "brownout_slowdown",
+          "outage_period_ms", "outage_ms"}},
+        {"churn", false,
+         {"crash_prob", "leave_prob", "down_epochs", "initial_devices",
+          "join_every_epochs"}},
         // [variant] keys are free-form axis paths; file order is
         // meaningful and preserved (see variants.h).
         {"variant", false, {}},
@@ -784,6 +788,50 @@ bindInfra(Binder &binder, ScenarioSpec &spec)
                       &value)) {
         spec.infra.brownoutSlowdown = value;
     }
+    if (checkedNumber(binder, "outage_period_ms", 0.0, 1e12, ">= 0",
+                      &value)) {
+        spec.infra.outagePeriodMs = value;
+    }
+    if (checkedNumber(binder, "outage_ms", 0.0, 1e12, ">= 0", &value)) {
+        spec.infra.outageDurationMs = value;
+    }
+    if (spec.infra.outagePeriodMs > 0.0
+        && spec.infra.outageDurationMs > spec.infra.outagePeriodMs) {
+        binder.fail("outage_ms", "<= infra.outage_period_ms",
+                    spec.infra.outageDurationMs);
+    }
+}
+
+void
+bindChurn(Binder &binder, ScenarioSpec &spec)
+{
+    double value = 0.0;
+    if (checkedNumber(binder, "crash_prob", 0.0, 1.0, "within [0, 1]",
+                      &value)) {
+        spec.churn.crashProb = value;
+    }
+    if (checkedNumber(binder, "leave_prob", 0.0, 1.0, "within [0, 1]",
+                      &value)) {
+        spec.churn.leaveProb = value;
+    }
+    if (spec.churn.crashProb + spec.churn.leaveProb > 1.0) {
+        binder.failText("leave_prob",
+                        "churn.crash_prob + churn.leave_prob must not"
+                        " exceed 1");
+    }
+    std::int64_t count = 0;
+    if (checkedInteger(binder, "down_epochs", 1, 1000000,
+                       "within [1, 1e6]", &count)) {
+        spec.churn.downEpochs = static_cast<int>(count);
+    }
+    if (checkedInteger(binder, "initial_devices", 0, 1000000,
+                       "within [0, 1e6]", &count)) {
+        spec.churn.initialDevices = static_cast<int>(count);
+    }
+    if (checkedInteger(binder, "join_every_epochs", 1, 1000000,
+                       "within [1, 1e6]", &count)) {
+        spec.churn.joinEveryEpochs = static_cast<int>(count);
+    }
 }
 
 } // namespace
@@ -873,17 +921,21 @@ bindSpec(const Doc &doc, Diagnostics &diags)
             bindFleet(binder, spec);
         } else if (section.name == "infra") {
             bindInfra(binder, spec);
+        } else if (section.name == "churn") {
+            bindChurn(binder, spec);
         }
     }
 
-    // Fleet knobs describe shared infrastructure; on a population of
-    // one there is nothing to share and the keys would silently do
-    // nothing — reject instead.
+    // Fleet knobs describe shared infrastructure (and churn describes
+    // fleet membership); on a population of one there is nothing to
+    // share and the keys would silently do nothing — reject instead.
     if (spec.population <= 1) {
         for (const std::string &key : spec.explicitKeys) {
-            if (key.rfind("fleet.", 0) == 0 || key.rfind("infra.", 0) == 0) {
-                const Section *section = doc.find(
-                    key.rfind("fleet.", 0) == 0 ? "fleet" : "infra");
+            if (key.rfind("fleet.", 0) == 0 || key.rfind("infra.", 0) == 0
+                || key.rfind("churn.", 0) == 0) {
+                const std::string sectionName =
+                    key.substr(0, key.find('.'));
+                const Section *section = doc.find(sectionName);
                 diags.error(doc.file,
                             section != nullptr ? section->line : 0,
                             key + " requires device.population > 1");

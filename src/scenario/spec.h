@@ -31,6 +31,7 @@
 #include "fault/fault_injector.h"
 #include "fault/retry.h"
 #include "scenario/parser.h"
+#include "serve/churn.h"
 #include "serve/shared_infra.h"
 
 namespace autoscale::scenario {
@@ -94,6 +95,8 @@ struct ScenarioSpec {
 
     FleetSpec fleet;
     serve::SharedInfraConfig infra;
+    /** Device churn schedule ([churn] section; fleets only). */
+    serve::ChurnConfig churn;
 
     /**
      * Dotted keys the file set explicitly ("arrival.rate_x",

@@ -59,11 +59,13 @@ enum ServeOutcomeId : int {
     kShedOverflow,
     kShedDeadline,
     kShedStale,
+    kShedChurn,
     kNumServeOutcomes,
 };
 
 constexpr std::array<const char *, kNumServeOutcomes> kServeOutcomeNames =
-    {"served", "shed_overflow", "shed_deadline", "shed_stale"};
+    {"served", "shed_overflow", "shed_deadline", "shed_stale",
+     "shed_churn"};
 
 ServeOutcomeId
 shedOutcomeId(AdmissionVerdict verdict)
@@ -357,6 +359,8 @@ struct DeviceLoop::Impl {
          const core::AutoScaleScheduler *warmStart);
 
     void advance(double untilMs);
+    std::int64_t discardQueue(std::int64_t atEpoch);
+    std::int64_t advanceOffline(double untilMs, std::int64_t atEpoch);
     void scalarLoop(double untilMs);
     void batchedLoop(double untilMs);
     void admitUpTo(double nowMs);
@@ -638,6 +642,7 @@ DeviceLoop::Impl::recordShed(const Workload &workload,
             event.edgeQueueDepth = shared->edgeQueueDepth;
             event.congestionDerate = shared->wifiDerate;
             event.fleetBrownout = shared->brownout;
+            event.edgeOutage = shared->edgeOutage;
         }
     }
     if (serveMetrics) {
@@ -898,6 +903,7 @@ DeviceLoop::Impl::commitRequest(const QueuedRequest &queued,
             event.fleetBrownout = brownoutHit;
             if (shared != nullptr) {
                 event.edgeQueueDepth = shared->edgeQueueDepth;
+                event.edgeOutage = shared->edgeOutage;
             }
         }
         policy->describeLastDecision(event);
@@ -1009,6 +1015,59 @@ DeviceLoop::Impl::advance(double untilMs)
     } else {
         batchedLoop(untilMs);
     }
+}
+
+// Churn: discard every queued request (the device's volatile in-flight
+// state). Runs at an epoch barrier, single-threaded, so the shed
+// records land in the device's private sinks in a shard-independent
+// order.
+std::int64_t
+DeviceLoop::Impl::discardQueue(std::int64_t atEpoch)
+{
+    epoch = atEpoch;
+    std::int64_t dropped = 0;
+    while (!queue->empty()) {
+        const QueuedRequest queued = queue->pop();
+        ++dropped;
+        ++stats.shedChurn;
+        recordShed(workloads[queued.networkIndex], kShedChurn,
+                   static_cast<int>(queue->depth()));
+    }
+    return dropped;
+}
+
+// Churn: consume the arrival stream while the device is offline.
+// Arrivals keep their exact timing and workload draws (the workload
+// RNG stays in lockstep with an online device's), but every one is
+// lost instead of admitted. Advances the virtual clock to the barrier
+// so a rejoin resumes in fleet time, not in the past.
+std::int64_t
+DeviceLoop::Impl::advanceOffline(double untilMs, std::int64_t atEpoch)
+{
+    if (loopDone) {
+        return 0;
+    }
+    epoch = atEpoch;
+    std::int64_t lost = 0;
+    while (!arrivalsDone && pendingArrivalMs < untilMs) {
+        const int index = static_cast<int>(
+            workloadRng.uniformInt(workloads.size()));
+        ++stats.arrivals;
+        ++stats.shedChurn;
+        ++lost;
+        recordShed(workloads[index], kShedChurn,
+                   static_cast<int>(queue->depth()));
+        if (arrivals->count() >= config.totalRequests) {
+            arrivalsDone = true;
+        } else {
+            pendingArrivalMs = arrivals->nextArrivalMs();
+        }
+    }
+    clockMs = std::max(clockMs, untilMs);
+    if (arrivalsDone && queue->empty()) {
+        loopDone = true;
+    }
+    return lost;
 }
 
 ServeStats
@@ -1127,6 +1186,72 @@ ServeStats
 DeviceLoop::finish()
 {
     return impl_->finish();
+}
+
+std::size_t
+DeviceLoop::queueDepth() const
+{
+    return impl_->queue->depth();
+}
+
+std::uint64_t
+DeviceLoop::stateDigest() const
+{
+    // Non-destructive (unlike the RNG fingerprint, which consumes one
+    // draw per stream): a barrier-time fold of the loop state a replay
+    // must reproduce. Any divergence in arrivals, admission, serving,
+    // energy, or virtual time shifts at least one term.
+    auto fold = [](std::uint64_t hash, std::uint64_t value) {
+        return hash
+            ^ (value + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2));
+    };
+    auto foldDouble = [&fold](std::uint64_t hash, double value) {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(value));
+        __builtin_memcpy(&bits, &value, sizeof(bits));
+        return fold(hash, bits);
+    };
+    const Impl &impl = *impl_;
+    std::uint64_t digest = 0;
+    digest = foldDouble(digest, impl.clockMs);
+    digest = foldDouble(digest, impl.pendingArrivalMs);
+    digest = fold(digest, static_cast<std::uint64_t>(impl.stats.arrivals));
+    digest = fold(digest, static_cast<std::uint64_t>(impl.stats.admitted));
+    digest = fold(digest, static_cast<std::uint64_t>(impl.stats.served));
+    digest = fold(digest,
+                  static_cast<std::uint64_t>(impl.stats.shedDeadline
+                                             + impl.stats.shedOverflow
+                                             + impl.stats.shedStale));
+    digest =
+        fold(digest, static_cast<std::uint64_t>(impl.stats.shedChurn));
+    digest = foldDouble(digest, impl.stats.energyJ);
+    digest = fold(digest, impl.queue->depth());
+    digest = fold(digest, impl.loopDone ? 1 : 0);
+    return digest;
+}
+
+std::int64_t
+DeviceLoop::churnCrash(std::int64_t epoch)
+{
+    const std::int64_t dropped = impl_->discardQueue(epoch);
+    if (impl_->learner != nullptr) {
+        impl_->learner->scheduler().discardPending();
+    }
+    return dropped;
+}
+
+std::int64_t
+DeviceLoop::churnLeave(std::int64_t epoch)
+{
+    const std::int64_t dropped = impl_->discardQueue(epoch);
+    impl_->policy->finishEpisode();
+    return dropped;
+}
+
+std::int64_t
+DeviceLoop::advanceOffline(double untilMs, std::int64_t epoch)
+{
+    return impl_->advanceOffline(untilMs, epoch);
 }
 
 } // namespace autoscale::serve

@@ -73,6 +73,41 @@ class DeviceLoop {
     /** Whether every arrival has been admitted and drained. */
     bool done() const;
 
+    /** Current admission-queue depth. */
+    std::size_t queueDepth() const;
+
+    /**
+     * Non-destructive digest of the loop's replay-relevant state
+     * (virtual clock, arrival/serve counters, energy, queue depth) for
+     * the fleet checkpoint manifest's barrier verification. Stable
+     * across shard layouts; changes on any trajectory divergence.
+     */
+    std::uint64_t stateDigest() const;
+
+    /**
+     * Churn (DESIGN.md §17): the device crashed at an epoch barrier.
+     * Discards every queued request as `shed_churn` and drops the
+     * learner's pending Q-update (the in-flight transition dies with
+     * the process). Returns the number of requests discarded.
+     */
+    std::int64_t churnCrash(std::int64_t epoch);
+
+    /**
+     * Churn: the device left gracefully at an epoch barrier. Discards
+     * the queue as `shed_churn` (users are routed elsewhere) but
+     * flushes the pending Q-update terminally, like a clean shutdown.
+     * Returns the number of requests discarded.
+     */
+    std::int64_t churnLeave(std::int64_t epoch);
+
+    /**
+     * Churn: advance an offline device to the barrier @p untilMs. Every
+     * arrival in the window is drawn (keeping the workload stream in
+     * lockstep with fleet virtual time) but lost as `shed_churn`, and
+     * the virtual clock jumps to the barrier. Returns arrivals lost.
+     */
+    std::int64_t advanceOffline(double untilMs, std::int64_t epoch);
+
     /** Current virtual clock, ms. */
     double clockMs() const;
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -13,6 +14,7 @@
 #include "harness/parallel.h"
 #include "obs/trace_recorder.h"
 #include "serve/device_loop.h"
+#include "serve/fleet_checkpoint.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -93,6 +95,16 @@ FleetStats::totalShed() const
 }
 
 std::int64_t
+FleetStats::totalShedChurn() const
+{
+    std::int64_t total = 0;
+    for (const ServeStats &device : devices) {
+        total += device.shedChurn;
+    }
+    return total;
+}
+
+std::int64_t
 FleetStats::totalDegraded() const
 {
     std::int64_t total = 0;
@@ -143,6 +155,53 @@ FleetStats::latencyPercentileMs(double percentile) const
     return percentileNearestRank(pooled, percentile);
 }
 
+namespace {
+
+void
+checkMergeShapes(const std::vector<core::AutoScaleScheduler *> &schedulers)
+{
+    const core::QTable &first = schedulers.front()->agent().table();
+    for (core::AutoScaleScheduler *scheduler : schedulers) {
+        AS_CHECK(scheduler != nullptr);
+        const core::QTable &table = scheduler->agent().table();
+        AS_CHECK(table.numStates() == first.numStates());
+        AS_CHECK(table.numActions() == first.numActions());
+    }
+}
+
+/**
+ * Visit-weighted value of one cell across @p schedulers. Returns false
+ * (leaving @p out untouched) when nobody has experience there.
+ * Visits are uint16 and Q floats: each product is exact in double
+ * (< 53 significant bits), so the single-contributor case divides a
+ * product by its own integer factor and round-trips bitwise.
+ */
+bool
+visitWeightedCell(const std::vector<core::AutoScaleScheduler *> &schedulers,
+                  int state, int action, float *out)
+{
+    std::int64_t totalVisits = 0;
+    for (const core::AutoScaleScheduler *scheduler : schedulers) {
+        totalVisits += scheduler->agent().visitCount(state, action);
+    }
+    if (totalVisits == 0) {
+        return false;
+    }
+    double weighted = 0.0;
+    for (const core::AutoScaleScheduler *scheduler : schedulers) {
+        weighted +=
+            static_cast<double>(scheduler->agent().visitCount(state,
+                                                              action))
+            * static_cast<double>(
+                scheduler->agent().table().at(state, action));
+    }
+    *out = static_cast<float>(weighted
+                              / static_cast<double>(totalVisits));
+    return true;
+}
+
+} // namespace
+
 void
 mergeQTablesVisitWeighted(
     const std::vector<core::AutoScaleScheduler *> &schedulers)
@@ -150,47 +209,43 @@ mergeQTablesVisitWeighted(
     if (schedulers.size() < 2) {
         return;
     }
+    checkMergeShapes(schedulers);
     const core::QTable &first = schedulers.front()->agent().table();
-    const int numStates = first.numStates();
-    const int numActions = first.numActions();
-    for (core::AutoScaleScheduler *scheduler : schedulers) {
-        AS_CHECK(scheduler != nullptr);
-        const core::QTable &table = scheduler->agent().table();
-        AS_CHECK(table.numStates() == numStates);
-        AS_CHECK(table.numActions() == numActions);
-    }
-    for (int state = 0; state < numStates; ++state) {
-        for (int action = 0; action < numActions; ++action) {
-            std::int64_t totalVisits = 0;
-            for (const core::AutoScaleScheduler *scheduler : schedulers) {
-                totalVisits +=
-                    scheduler->agent().visitCount(state, action);
-            }
-            if (totalVisits == 0) {
+    for (int state = 0; state < first.numStates(); ++state) {
+        for (int action = 0; action < first.numActions(); ++action) {
+            float merged = 0.0f;
+            if (!visitWeightedCell(schedulers, state, action, &merged)) {
                 // Nobody has experience here; leave every table's
                 // optimistic initialization untouched.
                 continue;
             }
-            // Visits are uint16 and Q floats: each product is exact in
-            // double (< 53 significant bits), so the single-contributor
-            // case divides a product by its own integer factor and
-            // round-trips bitwise.
-            double weighted = 0.0;
-            for (const core::AutoScaleScheduler *scheduler : schedulers) {
-                weighted += static_cast<double>(
-                                scheduler->agent().visitCount(state,
-                                                              action))
-                    * static_cast<double>(
-                        scheduler->agent().table().at(state, action));
-            }
-            const float merged = static_cast<float>(
-                weighted / static_cast<double>(totalVisits));
             for (core::AutoScaleScheduler *scheduler : schedulers) {
                 scheduler->mutableAgent().mutableTable().at(state, action) =
                     merged;
             }
         }
     }
+}
+
+core::QTable
+mergedQTableSnapshot(
+    const std::vector<core::AutoScaleScheduler *> &schedulers)
+{
+    AS_CHECK(!schedulers.empty());
+    checkMergeShapes(schedulers);
+    core::QTable merged = schedulers.front()->agent().table();
+    if (schedulers.size() < 2) {
+        return merged;
+    }
+    for (int state = 0; state < merged.numStates(); ++state) {
+        for (int action = 0; action < merged.numActions(); ++action) {
+            float value = 0.0f;
+            if (visitWeightedCell(schedulers, state, action, &value)) {
+                merged.at(state, action) = value;
+            }
+        }
+    }
+    return merged;
 }
 
 FleetStats
@@ -201,10 +256,8 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
     AS_CHECK(config.shards >= 1);
     AS_CHECK(config.epochMs > 0.0);
     AS_CHECK(config.federatedMergeEpochs >= 1);
+    AS_CHECK(config.checkpointEveryEpochs >= 1);
     const std::size_t n = static_cast<std::size_t>(config.devices);
-    if (n > 1 && !config.serve.checkpointPath.empty()) {
-        fatal("fleet: --checkpoint is single-device only");
-    }
     const bool learnerPolicy = config.serve.policyName.empty()
         || config.serve.policyName == "autoscale";
     if (config.qMode != QTableMode::PerDevice && !learnerPolicy) {
@@ -236,10 +289,47 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
     // provenance (checkpoint > --qtable > pre-training); its trained
     // scheduler warm-starts every peer, whose seed is the pure function
     // replicateSeed(master, i). ---
+    // A multi-device fleet owns its checkpoint path at the fleet level
+    // (the epoch-barrier manifest, fleet_checkpoint.h); device 0 must
+    // not also run the single-device per-request checkpointer against
+    // the same file. A fleet of one keeps the single-device semantics.
+    FleetStats stats;
+    std::optional<FleetCheckpointManager> fleetCheckpoint;
+    std::int64_t resumeEpoch = -1;
+    std::uint64_t resumeStateDigest = 0;
+    const std::uint64_t configDigest = fleetConfigDigest(config);
+    ServeConfig deviceZero = config.serve;
+    if (n > 1 && !config.serve.checkpointPath.empty()) {
+        deviceZero.checkpointPath.clear();
+        deviceZero.resume = false;
+        fleetCheckpoint.emplace(config.serve.checkpointPath);
+        if (config.serve.resume) {
+            FleetManifestLoadResult loaded = fleetCheckpoint->load();
+            stats.corruptCheckpoints = loaded.corruptDetected;
+            if (loaded.loaded) {
+                if (loaded.data.configDigest != configDigest) {
+                    fatal("fleet resume: '" + fleetCheckpoint->path()
+                          + "' was written by a run with a different"
+                            " configuration; deterministic replay"
+                            " requires the exact config of the"
+                            " interrupted run (only --shards/--jobs/"
+                            "--batch may differ)");
+                }
+                stats.resumed = true;
+                stats.resumeSource = loaded.source;
+                stats.resumeEpoch = loaded.data.epoch;
+                resumeEpoch = loaded.data.epoch;
+                resumeStateDigest = loaded.data.stateDigest;
+            }
+            // Nothing recoverable: cold start, like single-device
+            // --resume with no checkpoint on disk.
+        }
+    }
+
     std::vector<std::unique_ptr<DeviceLoop>> devices;
     devices.reserve(n);
     devices.push_back(std::make_unique<DeviceLoop>(
-        sim, config.serve, deviceObs[0], 0));
+        sim, deviceZero, deviceObs[0], 0));
     const core::AutoScaleScheduler *warm = devices[0]->scheduler();
     for (std::size_t i = 1; i < n; ++i) {
         ServeConfig peer = config.serve;
@@ -265,16 +355,60 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
     // device ranges; nothing inside an epoch crosses devices, so the
     // partitioning is output-invariant. ---
     SharedInfra infra(config.infra);
-    FleetStats stats;
     std::vector<EpochUsage> usage(n);
     const std::size_t shards =
         std::min(n, static_cast<std::size_t>(config.shards));
     const std::size_t perShard = (n + shards - 1) / shards;
 
+    // --- Churn (DESIGN.md §17). The state machine advances on this
+    // thread only, at barriers, in device-index order; its draws are
+    // pure functions of (master seed, device, epoch), so the schedule
+    // is identical for every shard layout. ---
+    std::optional<ChurnProcess> churn;
+    if (config.churn.enabled()) {
+        churn.emplace(config.churn, config.serve.seed, n);
+    }
+
+    // Barrier-time fold of every device's replay-relevant state (plus
+    // the churn machine), in device-index order — what the fleet
+    // manifest stores and what a resumed replay must reproduce.
+    std::int64_t epoch = 0;
+    auto fleetStateDigest = [&]() {
+        std::uint64_t digest =
+            mixChecksum(0, static_cast<std::uint64_t>(epoch));
+        for (std::size_t d = 0; d < n; ++d) {
+            digest = mixChecksum(digest, devices[d]->stateDigest());
+        }
+        if (churn) {
+            for (const char c : churn->stateLine()) {
+                digest = mixChecksum(
+                    digest, static_cast<unsigned char>(c));
+            }
+        }
+        return digest;
+    };
+    auto writeManifest = [&](std::uint64_t stateDigest) {
+        FleetManifest manifest;
+        manifest.configDigest = configDigest;
+        manifest.epoch = epoch;
+        manifest.stateDigest = stateDigest;
+        manifest.devices = config.devices;
+        manifest.churnState = churn ? churn->stateLine() : "-";
+        if (learnerPolicy) {
+            manifest.hasTable = true;
+            manifest.table = mergedQTableSnapshot(schedulers);
+        }
+        std::string error;
+        if (!fleetCheckpoint->save(manifest, &error)) {
+            fatal("fleet: checkpoint failed: " + error);
+        }
+        stats.checkpointsWritten = fleetCheckpoint->written();
+    };
+
     SharedSnapshot snapshot = infra.snapshotFor(0.0, config.epochMs, {});
     double epochStartMs = 0.0;
-    std::int64_t epoch = 0;
     bool previousBrownout = false;
+    bool previousOutage = false;
     while (true) {
         if (snapshot.brownout) {
             ++stats.brownoutEpochs;
@@ -283,17 +417,57 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
             }
         }
         previousBrownout = snapshot.brownout;
+        if (snapshot.edgeOutage) {
+            ++stats.outageEpochs;
+            if (!previousOutage) {
+                ++stats.outageWindows;
+            }
+        }
+        previousOutage = snapshot.edgeOutage;
         stats.maxEdgeQueueMs =
             std::max(stats.maxEdgeQueueMs, snapshot.edgeQueueMs);
         stats.minWifiDerate =
             std::min(stats.minWifiDerate, snapshot.wifiDerate);
+
+        // Churn transitions happen at the barrier *entering* the epoch:
+        // a crashed device loses its queue (and pending Q-update) now
+        // and is offline for this epoch onward.
+        if (churn) {
+            const std::vector<ChurnEvent> &events =
+                churn->beginEpoch(epoch);
+            for (std::size_t d = 0; d < n; ++d) {
+                switch (events[d]) {
+                case ChurnEvent::Crash:
+                    ++stats.churnCrashes;
+                    devices[d]->churnCrash(epoch);
+                    break;
+                case ChurnEvent::Leave:
+                    ++stats.churnLeaves;
+                    devices[d]->churnLeave(epoch);
+                    break;
+                case ChurnEvent::Join:
+                    ++stats.churnJoins;
+                    break;
+                case ChurnEvent::Rejoin:
+                    ++stats.churnRejoins;
+                    break;
+                case ChurnEvent::None:
+                    break;
+                }
+            }
+            stats.offlineDeviceEpochs += churn->offlineCount();
+        }
 
         const double barrierMs = epochStartMs + config.epochMs;
         harness::parallelIndexed(shards, jobs, [&](std::size_t shard) {
             const std::size_t begin = shard * perShard;
             const std::size_t end = std::min(n, begin + perShard);
             for (std::size_t d = begin; d < end; ++d) {
-                devices[d]->advance(barrierMs, &snapshot, epoch);
+                if (churn && !churn->active(d)) {
+                    devices[d]->advanceOffline(barrierMs, epoch);
+                } else {
+                    devices[d]->advance(barrierMs, &snapshot, epoch);
+                }
             }
             return 0;
         });
@@ -302,14 +476,59 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
         bool allDone = true;
         for (std::size_t d = 0; d < n; ++d) {
             usage[d] = devices[d]->takeEpochUsage();
-            allDone = allDone && devices[d]->done();
+            const bool done = devices[d]->done();
+            if (done && churn) {
+                churn->retire(d);
+            }
+            allDone = allDone && done;
         }
 
         if (schedulers.size() > 1
             && (config.qMode == QTableMode::Shared
                 || (config.qMode == QTableMode::Federated
                     && (epoch + 1) % config.federatedMergeEpochs == 0))) {
-            mergeQTablesVisitWeighted(schedulers);
+            if (!churn) {
+                mergeQTablesVisitWeighted(schedulers);
+            } else {
+                // Offline devices miss the merge; a rejoined device is
+                // folded back in at the next barrier merge (the
+                // "warm-start per --q-mode" rejoin semantics).
+                std::vector<core::AutoScaleScheduler *> present;
+                present.reserve(n);
+                for (std::size_t d = 0; d < n; ++d) {
+                    if (churn->active(d)) {
+                        present.push_back(schedulers[d]);
+                    }
+                }
+                mergeQTablesVisitWeighted(present);
+            }
+        }
+
+        // --- Fleet checkpoint bookkeeping at the barrier (after the
+        // merge, so the manifest's Q-table artifact is post-merge). ---
+        const bool halting = config.haltAfterEpochs > 0
+            && epoch + 1 >= config.haltAfterEpochs && !allDone;
+        if (fleetCheckpoint) {
+            if (epoch == resumeEpoch
+                && fleetStateDigest() != resumeStateDigest) {
+                fatal("fleet resume: replay diverged from '"
+                      + fleetCheckpoint->path() + "' at epoch "
+                      + std::to_string(epoch)
+                      + "; the interrupted run's state cannot be"
+                        " reproduced under this binary/config");
+            }
+            const bool due =
+                (epoch + 1) % config.checkpointEveryEpochs == 0;
+            if (epoch > resumeEpoch && (due || allDone || halting)) {
+                writeManifest(fleetStateDigest());
+            }
+        }
+        if (halting) {
+            // Simulated crash: stop at the barrier without finalizing
+            // devices or exporting anything (the manifest above is the
+            // only survivor, exactly like a SIGKILL here).
+            stats.halted = true;
+            return stats;
         }
 
         if (allDone) {
@@ -318,6 +537,14 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
         snapshot = infra.snapshotFor(barrierMs, config.epochMs, usage);
         epochStartMs = barrierMs;
         ++epoch;
+    }
+
+    if (resumeEpoch >= 0 && epoch < resumeEpoch) {
+        fatal("fleet resume: run completed at epoch "
+              + std::to_string(epoch)
+              + " before reaching the checkpoint epoch "
+              + std::to_string(resumeEpoch)
+              + "; the manifest does not belong to this configuration");
     }
 
     // --- Finalize and merge in device-index order. ---
@@ -342,11 +569,32 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
         checksum = mixChecksum(
             checksum, static_cast<std::uint64_t>(device.served));
         checksum = mixChecksum(
+            checksum, static_cast<std::uint64_t>(device.shedChurn));
+        checksum = mixChecksum(
             checksum, std::bit_cast<std::uint64_t>(device.energyJ));
         checksum = mixChecksum(
             checksum, std::bit_cast<std::uint64_t>(device.endClockMs));
     }
     stats.checksum = checksum;
+
+    // Fleet-level resilience metrics, declared only when the feature is
+    // configured so a churn-free/outage-free run's metric-name set (and
+    // exported bytes) is unchanged.
+    if (obs.metering() && churn) {
+        obs.metrics->inc("serve.fleet.churn.crashes", stats.churnCrashes);
+        obs.metrics->inc("serve.fleet.churn.leaves", stats.churnLeaves);
+        obs.metrics->inc("serve.fleet.churn.joins", stats.churnJoins);
+        obs.metrics->inc("serve.fleet.churn.rejoins", stats.churnRejoins);
+        obs.metrics->inc("serve.fleet.churn.offline_device_epochs",
+                         stats.offlineDeviceEpochs);
+        obs.metrics->inc("serve.fleet.churn.shed", stats.totalShedChurn());
+    }
+    if (obs.metering() && config.infra.outagePeriodMs > 0.0
+        && config.infra.outageDurationMs > 0.0) {
+        obs.metrics->inc("serve.fleet.outage_epochs", stats.outageEpochs);
+        obs.metrics->inc("serve.fleet.outage_windows",
+                         stats.outageWindows);
+    }
 
     if (config.collectQTables && learnerPolicy) {
         std::ostringstream dump;
@@ -381,6 +629,10 @@ printFleetReport(std::ostream &os, const FleetConfig &config,
                               / static_cast<double>(arrivals))
                  + ")"});
         table.addRow({"shed", std::to_string(stats.totalShed())});
+        if (config.churn.enabled()) {
+            table.addRow({"shed (churn)",
+                          std::to_string(stats.totalShedChurn())});
+        }
         table.addRow({"degraded", std::to_string(stats.totalDegraded())});
         table.addRow({"QoS violations (served)",
                       std::to_string(stats.totalQosViolations())});
@@ -393,6 +645,19 @@ printFleetReport(std::ostream &os, const FleetConfig &config,
                       Table::num(stats.totalWastedEnergyJ(), 3)});
         table.addRow({"virtual time (s)",
                       Table::num(stats.endClockMs / 1e3, 2)});
+        if (config.devices > 1 && !config.serve.checkpointPath.empty()) {
+            table.addRow({"fleet checkpoints written",
+                          std::to_string(stats.checkpointsWritten)});
+            std::string resumeCell = stats.resumed
+                ? std::string(checkpointSourceName(stats.resumeSource))
+                    + " @ epoch " + std::to_string(stats.resumeEpoch)
+                : "no";
+            if (stats.corruptCheckpoints > 0) {
+                resumeCell += " (" + std::to_string(stats.corruptCheckpoints)
+                    + " corrupt)";
+            }
+            table.addRow({"resumed from checkpoint", resumeCell});
+        }
         table.print(os);
     }
 
@@ -413,6 +678,33 @@ printFleetReport(std::ostream &os, const FleetConfig &config,
                       std::to_string(stats.brownoutEpochs)});
         table.addRow({"brownout windows",
                       std::to_string(stats.brownoutWindows)});
+        if (config.infra.outagePeriodMs > 0.0
+            && config.infra.outageDurationMs > 0.0) {
+            table.addRow({"edge outage epochs",
+                          std::to_string(stats.outageEpochs)});
+            table.addRow({"edge outage windows",
+                          std::to_string(stats.outageWindows)});
+        }
+        table.print(os);
+    }
+
+    if (config.churn.enabled()) {
+        printBanner(os, "Device churn");
+        Table table({"metric", "value"});
+        table.addRow({"crash prob / epoch",
+                      Table::num(config.churn.crashProb, 4)});
+        table.addRow({"leave prob / epoch",
+                      Table::num(config.churn.leaveProb, 4)});
+        table.addRow({"down epochs",
+                      std::to_string(config.churn.downEpochs)});
+        table.addRow({"crashes", std::to_string(stats.churnCrashes)});
+        table.addRow({"graceful leaves",
+                      std::to_string(stats.churnLeaves)});
+        table.addRow({"staggered joins",
+                      std::to_string(stats.churnJoins)});
+        table.addRow({"rejoins", std::to_string(stats.churnRejoins)});
+        table.addRow({"offline device-epochs",
+                      std::to_string(stats.offlineDeviceEpochs)});
         table.print(os);
     }
 }

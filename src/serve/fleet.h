@@ -29,6 +29,9 @@
 #include <string>
 #include <vector>
 
+#include "core/qtable.h"
+#include "serve/checkpoint.h"
+#include "serve/churn.h"
 #include "serve/server.h"
 #include "serve/shared_infra.h"
 
@@ -73,6 +76,22 @@ struct FleetConfig {
     /** Virtual-time barrier interval, ms. */
     double epochMs = 250.0;
     SharedInfraConfig infra;
+    /** Device churn schedule (DESIGN.md §17); default: no churn. */
+    ChurnConfig churn;
+    /**
+     * Fleet-manifest write period, in epochs, when serve.checkpointPath
+     * is set on a multi-device fleet (1 = every barrier). The manifest
+     * enables checkpoint-verified deterministic replay via
+     * serve.resume; see fleet_checkpoint.h.
+     */
+    int checkpointEveryEpochs = 1;
+    /**
+     * Test knob: stop the run (without finalizing devices or exporting
+     * anything beyond the fleet manifest) once this many epochs have
+     * completed, simulating a crash at a deterministic barrier.
+     * <= 0 disables.
+     */
+    int haltAfterEpochs = 0;
     /** Capture every device's final Q-table in FleetStats::qtableDump. */
     bool collectQTables = false;
 };
@@ -91,6 +110,38 @@ struct FleetStats {
     double maxEdgeQueueMs = 0.0;
     /** Worst Wi-Fi derate seen in any epoch (1.0 = never congested). */
     double minWifiDerate = 1.0;
+
+    // --- Resilience (DESIGN.md §17); all 0 without churn/outages. ---
+    /** Epochs covered by an edge-server outage window. */
+    std::int64_t outageEpochs = 0;
+    /** Distinct outage windows (consecutive epochs count once). */
+    std::int64_t outageWindows = 0;
+    /** Devices hard-crashed by the churn process. */
+    std::int64_t churnCrashes = 0;
+    /** Devices gracefully removed by the churn process. */
+    std::int64_t churnLeaves = 0;
+    /** Staggered first joins executed. */
+    std::int64_t churnJoins = 0;
+    /** Devices brought back after their offline window. */
+    std::int64_t churnRejoins = 0;
+    /** Sum over epochs of devices offline (or not yet joined). */
+    std::int64_t offlineDeviceEpochs = 0;
+
+    // --- Fleet checkpoint/resume reporting (stdout only; never in
+    // metrics or traces, so a resumed run's exported artifacts stay
+    // byte-identical to the uninterrupted run's). ---
+    /** Whether a resume was requested and a manifest recovered. */
+    bool resumed = false;
+    CheckpointSource resumeSource = CheckpointSource::None;
+    /** Last completed epoch in the recovered manifest (-1: none). */
+    std::int64_t resumeEpoch = -1;
+    /** Fleet manifests written during this run. */
+    std::int64_t checkpointsWritten = 0;
+    /** Manifest files that existed but failed validation. */
+    int corruptCheckpoints = 0;
+    /** Whether haltAfterEpochs stopped the run before completion. */
+    bool halted = false;
+
     /** Latest device virtual clock at completion, ms. */
     double endClockMs = 0.0;
     /**
@@ -108,6 +159,8 @@ struct FleetStats {
     std::int64_t totalArrivals() const;
     std::int64_t totalServed() const;
     std::int64_t totalShed() const;
+    /** Requests lost to churn (crash/leave discards + offline loss). */
+    std::int64_t totalShedChurn() const;
     std::int64_t totalDegraded() const;
     std::int64_t totalQosViolations() const;
     double totalEnergyJ() const;
@@ -127,6 +180,15 @@ struct FleetStats {
  * device's own experience for its learning-rate schedule.
  */
 void mergeQTablesVisitWeighted(
+    const std::vector<core::AutoScaleScheduler *> &schedulers);
+
+/**
+ * The visit-weighted merge as a standalone table, computed WITHOUT
+ * mutating any scheduler: device 0's values where nobody has visits,
+ * the weighted merge elsewhere. This is the fleet checkpoint
+ * manifest's recoverable Q-table artifact.
+ */
+core::QTable mergedQTableSnapshot(
     const std::vector<core::AutoScaleScheduler *> &schedulers);
 
 /**

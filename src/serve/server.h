@@ -106,6 +106,12 @@ struct ServeStats {
     std::int64_t shedDeadline = 0;
     std::int64_t shedOverflow = 0;
     std::int64_t shedStale = 0;
+    /**
+     * Requests lost to fleet churn (DESIGN.md §17): queued work
+     * discarded when the device crashed or left, plus arrivals that hit
+     * the device while it was offline. Always 0 outside churn fleets.
+     */
+    std::int64_t shedChurn = 0;
 
     /** QoS/accuracy violations among *served* requests. */
     std::int64_t qosViolations = 0;

@@ -15,6 +15,8 @@ SharedInfra::SharedInfra(const SharedInfraConfig &config) : config_(config)
     AS_CHECK(config_.brownoutPeriodMs >= 0.0);
     AS_CHECK(config_.brownoutDurationMs >= 0.0);
     AS_CHECK(config_.brownoutSlowdown >= 1.0);
+    AS_CHECK(config_.outagePeriodMs >= 0.0);
+    AS_CHECK(config_.outageDurationMs >= 0.0);
 }
 
 SharedSnapshot
@@ -39,18 +41,38 @@ SharedInfra::snapshotFor(double epochStartMs, double epochMs,
 
     SharedSnapshot snapshot;
 
+    // Edge outage windows live in fleet virtual time like brownouts;
+    // during one the edge server has no slots at all, so every unit of
+    // observed edge concurrency is excess.
+    if (config_.outagePeriodMs > 0.0 && config_.outageDurationMs > 0.0) {
+        const double phase =
+            std::fmod(epochStartMs, config_.outagePeriodMs);
+        snapshot.edgeOutage = phase < config_.outageDurationMs;
+    }
+    const double effectiveEdgeCapacity =
+        snapshot.edgeOutage ? 0.0 : config_.edgeCapacity;
+
     // Edge server: mean concurrency beyond the slot count queues. The
     // per-offload wait is the excess times the mean edge service time
     // (each queued job waits for that much work ahead of it).
     const double edgeConcurrency =
         (edgeBusyMs / epochMs) * config_.contention;
     const double excess =
-        std::max(0.0, edgeConcurrency - config_.edgeCapacity);
+        std::max(0.0, edgeConcurrency - effectiveEdgeCapacity);
     if (excess > 0.0 && edgeJobs > 0) {
         const double meanServiceMs =
             edgeBusyMs / static_cast<double>(edgeJobs);
         snapshot.edgeQueueMs = excess * meanServiceMs;
         snapshot.edgeQueueDepth = static_cast<int>(std::ceil(excess));
+    }
+    if (snapshot.edgeOutage) {
+        // A dead edge parks every offload until service resumes: the
+        // wait is at least the outage time remaining at epoch start
+        // (plus whatever backlog accumulated above), even when the
+        // previous epoch saw no edge demand at all.
+        const double remainMs = config_.outageDurationMs
+            - std::fmod(epochStartMs, config_.outagePeriodMs);
+        snapshot.edgeQueueMs += remainMs;
     }
 
     // Wi-Fi: concurrent transfers beyond capacity share the channel,

@@ -53,6 +53,17 @@ struct SharedInfraConfig {
     double brownoutPeriodMs = 0.0;
     double brownoutDurationMs = 0.0;
     double brownoutSlowdown = 3.0;
+    /**
+     * Edge-server outage windows: every `outagePeriodMs` of virtual
+     * time the edge server's capacity drops to zero for
+     * `outageDurationMs`. Like brownouts these are anchored in fleet
+     * virtual time, so one outage hits every device in the same epoch;
+     * unlike brownouts (which slow the cloud) an outage removes every
+     * edge slot, so the whole fleet's edge demand queues behind a
+     * capacity of zero. 0 disables.
+     */
+    double outagePeriodMs = 0.0;
+    double outageDurationMs = 0.0;
 };
 
 /** One device's contention-relevant activity during one epoch. */
@@ -74,6 +85,8 @@ struct SharedSnapshot {
     double edgeQueueMs = 0.0;
     /** Jobs waiting for an edge slot (ceil of excess concurrency). */
     int edgeQueueDepth = 0;
+    /** Whether an edge outage window (capacity 0) covers this epoch. */
+    bool edgeOutage = false;
     /** Effective Wi-Fi rate fraction in (0, 1]; 1.0 = uncontended. */
     double wifiDerate = 1.0;
     /** Whether a shared cloud brownout window covers this epoch. */

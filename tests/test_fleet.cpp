@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 #include <set>
 #include <sstream>
@@ -284,6 +285,163 @@ TEST(Fleet, FederatedMergeWithZeroVisitPeersIsANoOp)
                 // Unvisited cells leave peers untouched.
                 EXPECT_EQ(afterB.at(s, a), beforeB.at(s, a));
             }
+        }
+    }
+}
+
+TEST(Fleet, ChurnIsShardInvariantAndCountsLoss)
+{
+    // DESIGN.md §17: churn draws are pure functions of
+    // (masterSeed, deviceIndex, epoch), so crash/leave/join schedules —
+    // and every byte they influence — must not move when the fleet is
+    // re-sharded.
+    FleetConfig fleet;
+    fleet.serve = serveConfig(1.5, 150);
+    fleet.devices = 8;
+    fleet.qMode = QTableMode::Shared;
+    fleet.collectQTables = true;
+    fleet.churn.crashProb = 0.10;
+    fleet.churn.leaveProb = 0.05;
+    fleet.churn.downEpochs = 2;
+    fleet.churn.initialDevices = 3;
+    fleet.churn.joinEveryEpochs = 1;
+    fleet.infra.outagePeriodMs = 1000.0;
+    fleet.infra.outageDurationMs = 250.0;
+
+    auto run = [&](int shards, int jobs) {
+        FleetConfig config = fleet;
+        config.shards = shards;
+        config.jobs = jobs;
+        obs::TraceRecorder trace(true);
+        obs::MetricsRegistry metrics;
+        const FleetStats stats = runFleet(
+            testSim(), config, obs::ObsContext{&trace, &metrics});
+        std::ostringstream traceText;
+        trace.writeJsonl(traceText);
+        std::ostringstream metricsText;
+        metrics.writeText(metricsText);
+        return std::make_tuple(stats.checksum, stats.qtableDump,
+                               traceText.str(), metricsText.str(),
+                               stats.epochs, stats.churnCrashes,
+                               stats.churnLeaves, stats.churnRejoins,
+                               stats.totalShedChurn());
+    };
+
+    const auto base = run(1, 1);
+    const auto sharded = run(4, 4);
+    const auto odd = run(5, 2);
+    EXPECT_EQ(base, sharded);
+    EXPECT_EQ(base, odd);
+
+    // The schedule above is violent enough that the run must actually
+    // exercise churn: devices crash or leave, go offline, lose work.
+    const FleetStats probeStats = [&] {
+        FleetConfig config = fleet;
+        return runFleet(testSim(), config, {});
+    }();
+    EXPECT_GT(probeStats.churnCrashes + probeStats.churnLeaves, 0);
+    EXPECT_GT(probeStats.offlineDeviceEpochs, 0);
+    EXPECT_GT(probeStats.totalShedChurn(), 0);
+    EXPECT_GT(probeStats.churnJoins, 0);
+    EXPECT_GT(probeStats.outageEpochs, 0);
+    // Conservation: every arrival is accounted for — served, shed by
+    // QoS machinery, or lost to churn. (totalShed() deliberately
+    // excludes churn so the classic "shed" row keeps its meaning.)
+    EXPECT_EQ(probeStats.totalArrivals(),
+              probeStats.totalServed() + probeStats.totalShed()
+                  + probeStats.totalShedChurn());
+}
+
+TEST(Fleet, HaltThenResumeMatchesUninterruptedByteForByte)
+{
+    // Checkpoint-verified deterministic replay (fleet_checkpoint.h):
+    // crash at an epoch barrier (simulated via haltAfterEpochs), resume
+    // from the manifest, and the completed run's trace, metrics, and
+    // Q-tables must equal the uninterrupted run's byte for byte.
+    const char *path = "fleet_unit.ckpt";
+    std::remove(path);
+    std::remove("fleet_unit.ckpt.prev");
+
+    FleetConfig fleet;
+    fleet.serve = serveConfig(2.0, 200);
+    fleet.devices = 4;
+    fleet.qMode = QTableMode::Shared;
+    fleet.collectQTables = true;
+    fleet.churn.crashProb = 0.08;
+    fleet.churn.downEpochs = 2;
+
+    auto run = [&](bool checkpoint, bool resume, int haltAfter) {
+        FleetConfig config = fleet;
+        if (checkpoint) {
+            config.serve.checkpointPath = path;
+        }
+        config.serve.resume = resume;
+        config.haltAfterEpochs = haltAfter;
+        obs::TraceRecorder trace(true);
+        obs::MetricsRegistry metrics;
+        const FleetStats stats = runFleet(
+            testSim(), config, obs::ObsContext{&trace, &metrics});
+        std::ostringstream traceText;
+        trace.writeJsonl(traceText);
+        std::ostringstream metricsText;
+        metrics.writeText(metricsText);
+        return std::make_tuple(stats, traceText.str(), metricsText.str());
+    };
+
+    const auto [baseStats, baseTrace, baseMetrics] = run(false, false, 0);
+    ASSERT_GT(baseStats.epochs, 3);
+
+    const auto [haltStats, haltTrace, haltMetrics] = run(true, false, 2);
+    EXPECT_TRUE(haltStats.halted);
+    EXPECT_EQ(haltStats.epochs, 2);
+    EXPECT_GT(haltStats.checkpointsWritten, 0);
+    // A halted run exports nothing (the simulated process died).
+    EXPECT_TRUE(haltTrace.empty());
+
+    const auto [resStats, resTrace, resMetrics] = run(true, true, 0);
+    EXPECT_TRUE(resStats.resumed);
+    EXPECT_EQ(resStats.resumeEpoch, 1);
+    EXPECT_FALSE(resStats.halted);
+    EXPECT_EQ(resStats.checksum, baseStats.checksum);
+    EXPECT_EQ(resStats.qtableDump, baseStats.qtableDump);
+    EXPECT_EQ(resStats.epochs, baseStats.epochs);
+    EXPECT_EQ(resTrace, baseTrace);
+    EXPECT_EQ(resMetrics, baseMetrics);
+
+    std::remove(path);
+    std::remove("fleet_unit.ckpt.prev");
+}
+
+TEST(Fleet, MergedQTableSnapshotEqualsInPlaceMerge)
+{
+    const sim::InferenceSimulator &sim = testSim();
+    core::AutoScaleScheduler a(sim, {}, 1);
+    core::AutoScaleScheduler b(sim, {}, 2);
+    const int numActions = a.agent().table().numActions();
+    for (int step = 0; step < 150; ++step) {
+        a.mutableAgent().update(step % 5, step % numActions,
+                                0.5 * step, step % 5);
+        b.mutableAgent().update(step % 9, (step + 1) % numActions,
+                                -0.25 * step, step % 9);
+    }
+
+    // The snapshot is computed first (it must not mutate anything),
+    // then compared against the authoritative in-place merge.
+    const core::QTable beforeA = a.agent().table();
+    const core::QTable snapshot = mergedQTableSnapshot({&a, &b});
+    const int numStates = beforeA.numStates();
+    for (int s = 0; s < numStates; ++s) {
+        for (int act = 0; act < numActions; ++act) {
+            ASSERT_EQ(a.agent().table().at(s, act), beforeA.at(s, act))
+                << "snapshot mutated a source table";
+        }
+    }
+    mergeQTablesVisitWeighted({&a, &b});
+    for (int s = 0; s < numStates; ++s) {
+        for (int act = 0; act < numActions; ++act) {
+            EXPECT_EQ(snapshot.at(s, act), a.agent().table().at(s, act))
+                << "snapshot diverges from merge at (" << s << ","
+                << act << ")";
         }
     }
 }

@@ -253,6 +253,41 @@ TEST(ScenarioSpecBind, ExplicitKeysTrackOnlyWhatTheFileWrote)
     EXPECT_TRUE(spec.declaresFaults());
 }
 
+TEST(ScenarioSpecBind, ChurnAndOutageSectionsBindTyped)
+{
+    // DESIGN.md §17: [churn] and the infra outage window are fleet
+    // resilience knobs; they bind into the typed spec with the same
+    // range discipline as everything else. (Rejections — churn on a
+    // population of one, probability sums over 1, outage_ms beyond its
+    // period — live in the corpus as .bad files.)
+    Diagnostics diags;
+    const Doc doc = scenario::parseScenarioText(
+        "[device]\n"
+        "population = 6\n"
+        "[infra]\n"
+        "outage_period_ms = 1500\n"
+        "outage_ms = 300\n"
+        "[churn]\n"
+        "crash_prob = 0.08\n"
+        "leave_prob = 0.04\n"
+        "down_epochs = 2\n"
+        "initial_devices = 2\n"
+        "join_every_epochs = 2\n",
+        "mem.scn", diags);
+    const ScenarioSpec spec = scenario::bindSpec(doc, diags);
+    ASSERT_TRUE(diags.ok()) << diags.render();
+    EXPECT_DOUBLE_EQ(spec.infra.outagePeriodMs, 1500.0);
+    EXPECT_DOUBLE_EQ(spec.infra.outageDurationMs, 300.0);
+    EXPECT_DOUBLE_EQ(spec.churn.crashProb, 0.08);
+    EXPECT_DOUBLE_EQ(spec.churn.leaveProb, 0.04);
+    EXPECT_EQ(spec.churn.downEpochs, 2);
+    EXPECT_EQ(spec.churn.initialDevices, 2);
+    EXPECT_EQ(spec.churn.joinEveryEpochs, 2);
+    EXPECT_TRUE(spec.churn.enabled());
+    EXPECT_TRUE(spec.isSet("churn.crash_prob"));
+    EXPECT_TRUE(spec.isSet("infra.outage_ms"));
+}
+
 // ---------------------------------------------------------------------------
 // Preset equivalence: the library's preset-named scenarios must mean
 // exactly FaultPlan::fromName, field by field. (The byte-identical

@@ -899,9 +899,33 @@ cmdServe(const Args &args)
     if (fleetDevices < 1) {
         fatal("--fleet must be >= 1");
     }
+    // Flags that only mean something in one serving mode fail loudly
+    // in the other instead of being silently ignored: a typo'd or
+    // misplaced knob must never change which run gets reproduced.
+    if (config.resume && config.checkpointPath.empty()) {
+        fatal("--resume requires --checkpoint FILE");
+    }
+    if (config.checkpointIntervalRequests <= 0) {
+        fatal("--checkpoint-interval must be positive");
+    }
+    if (fleetDevices <= 1) {
+        for (const char *fleetOnly :
+             {"--epoch-ms", "--merge-epochs", "--checkpoint-every",
+              "--halt-after-epochs", "--churn-crash-prob",
+              "--churn-leave-prob", "--churn-down-epochs",
+              "--churn-initial-devices", "--churn-join-every",
+              "--outage-period-ms", "--outage-ms"}) {
+            if (args.has(fleetOnly)) {
+                fatal(std::string(fleetOnly)
+                      + " requires fleet serving (--fleet N > 1)");
+            }
+        }
+    }
     if (fleetDevices > 1) {
-        if (!config.checkpointPath.empty() || config.resume) {
-            fatal("--checkpoint/--resume are single-device serving only");
+        if (args.has("--checkpoint-interval")) {
+            fatal("--checkpoint-interval is per-request (single-device "
+                  "serving); fleets checkpoint at epoch barriers "
+                  "(--checkpoint-every)");
         }
         serve::FleetConfig fleet;
         fleet.serve = config;
@@ -950,6 +974,81 @@ cmdServe(const Args &args)
         fleet.infra.brownoutSlowdown = merge.resolveDouble(
             "--brownout-slowdown", "infra.brownout_slowdown",
             infraSpec.brownoutSlowdown, fleet.infra.brownoutSlowdown);
+        fleet.infra.outagePeriodMs = merge.resolveDouble(
+            "--outage-period-ms", "infra.outage_period_ms",
+            infraSpec.outagePeriodMs, fleet.infra.outagePeriodMs);
+        fleet.infra.outageDurationMs = merge.resolveDouble(
+            "--outage-ms", "infra.outage_ms",
+            infraSpec.outageDurationMs, fleet.infra.outageDurationMs);
+        if (fleet.infra.outagePeriodMs < 0.0
+            || fleet.infra.outageDurationMs < 0.0) {
+            fatal("--outage-period-ms/--outage-ms must be >= 0");
+        }
+        if (fleet.infra.outagePeriodMs > 0.0
+            && fleet.infra.outageDurationMs > fleet.infra.outagePeriodMs) {
+            fatal("--outage-ms must not exceed --outage-period-ms");
+        }
+
+        // Churn schedule (DESIGN.md §17). ChurnProcess re-validates,
+        // but the CLI fatals first so the message names the flag.
+        const serve::ChurnConfig churnSpec =
+            spec != nullptr ? spec->churn : serve::ChurnConfig{};
+        fleet.churn.crashProb = merge.resolveDouble(
+            "--churn-crash-prob", "churn.crash_prob",
+            churnSpec.crashProb, fleet.churn.crashProb);
+        fleet.churn.leaveProb = merge.resolveDouble(
+            "--churn-leave-prob", "churn.leave_prob",
+            churnSpec.leaveProb, fleet.churn.leaveProb);
+        if (fleet.churn.crashProb < 0.0 || fleet.churn.crashProb > 1.0
+            || fleet.churn.leaveProb < 0.0 || fleet.churn.leaveProb > 1.0) {
+            fatal("--churn-crash-prob/--churn-leave-prob must be in [0, 1]");
+        }
+        if (fleet.churn.crashProb + fleet.churn.leaveProb > 1.0) {
+            fatal("--churn-crash-prob + --churn-leave-prob must not "
+                  "exceed 1");
+        }
+        fleet.churn.downEpochs = merge.resolveInt(
+            "--churn-down-epochs", "churn.down_epochs",
+            churnSpec.downEpochs, fleet.churn.downEpochs);
+        if (fleet.churn.downEpochs < 1) {
+            fatal("--churn-down-epochs must be >= 1");
+        }
+        fleet.churn.initialDevices = merge.resolveInt(
+            "--churn-initial-devices", "churn.initial_devices",
+            churnSpec.initialDevices, fleet.churn.initialDevices);
+        if (fleet.churn.initialDevices < 0
+            || fleet.churn.initialDevices > fleet.devices) {
+            fatal("--churn-initial-devices must be in [0, --fleet N]");
+        }
+        fleet.churn.joinEveryEpochs = merge.resolveInt(
+            "--churn-join-every", "churn.join_every_epochs",
+            churnSpec.joinEveryEpochs, fleet.churn.joinEveryEpochs);
+        if (fleet.churn.joinEveryEpochs < 1) {
+            fatal("--churn-join-every must be >= 1");
+        }
+
+        // Fleet checkpointing: serve.checkpointPath/resume carry over
+        // verbatim; runFleet interprets them as the epoch-barrier
+        // manifest (fleet_checkpoint.h), not a per-request checkpoint.
+        fleet.checkpointEveryEpochs = strictInt(
+            args, "--checkpoint-every", fleet.checkpointEveryEpochs);
+        if (fleet.checkpointEveryEpochs < 1) {
+            fatal("--checkpoint-every must be >= 1");
+        }
+        if (args.has("--checkpoint-every")
+            && config.checkpointPath.empty()) {
+            fatal("--checkpoint-every requires --checkpoint FILE");
+        }
+        fleet.haltAfterEpochs = strictInt(
+            args, "--halt-after-epochs", fleet.haltAfterEpochs);
+        if (args.has("--halt-after-epochs")) {
+            if (fleet.haltAfterEpochs < 1) {
+                fatal("--halt-after-epochs must be >= 1");
+            }
+            if (config.checkpointPath.empty()) {
+                fatal("--halt-after-epochs requires --checkpoint FILE");
+            }
+        }
         const std::string qtableOut = args.get("--fleet-qtable-out");
         fleet.collectQTables = !qtableOut.empty();
 
@@ -965,6 +1064,15 @@ cmdServe(const Args &args)
                   << fleet.shards << " shards...\n";
         const serve::FleetStats stats =
             serve::runFleet(sim, fleet, obs_out.context());
+        if (stats.halted) {
+            // Simulated crash (--halt-after-epochs): like a SIGKILL at
+            // the barrier, nothing is finalized or exported — only the
+            // fleet manifest survives for a later --resume.
+            std::cout << "Fleet halted after " << stats.epochs
+                      << " epochs (fleet checkpoint at "
+                      << config.checkpointPath << ")\n";
+            return 0;
+        }
         serve::printFleetReport(std::cout, fleet, stats);
         if (!qtableOut.empty()) {
             std::ofstream out(qtableOut);
@@ -1048,6 +1156,16 @@ usage()
         "        [--contention F]      demand multiplier (default 1)\n"
         "        [--brownout-period-ms F] [--brownout-ms F]\n"
         "        [--brownout-slowdown F]  shared cloud brownout windows\n"
+        "        [--outage-period-ms F] [--outage-ms F]\n"
+        "                              edge-server outage windows\n"
+        "        [--churn-crash-prob P] [--churn-leave-prob P]\n"
+        "        [--churn-down-epochs N]  per-device per-epoch churn\n"
+        "        [--churn-initial-devices N] [--churn-join-every N]\n"
+        "                              staggered fleet ramp-up\n"
+        "        [--checkpoint FILE] [--checkpoint-every N] [--resume]\n"
+        "                              epoch-barrier fleet manifest +\n"
+        "                              checkpoint-verified replay resume\n"
+        "        [--halt-after-epochs N]  simulate a crash at a barrier\n"
         "        [--fleet-qtable-out FILE] dump all final Q-tables\n\n"
         "Scenario files (train, evaluate, loo, serve):\n"
         "  --scenario FILE              load a declarative .scn scenario\n"

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Chaos-recovery harness (DESIGN.md §17): SIGKILL a contended,
+# churning, federated fleet at a random wall-clock point in each round,
+# then resume from its epoch-barrier manifest and demand the recovered
+# run's exports — trace, metrics, and the full per-device Q-table dump
+# — are byte-identical to an uninterrupted run of the same
+# configuration. This is the end-to-end proof of checkpoint-verified
+# deterministic replay (src/serve/fleet_checkpoint.h): no matter where
+# the process dies, the manifest that survives (primary or .prev, both
+# CRC-guarded and atomically rotated) resumes to the same bytes.
+#
+# Kill times are wall-clock random on purpose — the point is that
+# recovery holds at *any* barrier, including "no manifest written yet"
+# (cold start) and "run already finished" (replay-verify only). The
+# deterministic single-barrier variant runs as the
+# cli_fleet_crash_recovery ctest; this harness is the CI chaos loop.
+#
+# Usage: tools/chaos_fleet.sh [build-dir] (default: ./build)
+#   CHAOS_ROUNDS  kill/resume rounds (default 5)
+#   CHAOS_SEED    fleet master seed  (default 29)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+cli="$build/tools/autoscale_cli"
+rounds="${CHAOS_ROUNDS:-5}"
+seed="${CHAOS_SEED:-29}"
+
+if [[ ! -x "$cli" ]]; then
+    echo "missing $cli — build first (cmake --build $build)" >&2
+    exit 1
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+# Big enough to run a few seconds (so random kills land mid-run on
+# most rounds), contended and churning so recovery is exercised under
+# the nastiest schedule we can declare.
+common=(serve --device Mi8Pro --scenario D3 --fleet 4
+        --requests 50000 --rate-x 3 --train-runs 5 --seed "$seed"
+        --q-mode federated --merge-epochs 2 --contention 4
+        --churn-crash-prob 0.05 --churn-down-epochs 2
+        --outage-period-ms 1500 --outage-ms 300)
+# The manifest carries the merged Q-table (a couple of MB); writing it
+# at every one of the ~650 barriers would be all write amplification,
+# so the chaos victims checkpoint every 64 epochs.
+ckptevery=(--checkpoint-every 64)
+
+echo "chaos_fleet: baseline (uninterrupted) run..."
+"$cli" "${common[@]}" \
+    --trace "$work/base.jsonl" --metrics "$work/base_metrics.txt" \
+    --fleet-qtable-out "$work/base_qtables.txt" \
+    > "$work/base_report.txt"
+
+fail=0
+for round in $(seq 1 "$rounds"); do
+    ckpt="$work/round$round.ckpt"
+    # Random kill point in [0.1s, 2.9s]: early enough to sometimes
+    # precede the first manifest, late enough to sometimes outlive the
+    # whole run.
+    # Never 0.0: `timeout 0s` means "no timeout", not "kill at once".
+    delay="$((RANDOM % 3)).$((RANDOM % 9 + 1))"
+    set +e
+    timeout -s KILL "${delay}s" \
+        "$cli" "${common[@]}" --checkpoint "$ckpt" "${ckptevery[@]}" > /dev/null 2>&1
+    rc=$?
+    set -e
+    if [[ $rc -ne 0 && $rc -ne 137 && $rc -ne 124 ]]; then
+        echo "chaos_fleet: round $round: victim exited rc=$rc (want 0 or SIGKILL)" >&2
+        exit 1
+    fi
+    state="killed at ${delay}s"
+    [[ $rc -eq 0 ]] && state="completed before ${delay}s kill"
+
+    "$cli" "${common[@]}" --checkpoint "$ckpt" "${ckptevery[@]}" --resume \
+        --trace "$work/r$round.jsonl" \
+        --metrics "$work/r${round}_metrics.txt" \
+        --fleet-qtable-out "$work/r${round}_qtables.txt" \
+        > "$work/r${round}_report.txt"
+
+    ok=1
+    cmp -s "$work/base.jsonl" "$work/r$round.jsonl" || ok=0
+    cmp -s "$work/base_metrics.txt" "$work/r${round}_metrics.txt" || ok=0
+    cmp -s "$work/base_qtables.txt" "$work/r${round}_qtables.txt" || ok=0
+    if [[ $ok -eq 1 ]]; then
+        echo "chaos_fleet: round $round: $state -> recovered byte-identical"
+    else
+        echo "chaos_fleet: round $round: $state -> DIVERGED" >&2
+        # Keep the evidence out of the auto-removed tempdir.
+        mkdir -p "$build/chaos-diverged"
+        cp "$work/base.jsonl" "$work/r$round.jsonl" \
+           "$work/base_metrics.txt" "$work/r${round}_metrics.txt" \
+           "$work/base_qtables.txt" "$work/r${round}_qtables.txt" \
+           "$build/chaos-diverged/" 2>/dev/null || true
+        fail=1
+    fi
+done
+
+if [[ $fail -ne 0 ]]; then
+    echo "chaos_fleet: FAILED — divergent artifacts in $build/chaos-diverged" >&2
+    exit 1
+fi
+echo "chaos_fleet: all $rounds rounds recovered byte-identical"

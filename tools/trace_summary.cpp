@@ -244,6 +244,13 @@ main(int argc, char **argv)
     double edge_wait_sum_ms = 0.0;
     double min_derate = 1.0;
 
+    // Resilience fields (PR 9): churn-shed requests and edge outage
+    // windows; absent without a [churn] section or outage schedule, in
+    // which case the Resilience section is simply not printed.
+    long long outage_records = 0;
+    long long churn_shed = 0;
+    std::map<long long, long long> churn_shed_by_device;
+
     std::string line;
     long long line_number = 0;
     Record record;
@@ -277,6 +284,7 @@ main(int argc, char **argv)
                     numberField(record, "fleet_epoch")));
             brownout_records +=
                 boolField(record, "fleet_brownout") ? 1 : 0;
+            outage_records += boolField(record, "edge_outage") ? 1 : 0;
             edge_wait_sum_ms += numberField(record, "edge_wait_ms");
             const double derate =
                 numberField(record, "congestion_derate");
@@ -290,6 +298,13 @@ main(int argc, char **argv)
         if (!serve_outcome.empty()) {
             ++serve_records;
             ++by_serve_outcome[serve_outcome];
+            if (serve_outcome == "shed_churn") {
+                ++churn_shed;
+                if (record.count("device_id") != 0) {
+                    ++churn_shed_by_device[static_cast<long long>(
+                        numberField(record, "device_id"))];
+                }
+            }
             degraded += numberField(record, "degrade_level") > 0 ? 1 : 0;
             short_circuits +=
                 boolField(record, "breaker_short_circuit") ? 1 : 0;
@@ -431,6 +446,30 @@ main(int argc, char **argv)
         fleet.addRow({"min congestion derate",
                       Table::num(min_derate, 3)});
         fleet.print(std::cout);
+    }
+
+    if (churn_shed > 0 || outage_records > 0) {
+        std::cout << "\nResilience:\n";
+        Table resilience({"Metric", "Value"});
+        std::string churn_cell = std::to_string(churn_shed);
+        if (serve_records > 0) {
+            churn_cell += " ("
+                + Table::pct(static_cast<double>(churn_shed)
+                             / static_cast<double>(serve_records))
+                + ")";
+        }
+        resilience.addRow({"churn-shed requests", churn_cell});
+        resilience.addRow({"devices with churn loss",
+                           std::to_string(churn_shed_by_device.size())});
+        std::string outage_cell = std::to_string(outage_records);
+        if (fleet_records > 0) {
+            outage_cell += " ("
+                + Table::pct(static_cast<double>(outage_records)
+                             / static_cast<double>(fleet_records))
+                + ")";
+        }
+        resilience.addRow({"edge outage records", outage_cell});
+        resilience.print(std::cout);
     }
     return 0;
 }

@@ -38,5 +38,8 @@ done
 "$cli" serve --scenario "$repo/scenarios/flash-crowd.scn" \
     > "$repo/tests/golden/scenario_serve.golden"
 
+"$cli" serve --scenario "$repo/scenarios/churn-storm.scn" \
+    > "$repo/tests/golden/churn_storm.golden"
+
 echo "updated:"
 git -C "$repo" --no-pager diff --stat -- tests/golden || true
