@@ -8,8 +8,16 @@
  * figure and (b) the fleet checksum is bit-equal between --shards 1
  * and --shards 4 — the cross-shard determinism contract, enforced in
  * the perf-gate CI job. Results land in BENCH_fleet.json.
+ *
+ * Memory gate (DESIGN.md §18): before the throughput sweep — peak RSS
+ * (VmHWM) is monotone, so the million-device fleet must run while the
+ * process is still small — a --memory-devices fleet (default 1000000)
+ * of fixed-policy devices runs one contention epoch sweep with
+ * aggregate stats, and --check fails unless it completes under
+ * --memory-budget bytes/device (default 4096; measured ~2.2 KB).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -144,6 +152,80 @@ measurementJson(const Measurement &m)
         + std::to_string(m.checksum) + "\"}";
 }
 
+/** The million-device memory-footprint gate's result. */
+struct MemoryGate {
+    int devices = 0;
+    std::int64_t arrivals = 0;
+    std::int64_t served = 0;
+    double seconds = 0.0;
+    std::uint64_t peakRssBytes = 0;
+    double bytesPerDevice = 0.0;
+    double budgetBytes = 0.0;
+    bool completed = false;
+
+    bool
+    withinBudget() const
+    {
+        return bytesPerDevice > 0.0 && bytesPerDevice <= budgetBytes;
+    }
+};
+
+MemoryGate
+runMemoryGate(int devices, double budgetBytes, std::uint64_t seed)
+{
+    const sim::InferenceSimulator sim =
+        sim::InferenceSimulator::makeDefault(platform::makeMi8Pro());
+    // One short contention epoch sweep per device: the gate measures
+    // the fleet's resident footprint, not sustained throughput, so two
+    // requests per device keep the run to a few wall seconds even at a
+    // million devices. Aggregate stats are mandatory at this scale —
+    // a million ServeStats would out-weigh the devices themselves.
+    serve::FleetConfig fleet = fleetConfig(devices, 2.0, 2, seed, 4);
+    // Provision the shared edge/Wi-Fi at the contention model's peak
+    // concurrency (contention x devices x full-epoch busy). The queue
+    // penalty is `excess x mean service time`, and with the whole
+    // fleet bursting at t=0 any under-provisioned capacity leaves an
+    // excess proportional to the population — virtual drain time then
+    // grows linearly with the fleet and total work quadratically. A
+    // million devices queueing on 4 edge slots is a queueing-collapse
+    // study, not a memory gate; here the epoch barrier still folds a
+    // million usage records per sweep and brownout windows still land,
+    // which is the machinery this gate must exercise at scale.
+    fleet.infra.edgeCapacity = 2.0 * static_cast<double>(devices);
+    fleet.infra.wifiCapacity = 2.0 * static_cast<double>(devices);
+    fleet.aggregateStats = true;
+    fleet.reportMemory = true;
+
+    MemoryGate gate;
+    gate.devices = devices;
+    gate.budgetBytes = budgetBytes;
+    const double start = now();
+    const serve::FleetStats stats = serve::runFleet(sim, fleet, {});
+    gate.seconds = now() - start;
+    gate.arrivals = stats.totalArrivals();
+    gate.served = stats.totalServed();
+    gate.peakRssBytes = stats.peakRssBytes;
+    gate.bytesPerDevice = stats.bytesPerDevice;
+    gate.completed = gate.arrivals
+        == static_cast<std::int64_t>(devices) * fleet.serve.totalRequests;
+    return gate;
+}
+
+std::string
+memoryGateJson(const MemoryGate &gate)
+{
+    return std::string("{\"devices\":") + std::to_string(gate.devices)
+        + ",\"arrivals\":" + std::to_string(gate.arrivals)
+        + ",\"served\":" + std::to_string(gate.served)
+        + ",\"seconds\":" + obs::jsonNumber(gate.seconds)
+        + ",\"peak_rss_bytes\":" + std::to_string(gate.peakRssBytes)
+        + ",\"bytes_per_device\":" + obs::jsonNumber(gate.bytesPerDevice)
+        + ",\"budget_bytes_per_device\":"
+        + obs::jsonNumber(gate.budgetBytes) + ",\"within_budget\":"
+        + (gate.withinBudget() ? "true" : "false") + ",\"completed\":"
+        + (gate.completed ? "true" : "false") + "}";
+}
+
 } // namespace
 
 int
@@ -154,6 +236,9 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(args.getInt("--seed", 1));
     const std::int64_t requests = args.getInt("--requests", 100);
     const int checkDevices = args.getInt("--check-devices", 1000);
+    const int memoryDevices = args.getInt("--memory-devices", 1000000);
+    const double memoryBudget =
+        static_cast<double>(args.getInt("--memory-budget", 4096));
     const std::string out = args.get("--out", "BENCH_fleet.json");
     const bool check = args.has("--check");
     const std::string scenarioPath = args.get("--scenario");
@@ -234,8 +319,26 @@ main(int argc, char **argv)
 
     bench::printHeader(
         "Fleet serving: device-steps/sec vs fleet size and contention",
-        "Gate: 1000-device 2x-contention fleet completes; checksum "
-        "bit-equal across shard counts");
+        "Gates: memory budget at " + std::to_string(memoryDevices)
+            + " devices; 1000-device 2x-contention fleet completes; "
+              "checksum bit-equal across shard counts");
+
+    // Memory gate first: peak RSS (VmHWM) is monotone, so the
+    // million-device footprint is only attributable while nothing
+    // larger has run in this process yet.
+    const MemoryGate memGate = runMemoryGate(memoryDevices, memoryBudget,
+                                             seed);
+    std::cout << "memory gate: " << memGate.devices << " devices, peak "
+              << Table::num(static_cast<double>(memGate.peakRssBytes)
+                                / (1024.0 * 1024.0),
+                            0)
+              << " MiB, " << Table::num(memGate.bytesPerDevice, 0)
+              << " bytes/device (budget "
+              << Table::num(memGate.budgetBytes, 0) << ") in "
+              << Table::num(memGate.seconds, 2) << " s — "
+              << (memGate.withinBudget() && memGate.completed ? "ok"
+                                                              : "FAIL")
+              << "\n\n";
 
     // Scaling sweep: fleet size x contention.
     std::vector<Measurement> sweep;
@@ -274,7 +377,7 @@ main(int argc, char **argv)
          << ",\"shards_4\":" << measurementJson(gateB)
          << ",\"completed\":" << (completed ? "true" : "false")
          << ",\"checksums_agree\":" << (checksumsAgree ? "true" : "false")
-         << "}}\n";
+         << "},\"memory_gate\":" << memoryGateJson(memGate) << "}\n";
     std::cout << "Wrote " << out << "\n";
 
     if (check) {
@@ -285,6 +388,18 @@ main(int argc, char **argv)
         if (!checksumsAgree) {
             std::cerr << "FAIL: fleet checksum differs across shard "
                          "counts (determinism violation)\n";
+            return 1;
+        }
+        if (!memGate.completed) {
+            std::cerr << "FAIL: memory-gate fleet did not complete all "
+                         "arrivals\n";
+            return 1;
+        }
+        if (!memGate.withinBudget()) {
+            std::cerr << "FAIL: memory gate "
+                      << Table::num(memGate.bytesPerDevice, 0)
+                      << " bytes/device exceeds budget "
+                      << Table::num(memGate.budgetBytes, 0) << "\n";
             return 1;
         }
         std::cout << "PASS: gates met\n";

@@ -59,6 +59,13 @@ class SchedulingPolicy {
     /** Episode boundary (optional). */
     virtual void finishEpisode() {}
 
+    /**
+     * Drop any pending (not yet folded back) learning transition
+     * without applying it — the crash counterpart of finishEpisode
+     * (serve-fleet churn, DESIGN.md §17). No-op for non-learners.
+     */
+    virtual void discardPending() {}
+
     /** Exploration on/off for learning policies (no-op otherwise). */
     virtual void setExploration(bool enabled) { (void)enabled; }
 

@@ -33,6 +33,12 @@ class AutoScalePolicy : public baselines::SchedulingPolicy {
     void finishEpisode() override;
 
     void
+    discardPending() override
+    {
+        scheduler_.discardPending();
+    }
+
+    void
     setExploration(bool enabled) override
     {
         scheduler_.setExploration(enabled);

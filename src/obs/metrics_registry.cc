@@ -238,6 +238,43 @@ MetricsRegistry::merge(const MetricsRegistry &other)
 }
 
 void
+MetricsRegistry::mergeHistogram(const std::string &name,
+                                const HistogramSnapshot &snapshot)
+{
+    AS_CHECK(snapshot.bucketCounts.size()
+             == snapshot.upperBounds.size() + 1);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        Histogram histogram;
+        histogram.upperBounds = snapshot.upperBounds;
+        histogram.bucketCounts = snapshot.bucketCounts;
+        histogram.count = snapshot.count;
+        histogram.sum = snapshot.sum;
+        histogram.min = snapshot.min;
+        histogram.max = snapshot.max;
+        histograms_.emplace(name, std::move(histogram));
+        return;
+    }
+    Histogram &mine = it->second;
+    AS_CHECK(mine.upperBounds == snapshot.upperBounds);
+    for (std::size_t i = 0; i < mine.bucketCounts.size(); ++i) {
+        mine.bucketCounts[i] += snapshot.bucketCounts[i];
+    }
+    if (snapshot.count > 0) {
+        if (mine.count == 0) {
+            mine.min = snapshot.min;
+            mine.max = snapshot.max;
+        } else {
+            mine.min = std::min(mine.min, snapshot.min);
+            mine.max = std::max(mine.max, snapshot.max);
+        }
+    }
+    mine.count += snapshot.count;
+    mine.sum += snapshot.sum;
+}
+
+void
 MetricsRegistry::clear()
 {
     const std::lock_guard<std::mutex> lock(mutex_);

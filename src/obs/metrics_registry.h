@@ -186,6 +186,17 @@ class MetricsRegistry {
      */
     void merge(const MetricsRegistry &other);
 
+    /**
+     * Fold @p snapshot into histogram @p name exactly as merge() folds
+     * one source histogram: created verbatim when absent, otherwise
+     * bucket counts add, min/max widen (when the snapshot saw samples),
+     * and count/sum accumulate in call order. Lets pooled per-device
+     * recorders (serve/compact_metrics.h) flush without materializing a
+     * registry per device.
+     */
+    void mergeHistogram(const std::string &name,
+                        const HistogramSnapshot &snapshot);
+
     /** Drop every metric. */
     void clear();
 

@@ -12,11 +12,30 @@ AdmissionQueue::AdmissionQueue(const AdmissionConfig &config)
     AS_CHECK(config_.maxDepth > 0);
 }
 
+void
+AdmissionQueue::grow()
+{
+    // Double up to maxDepth; a small initial ring keeps idle fleet
+    // devices near-free while a saturated queue settles at one
+    // allocation of maxDepth slots.
+    const std::size_t cap = static_cast<std::size_t>(config_.maxDepth);
+    std::size_t next = capacity_ == 0 ? std::min<std::size_t>(8, cap)
+                                      : std::min(capacity_ * 2, cap);
+    AS_CHECK(next > size_);
+    auto ring = std::make_unique<QueuedRequest[]>(next);
+    for (std::size_t i = 0; i < size_; ++i) {
+        ring[i] = ring_[(head_ + i) % capacity_];
+    }
+    ring_ = std::move(ring);
+    capacity_ = next;
+    head_ = 0;
+}
+
 AdmissionVerdict
 AdmissionQueue::offer(const QueuedRequest &request, double nowMs,
                       double ewmaServiceMs, double minServiceMs)
 {
-    if (static_cast<int>(queue_.size()) >= config_.maxDepth) {
+    if (static_cast<int>(size_) >= config_.maxDepth) {
         return AdmissionVerdict::ShedOverflow;
     }
     // Predicted completion: drain everyone already queued at the
@@ -27,29 +46,34 @@ AdmissionQueue::offer(const QueuedRequest &request, double nowMs,
     // than rejecting work the server could in fact have finished.
     const double start = std::max(nowMs, request.arrivalMs);
     const double predicted = start
-        + static_cast<double>(queue_.size()) * ewmaServiceMs
+        + static_cast<double>(size_) * ewmaServiceMs
         + minServiceMs;
     if (predicted > request.deadlineMs) {
         return AdmissionVerdict::ShedDeadline;
     }
-    queue_.push_back(request);
-    maxDepthSeen_ = std::max(maxDepthSeen_, queue_.size());
+    if (size_ == capacity_) {
+        grow();
+    }
+    ring_[(head_ + size_) % capacity_] = request;
+    ++size_;
+    maxDepthSeen_ = std::max(maxDepthSeen_, size_);
     return AdmissionVerdict::Admitted;
 }
 
 const QueuedRequest &
 AdmissionQueue::at(std::size_t i) const
 {
-    AS_CHECK(i < queue_.size());
-    return queue_[i];
+    AS_CHECK(i < size_);
+    return ring_[(head_ + i) % capacity_];
 }
 
 QueuedRequest
 AdmissionQueue::pop()
 {
-    AS_CHECK(!queue_.empty());
-    QueuedRequest request = queue_.front();
-    queue_.pop_front();
+    AS_CHECK(size_ > 0);
+    QueuedRequest request = ring_[head_];
+    head_ = (head_ + 1) % capacity_;
+    --size_;
     return request;
 }
 
@@ -59,7 +83,7 @@ AdmissionQueue::degradeLevel() const
     if (config_.degradeDepth <= 0) {
         return 0;
     }
-    return static_cast<int>(queue_.size()) >= config_.degradeDepth ? 1 : 0;
+    return static_cast<int>(size_) >= config_.degradeDepth ? 1 : 0;
 }
 
 } // namespace autoscale::serve

@@ -17,7 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <memory>
 
 namespace autoscale::serve {
 
@@ -51,7 +51,17 @@ struct QueuedRequest {
     int networkIndex = 0;
 };
 
-/** FIFO admission queue with load shedding. */
+/**
+ * FIFO admission queue with load shedding.
+ *
+ * Storage is a lazily allocated growable ring buffer rather than a
+ * std::deque: a fleet holds one queue per device, most of which are
+ * shallow or briefly used, and the deque's eagerly allocated chunk map
+ * costs ~0.5 KB per device before a single request arrives
+ * (DESIGN.md §18). An idle queue owns no heap at all; the ring doubles
+ * up to maxDepth on demand. FIFO order and the admission arithmetic
+ * are unchanged.
+ */
 class AdmissionQueue {
   public:
     explicit AdmissionQueue(const AdmissionConfig &config);
@@ -67,10 +77,10 @@ class AdmissionQueue {
     AdmissionVerdict offer(const QueuedRequest &request, double nowMs,
                            double ewmaServiceMs, double minServiceMs);
 
-    bool empty() const { return queue_.empty(); }
-    std::size_t depth() const { return queue_.size(); }
+    bool empty() const { return size_ == 0; }
+    std::size_t depth() const { return size_; }
 
-    const QueuedRequest &front() const { return queue_.front(); }
+    const QueuedRequest &front() const { return at(0); }
 
     /**
      * Peek the @p i-th queued request from the head without removing it
@@ -95,8 +105,15 @@ class AdmissionQueue {
     const AdmissionConfig &config() const { return config_; }
 
   private:
+    /** Grow the ring so at least one more slot is free. */
+    void grow();
+
     AdmissionConfig config_;
-    std::deque<QueuedRequest> queue_;
+    /** Ring storage; null until the first admit. */
+    std::unique_ptr<QueuedRequest[]> ring_;
+    std::size_t capacity_ = 0;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
     std::size_t maxDepthSeen_ = 0;
 };
 

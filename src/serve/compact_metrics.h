@@ -1,0 +1,148 @@
+/**
+ * @file
+ * CompactServeMetrics: a pooled, allocation-free per-device metrics
+ * block for compact fleets (DESIGN.md §18).
+ *
+ * The legacy fleet gives every device a private MetricsRegistry (three
+ * node-based maps, a mutex, and per-metric string keys — kilobytes per
+ * device before the first sample) and merges them into the parent
+ * registry in device-index order. This block records the exact same
+ * serve-loop metric set into fixed-size arrays, and `flush()` folds it
+ * into the parent with the exact merge() semantics:
+ *
+ *  - counters add (a lazily created counter exists iff it was hit, so
+ *    the exported metric-name set matches the legacy recorders');
+ *  - gauges last-write-wins in flush order (== device-index order);
+ *  - histogram sums are left-folded per device in observation order and
+ *    then across devices in flush order — the same two-level fold the
+ *    legacy per-device registries produce.
+ *
+ * Flushing every device block in device-index order therefore yields a
+ * byte-identical metrics export (tests/test_fleet pins this).
+ */
+
+#ifndef AUTOSCALE_SERVE_COMPACT_METRICS_H_
+#define AUTOSCALE_SERVE_COMPACT_METRICS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "serve/device_state.h"
+#include "sim/target.h"
+
+namespace autoscale::obs {
+class MetricsRegistry;
+} // namespace autoscale::obs
+
+namespace autoscale::serve {
+
+/**
+ * Fixed-capacity histogram accumulator: bucket counts plus the
+ * order-sensitive (count, sum, min, max) fold, bit-identical to
+ * MetricsRegistry's histogram for the same observation sequence.
+ * Bucket bounds live in one shared table (they are identical for
+ * every device), not in the block.
+ */
+template <std::size_t NumBounds>
+struct CompactHistogram {
+    std::array<std::int64_t, NumBounds + 1> buckets{};
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    void
+    observe(const std::array<double, NumBounds> &bounds, double value)
+    {
+        // First bucket whose inclusive upper bound admits the value;
+        // the trailing overflow bucket catches the rest (identical to
+        // MetricsRegistry::observeLocked).
+        std::size_t bucket = 0;
+        while (bucket < NumBounds && bounds[bucket] < value) {
+            ++bucket;
+        }
+        ++buckets[bucket];
+        if (count == 0) {
+            min = value;
+            max = value;
+        } else {
+            min = value < min ? value : min;
+            max = value > max ? value : max;
+        }
+        ++count;
+        sum += value;
+    }
+};
+
+/**
+ * One compact fleet device's complete serve-metrics state. The
+ * recording interface mirrors FastServeMetrics (device_loop.cc) call
+ * for call, including the operation order inside recordServed, so the
+ * per-histogram folds accumulate identically.
+ */
+class CompactServeMetrics {
+  public:
+    void recordShed(ServeOutcomeId outcome, int depth);
+
+    void recordServed(sim::TargetCategoryId category, bool qosViolated,
+                      bool degraded, bool shortCircuit, bool faultFallback,
+                      double waitMs, double latencyMs, double energyMj,
+                      int depth);
+
+    /** serve.fleet.* contention series (lazily resolved, like
+     * FleetContentionMetrics: the names only export once touched). */
+    void observeEdgeWait(double waitMs);
+    void observeCloud(double derate, bool brownoutHit);
+
+    /** One checkpoint written (serve.checkpoints). */
+    void recordCheckpoint();
+
+    /** The end-of-run counter/gauge block of DeviceState::finish. */
+    void recordFinish(std::int64_t arrivals, std::int64_t breakerOpens,
+                      std::int64_t breakerProbes, double maxQueueDepth,
+                      double breakerOpenMs);
+
+    /**
+     * Fold this block into @p parent with MetricsRegistry::merge
+     * semantics. Call once per device, in device-index order.
+     */
+    void flush(obs::MetricsRegistry &parent) const;
+
+  private:
+    // Counter values. The five "eager" counters (qos_violations,
+    // degraded, breaker.short_circuits, fault.fallbacks, checkpoints)
+    // always export, even at zero, exactly like the legacy recorders'
+    // constructor-resolved handles; outcome/decision counters export
+    // only once hit (their first hit is what creates them).
+    std::int64_t qosViolations_ = 0;
+    std::int64_t degraded_ = 0;
+    std::int64_t breakerShortCircuits_ = 0;
+    std::int64_t faultFallbacks_ = 0;
+    std::int64_t checkpoints_ = 0;
+    std::array<std::int64_t, kNumServeOutcomes> outcomeCounts_{};
+    std::array<std::int64_t, sim::kNumTargetCategories> decisionCounts_{};
+
+    // Eagerly declared serve.* histograms (declareServeHistograms).
+    CompactHistogram<15> latencyMs_;
+    CompactHistogram<15> waitMs_;
+    CompactHistogram<13> energyMj_;
+    CompactHistogram<9> queueDepth_;
+
+    // Lazily resolved serve.fleet.* series.
+    bool fleetResolved_ = false;
+    std::int64_t brownoutServed_ = 0;
+    CompactHistogram<15> edgeWaitMs_;
+    CompactHistogram<8> congestionDerate_;
+
+    // End-of-run block (recorded by DeviceState::finish exactly once).
+    bool finishRecorded_ = false;
+    std::int64_t arrivals_ = 0;
+    std::int64_t breakerOpens_ = 0;
+    std::int64_t breakerProbes_ = 0;
+    double maxQueueDepth_ = 0.0;
+    double breakerOpenMs_ = 0.0;
+};
+
+} // namespace autoscale::serve
+
+#endif // AUTOSCALE_SERVE_COMPACT_METRICS_H_

@@ -17,6 +17,8 @@
 #include "harness/autoscale_policy.h"
 #include "harness/experiment.h"
 #include "obs/metrics_registry.h"
+#include "serve/compact_metrics.h"
+#include "serve/device_state.h"
 #include "sim/batch_engine.h"
 #include "util/logging.h"
 
@@ -26,46 +28,6 @@ namespace {
 
 /** EWMA weight for the observed service-time estimate. */
 constexpr double kServiceEwmaAlpha = 0.1;
-
-/** One zoo workload the serving mix can draw. */
-struct Workload {
-    const dnn::Network *network = nullptr;
-    sim::InferenceRequest request;
-    /** Best-case service time (admission floor), ms. */
-    double minServiceMs = 0.0;
-};
-
-void
-declareServeHistograms(obs::MetricsRegistry &metrics)
-{
-    metrics.declareHistogram("serve.latency_ms",
-                             obs::MetricsRegistry::latencyBucketsMs());
-    metrics.declareHistogram("serve.wait_ms",
-                             obs::MetricsRegistry::latencyBucketsMs());
-    metrics.declareHistogram("serve.energy_mj",
-                             obs::MetricsRegistry::energyBucketsMj());
-    metrics.declareHistogram("serve.queue_depth",
-                             {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
-                              128.0});
-}
-
-/**
- * Dense serve-outcome ids: array indices for the allocation-free
- * metrics recorder (the string names feed trace events and lazy
- * counter creation only).
- */
-enum ServeOutcomeId : int {
-    kServed = 0,
-    kShedOverflow,
-    kShedDeadline,
-    kShedStale,
-    kShedChurn,
-    kNumServeOutcomes,
-};
-
-constexpr std::array<const char *, kNumServeOutcomes> kServeOutcomeNames =
-    {"served", "shed_overflow", "shed_deadline", "shed_stale",
-     "shed_churn"};
 
 ServeOutcomeId
 shedOutcomeId(AdmissionVerdict verdict)
@@ -98,6 +60,22 @@ makeServeEvent(const baselines::SchedulingPolicy &policy,
     event.queueDepth = queueDepth;
     event.serveCheckpoints = checkpoints;
     return event;
+}
+
+} // namespace
+
+void
+declareServeHistograms(obs::MetricsRegistry &metrics)
+{
+    metrics.declareHistogram("serve.latency_ms",
+                             obs::MetricsRegistry::latencyBucketsMs());
+    metrics.declareHistogram("serve.wait_ms",
+                             obs::MetricsRegistry::latencyBucketsMs());
+    metrics.declareHistogram("serve.energy_mj",
+                             obs::MetricsRegistry::energyBucketsMj());
+    metrics.declareHistogram("serve.queue_depth",
+                             {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+                              128.0});
 }
 
 /**
@@ -343,117 +321,82 @@ private:
     obs::Counter *brownoutServed = nullptr;
 };
 
-} // namespace
-
-/**
- * All of `runServe`'s former local state, verbatim, plus the fleet
- * hooks (epoch barrier, contention snapshot, usage accounting). The
- * member initialization below replays the original function body's
- * statement order exactly — the RNG fan-out and every side effect
- * happen in the same sequence, so a full-run advance() is bit-identical
- * to the pre-refactor loop.
- */
-struct DeviceLoop::Impl {
-    Impl(const sim::InferenceSimulator &sim_in, const ServeConfig &config_in,
-         const obs::ObsContext &obs_in, int deviceId_in,
-         const core::AutoScaleScheduler *warmStart);
-
-    void advance(double untilMs);
-    std::int64_t discardQueue(std::int64_t atEpoch);
-    std::int64_t advanceOffline(double untilMs, std::int64_t atEpoch);
-    void scalarLoop(double untilMs);
-    void batchedLoop(double untilMs);
-    void admitUpTo(double nowMs);
-    void recordShed(const Workload &workload, ServeOutcomeId outcome,
-                    int depth);
-    void commitRequest(const QueuedRequest &queued, int degradeLevel,
-                       int depthAtDequeue, sim::BatchDecisionEngine *engine);
-    void checkpointNow();
-    ServeStats finish();
-
-    const sim::InferenceSimulator &sim;
-    ServeConfig config;
-    obs::ObsContext obs;
-    int deviceId;
-
-    ServeStats stats;
-    std::vector<const dnn::Network *> networks;
-    std::vector<Workload> workloads;
-
-    Rng envRng;
-    Rng decisionRng;
-    Rng execRng;
-    Rng workloadRng;
-
-    std::unique_ptr<baselines::SchedulingPolicy> policy;
-    harness::AutoScalePolicy *learner = nullptr;
-    std::optional<CheckpointManager> manager;
-    std::int64_t startStep = 0;
-
-    std::optional<env::Scenario> scenario;
-    std::optional<ArrivalProcess> arrivals;
-    std::optional<AdmissionQueue> queue;
-    std::optional<CircuitBreaker> wlanBreaker;
-    std::optional<CircuitBreaker> p2pBreaker;
-    fault::RetryPolicy probeRetry;
-
-    bool batched = false;
-    std::optional<ServeMetricsRecorder> serveMetrics;
-    std::optional<FastServeMetrics> fastMetrics;
-    std::optional<FleetContentionMetrics> fleetMetrics;
-    std::optional<sim::BatchDecisionEngine> engine;
-
-    double clockMs = 0.0;
-    double ewmaServiceMs = 0.0;
-    double pendingArrivalMs = 0.0;
-    bool arrivalsDone = false;
-    bool loopDone = false;
-    bool finished = false;
-
-    std::array<std::int64_t, sim::kNumTargetCategories> categoryTally{};
-
-    // --- Fleet hooks (inert outside fleet mode). ---
-    /** Frozen contention snapshot for the current advance() slice. */
-    const SharedSnapshot *shared = nullptr;
-    /** Fleet epoch index recorded on trace events. */
-    std::int64_t epoch = 0;
-    EpochUsage usage;
-};
-
-DeviceLoop::Impl::Impl(const sim::InferenceSimulator &sim_in,
-                       const ServeConfig &config_in,
-                       const obs::ObsContext &obs_in, int deviceId_in,
-                       const core::AutoScaleScheduler *warmStart)
-    : sim(sim_in), config(config_in), obs(obs_in), deviceId(deviceId_in)
+DevicePlan
+makeDevicePlan(const sim::InferenceSimulator &sim,
+               const ServeConfig &config)
 {
     AS_CHECK(config.totalRequests > 0);
-    stats.breakerEnabled = config.breakerEnabled;
-
-    // --- Workload mix. ---
+    DevicePlan plan;
+    plan.sim = &sim;
+    plan.config = config;
     for (const dnn::Network &network : dnn::modelZoo()) {
         if (config.networkFilter.empty()
             || network.name() == config.networkFilter) {
-            networks.push_back(&network);
+            plan.networks.push_back(&network);
         }
     }
-    if (networks.empty()) {
+    if (plan.networks.empty()) {
         fatal("serve: unknown network '" + config.networkFilter + "'");
     }
     const std::vector<double> floors =
-        minServiceMsPerNetwork(sim, networks, config.accuracyTargetPct);
-    workloads.reserve(networks.size());
-    for (std::size_t i = 0; i < networks.size(); ++i) {
-        workloads.push_back(Workload{
-            networks[i],
-            sim::makeRequest(*networks[i], config.accuracyTargetPct),
+        minServiceMsPerNetwork(sim, plan.networks,
+                               config.accuracyTargetPct);
+    plan.workloads.reserve(plan.networks.size());
+    for (std::size_t i = 0; i < plan.networks.size(); ++i) {
+        plan.workloads.push_back(Workload{
+            plan.networks[i],
+            sim::makeRequest(*plan.networks[i], config.accuracyTargetPct),
             floors[i]});
     }
+    plan.nominalServiceMs =
+        nominalServiceMs(sim, plan.networks, config.accuracyTargetPct);
+    return plan;
+}
+
+DeviceState::DeviceState(const sim::InferenceSimulator &sim_in,
+                         const ServeConfig &config_in,
+                         const obs::ObsContext &obs_in, int deviceId_in,
+                         const core::AutoScaleScheduler *warmStart)
+    : planOwner(std::make_unique<DevicePlan>(
+          makeDevicePlan(sim_in, config_in))),
+      obs(obs_in), deviceId(deviceId_in)
+{
+    plan = planOwner.get();
+    init(config().seed, warmStart, nullptr);
+}
+
+DeviceState::DeviceState(const DevicePlan &plan_in,
+                         const obs::ObsContext &obs_in, int deviceId_in,
+                         std::uint64_t seed,
+                         const core::AutoScaleScheduler *warmStart,
+                         sim::BatchDecisionEngine *sharedEngine)
+    : plan(&plan_in), obs(obs_in), deviceId(deviceId_in)
+{
+    init(seed, warmStart, sharedEngine);
+}
+
+DeviceState::~DeviceState() = default;
+DeviceState::DeviceState(DeviceState &&) = default;
+DeviceState &DeviceState::operator=(DeviceState &&) = default;
+
+/**
+ * Construction tail shared by the standalone and fleet ctors. The
+ * statement order replays the original runServe body exactly — the RNG
+ * fan-out and every side effect happen in the same sequence, so a
+ * full-run advance() is bit-identical to the pre-refactor loop.
+ */
+void
+DeviceState::init(std::uint64_t seed,
+                  const core::AutoScaleScheduler *warmStart,
+                  sim::BatchDecisionEngine *sharedEngine)
+{
+    stats.breakerEnabled = config().breakerEnabled;
 
     // --- Deterministic RNG fan-out (fixed fork order; see server.h).
     // Every stream is forked for every device — including streams a
     // warm-started fleet device never consumes (trainRng) — so the
     // fan-out is a pure function of the device seed. ---
-    Rng master(config.seed);
+    Rng master(seed);
     Rng trainRng = master.fork();
     const std::uint64_t arrivalSeed = master.next();
     envRng = master.fork();
@@ -467,33 +410,36 @@ DeviceLoop::Impl::Impl(const sim::InferenceSimulator &sim_in,
     // --- Policy. Fixed baselines run the same loop (useful to expose
     // the breaker and shedding machinery to remote-heavy traffic), but
     // only the AutoScale learner has a Q-table to checkpoint. ---
-    if (config.policyName.empty() || config.policyName == "autoscale") {
-        auto autoscale = harness::makeAutoScalePolicy(sim, policySeed);
+    if (config().policyName.empty() || config().policyName == "autoscale") {
+        auto autoscale = harness::makeAutoScalePolicy(sim(), policySeed);
         learner = autoscale.get();
-        policy = std::move(autoscale);
-    } else if (config.policyName == "cloud") {
-        policy = baselines::makeCloudPolicy(sim);
-    } else if (config.policyName == "connected-edge") {
-        policy = baselines::makeConnectedEdgePolicy(sim);
-    } else if (config.policyName == "edge-best") {
-        policy = baselines::makeEdgeBestPolicy(sim);
-    } else if (config.policyName == "edge-cpu") {
-        policy = baselines::makeEdgeCpuFp32Policy(sim);
+        ownedPolicy = std::move(autoscale);
+    } else if (config().policyName == "cloud") {
+        ownedPolicy = baselines::makeCloudPolicy(sim());
+    } else if (config().policyName == "connected-edge") {
+        ownedPolicy = baselines::makeConnectedEdgePolicy(sim());
+    } else if (config().policyName == "edge-best") {
+        ownedPolicy = baselines::makeEdgeBestPolicy(sim());
+    } else if (config().policyName == "edge-cpu") {
+        ownedPolicy = baselines::makeEdgeCpuFp32Policy(sim());
     } else {
-        fatal("serve: unknown policy '" + config.policyName
+        fatal("serve: unknown policy '" + config().policyName
               + "' (expected autoscale, cloud, connected-edge, edge-best,"
                 " or edge-cpu)");
     }
+    policy = ownedPolicy.get();
     if (learner == nullptr
-        && (!config.checkpointPath.empty() || !config.qtablePath.empty())) {
+        && (!config().checkpointPath.empty()
+            || !config().qtablePath.empty())) {
         fatal("serve: --checkpoint/--qtable apply to the autoscale policy"
               " only");
     }
 
     // --- Q-table provenance: warm start (fleet peers) > checkpoint >
     // --qtable > pre-training. ---
-    if (!config.checkpointPath.empty()) {
-        manager.emplace(config.checkpointPath);
+    if (!config().checkpointPath.empty()) {
+        manager = std::make_unique<CheckpointManager>(
+            config().checkpointPath);
     }
     if (learner != nullptr && warmStart != nullptr) {
         // Fleet peer: device 0 already trained (or loaded) this table;
@@ -501,7 +447,7 @@ DeviceLoop::Impl::Impl(const sim::InferenceSimulator &sim_in,
         learner->scheduler().transferFrom(*warmStart);
     } else {
         bool restored = false;
-        if (config.resume) {
+        if (config().resume) {
             if (!manager) {
                 fatal("serve: --resume requires --checkpoint");
             }
@@ -512,7 +458,7 @@ DeviceLoop::Impl::Impl(const sim::InferenceSimulator &sim_in,
             if (recovery.loaded) {
                 if (recovery.data.fingerprint
                     != scheduler.actionFingerprint()) {
-                    fatal("serve: checkpoint '" + config.checkpointPath
+                    fatal("serve: checkpoint '" + config().checkpointPath
                           + "' was written for a different action space");
                 }
                 core::QTable &live =
@@ -520,7 +466,7 @@ DeviceLoop::Impl::Impl(const sim::InferenceSimulator &sim_in,
                 if (recovery.data.table.numStates() != live.numStates()
                     || recovery.data.table.numActions()
                         != live.numActions()) {
-                    fatal("serve: checkpoint '" + config.checkpointPath
+                    fatal("serve: checkpoint '" + config().checkpointPath
                           + "' has mismatched Q-table dimensions");
                 }
                 // Q values and the step counter are restored; per-cell
@@ -536,18 +482,18 @@ DeviceLoop::Impl::Impl(const sim::InferenceSimulator &sim_in,
             }
         }
         if (learner != nullptr && !restored) {
-            if (!config.qtablePath.empty()) {
-                std::ifstream in(config.qtablePath);
+            if (!config().qtablePath.empty()) {
+                std::ifstream in(config().qtablePath);
                 if (!in) {
-                    fatal("serve: cannot open Q-table '" + config.qtablePath
-                          + "'");
+                    fatal("serve: cannot open Q-table '"
+                          + config().qtablePath + "'");
                 }
                 learner->scheduler().loadQTable(in);
-            } else if (config.trainRunsPerCombo > 0) {
-                harness::trainPolicy(*learner, sim, networks,
-                                     {config.scenario},
-                                     config.trainRunsPerCombo, trainRng,
-                                     false, config.accuracyTargetPct);
+            } else if (config().trainRunsPerCombo > 0) {
+                harness::trainPolicy(*learner, sim(), plan->networks,
+                                     {config().scenario},
+                                     config().trainRunsPerCombo, trainRng,
+                                     false, config().accuracyTargetPct);
             }
         }
     }
@@ -557,44 +503,51 @@ DeviceLoop::Impl::Impl(const sim::InferenceSimulator &sim_in,
     policy->setLearning(true);
 
     // --- Loop state. ---
-    scenario.emplace(config.scenario, config.faults);
-    arrivals.emplace(config.arrival, arrivalSeed);
-    queue.emplace(config.admission);
-    wlanBreaker.emplace(config.breaker, wlanSeed);
-    p2pBreaker.emplace(config.breaker, p2pSeed);
-    probeRetry = config.retry;
+    scenario.emplace(config().scenario, config().faults);
+    arrivals.emplace(config().arrival, arrivalSeed);
+    queue.emplace(config().admission);
+    wlanBreaker.emplace(config().breaker, wlanSeed);
+    p2pBreaker.emplace(config().breaker, p2pSeed);
+    probeRetry = config().retry;
     probeRetry.maxRetries = 0;
 
     // Batched (SoA gather/commit) vs scalar reference dispatch. Both
     // paths produce byte-identical output (DESIGN.md §14); the batched
     // path records through dense pre-resolved handles and skips
     // DecisionEvent construction entirely when only metering is on.
-    batched = config.batchSize >= 1;
+    batched = config().batchSize >= 1;
 
     if (obs.metering()) {
         declareServeHistograms(*obs.metrics);
         if (batched) {
-            fastMetrics.emplace(*obs.metrics);
+            fastMetrics = std::make_unique<FastServeMetrics>(*obs.metrics);
         } else {
-            serveMetrics.emplace(*obs.metrics);
+            serveMetrics =
+                std::make_unique<ServeMetricsRecorder>(*obs.metrics);
         }
         if (deviceId >= 0) {
-            fleetMetrics.emplace(*obs.metrics);
+            fleetMetrics =
+                std::make_unique<FleetContentionMetrics>(*obs.metrics);
         }
     }
     if (batched) {
-        engine.emplace(sim, static_cast<std::size_t>(config.batchSize));
+        if (sharedEngine != nullptr) {
+            engine = sharedEngine;
+        } else {
+            ownedEngine = std::make_unique<sim::BatchDecisionEngine>(
+                sim(), static_cast<std::size_t>(config().batchSize));
+            engine = ownedEngine.get();
+        }
     }
 
     clockMs = 0.0;
-    ewmaServiceMs =
-        nominalServiceMs(sim, networks, config.accuracyTargetPct);
+    ewmaServiceMs = plan->nominalServiceMs;
     pendingArrivalMs = arrivals->nextArrivalMs();
     arrivalsDone = false;
 }
 
 void
-DeviceLoop::Impl::checkpointNow()
+DeviceState::checkpointNow()
 {
     if (!manager) {
         return;
@@ -613,14 +566,20 @@ DeviceLoop::Impl::checkpointNow()
     if (fastMetrics) {
         fastMetrics->checkpoints().add();
     }
+    if (block != nullptr) {
+        block->recordCheckpoint();
+    }
 }
 
 void
-DeviceLoop::Impl::recordShed(const Workload &workload,
-                             ServeOutcomeId outcome, int depth)
+DeviceState::recordShed(const Workload &workload, ServeOutcomeId outcome,
+                        int depth)
 {
     if (fastMetrics) {
         fastMetrics->recordShed(outcome, depth);
+    }
+    if (block != nullptr) {
+        block->recordShed(outcome, depth);
     }
     if (!serveMetrics && !obs.tracing()) {
         return;
@@ -631,7 +590,7 @@ DeviceLoop::Impl::recordShed(const Workload &workload,
         stats.checkpointsWritten);
     event.target = "(shed)";
     event.category = "(shed)";
-    if (config.breakerEnabled) {
+    if (config().breakerEnabled) {
         event.breakerWlan = breakerStateName(wlanBreaker->state());
         event.breakerP2p = breakerStateName(p2pBreaker->state());
     }
@@ -655,12 +614,13 @@ DeviceLoop::Impl::recordShed(const Workload &workload,
 
 // Admit every arrival at or before the current virtual time.
 void
-DeviceLoop::Impl::admitUpTo(double nowMs)
+DeviceState::admitUpTo(double nowMs)
 {
+    const std::vector<Workload> &mix = plan->workloads;
     while (!arrivalsDone && pendingArrivalMs <= nowMs) {
-        const int index = static_cast<int>(
-            workloadRng.uniformInt(workloads.size()));
-        const Workload &workload = workloads[index];
+        const int index =
+            static_cast<int>(workloadRng.uniformInt(mix.size()));
+        const Workload &workload = mix[index];
         const QueuedRequest request{
             stats.arrivals, pendingArrivalMs,
             pendingArrivalMs + workload.request.qosMs, index};
@@ -682,7 +642,7 @@ DeviceLoop::Impl::admitUpTo(double nowMs)
                        static_cast<int>(queue->depth()));
             break;
         }
-        if (arrivals->count() >= config.totalRequests) {
+        if (arrivals->count() >= config().totalRequests) {
             arrivalsDone = true;
         } else {
             pendingArrivalMs = arrivals->nextArrivalMs();
@@ -695,11 +655,12 @@ DeviceLoop::Impl::admitUpTo(double nowMs)
 // it supplies the memoized best-local-target (identical values,
 // computed once per request instead of up to three times).
 void
-DeviceLoop::Impl::commitRequest(const QueuedRequest &queued,
-                                int degradeLevel, int depthAtDequeue,
-                                sim::BatchDecisionEngine *batchEngine)
+DeviceState::commitRequest(const QueuedRequest &queued, int degradeLevel,
+                           int depthAtDequeue,
+                           sim::BatchDecisionEngine *batchEngine)
 {
-    const Workload &workload = workloads[queued.networkIndex];
+    const Workload &workload = plan->workloads[
+        static_cast<std::size_t>(queued.networkIndex)];
 
     // Stale re-check: the admission estimate may have aged badly
     // (a burst of slow services after this request was admitted).
@@ -719,9 +680,9 @@ DeviceLoop::Impl::commitRequest(const QueuedRequest &queued,
     auto bestLocal = [&]() {
         return batchEngine != nullptr
             ? batchEngine->bestLocalTarget(*workload.network, env,
-                                           config.accuracyTargetPct)
-            : sim.bestLocalTarget(*workload.network, env,
-                                  config.accuracyTargetPct);
+                                           config().accuracyTargetPct)
+            : sim().bestLocalTarget(*workload.network, env,
+                                    config().accuracyTargetPct);
     };
 
     // Graceful degradation: under queue pressure, force expensive
@@ -740,7 +701,7 @@ DeviceLoop::Impl::commitRequest(const QueuedRequest &queued,
     CircuitBreaker *breaker = nullptr;
     bool shortCircuited = false;
     bool probing = false;
-    if (config.breakerEnabled
+    if (config().breakerEnabled
         && (decision.partitioned
             || decision.target.place != sim::TargetPlace::Local)) {
         const sim::TargetPlace place = decision.partitioned
@@ -761,9 +722,9 @@ DeviceLoop::Impl::commitRequest(const QueuedRequest &queued,
     // Half-open probes run with zero retries: one cheap attempt
     // decides reopen-vs-close instead of a full retry cycle.
     const fault::RetryPolicy &retry =
-        breaker != nullptr && probing ? probeRetry : config.retry;
+        breaker != nullptr && probing ? probeRetry : config().retry;
     sim::FaultOutcome faultResult = baselines::executeDecisionWithFaults(
-        sim, workload.request, decision, env, retry, execRng);
+        sim(), workload.request, decision, env, retry, execRng);
     if (breaker != nullptr) {
         if (faultResult.fellBack) {
             breaker->recordFailure(clockMs);
@@ -777,7 +738,7 @@ DeviceLoop::Impl::commitRequest(const QueuedRequest &queued,
     // the batch harness does.
     sim::Outcome measured = faultResult.outcome;
     if (!measured.feasible) {
-        measured = sim.run(*workload.network, bestLocal(), env, execRng);
+        measured = sim().run(*workload.network, bestLocal(), env, execRng);
     }
 
     double serviceMs = measured.latencyMs;
@@ -808,6 +769,9 @@ DeviceLoop::Impl::commitRequest(const QueuedRequest &queued,
             if (fleetMetrics) {
                 fleetMetrics->observeEdgeWait(edgeWaitMs);
             }
+            if (block != nullptr) {
+                block->observeEdgeWait(edgeWaitMs);
+            }
         } else if (place == sim::TargetPlace::Cloud) {
             // Congested Wi-Fi stretches the transfer (rate derate), and
             // a browned-out cloud stretches the whole service. The
@@ -822,6 +786,9 @@ DeviceLoop::Impl::commitRequest(const QueuedRequest &queued,
             ++usage.cloudJobs;
             if (fleetMetrics) {
                 fleetMetrics->observeCloud(derate, brownoutHit);
+            }
+            if (block != nullptr) {
+                block->observeCloud(derate, brownoutHit);
             }
         }
     }
@@ -861,6 +828,12 @@ DeviceLoop::Impl::commitRequest(const QueuedRequest &queued,
             faultResult.fellBack, waitMs, latencyMs,
             measured.energyJ * 1e3, depthAtDequeue);
     }
+    if (block != nullptr) {
+        block->recordServed(
+            decision.categoryId(), qosViolated, degraded, shortCircuited,
+            faultResult.fellBack, waitMs, latencyMs,
+            measured.energyJ * 1e3, depthAtDequeue);
+    }
     if (serveMetrics || obs.tracing()) {
         obs::DecisionEvent event = makeServeEvent(
             *policy, workload, scenario->name(), "served", depthAtDequeue,
@@ -891,7 +864,7 @@ DeviceLoop::Impl::commitRequest(const QueuedRequest &queued,
         event.queueWaitMs = waitMs;
         event.degradeLevel = degraded ? degradeLevel : 0;
         event.breakerShortCircuit = shortCircuited;
-        if (config.breakerEnabled) {
+        if (config().breakerEnabled) {
             event.breakerWlan = breakerStateName(wlanBreaker->state());
             event.breakerP2p = breakerStateName(p2pBreaker->state());
         }
@@ -916,8 +889,8 @@ DeviceLoop::Impl::commitRequest(const QueuedRequest &queued,
     }
 
     clockMs = finishMs;
-    if (manager && config.checkpointIntervalRequests > 0
-        && stats.served % config.checkpointIntervalRequests == 0) {
+    if (manager && config().checkpointIntervalRequests > 0
+        && stats.served % config().checkpointIntervalRequests == 0) {
         checkpointNow();
     }
 }
@@ -926,7 +899,7 @@ DeviceLoop::Impl::commitRequest(const QueuedRequest &queued,
 // untilMs == +inf this is the original runServe loop verbatim; a
 // finite barrier pauses before processing anything at or beyond it.
 void
-DeviceLoop::Impl::scalarLoop(double untilMs)
+DeviceState::scalarLoop(double untilMs)
 {
     while (clockMs < untilMs) {
         admitUpTo(clockMs);
@@ -958,7 +931,7 @@ DeviceLoop::Impl::scalarLoop(double untilMs)
 // un-popped slots simply stay queued and are re-gathered next epoch,
 // so the commit sequence is identical for every barrier placement.
 void
-DeviceLoop::Impl::batchedLoop(double untilMs)
+DeviceState::batchedLoop(double untilMs)
 {
     while (clockMs < untilMs) {
         admitUpTo(clockMs);
@@ -976,10 +949,12 @@ DeviceLoop::Impl::batchedLoop(double untilMs)
         }
         engine->beginTick(clockMs);
         const std::size_t ready = std::min(
-            queue->depth(), static_cast<std::size_t>(config.batchSize));
+            queue->depth(),
+            static_cast<std::size_t>(config().batchSize));
         for (std::size_t i = 0; i < ready; ++i) {
             const QueuedRequest &peeked = queue->at(i);
-            const Workload &workload = workloads[peeked.networkIndex];
+            const Workload &workload = plan->workloads[
+                static_cast<std::size_t>(peeked.networkIndex)];
             engine->addSlot(peeked.id, peeked.arrivalMs, peeked.deadlineMs,
                             peeked.networkIndex, workload.network,
                             workload.minServiceMs);
@@ -999,13 +974,13 @@ DeviceLoop::Impl::batchedLoop(double untilMs)
             AS_CHECK(queued.id == engine->id(slot));
             const int depthAtDequeue =
                 static_cast<int>(queue->depth()) + 1;
-            commitRequest(queued, degradeLevel, depthAtDequeue, &*engine);
+            commitRequest(queued, degradeLevel, depthAtDequeue, engine);
         }
     }
 }
 
 void
-DeviceLoop::Impl::advance(double untilMs)
+DeviceState::advance(double untilMs)
 {
     if (loopDone) {
         return;
@@ -1022,7 +997,7 @@ DeviceLoop::Impl::advance(double untilMs)
 // records land in the device's private sinks in a shard-independent
 // order.
 std::int64_t
-DeviceLoop::Impl::discardQueue(std::int64_t atEpoch)
+DeviceState::discardQueue(std::int64_t atEpoch)
 {
     epoch = atEpoch;
     std::int64_t dropped = 0;
@@ -1030,8 +1005,9 @@ DeviceLoop::Impl::discardQueue(std::int64_t atEpoch)
         const QueuedRequest queued = queue->pop();
         ++dropped;
         ++stats.shedChurn;
-        recordShed(workloads[queued.networkIndex], kShedChurn,
-                   static_cast<int>(queue->depth()));
+        recordShed(plan->workloads[
+                       static_cast<std::size_t>(queued.networkIndex)],
+                   kShedChurn, static_cast<int>(queue->depth()));
     }
     return dropped;
 }
@@ -1042,22 +1018,23 @@ DeviceLoop::Impl::discardQueue(std::int64_t atEpoch)
 // lost instead of admitted. Advances the virtual clock to the barrier
 // so a rejoin resumes in fleet time, not in the past.
 std::int64_t
-DeviceLoop::Impl::advanceOffline(double untilMs, std::int64_t atEpoch)
+DeviceState::advanceOffline(double untilMs, std::int64_t atEpoch)
 {
     if (loopDone) {
         return 0;
     }
     epoch = atEpoch;
     std::int64_t lost = 0;
+    const std::vector<Workload> &mix = plan->workloads;
     while (!arrivalsDone && pendingArrivalMs < untilMs) {
-        const int index = static_cast<int>(
-            workloadRng.uniformInt(workloads.size()));
+        const int index =
+            static_cast<int>(workloadRng.uniformInt(mix.size()));
         ++stats.arrivals;
         ++stats.shedChurn;
         ++lost;
-        recordShed(workloads[index], kShedChurn,
+        recordShed(mix[static_cast<std::size_t>(index)], kShedChurn,
                    static_cast<int>(queue->depth()));
-        if (arrivals->count() >= config.totalRequests) {
+        if (arrivals->count() >= config().totalRequests) {
             arrivalsDone = true;
         } else {
             pendingArrivalMs = arrivals->nextArrivalMs();
@@ -1071,7 +1048,7 @@ DeviceLoop::Impl::advanceOffline(double untilMs, std::int64_t atEpoch)
 }
 
 ServeStats
-DeviceLoop::Impl::finish()
+DeviceState::finish()
 {
     AS_CHECK(!finished);
     finished = true;
@@ -1125,6 +1102,14 @@ DeviceLoop::Impl::finish()
                          stats.wlanBreaker.totalOpenMs
                              + stats.p2pBreaker.totalOpenMs);
     }
+    if (block != nullptr) {
+        block->recordFinish(
+            stats.arrivals,
+            stats.wlanBreaker.opens + stats.p2pBreaker.opens,
+            stats.wlanBreaker.probes + stats.p2pBreaker.probes,
+            static_cast<double>(stats.maxQueueDepth),
+            stats.wlanBreaker.totalOpenMs + stats.p2pBreaker.totalOpenMs);
+    }
     return std::move(stats);
 }
 
@@ -1132,66 +1117,74 @@ DeviceLoop::DeviceLoop(const sim::InferenceSimulator &sim,
                        const ServeConfig &config,
                        const obs::ObsContext &obs, int deviceId,
                        const core::AutoScaleScheduler *warmStart)
-    : impl_(std::make_unique<Impl>(sim, config, obs, deviceId, warmStart))
+    : owned_(std::make_unique<DeviceState>(sim, config, obs, deviceId,
+                                           warmStart)),
+      state_(owned_.get())
+{
+}
+
+DeviceLoop::DeviceLoop(DeviceState *state) : state_(state)
 {
 }
 
 DeviceLoop::~DeviceLoop() = default;
+DeviceLoop::DeviceLoop(DeviceLoop &&) noexcept = default;
+DeviceLoop &DeviceLoop::operator=(DeviceLoop &&) noexcept = default;
 
 void
 DeviceLoop::advance(double untilMs, const SharedSnapshot *shared,
                     std::int64_t epoch)
 {
-    impl_->shared = shared;
-    impl_->epoch = epoch;
-    impl_->advance(untilMs);
-    impl_->shared = nullptr;
+    state_->shared = shared;
+    state_->epoch = epoch;
+    state_->advance(untilMs);
+    state_->shared = nullptr;
 }
 
 bool
 DeviceLoop::done() const
 {
-    return impl_->loopDone;
+    return state_->loopDone;
 }
 
 double
 DeviceLoop::clockMs() const
 {
-    return impl_->clockMs;
+    return state_->clockMs;
 }
 
 EpochUsage
 DeviceLoop::takeEpochUsage()
 {
-    const EpochUsage taken = impl_->usage;
-    impl_->usage = EpochUsage{};
+    const EpochUsage taken = state_->usage;
+    state_->usage = EpochUsage{};
     return taken;
 }
 
 core::AutoScaleScheduler *
 DeviceLoop::scheduler()
 {
-    return impl_->learner != nullptr ? &impl_->learner->scheduler()
-                                     : nullptr;
+    return state_->learner != nullptr ? &state_->learner->scheduler()
+                                      : nullptr;
 }
 
 const core::AutoScaleScheduler *
 DeviceLoop::scheduler() const
 {
-    return impl_->learner != nullptr ? &impl_->learner->scheduler()
-                                     : nullptr;
+    return state_->learner != nullptr ? &state_->learner->scheduler()
+                                      : nullptr;
 }
 
 ServeStats
 DeviceLoop::finish()
 {
-    return impl_->finish();
+    return state_->finish();
 }
 
 std::size_t
 DeviceLoop::queueDepth() const
 {
-    return impl_->queue->depth();
+    return state_->queue->depth();
 }
 
 std::uint64_t
@@ -1211,47 +1204,48 @@ DeviceLoop::stateDigest() const
         __builtin_memcpy(&bits, &value, sizeof(bits));
         return fold(hash, bits);
     };
-    const Impl &impl = *impl_;
+    const DeviceState &state = *state_;
     std::uint64_t digest = 0;
-    digest = foldDouble(digest, impl.clockMs);
-    digest = foldDouble(digest, impl.pendingArrivalMs);
-    digest = fold(digest, static_cast<std::uint64_t>(impl.stats.arrivals));
-    digest = fold(digest, static_cast<std::uint64_t>(impl.stats.admitted));
-    digest = fold(digest, static_cast<std::uint64_t>(impl.stats.served));
+    digest = foldDouble(digest, state.clockMs);
+    digest = foldDouble(digest, state.pendingArrivalMs);
+    digest = fold(digest, static_cast<std::uint64_t>(state.stats.arrivals));
+    digest = fold(digest, static_cast<std::uint64_t>(state.stats.admitted));
+    digest = fold(digest, static_cast<std::uint64_t>(state.stats.served));
     digest = fold(digest,
-                  static_cast<std::uint64_t>(impl.stats.shedDeadline
-                                             + impl.stats.shedOverflow
-                                             + impl.stats.shedStale));
+                  static_cast<std::uint64_t>(state.stats.shedDeadline
+                                             + state.stats.shedOverflow
+                                             + state.stats.shedStale));
     digest =
-        fold(digest, static_cast<std::uint64_t>(impl.stats.shedChurn));
-    digest = foldDouble(digest, impl.stats.energyJ);
-    digest = fold(digest, impl.queue->depth());
-    digest = fold(digest, impl.loopDone ? 1 : 0);
+        fold(digest, static_cast<std::uint64_t>(state.stats.shedChurn));
+    digest = foldDouble(digest, state.stats.energyJ);
+    digest = fold(digest, state.queue->depth());
+    digest = fold(digest, state.loopDone ? 1 : 0);
     return digest;
 }
 
 std::int64_t
 DeviceLoop::churnCrash(std::int64_t epoch)
 {
-    const std::int64_t dropped = impl_->discardQueue(epoch);
-    if (impl_->learner != nullptr) {
-        impl_->learner->scheduler().discardPending();
-    }
+    const std::int64_t dropped = state_->discardQueue(epoch);
+    // The in-flight transition dies with the process: a virtual no-op
+    // for fixed policies, AutoScaleScheduler::discardPending for the
+    // learner — the exact pre-§18 behavior.
+    state_->policy->discardPending();
     return dropped;
 }
 
 std::int64_t
 DeviceLoop::churnLeave(std::int64_t epoch)
 {
-    const std::int64_t dropped = impl_->discardQueue(epoch);
-    impl_->policy->finishEpisode();
+    const std::int64_t dropped = state_->discardQueue(epoch);
+    state_->policy->finishEpisode();
     return dropped;
 }
 
 std::int64_t
 DeviceLoop::advanceOffline(double untilMs, std::int64_t epoch)
 {
-    return impl_->advanceOffline(untilMs, epoch);
+    return state_->advanceOffline(untilMs, epoch);
 }
 
 } // namespace autoscale::serve

@@ -36,7 +36,17 @@ class AutoScaleScheduler;
 
 namespace autoscale::serve {
 
-/** One device's serving loop, advanceable in virtual-time slices. */
+struct DeviceState;
+
+/**
+ * One device's serving loop, advanceable in virtual-time slices.
+ *
+ * Since DESIGN.md §18 this is a thin view over a DeviceState record:
+ * standalone construction owns a private record (pre-§18 semantics,
+ * byte for byte), while a compact fleet stores its records in one
+ * contiguous array and hands each loop a non-owning pointer. Either
+ * way the loop body is the same code over the same state.
+ */
 class DeviceLoop {
   public:
     /**
@@ -56,8 +66,17 @@ class DeviceLoop {
     DeviceLoop(const sim::InferenceSimulator &sim, const ServeConfig &config,
                const obs::ObsContext &obs, int deviceId = -1,
                const core::AutoScaleScheduler *warmStart = nullptr);
+
+    /**
+     * Non-owning view over a fleet-owned record (device_state.h). The
+     * record must outlive the view and stay at a stable address.
+     */
+    explicit DeviceLoop(DeviceState *state);
+
     ~DeviceLoop();
 
+    DeviceLoop(DeviceLoop &&) noexcept;
+    DeviceLoop &operator=(DeviceLoop &&) noexcept;
     DeviceLoop(const DeviceLoop &) = delete;
     DeviceLoop &operator=(const DeviceLoop &) = delete;
 
@@ -130,8 +149,9 @@ class DeviceLoop {
     ServeStats finish();
 
   private:
-    struct Impl;
-    std::unique_ptr<Impl> impl_;
+    /** Owned record (standalone ctor only; null for fleet views). */
+    std::unique_ptr<DeviceState> owned_;
+    DeviceState *state_;
 };
 
 } // namespace autoscale::serve

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Compact fleet device representation (DESIGN.md §18).
+ *
+ * A million-device fleet cannot afford one heap-allocated pimpl, one
+ * copy of the serving configuration, and one resolved workload table
+ * per device. This header splits what used to be `DeviceLoop::Impl`
+ * into:
+ *
+ *  - `DevicePlan` — everything that is identical across a fleet's
+ *    devices and immutable for the whole run: the simulator reference,
+ *    the resolved ServeConfig template, the workload mix with its
+ *    admission floors, and the nominal service time. A fleet builds
+ *    one plan and every device points at it; a standalone device owns
+ *    a private plan (`planOwner`), keeping single-device semantics
+ *    unchanged.
+ *
+ *  - `DeviceState` — the per-device mutable replay state, laid out as
+ *    a flat movable struct so a fleet can hold `std::vector<DeviceState>`
+ *    (one contiguous table fill, no per-device pimpl allocation).
+ *    Everything a device's trajectory depends on lives here: the
+ *    virtual clock, the RNG streams, the admission ring, breaker
+ *    states, counters, and the policy.
+ *
+ * `DeviceLoop` (device_loop.h) remains the only mutation API — it is
+ * now a thin view over one `DeviceState` — so the shards/jobs, churn,
+ * checkpoint-replay, and `advance(+inf)` ≡ `runServe` bit-exactness
+ * contracts of DESIGN.md §15–§17 are preserved by construction: the
+ * loop body is the same code reading the same state in the same order
+ * regardless of how the state is owned.
+ */
+
+#ifndef AUTOSCALE_SERVE_DEVICE_STATE_H_
+#define AUTOSCALE_SERVE_DEVICE_STATE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "baselines/policy.h"
+#include "serve/server.h"
+#include "serve/shared_infra.h"
+
+namespace autoscale::core {
+class AutoScaleScheduler;
+} // namespace autoscale::core
+
+namespace autoscale::harness {
+class AutoScalePolicy;
+} // namespace autoscale::harness
+
+namespace autoscale::sim {
+class BatchDecisionEngine;
+} // namespace autoscale::sim
+
+namespace autoscale::serve {
+
+class ServeMetricsRecorder;
+class FastServeMetrics;
+struct FleetContentionMetrics;
+class CompactServeMetrics;
+
+/** One zoo workload the serving mix can draw. */
+struct Workload {
+    const dnn::Network *network = nullptr;
+    sim::InferenceRequest request;
+    /** Best-case service time (admission floor), ms. */
+    double minServiceMs = 0.0;
+};
+
+/**
+ * Dense serve-outcome ids: array indices for the allocation-free
+ * metrics recorders (the string names feed trace events and lazy
+ * counter creation only).
+ */
+enum ServeOutcomeId : int {
+    kServed = 0,
+    kShedOverflow,
+    kShedDeadline,
+    kShedStale,
+    kShedChurn,
+    kNumServeOutcomes,
+};
+
+constexpr std::array<const char *, kNumServeOutcomes> kServeOutcomeNames =
+    {"served", "shed_overflow", "shed_deadline", "shed_stale",
+     "shed_churn"};
+
+/** Declare the serve.* histograms every metered serving run exports. */
+void declareServeHistograms(obs::MetricsRegistry &metrics);
+
+/**
+ * The run-immutable part of a serving device, shared across a whole
+ * fleet: built once, read by every device, never written after
+ * construction. The seed field of `config` is a template value —
+ * each device's actual seed is passed to its DeviceState explicitly.
+ */
+struct DevicePlan {
+    const sim::InferenceSimulator *sim = nullptr;
+    ServeConfig config;
+    std::vector<const dnn::Network *> networks;
+    std::vector<Workload> workloads;
+    /** Mean best-case service time (initial EWMA estimate), ms. */
+    double nominalServiceMs = 0.0;
+};
+
+/**
+ * Resolve the workload mix, admission floors, and nominal service
+ * time for @p config (fatal on an unknown --network filter). Pure:
+ * consumes no RNG stream.
+ */
+DevicePlan makeDevicePlan(const sim::InferenceSimulator &sim,
+                          const ServeConfig &config);
+
+/**
+ * One device's complete mutable serving state — the former
+ * `DeviceLoop::Impl`, flattened so fleets can store devices in one
+ * contiguous array. Members are public: this is an internal
+ * serve-layer type; `DeviceLoop` is the public mutation API.
+ */
+struct DeviceState {
+    /**
+     * Standalone device: builds and owns a private plan from
+     * @p config (workload mix, floors) and seeds from config.seed.
+     * Byte-identical to the pre-§18 per-device construction.
+     */
+    DeviceState(const sim::InferenceSimulator &sim,
+                const ServeConfig &config, const obs::ObsContext &obs,
+                int deviceId, const core::AutoScaleScheduler *warmStart);
+
+    /**
+     * Fleet device over a shared immutable @p plan. @p seed replaces
+     * plan.config.seed (the fleet derives one seed per device);
+     * everything else reads through the plan. @p sharedEngine, when
+     * non-null, is a shard-shared batch decision engine (its gather
+     * state is per-tick, and devices within a shard run sequentially,
+     * so sharing is output-identical); null makes the device own one.
+     */
+    DeviceState(const DevicePlan &plan, const obs::ObsContext &obs,
+                int deviceId, std::uint64_t seed,
+                const core::AutoScaleScheduler *warmStart,
+                sim::BatchDecisionEngine *sharedEngine = nullptr);
+
+    ~DeviceState();
+    DeviceState(DeviceState &&);
+    DeviceState &operator=(DeviceState &&);
+    DeviceState(const DeviceState &) = delete;
+    DeviceState &operator=(const DeviceState &) = delete;
+
+    const ServeConfig &config() const { return plan->config; }
+    const sim::InferenceSimulator &sim() const { return *plan->sim; }
+    const std::vector<Workload> &workloads() const
+    {
+        return plan->workloads;
+    }
+
+    void advance(double untilMs);
+    std::int64_t discardQueue(std::int64_t atEpoch);
+    std::int64_t advanceOffline(double untilMs, std::int64_t atEpoch);
+    void scalarLoop(double untilMs);
+    void batchedLoop(double untilMs);
+    void admitUpTo(double nowMs);
+    void recordShed(const Workload &workload, ServeOutcomeId outcome,
+                    int depth);
+    void commitRequest(const QueuedRequest &queued, int degradeLevel,
+                       int depthAtDequeue,
+                       sim::BatchDecisionEngine *engine);
+    void checkpointNow();
+    ServeStats finish();
+
+    /** Shared immutable plan (owned for standalone devices). */
+    const DevicePlan *plan = nullptr;
+    std::unique_ptr<DevicePlan> planOwner;
+
+    obs::ObsContext obs;
+    int deviceId = -1;
+
+    ServeStats stats;
+
+    Rng envRng;
+    Rng decisionRng;
+    Rng execRng;
+    Rng workloadRng;
+
+    /**
+     * Decision policy: owned by this device on the standalone path;
+     * fleets may point peer devices at per-shard shared fixed
+     * policies instead (ownedPolicy stays null).
+     */
+    baselines::SchedulingPolicy *policy = nullptr;
+    std::unique_ptr<baselines::SchedulingPolicy> ownedPolicy;
+    harness::AutoScalePolicy *learner = nullptr;
+    std::unique_ptr<CheckpointManager> manager;
+    std::int64_t startStep = 0;
+
+    std::optional<env::Scenario> scenario;
+    std::optional<ArrivalProcess> arrivals;
+    std::optional<AdmissionQueue> queue;
+    std::optional<CircuitBreaker> wlanBreaker;
+    std::optional<CircuitBreaker> p2pBreaker;
+    fault::RetryPolicy probeRetry;
+
+    bool batched = false;
+    std::unique_ptr<ServeMetricsRecorder> serveMetrics;
+    std::unique_ptr<FastServeMetrics> fastMetrics;
+    std::unique_ptr<FleetContentionMetrics> fleetMetrics;
+    /**
+     * Pooled per-device metrics block (compact fleets): dense counter
+     * slabs flushed into the parent registry in device-index order at
+     * the end of the run. Null outside compact fleet mode; exactly one
+     * of {serveMetrics, fastMetrics, block} records a given device.
+     */
+    CompactServeMetrics *block = nullptr;
+
+    /**
+     * Batch decision engine: owned on the standalone path; compact
+     * fleets share one per shard (its state is per-tick, so sharing
+     * is output-identical).
+     */
+    sim::BatchDecisionEngine *engine = nullptr;
+    std::unique_ptr<sim::BatchDecisionEngine> ownedEngine;
+
+    double clockMs = 0.0;
+    double ewmaServiceMs = 0.0;
+    double pendingArrivalMs = 0.0;
+    bool arrivalsDone = false;
+    bool loopDone = false;
+    bool finished = false;
+
+    std::array<std::int64_t, sim::kNumTargetCategories> categoryTally{};
+
+    // --- Fleet hooks (inert outside fleet mode). ---
+    /** Frozen contention snapshot for the current advance() slice. */
+    const SharedSnapshot *shared = nullptr;
+    /** Fleet epoch index recorded on trace events. */
+    std::int64_t epoch = 0;
+    EpochUsage usage;
+
+  private:
+    /** Shared construction tail: RNG fan-out, policy, provenance,
+     * loop state — the original runServe statement order, verbatim. */
+    void init(std::uint64_t seed,
+              const core::AutoScaleScheduler *warmStart,
+              sim::BatchDecisionEngine *sharedEngine);
+};
+
+} // namespace autoscale::serve
+
+#endif // AUTOSCALE_SERVE_DEVICE_STATE_H_

@@ -13,9 +13,13 @@
 #include "core/scheduler.h"
 #include "harness/parallel.h"
 #include "obs/trace_recorder.h"
+#include "serve/compact_metrics.h"
 #include "serve/device_loop.h"
+#include "serve/device_state.h"
 #include "serve/fleet_checkpoint.h"
+#include "sim/batch_engine.h"
 #include "util/logging.h"
+#include "util/mem.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -66,7 +70,7 @@ qTableModeName(QTableMode mode)
 std::int64_t
 FleetStats::totalArrivals() const
 {
-    std::int64_t total = 0;
+    std::int64_t total = aggregate.arrivals;
     for (const ServeStats &device : devices) {
         total += device.arrivals;
     }
@@ -76,7 +80,7 @@ FleetStats::totalArrivals() const
 std::int64_t
 FleetStats::totalServed() const
 {
-    std::int64_t total = 0;
+    std::int64_t total = aggregate.served;
     for (const ServeStats &device : devices) {
         total += device.served;
     }
@@ -86,7 +90,7 @@ FleetStats::totalServed() const
 std::int64_t
 FleetStats::totalShed() const
 {
-    std::int64_t total = 0;
+    std::int64_t total = aggregate.shed;
     for (const ServeStats &device : devices) {
         total += device.shedOverflow + device.shedDeadline
             + device.shedStale;
@@ -97,7 +101,7 @@ FleetStats::totalShed() const
 std::int64_t
 FleetStats::totalShedChurn() const
 {
-    std::int64_t total = 0;
+    std::int64_t total = aggregate.shedChurn;
     for (const ServeStats &device : devices) {
         total += device.shedChurn;
     }
@@ -107,7 +111,7 @@ FleetStats::totalShedChurn() const
 std::int64_t
 FleetStats::totalDegraded() const
 {
-    std::int64_t total = 0;
+    std::int64_t total = aggregate.degraded;
     for (const ServeStats &device : devices) {
         total += device.degraded;
     }
@@ -117,7 +121,7 @@ FleetStats::totalDegraded() const
 std::int64_t
 FleetStats::totalQosViolations() const
 {
-    std::int64_t total = 0;
+    std::int64_t total = aggregate.qosViolations;
     for (const ServeStats &device : devices) {
         total += device.qosViolations;
     }
@@ -127,7 +131,7 @@ FleetStats::totalQosViolations() const
 double
 FleetStats::totalEnergyJ() const
 {
-    double total = 0.0;
+    double total = aggregate.energyJ;
     for (const ServeStats &device : devices) {
         total += device.energyJ;
     }
@@ -137,7 +141,7 @@ FleetStats::totalEnergyJ() const
 double
 FleetStats::totalWastedEnergyJ() const
 {
-    double total = 0.0;
+    double total = aggregate.wastedEnergyJ;
     for (const ServeStats &device : devices) {
         total += device.wastedEnergyJ;
     }
@@ -266,24 +270,53 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
     }
     const int jobs =
         config.jobs > 0 ? config.jobs : harness::defaultJobs();
+    const bool compact = config.compactDevices && n > 1;
+    const std::size_t shards =
+        std::min(n, static_cast<std::size_t>(config.shards));
+    const std::size_t perShard = (n + shards - 1) / shards;
+    const std::uint64_t rssBaseline =
+        config.reportMemory ? util::currentRssBytes() : 0;
 
-    // --- Device-private observability sinks. Devices record into these
-    // concurrently; the parent sinks receive an index-ordered merge
-    // after the run, so exported bytes never depend on shards/jobs. ---
+    // --- Observability sinks. Devices record concurrently; the parent
+    // sinks receive an index-ordered flush after the run, so exported
+    // bytes never depend on shards/jobs. Legacy representation: one
+    // private TraceRecorder + MetricsRegistry per device. Compact
+    // representation (DESIGN.md §18): device 0 keeps private sinks;
+    // peers share one trace recorder per shard (a stable sort by
+    // device id at flush restores per-device order) and record
+    // metrics into pooled CompactServeMetrics blocks flushed in
+    // device-index order. Nothing is allocated when observability is
+    // off. ---
     std::vector<std::unique_ptr<obs::TraceRecorder>> traces;
     std::vector<std::unique_ptr<obs::MetricsRegistry>> registries;
-    std::vector<obs::ObsContext> deviceObs(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        if (obs.tracing()) {
-            traces.push_back(std::make_unique<obs::TraceRecorder>(true));
-            deviceObs[i].trace = traces.back().get();
-        }
-        if (obs.metering()) {
-            registries.push_back(
-                std::make_unique<obs::MetricsRegistry>());
-            deviceObs[i].metrics = registries.back().get();
+    std::vector<obs::TraceRecorder> shardTraces;
+    std::vector<CompactServeMetrics> blocks;
+    if (obs.tracing()) {
+        traces.reserve(compact ? 1 : n);
+        if (compact) {
+            shardTraces.assign(shards, obs::TraceRecorder(true));
         }
     }
+    if (obs.metering()) {
+        registries.reserve(compact ? 1 : n);
+        if (compact) {
+            blocks.resize(n); // [0] unused: device 0 records privately.
+        }
+    }
+    // Private sinks for one device (every device on the legacy path,
+    // device 0 on the compact path).
+    auto makePrivateObs = [&]() {
+        obs::ObsContext context;
+        if (obs.tracing()) {
+            traces.push_back(std::make_unique<obs::TraceRecorder>(true));
+            context.trace = traces.back().get();
+        }
+        if (obs.metering()) {
+            registries.push_back(std::make_unique<obs::MetricsRegistry>());
+            context.metrics = registries.back().get();
+        }
+        return context;
+    };
 
     // --- Devices. Device 0 follows the full single-device Q-table
     // provenance (checkpoint > --qtable > pre-training); its trained
@@ -326,26 +359,70 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
         }
     }
 
-    std::vector<std::unique_ptr<DeviceLoop>> devices;
+    std::vector<DeviceLoop> devices;
     devices.reserve(n);
-    devices.push_back(std::make_unique<DeviceLoop>(
-        sim, deviceZero, deviceObs[0], 0));
-    const core::AutoScaleScheduler *warm = devices[0]->scheduler();
-    for (std::size_t i = 1; i < n; ++i) {
-        ServeConfig peer = config.serve;
-        peer.seed = harness::replicateSeed(config.serve.seed, i);
-        peer.checkpointPath.clear();
-        peer.resume = false;
-        peer.qtablePath.clear();
-        devices.push_back(std::make_unique<DeviceLoop>(
-            sim, peer, deviceObs[i], static_cast<int>(i), warm));
+    devices.emplace_back(sim, deviceZero, makePrivateObs(), 0);
+    const core::AutoScaleScheduler *warm = devices[0].scheduler();
+
+    // Peer config template: Q-table provenance cleared (peers warm
+    // start from device 0's trained table; checkpointing is device-0 /
+    // fleet-manifest territory).
+    ServeConfig peerTemplate = config.serve;
+    peerTemplate.checkpointPath.clear();
+    peerTemplate.resume = false;
+    peerTemplate.qtablePath.clear();
+
+    // Compact fleet storage (DESIGN.md §18): one immutable plan shared
+    // by every peer, one contiguous record array (reserved up front —
+    // the DeviceLoop views hold stable pointers into it), and one
+    // batch decision engine per shard (its gather state is per-tick
+    // and devices within a shard run sequentially, so sharing is
+    // output-identical). All empty on the legacy path.
+    std::optional<DevicePlan> peerPlan;
+    std::vector<DeviceState> records;
+    std::vector<std::unique_ptr<sim::BatchDecisionEngine>> shardEngines;
+    if (compact) {
+        peerPlan.emplace(makeDevicePlan(sim, peerTemplate));
+        records.reserve(n - 1);
+        if (peerTemplate.batchSize >= 1) {
+            shardEngines.reserve(shards);
+            for (std::size_t s = 0; s < shards; ++s) {
+                shardEngines.push_back(
+                    std::make_unique<sim::BatchDecisionEngine>(
+                        sim, static_cast<std::size_t>(
+                                 peerTemplate.batchSize)));
+            }
+        }
+        for (std::size_t i = 1; i < n; ++i) {
+            const std::size_t shard = i / perShard;
+            obs::ObsContext peerObs;
+            if (obs.tracing()) {
+                peerObs.trace = &shardTraces[shard];
+            }
+            records.emplace_back(
+                *peerPlan, peerObs, static_cast<int>(i),
+                harness::replicateSeed(config.serve.seed, i), warm,
+                shardEngines.empty() ? nullptr
+                                     : shardEngines[shard].get());
+            if (obs.metering()) {
+                records.back().block = &blocks[i];
+            }
+            devices.emplace_back(&records.back());
+        }
+    } else {
+        for (std::size_t i = 1; i < n; ++i) {
+            ServeConfig peer = peerTemplate;
+            peer.seed = harness::replicateSeed(config.serve.seed, i);
+            devices.emplace_back(sim, peer, makePrivateObs(),
+                                 static_cast<int>(i), warm);
+        }
     }
 
     std::vector<core::AutoScaleScheduler *> schedulers;
     if (learnerPolicy) {
         schedulers.reserve(n);
         for (std::size_t i = 0; i < n; ++i) {
-            schedulers.push_back(devices[i]->scheduler());
+            schedulers.push_back(devices[i].scheduler());
         }
     }
 
@@ -356,9 +433,6 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
     // partitioning is output-invariant. ---
     SharedInfra infra(config.infra);
     std::vector<EpochUsage> usage(n);
-    const std::size_t shards =
-        std::min(n, static_cast<std::size_t>(config.shards));
-    const std::size_t perShard = (n + shards - 1) / shards;
 
     // --- Churn (DESIGN.md §17). The state machine advances on this
     // thread only, at barriers, in device-index order; its draws are
@@ -377,7 +451,7 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
         std::uint64_t digest =
             mixChecksum(0, static_cast<std::uint64_t>(epoch));
         for (std::size_t d = 0; d < n; ++d) {
-            digest = mixChecksum(digest, devices[d]->stateDigest());
+            digest = mixChecksum(digest, devices[d].stateDigest());
         }
         if (churn) {
             for (const char c : churn->stateLine()) {
@@ -439,11 +513,11 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
                 switch (events[d]) {
                 case ChurnEvent::Crash:
                     ++stats.churnCrashes;
-                    devices[d]->churnCrash(epoch);
+                    devices[d].churnCrash(epoch);
                     break;
                 case ChurnEvent::Leave:
                     ++stats.churnLeaves;
-                    devices[d]->churnLeave(epoch);
+                    devices[d].churnLeave(epoch);
                     break;
                 case ChurnEvent::Join:
                     ++stats.churnJoins;
@@ -464,9 +538,9 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
             const std::size_t end = std::min(n, begin + perShard);
             for (std::size_t d = begin; d < end; ++d) {
                 if (churn && !churn->active(d)) {
-                    devices[d]->advanceOffline(barrierMs, epoch);
+                    devices[d].advanceOffline(barrierMs, epoch);
                 } else {
-                    devices[d]->advance(barrierMs, &snapshot, epoch);
+                    devices[d].advance(barrierMs, &snapshot, epoch);
                 }
             }
             return 0;
@@ -475,8 +549,8 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
 
         bool allDone = true;
         for (std::size_t d = 0; d < n; ++d) {
-            usage[d] = devices[d]->takeEpochUsage();
-            const bool done = devices[d]->done();
+            usage[d] = devices[d].takeEpochUsage();
+            const bool done = devices[d].done();
             if (done && churn) {
                 churn->retire(d);
             }
@@ -547,24 +621,17 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
               + "; the manifest does not belong to this configuration");
     }
 
-    // --- Finalize and merge in device-index order. ---
-    stats.devices.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        stats.devices.push_back(devices[i]->finish());
-        stats.endClockMs =
-            std::max(stats.endClockMs, stats.devices.back().endClockMs);
+    // --- Finalize and flush in device-index order. The checksum folds
+    // the same per-device values in the same order as the legacy
+    // post-loop computation; aggregate mode merely skips storing the
+    // per-device ServeStats it was computed from. ---
+    if (!config.aggregateStats) {
+        stats.devices.reserve(n);
     }
-    for (std::size_t i = 0; i < n; ++i) {
-        if (obs.tracing()) {
-            obs.trace->append(*traces[i]);
-        }
-        if (obs.metering()) {
-            obs.metrics->merge(*registries[i]);
-        }
-    }
-
     std::uint64_t checksum = 0;
-    for (const ServeStats &device : stats.devices) {
+    for (std::size_t i = 0; i < n; ++i) {
+        ServeStats device = devices[i].finish();
+        stats.endClockMs = std::max(stats.endClockMs, device.endClockMs);
         checksum = mixChecksum(checksum, device.rngFingerprint);
         checksum = mixChecksum(
             checksum, static_cast<std::uint64_t>(device.served));
@@ -574,8 +641,60 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
             checksum, std::bit_cast<std::uint64_t>(device.energyJ));
         checksum = mixChecksum(
             checksum, std::bit_cast<std::uint64_t>(device.endClockMs));
+        if (config.aggregateStats) {
+            stats.aggregate.arrivals += device.arrivals;
+            stats.aggregate.served += device.served;
+            stats.aggregate.shed += device.shedOverflow
+                + device.shedDeadline + device.shedStale;
+            stats.aggregate.shedChurn += device.shedChurn;
+            stats.aggregate.degraded += device.degraded;
+            stats.aggregate.qosViolations += device.qosViolations;
+            stats.aggregate.energyJ += device.energyJ;
+            stats.aggregate.wastedEnergyJ += device.wastedEnergyJ;
+        } else {
+            stats.devices.push_back(std::move(device));
+        }
     }
     stats.checksum = checksum;
+
+    if (obs.tracing()) {
+        obs.trace->append(*traces[0]);
+        if (compact) {
+            // A shard buffer interleaves its devices' events; a stable
+            // sort by device id restores each device's private record
+            // order, and shards cover contiguous ascending device
+            // ranges, so the flushed sequence is byte-identical to
+            // per-device recorders appended in index order.
+            for (obs::TraceRecorder &shardTrace : shardTraces) {
+                std::vector<obs::DecisionEvent> events =
+                    shardTrace.snapshot();
+                std::stable_sort(events.begin(), events.end(),
+                                 [](const obs::DecisionEvent &a,
+                                    const obs::DecisionEvent &b) {
+                                     return a.deviceId < b.deviceId;
+                                 });
+                for (obs::DecisionEvent &event : events) {
+                    obs.trace->record(std::move(event));
+                }
+            }
+        } else {
+            for (std::size_t i = 1; i < n; ++i) {
+                obs.trace->append(*traces[i]);
+            }
+        }
+    }
+    if (obs.metering()) {
+        obs.metrics->merge(*registries[0]);
+        if (compact) {
+            for (std::size_t i = 1; i < n; ++i) {
+                blocks[i].flush(*obs.metrics);
+            }
+        } else {
+            for (std::size_t i = 1; i < n; ++i) {
+                obs.metrics->merge(*registries[i]);
+            }
+        }
+    }
 
     // Fleet-level resilience metrics, declared only when the feature is
     // configured so a churn-free/outage-free run's metric-name set (and
@@ -600,9 +719,18 @@ runFleet(const sim::InferenceSimulator &sim, const FleetConfig &config,
         std::ostringstream dump;
         for (std::size_t i = 0; i < n; ++i) {
             dump << "# device " << i << '\n';
-            devices[i]->scheduler()->saveQTable(dump);
+            devices[i].scheduler()->saveQTable(dump);
         }
         stats.qtableDump = dump.str();
+    }
+
+    if (config.reportMemory) {
+        stats.peakRssBytes = util::peakRssBytes();
+        if (stats.peakRssBytes > rssBaseline) {
+            stats.bytesPerDevice =
+                static_cast<double>(stats.peakRssBytes - rssBaseline)
+                / static_cast<double>(n);
+        }
     }
     return stats;
 }
@@ -645,6 +773,15 @@ printFleetReport(std::ostream &os, const FleetConfig &config,
                       Table::num(stats.totalWastedEnergyJ(), 3)});
         table.addRow({"virtual time (s)",
                       Table::num(stats.endClockMs / 1e3, 2)});
+        if (stats.peakRssBytes > 0) {
+            table.addRow(
+                {"peak RSS (MiB)",
+                 Table::num(static_cast<double>(stats.peakRssBytes)
+                                / (1024.0 * 1024.0),
+                            1)});
+            table.addRow({"bytes / device",
+                          Table::num(stats.bytesPerDevice, 0)});
+        }
         if (config.devices > 1 && !config.serve.checkpointPath.empty()) {
             table.addRow({"fleet checkpoints written",
                           std::to_string(stats.checkpointsWritten)});

@@ -94,12 +94,63 @@ struct FleetConfig {
     int haltAfterEpochs = 0;
     /** Capture every device's final Q-table in FleetStats::qtableDump. */
     bool collectQTables = false;
+
+    /**
+     * Compact device representation (DESIGN.md §18, default): peer
+     * devices 1..n-1 live in one contiguous DeviceState array over a
+     * single shared immutable DevicePlan, record metrics into pooled
+     * per-device CompactServeMetrics blocks and traces into per-shard
+     * recorders, and share one BatchDecisionEngine per shard. Device 0
+     * always keeps the full legacy construction (private plan, private
+     * sinks, Q-table provenance). Every exported byte — traces,
+     * metrics, Q-dumps, checkpoints, checksum — is identical to the
+     * legacy representation (tests/test_fleet pins this); the flag
+     * exists so the parity suite can run both paths.
+     */
+    bool compactDevices = true;
+    /**
+     * Drop the per-device ServeStats vector and keep only fleet
+     * aggregates (FleetStats::aggregate). Million-device runs need
+     * this: a million ServeStats (latency vectors, category maps) cost
+     * more than the devices themselves. Totals and the checksum are
+     * unchanged; per-device reporting and latency percentiles are
+     * unavailable (they read as 0 / empty).
+     */
+    bool aggregateStats = false;
+    /**
+     * Measure the run's memory footprint (peak RSS delta over the
+     * fleet's lifetime) into FleetStats::peakRssBytes/bytesPerDevice.
+     * Opt-in because the fleet report grows memory rows when set, and
+     * golden tests pin the report bytes.
+     */
+    bool reportMemory = false;
+};
+
+/**
+ * Fold of the per-device stats a million-device run cannot afford to
+ * keep (FleetConfig::aggregateStats). Zero when per-device stats are
+ * kept; FleetStats::totalX() adds both, so exactly one contributes.
+ */
+struct FleetAggregate {
+    std::int64_t arrivals = 0;
+    std::int64_t served = 0;
+    std::int64_t shed = 0;
+    std::int64_t shedChurn = 0;
+    std::int64_t degraded = 0;
+    std::int64_t qosViolations = 0;
+    double energyJ = 0.0;
+    double wastedEnergyJ = 0.0;
 };
 
 /** Fleet-level results: per-device stats plus contention aggregates. */
 struct FleetStats {
-    /** Per-device serving stats, in device-index order. */
+    /**
+     * Per-device serving stats, in device-index order. Empty when
+     * FleetConfig::aggregateStats folded them into `aggregate`.
+     */
     std::vector<ServeStats> devices;
+    /** Aggregate-only totals (see FleetConfig::aggregateStats). */
+    FleetAggregate aggregate;
     /** Virtual-time barriers executed. */
     std::int64_t epochs = 0;
     /** Epochs covered by a shared cloud brownout window. */
@@ -144,6 +195,17 @@ struct FleetStats {
 
     /** Latest device virtual clock at completion, ms. */
     double endClockMs = 0.0;
+
+    // --- Memory footprint (FleetConfig::reportMemory only). ---
+    /** Peak RSS (VmHWM) at the end of the run, bytes; 0 = unmeasured. */
+    std::uint64_t peakRssBytes = 0;
+    /**
+     * (peak RSS - RSS at runFleet entry) / devices. The process-wide
+     * VmHWM is monotone, so a run that never out-peaked earlier phases
+     * reads 0 — bench_fleet runs its memory gate before the throughput
+     * sweep for exactly this reason.
+     */
+    double bytesPerDevice = 0.0;
     /**
      * Order-sensitive fold of every device's RNG fingerprint and key
      * stats — the cross-shard equality probe bench_fleet gates on.

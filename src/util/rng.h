@@ -117,6 +117,27 @@ class Rng {
         return Rng(next());
     }
 
+    /**
+     * Raw xoshiro256** state, for stream-jumping (util/rng_jump.h) and
+     * state fingerprints. Setting a state puts the generator exactly
+     * where another generator with that state would be.
+     */
+    void
+    state(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i) {
+            out[i] = state_[i];
+        }
+    }
+
+    void
+    setState(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i) {
+            state_[i] = in[i];
+        }
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -1,0 +1,103 @@
+#include "util/rng_jump.h"
+
+namespace autoscale::util {
+
+namespace {
+
+/** One xoshiro256** state transition (output mix doesn't touch state). */
+void
+step(std::uint64_t s[4])
+{
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = (s[3] << 45) | (s[3] >> 19);
+}
+
+/** Image of @p state under @p m (XOR of columns at set bits). */
+std::array<std::uint64_t, 4>
+applyMatrix(const std::array<std::array<std::uint64_t, 4>, 256> &m,
+            const std::uint64_t state[4])
+{
+    std::array<std::uint64_t, 4> out{0, 0, 0, 0};
+    for (int word = 0; word < 4; ++word) {
+        std::uint64_t bits = state[word];
+        while (bits != 0) {
+            const int bit = __builtin_ctzll(bits);
+            bits &= bits - 1;
+            const auto &column = m[static_cast<std::size_t>(word * 64 + bit)];
+            for (int j = 0; j < 4; ++j) {
+                out[static_cast<std::size_t>(j)] ^=
+                    column[static_cast<std::size_t>(j)];
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+RngJump::Matrix
+RngJump::identity()
+{
+    Matrix m{};
+    for (int i = 0; i < 256; ++i) {
+        m[static_cast<std::size_t>(i)] = {0, 0, 0, 0};
+        m[static_cast<std::size_t>(i)][static_cast<std::size_t>(i / 64)] =
+            1ULL << (i % 64);
+    }
+    return m;
+}
+
+RngJump::Matrix
+RngJump::multiply(const Matrix &lhs, const Matrix &rhs)
+{
+    // Column i of the product is lhs applied to column i of rhs.
+    Matrix out{};
+    for (int i = 0; i < 256; ++i) {
+        out[static_cast<std::size_t>(i)] = applyMatrix(
+            lhs, rhs[static_cast<std::size_t>(i)].data());
+    }
+    return out;
+}
+
+RngJump::RngJump(std::uint64_t steps) : steps_(steps)
+{
+    // Base matrix: column i is the image of basis vector e_i under one
+    // step.
+    Matrix base{};
+    for (int i = 0; i < 256; ++i) {
+        std::uint64_t s[4] = {0, 0, 0, 0};
+        s[i / 64] = 1ULL << (i % 64);
+        step(s);
+        base[static_cast<std::size_t>(i)] = {s[0], s[1], s[2], s[3]};
+    }
+    // Square-and-multiply: matrix_ = base^steps.
+    matrix_ = identity();
+    Matrix power = base;
+    std::uint64_t remaining = steps;
+    while (remaining != 0) {
+        if ((remaining & 1) != 0) {
+            matrix_ = multiply(power, matrix_);
+        }
+        remaining >>= 1;
+        if (remaining != 0) {
+            power = multiply(power, power);
+        }
+    }
+}
+
+void
+RngJump::apply(Rng &rng) const
+{
+    std::uint64_t state[4];
+    rng.state(state);
+    const std::array<std::uint64_t, 4> jumped =
+        applyMatrix(matrix_, state);
+    rng.setState(jumped.data());
+}
+
+} // namespace autoscale::util

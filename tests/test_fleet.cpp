@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -21,6 +22,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/trace_recorder.h"
 #include "platform/device_zoo.h"
+#include "serve/device_state.h"
 #include "serve/fleet.h"
 #include "serve/server.h"
 #include "sim/simulator.h"
@@ -444,6 +446,209 @@ TEST(Fleet, MergedQTableSnapshotEqualsInPlaceMerge)
                 << act << ")";
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Compact device representation (DESIGN.md §18): the shared-plan /
+// contiguous-DeviceState / pooled-metrics / per-shard-trace layout is a
+// memory layout change only. These tests pin every exported byte equal
+// to the legacy per-device construction.
+// ---------------------------------------------------------------------
+
+std::string
+fileBytes(const char *path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    return bytes.str();
+}
+
+TEST(FleetCompact, MatchesLegacyRepresentationByteForByte)
+{
+    // Full parity matrix: every Q-table mode, with and without churn,
+    // compact at shard counts 1 and 4 against the legacy layout. The
+    // tuple covers the checksum (RNG fingerprints + stats), Q-table
+    // dumps, the JSONL trace, and the metrics dump — if any per-device
+    // arithmetic, RNG draw, counter, or flush order moved, something
+    // here changes.
+    for (const QTableMode qMode :
+         {QTableMode::PerDevice, QTableMode::Shared,
+          QTableMode::Federated}) {
+        for (const bool churn : {false, true}) {
+            FleetConfig fleet;
+            fleet.serve = serveConfig(1.5, 30);
+            fleet.devices = 6;
+            fleet.qMode = qMode;
+            fleet.federatedMergeEpochs = 2;
+            fleet.collectQTables = true;
+            fleet.infra.edgeCapacity = 1.0;
+            fleet.infra.contention = 4.0;
+            fleet.infra.brownoutPeriodMs = 1000.0;
+            fleet.infra.brownoutDurationMs = 250.0;
+            if (churn) {
+                fleet.churn.crashProb = 0.10;
+                fleet.churn.leaveProb = 0.05;
+                fleet.churn.downEpochs = 2;
+                fleet.churn.initialDevices = 3;
+                fleet.churn.joinEveryEpochs = 1;
+            }
+
+            auto run = [&](bool compact, int shards) {
+                FleetConfig config = fleet;
+                config.compactDevices = compact;
+                config.shards = shards;
+                obs::TraceRecorder trace(true);
+                obs::MetricsRegistry metrics;
+                const FleetStats stats = runFleet(
+                    testSim(), config,
+                    obs::ObsContext{&trace, &metrics});
+                std::ostringstream traceText;
+                trace.writeJsonl(traceText);
+                std::ostringstream metricsText;
+                metrics.writeText(metricsText);
+                return std::make_tuple(stats.checksum, stats.qtableDump,
+                                       traceText.str(),
+                                       metricsText.str(), stats.epochs,
+                                       stats.totalShedChurn());
+            };
+
+            const auto legacy = run(false, 1);
+            EXPECT_EQ(legacy, run(true, 1))
+                << qTableModeName(qMode) << " churn=" << churn
+                << " shards=1";
+            EXPECT_EQ(legacy, run(true, 4))
+                << qTableModeName(qMode) << " churn=" << churn
+                << " shards=4";
+        }
+    }
+}
+
+TEST(FleetCompact, CheckpointBytesMatchLegacy)
+{
+    // The fleet manifest digest deliberately excludes the
+    // representation knob, so a halted compact run's manifest must be
+    // byte-identical to the legacy run's — and resuming a legacy
+    // manifest under the compact layout must replay to the
+    // uninterrupted run's exact outputs.
+    const char *path = "fleet_compact_unit.ckpt";
+    const char *prev = "fleet_compact_unit.ckpt.prev";
+
+    FleetConfig fleet;
+    fleet.serve = serveConfig(2.0, 200);
+    fleet.devices = 4;
+    fleet.qMode = QTableMode::Shared;
+    fleet.collectQTables = true;
+    fleet.churn.crashProb = 0.08;
+    fleet.churn.downEpochs = 2;
+
+    auto haltedManifest = [&](bool compact) {
+        std::remove(path);
+        std::remove(prev);
+        FleetConfig config = fleet;
+        config.compactDevices = compact;
+        config.serve.checkpointPath = path;
+        config.haltAfterEpochs = 2;
+        const FleetStats stats = runFleet(testSim(), config, {});
+        EXPECT_TRUE(stats.halted);
+        EXPECT_GT(stats.checkpointsWritten, 0);
+        return fileBytes(path);
+    };
+
+    const std::string legacyBytes = haltedManifest(false);
+    ASSERT_FALSE(legacyBytes.empty());
+    const std::string compactBytes = haltedManifest(true);
+    EXPECT_EQ(compactBytes, legacyBytes);
+
+    auto finish = [&](bool compact, bool resume) {
+        FleetConfig config = fleet;
+        config.compactDevices = compact;
+        if (resume) {
+            config.serve.checkpointPath = path;
+            config.serve.resume = true;
+        }
+        obs::TraceRecorder trace(true);
+        obs::MetricsRegistry metrics;
+        const FleetStats stats = runFleet(
+            testSim(), config, obs::ObsContext{&trace, &metrics});
+        std::ostringstream traceText;
+        trace.writeJsonl(traceText);
+        std::ostringstream metricsText;
+        metrics.writeText(metricsText);
+        EXPECT_EQ(stats.resumed, resume);
+        return std::make_tuple(stats.checksum, stats.qtableDump,
+                               traceText.str(), metricsText.str());
+    };
+
+    // fileBytes() above proved the on-disk manifest is the legacy one;
+    // a compact resume from it must finish the legacy-uninterrupted
+    // trajectory byte for byte.
+    const auto uninterrupted = finish(false, false);
+    EXPECT_EQ(finish(true, true), uninterrupted);
+
+    std::remove(path);
+    std::remove(prev);
+}
+
+TEST(FleetCompact, AggregateStatsFoldPreservesTotalsAndChecksum)
+{
+    // aggregateStats drops the per-device ServeStats vector (a
+    // million-device run cannot afford it) but must not change any
+    // total or the cross-shard checksum: the fold is the same
+    // arithmetic in the same device order.
+    FleetConfig fleet;
+    fleet.serve = serveConfig(1.5, 40);
+    fleet.devices = 6;
+    fleet.churn.crashProb = 0.10;
+    fleet.churn.downEpochs = 2;
+
+    FleetConfig folded = fleet;
+    folded.aggregateStats = true;
+
+    const FleetStats full = runFleet(testSim(), fleet, {});
+    const FleetStats agg = runFleet(testSim(), folded, {});
+
+    ASSERT_EQ(full.devices.size(), 6u);
+    EXPECT_TRUE(agg.devices.empty());
+    EXPECT_EQ(agg.checksum, full.checksum);
+    EXPECT_EQ(agg.totalArrivals(), full.totalArrivals());
+    EXPECT_EQ(agg.totalServed(), full.totalServed());
+    EXPECT_EQ(agg.totalShed(), full.totalShed());
+    EXPECT_EQ(agg.totalShedChurn(), full.totalShedChurn());
+    EXPECT_EQ(agg.totalDegraded(), full.totalDegraded());
+    EXPECT_EQ(agg.totalQosViolations(), full.totalQosViolations());
+    EXPECT_EQ(agg.totalEnergyJ(), full.totalEnergyJ());
+    EXPECT_EQ(agg.totalWastedEnergyJ(), full.totalWastedEnergyJ());
+    EXPECT_EQ(agg.endClockMs, full.endClockMs);
+}
+
+TEST(FleetCompact, HundredThousandDeviceSmokeStaysUnderMemoryBudget)
+{
+    // The compact record itself must stay flat: one cache-friendly
+    // struct, no growth past the envelope DESIGN.md §18 promises.
+    EXPECT_LE(sizeof(DeviceState), 2048u);
+
+    // 100k fixed-policy devices in-process — the CI-scale end of the
+    // envelope (bench_fleet gates the same bytes/device number at a
+    // million devices). Measured ~2.2 KB/device; the 4 KiB ceiling
+    // leaves headroom for allocator noise, not for regressions.
+    FleetConfig fleet;
+    fleet.serve.policyName = "connected-edge";
+    fleet.serve.trainRunsPerCombo = 0;
+    fleet.serve.totalRequests = 2;
+    fleet.serve.arrival.ratePerSec = 50.0;
+    fleet.devices = 100000;
+    fleet.aggregateStats = true;
+    fleet.reportMemory = true;
+
+    const FleetStats stats = runFleet(testSim(), fleet, {});
+    EXPECT_EQ(stats.totalArrivals(), 200000);
+    EXPECT_EQ(stats.totalArrivals(),
+              stats.totalServed() + stats.totalShed());
+    EXPECT_TRUE(stats.devices.empty());
+    ASSERT_GT(stats.peakRssBytes, 0u);
+    ASSERT_GT(stats.bytesPerDevice, 0.0);
+    EXPECT_LT(stats.bytesPerDevice, 4096.0);
 }
 
 } // namespace

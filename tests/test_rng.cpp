@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/rng_jump.h"
 #include "util/stats.h"
 
 namespace autoscale {
@@ -144,6 +145,58 @@ TEST(Rng, LognormalMapeMatchesEnergyEstimatorTarget)
     }
     const double mape = 100.0 * sum_ape / trials;
     EXPECT_NEAR(mape, 7.3, 0.5);
+}
+
+TEST(Rng, StateRoundTripResumesExactly)
+{
+    Rng a(43);
+    a.next();
+    a.next();
+    std::uint64_t state[4];
+    a.state(state);
+    Rng b;
+    b.setState(state);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(RngJump, MatchesNaiveStepping)
+{
+    // The GF(2) jump must land exactly where N next() calls land, for
+    // step counts spanning several bit patterns (including the Q-table
+    // randomize count 3072 * 66 the fleet warm-start path uses).
+    for (const std::uint64_t steps :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{2},
+          std::uint64_t{257}, std::uint64_t{3072} * 66}) {
+        const util::RngJump jump(steps);
+        Rng jumped(47);
+        Rng stepped(47);
+        jump.apply(jumped);
+        for (std::uint64_t i = 0; i < steps; ++i) {
+            stepped.next();
+        }
+        for (int i = 0; i < 16; ++i) {
+            EXPECT_EQ(jumped.next(), stepped.next())
+                << "diverged after jump of " << steps;
+        }
+    }
+}
+
+TEST(RngJump, ComposesAcrossSplits)
+{
+    // Jump(a) then Jump(b) == Jump(a + b): linearity sanity check.
+    const util::RngJump jumpA(1000);
+    const util::RngJump jumpB(234);
+    const util::RngJump jumpAB(1234);
+    Rng split(51);
+    Rng whole(51);
+    jumpA.apply(split);
+    jumpB.apply(split);
+    jumpAB.apply(whole);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(split.next(), whole.next());
+    }
 }
 
 TEST(Rng, ForkProducesIndependentStream)

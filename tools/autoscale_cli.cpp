@@ -31,6 +31,7 @@
 #include "dnn/model_zoo.h"
 #include "harness/experiment.h"
 #include "harness/parallel.h"
+#include "obs/json.h"
 #include "obs/obs_output.h"
 #include "platform/device_zoo.h"
 #include "scenario/apply.h"
@@ -914,7 +915,8 @@ cmdServe(const Args &args)
               "--halt-after-epochs", "--churn-crash-prob",
               "--churn-leave-prob", "--churn-down-epochs",
               "--churn-initial-devices", "--churn-join-every",
-              "--outage-period-ms", "--outage-ms"}) {
+              "--outage-period-ms", "--outage-ms",
+              "--fleet-legacy-devices", "--fleet-memory"}) {
             if (args.has(fleetOnly)) {
                 fatal(std::string(fleetOnly)
                       + " requires fleet serving (--fleet N > 1)");
@@ -1051,6 +1053,12 @@ cmdServe(const Args &args)
         }
         const std::string qtableOut = args.get("--fleet-qtable-out");
         fleet.collectQTables = !qtableOut.empty();
+        // --fleet-legacy-devices drops to the per-device construction
+        // (DESIGN.md §18); output is byte-identical either way — the
+        // flag exists for memory/throughput comparisons and as the
+        // escape hatch while the compact path beds in.
+        fleet.compactDevices = !args.has("--fleet-legacy-devices");
+        fleet.reportMemory = args.has("--fleet-memory");
 
         if (spec != nullptr) {
             std::cout << "Scenario: " << spec->name << " ("
@@ -1082,6 +1090,19 @@ cmdServe(const Args &args)
             out << stats.qtableDump;
         }
         obs_out.finalize(&std::cout);
+        // Appended after the trace proper so the decision-event bytes
+        // stay identical with or without --fleet-memory; trace_summary
+        // picks the record up, older readers skip it as an unknown
+        // non-decision line.
+        if (fleet.reportMemory && obs_out.config().tracing()
+            && obs_out.config().traceFormat == obs::TraceFormat::Jsonl) {
+            std::ofstream trace(obs_out.config().tracePath,
+                                std::ios::app);
+            trace << "{\"fleet_memory\":true,\"devices\":"
+                  << fleet.devices << ",\"peak_rss_bytes\":"
+                  << stats.peakRssBytes << ",\"bytes_per_device\":"
+                  << obs::jsonNumber(stats.bytesPerDevice) << "}\n";
+        }
         return 0;
     }
 
@@ -1166,7 +1187,14 @@ usage()
         "                              epoch-barrier fleet manifest +\n"
         "                              checkpoint-verified replay resume\n"
         "        [--halt-after-epochs N]  simulate a crash at a barrier\n"
-        "        [--fleet-qtable-out FILE] dump all final Q-tables\n\n"
+        "        [--fleet-qtable-out FILE] dump all final Q-tables\n"
+        "        [--fleet-memory]      report peak RSS and bytes/device\n"
+        "                              (and append a fleet_memory record\n"
+        "                              to a JSONL --trace)\n"
+        "        [--fleet-legacy-devices] per-device construction instead\n"
+        "                              of the compact shared-plan layout\n"
+        "                              (byte-identical output; for\n"
+        "                              comparisons)\n\n"
         "Scenario files (train, evaluate, loo, serve):\n"
         "  --scenario FILE              load a declarative .scn scenario\n"
         "                               (on serve, a Table IV name S1-D4\n"

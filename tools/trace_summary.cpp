@@ -251,6 +251,14 @@ main(int argc, char **argv)
     long long churn_shed = 0;
     std::map<long long, long long> churn_shed_by_device;
 
+    // Fleet memory record (DESIGN.md §18): one summary line appended
+    // by `serve --fleet --fleet-memory`; absent from older traces, in
+    // which case the Fleet memory section is simply not printed.
+    bool have_fleet_memory = false;
+    long long fleet_memory_devices = 0;
+    double fleet_peak_rss_bytes = 0.0;
+    double fleet_bytes_per_device = 0.0;
+
     std::string line;
     long long line_number = 0;
     Record record;
@@ -263,6 +271,17 @@ main(int argc, char **argv)
             std::cerr << "trace_summary: " << path << ":" << line_number
                       << ": unparseable line (not a flat JSON object)\n";
             return 1;
+        }
+        // Not a decision event: summarize and move on before any
+        // per-device or per-decision counting sees it.
+        if (boolField(record, "fleet_memory")) {
+            have_fleet_memory = true;
+            fleet_memory_devices =
+                static_cast<long long>(numberField(record, "devices"));
+            fleet_peak_rss_bytes = numberField(record, "peak_rss_bytes");
+            fleet_bytes_per_device =
+                numberField(record, "bytes_per_device");
+            continue;
         }
         if (!policy_filter.empty()
             && stringField(record, "policy") != policy_filter) {
@@ -337,7 +356,7 @@ main(int argc, char **argv)
         reward_sum += numberField(record, "reward");
     }
 
-    if (total == 0 && serve_records == 0) {
+    if (total == 0 && serve_records == 0 && !have_fleet_memory) {
         std::cout << "No matching decision events in " << path
                   << " (" << skipped << " filtered out)\n";
         return 0;
@@ -446,6 +465,18 @@ main(int argc, char **argv)
         fleet.addRow({"min congestion derate",
                       Table::num(min_derate, 3)});
         fleet.print(std::cout);
+    }
+
+    if (have_fleet_memory) {
+        std::cout << "\nFleet memory:\n";
+        Table memory({"Metric", "Value"});
+        memory.addRow({"devices", std::to_string(fleet_memory_devices)});
+        memory.addRow({"peak RSS (MiB)",
+                       Table::num(fleet_peak_rss_bytes / (1024.0 * 1024.0),
+                                  1)});
+        memory.addRow({"bytes / device",
+                       Table::num(fleet_bytes_per_device, 0)});
+        memory.print(std::cout);
     }
 
     if (churn_shed > 0 || outage_records > 0) {
